@@ -1,0 +1,46 @@
+//! P3 — exact enumeration scaling: world-table construction time for the
+//! `k`-coins program (chase tree with 2^k leaves), sequential vs parallel
+//! enumeration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdatalog_bench::{burglary_program, coins_program};
+use gdatalog_core::{Engine, ExactConfig};
+use gdatalog_lang::SemanticsMode;
+use std::hint::black_box;
+
+fn bench_coins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_coins");
+    group.sample_size(10);
+    for k in [4usize, 6, 8] {
+        let engine = Engine::from_source(&coins_program(k), SemanticsMode::Grohe).expect("ok");
+        group.bench_with_input(BenchmarkId::new("sequential", k), &k, |b, _| {
+            b.iter(|| black_box(engine.enumerate(None, ExactConfig::default()).expect("ok")))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", k), &k, |b, _| {
+            b.iter(|| {
+                black_box(
+                    engine
+                        .enumerate_parallel(None, ExactConfig::default())
+                        .expect("ok"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_burglary_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_burglary");
+    group.sample_size(10);
+    for houses in [1usize, 2, 3] {
+        let engine =
+            Engine::from_source(&burglary_program(houses), SemanticsMode::Grohe).expect("ok");
+        group.bench_with_input(BenchmarkId::from_parameter(houses), &houses, |b, _| {
+            b.iter(|| black_box(engine.enumerate(None, ExactConfig::default()).expect("ok")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coins, bench_burglary_exact);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! P6 — query evaluation on (sub-)probabilistic databases: relational
+//! algebra and aggregates applied per world (Fact 2.6), plus marginal and
+//! counting-event probabilities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdatalog_bench::burglary_program;
+use gdatalog_core::{Engine, ExactConfig};
+use gdatalog_data::Value;
+use gdatalog_lang::SemanticsMode;
+use gdatalog_pdb::{eval_query_worlds, AggFun, ColPred, Event, FactSet, Query};
+use std::hint::black_box;
+
+fn bench_pdb_queries(c: &mut Criterion) {
+    let engine = Engine::from_source(&burglary_program(3), SemanticsMode::Grohe).expect("ok");
+    let worlds = engine
+        .enumerate(None, ExactConfig::default())
+        .expect("discrete");
+    let alarm = engine.program().catalog.require("Alarm").expect("declared");
+    let trig = engine.program().catalog.require("Trig").expect("declared");
+
+    let mut group = c.benchmark_group("pdb_queries");
+    group.throughput(criterion::Throughput::Elements(worlds.len() as u64));
+
+    group.bench_function("marginal", |b| {
+        let fact =
+            gdatalog_data::Fact::new(alarm, gdatalog_data::Tuple::from(vec![Value::sym("h0")]));
+        b.iter(|| black_box(worlds.marginal(&fact)))
+    });
+
+    group.bench_function("counting_event", |b| {
+        let ev = Event::count_exactly(FactSet::whole_relation(alarm), 2);
+        b.iter(|| black_box(worlds.probability(|d| ev.eval(d))))
+    });
+
+    group.bench_function("select_project", |b| {
+        let q = Query::Rel(trig)
+            .select(vec![(1, ColPred::Eq(Value::int(1)))])
+            .project(vec![0]);
+        b.iter(|| black_box(eval_query_worlds(&q, &worlds)))
+    });
+
+    group.bench_function("aggregate_count", |b| {
+        let q = Query::Rel(trig).aggregate(vec![], AggFun::Count, 0);
+        b.iter(|| black_box(eval_query_worlds(&q, &worlds)))
+    });
+
+    group.bench_with_input(
+        BenchmarkId::new("projection", worlds.len()),
+        &(),
+        |b, ()| b.iter(|| black_box(worlds.project_relations(|r| r == alarm))),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_pdb_queries);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! P5 — chase-policy overhead: exact enumeration of a fixed program under
+//! every policy (they compute the same table by Thm. 6.1; this measures
+//! only the selection overhead and the traversal order's effect on
+//! intermediate state).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdatalog_bench::burglary_program;
+use gdatalog_core::{Engine, ExactConfig, PolicyKind};
+use gdatalog_lang::SemanticsMode;
+use std::hint::black_box;
+
+fn bench_policies(c: &mut Criterion) {
+    let engine = Engine::from_source(&burglary_program(2), SemanticsMode::Grohe).expect("ok");
+    let mut group = c.benchmark_group("exact_by_policy");
+    group.sample_size(10);
+    for kind in [
+        PolicyKind::Canonical,
+        PolicyKind::Reverse,
+        PolicyKind::RoundRobin,
+        PolicyKind::Random { seed: 1 },
+        PolicyKind::DeterministicFirst,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    black_box(
+                        engine
+                            .enumerate_raw(None, kind, ExactConfig::default())
+                            .expect("ok"),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! P1 — distribution sampler throughput: nanoseconds per sample for every
+//! member of the standard family Ψ.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gdatalog_data::Value;
+use gdatalog_dist::Registry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_samplers(c: &mut Criterion) {
+    let registry = Registry::standard();
+    let cases: Vec<(&str, Vec<Value>)> = vec![
+        ("Flip", vec![Value::real(0.3)]),
+        (
+            "Categorical",
+            vec![
+                Value::sym("a"),
+                Value::real(1.0),
+                Value::sym("b"),
+                Value::real(2.0),
+            ],
+        ),
+        ("UniformInt", vec![Value::int(0), Value::int(99)]),
+        ("Binomial", vec![Value::int(40), Value::real(0.3)]),
+        ("Geometric", vec![Value::real(0.25)]),
+        ("Poisson(small λ)", vec![Value::real(3.0)]),
+        ("Poisson(large λ)", vec![Value::real(80.0)]),
+        ("Uniform", vec![Value::real(0.0), Value::real(1.0)]),
+        ("Normal", vec![Value::real(0.0), Value::real(1.0)]),
+        ("Exponential", vec![Value::real(1.5)]),
+        ("Gamma(k≥1)", vec![Value::real(3.0), Value::real(1.0)]),
+        ("Gamma(k<1)", vec![Value::real(0.4), Value::real(1.0)]),
+        ("Beta", vec![Value::real(2.0), Value::real(5.0)]),
+        ("LogNormal", vec![Value::real(0.0), Value::real(0.25)]),
+        ("Laplace", vec![Value::real(0.0), Value::real(1.0)]),
+    ];
+    let mut group = c.benchmark_group("samplers");
+    for (label, params) in cases {
+        let dist_name = label.split('(').next().expect("nonempty label").trim();
+        let dist = registry.get(dist_name).expect("registered").clone();
+        let mut rng = StdRng::seed_from_u64(1);
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(dist.sample(&params, &mut rng).expect("valid params")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_densities(c: &mut Criterion) {
+    let registry = Registry::standard();
+    let mut group = c.benchmark_group("densities");
+    let normal = registry.get("Normal").expect("registered").clone();
+    let params = [Value::real(0.0), Value::real(1.0)];
+    let x = Value::real(0.7);
+    group.bench_function("Normal pdf", |b| {
+        b.iter(|| black_box(normal.density(&params, &x).expect("ok")))
+    });
+    group.bench_function("Normal cdf", |b| {
+        b.iter(|| black_box(normal.cdf(&params, 0.7).expect("ok")))
+    });
+    let poisson = registry.get("Poisson").expect("registered").clone();
+    let lp = [Value::real(12.0)];
+    group.bench_function("Poisson pmf", |b| {
+        b.iter(|| black_box(poisson.density(&lp, &Value::int(9)).expect("ok")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers, bench_densities);
+criterion_main!(benches);

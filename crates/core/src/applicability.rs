@@ -1,0 +1,190 @@
+//! The applicable-pair set `App(D)` of §3.3: pairs `(φ̂, ā)` such that the
+//! instance satisfies the rule body under `ā` but not the head.
+//!
+//! For deterministic rules "head satisfied" means the instantiated head
+//! fact is present; for existential rules it means an auxiliary fact with
+//! the instantiated *key* already exists (the `∃y` in rule (3.A)) — which,
+//! combined with the induced FD of §3.5, realizes the sample-once
+//! discipline.
+
+use gdatalog_data::{Instance, Tuple, Value};
+use gdatalog_datalog::{for_each_body_match, InstanceIndex, Term as DlTerm};
+use gdatalog_lang::{CompiledProgram, CompiledRule, RuleKind};
+
+/// An applicable pair `(rule, ā)`: rule id plus the valuation of the
+/// rule's body variables (outcome variables of delivery rules are bound by
+/// the auxiliary body atom, so every body match binds all of them).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AppPair {
+    /// Index into [`CompiledProgram::rules`].
+    pub rule: usize,
+    /// Full valuation of the rule's variables, in variable order.
+    pub valuation: Tuple,
+}
+
+/// Evaluates a deterministic term under a valuation.
+pub(crate) fn eval_term(term: &DlTerm, valuation: &Tuple) -> Value {
+    match term {
+        DlTerm::Const(c) => c.clone(),
+        DlTerm::Var(v) => valuation[*v].clone(),
+    }
+}
+
+/// Evaluates a list of terms under a valuation.
+pub(crate) fn eval_terms(terms: &[DlTerm], valuation: &Tuple) -> Vec<Value> {
+    terms.iter().map(|t| eval_term(t, valuation)).collect()
+}
+
+/// Whether the head of `rule` is satisfied in `instance` under `valuation`
+/// (the `D ⊨ φ̂h(ā)` test of §3.3).
+pub fn head_satisfied(
+    rule: &CompiledRule,
+    valuation: &Tuple,
+    instance: &Instance,
+    index: &mut InstanceIndex<'_>,
+) -> bool {
+    match &rule.kind {
+        RuleKind::Deterministic { head } => {
+            let fact: Tuple = head
+                .args
+                .iter()
+                .map(|t| eval_term(t, valuation))
+                .collect();
+            instance.contains(head.rel, &fact)
+        }
+        RuleKind::Existential(e) => {
+            let key = eval_terms(&e.key_terms, valuation);
+            let key_cols: Vec<usize> = (0..key.len()).collect();
+            !index.probe(e.aux_rel, &key_cols, &key).is_empty()
+        }
+    }
+}
+
+/// Computes `App(D)` for the whole program, in canonical order (rule id,
+/// then valuation order). The canonical order makes chase policies
+/// well-defined *functions of the instance* — i.e. genuine selections of
+/// the multifunction `App` in the sense of Lemma 3.6(ii).
+pub fn applicable_pairs(program: &CompiledProgram, instance: &Instance) -> Vec<AppPair> {
+    let mut out: Vec<AppPair> = Vec::new();
+    let mut index = InstanceIndex::new(instance);
+    for rule in &program.rules {
+        let mut seen_start = out.len();
+        for_each_body_match(&rule.body, rule.n_vars, instance, &mut |binding| {
+            // Complete the binding into a total valuation; unbound slots
+            // (impossible for validated rules, but defensively) get Int(0).
+            let valuation: Tuple = binding
+                .iter()
+                .map(|b| b.clone().unwrap_or(Value::Int(0)))
+                .collect();
+            out.push(AppPair {
+                rule: rule.id,
+                valuation,
+            });
+        });
+        // Dedup repeated valuations (a body can match the same binding
+        // through different derivations) and drop head-satisfied pairs.
+        let tail = &mut out[seen_start..];
+        tail.sort();
+        let mut kept = seen_start;
+        for i in seen_start..out.len() {
+            let pair = out[i].clone();
+            if kept > seen_start && out[kept - 1] == pair {
+                continue;
+            }
+            if !head_satisfied(rule, &pair.valuation, instance, &mut index) {
+                out[kept] = pair;
+                kept += 1;
+            }
+        }
+        out.truncate(kept);
+        seen_start = kept;
+        let _ = seen_start;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdatalog_data::tuple;
+    use gdatalog_dist::Registry;
+    use gdatalog_lang::{parse_program, translate, validate, SemanticsMode};
+    use std::sync::Arc;
+
+    fn compile(src: &str) -> CompiledProgram {
+        let v = validate(parse_program(src).unwrap(), Arc::new(Registry::standard())).unwrap();
+        translate(&v, SemanticsMode::Grohe).unwrap()
+    }
+
+    #[test]
+    fn bodyless_rule_applicable_once() {
+        let prog = compile("R(Flip<0.5>) :- true.");
+        let app = applicable_pairs(&prog, &prog.initial_instance);
+        // Only the existential rule (3.A) is applicable: the delivery rule
+        // needs an aux fact.
+        assert_eq!(app.len(), 1);
+        assert_eq!(app[0].rule, 0);
+        assert_eq!(app[0].valuation, Tuple::empty());
+    }
+
+    #[test]
+    fn sample_once_blocks_refiring() {
+        let prog = compile("R(Flip<0.5>) :- true.");
+        let aux = prog.aux_relations[0];
+        let mut d = prog.initial_instance.clone();
+        d.insert(aux, tuple![0.5, 1i64]);
+        let app = applicable_pairs(&prog, &d);
+        // Existential rule now blocked; delivery rule applicable.
+        assert_eq!(app.len(), 1);
+        assert_eq!(app[0].rule, 1);
+        // After delivery fires, nothing is applicable.
+        let r = prog.catalog.require("R").unwrap();
+        d.insert(r, tuple![1i64]);
+        assert!(applicable_pairs(&prog, &d).is_empty());
+    }
+
+    #[test]
+    fn per_city_experiments() {
+        let prog = compile(
+            r#"
+            rel City(symbol, real) input.
+            City(gotham, 0.3).
+            City(metropolis, 0.2).
+            Earthquake(C, Flip<0.1>) :- City(C, R).
+        "#,
+        );
+        let app = applicable_pairs(&prog, &prog.initial_instance);
+        assert_eq!(app.len(), 2, "one experiment per city");
+        // Canonical order: valuations sorted.
+        assert!(app[0].valuation < app[1].valuation);
+    }
+
+    #[test]
+    fn deterministic_rule_blocked_by_existing_fact() {
+        let prog = compile(
+            r#"
+            Unit(H, C) :- House(H, C).
+            House(h1, gotham).
+        "#,
+        );
+        let app = applicable_pairs(&prog, &prog.initial_instance);
+        assert_eq!(app.len(), 1);
+        let mut d = prog.initial_instance.clone();
+        let unit = prog.catalog.require("Unit").unwrap();
+        d.insert(unit, tuple!["h1", "gotham"]);
+        assert!(applicable_pairs(&prog, &d).is_empty());
+    }
+
+    #[test]
+    fn duplicate_derivations_collapse() {
+        // Unit can be derived from two body atoms with the same binding.
+        let prog = compile(
+            r#"
+            P(X) :- Q(X), Q(X).
+            Q(1).
+        "#,
+        );
+        let app = applicable_pairs(&prog, &prog.initial_instance);
+        assert_eq!(app.len(), 1);
+    }
+}

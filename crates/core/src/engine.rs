@@ -1,0 +1,314 @@
+//! The user-facing engine: parse → validate → translate → evaluate.
+
+use std::fmt;
+use std::sync::Arc;
+
+use gdatalog_data::{DataError, Instance};
+use gdatalog_dist::{DistError, Registry};
+use gdatalog_lang::{
+    parse_program, translate, validate, CompiledProgram, LangError, Program, SemanticsMode,
+};
+use gdatalog_pdb::{EmpiricalPdb, PossibleWorlds};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::exact::{enumerate_parallel, enumerate_sequential, ExactConfig};
+use crate::mc::{sample_pdb, McConfig};
+use crate::policy::{ChasePolicy, PolicyKind};
+use crate::sequential::{run_sequential, ChaseRun};
+
+/// Errors from engine construction or evaluation.
+#[derive(Debug, Clone)]
+pub enum EngineError {
+    /// Language front-end error (syntax, validation, translation).
+    Lang(LangError),
+    /// Runtime distribution error (invalid parameters flowing from data).
+    Dist(DistError),
+    /// Data-model error.
+    Data(DataError),
+    /// Exact enumeration requested for a program using this continuous
+    /// distribution.
+    NotDiscrete(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Lang(e) => write!(f, "language error: {e}"),
+            EngineError::Dist(e) => write!(f, "distribution error: {e}"),
+            EngineError::Data(e) => write!(f, "data error: {e}"),
+            EngineError::NotDiscrete(d) => write!(
+                f,
+                "exact enumeration requires discrete distributions, found `{d}` \
+                 (use Monte-Carlo sampling instead)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<LangError> for EngineError {
+    fn from(e: LangError) -> Self {
+        EngineError::Lang(e)
+    }
+}
+impl From<DistError> for EngineError {
+    fn from(e: DistError) -> Self {
+        EngineError::Dist(e)
+    }
+}
+impl From<DataError> for EngineError {
+    fn from(e: DataError) -> Self {
+        EngineError::Data(e)
+    }
+}
+
+/// A compiled, ready-to-run GDatalog program.
+///
+/// ```
+/// use gdatalog_core::{Engine, ExactConfig};
+/// use gdatalog_lang::SemanticsMode;
+///
+/// let engine = Engine::from_source(
+///     "R(Flip<0.5>) :- true. R(Flip<0.5>) :- true.",
+///     SemanticsMode::Grohe,
+/// ).unwrap();
+/// let worlds = engine.enumerate(None, ExactConfig::default()).unwrap();
+/// // Example 1.1 of the paper: three worlds, probabilities 1/4, 1/4, 1/2.
+/// assert_eq!(worlds.len(), 3);
+/// ```
+pub struct Engine {
+    program: CompiledProgram,
+}
+
+impl Engine {
+    /// Compiles program text under the given semantics, with the standard
+    /// distribution family.
+    ///
+    /// # Errors
+    /// Syntax/validation/translation errors.
+    pub fn from_source(src: &str, mode: SemanticsMode) -> Result<Engine, EngineError> {
+        Engine::from_source_with_registry(src, mode, Arc::new(Registry::standard()))
+    }
+
+    /// Compiles program text against a custom distribution family Ψ.
+    ///
+    /// # Errors
+    /// Syntax/validation/translation errors.
+    pub fn from_source_with_registry(
+        src: &str,
+        mode: SemanticsMode,
+        registry: Arc<Registry>,
+    ) -> Result<Engine, EngineError> {
+        let ast = parse_program(src)?;
+        Engine::from_ast(ast, mode, registry)
+    }
+
+    /// Compiles an already-parsed AST.
+    ///
+    /// # Errors
+    /// Validation/translation errors.
+    pub fn from_ast(
+        ast: Program,
+        mode: SemanticsMode,
+        registry: Arc<Registry>,
+    ) -> Result<Engine, EngineError> {
+        let validated = validate(ast, registry)?;
+        let program = translate(&validated, mode)?;
+        Ok(Engine { program })
+    }
+
+    /// The compiled program (catalog, rules, analyses).
+    pub fn program(&self) -> &CompiledProgram {
+        &self.program
+    }
+
+    /// Merges the program's own ground facts with extra input facts.
+    fn full_input(&self, extra: Option<&Instance>) -> Instance {
+        match extra {
+            None => self.program.initial_instance.clone(),
+            Some(d) => self.program.initial_instance.union(d),
+        }
+    }
+
+    /// **Exact** evaluation: enumerates the chase tree of a discrete
+    /// program and returns the world table over the *output schema*
+    /// (auxiliary relations projected away, Remark 4.9).
+    ///
+    /// # Errors
+    /// [`EngineError::NotDiscrete`] for continuous programs.
+    pub fn enumerate(
+        &self,
+        input: Option<&Instance>,
+        config: ExactConfig,
+    ) -> Result<PossibleWorlds, EngineError> {
+        let mut policy = ChasePolicy::new(PolicyKind::Canonical, &[]);
+        let raw = enumerate_sequential(&self.program, &self.full_input(input), &mut policy, config)?;
+        Ok(raw.map(|d| self.program.project_output(d)))
+    }
+
+    /// Exact evaluation without the output projection (auxiliary
+    /// experiment relations retained).
+    ///
+    /// # Errors
+    /// Same as [`Engine::enumerate`].
+    pub fn enumerate_raw(
+        &self,
+        input: Option<&Instance>,
+        policy_kind: PolicyKind,
+        config: ExactConfig,
+    ) -> Result<PossibleWorlds, EngineError> {
+        let existential = self.existential_rule_ids();
+        let mut policy = ChasePolicy::new(policy_kind, &existential);
+        enumerate_sequential(&self.program, &self.full_input(input), &mut policy, config)
+    }
+
+    /// Exact evaluation via the **parallel** chase (Def. 5.2), projected to
+    /// the output schema. By Theorem 6.1 the result equals
+    /// [`Engine::enumerate`].
+    ///
+    /// # Errors
+    /// Same as [`Engine::enumerate`].
+    pub fn enumerate_parallel(
+        &self,
+        input: Option<&Instance>,
+        config: ExactConfig,
+    ) -> Result<PossibleWorlds, EngineError> {
+        let raw = enumerate_parallel(&self.program, &self.full_input(input), config)?;
+        Ok(raw.map(|d| self.program.project_output(d)))
+    }
+
+    /// **Monte-Carlo** evaluation: samples chase runs into an empirical
+    /// SPDB estimate (works for continuous programs).
+    ///
+    /// # Errors
+    /// Runtime distribution failures.
+    pub fn sample(
+        &self,
+        input: Option<&Instance>,
+        config: &McConfig,
+    ) -> Result<EmpiricalPdb, EngineError> {
+        sample_pdb(&self.program, &self.full_input(input), config)
+    }
+
+    /// Runs a single sequential chase (useful for traces and debugging).
+    ///
+    /// # Errors
+    /// Runtime distribution failures.
+    pub fn run_once(
+        &self,
+        input: Option<&Instance>,
+        policy_kind: PolicyKind,
+        seed: u64,
+        max_steps: usize,
+    ) -> Result<ChaseRun, EngineError> {
+        let existential = self.existential_rule_ids();
+        let mut policy = ChasePolicy::new(policy_kind, &existential);
+        let mut rng = StdRng::seed_from_u64(seed);
+        run_sequential(
+            &self.program,
+            &self.full_input(input),
+            &mut policy,
+            &mut rng,
+            max_steps,
+            true,
+        )
+        .map_err(EngineError::Dist)
+    }
+
+    /// Applies the program to a **probabilistic input** (Theorems 4.8, 5.5
+    /// and 6.2): the output SPDB is the probability-weighted mixture of the
+    /// outputs on each input world. Input worlds must range over the
+    /// extensional relations.
+    ///
+    /// # Errors
+    /// Same as [`Engine::enumerate`].
+    pub fn transform_worlds(
+        &self,
+        input: &PossibleWorlds,
+        config: ExactConfig,
+    ) -> Result<PossibleWorlds, EngineError> {
+        let mut parts = Vec::with_capacity(input.len());
+        for (world, p) in input.iter() {
+            parts.push((p, self.enumerate(Some(world), config)?));
+        }
+        let mut out = PossibleWorlds::mixture(parts);
+        // Input deficit passes through unchanged.
+        out.add_nontermination(input.deficit().nontermination);
+        out.add_truncation(input.deficit().truncation);
+        Ok(out)
+    }
+
+    fn existential_rule_ids(&self) -> Vec<usize> {
+        self.program
+            .rules
+            .iter()
+            .filter(|r| r.is_existential())
+            .map(|r| r.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdatalog_data::{tuple, Fact};
+
+    #[test]
+    fn facade_round_trip() {
+        let engine = Engine::from_source("R(Flip<0.25>) :- true.", SemanticsMode::Grohe).unwrap();
+        let worlds = engine.enumerate(None, ExactConfig::default()).unwrap();
+        assert_eq!(worlds.len(), 2);
+        let r = engine.program().catalog.require("R").unwrap();
+        let p = worlds.marginal(&Fact::new(r, tuple![1i64]));
+        assert!((p - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilistic_input_mixture() {
+        // Input: City present with prob 0.5 (a simple tuple-independent
+        // PDB); the output alarm probability is the mixture.
+        let engine = Engine::from_source(
+            r#"
+            rel City(symbol) input.
+            Quake(C, Flip<0.4>) :- City(C).
+        "#,
+            SemanticsMode::Grohe,
+        )
+        .unwrap();
+        let city = engine.program().catalog.require("City").unwrap();
+        let quake = engine.program().catalog.require("Quake").unwrap();
+        let mut with_city = Instance::new();
+        with_city.insert(city, tuple!["gotham"]);
+        let mut input = PossibleWorlds::new();
+        input.add(with_city, 0.5);
+        input.add(Instance::new(), 0.5);
+        let out = engine
+            .transform_worlds(&input, ExactConfig::default())
+            .unwrap();
+        assert!(out.mass_is_consistent(1e-12));
+        let p = out.marginal(&Fact::new(quake, tuple!["gotham", 1i64]));
+        assert!((p - 0.5 * 0.4).abs() < 1e-12, "p = {p}");
+    }
+
+    #[test]
+    fn run_once_produces_trace() {
+        let engine = Engine::from_source(
+            "R(Flip<0.5>) :- true. S(X) :- R(X).",
+            SemanticsMode::Grohe,
+        )
+        .unwrap();
+        let run = engine
+            .run_once(None, PolicyKind::Canonical, 11, 100)
+            .unwrap();
+        assert_eq!(run.trace.len(), run.steps);
+        assert!(run.steps >= 3, "sample, deliver, copy");
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        assert!(Engine::from_source("R(X :-", SemanticsMode::Grohe).is_err());
+        assert!(Engine::from_source("R(Zorp<1.0>) :- true.", SemanticsMode::Grohe).is_err());
+    }
+}

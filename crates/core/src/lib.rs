@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! # gdatalog-core
+//!
+//! The **probabilistic chase** of "Generative Datalog with Continuous
+//! Distributions" (Grohe, Kaminski, Katoen, Lindner; PODS 2020) — the
+//! paper's primary contribution, as an executable engine.
+//!
+//! A compiled GDatalog program (from `gdatalog-lang`) is run by repeatedly
+//! firing applicable rules of its associated existential Datalog program:
+//!
+//! * [`applicability`] — the applicable-pair set `App(D)` of §3.3;
+//! * [`policy`] — chase policies, the concrete counterparts of the paper's
+//!   *measurable selections* `app` of `App`;
+//! * [`sequential`] — sequential chase steps and runs (Def. 4.1);
+//! * [`parallel`] — parallel chase steps and runs (Def. 5.1), where **all**
+//!   applicable pairs fire simultaneously with independent samples;
+//! * [`kernel`] — the step functions `step_app` / `step_App` as Markov
+//!   kernels on the space of instances (Prop. 4.6 / 5.3), supporting both
+//!   path sampling and exact finite-support branching;
+//! * [`exact`] — exhaustive chase-tree enumeration producing an exact
+//!   [`gdatalog_pdb::PossibleWorlds`] table with rigorous sub-probability
+//!   mass accounting (the push-forward measure along `lim-inst`, §4.2);
+//! * [`tree`] — explicit chase trees with probability annotations and DOT
+//!   export (Figure 1 of the paper);
+//! * [`mc`] — Monte-Carlo path sampling of the Markov process, single- or
+//!   multi-threaded, producing [`gdatalog_pdb::EmpiricalPdb`] estimates;
+//! * [`engine`] — the user-facing facade tying everything together,
+//!   including the transformation of probabilistic *inputs*
+//!   (Theorems 4.8/5.5/6.2).
+
+pub mod applicability;
+pub mod engine;
+pub mod exact;
+pub mod kernel;
+pub mod mc;
+pub mod parallel;
+pub mod policy;
+pub mod saturate;
+pub mod sequential;
+pub mod tree;
+
+pub use applicability::{applicable_pairs, AppPair};
+pub use engine::{Engine, EngineError};
+pub use exact::{enumerate_parallel, enumerate_sequential, ExactConfig};
+pub use kernel::{ParallelKernel, SequentialKernel, StepKernel};
+pub use mc::{sample_pdb, ChaseVariant, McConfig};
+pub use policy::{ChasePolicy, PolicyKind};
+pub use saturate::run_saturating;
+pub use sequential::{run_sequential, ChaseRun, RunOutcome, TraceStep};
+pub use tree::{build_chase_tree, ChaseNode, ChaseTree};

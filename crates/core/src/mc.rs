@@ -1,0 +1,283 @@
+//! Monte-Carlo evaluation: sampling paths of the chase Markov process
+//! (§4.3/§5.2) to estimate the program's SPDB.
+//!
+//! This is the evaluation strategy for programs with **continuous**
+//! distributions, where the chase tree has uncountably many branches and
+//! only path sampling is available. Runs that exhaust the step budget are
+//! recorded as error-event observations (`err`, §4.2), so the empirical
+//! mass estimates the SPDB mass `α` of Def. 2.7.
+
+use gdatalog_data::Instance;
+use gdatalog_lang::CompiledProgram;
+use gdatalog_pdb::EmpiricalPdb;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::policy::{ChasePolicy, PolicyKind};
+use crate::sequential::{run_sequential, RunOutcome};
+use crate::EngineError;
+
+/// Which chase procedure drives each run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaseVariant {
+    /// Sequential chase under the given policy (Def. 4.1).
+    Sequential(PolicyKind),
+    /// Parallel chase (Def. 5.1).
+    Parallel,
+    /// Sequential chase with deterministic rules saturated by the
+    /// semi-naive Datalog engine between samples (same distribution by
+    /// Theorem 6.1; much faster on rule-heavy programs).
+    Saturating,
+}
+
+/// Monte-Carlo configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct McConfig {
+    /// Number of independent runs.
+    pub runs: usize,
+    /// Step budget per run (sequential steps or parallel rounds).
+    pub max_steps: usize,
+    /// Master seed; run `i` uses a deterministic derivation of it.
+    pub seed: u64,
+    /// Chase procedure.
+    pub variant: ChaseVariant,
+    /// Worker threads (1 = run on the calling thread).
+    pub threads: usize,
+    /// Whether to keep auxiliary relations in the sampled instances.
+    pub keep_aux: bool,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        McConfig {
+            runs: 10_000,
+            max_steps: 10_000,
+            seed: 0xC0FFEE,
+            variant: ChaseVariant::Sequential(PolicyKind::Canonical),
+            threads: 1,
+            keep_aux: false,
+        }
+    }
+}
+
+/// SplitMix64 finalizer: decorrelates per-run seeds from the master seed.
+fn derive_seed(master: u64, run: u64) -> u64 {
+    let mut z = master ^ run.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn run_range(
+    program: &CompiledProgram,
+    input: &Instance,
+    config: &McConfig,
+    lo: usize,
+    hi: usize,
+) -> Result<EmpiricalPdb, EngineError> {
+    let mut pdb = EmpiricalPdb::new();
+    let existential: Vec<usize> = program
+        .rules
+        .iter()
+        .filter(|r| r.is_existential())
+        .map(|r| r.id)
+        .collect();
+    for run_ix in lo..hi {
+        let seed = derive_seed(config.seed, run_ix as u64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let run = match config.variant {
+            ChaseVariant::Sequential(kind) => {
+                // Random policies get their own per-run stream.
+                let kind = match kind {
+                    PolicyKind::Random { seed: s } => PolicyKind::Random {
+                        seed: derive_seed(s, run_ix as u64),
+                    },
+                    other => other,
+                };
+                let mut policy = ChasePolicy::new(kind, &existential);
+                run_sequential(program, input, &mut policy, &mut rng, config.max_steps, false)
+                    .map_err(EngineError::Dist)?
+            }
+            ChaseVariant::Parallel => {
+                crate::parallel::run_parallel(program, input, &mut rng, config.max_steps, false)
+                    .map_err(EngineError::Dist)?
+            }
+            ChaseVariant::Saturating => {
+                crate::saturate::run_saturating(program, input, &mut rng, config.max_steps, false)
+                    .map_err(EngineError::Dist)?
+            }
+        };
+        match run.outcome {
+            RunOutcome::Terminated => {
+                let inst = if config.keep_aux {
+                    run.instance
+                } else {
+                    program.project_output(&run.instance)
+                };
+                pdb.push(inst);
+            }
+            RunOutcome::BudgetExhausted => pdb.push_error(),
+        }
+    }
+    Ok(pdb)
+}
+
+/// Draws `config.runs` independent chase runs and collects them into an
+/// [`EmpiricalPdb`]. With `config.threads > 1` the runs are split across
+/// crossbeam-scoped worker threads; results are bit-identical to the
+/// single-threaded execution because every run derives its own seed.
+///
+/// # Errors
+/// Propagates the first runtime distribution failure.
+pub fn sample_pdb(
+    program: &CompiledProgram,
+    input: &Instance,
+    config: &McConfig,
+) -> Result<EmpiricalPdb, EngineError> {
+    let threads = config.threads.max(1).min(config.runs.max(1));
+    if threads <= 1 {
+        return run_range(program, input, config, 0, config.runs);
+    }
+    let chunk = config.runs.div_ceil(threads);
+    let results = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(config.runs);
+            if lo >= hi {
+                break;
+            }
+            handles.push(scope.spawn(move |_| run_range(program, input, config, lo, hi)));
+        }
+        let mut parts = Vec::new();
+        for h in handles {
+            parts.push(h.join().expect("worker panicked"));
+        }
+        parts
+    })
+    .expect("crossbeam scope");
+    let mut merged = EmpiricalPdb::new();
+    for part in results {
+        merged.merge(part?);
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdatalog_data::tuple;
+    use gdatalog_dist::Registry;
+    use gdatalog_lang::{parse_program, translate, validate, SemanticsMode};
+    use std::sync::Arc;
+
+    fn compile(src: &str) -> CompiledProgram {
+        let v = validate(parse_program(src).unwrap(), Arc::new(Registry::standard())).unwrap();
+        translate(&v, SemanticsMode::Grohe).unwrap()
+    }
+
+    #[test]
+    fn flip_frequency_matches_bias() {
+        let prog = compile("R(Flip<0.3>) :- true.");
+        let cfg = McConfig {
+            runs: 20_000,
+            max_steps: 100,
+            seed: 42,
+            ..McConfig::default()
+        };
+        let pdb = sample_pdb(&prog, &prog.initial_instance, &cfg).unwrap();
+        assert_eq!(pdb.errors(), 0);
+        let r = prog.catalog.require("R").unwrap();
+        let f = gdatalog_data::Fact::new(r, tuple![1i64]);
+        let p = pdb.marginal(&f);
+        assert!((p - 0.3).abs() < 0.01, "p = {p}");
+        // Aux relations projected away by default.
+        assert!(pdb.samples()[0]
+            .populated_relations()
+            .all(|rel| prog.output_relations.contains(&rel)));
+    }
+
+    #[test]
+    fn multithreaded_equals_singlethreaded() {
+        let prog = compile(
+            r#"
+            rel City(symbol, real) input.
+            City(gotham, 0.3).
+            Earthquake(C, Flip<0.1>) :- City(C, R).
+        "#,
+        );
+        let base = McConfig {
+            runs: 2_000,
+            max_steps: 100,
+            seed: 7,
+            ..McConfig::default()
+        };
+        let single = sample_pdb(&prog, &prog.initial_instance, &base).unwrap();
+        let multi = sample_pdb(
+            &prog,
+            &prog.initial_instance,
+            &McConfig {
+                threads: 4,
+                ..base
+            },
+        )
+        .unwrap();
+        // Same per-run seeds → same multiset of outcomes.
+        assert_eq!(single.runs(), multi.runs());
+        let mut a = single.to_distribution();
+        let b = multi.to_distribution();
+        for (k, v) in &b {
+            let av = a.remove(k).unwrap_or(-1.0);
+            assert!((av - v).abs() < 1e-12);
+        }
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn budget_exhaustion_counts_as_error_mass() {
+        let prog = compile(
+            r#"
+            C(0.0).
+            C(Normal<V, 1.0>) :- C(V).
+        "#,
+        );
+        let cfg = McConfig {
+            runs: 50,
+            max_steps: 30,
+            seed: 1,
+            ..McConfig::default()
+        };
+        let pdb = sample_pdb(&prog, &prog.initial_instance, &cfg).unwrap();
+        assert_eq!(pdb.errors(), 50, "a.s. non-terminating program");
+        assert_eq!(pdb.mass(), 0.0);
+    }
+
+    #[test]
+    fn parallel_variant_agrees_on_marginals() {
+        let prog = compile("R(Flip<0.6>) :- true.");
+        let r = prog.catalog.require("R").unwrap();
+        let f = gdatalog_data::Fact::new(r, tuple![1i64]);
+        let seq = sample_pdb(
+            &prog,
+            &prog.initial_instance,
+            &McConfig {
+                runs: 20_000,
+                seed: 3,
+                ..McConfig::default()
+            },
+        )
+        .unwrap();
+        let par = sample_pdb(
+            &prog,
+            &prog.initial_instance,
+            &McConfig {
+                runs: 20_000,
+                seed: 4,
+                variant: ChaseVariant::Parallel,
+                ..McConfig::default()
+            },
+        )
+        .unwrap();
+        assert!((seq.marginal(&f) - par.marginal(&f)).abs() < 0.02);
+    }
+}

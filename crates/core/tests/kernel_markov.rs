@@ -1,0 +1,109 @@
+//! The Markov-process view (Prop. 4.6 / Cor. 4.7 / §4.3): iterating the
+//! step kernel's explicit transition measure from the Dirac distribution on
+//! `D₀` until absorption must reproduce the push-forward measure computed
+//! by exact enumeration — i.e. `lim-inst` of the Markov process *is* the
+//! program's SPDB.
+
+use std::collections::BTreeMap;
+
+use gdatalog_core::{
+    enumerate_sequential, ChasePolicy, Engine, ExactConfig, ParallelKernel, PolicyKind,
+    SequentialKernel, StepKernel,
+};
+use gdatalog_data::Instance;
+use gdatalog_lang::SemanticsMode;
+
+/// Distributes mass through `kernel` until every state is absorbing (or
+/// `max_rounds` is hit), returning the absorbed distribution.
+fn absorb(
+    kernel: &mut dyn StepKernel,
+    start: Instance,
+    max_rounds: usize,
+) -> BTreeMap<Instance, f64> {
+    let mut live: BTreeMap<Instance, f64> = BTreeMap::from([(start, 1.0)]);
+    let mut absorbed: BTreeMap<Instance, f64> = BTreeMap::new();
+    for _ in 0..max_rounds {
+        if live.is_empty() {
+            break;
+        }
+        let mut next: BTreeMap<Instance, f64> = BTreeMap::new();
+        for (state, p) in live {
+            match kernel
+                .branch_step(&state, ExactConfig::default())
+                .expect("discrete")
+            {
+                None => *absorbed.entry(state).or_insert(0.0) += p,
+                Some((children, truncated)) => {
+                    assert!(truncated < 1e-12, "finite supports only");
+                    for (child, q) in children {
+                        *next.entry(child).or_insert(0.0) += p * q;
+                    }
+                }
+            }
+        }
+        live = next;
+    }
+    assert!(live.is_empty(), "kernel did not absorb in time");
+    absorbed
+}
+
+fn check_program(src: &str) {
+    let engine = Engine::from_source(src, SemanticsMode::Grohe).expect("ok");
+    let program = engine.program();
+
+    // Reference: exact enumeration (raw, aux retained).
+    let mut policy = ChasePolicy::new(PolicyKind::Canonical, &[]);
+    let reference = enumerate_sequential(
+        program,
+        &program.initial_instance,
+        &mut policy,
+        ExactConfig::default(),
+    )
+    .expect("ok");
+
+    // Sequential kernel iterated to absorption.
+    let mut seq = SequentialKernel::new(program, ChasePolicy::new(PolicyKind::Canonical, &[]));
+    let seq_dist = absorb(&mut seq, program.initial_instance.clone(), 200);
+    assert_eq!(seq_dist.len(), reference.len(), "same support");
+    for (world, p) in &seq_dist {
+        let q = reference
+            .iter()
+            .find(|(d, _)| *d == world)
+            .map(|(_, q)| q)
+            .unwrap_or(0.0);
+        assert!((p - q).abs() < 1e-12, "world prob {p} vs {q}");
+    }
+
+    // Parallel kernel iterated to absorption gives the same distribution
+    // (Thm. 6.1 again, through the kernel API).
+    let mut par = ParallelKernel::new(program);
+    let par_dist = absorb(&mut par, program.initial_instance.clone(), 200);
+    let total: f64 = par_dist.values().sum();
+    assert!((total - 1.0).abs() < 1e-12);
+    for (world, p) in &par_dist {
+        let q = seq_dist.get(world).copied().unwrap_or(0.0);
+        assert!((p - q).abs() < 1e-12, "parallel vs sequential: {p} vs {q}");
+    }
+}
+
+#[test]
+fn kernel_iteration_reproduces_enumeration_single_flip() {
+    check_program("R(Flip<0.5>) :- true.");
+}
+
+#[test]
+fn kernel_iteration_reproduces_enumeration_two_coins() {
+    check_program("R(Flip<0.3>) :- true. S(Flip<0.7>) :- true. T(X) :- R(X), S(X).");
+}
+
+#[test]
+fn kernel_iteration_reproduces_enumeration_data_dependent() {
+    check_program(
+        r#"
+        rel City(symbol, real) input.
+        City(a, 0.5). City(b, 0.25).
+        Quake(C, Flip<R>) :- City(C, R).
+        Hit(C) :- Quake(C, 1).
+        "#,
+    );
+}

@@ -1,0 +1,70 @@
+//! Canonical text rendering of instances, used by snapshot tests and the
+//! experiment reports.
+
+use std::fmt::Write as _;
+
+use crate::instance::Instance;
+use crate::schema::Catalog;
+
+/// Renders an instance as one fact per line, in canonical (sorted) order:
+///
+/// ```text
+/// Alarm(h1).
+/// City(gotham, 0.3).
+/// ```
+///
+/// Two instances are equal iff their canonical texts are equal, which makes
+/// this a convenient stable key for golden tests and world tables.
+pub fn canonical_text(instance: &Instance, catalog: &Catalog) -> String {
+    let mut lines: Vec<String> = Vec::with_capacity(instance.len());
+    for fact in instance.facts() {
+        let mut line = String::new();
+        let _ = write!(line, "{}(", catalog.name(fact.rel));
+        for (i, v) in fact.tuple.values().iter().enumerate() {
+            if i > 0 {
+                line.push_str(", ");
+            }
+            let _ = write!(line, "{v}");
+        }
+        line.push_str(").");
+        lines.push(line);
+    }
+    // Facts iterate per RelId order; sort by rendered text for a
+    // name-based (catalog-independent) canonical order.
+    lines.sort();
+    let mut out = String::new();
+    for l in lines {
+        out.push_str(&l);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColType, RelationKind};
+    use crate::tuple;
+
+    #[test]
+    fn renders_sorted_facts() {
+        let mut cat = Catalog::new();
+        let b = cat
+            .declare_named("B", vec![ColType::Int], RelationKind::Intensional)
+            .unwrap();
+        let a = cat
+            .declare_named("A", vec![ColType::Symbol, ColType::Real], RelationKind::Extensional)
+            .unwrap();
+        let mut d = Instance::new();
+        d.insert(b, tuple![2i64]);
+        d.insert(a, tuple!["x", 0.5]);
+        d.insert(b, tuple![1i64]);
+        assert_eq!(canonical_text(&d, &cat), "A(x, 0.5).\nB(1).\nB(2).\n");
+    }
+
+    #[test]
+    fn empty_instance_renders_empty() {
+        let cat = Catalog::new();
+        assert_eq!(canonical_text(&Instance::new(), &cat), "");
+    }
+}

@@ -1,0 +1,160 @@
+//! Functional dependencies: the induced FDs `FD(φ̂)` of §3.5.
+//!
+//! For every existential rule `φ̂` with head relation `Ri(A1,…,Ak)`, the paper
+//! associates the dependency `Ri: A1,…,A_{k−1} → Ak` — "at most one value of
+//! the random attribute once all other attributes are fixed" — and
+//! Lemma 3.10 shows every instance reachable by the chase satisfies it.
+//! The engine uses [`FunctionalDependency::check`] as a runtime invariant in
+//! tests and debug assertions.
+
+use crate::instance::Instance;
+use crate::schema::RelId;
+use crate::tuple::Tuple;
+use std::collections::HashMap;
+
+/// A functional dependency `rel: lhs → rhs` on column indices.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FunctionalDependency {
+    /// The constrained relation.
+    pub rel: RelId,
+    /// Determinant column indices.
+    pub lhs: Vec<usize>,
+    /// Dependent column indices.
+    pub rhs: Vec<usize>,
+}
+
+/// A witness that an instance violates a [`FunctionalDependency`]: two
+/// tuples agreeing on `lhs` but disagreeing on `rhs`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FdViolation {
+    /// The violated dependency.
+    pub fd: FunctionalDependency,
+    /// First witness tuple.
+    pub first: Tuple,
+    /// Second witness tuple.
+    pub second: Tuple,
+}
+
+impl std::fmt::Display for FdViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "FD violation on relation {:?}: {} vs {} agree on {:?} but differ on {:?}",
+            self.fd.rel, self.first, self.second, self.fd.lhs, self.fd.rhs
+        )
+    }
+}
+
+impl FunctionalDependency {
+    /// `rel: lhs → rhs`.
+    pub fn new(rel: RelId, lhs: Vec<usize>, rhs: Vec<usize>) -> Self {
+        FunctionalDependency { rel, lhs, rhs }
+    }
+
+    /// The paper's shape (§3.5): all columns but the last determine the last.
+    pub fn last_column_of(rel: RelId, arity: usize) -> Self {
+        assert!(arity >= 1, "FD needs at least one column");
+        FunctionalDependency {
+            rel,
+            lhs: (0..arity - 1).collect(),
+            rhs: vec![arity - 1],
+        }
+    }
+
+    /// Checks `instance` against this dependency.
+    ///
+    /// # Errors
+    /// Returns the first violation found (in canonical tuple order).
+    pub fn check(&self, instance: &Instance) -> Result<(), FdViolation> {
+        let mut seen: HashMap<Tuple, &Tuple> = HashMap::new();
+        for t in instance.relation(self.rel) {
+            let key = t.project(&self.lhs);
+            match seen.get(&key) {
+                None => {
+                    seen.insert(key, t);
+                }
+                Some(prev) => {
+                    if prev.project(&self.rhs) != t.project(&self.rhs) {
+                        return Err(FdViolation {
+                            fd: self.clone(),
+                            first: (*prev).clone(),
+                            second: t.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks whether adding `tuple` to `instance` would violate the FD.
+    pub fn admits_insert(&self, instance: &Instance, tuple: &Tuple) -> bool {
+        let key = tuple.project(&self.lhs);
+        let rhs = tuple.project(&self.rhs);
+        instance
+            .relation(self.rel)
+            .iter()
+            .filter(|t| t.project(&self.lhs) == key)
+            .all(|t| t.project(&self.rhs) == rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn r(n: u32) -> RelId {
+        RelId(n)
+    }
+
+    #[test]
+    fn satisfied_fd() {
+        let mut d = Instance::new();
+        d.insert(r(0), tuple!["a", 1i64]);
+        d.insert(r(0), tuple!["b", 2i64]);
+        let fd = FunctionalDependency::last_column_of(r(0), 2);
+        assert!(fd.check(&d).is_ok());
+    }
+
+    #[test]
+    fn violated_fd_reports_witnesses() {
+        let mut d = Instance::new();
+        d.insert(r(0), tuple!["a", 1i64]);
+        d.insert(r(0), tuple!["a", 2i64]);
+        let fd = FunctionalDependency::last_column_of(r(0), 2);
+        let v = fd.check(&d).unwrap_err();
+        assert_eq!(v.first.project(&[0]), v.second.project(&[0]));
+        assert_ne!(v.first.project(&[1]), v.second.project(&[1]));
+    }
+
+    #[test]
+    fn admits_insert_respects_existing_rows() {
+        let mut d = Instance::new();
+        d.insert(r(0), tuple!["a", 1i64]);
+        let fd = FunctionalDependency::last_column_of(r(0), 2);
+        assert!(fd.admits_insert(&d, &tuple!["a", 1i64]), "same row is fine");
+        assert!(fd.admits_insert(&d, &tuple!["b", 9i64]));
+        assert!(!fd.admits_insert(&d, &tuple!["a", 2i64]));
+    }
+
+    #[test]
+    fn fd_on_other_relation_is_vacuous() {
+        let mut d = Instance::new();
+        d.insert(r(1), tuple!["a", 1i64]);
+        d.insert(r(1), tuple!["a", 2i64]);
+        let fd = FunctionalDependency::last_column_of(r(0), 2);
+        assert!(fd.check(&d).is_ok());
+    }
+
+    #[test]
+    fn arity_one_fd_means_at_most_one_fact() {
+        // With lhs = ∅, any two distinct tuples violate the FD.
+        let fd = FunctionalDependency::last_column_of(r(0), 1);
+        let mut d = Instance::new();
+        d.insert(r(0), tuple![1i64]);
+        assert!(fd.check(&d).is_ok());
+        d.insert(r(0), tuple![2i64]);
+        assert!(fd.check(&d).is_err());
+    }
+}

@@ -1,0 +1,98 @@
+#![warn(missing_docs)]
+
+//! # gdatalog-data
+//!
+//! The relational data model underlying the GDatalog engine: values with a
+//! total order (including reals), interned symbols, typed relation schemas,
+//! facts, **set-semantics** database instances, and functional dependencies.
+//!
+//! The paper ("Generative Datalog with Continuous Distributions", Grohe,
+//! Kaminski, Katoen, Lindner; PODS 2020) works with *standard probabilistic
+//! databases* whose sample space is the set of finite **set** instances over
+//! a schema with standard Borel attribute domains (§2.3). This crate is the
+//! concrete counterpart:
+//!
+//! * [`Value`] — an element of an attribute domain. Reals are wrapped in
+//!   [`F64`] so that every value is totally ordered and hashable, giving
+//!   instances a canonical form.
+//! * [`Catalog`] / [`RelationDecl`] — the database schema `S` (extensional
+//!   and intensional relations, plus the auxiliary `Ri` relations created by
+//!   the Datalog∃ translation of §3.2).
+//! * [`Fact`] and [`Instance`] — finite sets of facts; the space `D` of the
+//!   paper. All mutation is set-semantics (`insert` is idempotent).
+//! * [`FunctionalDependency`] — the induced FDs `FD(φ̂)` of §3.5, used to
+//!   validate the sample-once discipline (Lemma 3.10).
+
+pub mod dump;
+pub mod fd;
+pub mod instance;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use dump::canonical_text;
+pub use fd::{FdViolation, FunctionalDependency};
+pub use instance::{Fact, Instance};
+pub use schema::{Catalog, ColType, RelId, RelationDecl, RelationKind};
+pub use tuple::Tuple;
+pub use value::{F64, SymbolId, Value};
+
+/// Errors produced by the data layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A relation name was declared twice in a catalog.
+    DuplicateRelation(String),
+    /// A relation name was looked up but does not exist.
+    UnknownRelation(String),
+    /// A fact's arity does not match its relation declaration.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Declared arity.
+        expected: usize,
+        /// Arity of the offending tuple.
+        found: usize,
+    },
+    /// A fact's value does not inhabit the declared column type.
+    TypeMismatch {
+        /// Relation name.
+        relation: String,
+        /// Column index (0-based).
+        column: usize,
+        /// Declared column type.
+        expected: ColType,
+        /// The offending value.
+        found: Value,
+    },
+    /// A NaN was used where an ordered real is required.
+    NaNValue,
+}
+
+impl std::fmt::Display for DataError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataError::DuplicateRelation(n) => write!(f, "duplicate relation `{n}`"),
+            DataError::UnknownRelation(n) => write!(f, "unknown relation `{n}`"),
+            DataError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => write!(
+                f,
+                "arity mismatch for `{relation}`: expected {expected}, found {found}"
+            ),
+            DataError::TypeMismatch {
+                relation,
+                column,
+                expected,
+                found,
+            } => write!(
+                f,
+                "type mismatch for `{relation}` column {column}: expected {expected}, found {found}"
+            ),
+            DataError::NaNValue => write!(f, "NaN is not a valid ordered real value"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}

@@ -1,0 +1,321 @@
+//! Relation schemas: the database schema `S = I ∪ E` of the paper (§3.1),
+//! extended with the auxiliary relations `Ri` introduced by the Datalog∃
+//! translation (§3.2).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::DataError;
+
+/// Identifier of a relation inside a [`Catalog`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelId(pub u32);
+
+impl RelId {
+    /// Dense index for per-relation tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RelId({})", self.0)
+    }
+}
+
+/// The type of a relation column (an attribute domain).
+///
+/// All of these are standard Borel spaces, as the paper requires.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ColType {
+    /// Booleans.
+    Bool,
+    /// 64-bit integers (a countable discrete domain).
+    Int,
+    /// Reals.
+    Real,
+    /// Interned symbols (a countable discrete domain).
+    Symbol,
+    /// Strings.
+    Str,
+    /// Any value; used for columns whose type is not pinned down.
+    Any,
+}
+
+impl ColType {
+    /// Whether `v` inhabits this column type.
+    pub fn admits(self, v: &Value) -> bool {
+        match self {
+            ColType::Any => true,
+            // Ints embed into the reals: a Real column accepts Int values.
+            ColType::Real => matches!(v, Value::Real(_) | Value::Int(_)),
+            other => v.type_of() == other,
+        }
+    }
+
+    /// Least upper bound in the (flat + Any) type lattice, with the single
+    /// nontrivial join `Int ⊔ Real = Real`.
+    pub fn join(self, other: ColType) -> ColType {
+        use ColType::*;
+        match (self, other) {
+            (a, b) if a == b => a,
+            (Int, Real) | (Real, Int) => Real,
+            _ => Any,
+        }
+    }
+}
+
+impl fmt::Display for ColType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ColType::Bool => "bool",
+            ColType::Int => "int",
+            ColType::Real => "real",
+            ColType::Symbol => "symbol",
+            ColType::Str => "str",
+            ColType::Any => "any",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The role a relation plays in a GDatalog program.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RelationKind {
+    /// Extensional (input) relation — schema `E` of the paper.
+    Extensional,
+    /// Intensional (derived) relation — schema `I` of the paper.
+    Intensional,
+    /// Auxiliary `Ri` relation created by the Datalog∃ translation (§3.2).
+    /// These record the outcomes of sampling experiments and are projected
+    /// away from final results (Remark 4.9).
+    Auxiliary,
+}
+
+/// Declaration of one relation: name, column types, kind.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RelationDecl {
+    name: String,
+    cols: Vec<ColType>,
+    kind: RelationKind,
+}
+
+impl RelationDecl {
+    /// Creates a declaration.
+    pub fn new(name: impl Into<String>, cols: Vec<ColType>, kind: RelationKind) -> Self {
+        RelationDecl {
+            name: name.into(),
+            cols,
+            kind,
+        }
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+    /// Column types.
+    pub fn cols(&self) -> &[ColType] {
+        &self.cols
+    }
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+    /// Relation kind.
+    pub fn kind(&self) -> RelationKind {
+        self.kind
+    }
+}
+
+/// A database schema: an ordered collection of relation declarations.
+///
+/// `Catalog` is append-only; [`RelId`]s are stable once assigned.
+#[derive(Clone, Default, Debug)]
+pub struct Catalog {
+    rels: Vec<RelationDecl>,
+    by_name: HashMap<String, RelId>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Adds a relation declaration.
+    ///
+    /// # Errors
+    /// [`DataError::DuplicateRelation`] if the name is already declared.
+    pub fn declare(&mut self, decl: RelationDecl) -> Result<RelId, DataError> {
+        if self.by_name.contains_key(decl.name()) {
+            return Err(DataError::DuplicateRelation(decl.name().to_string()));
+        }
+        let id = RelId(u32::try_from(self.rels.len()).expect("catalog overflow"));
+        self.by_name.insert(decl.name().to_string(), id);
+        self.rels.push(decl);
+        Ok(id)
+    }
+
+    /// Convenience wrapper around [`Catalog::declare`].
+    pub fn declare_named(
+        &mut self,
+        name: &str,
+        cols: Vec<ColType>,
+        kind: RelationKind,
+    ) -> Result<RelId, DataError> {
+        self.declare(RelationDecl::new(name, cols, kind))
+    }
+
+    /// Looks a relation up by name.
+    pub fn resolve(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Looks a relation up by name, with an error on failure.
+    pub fn require(&self, name: &str) -> Result<RelId, DataError> {
+        self.resolve(name)
+            .ok_or_else(|| DataError::UnknownRelation(name.to_string()))
+    }
+
+    /// The declaration of `rel`.
+    ///
+    /// # Panics
+    /// Panics if `rel` does not belong to this catalog.
+    pub fn decl(&self, rel: RelId) -> &RelationDecl {
+        &self.rels[rel.index()]
+    }
+
+    /// The name of `rel`.
+    pub fn name(&self, rel: RelId) -> &str {
+        self.decl(rel).name()
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rels.is_empty()
+    }
+
+    /// Iterates over `(RelId, &RelationDecl)` in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (RelId, &RelationDecl)> {
+        self.rels
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (RelId(i as u32), d))
+    }
+
+    /// All relations of a given kind.
+    pub fn of_kind(&self, kind: RelationKind) -> Vec<RelId> {
+        self.iter()
+            .filter(|(_, d)| d.kind() == kind)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Validates that `tuple` fits relation `rel` (arity and column types).
+    pub fn check_tuple(&self, rel: RelId, tuple: &Tuple) -> Result<(), DataError> {
+        let decl = self.decl(rel);
+        if tuple.arity() != decl.arity() {
+            return Err(DataError::ArityMismatch {
+                relation: decl.name().to_string(),
+                expected: decl.arity(),
+                found: tuple.arity(),
+            });
+        }
+        for (i, (ty, v)) in decl.cols().iter().zip(tuple.values()).enumerate() {
+            if !ty.admits(v) {
+                return Err(DataError::TypeMismatch {
+                    relation: decl.name().to_string(),
+                    column: i,
+                    expected: *ty,
+                    found: v.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn demo_catalog() -> (Catalog, RelId) {
+        let mut cat = Catalog::new();
+        let city = cat
+            .declare_named(
+                "City",
+                vec![ColType::Symbol, ColType::Real],
+                RelationKind::Extensional,
+            )
+            .unwrap();
+        (cat, city)
+    }
+
+    #[test]
+    fn declare_and_resolve() {
+        let (cat, city) = demo_catalog();
+        assert_eq!(cat.resolve("City"), Some(city));
+        assert_eq!(cat.resolve("Town"), None);
+        assert_eq!(cat.name(city), "City");
+        assert_eq!(cat.decl(city).arity(), 2);
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let (mut cat, _) = demo_catalog();
+        let err = cat
+            .declare_named("City", vec![ColType::Int], RelationKind::Intensional)
+            .unwrap_err();
+        assert_eq!(err, DataError::DuplicateRelation("City".into()));
+    }
+
+    #[test]
+    fn tuple_checking() {
+        let (cat, city) = demo_catalog();
+        assert!(cat.check_tuple(city, &tuple!["gotham", 0.3]).is_ok());
+        // Int embeds into Real columns.
+        assert!(cat.check_tuple(city, &tuple!["gotham", 1i64]).is_ok());
+        assert!(matches!(
+            cat.check_tuple(city, &tuple!["gotham"]),
+            Err(DataError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            cat.check_tuple(city, &tuple![1i64, 0.3]),
+            Err(DataError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn type_join() {
+        assert_eq!(ColType::Int.join(ColType::Real), ColType::Real);
+        assert_eq!(ColType::Int.join(ColType::Int), ColType::Int);
+        assert_eq!(ColType::Bool.join(ColType::Symbol), ColType::Any);
+    }
+
+    #[test]
+    fn kinds_filtering() {
+        let mut cat = Catalog::new();
+        cat.declare_named("E", vec![ColType::Int], RelationKind::Extensional)
+            .unwrap();
+        let i = cat
+            .declare_named("I", vec![ColType::Int], RelationKind::Intensional)
+            .unwrap();
+        let a = cat
+            .declare_named("A", vec![ColType::Int], RelationKind::Auxiliary)
+            .unwrap();
+        assert_eq!(cat.of_kind(RelationKind::Intensional), vec![i]);
+        assert_eq!(cat.of_kind(RelationKind::Auxiliary), vec![a]);
+        assert_eq!(cat.len(), 3);
+    }
+}

@@ -1,0 +1,402 @@
+//! Attribute values: booleans, integers, ordered reals, interned symbols and
+//! strings.
+//!
+//! The paper assumes every attribute domain is a standard Borel space; the
+//! concrete domains offered here (ℤ, ℝ, finite symbol sets, strings, booleans)
+//! all are. What the implementation additionally needs — and the paper gets
+//! "for free" from descriptive set theory — is a *canonical total order* on
+//! values so that instances (finite sets of facts) have a canonical
+//! representation and can themselves be compared, hashed and deduplicated.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use std::sync::OnceLock;
+
+use crate::DataError;
+
+/// A totally ordered, hashable wrapper around `f64`.
+///
+/// Ordering is [`f64::total_cmp`]; `-0.0` is normalized to `0.0` on
+/// construction and NaN is rejected, so `Eq`/`Ord`/`Hash` are consistent and
+/// every `F64` is a genuine point of ℝ. Infinities are allowed (they are
+/// useful as interval endpoints in measurable-set descriptions).
+#[derive(Clone, Copy)]
+pub struct F64(f64);
+
+impl F64 {
+    /// Wraps a finite-or-infinite float, normalizing `-0.0` to `0.0`.
+    ///
+    /// # Errors
+    /// Returns [`DataError::NaNValue`] if `x` is NaN.
+    pub fn new(x: f64) -> Result<Self, DataError> {
+        if x.is_nan() {
+            return Err(DataError::NaNValue);
+        }
+        Ok(F64(if x == 0.0 { 0.0 } else { x }))
+    }
+
+    /// Wraps a float, panicking on NaN. Convenient in tests and literals.
+    ///
+    /// # Panics
+    /// Panics if `x` is NaN.
+    pub fn from_finite(x: f64) -> Self {
+        Self::new(x).expect("NaN is not a valid F64")
+    }
+
+    /// The underlying float.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl PartialEq for F64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+impl Eq for F64 {}
+
+impl PartialOrd for F64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for F64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl std::hash::Hash for F64 {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl fmt::Debug for F64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+impl fmt::Display for F64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // `{:?}` on f64 prints the shortest string that round-trips.
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<F64> for f64 {
+    fn from(v: F64) -> f64 {
+        v.0
+    }
+}
+
+/// An interned symbol (an element of a countable constant domain).
+///
+/// Symbols are process-global: two `SymbolId`s are equal iff their text is
+/// equal. Interning keeps `Value` small and makes symbol comparison O(1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SymbolId(u32);
+
+struct Interner {
+    names: Vec<Arc<str>>,
+    by_name: HashMap<Arc<str>, u32>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            names: Vec::new(),
+            by_name: HashMap::new(),
+        })
+    })
+}
+
+impl SymbolId {
+    /// Interns `name`, returning its id. Idempotent.
+    pub fn intern(name: &str) -> SymbolId {
+        {
+            let g = interner().read();
+            if let Some(&id) = g.by_name.get(name) {
+                return SymbolId(id);
+            }
+        }
+        let mut g = interner().write();
+        if let Some(&id) = g.by_name.get(name) {
+            return SymbolId(id);
+        }
+        let id = u32::try_from(g.names.len()).expect("symbol table overflow");
+        let arc: Arc<str> = Arc::from(name);
+        g.names.push(arc.clone());
+        g.by_name.insert(arc, id);
+        SymbolId(id)
+    }
+
+    /// The symbol's text.
+    pub fn as_str(self) -> Arc<str> {
+        interner().read().names[self.0 as usize].clone()
+    }
+
+    /// Raw id (useful for dense per-symbol tables).
+    #[inline]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl PartialOrd for SymbolId {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for SymbolId {
+    /// Symbols are ordered by *text*, not by interning order, so that
+    /// canonical instance ordering does not depend on interning history.
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.0 == other.0 {
+            return Ordering::Equal;
+        }
+        self.as_str().cmp(&other.as_str())
+    }
+}
+
+impl fmt::Debug for SymbolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+impl fmt::Display for SymbolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// A single attribute value.
+///
+/// The variant order defines the canonical cross-type order used when
+/// instances are canonicalized: `Bool < Int < Real < Sym < Str`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit integer.
+    Int(i64),
+    /// An ordered real (see [`F64`]).
+    Real(F64),
+    /// An interned symbol constant.
+    Sym(SymbolId),
+    /// An arbitrary string.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Convenience constructor for reals.
+    ///
+    /// # Panics
+    /// Panics if `x` is NaN.
+    pub fn real(x: f64) -> Value {
+        Value::Real(F64::from_finite(x))
+    }
+
+    /// Convenience constructor for integers.
+    pub fn int(x: i64) -> Value {
+        Value::Int(x)
+    }
+
+    /// Convenience constructor for interned symbols.
+    pub fn sym(name: &str) -> Value {
+        Value::Sym(SymbolId::intern(name))
+    }
+
+    /// Convenience constructor for strings.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Arc::from(s))
+    }
+
+    /// The column type this value inhabits.
+    pub fn type_of(&self) -> crate::schema::ColType {
+        use crate::schema::ColType;
+        match self {
+            Value::Bool(_) => ColType::Bool,
+            Value::Int(_) => ColType::Int,
+            Value::Real(_) => ColType::Real,
+            Value::Sym(_) => ColType::Symbol,
+            Value::Str(_) => ColType::Str,
+        }
+    }
+
+    /// Extracts an `f64` if this value is numeric (`Int` or `Real`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Real(r) => Some(r.get()),
+            _ => None,
+        }
+    }
+
+    /// Extracts an `i64` if this value is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Real(r) => write!(f, "{r}"),
+            Value::Sym(s) => write!(f, "{s}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+impl From<f64> for Value {
+    fn from(x: f64) -> Value {
+        Value::real(x)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::sym(s)
+    }
+}
+
+#[cfg(feature = "serde")]
+mod serde_impls {
+    use super::*;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    impl Serialize for F64 {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_f64(self.0)
+        }
+    }
+    impl<'de> Deserialize<'de> for F64 {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            let x = f64::deserialize(d)?;
+            F64::new(x).map_err(serde::de::Error::custom)
+        }
+    }
+    impl Serialize for SymbolId {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_str(&self.as_str())
+        }
+    }
+    impl<'de> Deserialize<'de> for SymbolId {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            let s = String::deserialize(d)?;
+            Ok(SymbolId::intern(&s))
+        }
+    }
+    impl Serialize for Value {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            match self {
+                Value::Bool(b) => b.serialize(s),
+                Value::Int(i) => i.serialize(s),
+                Value::Real(r) => r.serialize(s),
+                Value::Sym(sym) => sym.serialize(s),
+                Value::Str(st) => st.serialize(s),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_rejects_nan() {
+        assert_eq!(F64::new(f64::NAN), Err(DataError::NaNValue));
+    }
+
+    #[test]
+    fn f64_normalizes_negative_zero() {
+        let a = F64::from_finite(0.0);
+        let b = F64::from_finite(-0.0);
+        assert_eq!(a, b);
+        assert_eq!(a.cmp(&b), Ordering::Equal);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+    }
+
+    #[test]
+    fn f64_total_order_includes_infinities() {
+        let lo = F64::from_finite(f64::NEG_INFINITY);
+        let hi = F64::from_finite(f64::INFINITY);
+        let mid = F64::from_finite(1.5);
+        assert!(lo < mid && mid < hi);
+    }
+
+    #[test]
+    fn symbols_intern_and_compare_by_text() {
+        let a = SymbolId::intern("zebra");
+        let b = SymbolId::intern("aardvark");
+        let a2 = SymbolId::intern("zebra");
+        assert_eq!(a, a2);
+        assert!(b < a, "symbol order must follow text order");
+        assert_eq!(&*a.as_str(), "zebra");
+    }
+
+    #[test]
+    fn value_cross_type_order_is_stable() {
+        let vals = [
+            Value::Bool(true),
+            Value::Int(3),
+            Value::real(2.5),
+            Value::sym("x"),
+            Value::str("y"),
+        ];
+        for w in vals.windows(2) {
+            assert!(w[0] < w[1], "{} should sort before {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn value_display_round_trips_reals() {
+        assert_eq!(Value::real(0.1).to_string(), "0.1");
+        assert_eq!(Value::real(1.0).to_string(), "1.0");
+        assert_eq!(Value::int(1).to_string(), "1");
+    }
+
+    #[test]
+    fn value_numeric_extraction() {
+        assert_eq!(Value::int(7).as_f64(), Some(7.0));
+        assert_eq!(Value::real(0.25).as_f64(), Some(0.25));
+        assert_eq!(Value::sym("a").as_f64(), None);
+        assert_eq!(Value::int(7).as_i64(), Some(7));
+        assert_eq!(Value::real(7.0).as_i64(), None);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the data model: ordering laws, set-semantics
+//! laws, canonical-form stability.
+
+use proptest::prelude::*;
+
+use gdatalog_data::{Catalog, ColType, Fact, Instance, RelId, RelationKind, Tuple, Value};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Finite floats only; NaN is rejected by construction.
+        (-1.0e12f64..1.0e12).prop_map(Value::real),
+        "[a-z][a-z0-9]{0,6}".prop_map(|s| Value::sym(&s)),
+        "[ -~]{0,8}".prop_map(|s| Value::str(&s)),
+    ]
+}
+
+fn arb_tuple() -> impl Strategy<Value = Tuple> {
+    proptest::collection::vec(arb_value(), 0..4).prop_map(Tuple::from)
+}
+
+fn arb_fact() -> impl Strategy<Value = Fact> {
+    (0u32..4, arb_tuple()).prop_map(|(r, t)| Fact::new(RelId(r), t))
+}
+
+proptest! {
+    #[test]
+    fn value_order_is_total_and_antisymmetric(a in arb_value(), b in arb_value()) {
+        use std::cmp::Ordering::*;
+        match a.cmp(&b) {
+            Less => prop_assert_eq!(b.cmp(&a), Greater),
+            Greater => prop_assert_eq!(b.cmp(&a), Less),
+            Equal => {
+                prop_assert_eq!(&a, &b);
+                prop_assert_eq!(b.cmp(&a), Equal);
+            }
+        }
+    }
+
+    #[test]
+    fn value_order_is_transitive(mut vs in proptest::collection::vec(arb_value(), 3)) {
+        vs.sort();
+        prop_assert!(vs[0] <= vs[1] && vs[1] <= vs[2] && vs[0] <= vs[2]);
+    }
+
+    #[test]
+    fn instance_insert_is_idempotent(facts in proptest::collection::vec(arb_fact(), 0..20)) {
+        let once = Instance::from_facts(facts.clone());
+        let twice = Instance::from_facts(facts.iter().cloned().chain(facts.iter().cloned()));
+        prop_assert_eq!(&once, &twice);
+        prop_assert_eq!(once.len(), once.facts().count());
+    }
+
+    #[test]
+    fn instance_equality_is_insertion_order_independent(
+        facts in proptest::collection::vec(arb_fact(), 0..20),
+        seed in any::<u64>(),
+    ) {
+        let fwd = Instance::from_facts(facts.clone());
+        // Deterministic shuffle driven by `seed`.
+        let mut shuffled = facts;
+        let mut state = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let rev = Instance::from_facts(shuffled);
+        prop_assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn union_is_commutative_and_idempotent(
+        a in proptest::collection::vec(arb_fact(), 0..12),
+        b in proptest::collection::vec(arb_fact(), 0..12),
+    ) {
+        let da = Instance::from_facts(a);
+        let db = Instance::from_facts(b);
+        prop_assert_eq!(da.union(&db), db.union(&da));
+        prop_assert_eq!(da.union(&da), da.clone());
+        prop_assert!(da.is_subset_of(&da.union(&db)));
+    }
+
+    #[test]
+    fn canonical_text_is_a_complete_invariant(
+        a in proptest::collection::vec(arb_fact(), 0..10),
+        b in proptest::collection::vec(arb_fact(), 0..10),
+    ) {
+        let mut cat = Catalog::new();
+        for i in 0..4 {
+            cat.declare_named(&format!("R{i}"), vec![ColType::Any; 4], RelationKind::Intensional)
+                .unwrap();
+        }
+        let da = Instance::from_facts(a);
+        let db = Instance::from_facts(b);
+        let ta = gdatalog_data::canonical_text(&da, &cat);
+        let tb = gdatalog_data::canonical_text(&db, &cat);
+        prop_assert_eq!(da == db, ta == tb);
+    }
+
+    #[test]
+    fn tuple_project_preserves_values(t in arb_tuple()) {
+        let all: Vec<usize> = (0..t.arity()).collect();
+        prop_assert_eq!(t.project(&all), t.clone());
+        if t.arity() > 0 {
+            let first = t.project(&[0]);
+            prop_assert_eq!(first.values()[0].clone(), t[0].clone());
+        }
+    }
+}

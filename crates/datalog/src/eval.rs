@@ -1,0 +1,509 @@
+//! Bottom-up fixpoint evaluation: naive and semi-naive.
+
+use gdatalog_data::{Instance, Tuple, Value};
+
+use crate::index::InstanceIndex;
+use crate::rule::{Atom, DatalogProgram, DatalogRule, Term};
+
+/// Statistics from a fixpoint run (for benches and ablation reports).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Number of fixpoint iterations.
+    pub iterations: usize,
+    /// Facts derived (inserted) beyond the input.
+    pub derived_facts: usize,
+    /// Rule instantiations considered (successful matches).
+    pub matches: usize,
+}
+
+/// A pre-analyzed body atom: which columns are probe keys given the atoms
+/// to its left, and which columns bind fresh variables.
+struct AtomPlan<'r> {
+    atom: &'r Atom,
+    /// Columns whose value is known before matching this atom.
+    key_cols: Vec<usize>,
+    /// For each key column, how to obtain the value.
+    key_terms: Vec<&'r Term>,
+    /// `(column, var)` pairs that bind fresh variables (first occurrence).
+    binds: Vec<(usize, usize)>,
+    /// `(column, var)` pairs that must re-check within-atom repeats.
+    checks: Vec<(usize, usize)>,
+}
+
+fn plan_rule(rule: &DatalogRule) -> Vec<AtomPlan<'_>> {
+    plan_body(&rule.body, rule.n_vars)
+}
+
+fn plan_body(body: &[Atom], n_vars: usize) -> Vec<AtomPlan<'_>> {
+    let mut bound = vec![false; n_vars];
+    body.iter()
+        .map(|atom| {
+            let mut key_cols = Vec::new();
+            let mut key_terms = Vec::new();
+            let mut binds = Vec::new();
+            let mut checks = Vec::new();
+            let mut bound_here: Vec<usize> = Vec::new();
+            for (c, t) in atom.args.iter().enumerate() {
+                match t {
+                    Term::Const(_) => {
+                        key_cols.push(c);
+                        key_terms.push(t);
+                    }
+                    Term::Var(v) => {
+                        if bound[*v] {
+                            key_cols.push(c);
+                            key_terms.push(t);
+                        } else if bound_here.contains(v) {
+                            checks.push((c, *v));
+                        } else {
+                            binds.push((c, *v));
+                            bound_here.push(*v);
+                        }
+                    }
+                }
+            }
+            for v in bound_here {
+                bound[v] = true;
+            }
+            AtomPlan {
+                atom,
+                key_cols,
+                key_terms,
+                binds,
+                checks,
+            }
+        })
+        .collect()
+}
+
+/// Matches the body of `rule` against `index`, optionally forcing atom
+/// `delta_pos` to match inside `delta` instead (semi-naive restriction).
+/// Calls `emit` with the complete binding for every match.
+fn match_body<'a>(
+    plans: &[AtomPlan<'_>],
+    index: &mut InstanceIndex<'a>,
+    delta: Option<(usize, &mut InstanceIndex<'a>)>,
+    n_vars: usize,
+    emit: &mut dyn FnMut(&[Option<Value>]),
+) {
+    let mut binding: Vec<Option<Value>> = vec![None; n_vars];
+    let (delta_pos, mut delta_index) = match delta {
+        Some((p, ix)) => (Some(p), Some(ix)),
+        None => (None, None),
+    };
+    // Depth-first join over body atoms. An explicit stack of tuple cursors
+    // avoids recursion so the hot loop has no call overhead.
+    struct Frame {
+        tuples: Vec<Tuple>,
+        next: usize,
+    }
+    let mut stack: Vec<Frame> = Vec::with_capacity(plans.len());
+
+    // Obtain the candidate tuples for plan `depth` under current binding.
+    fn candidates<'a>(
+        plan: &AtomPlan<'_>,
+        binding: &[Option<Value>],
+        index: &mut InstanceIndex<'a>,
+    ) -> Vec<Tuple> {
+        let key: Vec<Value> = plan
+            .key_terms
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => c.clone(),
+                Term::Var(v) => binding[*v].clone().expect("planned var must be bound"),
+            })
+            .collect();
+        index.probe(plan.atom.rel, &plan.key_cols, &key).to_vec()
+    }
+
+    if plans.is_empty() {
+        emit(&binding);
+        return;
+    }
+
+    let first = if delta_pos == Some(0) {
+        let ix = delta_index.as_deref_mut().expect("delta index present");
+        candidates(&plans[0], &binding, ix)
+    } else {
+        candidates(&plans[0], &binding, index)
+    };
+    stack.push(Frame {
+        tuples: first,
+        next: 0,
+    });
+
+    while let Some(depth) = stack.len().checked_sub(1) {
+        let frame = stack.last_mut().expect("nonempty stack");
+        if frame.next >= frame.tuples.len() {
+            // Exhausted: undo bindings of this depth and pop.
+            stack.pop();
+            if let Some(prev_depth) = stack.len().checked_sub(1) {
+                let _ = prev_depth;
+            }
+            // Unbind variables bound at this depth.
+            for (_, v) in &plans[depth].binds {
+                binding[*v] = None;
+            }
+            continue;
+        }
+        let tuple = frame.tuples[frame.next].clone();
+        frame.next += 1;
+
+        // Unbind (in case a previous tuple at this depth bound them).
+        for (_, v) in &plans[depth].binds {
+            binding[*v] = None;
+        }
+        // Bind fresh variables.
+        for (c, v) in &plans[depth].binds {
+            binding[*v] = Some(tuple[*c].clone());
+        }
+        // Within-atom repeat checks.
+        let ok = plans[depth]
+            .checks
+            .iter()
+            .all(|(c, v)| binding[*v].as_ref() == Some(&tuple[*c]));
+        if !ok {
+            continue;
+        }
+
+        if depth + 1 == plans.len() {
+            emit(&binding);
+            // Keep current frame; unbinding happens on next tuple/pop.
+            continue;
+        }
+
+        let next_tuples = if delta_pos == Some(depth + 1) {
+            let ix = delta_index.as_deref_mut().expect("delta index present");
+            candidates(&plans[depth + 1], &binding, ix)
+        } else {
+            candidates(&plans[depth + 1], &binding, index)
+        };
+        stack.push(Frame {
+            tuples: next_tuples,
+            next: 0,
+        });
+    }
+}
+
+/// Enumerates all matches of a conjunctive body against `instance`,
+/// invoking `emit` with the complete variable binding for each match.
+///
+/// This is the single-rule matching primitive the probabilistic chase uses
+/// to compute the applicable pairs `App(D)` (§3.3 of the paper): the body
+/// matches produced here are the candidate valuations `ā`, which the chase
+/// then filters by the head-unsatisfied condition.
+///
+/// Variables not occurring in the body are left `None` in the binding.
+pub fn for_each_body_match(
+    body: &[Atom],
+    n_vars: usize,
+    instance: &Instance,
+    emit: &mut dyn FnMut(&[Option<Value>]),
+) {
+    let plans = plan_body(body, n_vars);
+    let mut index = InstanceIndex::new(instance);
+    match_body(&plans, &mut index, None, n_vars, emit);
+}
+
+/// Naive bottom-up evaluation: applies all rules to the whole instance
+/// until nothing new is derived. Returns the least fixpoint extension of
+/// `input` and evaluation statistics.
+pub fn fixpoint_naive(program: &DatalogProgram, input: &Instance) -> (Instance, EvalStats) {
+    let mut stats = EvalStats::default();
+    let mut current = input.clone();
+    loop {
+        stats.iterations += 1;
+        let mut new_facts: Vec<(gdatalog_data::RelId, Tuple)> = Vec::new();
+        {
+            let mut index = InstanceIndex::new(&current);
+            for rule in &program.rules {
+                let plans = plan_rule(rule);
+                let mut emit = |binding: &[Option<Value>]| {
+                    stats.matches += 1;
+                    let head = rule.head.instantiate(binding);
+                    new_facts.push((rule.head.rel, head));
+                };
+                match_body(&plans, &mut index, None, rule.n_vars, &mut emit);
+            }
+        }
+        let mut changed = false;
+        for (rel, t) in new_facts {
+            if current.insert(rel, t) {
+                stats.derived_facts += 1;
+                changed = true;
+            }
+        }
+        if !changed {
+            return (current, stats);
+        }
+    }
+}
+
+/// Semi-naive bottom-up evaluation: after the first round, rules only fire
+/// on instantiations that touch at least one *newly derived* fact.
+pub fn fixpoint_seminaive(program: &DatalogProgram, input: &Instance) -> (Instance, EvalStats) {
+    let mut stats = EvalStats::default();
+    let mut current = input.clone();
+
+    // Round 0: all rules against the input (this also fires body-less rules).
+    let mut delta = Instance::new();
+    {
+        stats.iterations += 1;
+        let mut new_facts: Vec<(gdatalog_data::RelId, Tuple)> = Vec::new();
+        {
+            let mut index = InstanceIndex::new(&current);
+            for rule in &program.rules {
+                let plans = plan_rule(rule);
+                let mut emit = |binding: &[Option<Value>]| {
+                    stats.matches += 1;
+                    new_facts.push((rule.head.rel, rule.head.instantiate(binding)));
+                };
+                match_body(&plans, &mut index, None, rule.n_vars, &mut emit);
+            }
+        }
+        for (rel, t) in new_facts {
+            if current.insert(rel, t.clone()) {
+                stats.derived_facts += 1;
+                delta.insert(rel, t);
+            }
+        }
+    }
+
+    while !delta.is_empty() {
+        stats.iterations += 1;
+        let mut new_facts: Vec<(gdatalog_data::RelId, Tuple)> = Vec::new();
+        {
+            let mut index = InstanceIndex::new(&current);
+            let mut delta_index = InstanceIndex::new(&delta);
+            for rule in &program.rules {
+                if rule.body.is_empty() {
+                    continue; // already fired in round 0
+                }
+                let plans = plan_rule(rule);
+                for pos in 0..rule.body.len() {
+                    // Skip positions whose relation has no delta facts.
+                    if delta.relation_len(rule.body[pos].rel) == 0 {
+                        continue;
+                    }
+                    let mut emit = |binding: &[Option<Value>]| {
+                        stats.matches += 1;
+                        new_facts.push((rule.head.rel, rule.head.instantiate(binding)));
+                    };
+                    match_body(
+                        &plans,
+                        &mut index,
+                        Some((pos, &mut delta_index)),
+                        rule.n_vars,
+                        &mut emit,
+                    );
+                }
+            }
+        }
+        let mut next_delta = Instance::new();
+        for (rel, t) in new_facts {
+            if current.insert(rel, t.clone()) {
+                stats.derived_facts += 1;
+                next_delta.insert(rel, t);
+            }
+        }
+        delta = next_delta;
+    }
+    (current, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::{Atom, DatalogRule, Term};
+    use gdatalog_data::{tuple, RelId};
+
+    fn r(n: u32) -> RelId {
+        RelId(n)
+    }
+
+    /// Transitive closure program: T(x,y) :- E(x,y). T(x,z) :- T(x,y), E(y,z).
+    fn tc_program() -> DatalogProgram {
+        let edge = r(0);
+        let tc = r(1);
+        DatalogProgram::new(vec![
+            DatalogRule::new(
+                Atom::new(tc, vec![Term::Var(0), Term::Var(1)]),
+                vec![Atom::new(edge, vec![Term::Var(0), Term::Var(1)])],
+                2,
+            )
+            .unwrap(),
+            DatalogRule::new(
+                Atom::new(tc, vec![Term::Var(0), Term::Var(2)]),
+                vec![
+                    Atom::new(tc, vec![Term::Var(0), Term::Var(1)]),
+                    Atom::new(edge, vec![Term::Var(1), Term::Var(2)]),
+                ],
+                3,
+            )
+            .unwrap(),
+        ])
+    }
+
+    fn chain(n: i64) -> Instance {
+        let mut d = Instance::new();
+        for i in 0..n {
+            d.insert(r(0), tuple![i, i + 1]);
+        }
+        d
+    }
+
+    #[test]
+    fn transitive_closure_of_chain() {
+        let input = chain(5);
+        let (out, _) = fixpoint_seminaive(&tc_program(), &input);
+        // T should contain all pairs (i, j) with i < j <= 5: 15 pairs.
+        assert_eq!(out.relation_len(r(1)), 15);
+        assert!(out.contains(r(1), &tuple![0i64, 5i64]));
+        assert!(!out.contains(r(1), &tuple![3i64, 2i64]));
+    }
+
+    #[test]
+    fn naive_and_seminaive_agree_on_chain() {
+        let input = chain(8);
+        let (a, _) = fixpoint_naive(&tc_program(), &input);
+        let (b, _) = fixpoint_seminaive(&tc_program(), &input);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn naive_and_seminaive_agree_on_cycle() {
+        let mut input = chain(6);
+        input.insert(r(0), tuple![6i64, 0i64]);
+        let (a, _) = fixpoint_naive(&tc_program(), &input);
+        let (b, sb) = fixpoint_seminaive(&tc_program(), &input);
+        assert_eq!(a, b);
+        // Full 7-node cycle: 49 pairs.
+        assert_eq!(a.relation_len(r(1)), 49);
+        assert!(sb.derived_facts >= 49);
+    }
+
+    #[test]
+    fn seminaive_does_less_matching_work() {
+        let input = chain(30);
+        let (_, naive) = fixpoint_naive(&tc_program(), &input);
+        let (_, semi) = fixpoint_seminaive(&tc_program(), &input);
+        assert!(
+            semi.matches < naive.matches,
+            "semi-naive {} vs naive {}",
+            semi.matches,
+            naive.matches
+        );
+    }
+
+    #[test]
+    fn bodyless_rules_fire_once() {
+        // P(1) :- ⊤.
+        let p = DatalogProgram::new(vec![DatalogRule::new(
+            Atom::new(r(0), vec![Term::Const(Value::int(1))]),
+            vec![],
+            0,
+        )
+        .unwrap()]);
+        let (out, stats) = fixpoint_seminaive(&p, &Instance::new());
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(r(0), &tuple![1i64]));
+        assert_eq!(stats.derived_facts, 1);
+    }
+
+    #[test]
+    fn constants_in_body_filter() {
+        // P(x) :- E(1, x).
+        let p = DatalogProgram::new(vec![DatalogRule::new(
+            Atom::new(r(1), vec![Term::Var(0)]),
+            vec![Atom::new(
+                r(0),
+                vec![Term::Const(Value::int(1)), Term::Var(0)],
+            )],
+            1,
+        )
+        .unwrap()]);
+        let mut input = Instance::new();
+        input.insert(r(0), tuple![1i64, 10i64]);
+        input.insert(r(0), tuple![2i64, 20i64]);
+        let (out, _) = fixpoint_seminaive(&p, &input);
+        assert!(out.contains(r(1), &tuple![10i64]));
+        assert!(!out.contains(r(1), &tuple![20i64]));
+    }
+
+    #[test]
+    fn repeated_var_in_atom_checks_equality() {
+        // Diag(x) :- E(x, x).
+        let p = DatalogProgram::new(vec![DatalogRule::new(
+            Atom::new(r(1), vec![Term::Var(0)]),
+            vec![Atom::new(r(0), vec![Term::Var(0), Term::Var(0)])],
+            1,
+        )
+        .unwrap()]);
+        let mut input = Instance::new();
+        input.insert(r(0), tuple![1i64, 1i64]);
+        input.insert(r(0), tuple![1i64, 2i64]);
+        let (out, _) = fixpoint_seminaive(&p, &input);
+        assert_eq!(out.relation_len(r(1)), 1);
+        assert!(out.contains(r(1), &tuple![1i64]));
+    }
+
+    #[test]
+    fn cross_product_join() {
+        // Pair(x, y) :- A(x), B(y).
+        let p = DatalogProgram::new(vec![DatalogRule::new(
+            Atom::new(r(2), vec![Term::Var(0), Term::Var(1)]),
+            vec![
+                Atom::new(r(0), vec![Term::Var(0)]),
+                Atom::new(r(1), vec![Term::Var(1)]),
+            ],
+            2,
+        )
+        .unwrap()]);
+        let mut input = Instance::new();
+        for i in 0..3i64 {
+            input.insert(r(0), tuple![i]);
+        }
+        for j in 0..4i64 {
+            input.insert(r(1), tuple![j]);
+        }
+        let (out, _) = fixpoint_seminaive(&p, &input);
+        assert_eq!(out.relation_len(r(2)), 12);
+    }
+
+    #[test]
+    fn same_generation_program() {
+        // Classic same-generation: sg(x,y) :- sibling(x,y).
+        //                          sg(x,y) :- parent(x,px), sg(px,py), parent(y,py).
+        let parent = r(0);
+        let sibling = r(1);
+        let sg = r(2);
+        let p = DatalogProgram::new(vec![
+            DatalogRule::new(
+                Atom::new(sg, vec![Term::Var(0), Term::Var(1)]),
+                vec![Atom::new(sibling, vec![Term::Var(0), Term::Var(1)])],
+                2,
+            )
+            .unwrap(),
+            DatalogRule::new(
+                Atom::new(sg, vec![Term::Var(0), Term::Var(1)]),
+                vec![
+                    Atom::new(parent, vec![Term::Var(0), Term::Var(2)]),
+                    Atom::new(sg, vec![Term::Var(2), Term::Var(3)]),
+                    Atom::new(parent, vec![Term::Var(1), Term::Var(3)]),
+                ],
+                4,
+            )
+            .unwrap(),
+        ]);
+        let mut input = Instance::new();
+        // Two family trees: a-b siblings; children c(of a), d(of b).
+        input.insert(sibling, tuple!["a", "b"]);
+        input.insert(parent, tuple!["c", "a"]);
+        input.insert(parent, tuple!["d", "b"]);
+        let (out, _) = fixpoint_seminaive(&p, &input);
+        assert!(out.contains(sg, &tuple!["c", "d"]));
+        assert!(!out.contains(sg, &tuple!["c", "b"]));
+        let (out_naive, _) = fixpoint_naive(&p, &input);
+        assert_eq!(out, out_naive);
+    }
+}

@@ -1,0 +1,99 @@
+//! Lazily built hash indexes over instances, keyed by column subsets.
+//!
+//! Body atoms are matched left to right; when atom `i` is reached, some of
+//! its columns hold already-known values (constants or variables bound by
+//! earlier atoms). An index on exactly those columns turns the lookup into a
+//! hash probe instead of a relation scan — the standard hash-join pipeline.
+
+use std::collections::HashMap;
+
+use gdatalog_data::{Instance, RelId, Tuple, Value};
+
+/// A cache of hash indexes `(relation, key columns) → (key values → tuples)`
+/// built on demand against a fixed snapshot of an [`Instance`].
+///
+/// The index borrows the instance; rebuild after mutation.
+pub struct InstanceIndex<'a> {
+    instance: &'a Instance,
+    cache: HashMap<(RelId, Vec<usize>), HashMap<Vec<Value>, Vec<Tuple>>>,
+}
+
+static EMPTY: Vec<Tuple> = Vec::new();
+
+impl<'a> InstanceIndex<'a> {
+    /// Creates an (empty) index cache over `instance`.
+    pub fn new(instance: &'a Instance) -> Self {
+        InstanceIndex {
+            instance,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The underlying instance.
+    pub fn instance(&self) -> &'a Instance {
+        self.instance
+    }
+
+    /// Tuples of `rel` whose projection onto `key_cols` equals `key`.
+    ///
+    /// With `key_cols` empty this is a full (cached) scan of the relation.
+    pub fn probe(&mut self, rel: RelId, key_cols: &[usize], key: &[Value]) -> &[Tuple] {
+        debug_assert_eq!(key_cols.len(), key.len());
+        let entry = self
+            .cache
+            .entry((rel, key_cols.to_vec()))
+            .or_insert_with(|| {
+                let mut map: HashMap<Vec<Value>, Vec<Tuple>> = HashMap::new();
+                for t in self.instance.relation(rel) {
+                    let k: Vec<Value> = key_cols.iter().map(|&c| t[c].clone()).collect();
+                    map.entry(k).or_default().push(t.clone());
+                }
+                map
+            });
+        entry.get(key).map_or(EMPTY.as_slice(), Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdatalog_data::tuple;
+
+    fn r(n: u32) -> RelId {
+        RelId(n)
+    }
+
+    #[test]
+    fn probe_by_first_column() {
+        let mut d = Instance::new();
+        d.insert(r(0), tuple!["a", 1i64]);
+        d.insert(r(0), tuple!["a", 2i64]);
+        d.insert(r(0), tuple!["b", 3i64]);
+        let mut idx = InstanceIndex::new(&d);
+        let hits = idx.probe(r(0), &[0], &[Value::sym("a")]);
+        assert_eq!(hits.len(), 2);
+        let misses = idx.probe(r(0), &[0], &[Value::sym("z")]);
+        assert!(misses.is_empty());
+    }
+
+    #[test]
+    fn empty_key_scans_whole_relation() {
+        let mut d = Instance::new();
+        d.insert(r(0), tuple![1i64]);
+        d.insert(r(0), tuple![2i64]);
+        let mut idx = InstanceIndex::new(&d);
+        assert_eq!(idx.probe(r(0), &[], &[]).len(), 2);
+        assert_eq!(idx.probe(r(1), &[], &[]).len(), 0);
+    }
+
+    #[test]
+    fn compound_keys() {
+        let mut d = Instance::new();
+        d.insert(r(0), tuple!["a", 1i64, "x"]);
+        d.insert(r(0), tuple!["a", 1i64, "y"]);
+        d.insert(r(0), tuple!["a", 2i64, "x"]);
+        let mut idx = InstanceIndex::new(&d);
+        let hits = idx.probe(r(0), &[0, 1], &[Value::sym("a"), Value::int(1)]);
+        assert_eq!(hits.len(), 2);
+    }
+}

@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! # gdatalog-datalog
+//!
+//! A classical **positive Datalog** engine over the `gdatalog-data` model:
+//! bottom-up naive and semi-naive fixpoint evaluation with hash-indexed
+//! joins.
+//!
+//! This is the substrate that GDatalog (the paper's language) extends: a
+//! GDatalog program with no random atoms *is* a Datalog program, and the
+//! probabilistic chase restricted to deterministic rules computes exactly
+//! the least fixpoint computed here. `gdatalog-core` uses this engine to
+//! saturate deterministic rules between sampling steps, and the test suites
+//! use it as an oracle for that equivalence.
+
+pub mod eval;
+pub mod index;
+pub mod rule;
+
+pub use eval::{fixpoint_naive, fixpoint_seminaive, for_each_body_match, EvalStats};
+pub use index::InstanceIndex;
+pub use rule::{Atom, DatalogProgram, DatalogRule, RuleError, Term};

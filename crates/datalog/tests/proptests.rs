@@ -1,0 +1,97 @@
+//! Property test: naive and semi-naive evaluation compute the same least
+//! fixpoint on randomly generated positive Datalog programs and inputs.
+
+use proptest::prelude::*;
+
+use gdatalog_data::{Instance, RelId, Tuple, Value};
+use gdatalog_datalog::{
+    fixpoint_naive, fixpoint_seminaive, Atom, DatalogProgram, DatalogRule, Term,
+};
+
+const N_RELS: u32 = 4;
+const ARITY: usize = 2;
+const N_VARS: usize = 3;
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        (0..N_VARS).prop_map(Term::Var),
+        (0..4i64).prop_map(|c| Term::Const(Value::int(c))),
+    ]
+}
+
+fn arb_atom() -> impl Strategy<Value = Atom> {
+    (0..N_RELS, proptest::collection::vec(arb_term(), ARITY))
+        .prop_map(|(r, args)| Atom::new(RelId(r), args))
+}
+
+/// Generates a *safe* rule by post-processing: head variables that do not
+/// occur in the body are replaced by the constant 0.
+fn arb_rule() -> impl Strategy<Value = DatalogRule> {
+    (arb_atom(), proptest::collection::vec(arb_atom(), 1..3)).prop_map(|(mut head, body)| {
+        let mut in_body = [false; N_VARS];
+        for atom in &body {
+            for v in atom.vars() {
+                in_body[v] = true;
+            }
+        }
+        for t in &mut head.args {
+            if let Term::Var(v) = t {
+                if !in_body[*v] {
+                    *t = Term::Const(Value::int(0));
+                }
+            }
+        }
+        DatalogRule::new(head, body, N_VARS).expect("post-processed rule is safe")
+    })
+}
+
+fn arb_program() -> impl Strategy<Value = DatalogProgram> {
+    proptest::collection::vec(arb_rule(), 1..5).prop_map(DatalogProgram::new)
+}
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    proptest::collection::vec(
+        (0..N_RELS, proptest::collection::vec(0..4i64, ARITY)),
+        0..12,
+    )
+    .prop_map(|facts| {
+        let mut d = Instance::new();
+        for (r, vals) in facts {
+            d.insert(
+                RelId(r),
+                Tuple::from(vals.into_iter().map(Value::int).collect::<Vec<_>>()),
+            );
+        }
+        d
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn naive_equals_seminaive(program in arb_program(), input in arb_instance()) {
+        let (a, _) = fixpoint_naive(&program, &input);
+        let (b, _) = fixpoint_seminaive(&program, &input);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fixpoint_is_a_fixpoint(program in arb_program(), input in arb_instance()) {
+        let (fixed, _) = fixpoint_seminaive(&program, &input);
+        // Re-running from the fixpoint derives nothing new.
+        let (again, stats) = fixpoint_seminaive(&program, &fixed);
+        prop_assert_eq!(&fixed, &again);
+        prop_assert_eq!(stats.derived_facts, 0);
+        // And the input is contained in the fixpoint.
+        prop_assert!(input.is_subset_of(&fixed));
+    }
+
+    #[test]
+    fn fixpoint_is_monotone(program in arb_program(), input in arb_instance(), extra in arb_instance()) {
+        let bigger = input.union(&extra);
+        let (small, _) = fixpoint_seminaive(&program, &input);
+        let (large, _) = fixpoint_seminaive(&program, &bigger);
+        prop_assert!(small.is_subset_of(&large));
+    }
+}

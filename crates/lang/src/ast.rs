@@ -1,0 +1,183 @@
+//! Abstract syntax of GDatalog programs (Defs. 3.1–3.3 of the paper).
+
+use gdatalog_data::{ColType, Value};
+
+/// A source location (1-based line/column plus byte offset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Byte offset into the source.
+    pub offset: usize,
+}
+
+/// A term (Def. 3.1): deterministic (variable or constant) or random
+/// `ψ⟨params | tags⟩`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TermAst {
+    /// A variable (identifier starting with an uppercase letter or `_`).
+    Var(String),
+    /// A constant.
+    Const(Value),
+    /// A random term `ψ⟨θ₁,…,θₘ | t₁,…,tₖ⟩`. `tags` are extra terms that
+    /// participate in the experiment identity but not in the distribution —
+    /// the explicit tagging device discussed in §6.2 of the paper.
+    Random {
+        /// Distribution name.
+        dist: String,
+        /// Distribution parameters (deterministic terms).
+        params: Vec<TermAst>,
+        /// Tags (deterministic terms); empty when not used.
+        tags: Vec<TermAst>,
+        /// Source location.
+        span: Span,
+    },
+}
+
+impl TermAst {
+    /// Whether the term is random.
+    pub fn is_random(&self) -> bool {
+        matches!(self, TermAst::Random { .. })
+    }
+
+    /// Variables occurring in the term (params and tags included).
+    pub fn collect_vars<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            TermAst::Var(v) => out.push(v),
+            TermAst::Const(_) => {}
+            TermAst::Random { params, tags, .. } => {
+                for t in params.iter().chain(tags) {
+                    t.collect_vars(out);
+                }
+            }
+        }
+    }
+}
+
+/// An atom `R(t₁, …, tₙ)` (Def. 3.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AtomAst {
+    /// Relation name.
+    pub rel: String,
+    /// Argument terms.
+    pub args: Vec<TermAst>,
+    /// Source location.
+    pub span: Span,
+}
+
+impl AtomAst {
+    /// Whether any argument is a random term.
+    pub fn is_random(&self) -> bool {
+        self.args.iter().any(TermAst::is_random)
+    }
+
+    /// Variables occurring in the atom, in order of occurrence.
+    pub fn vars(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        for a in &self.args {
+            a.collect_vars(&mut out);
+        }
+        out
+    }
+}
+
+/// A rule `head ← body` (Def. 3.3). An empty body renders as `:- true`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleAst {
+    /// Head atom (an I-atom; may contain random terms).
+    pub head: AtomAst,
+    /// Body atoms (deterministic).
+    pub body: Vec<AtomAst>,
+    /// Source location.
+    pub span: Span,
+}
+
+impl RuleAst {
+    /// Whether the rule is random (contains a random atom).
+    pub fn is_random(&self) -> bool {
+        self.head.is_random()
+    }
+}
+
+/// An optional relation declaration
+/// `rel Name(type, …) [input].`
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelDeclAst {
+    /// Relation name.
+    pub name: String,
+    /// Column types.
+    pub cols: Vec<ColType>,
+    /// Whether the relation is extensional (input).
+    pub is_input: bool,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A ground fact appearing in program text, e.g. `City(gotham, 0.3).`
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroundFactAst {
+    /// Relation name.
+    pub rel: String,
+    /// Constant values.
+    pub values: Vec<Value>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A parsed GDatalog program: declarations, ground facts and rules.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Relation declarations (optional; missing relations are inferred).
+    pub decls: Vec<RelDeclAst>,
+    /// Ground facts (the fixed part of the input instance).
+    pub facts: Vec<GroundFactAst>,
+    /// Rules.
+    pub rules: Vec<RuleAst>,
+}
+
+impl Program {
+    /// Parses a program from text (convenience wrapper around
+    /// [`crate::parser::parse_program`]).
+    ///
+    /// # Errors
+    /// Returns the first syntax error.
+    pub fn parse(src: &str) -> Result<Program, crate::LangError> {
+        crate::parser::parse_program(src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_term_detection() {
+        let t = TermAst::Random {
+            dist: "Flip".into(),
+            params: vec![TermAst::Const(Value::real(0.5))],
+            tags: vec![],
+            span: Span::default(),
+        };
+        assert!(t.is_random());
+        assert!(!TermAst::Var("X".into()).is_random());
+    }
+
+    #[test]
+    fn vars_collected_from_params_and_tags() {
+        let t = TermAst::Random {
+            dist: "Flip".into(),
+            params: vec![TermAst::Var("P".into())],
+            tags: vec![TermAst::Var("T".into())],
+            span: Span::default(),
+        };
+        let atom = AtomAst {
+            rel: "R".into(),
+            args: vec![TermAst::Var("X".into()), t],
+            span: Span::default(),
+        };
+        assert_eq!(atom.vars(), vec!["X", "P", "T"]);
+        assert!(atom.is_random());
+    }
+}

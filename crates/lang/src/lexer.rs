@@ -1,0 +1,350 @@
+//! Hand-written lexer for the GDatalog text syntax.
+
+use crate::ast::Span;
+use crate::LangError;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier starting with an uppercase letter or `_` (variable or
+    /// relation or distribution name, depending on context).
+    UpperIdent(String),
+    /// Identifier starting with a lowercase letter (symbol constant,
+    /// relation name, or keyword).
+    LowerIdent(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// String literal (unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:-` or `←`
+    Arrow,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `|`
+    Pipe,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Kind and payload.
+    pub tok: Tok,
+    /// Location of the first character.
+    pub span: Span,
+}
+
+/// Tokenizes `src`, skipping whitespace and `//`/`%` line comments.
+///
+/// # Errors
+/// Returns a [`LangError`] at the first unrecognized character or malformed
+/// literal.
+pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! span {
+        () => {
+            Span {
+                line,
+                col,
+                offset: i,
+            }
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        // Whitespace.
+        if c == '\n' {
+            i += 1;
+            line += 1;
+            col = 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            col += 1;
+            continue;
+        }
+        // Comments: `//` and `%` to end of line.
+        if c == '%' || (c == '/' && bytes.get(i + 1) == Some(&b'/')) {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let sp = span!();
+        // Punctuation.
+        let single = match c {
+            '(' => Some(Tok::LParen),
+            ')' => Some(Tok::RParen),
+            ',' => Some(Tok::Comma),
+            '.' => {
+                // Distinguish `.` from the decimal point of a number like
+                // `.5` (we require a leading digit, so `.` is always a dot).
+                Some(Tok::Dot)
+            }
+            '<' => Some(Tok::Lt),
+            '>' => Some(Tok::Gt),
+            '|' => Some(Tok::Pipe),
+            _ => None,
+        };
+        if let Some(t) = single {
+            toks.push(Token { tok: t, span: sp });
+            i += 1;
+            col += 1;
+            continue;
+        }
+        // `:-`
+        if c == ':' {
+            if bytes.get(i + 1) == Some(&b'-') {
+                toks.push(Token {
+                    tok: Tok::Arrow,
+                    span: sp,
+                });
+                i += 2;
+                col += 2;
+                continue;
+            }
+            return Err(LangError::at(sp, "expected `:-`"));
+        }
+        // `←` (UTF-8: E2 86 90).
+        if bytes[i] == 0xE2 && bytes.get(i + 1) == Some(&0x86) && bytes.get(i + 2) == Some(&0x90) {
+            toks.push(Token {
+                tok: Tok::Arrow,
+                span: sp,
+            });
+            i += 3;
+            col += 1;
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            let mut s = String::new();
+            let mut j = i + 1;
+            let mut ok = false;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'"' => {
+                        ok = true;
+                        break;
+                    }
+                    b'\\' => {
+                        let esc = bytes.get(j + 1).copied().ok_or_else(|| {
+                            LangError::at(sp, "unterminated escape in string")
+                        })?;
+                        s.push(match esc {
+                            b'n' => '\n',
+                            b't' => '\t',
+                            b'\\' => '\\',
+                            b'"' => '"',
+                            other => {
+                                return Err(LangError::at(
+                                    sp,
+                                    format!("unknown escape `\\{}`", other as char),
+                                ))
+                            }
+                        });
+                        j += 2;
+                    }
+                    b => {
+                        s.push(b as char);
+                        j += 1;
+                    }
+                }
+            }
+            if !ok {
+                return Err(LangError::at(sp, "unterminated string literal"));
+            }
+            let len = j + 1 - i;
+            toks.push(Token {
+                tok: Tok::Str(s),
+                span: sp,
+            });
+            i = j + 1;
+            col += len as u32;
+            continue;
+        }
+        // Numbers (with optional leading minus).
+        if c.is_ascii_digit() || (c == '-' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)) {
+            let start = i;
+            if c == '-' {
+                i += 1;
+            }
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            let mut is_real = false;
+            if i < bytes.len()
+                && bytes[i] == b'.'
+                && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+            {
+                is_real = true;
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            // Exponent.
+            if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                let mut j = i + 1;
+                if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                    j += 1;
+                }
+                if j < bytes.len() && bytes[j].is_ascii_digit() {
+                    is_real = true;
+                    i = j;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+            }
+            let text = &src[start..i];
+            let tok = if is_real {
+                Tok::Real(text.parse().map_err(|_| {
+                    LangError::at(sp, format!("malformed real literal `{text}`"))
+                })?)
+            } else {
+                Tok::Int(text.parse().map_err(|_| {
+                    LangError::at(sp, format!("malformed integer literal `{text}`"))
+                })?)
+            };
+            col += (i - start) as u32;
+            toks.push(Token { tok, span: sp });
+            continue;
+        }
+        // Identifiers.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'\'')
+            {
+                i += 1;
+            }
+            let text = &src[start..i];
+            col += (i - start) as u32;
+            let tok = if c.is_ascii_uppercase() || c == '_' {
+                Tok::UpperIdent(text.to_string())
+            } else {
+                Tok::LowerIdent(text.to_string())
+            };
+            toks.push(Token { tok, span: sp });
+            continue;
+        }
+        return Err(LangError::at(sp, format!("unexpected character `{c}`")));
+    }
+    toks.push(Token {
+        tok: Tok::Eof,
+        span: Span {
+            line,
+            col,
+            offset: i,
+        },
+    });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_a_rule() {
+        let ts = kinds("Earthquake(C, Flip<0.1>) :- City(C, R).");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::UpperIdent("Earthquake".into()),
+                Tok::LParen,
+                Tok::UpperIdent("C".into()),
+                Tok::Comma,
+                Tok::UpperIdent("Flip".into()),
+                Tok::Lt,
+                Tok::Real(0.1),
+                Tok::Gt,
+                Tok::RParen,
+                Tok::Arrow,
+                Tok::UpperIdent("City".into()),
+                Tok::LParen,
+                Tok::UpperIdent("C".into()),
+                Tok::Comma,
+                Tok::UpperIdent("R".into()),
+                Tok::RParen,
+                Tok::Dot,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("1 -2 0.5 -0.25 1e3 2.5e-2"),
+            vec![
+                Tok::Int(1),
+                Tok::Int(-2),
+                Tok::Real(0.5),
+                Tok::Real(-0.25),
+                Tok::Real(1000.0),
+                Tok::Real(0.025),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_and_comments() {
+        let ts = kinds("\"a\\nb\" // comment\n% also comment\nfoo");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::Str("a\nb".into()),
+                Tok::LowerIdent("foo".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_unicode_arrow_and_primes() {
+        let ts = kinds("R(X) ← Q(X). Flip'");
+        assert!(ts.contains(&Tok::Arrow));
+        assert!(ts.contains(&Tok::UpperIdent("Flip'".into())));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("R(x) @ Q(x)").is_err());
+        assert!(lex("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let toks = lex("a\nbb\n  ccc").unwrap();
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[1].span.line, 2);
+        assert_eq!(toks[2].span.line, 3);
+        assert_eq!(toks[2].span.col, 3);
+    }
+}

@@ -1,0 +1,84 @@
+#![warn(missing_docs)]
+
+//! # gdatalog-lang
+//!
+//! The GDatalog language front-end (§3 of the paper):
+//!
+//! * [`ast`] — terms, atoms, rules, programs (Defs. 3.1–3.3), including
+//!   *random terms* `ψ⟨θ₁,…,θₘ | tag₁,…⟩` (tags after `|` are the explicit
+//!   "tagging" device of §6.2).
+//! * [`lexer`] / [`parser`] — a concrete text syntax:
+//!   ```text
+//!   rel City(symbol, real) input.
+//!   City(gotham, 0.3).
+//!   Earthquake(C, Flip<0.1>) :- City(C, R).
+//!   ```
+//! * [`validate`] — name resolution, arity/type inference and the
+//!   well-formedness conditions of Defs. 3.1–3.3 (deterministic bodies,
+//!   range restriction, random terms only in intensional heads).
+//! * [`acyclicity`] — the position dependency graph and the **weak
+//!   acyclicity** check of Theorem 6.3.
+//! * [`translate`] — association of the existential Datalog program `Ĝ`
+//!   (rules (3.A)/(3.B)) under either semantics:
+//!   [`SemanticsMode::Grohe`] (this paper — experiments keyed per rule ×
+//!   head valuation × parameters) or [`SemanticsMode::Barany`] (TODS 2017 —
+//!   experiments keyed per distribution name × parameters × tags).
+//! * [`simulate`] — the §6.2 program rewritings that let each semantics
+//!   simulate the other.
+
+pub mod acyclicity;
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod simulate;
+pub mod translate;
+pub mod validate;
+
+pub use acyclicity::{weak_acyclicity, AcyclicityReport};
+pub use ast::{AtomAst, GroundFactAst, Program, RelDeclAst, RuleAst, Span, TermAst};
+pub use parser::{parse_facts, parse_program};
+pub use simulate::{simulate_barany_in_grohe, simulate_grohe_in_barany, BSIM_PREFIX};
+pub use translate::{
+    translate, CompiledProgram, CompiledRule, ExistentialHead, RuleKind, SampleSpec,
+    SemanticsMode,
+};
+pub use validate::{validate, ValidatedProgram};
+
+/// Errors produced anywhere in the language front-end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LangError {
+    /// Human-readable message.
+    pub message: String,
+    /// Source location, when known.
+    pub span: Option<Span>,
+}
+
+impl LangError {
+    /// An error with a location.
+    pub fn at(span: Span, message: impl Into<String>) -> LangError {
+        LangError {
+            message: message.into(),
+            span: Some(span),
+        }
+    }
+
+    /// An error without a location.
+    pub fn msg(message: impl Into<String>) -> LangError {
+        LangError {
+            message: message.into(),
+            span: None,
+        }
+    }
+}
+
+impl std::fmt::Display for LangError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.span {
+            Some(s) => write!(f, "{}:{}: {}", s.line, s.col, self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}

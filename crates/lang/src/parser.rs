@@ -1,0 +1,530 @@
+//! Recursive-descent parser for the GDatalog text syntax.
+//!
+//! Grammar (EBNF; `.` terminates every clause):
+//!
+//! ```text
+//! program   := clause*
+//! clause    := decl | rule | fact
+//! decl      := "rel" RelName "(" type ("," type)* ")" ["input"] "."
+//! type      := "bool" | "int" | "real" | "symbol" | "str" | "any"
+//! rule      := atom (":-" | "←") body "."
+//! body      := "true" | atom ("," atom)*
+//! fact      := RelName "(" const ("," const)* ")" "."
+//! atom      := RelName "(" [term ("," term)*] ")"
+//! term      := Var | const | random
+//! random    := DistName "<" term ("," term)* ["|" term ("," term)*] ">"
+//! const     := Int | Real | String | lowerIdent | "true" | "false"
+//! ```
+//!
+//! Identifier conventions: variables start with an uppercase letter or `_`;
+//! symbol constants are lowercase identifiers; relation and distribution
+//! names may be either (they are syntactically distinguished by a following
+//! `(` resp. `<`).
+
+use gdatalog_data::{ColType, Value};
+
+use crate::ast::{AtomAst, GroundFactAst, Program, RelDeclAst, RuleAst, Span, TermAst};
+use crate::lexer::{lex, Tok, Token};
+use crate::LangError;
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn span(&self) -> Span {
+        self.toks[self.pos].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<Token, LangError> {
+        if self.peek() == tok {
+            Ok(self.bump())
+        } else {
+            Err(LangError::at(
+                self.span(),
+                format!("expected {what}, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<(String, Span), LangError> {
+        let sp = self.span();
+        match self.bump().tok {
+            Tok::UpperIdent(s) | Tok::LowerIdent(s) => Ok((s, sp)),
+            other => Err(LangError::at(sp, format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn parse_const(&mut self) -> Result<Value, LangError> {
+        let sp = self.span();
+        match self.bump().tok {
+            Tok::Int(i) => Ok(Value::int(i)),
+            Tok::Real(x) => Ok(Value::real(x)),
+            Tok::Str(s) => Ok(Value::str(&s)),
+            Tok::LowerIdent(s) if s == "true" => Ok(Value::Bool(true)),
+            Tok::LowerIdent(s) if s == "false" => Ok(Value::Bool(false)),
+            Tok::LowerIdent(s) => Ok(Value::sym(&s)),
+            other => Err(LangError::at(sp, format!("expected a constant, found {other:?}"))),
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<TermAst, LangError> {
+        let sp = self.span();
+        match self.peek().clone() {
+            Tok::UpperIdent(name) => {
+                // Variable, or a random term if followed by `<`.
+                if *self.peek2() == Tok::Lt {
+                    self.bump(); // name
+                    self.bump(); // `<`
+                    let mut params = Vec::new();
+                    let mut tags = Vec::new();
+                    let mut in_tags = false;
+                    loop {
+                        let t = self.parse_term()?;
+                        if t.is_random() {
+                            return Err(LangError::at(
+                                sp,
+                                "random terms cannot be nested inside parameters",
+                            ));
+                        }
+                        if in_tags {
+                            tags.push(t);
+                        } else {
+                            params.push(t);
+                        }
+                        match self.peek() {
+                            Tok::Comma => {
+                                self.bump();
+                            }
+                            Tok::Pipe => {
+                                if in_tags {
+                                    return Err(LangError::at(self.span(), "duplicate `|`"));
+                                }
+                                in_tags = true;
+                                self.bump();
+                            }
+                            Tok::Gt => {
+                                self.bump();
+                                break;
+                            }
+                            other => {
+                                return Err(LangError::at(
+                                    self.span(),
+                                    format!("expected `,`, `|` or `>`, found {other:?}"),
+                                ))
+                            }
+                        }
+                    }
+                    Ok(TermAst::Random {
+                        dist: name,
+                        params,
+                        tags,
+                        span: sp,
+                    })
+                } else {
+                    self.bump();
+                    Ok(TermAst::Var(name))
+                }
+            }
+            Tok::LowerIdent(name)
+                if *self.peek2() == Tok::Lt && name != "true" && name != "false" =>
+            {
+                // Lowercase distribution names are allowed too.
+                self.bump();
+                self.bump();
+                let mut params = Vec::new();
+                let mut tags = Vec::new();
+                let mut in_tags = false;
+                loop {
+                    let t = self.parse_term()?;
+                    if in_tags {
+                        tags.push(t);
+                    } else {
+                        params.push(t);
+                    }
+                    match self.peek() {
+                        Tok::Comma => {
+                            self.bump();
+                        }
+                        Tok::Pipe => {
+                            in_tags = true;
+                            self.bump();
+                        }
+                        Tok::Gt => {
+                            self.bump();
+                            break;
+                        }
+                        other => {
+                            return Err(LangError::at(
+                                self.span(),
+                                format!("expected `,`, `|` or `>`, found {other:?}"),
+                            ))
+                        }
+                    }
+                }
+                Ok(TermAst::Random {
+                    dist: name,
+                    params,
+                    tags,
+                    span: sp,
+                })
+            }
+            _ => Ok(TermAst::Const(self.parse_const()?)),
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<AtomAst, LangError> {
+        let (rel, sp) = self.ident()?;
+        self.expect(&Tok::LParen, "`(`")?;
+        let mut args = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                args.push(self.parse_term()?);
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen, "`)`")?;
+        Ok(AtomAst {
+            rel,
+            args,
+            span: sp,
+        })
+    }
+
+    fn parse_decl(&mut self) -> Result<RelDeclAst, LangError> {
+        let sp = self.span();
+        self.bump(); // `rel`
+        let (name, _) = self.ident()?;
+        self.expect(&Tok::LParen, "`(`")?;
+        let mut cols = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                let (ty_name, ty_sp) = self.ident()?;
+                let ty = match ty_name.as_str() {
+                    "bool" => ColType::Bool,
+                    "int" => ColType::Int,
+                    "real" => ColType::Real,
+                    "symbol" => ColType::Symbol,
+                    "str" => ColType::Str,
+                    "any" => ColType::Any,
+                    other => {
+                        return Err(LangError::at(
+                            ty_sp,
+                            format!("unknown column type `{other}`"),
+                        ))
+                    }
+                };
+                cols.push(ty);
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen, "`)`")?;
+        let mut is_input = false;
+        if let Tok::LowerIdent(kw) = self.peek() {
+            if kw == "input" {
+                is_input = true;
+                self.bump();
+            }
+        }
+        self.expect(&Tok::Dot, "`.`")?;
+        Ok(RelDeclAst {
+            name,
+            cols,
+            is_input,
+            span: sp,
+        })
+    }
+
+    /// Parses a rule or a ground fact (disambiguated after reading the
+    /// head atom: `.` means fact-or-bodyless-rule, `:-` means rule).
+    fn parse_rule_or_fact(&mut self, program: &mut Program) -> Result<(), LangError> {
+        let sp = self.span();
+        let head = self.parse_atom()?;
+        match self.peek() {
+            Tok::Dot => {
+                self.bump();
+                // Ground atom: if all args are constants, it is a fact;
+                // otherwise it is a body-less rule (which must then be safe,
+                // i.e. variable-free — validation will check).
+                let consts: Option<Vec<Value>> = head
+                    .args
+                    .iter()
+                    .map(|t| match t {
+                        TermAst::Const(c) => Some(c.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                match consts {
+                    Some(values) => program.facts.push(GroundFactAst {
+                        rel: head.rel,
+                        values,
+                        span: sp,
+                    }),
+                    None => program.rules.push(RuleAst {
+                        head,
+                        body: vec![],
+                        span: sp,
+                    }),
+                }
+                Ok(())
+            }
+            Tok::Arrow => {
+                self.bump();
+                let mut body = Vec::new();
+                // `true` (or `⊤` spelled as the keyword) denotes the empty body.
+                if let Tok::LowerIdent(kw) = self.peek() {
+                    if kw == "true" && *self.peek2() != Tok::LParen {
+                        self.bump();
+                        self.expect(&Tok::Dot, "`.`")?;
+                        program.rules.push(RuleAst {
+                            head,
+                            body,
+                            span: sp,
+                        });
+                        return Ok(());
+                    }
+                }
+                loop {
+                    let atom = self.parse_atom()?;
+                    if atom.is_random() {
+                        return Err(LangError::at(
+                            atom.span,
+                            "random terms are not allowed in rule bodies (Def. 3.3)",
+                        ));
+                    }
+                    body.push(atom);
+                    if *self.peek() == Tok::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(&Tok::Dot, "`.`")?;
+                program.rules.push(RuleAst {
+                    head,
+                    body,
+                    span: sp,
+                });
+                Ok(())
+            }
+            other => Err(LangError::at(
+                self.span(),
+                format!("expected `.` or `:-`, found {other:?}"),
+            )),
+        }
+    }
+}
+
+/// Parses a fact-only text (one ground fact per line, same syntax as
+/// program facts) into an [`gdatalog_data::Instance`] against an existing
+/// catalog — the data-loading path of the `gdl` CLI.
+///
+/// # Errors
+/// Syntax errors, unknown relations, and tuple type mismatches.
+pub fn parse_facts(
+    src: &str,
+    catalog: &gdatalog_data::Catalog,
+) -> Result<gdatalog_data::Instance, LangError> {
+    let program = parse_program(src)?;
+    if !program.rules.is_empty() || !program.decls.is_empty() {
+        return Err(LangError::msg(
+            "fact files may contain only ground facts (no rules or declarations)",
+        ));
+    }
+    let mut out = gdatalog_data::Instance::new();
+    for f in &program.facts {
+        let rel = catalog
+            .resolve(&f.rel)
+            .ok_or_else(|| LangError::at(f.span, format!("unknown relation `{}`", f.rel)))?;
+        let tuple = gdatalog_data::Tuple::from(f.values.clone());
+        catalog
+            .check_tuple(rel, &tuple)
+            .map_err(|e| LangError::at(f.span, e.to_string()))?;
+        out.insert(rel, tuple);
+    }
+    Ok(out)
+}
+
+/// Parses a complete GDatalog program.
+///
+/// # Errors
+/// Returns the first syntax error with its source location.
+pub fn parse_program(src: &str) -> Result<Program, LangError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut program = Program::default();
+    loop {
+        match p.peek() {
+            Tok::Eof => break,
+            Tok::LowerIdent(kw) if kw == "rel" && matches!(p.peek2(), Tok::UpperIdent(_) | Tok::LowerIdent(_)) => {
+                let d = p.parse_decl()?;
+                program.decls.push(d);
+            }
+            _ => p.parse_rule_or_fact(&mut program)?,
+        }
+    }
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_burglary_example() {
+        // Example 3.4 of the paper, in our syntax.
+        let src = r#"
+            rel City(symbol, real) input.
+            rel House(symbol, symbol) input.
+            rel Business(symbol, symbol) input.
+
+            Earthquake(C, Flip<0.1>) :- City(C, R).
+            Unit(H, C) :- House(H, C).
+            Unit(B, C) :- Business(B, C).
+            Burglary(X, C, Flip<R>) :- Unit(X, C), City(C, R).
+            Trig(X, Flip<0.6>) :- Unit(X, C), Earthquake(C, 1).
+            Trig(X, Flip<0.9>) :- Burglary(X, C, 1).
+            Alarm(X) :- Trig(X, 1).
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.decls.len(), 3);
+        assert_eq!(p.rules.len(), 7);
+        assert!(p.rules[0].is_random());
+        assert!(!p.rules[1].is_random());
+        assert!(p.rules[3].is_random());
+        // The Flip<R> random term carries the variable parameter.
+        match &p.rules[3].head.args[2] {
+            TermAst::Random { dist, params, .. } => {
+                assert_eq!(dist, "Flip");
+                assert_eq!(params, &vec![TermAst::Var("R".into())]);
+            }
+            other => panic!("expected random term, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_facts_and_bodyless_rules() {
+        let src = r#"
+            City(gotham, 0.3).
+            R(Flip<0.5>) :- true.
+            S(Flip<0.5>).
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.facts.len(), 1);
+        assert_eq!(p.facts[0].values, vec![Value::sym("gotham"), Value::real(0.3)]);
+        assert_eq!(p.rules.len(), 2);
+        assert!(p.rules[0].body.is_empty());
+        assert!(p.rules[1].body.is_empty());
+    }
+
+    #[test]
+    fn parses_tags_after_pipe() {
+        let src = "G(Geometric<0.5 | X>) :- G(X).";
+        let p = parse_program(src).unwrap();
+        match &p.rules[0].head.args[0] {
+            TermAst::Random { params, tags, .. } => {
+                assert_eq!(params.len(), 1);
+                assert_eq!(tags, &vec![TermAst::Var("X".into())]);
+            }
+            other => panic!("expected random term, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_multi_param_distributions() {
+        let src = "PHeight(P, Normal<Mu, Sigma2>) :- PCountry(P, C), CMoments(C, Mu, Sigma2).";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.rules.len(), 1);
+        assert_eq!(p.rules[0].body.len(), 2);
+    }
+
+    #[test]
+    fn rejects_random_terms_in_bodies() {
+        let err = parse_program("R(X) :- Q(Flip<0.5>).").unwrap_err();
+        assert!(err.message.contains("not allowed in rule bodies"));
+    }
+
+    #[test]
+    fn parses_string_bool_and_negative_constants() {
+        let src = r#"T("hello", true, -3, -0.5)."#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(
+            p.facts[0].values,
+            vec![
+                Value::str("hello"),
+                Value::Bool(true),
+                Value::int(-3),
+                Value::real(-0.5)
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_syntax_errors_with_location() {
+        let err = parse_program("R(X :- Q(X).").unwrap_err();
+        assert!(err.span.is_some());
+    }
+
+    #[test]
+    fn prime_names_work_for_renamed_distributions() {
+        // Program G′0 of Example 1.1 uses Flip′ — spelled Flip' here.
+        let src = "R(Flip<0.5>) :- true. R(Flip'<0.5>) :- true.";
+        let p = parse_program(src).unwrap();
+        match &p.rules[1].head.args[0] {
+            TermAst::Random { dist, .. } => assert_eq!(dist, "Flip'"),
+            other => panic!("expected random term, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nullary_atoms_parse() {
+        let p = parse_program("Done() :- Start().").unwrap();
+        assert_eq!(p.rules[0].head.args.len(), 0);
+    }
+
+    #[test]
+    fn parse_facts_loads_instances() {
+        use gdatalog_data::{Catalog, ColType, RelationKind};
+        let mut cat = Catalog::new();
+        let city = cat
+            .declare_named(
+                "City",
+                vec![ColType::Symbol, ColType::Real],
+                RelationKind::Extensional,
+            )
+            .unwrap();
+        let inst = parse_facts("City(gotham, 0.3).\nCity(metropolis, 0.1).", &cat).unwrap();
+        assert_eq!(inst.relation_len(city), 2);
+        // Rules are rejected in fact files.
+        assert!(parse_facts("A(X) :- B(X).", &cat).is_err());
+        // Unknown relations are rejected.
+        assert!(parse_facts("Town(x).", &cat).is_err());
+        // Type errors are rejected.
+        assert!(parse_facts("City(1, 0.3).", &cat).is_err());
+    }
+}

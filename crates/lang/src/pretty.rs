@@ -1,0 +1,152 @@
+//! Pretty-printing of GDatalog programs back to parseable text.
+
+use std::fmt;
+
+use gdatalog_data::ColType;
+
+use crate::ast::{AtomAst, GroundFactAst, Program, RelDeclAst, RuleAst, TermAst};
+
+impl fmt::Display for TermAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TermAst::Var(v) => write!(f, "{v}"),
+            TermAst::Const(c) => write!(f, "{c}"),
+            TermAst::Random {
+                dist, params, tags, ..
+            } => {
+                write!(f, "{dist}<")?;
+                for (i, p) in params.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                if !tags.is_empty() {
+                    write!(f, " | ")?;
+                    for (i, t) in tags.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{t}")?;
+                    }
+                }
+                write!(f, ">")
+            }
+        }
+    }
+}
+
+impl fmt::Display for AtomAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.rel)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for RuleAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.body.is_empty() {
+            write!(f, "{} :- true.", self.head)
+        } else {
+            write!(f, "{} :- ", self.head)?;
+            for (i, a) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{a}")?;
+            }
+            write!(f, ".")
+        }
+    }
+}
+
+impl fmt::Display for RelDeclAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rel {}(", self.name)?;
+        for (i, c) in self.cols.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            let name = match c {
+                ColType::Bool => "bool",
+                ColType::Int => "int",
+                ColType::Real => "real",
+                ColType::Symbol => "symbol",
+                ColType::Str => "str",
+                ColType::Any => "any",
+            };
+            write!(f, "{name}")?;
+        }
+        write!(f, ")")?;
+        if self.is_input {
+            write!(f, " input")?;
+        }
+        write!(f, ".")
+    }
+}
+
+impl fmt::Display for GroundFactAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.rel)?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ").")
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.decls {
+            writeln!(f, "{d}")?;
+        }
+        for fa in &self.facts {
+            writeln!(f, "{fa}")?;
+        }
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_program;
+
+    #[test]
+    fn round_trip_burglary() {
+        let src = r#"
+            rel City(symbol, real) input.
+            City(gotham, 0.3).
+            Earthquake(C, Flip<0.1>) :- City(C, R).
+            Trig(X, Flip<0.6>) :- Unit(X, C), Earthquake(C, 1).
+            G(Geometric<0.5 | X>) :- G(X).
+            R(Flip<0.5>) :- true.
+        "#;
+        let p1 = parse_program(src).unwrap();
+        let rendered = p1.to_string();
+        let p2 = parse_program(&rendered).unwrap();
+        // Spans differ between the two parses; compare the rendered text,
+        // which is span-insensitive and a complete invariant of the AST.
+        assert_eq!(rendered, p2.to_string(), "pretty-print must be stable");
+    }
+
+    #[test]
+    fn round_trip_string_and_bool_constants() {
+        let src = r#"T("he\"llo", true, -1, -2.5)."#;
+        let p1 = parse_program(src).unwrap();
+        let p2 = parse_program(&p1.to_string()).unwrap();
+        assert_eq!(p1.to_string(), p2.to_string());
+        assert_eq!(p1.facts, p2.facts);
+    }
+}

@@ -1,0 +1,249 @@
+//! The §6.2 program rewritings: each semantics can simulate the other.
+//!
+//! * [`simulate_barany_in_grohe`] — pull every sampling experiment out into
+//!   a dedicated relation keyed by `(distribution, parameters, tags)`.
+//!   Running the rewritten program under [`SemanticsMode::Grohe`] and
+//!   projecting away the `BSim…` helper relations reproduces the Bárány
+//!   et al. semantics of the original program. This generalizes the H ↦ H′
+//!   example of the paper.
+//! * [`simulate_grohe_in_barany`] — tag every random term with its rule
+//!   index and the deterministic head arguments, so that the Bárány
+//!   experiment key `(ψ, params, tags)` becomes exactly the Grohe key
+//!   `(rule, head args, params)`.
+//!
+//! [`SemanticsMode::Grohe`]: crate::translate::SemanticsMode::Grohe
+
+use std::collections::HashSet;
+
+use gdatalog_data::Value;
+
+use crate::ast::{AtomAst, Program, RuleAst, Span, TermAst};
+
+/// Prefix of helper relations introduced by [`simulate_barany_in_grohe`];
+/// project these away when comparing results.
+pub const BSIM_PREFIX: &str = "BSimulation";
+
+fn need_rel(dist: &str, m: usize, t: usize) -> String {
+    format!("{BSIM_PREFIX}Need_{}_{m}_{t}", dist.replace('\'', "prime"))
+}
+
+fn res_rel(dist: &str, m: usize, t: usize) -> String {
+    format!("{BSIM_PREFIX}Res_{}_{m}_{t}", dist.replace('\'', "prime"))
+}
+
+/// Rewrites `program` so that **Grohe semantics on the result simulates
+/// Bárány semantics on the input** (§6.2). Helper relations are prefixed
+/// with [`BSIM_PREFIX`].
+pub fn simulate_barany_in_grohe(program: &Program) -> Program {
+    let mut out = Program {
+        decls: program.decls.clone(),
+        facts: program.facts.clone(),
+        rules: Vec::new(),
+    };
+    let mut sigs_done: HashSet<(String, usize, usize)> = HashSet::new();
+
+    for rule in &program.rules {
+        if !rule.is_random() {
+            out.rules.push(rule.clone());
+            continue;
+        }
+        let mut new_head_args: Vec<TermAst> = Vec::new();
+        let mut extra_body: Vec<AtomAst> = Vec::new();
+        let mut fresh = 0usize;
+        for arg in &rule.head.args {
+            match arg {
+                TermAst::Random {
+                    dist,
+                    params,
+                    tags,
+                    span,
+                } => {
+                    let sig = (dist.clone(), params.len(), tags.len());
+                    let need = need_rel(dist, params.len(), tags.len());
+                    let res = res_rel(dist, params.len(), tags.len());
+
+                    // Demand the experiment: Need(params, tags) ← body.
+                    let mut need_args = params.clone();
+                    need_args.extend(tags.iter().cloned());
+                    out.rules.push(RuleAst {
+                        head: AtomAst {
+                            rel: need.clone(),
+                            args: need_args.clone(),
+                            span: *span,
+                        },
+                        body: rule.body.clone(),
+                        span: *span,
+                    });
+
+                    // One sampling rule per signature:
+                    // Res(P̄, T̄, ψ⟨P̄|T̄⟩) ← Need(P̄, T̄).
+                    if sigs_done.insert(sig) {
+                        let pvars: Vec<TermAst> = (0..params.len())
+                            .map(|i| TermAst::Var(format!("BSimP{i}")))
+                            .collect();
+                        let tvars: Vec<TermAst> = (0..tags.len())
+                            .map(|i| TermAst::Var(format!("BSimT{i}")))
+                            .collect();
+                        let mut res_head_args = pvars.clone();
+                        res_head_args.extend(tvars.iter().cloned());
+                        res_head_args.push(TermAst::Random {
+                            dist: dist.clone(),
+                            params: pvars.clone(),
+                            tags: tvars.clone(),
+                            span: *span,
+                        });
+                        let mut need_body_args = pvars.clone();
+                        need_body_args.extend(tvars.iter().cloned());
+                        out.rules.push(RuleAst {
+                            head: AtomAst {
+                                rel: res.clone(),
+                                args: res_head_args,
+                                span: *span,
+                            },
+                            body: vec![AtomAst {
+                                rel: need.clone(),
+                                args: need_body_args,
+                                span: *span,
+                            }],
+                            span: *span,
+                        });
+                    }
+
+                    // Replace the random term by a fresh variable and join
+                    // against the result relation.
+                    let y = format!("BSimY{fresh}");
+                    fresh += 1;
+                    let mut res_args = params.clone();
+                    res_args.extend(tags.iter().cloned());
+                    res_args.push(TermAst::Var(y.clone()));
+                    extra_body.push(AtomAst {
+                        rel: res,
+                        args: res_args,
+                        span: *span,
+                    });
+                    new_head_args.push(TermAst::Var(y));
+                }
+                other => new_head_args.push(other.clone()),
+            }
+        }
+        let mut body = rule.body.clone();
+        body.extend(extra_body);
+        out.rules.push(RuleAst {
+            head: AtomAst {
+                rel: rule.head.rel.clone(),
+                args: new_head_args,
+                span: rule.head.span,
+            },
+            body,
+            span: rule.span,
+        });
+    }
+    out
+}
+
+/// Rewrites `program` so that **Bárány semantics on the result simulates
+/// Grohe semantics on the input**: every random term is tagged with its
+/// rule index and the rule's deterministic head arguments, making the
+/// Bárány experiment key coincide with the Grohe one.
+pub fn simulate_grohe_in_barany(program: &Program) -> Program {
+    let mut out = program.clone();
+    for (rix, rule) in out.rules.iter_mut().enumerate() {
+        if !rule.head.is_random() {
+            continue;
+        }
+        let det_args: Vec<TermAst> = rule
+            .head
+            .args
+            .iter()
+            .filter(|t| !t.is_random())
+            .cloned()
+            .collect();
+        for arg in &mut rule.head.args {
+            if let TermAst::Random { tags, .. } = arg {
+                let mut new_tags =
+                    vec![TermAst::Const(Value::sym(&format!("grule{rix}")))];
+                new_tags.extend(det_args.iter().cloned());
+                new_tags.extend(tags.iter().cloned());
+                *tags = new_tags;
+            }
+        }
+        let _ = Span::default();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn h_becomes_h_prime() {
+        // Program H of §6.2: R(Flip<1/2>) ← ⊤. S(Flip<1/2>) ← ⊤.
+        let h = parse_program("R(Flip<0.5>) :- true. S(Flip<0.5>) :- true.").unwrap();
+        let h2 = simulate_barany_in_grohe(&h);
+        // Expect: 2 Need rules + 1 Res rule + 2 rewritten delivery rules.
+        assert_eq!(h2.rules.len(), 5);
+        let res_rules: Vec<_> = h2
+            .rules
+            .iter()
+            .filter(|r| r.head.rel.starts_with("BSimulationRes"))
+            .collect();
+        assert_eq!(res_rules.len(), 1, "one shared sampling rule");
+        // The rewritten R-rule now has a deterministic head.
+        let r_rule = h2.rules.iter().find(|r| r.head.rel == "R").unwrap();
+        assert!(!r_rule.is_random());
+        assert_eq!(r_rule.body.len(), 1);
+    }
+
+    #[test]
+    fn distinct_names_stay_distinct() {
+        // G′0: Flip vs Flip′ must produce two sampling rules.
+        let g = parse_program("R(Flip<0.5>) :- true. R(Flip'<0.5>) :- true.").unwrap();
+        let g2 = simulate_barany_in_grohe(&g);
+        let res_rules: Vec<_> = g2
+            .rules
+            .iter()
+            .filter(|r| r.head.rel.starts_with("BSimulationRes"))
+            .collect();
+        assert_eq!(res_rules.len(), 2);
+    }
+
+    #[test]
+    fn grohe_in_barany_adds_rule_tags() {
+        let g = parse_program(
+            "Earthquake(C, Flip<0.1>) :- City(C, R). Trig(X, Flip<0.1>) :- U(X).",
+        )
+        .unwrap();
+        let g2 = simulate_grohe_in_barany(&g);
+        for (i, rule) in g2.rules.iter().enumerate() {
+            for arg in &rule.head.args {
+                if let TermAst::Random { tags, .. } = arg {
+                    assert!(
+                        matches!(&tags[0], TermAst::Const(v) if *v == Value::sym(&format!("grule{i}"))),
+                        "tag 0 must identify the rule"
+                    );
+                    assert!(tags.len() >= 2, "head args must be in the tags");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_rules_untouched() {
+        let g = parse_program("A(X) :- B(X).").unwrap();
+        assert_eq!(simulate_barany_in_grohe(&g), g);
+        assert_eq!(simulate_grohe_in_barany(&g), g);
+    }
+
+    #[test]
+    fn multi_random_terms_each_get_experiments() {
+        let g = parse_program("P(Flip<0.5>, Flip<0.7>) :- Q(X).").unwrap();
+        let g2 = simulate_barany_in_grohe(&g);
+        // Need rules: 2 (one per random term); Res rules: 1 (same signature);
+        // rewritten rule: 1. Total 4.
+        assert_eq!(g2.rules.len(), 4);
+        let p_rule = g2.rules.iter().find(|r| r.head.rel == "P").unwrap();
+        assert_eq!(p_rule.body.len(), 3, "body + two Res atoms");
+    }
+}

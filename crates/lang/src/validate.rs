@@ -1,0 +1,433 @@
+//! Name resolution, type inference and the well-formedness conditions of
+//! Defs. 3.1–3.3: bodies are deterministic conjunctions over exactly the
+//! rule's variables (range restriction / safety), random terms occur only
+//! in intensional heads, and every random term refers to a known
+//! parameterized distribution with an admissible parameter count.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use gdatalog_data::{Catalog, ColType, Instance, RelationKind, Tuple};
+use gdatalog_dist::Registry;
+
+use crate::ast::{AtomAst, Program, TermAst};
+use crate::LangError;
+
+/// A validated program: the AST plus the resolved catalog (extensional and
+/// intensional relations only — auxiliary relations appear later, during
+/// translation) and the initial instance built from the program's ground
+/// facts.
+#[derive(Debug, Clone)]
+pub struct ValidatedProgram {
+    /// The source AST.
+    pub program: Program,
+    /// Resolved schema `S = E ∪ I`.
+    pub catalog: Catalog,
+    /// The distribution family Ψ.
+    pub registry: Arc<Registry>,
+    /// Ground facts from the program text, as an instance.
+    pub initial_instance: Instance,
+}
+
+#[derive(Default, Clone)]
+struct RelInfo {
+    arity: Option<usize>,
+    declared: Option<Vec<ColType>>,
+    inferred: Vec<Option<ColType>>,
+    is_input_decl: bool,
+    in_head: bool,
+    first_seen: crate::ast::Span,
+}
+
+fn type_compat(flow: ColType, declared: ColType) -> bool {
+    declared == ColType::Any
+        || flow == ColType::Any
+        || flow == declared
+        || (flow == ColType::Int && declared == ColType::Real)
+}
+
+/// Validates `program` against the distribution family `registry`.
+///
+/// # Errors
+/// Returns the first violation found, with a source location when possible.
+pub fn validate(program: Program, registry: Arc<Registry>) -> Result<ValidatedProgram, LangError> {
+    let mut rels: HashMap<String, RelInfo> = HashMap::new();
+
+    let touch = |name: &str,
+                     arity: usize,
+                     span: crate::ast::Span,
+                     rels: &mut HashMap<String, RelInfo>|
+     -> Result<(), LangError> {
+        let info = rels.entry(name.to_string()).or_insert_with(|| RelInfo {
+            first_seen: span,
+            ..RelInfo::default()
+        });
+        match info.arity {
+            None => {
+                info.arity = Some(arity);
+                info.inferred = vec![None; arity];
+            }
+            Some(a) if a != arity => {
+                return Err(LangError::at(
+                    span,
+                    format!("relation `{name}` used with arity {arity} but previously {a}"),
+                ));
+            }
+            _ => {}
+        }
+        Ok(())
+    };
+
+    // Declarations.
+    for d in &program.decls {
+        touch(&d.name, d.cols.len(), d.span, &mut rels)?;
+        let info = rels.get_mut(&d.name).expect("just touched");
+        if info.declared.is_some() {
+            return Err(LangError::at(
+                d.span,
+                format!("relation `{}` declared twice", d.name),
+            ));
+        }
+        info.declared = Some(d.cols.clone());
+        info.is_input_decl = d.is_input;
+    }
+
+    // Facts.
+    for f in &program.facts {
+        touch(&f.rel, f.values.len(), f.span, &mut rels)?;
+    }
+
+    // Rules: arity collection + head marking.
+    for r in &program.rules {
+        touch(&r.head.rel, r.head.args.len(), r.head.span, &mut rels)?;
+        rels.get_mut(&r.head.rel).expect("touched").in_head = true;
+        for a in &r.body {
+            touch(&a.rel, a.args.len(), a.span, &mut rels)?;
+        }
+    }
+
+    // Well-formedness per rule.
+    for r in &program.rules {
+        // Bodies deterministic (the parser already enforces this for text
+        // input; re-check for programmatically built ASTs).
+        for a in &r.body {
+            if a.is_random() {
+                return Err(LangError::at(
+                    a.span,
+                    "random terms are not allowed in rule bodies (Def. 3.3)",
+                ));
+            }
+        }
+        // Safety / range restriction: head variables (including those in
+        // distribution parameters and tags) must occur in the body.
+        let mut body_vars: Vec<&str> = Vec::new();
+        for a in &r.body {
+            body_vars.extend(a.vars());
+        }
+        for v in r.head.vars() {
+            if !body_vars.contains(&v) {
+                return Err(LangError::at(
+                    r.head.span,
+                    format!("head variable `{v}` does not occur in the body (unsafe rule)"),
+                ));
+            }
+        }
+        // Random terms: distribution known, parameter count admissible, and
+        // only at top level of intensional heads.
+        for (i, t) in r.head.args.iter().enumerate() {
+            if let TermAst::Random {
+                dist,
+                params,
+                span,
+                ..
+            } = t
+            {
+                let d = registry.get(dist).ok_or_else(|| {
+                    LangError::at(*span, format!("unknown distribution `{dist}`"))
+                })?;
+                if !d.arity().admits(params.len()) {
+                    return Err(LangError::at(
+                        *span,
+                        format!(
+                            "distribution `{dist}` expects {} parameter(s), found {}",
+                            d.arity(),
+                            params.len()
+                        ),
+                    ));
+                }
+                let _ = i;
+            }
+        }
+    }
+
+    // Heads must be intensional: a declared-input relation cannot be derived.
+    for r in &program.rules {
+        let info = &rels[&r.head.rel];
+        if info.is_input_decl {
+            return Err(LangError::at(
+                r.head.span,
+                format!(
+                    "relation `{}` is declared `input` and cannot appear in a rule head",
+                    r.head.rel
+                ),
+            ));
+        }
+    }
+
+    // Type inference fixpoint. The lattice is Option<ColType> ordered by
+    // None < t < Any; joins are monotone so this terminates.
+    let join = |slot: &mut Option<ColType>, ty: ColType| -> bool {
+        let new = match *slot {
+            None => ty,
+            Some(old) => old.join(ty),
+        };
+        if *slot != Some(new) {
+            *slot = Some(new);
+            true
+        } else {
+            false
+        }
+    };
+
+    // Seed: facts flow value types into columns.
+    for f in &program.facts {
+        let info = rels.get_mut(&f.rel).expect("touched");
+        for (i, v) in f.values.iter().enumerate() {
+            join(&mut info.inferred[i], v.type_of());
+        }
+    }
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for r in &program.rules {
+            // Compute variable types from body positions.
+            let mut var_ty: HashMap<&str, ColType> = HashMap::new();
+            for a in &r.body {
+                let info = &rels[&a.rel];
+                let col_ty = |i: usize| -> Option<ColType> {
+                    info.declared
+                        .as_ref()
+                        .map(|c| c[i])
+                        .or(info.inferred[i])
+                };
+                for (i, t) in a.args.iter().enumerate() {
+                    if let TermAst::Var(v) = t {
+                        if let Some(ty) = col_ty(i) {
+                            var_ty
+                                .entry(v)
+                                .and_modify(|old| *old = old.join(ty))
+                                .or_insert(ty);
+                        }
+                    }
+                }
+            }
+            // Flow into head columns.
+            let head_rel = r.head.rel.clone();
+            for (i, t) in r.head.args.iter().enumerate() {
+                let ty = match t {
+                    TermAst::Const(c) => Some(c.type_of()),
+                    TermAst::Var(v) => var_ty.get(v.as_str()).copied(),
+                    TermAst::Random { dist, .. } => {
+                        registry.get(dist).map(|d| d.output_type())
+                    }
+                };
+                if let Some(ty) = ty {
+                    let info = rels.get_mut(&head_rel).expect("touched");
+                    changed |= join(&mut info.inferred[i], ty);
+                }
+            }
+        }
+    }
+
+    // Check inferred flows against declared types.
+    for (name, info) in &rels {
+        if let Some(declared) = &info.declared {
+            for (i, inf) in info.inferred.iter().enumerate() {
+                if let Some(ty) = inf {
+                    if !type_compat(*ty, declared[i]) {
+                        return Err(LangError::at(
+                            info.first_seen,
+                            format!(
+                                "relation `{name}` column {i}: inferred type {ty} conflicts with declared {}",
+                                declared[i]
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // Build the catalog: deterministic order (sorted by name) so RelIds are
+    // reproducible across runs.
+    let mut names: Vec<&String> = rels.keys().collect();
+    names.sort();
+    let mut catalog = Catalog::new();
+    for name in names {
+        let info = &rels[name];
+        let cols: Vec<ColType> = match &info.declared {
+            Some(c) => c.clone(),
+            None => info
+                .inferred
+                .iter()
+                .map(|t| t.unwrap_or(ColType::Any))
+                .collect(),
+        };
+        let kind = if info.in_head {
+            RelationKind::Intensional
+        } else {
+            RelationKind::Extensional
+        };
+        catalog
+            .declare_named(name, cols, kind)
+            .map_err(|e| LangError::msg(e.to_string()))?;
+    }
+
+    // Materialize the ground facts, type-checking against the catalog.
+    let mut initial_instance = Instance::new();
+    for f in &program.facts {
+        let rel = catalog.require(&f.rel).map_err(|e| LangError::msg(e.to_string()))?;
+        let tuple = Tuple::from(f.values.clone());
+        catalog
+            .check_tuple(rel, &tuple)
+            .map_err(|e| LangError::at(f.span, e.to_string()))?;
+        initial_instance.insert(rel, tuple);
+    }
+
+    Ok(ValidatedProgram {
+        program,
+        catalog,
+        registry,
+        initial_instance,
+    })
+}
+
+/// Convenience: collect the distinct variable names of a rule in first-use
+/// order (head first-use order matters only for diagnostics).
+pub(crate) fn rule_vars(head: &AtomAst, body: &[AtomAst]) -> Vec<String> {
+    let mut seen: Vec<String> = Vec::new();
+    for a in body.iter().chain(std::iter::once(head)) {
+        for v in a.vars() {
+            if !seen.iter().any(|s| s == v) {
+                seen.push(v.to_string());
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn check(src: &str) -> Result<ValidatedProgram, LangError> {
+        validate(parse_program(src).unwrap(), Arc::new(Registry::standard()))
+    }
+
+    #[test]
+    fn burglary_program_validates() {
+        let v = check(
+            r#"
+            rel City(symbol, real) input.
+            City(gotham, 0.3).
+            Earthquake(C, Flip<0.1>) :- City(C, R).
+            Alarm(X) :- Trig(X, 1).
+            Trig(X, Flip<0.6>) :- Earthquake(X, 1).
+        "#,
+        )
+        .unwrap();
+        let city = v.catalog.require("City").unwrap();
+        assert_eq!(v.catalog.decl(city).kind(), RelationKind::Extensional);
+        let eq = v.catalog.require("Earthquake").unwrap();
+        assert_eq!(v.catalog.decl(eq).kind(), RelationKind::Intensional);
+        // Inferred: Earthquake(symbol-ish, int from Flip).
+        assert_eq!(v.catalog.decl(eq).cols()[1], ColType::Int);
+        assert_eq!(v.initial_instance.len(), 1);
+    }
+
+    #[test]
+    fn unsafe_head_var_rejected() {
+        let err = check("R(X) :- Q(Y).").unwrap_err();
+        assert!(err.message.contains("unsafe"), "{}", err.message);
+    }
+
+    #[test]
+    fn unsafe_param_var_rejected() {
+        let err = check("R(Flip<P>) :- Q(Y).").unwrap_err();
+        assert!(err.message.contains("`P`"), "{}", err.message);
+    }
+
+    #[test]
+    fn unknown_distribution_rejected() {
+        let err = check("R(Zorp<0.5>) :- true.").unwrap_err();
+        assert!(err.message.contains("unknown distribution"), "{}", err.message);
+    }
+
+    #[test]
+    fn wrong_param_count_rejected() {
+        let err = check("R(Normal<1.0>) :- true.").unwrap_err();
+        assert!(err.message.contains("parameter"), "{}", err.message);
+    }
+
+    #[test]
+    fn input_relation_cannot_be_head() {
+        let err = check("rel Q(int) input. Q(X) :- R(X).").unwrap_err();
+        assert!(err.message.contains("cannot appear in a rule head"), "{}", err.message);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let err = check("R(X) :- Q(X). S(Y) :- Q(Y, Y).").unwrap_err();
+        assert!(err.message.contains("arity"), "{}", err.message);
+    }
+
+    #[test]
+    fn declared_type_conflict_rejected() {
+        let err = check("rel R(symbol). R(Flip<0.5>) :- true.").unwrap_err();
+        assert!(err.message.contains("conflicts"), "{}", err.message);
+    }
+
+    #[test]
+    fn int_flows_into_real_columns() {
+        // Fact has Int in a column later joined with Real: inferred Real.
+        let v = check("M(1). M(0.5). P(Normal<X, 1.0>) :- M(X).").unwrap();
+        let m = v.catalog.require("M").unwrap();
+        assert_eq!(v.catalog.decl(m).cols()[0], ColType::Real);
+    }
+
+    #[test]
+    fn types_propagate_through_rules() {
+        let v = check(
+            r#"
+            rel PCountry(symbol, symbol) input.
+            rel CMoments(symbol, real, real) input.
+            PHeight(P, Normal<Mu, S2>) :- PCountry(P, C), CMoments(C, Mu, S2).
+        "#,
+        )
+        .unwrap();
+        let ph = v.catalog.require("PHeight").unwrap();
+        assert_eq!(v.catalog.decl(ph).cols()[0], ColType::Symbol);
+        assert_eq!(v.catalog.decl(ph).cols()[1], ColType::Real);
+    }
+
+    #[test]
+    fn fact_type_checked_against_declaration() {
+        // The type-inference pass flags the conflict between the Int flow
+        // and the declared symbol column.
+        let err = check("rel City(symbol, real) input. City(1, 0.5).").unwrap_err();
+        assert!(
+            err.message.contains("conflicts") || err.message.contains("type mismatch"),
+            "{}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn rule_vars_order() {
+        let p = parse_program("R(X, Y) :- A(Y, Z), B(X).").unwrap();
+        let vars = rule_vars(&p.rules[0].head, &p.rules[0].body);
+        assert_eq!(vars, vec!["Y", "Z", "X"]);
+    }
+}

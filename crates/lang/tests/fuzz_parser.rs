@@ -1,0 +1,73 @@
+//! Fuzz-style robustness tests: the front-end must never panic — every
+//! input either parses or yields a located error, and everything that
+//! validates also translates.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use gdatalog_dist::Registry;
+use gdatalog_lang::{parse_program, translate, validate, SemanticsMode};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes: parse returns Ok or Err, never panics.
+    #[test]
+    fn parser_total_on_arbitrary_input(src in "[ -~\\n]{0,200}") {
+        let _ = parse_program(&src);
+    }
+
+    /// Arbitrary near-miss programs assembled from plausible fragments.
+    #[test]
+    fn parser_total_on_program_like_input(
+        frags in proptest::collection::vec(
+            prop_oneof![
+                Just("R(X) :- Q(X)."),
+                Just("R(Flip<0.5>) :- true."),
+                Just("rel Q(int) input."),
+                Just("Q(1)."),
+                Just("R(Flip<P | X>) :- Q(P, X)."),
+                Just("R(X :- Q."),          // broken
+                Just("<>,|()."),            // broken
+                Just("R(Normal<0.0>) :- true."), // wrong arity
+                Just("R(Zorp<1>) :- true."),     // unknown dist
+            ],
+            0..8,
+        )
+    ) {
+        let src = frags.join("\n");
+        // Parse may fail; if it succeeds, validation may fail; if that
+        // succeeds, translation must succeed (validation is the gate).
+        if let Ok(ast) = parse_program(&src) {
+            if let Ok(v) = validate(ast, Arc::new(Registry::standard())) {
+                for mode in [SemanticsMode::Grohe, SemanticsMode::Barany] {
+                    prop_assert!(translate(&v, mode).is_ok(), "translate failed on:\n{src}");
+                }
+            }
+        }
+    }
+
+    /// Pretty-printing round trip on whatever parses: render → reparse →
+    /// render is a fixpoint.
+    #[test]
+    fn pretty_print_is_stable(
+        frags in proptest::collection::vec(
+            prop_oneof![
+                Just("R(X) :- Q(X)."),
+                Just("R(Flip<0.5>) :- true."),
+                Just("S(Normal<0.0, 1.0>, X) :- Q(X)."),
+                Just("G(Geometric<0.5 | X, Y>) :- Q(X, Y)."),
+                Just("Q(1, a)."),
+                Just("T(\"s\", true, -2.5)."),
+            ],
+            1..6,
+        )
+    ) {
+        let src = frags.join("\n");
+        let p1 = parse_program(&src).expect("fragments are valid");
+        let r1 = p1.to_string();
+        let p2 = parse_program(&r1).expect("rendered text reparses");
+        prop_assert_eq!(r1, p2.to_string());
+    }
+}

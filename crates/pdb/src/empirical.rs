@@ -1,0 +1,176 @@
+//! Monte-Carlo estimates of (sub-)probabilistic databases.
+
+use std::collections::BTreeMap;
+
+use gdatalog_data::{Fact, Instance, RelId};
+
+/// An empirical SPDB: a bag of sampled instances plus a count of runs that
+/// ended in the error event (budget exhaustion — the `err` element of
+/// §4.2 of the paper).
+#[derive(Debug, Clone, Default)]
+pub struct EmpiricalPdb {
+    samples: Vec<Instance>,
+    errors: usize,
+}
+
+impl EmpiricalPdb {
+    /// An empty estimate.
+    pub fn new() -> EmpiricalPdb {
+        EmpiricalPdb::default()
+    }
+
+    /// Records a successfully terminated run.
+    pub fn push(&mut self, instance: Instance) {
+        self.samples.push(instance);
+    }
+
+    /// Records a run that hit the budget (error event).
+    pub fn push_error(&mut self) {
+        self.errors += 1;
+    }
+
+    /// Merges another estimate into this one.
+    pub fn merge(&mut self, other: EmpiricalPdb) {
+        self.samples.extend(other.samples);
+        self.errors += other.errors;
+    }
+
+    /// Successfully terminated samples.
+    pub fn samples(&self) -> &[Instance] {
+        &self.samples
+    }
+
+    /// Number of error runs.
+    pub fn errors(&self) -> usize {
+        self.errors
+    }
+
+    /// Total number of runs.
+    pub fn runs(&self) -> usize {
+        self.samples.len() + self.errors
+    }
+
+    /// Estimated SPDB mass (fraction of runs that terminated).
+    pub fn mass(&self) -> f64 {
+        if self.runs() == 0 {
+            0.0
+        } else {
+            self.samples.len() as f64 / self.runs() as f64
+        }
+    }
+
+    /// Estimated probability of "the world satisfies `pred`" (errors count
+    /// as not satisfying, matching sub-probability semantics).
+    pub fn estimate(&self, mut pred: impl FnMut(&Instance) -> bool) -> f64 {
+        if self.runs() == 0 {
+            return 0.0;
+        }
+        self.samples.iter().filter(|d| pred(d)).count() as f64 / self.runs() as f64
+    }
+
+    /// Estimated marginal `P(f ∈ D)`.
+    pub fn marginal(&self, fact: &Fact) -> f64 {
+        self.estimate(|d| d.contains(fact.rel, &fact.tuple))
+    }
+
+    /// Collapses the samples into an empirical distribution over canonical
+    /// instances (suitable for chi-square comparison against an exact
+    /// [`crate::PossibleWorlds`] table).
+    pub fn to_distribution(&self) -> BTreeMap<Instance, f64> {
+        let mut out: BTreeMap<Instance, f64> = BTreeMap::new();
+        let n = self.runs().max(1) as f64;
+        for s in &self.samples {
+            *out.entry(s.clone()).or_insert(0.0) += 1.0 / n;
+        }
+        out
+    }
+
+    /// Projects every sample to the relations accepted by `keep`.
+    pub fn project_relations(&self, mut keep: impl FnMut(RelId) -> bool) -> EmpiricalPdb {
+        EmpiricalPdb {
+            samples: self
+                .samples
+                .iter()
+                .map(|d| d.project_relations(&mut keep))
+                .collect(),
+            errors: self.errors,
+        }
+    }
+
+    /// Extracts, from every sample, the numeric value at `col` of each fact
+    /// in `rel` — the raw material for KS tests against a target
+    /// distribution (e.g. Example 3.5's heights).
+    pub fn column_values(&self, rel: RelId, col: usize) -> Vec<f64> {
+        let mut out = Vec::new();
+        for s in &self.samples {
+            for t in s.relation(rel) {
+                if let Some(x) = t[col].as_f64() {
+                    out.push(x);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdatalog_data::tuple;
+
+    fn r(n: u32) -> RelId {
+        RelId(n)
+    }
+
+    #[test]
+    fn estimates_and_mass() {
+        let mut e = EmpiricalPdb::new();
+        let mut d1 = Instance::new();
+        d1.insert(r(0), tuple![1i64]);
+        e.push(d1.clone());
+        e.push(d1);
+        e.push(Instance::new());
+        e.push_error();
+        assert_eq!(e.runs(), 4);
+        assert!((e.mass() - 0.75).abs() < 1e-12);
+        assert!((e.estimate(|d| !d.is_empty()) - 0.5).abs() < 1e-12);
+        let f = Fact::new(r(0), tuple![1i64]);
+        assert!((e.marginal(&f) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distribution_sums_to_mass() {
+        let mut e = EmpiricalPdb::new();
+        let mut d1 = Instance::new();
+        d1.insert(r(0), tuple![1i64]);
+        e.push(d1);
+        e.push(Instance::new());
+        e.push_error();
+        let dist = e.to_distribution();
+        let total: f64 = dist.values().sum();
+        assert!((total - e.mass()).abs() < 1e-12);
+        assert_eq!(dist.len(), 2);
+    }
+
+    #[test]
+    fn column_extraction() {
+        let mut e = EmpiricalPdb::new();
+        let mut d = Instance::new();
+        d.insert(r(0), tuple!["a", 1.5]);
+        d.insert(r(0), tuple!["b", 2.5]);
+        e.push(d);
+        let vals = e.column_values(r(0), 1);
+        assert_eq!(vals, vec![1.5, 2.5]);
+    }
+
+    #[test]
+    fn merge_combines_runs() {
+        let mut a = EmpiricalPdb::new();
+        a.push(Instance::new());
+        let mut b = EmpiricalPdb::new();
+        b.push_error();
+        a.merge(b);
+        assert_eq!(a.runs(), 2);
+        assert_eq!(a.errors(), 1);
+    }
+}

@@ -1,0 +1,248 @@
+//! Measurable sets, syntactically.
+//!
+//! The paper builds the instance σ-algebra `D` from **counting events**
+//! `C(F, n)` — "the instance contains exactly `n` facts from the measurable
+//! fact set `F`" (§2.3). Here measurable fact sets are represented by
+//! [`FactSet`]: a relation selector with per-column constraints (equality
+//! and intervals), which are exactly the generators used in the paper's
+//! construction of the fact space σ-algebra. [`Event`] closes counting
+//! events under boolean combinations.
+
+use gdatalog_data::{Fact, Instance, RelId, Tuple, Value};
+
+/// A per-column predicate: a generator of the column σ-algebra.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColPred {
+    /// Any value.
+    Any,
+    /// Exactly this value.
+    Eq(Value),
+    /// A numeric interval `[lo, hi)`; either bound may be infinite. Matches
+    /// `Int` and `Real` values by their numeric value.
+    Range {
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Exclusive upper bound.
+        hi: f64,
+    },
+    /// One of finitely many values.
+    OneOf(Vec<Value>),
+}
+
+impl ColPred {
+    /// Whether `v` satisfies the predicate.
+    pub fn matches(&self, v: &Value) -> bool {
+        match self {
+            ColPred::Any => true,
+            ColPred::Eq(w) => v == w,
+            ColPred::Range { lo, hi } => match v.as_f64() {
+                Some(x) => x >= *lo && x < *hi,
+                None => false,
+            },
+            ColPred::OneOf(vs) => vs.contains(v),
+        }
+    }
+}
+
+/// A measurable set of facts: facts of `rel` whose columns satisfy the
+/// predicates. `cols` shorter than the arity leaves trailing columns
+/// unconstrained.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FactSet {
+    /// The relation.
+    pub rel: RelId,
+    /// Column predicates.
+    pub cols: Vec<ColPred>,
+}
+
+impl FactSet {
+    /// All facts of a relation.
+    pub fn whole_relation(rel: RelId) -> FactSet {
+        FactSet { rel, cols: vec![] }
+    }
+
+    /// The singleton set of one fact.
+    pub fn singleton(fact: &Fact) -> FactSet {
+        FactSet {
+            rel: fact.rel,
+            cols: fact.tuple.values().iter().cloned().map(ColPred::Eq).collect(),
+        }
+    }
+
+    /// Whether a tuple of `rel` belongs to the set.
+    pub fn matches(&self, rel: RelId, tuple: &Tuple) -> bool {
+        rel == self.rel
+            && self
+                .cols
+                .iter()
+                .zip(tuple.values())
+                .all(|(p, v)| p.matches(v))
+    }
+
+    /// Number of facts of `instance` in the set — the counting statistic of
+    /// `C(F, n)`.
+    pub fn count_in(&self, instance: &Instance) -> usize {
+        instance
+            .relation(self.rel)
+            .iter()
+            .filter(|t| self.matches(self.rel, t))
+            .count()
+    }
+}
+
+/// Comparison operator for counting events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CountOp {
+    /// Exactly `n` (the paper's `C(F, n)`).
+    Exactly,
+    /// At least `n`.
+    AtLeast,
+    /// At most `n`.
+    AtMost,
+}
+
+/// A measurable instance event: boolean combinations of counting events.
+/// These generate the instance σ-algebra `D` (§2.3).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// The whole space.
+    True,
+    /// Counting event `|D ∩ F| op n`.
+    Count {
+        /// The fact set `F`.
+        set: FactSet,
+        /// The comparison.
+        op: CountOp,
+        /// The count `n`.
+        n: usize,
+    },
+    /// Conjunction.
+    And(Box<Event>, Box<Event>),
+    /// Disjunction.
+    Or(Box<Event>, Box<Event>),
+    /// Complement.
+    Not(Box<Event>),
+}
+
+impl Event {
+    /// The counting event `C(F, n)` of the paper.
+    pub fn count_exactly(set: FactSet, n: usize) -> Event {
+        Event::Count {
+            set,
+            op: CountOp::Exactly,
+            n,
+        }
+    }
+
+    /// The event "fact `f` is present" (`|D ∩ {f}| ≥ 1`).
+    pub fn contains_fact(fact: &Fact) -> Event {
+        Event::Count {
+            set: FactSet::singleton(fact),
+            op: CountOp::AtLeast,
+            n: 1,
+        }
+    }
+
+    /// Conjunction helper.
+    pub fn and(self, other: Event) -> Event {
+        Event::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction helper.
+    pub fn or(self, other: Event) -> Event {
+        Event::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Complement helper.
+    pub fn not(self) -> Event {
+        Event::Not(Box::new(self))
+    }
+
+    /// Whether `instance` lies in the event.
+    pub fn eval(&self, instance: &Instance) -> bool {
+        match self {
+            Event::True => true,
+            Event::Count { set, op, n } => {
+                let c = set.count_in(instance);
+                match op {
+                    CountOp::Exactly => c == *n,
+                    CountOp::AtLeast => c >= *n,
+                    CountOp::AtMost => c <= *n,
+                }
+            }
+            Event::And(a, b) => a.eval(instance) && b.eval(instance),
+            Event::Or(a, b) => a.eval(instance) || b.eval(instance),
+            Event::Not(a) => !a.eval(instance),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdatalog_data::tuple;
+
+    fn r(n: u32) -> RelId {
+        RelId(n)
+    }
+
+    fn demo() -> Instance {
+        let mut d = Instance::new();
+        d.insert(r(0), tuple!["a", 1.0]);
+        d.insert(r(0), tuple!["b", 2.5]);
+        d.insert(r(0), tuple!["c", 7.0]);
+        d.insert(r(1), tuple![42i64]);
+        d
+    }
+
+    #[test]
+    fn col_predicates() {
+        assert!(ColPred::Any.matches(&Value::int(5)));
+        assert!(ColPred::Eq(Value::sym("a")).matches(&Value::sym("a")));
+        assert!(!ColPred::Eq(Value::sym("a")).matches(&Value::sym("b")));
+        let range = ColPred::Range { lo: 1.0, hi: 3.0 };
+        assert!(range.matches(&Value::real(1.0)));
+        assert!(range.matches(&Value::int(2)));
+        assert!(!range.matches(&Value::real(3.0)));
+        assert!(!range.matches(&Value::sym("a")));
+        assert!(ColPred::OneOf(vec![Value::int(1), Value::int(2)]).matches(&Value::int(2)));
+    }
+
+    #[test]
+    fn fact_set_counting() {
+        let d = demo();
+        assert_eq!(FactSet::whole_relation(r(0)).count_in(&d), 3);
+        let mid = FactSet {
+            rel: r(0),
+            cols: vec![ColPred::Any, ColPred::Range { lo: 0.0, hi: 3.0 }],
+        };
+        assert_eq!(mid.count_in(&d), 2);
+        let f = Fact::new(r(1), tuple![42i64]);
+        assert_eq!(FactSet::singleton(&f).count_in(&d), 1);
+    }
+
+    #[test]
+    fn counting_events() {
+        let d = demo();
+        assert!(Event::count_exactly(FactSet::whole_relation(r(0)), 3).eval(&d));
+        assert!(!Event::count_exactly(FactSet::whole_relation(r(0)), 2).eval(&d));
+        let at_least_two = Event::Count {
+            set: FactSet::whole_relation(r(0)),
+            op: CountOp::AtLeast,
+            n: 2,
+        };
+        assert!(at_least_two.eval(&d));
+    }
+
+    #[test]
+    fn boolean_combinations() {
+        let d = demo();
+        let f = Fact::new(r(1), tuple![42i64]);
+        let has42 = Event::contains_fact(&f);
+        let empty_r0 = Event::count_exactly(FactSet::whole_relation(r(0)), 0);
+        assert!(has42.clone().and(empty_r0.clone().not()).eval(&d));
+        assert!(!has42.clone().and(empty_r0.clone()).eval(&d));
+        assert!(has42.or(empty_r0).eval(&d));
+        assert!(Event::True.eval(&d));
+    }
+}

@@ -1,0 +1,168 @@
+//! Expectations of numeric queries over (sub-)probabilistic databases.
+//!
+//! Aggregate queries are measurable (Fact 2.6), so their answers are random
+//! variables over the SPDB; this module computes their moments. On a
+//! *sub*-probabilistic database the conventions are explicit: expectations
+//! can be taken conditionally on termination (renormalized by the mass) or
+//! with the deficit contributing a default value.
+
+use gdatalog_data::{Fact, Instance, RelId, Tuple};
+
+use crate::query::{eval_query, Query};
+use crate::worlds::PossibleWorlds;
+
+/// Mean and variance of a world statistic over a world table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Moments {
+    /// Expected value.
+    pub mean: f64,
+    /// Variance.
+    pub variance: f64,
+    /// The probability mass the moments are taken over.
+    pub mass: f64,
+}
+
+/// Moments of an arbitrary numeric world statistic `f(D)`, conditioned on
+/// termination (i.e. normalized by the table's mass).
+///
+/// Returns `None` when the table is empty (mass 0).
+pub fn moments_of(
+    worlds: &PossibleWorlds,
+    mut statistic: impl FnMut(&Instance) -> f64,
+) -> Option<Moments> {
+    let mass = worlds.mass();
+    if mass <= 0.0 {
+        return None;
+    }
+    let mut mean = 0.0;
+    for (d, p) in worlds.iter() {
+        mean += statistic(d) * p;
+    }
+    mean /= mass;
+    let mut var = 0.0;
+    for (d, p) in worlds.iter() {
+        let x = statistic(d) - mean;
+        var += x * x * p;
+    }
+    Some(Moments {
+        mean,
+        variance: var / mass,
+        mass,
+    })
+}
+
+/// Moments of a **scalar aggregate query** (a query whose answer in every
+/// world is a single tuple whose last column is numeric — e.g.
+/// `Query::aggregate` with empty `group_by`). Worlds where the answer is
+/// empty contribute `empty_default`.
+pub fn query_moments(
+    worlds: &PossibleWorlds,
+    query: &Query,
+    empty_default: f64,
+) -> Option<Moments> {
+    moments_of(worlds, |d| {
+        let ans = eval_query(query, d);
+        ans.iter()
+            .next()
+            .and_then(|t| t.values().last())
+            .and_then(gdatalog_data::Value::as_f64)
+            .unwrap_or(empty_default)
+    })
+}
+
+/// Expected cardinality of one relation (`E[|D ∩ R|]`), conditional on
+/// termination.
+pub fn expected_relation_size(worlds: &PossibleWorlds, rel: RelId) -> Option<Moments> {
+    moments_of(worlds, |d| d.relation_len(rel) as f64)
+}
+
+/// All fact marginals of one relation: `P(R(t̄) ∈ D)` for every tuple that
+/// occurs in some world, sorted by tuple.
+pub fn fact_marginals(worlds: &PossibleWorlds, rel: RelId) -> Vec<(Fact, f64)> {
+    use std::collections::BTreeMap;
+    let mut acc: BTreeMap<Tuple, f64> = BTreeMap::new();
+    for (d, p) in worlds.iter() {
+        for t in d.relation(rel) {
+            *acc.entry(t.clone()).or_insert(0.0) += p;
+        }
+    }
+    acc.into_iter()
+        .map(|(t, p)| (Fact::new(rel, t), p))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::AggFun;
+    use gdatalog_data::{tuple, RelId, Value};
+
+    fn r(n: u32) -> RelId {
+        RelId(n)
+    }
+
+    /// Table: w.p. 0.5 the relation holds {1, 2}; w.p. 0.25 it holds {5};
+    /// w.p. 0.25 it is empty.
+    fn demo() -> PossibleWorlds {
+        let mut w = PossibleWorlds::new();
+        let mut d1 = Instance::new();
+        d1.insert(r(0), tuple![1i64]);
+        d1.insert(r(0), tuple![2i64]);
+        w.add(d1, 0.5);
+        let mut d2 = Instance::new();
+        d2.insert(r(0), tuple![5i64]);
+        w.add(d2, 0.25);
+        w.add(Instance::new(), 0.25);
+        w
+    }
+
+    #[test]
+    fn expected_size() {
+        let m = expected_relation_size(&demo(), r(0)).unwrap();
+        // E = 0.5·2 + 0.25·1 + 0.25·0 = 1.25.
+        assert!((m.mean - 1.25).abs() < 1e-12);
+        // E[X²] = 0.5·4 + 0.25·1 = 2.25 → var = 2.25 − 1.5625 = 0.6875.
+        assert!((m.variance - 0.6875).abs() < 1e-12);
+        assert!((m.mass - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn query_moments_of_sum() {
+        // Sum of column 0, empty worlds contribute 0.
+        let q = Query::Rel(r(0)).aggregate(vec![], AggFun::Sum, 0);
+        let m = query_moments(&demo(), &q, 0.0).unwrap();
+        // E = 0.5·3 + 0.25·5 + 0.25·0 = 2.75.
+        assert!((m.mean - 2.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginals_enumerate_facts() {
+        let ms = fact_marginals(&demo(), r(0));
+        assert_eq!(ms.len(), 3);
+        let lookup = |v: i64| {
+            ms.iter()
+                .find(|(f, _)| f.tuple == tuple![v])
+                .map(|(_, p)| *p)
+                .unwrap()
+        };
+        assert!((lookup(1) - 0.5).abs() < 1e-12);
+        assert!((lookup(2) - 0.5).abs() < 1e-12);
+        assert!((lookup(5) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subprobabilistic_conditioning_convention() {
+        // Mass 0.5 table: moments are conditional on termination.
+        let mut w = PossibleWorlds::new();
+        let mut d = Instance::new();
+        d.insert(r(0), tuple![10i64]);
+        w.add(d, 0.5);
+        w.add_nontermination(0.5);
+        let m = expected_relation_size(&w, r(0)).unwrap();
+        assert!((m.mean - 1.0).abs() < 1e-12, "conditional on termination");
+        assert!((m.mass - 0.5).abs() < 1e-12);
+        // Empty table → None.
+        assert!(expected_relation_size(&PossibleWorlds::new(), r(0)).is_none());
+        let _ = Value::int(0);
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # gdatalog-pdb
+//!
+//! (Sub-)probabilistic databases (§2.3 of the paper):
+//!
+//! * [`PossibleWorlds`] — an *exact* discrete SPDB: a finite table of
+//!   canonical instances with probabilities, plus an explicit **mass
+//!   deficit** attributing missing probability to non-termination
+//!   (budget-cut chase paths — the paper's `err` element) or to support
+//!   truncation (tails of countably-infinite discrete distributions).
+//!   This is the operational counterpart of Def. 2.7.
+//! * [`EmpiricalPdb`] — a Monte-Carlo estimate of an SPDB: a bag of sampled
+//!   instances plus an error counter.
+//! * [`events`] — *measurable sets, syntactically*: fact predicates built
+//!   from per-column constraints (equality and intervals — exactly the
+//!   generators of the fact σ-algebra used in the paper's construction),
+//!   counting events `C(F, n)`, and their boolean combinations, which
+//!   generate the instance σ-algebra `D`.
+//! * [`query`] — relational algebra (σ, π, ⋈, ∪, −, ρ) and aggregation
+//!   evaluated per world: the measurable queries of Fact 2.6, lifted from
+//!   instances to (S)PDBs.
+
+pub mod empirical;
+pub mod events;
+pub mod expectation;
+pub mod query;
+pub mod worlds;
+
+pub use empirical::EmpiricalPdb;
+pub use events::{ColPred, CountOp, Event, FactSet};
+pub use expectation::{expected_relation_size, fact_marginals, moments_of, query_moments, Moments};
+pub use query::{eval_query, eval_query_worlds, AggFun, Query};
+pub use worlds::{MassDeficit, PossibleWorlds};

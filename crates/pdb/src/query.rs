@@ -1,0 +1,327 @@
+//! Relational algebra and aggregation, evaluated per world.
+//!
+//! Fact 2.6 of the paper: relational algebra and aggregate queries are
+//! measurable functions on PDBs, so applying a query to an SPDB yields an
+//! SPDB. Operationally: evaluate the query in every world and push the
+//! probabilities forward ([`eval_query_worlds`]); on empirical PDBs,
+//! evaluate per sample.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use gdatalog_data::{Instance, RelId, Tuple, Value};
+
+use crate::events::ColPred;
+use crate::worlds::PossibleWorlds;
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFun {
+    /// Row count.
+    Count,
+    /// Numeric sum.
+    Sum,
+    /// Numeric average.
+    Avg,
+    /// Minimum (by value order).
+    Min,
+    /// Maximum (by value order).
+    Max,
+}
+
+/// A relational-algebra query tree over a database instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// All tuples of a relation.
+    Rel(RelId),
+    /// Selection σ: keep tuples whose columns satisfy the predicates.
+    Select {
+        /// Input query.
+        input: Box<Query>,
+        /// `(column, predicate)` conjuncts.
+        preds: Vec<(usize, ColPred)>,
+    },
+    /// Projection π (also handles column reordering/duplication).
+    Project {
+        /// Input query.
+        input: Box<Query>,
+        /// Output columns, as indices into the input.
+        cols: Vec<usize>,
+    },
+    /// Natural-style equijoin ⋈ on explicit column pairs; output is the
+    /// concatenation of both sides' tuples.
+    Join {
+        /// Left input.
+        left: Box<Query>,
+        /// Right input.
+        right: Box<Query>,
+        /// `(left column, right column)` equality constraints.
+        on: Vec<(usize, usize)>,
+    },
+    /// Set union ∪ (inputs must have equal arity).
+    Union(Box<Query>, Box<Query>),
+    /// Set difference −.
+    Diff(Box<Query>, Box<Query>),
+    /// Grouped aggregation: one output tuple per group,
+    /// `group_cols ++ [aggregate]`.
+    Aggregate {
+        /// Input query.
+        input: Box<Query>,
+        /// Group-by columns.
+        group_by: Vec<usize>,
+        /// The aggregate function.
+        agg: AggFun,
+        /// The aggregated column (ignored for `Count`).
+        col: usize,
+    },
+}
+
+impl Query {
+    /// `σ` helper.
+    pub fn select(self, preds: Vec<(usize, ColPred)>) -> Query {
+        Query::Select {
+            input: Box::new(self),
+            preds,
+        }
+    }
+
+    /// `π` helper.
+    pub fn project(self, cols: Vec<usize>) -> Query {
+        Query::Project {
+            input: Box::new(self),
+            cols,
+        }
+    }
+
+    /// `⋈` helper.
+    pub fn join(self, right: Query, on: Vec<(usize, usize)>) -> Query {
+        Query::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            on,
+        }
+    }
+
+    /// Aggregation helper.
+    pub fn aggregate(self, group_by: Vec<usize>, agg: AggFun, col: usize) -> Query {
+        Query::Aggregate {
+            input: Box::new(self),
+            group_by,
+            agg,
+            col,
+        }
+    }
+}
+
+/// Evaluates a query in one world (set semantics).
+pub fn eval_query(q: &Query, instance: &Instance) -> BTreeSet<Tuple> {
+    match q {
+        Query::Rel(rel) => instance.relation(*rel).clone(),
+        Query::Select { input, preds } => eval_query(input, instance)
+            .into_iter()
+            .filter(|t| preds.iter().all(|(c, p)| p.matches(&t[*c])))
+            .collect(),
+        Query::Project { input, cols } => eval_query(input, instance)
+            .into_iter()
+            .map(|t| t.project(cols))
+            .collect(),
+        Query::Join { left, right, on } => {
+            let l = eval_query(left, instance);
+            let r = eval_query(right, instance);
+            // Hash join on the key columns.
+            let mut index: BTreeMap<Vec<Value>, Vec<&Tuple>> = BTreeMap::new();
+            for t in &r {
+                let key: Vec<Value> = on.iter().map(|&(_, rc)| t[rc].clone()).collect();
+                index.entry(key).or_default().push(t);
+            }
+            let mut out = BTreeSet::new();
+            for lt in &l {
+                let key: Vec<Value> = on.iter().map(|&(lc, _)| lt[lc].clone()).collect();
+                if let Some(matches) = index.get(&key) {
+                    for rt in matches {
+                        out.insert(lt.concat(rt));
+                    }
+                }
+            }
+            out
+        }
+        Query::Union(a, b) => {
+            let mut out = eval_query(a, instance);
+            out.extend(eval_query(b, instance));
+            out
+        }
+        Query::Diff(a, b) => {
+            let bb = eval_query(b, instance);
+            eval_query(a, instance)
+                .into_iter()
+                .filter(|t| !bb.contains(t))
+                .collect()
+        }
+        Query::Aggregate {
+            input,
+            group_by,
+            agg,
+            col,
+        } => {
+            let rows = eval_query(input, instance);
+            let mut groups: BTreeMap<Tuple, Vec<&Tuple>> = BTreeMap::new();
+            for t in &rows {
+                groups.entry(t.project(group_by)).or_default().push(t);
+            }
+            groups
+                .into_iter()
+                .map(|(key, members)| {
+                    let agg_val = match agg {
+                        AggFun::Count => Value::int(members.len() as i64),
+                        AggFun::Sum | AggFun::Avg => {
+                            let mut s = 0.0;
+                            let mut all_int = true;
+                            for m in &members {
+                                match &m[*col] {
+                                    Value::Int(i) => s += *i as f64,
+                                    Value::Real(r) => {
+                                        all_int = false;
+                                        s += r.get();
+                                    }
+                                    _ => all_int = false,
+                                }
+                            }
+                            if *agg == AggFun::Avg {
+                                Value::real(s / members.len() as f64)
+                            } else if all_int {
+                                Value::int(s as i64)
+                            } else {
+                                Value::real(s)
+                            }
+                        }
+                        AggFun::Min => members
+                            .iter()
+                            .map(|m| m[*col].clone())
+                            .min()
+                            .expect("nonempty group"),
+                        AggFun::Max => members
+                            .iter()
+                            .map(|m| m[*col].clone())
+                            .max()
+                            .expect("nonempty group"),
+                    };
+                    let mut vals: Vec<Value> = key.values().to_vec();
+                    vals.push(agg_val);
+                    Tuple::from(vals)
+                })
+                .collect()
+        }
+    }
+}
+
+/// Evaluates a query over a world table: the push-forward distribution on
+/// query answers (a measurable map by Fact 2.6). The deficit mass is
+/// reported separately by the input table.
+pub fn eval_query_worlds(q: &Query, worlds: &PossibleWorlds) -> BTreeMap<BTreeSet<Tuple>, f64> {
+    let mut out: BTreeMap<BTreeSet<Tuple>, f64> = BTreeMap::new();
+    for (d, p) in worlds.iter() {
+        *out.entry(eval_query(q, d)).or_insert(0.0) += p;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdatalog_data::tuple;
+
+    fn r(n: u32) -> RelId {
+        RelId(n)
+    }
+
+    fn demo() -> Instance {
+        let mut d = Instance::new();
+        d.insert(r(0), tuple!["a", 1i64]); // Emp(name, dept)
+        d.insert(r(0), tuple!["b", 1i64]);
+        d.insert(r(0), tuple!["c", 2i64]);
+        d.insert(r(1), tuple![1i64, "sales"]); // Dept(id, label)
+        d.insert(r(1), tuple![2i64, "hr"]);
+        d
+    }
+
+    #[test]
+    fn select_and_project() {
+        let d = demo();
+        let q = Query::Rel(r(0))
+            .select(vec![(1, ColPred::Eq(Value::int(1)))])
+            .project(vec![0]);
+        let res = eval_query(&q, &d);
+        assert_eq!(res.len(), 2);
+        assert!(res.contains(&tuple!["a"]));
+        assert!(res.contains(&tuple!["b"]));
+    }
+
+    #[test]
+    fn join_emp_dept() {
+        let d = demo();
+        let q = Query::Rel(r(0)).join(Query::Rel(r(1)), vec![(1, 0)]);
+        let res = eval_query(&q, &d);
+        assert_eq!(res.len(), 3);
+        assert!(res.contains(&tuple!["a", 1i64, 1i64, "sales"]));
+        assert!(res.contains(&tuple!["c", 2i64, 2i64, "hr"]));
+    }
+
+    #[test]
+    fn union_and_diff() {
+        let d = demo();
+        let names = Query::Rel(r(0)).project(vec![0]);
+        let ab = names.clone().select(vec![(
+            0,
+            ColPred::OneOf(vec![Value::sym("a"), Value::sym("b")]),
+        )]);
+        let u = eval_query(&Query::Union(Box::new(ab.clone()), Box::new(names.clone())), &d);
+        assert_eq!(u.len(), 3);
+        let diff = eval_query(&Query::Diff(Box::new(names), Box::new(ab)), &d);
+        assert_eq!(diff.len(), 1);
+        assert!(diff.contains(&tuple!["c"]));
+    }
+
+    #[test]
+    fn aggregates() {
+        let d = demo();
+        // Count employees per department.
+        let q = Query::Rel(r(0)).aggregate(vec![1], AggFun::Count, 0);
+        let res = eval_query(&q, &d);
+        assert!(res.contains(&tuple![1i64, 2i64]));
+        assert!(res.contains(&tuple![2i64, 1i64]));
+        // Min name overall (empty group-by).
+        let q2 = Query::Rel(r(0)).aggregate(vec![], AggFun::Min, 0);
+        let res2 = eval_query(&q2, &d);
+        assert_eq!(res2.len(), 1);
+        assert!(res2.contains(&tuple!["a"]));
+    }
+
+    #[test]
+    fn avg_and_sum() {
+        let mut d = Instance::new();
+        d.insert(r(0), tuple!["x", 1.0]);
+        d.insert(r(0), tuple!["y", 2.0]);
+        let sum = eval_query(&Query::Rel(r(0)).aggregate(vec![], AggFun::Sum, 1), &d);
+        assert!(sum.contains(&tuple![3.0]));
+        let avg = eval_query(&Query::Rel(r(0)).aggregate(vec![], AggFun::Avg, 1), &d);
+        assert!(avg.contains(&tuple![1.5]));
+    }
+
+    #[test]
+    fn lifted_query_pushes_probabilities() {
+        let mut w = PossibleWorlds::new();
+        let mut d1 = Instance::new();
+        d1.insert(r(0), tuple!["a", 1i64]);
+        let mut d2 = Instance::new();
+        d2.insert(r(0), tuple!["a", 2i64]);
+        w.add(d1, 0.25);
+        w.add(d2.clone(), 0.25);
+        w.add(d2, 0.0); // no-op
+        w.add(Instance::new(), 0.5);
+        let q = Query::Rel(r(0)).project(vec![0]);
+        let dist = eval_query_worlds(&q, &w);
+        // Two distinct answers: {"a"} with p 0.5, {} with p 0.5.
+        assert_eq!(dist.len(), 2);
+        let singleton: BTreeSet<Tuple> = [tuple!["a"]].into_iter().collect();
+        assert!((dist[&singleton] - 0.5).abs() < 1e-12);
+    }
+}

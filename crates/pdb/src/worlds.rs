@@ -1,0 +1,359 @@
+//! Exact sub-probabilistic databases as finite world tables.
+
+use std::collections::BTreeMap;
+
+use gdatalog_data::{Catalog, Fact, Instance, RelId};
+
+/// Explicit attribution of missing probability mass (Def. 2.7: an SPDB of
+/// mass `α` leaves `1 − α` for the error event).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MassDeficit {
+    /// Mass of chase paths cut off by the step/depth budget (potentially
+    /// non-terminating runs — the paper's `err` outcome in §4.2).
+    pub nontermination: f64,
+    /// Mass lost to truncating countably-infinite discrete supports during
+    /// exact enumeration.
+    pub truncation: f64,
+}
+
+impl MassDeficit {
+    /// Total missing mass.
+    pub fn total(&self) -> f64 {
+        self.nontermination + self.truncation
+    }
+
+    /// Component-wise sum.
+    pub fn merge(&mut self, other: &MassDeficit) {
+        self.nontermination += other.nontermination;
+        self.truncation += other.truncation;
+    }
+
+    /// Scales both components (used when mixing SPDBs).
+    pub fn scaled(&self, factor: f64) -> MassDeficit {
+        MassDeficit {
+            nontermination: self.nontermination * factor,
+            truncation: self.truncation * factor,
+        }
+    }
+}
+
+/// An exact (sub-)probabilistic database over finitely many worlds: a map
+/// from canonical [`Instance`]s to probabilities, plus the mass deficit.
+///
+/// Invariant: `Σ probabilities + deficit.total() ≈ 1` for SPDBs produced by
+/// the engine; [`PossibleWorlds::mass_is_consistent`] checks it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PossibleWorlds {
+    worlds: BTreeMap<Instance, f64>,
+    deficit: MassDeficit,
+}
+
+impl PossibleWorlds {
+    /// An empty world table (mass 0).
+    pub fn new() -> PossibleWorlds {
+        PossibleWorlds::default()
+    }
+
+    /// A Dirac distribution on one instance.
+    pub fn dirac(instance: Instance) -> PossibleWorlds {
+        let mut w = PossibleWorlds::new();
+        w.add(instance, 1.0);
+        w
+    }
+
+    /// Adds probability mass to a world (merging with an existing entry).
+    pub fn add(&mut self, instance: Instance, p: f64) {
+        if p == 0.0 {
+            return;
+        }
+        *self.worlds.entry(instance).or_insert(0.0) += p;
+    }
+
+    /// Adds to the non-termination deficit.
+    pub fn add_nontermination(&mut self, p: f64) {
+        self.deficit.nontermination += p;
+    }
+
+    /// Adds to the truncation deficit.
+    pub fn add_truncation(&mut self, p: f64) {
+        self.deficit.truncation += p;
+    }
+
+    /// The deficit record.
+    pub fn deficit(&self) -> MassDeficit {
+        self.deficit
+    }
+
+    /// Total probability mass of the listed worlds (the SPDB mass `α`).
+    pub fn mass(&self) -> f64 {
+        self.worlds.values().sum()
+    }
+
+    /// Number of distinct worlds.
+    pub fn len(&self) -> usize {
+        self.worlds.len()
+    }
+
+    /// Whether no world carries mass.
+    pub fn is_empty(&self) -> bool {
+        self.worlds.is_empty()
+    }
+
+    /// Iterates `(instance, probability)` in canonical instance order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Instance, f64)> {
+        self.worlds.iter().map(|(d, &p)| (d, p))
+    }
+
+    /// Checks `mass + deficit ≈ 1` within `tol`.
+    pub fn mass_is_consistent(&self, tol: f64) -> bool {
+        (self.mass() + self.deficit.total() - 1.0).abs() <= tol
+    }
+
+    /// Probability of the event "the world satisfies `pred`".
+    pub fn probability(&self, mut pred: impl FnMut(&Instance) -> bool) -> f64 {
+        self.worlds
+            .iter()
+            .filter(|(d, _)| pred(d))
+            .map(|(_, p)| p)
+            .sum()
+    }
+
+    /// Marginal probability of a fact: `P(f ∈ D)`.
+    pub fn marginal(&self, fact: &Fact) -> f64 {
+        self.probability(|d| d.contains(fact.rel, &fact.tuple))
+    }
+
+    /// Maps every world through `f`, merging coinciding images. This is the
+    /// push-forward along a (measurable) transformation — used for the
+    /// schema projection of Remark 4.9 and for queries (Fact 2.6).
+    pub fn map(&self, mut f: impl FnMut(&Instance) -> Instance) -> PossibleWorlds {
+        let mut out = PossibleWorlds {
+            worlds: BTreeMap::new(),
+            deficit: self.deficit,
+        };
+        for (d, &p) in &self.worlds {
+            out.add(f(d), p);
+        }
+        out
+    }
+
+    /// Restricts every world to the relations accepted by `keep`.
+    pub fn project_relations(&self, mut keep: impl FnMut(RelId) -> bool) -> PossibleWorlds {
+        self.map(|d| d.project_relations(&mut keep))
+    }
+
+    /// Mixture `Σ weight_i · table_i` of SPDBs (used for probabilistic
+    /// inputs: Theorems 4.8/5.5/6.2 — the output on an input SPDB is the
+    /// mixture of the outputs on its worlds).
+    pub fn mixture(parts: impl IntoIterator<Item = (f64, PossibleWorlds)>) -> PossibleWorlds {
+        let mut out = PossibleWorlds::new();
+        for (w, part) in parts {
+            for (d, p) in part.iter() {
+                out.add(d.clone(), w * p);
+            }
+            let d = part.deficit().scaled(w);
+            out.deficit.merge(&d);
+        }
+        out
+    }
+
+    /// Total variation distance to another world table, counting deficit
+    /// differences (see `gdatalog_stats::total_variation`).
+    pub fn total_variation(&self, other: &PossibleWorlds) -> f64 {
+        let mut acc = 0.0;
+        for (d, &p) in &self.worlds {
+            let q = other.worlds.get(d).copied().unwrap_or(0.0);
+            acc += (p - q).abs();
+        }
+        for (d, &q) in &other.worlds {
+            if !self.worlds.contains_key(d) {
+                acc += q;
+            }
+        }
+        acc += (self.deficit.total() - other.deficit.total()).abs();
+        acc / 2.0
+    }
+
+    /// Conditions the SPDB on a **positive-probability** event: the worlds
+    /// satisfying `pred` renormalized by their total mass.
+    ///
+    /// This is the first step toward the full PPDL of Bárány et al. (the
+    /// constraint component the paper leaves out, §7). Only events of
+    /// positive probability are supported — conditioning on measure-zero
+    /// events is exactly the Borel–Kolmogorov territory the paper's
+    /// conclusion warns about, and is deliberately not offered.
+    ///
+    /// Returns `None` when the event has zero probability. The deficit is
+    /// dropped: conditioning is relative to *terminated* worlds.
+    pub fn condition(&self, mut pred: impl FnMut(&Instance) -> bool) -> Option<PossibleWorlds> {
+        let mass: f64 = self
+            .worlds
+            .iter()
+            .filter(|(d, _)| pred(d))
+            .map(|(_, p)| p)
+            .sum();
+        if mass <= 0.0 {
+            return None;
+        }
+        let mut out = PossibleWorlds::new();
+        for (d, &p) in &self.worlds {
+            if pred(d) {
+                out.add(d.clone(), p / mass);
+            }
+        }
+        Some(out)
+    }
+
+    /// Renders the table as sorted `(canonical text, probability)` rows —
+    /// the format used in EXPERIMENTS.md.
+    pub fn table(&self, catalog: &Catalog) -> Vec<(String, f64)> {
+        let mut rows: Vec<(String, f64)> = self
+            .worlds
+            .iter()
+            .map(|(d, &p)| {
+                let mut text = gdatalog_data::canonical_text(d, catalog);
+                if text.is_empty() {
+                    text = "(empty)".to_string();
+                } else {
+                    text = text.trim_end().replace('\n', "  ");
+                }
+                (text, p)
+            })
+            .collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+}
+
+impl FromIterator<(Instance, f64)> for PossibleWorlds {
+    fn from_iter<I: IntoIterator<Item = (Instance, f64)>>(iter: I) -> PossibleWorlds {
+        let mut out = PossibleWorlds::new();
+        for (d, p) in iter {
+            out.add(d, p);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdatalog_data::{tuple, RelId};
+
+    fn r(n: u32) -> RelId {
+        RelId(n)
+    }
+
+    fn world(facts: &[(u32, i64)]) -> Instance {
+        let mut d = Instance::new();
+        for &(rel, v) in facts {
+            d.insert(r(rel), tuple![v]);
+        }
+        d
+    }
+
+    #[test]
+    fn add_merges_equal_worlds() {
+        let mut w = PossibleWorlds::new();
+        w.add(world(&[(0, 1)]), 0.25);
+        w.add(world(&[(0, 1)]), 0.25);
+        w.add(world(&[(0, 2)]), 0.5);
+        assert_eq!(w.len(), 2);
+        assert!((w.mass() - 1.0).abs() < 1e-12);
+        assert!(w.mass_is_consistent(1e-12));
+    }
+
+    #[test]
+    fn marginal_probability() {
+        let mut w = PossibleWorlds::new();
+        w.add(world(&[(0, 1)]), 0.3);
+        w.add(world(&[(0, 1), (1, 5)]), 0.2);
+        w.add(world(&[(1, 5)]), 0.5);
+        let f = Fact::new(r(0), tuple![1i64]);
+        assert!((w.marginal(&f) - 0.5).abs() < 1e-12);
+        use gdatalog_data::Fact;
+        let g = Fact::new(r(1), tuple![5i64]);
+        assert!((w.marginal(&g) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_merges_worlds() {
+        let mut w = PossibleWorlds::new();
+        w.add(world(&[(0, 1), (1, 7)]), 0.5);
+        w.add(world(&[(0, 1), (1, 8)]), 0.5);
+        let p = w.project_relations(|rel| rel == r(0));
+        assert_eq!(p.len(), 1);
+        assert!((p.mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deficit_accounting() {
+        let mut w = PossibleWorlds::new();
+        w.add(world(&[(0, 1)]), 0.7);
+        w.add_nontermination(0.2);
+        w.add_truncation(0.1);
+        assert!(w.mass_is_consistent(1e-12));
+        assert!((w.deficit().total() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixture_weights_parts() {
+        let mut a = PossibleWorlds::new();
+        a.add(world(&[(0, 1)]), 1.0);
+        let mut b = PossibleWorlds::new();
+        b.add(world(&[(0, 2)]), 0.5);
+        b.add_nontermination(0.5);
+        let mix = PossibleWorlds::mixture([(0.4, a), (0.6, b)]);
+        assert!((mix.probability(|d| d.contains(r(0), &tuple![1i64])) - 0.4).abs() < 1e-12);
+        assert!((mix.probability(|d| d.contains(r(0), &tuple![2i64])) - 0.3).abs() < 1e-12);
+        assert!((mix.deficit().nontermination - 0.3).abs() < 1e-12);
+        assert!(mix.mass_is_consistent(1e-12));
+    }
+
+    #[test]
+    fn total_variation_between_tables() {
+        let mut a = PossibleWorlds::new();
+        a.add(world(&[(0, 1)]), 0.5);
+        a.add(world(&[(0, 2)]), 0.5);
+        let mut b = PossibleWorlds::new();
+        b.add(world(&[(0, 1)]), 0.25);
+        b.add(world(&[(0, 2)]), 0.75);
+        assert!((a.total_variation(&b) - 0.25).abs() < 1e-12);
+        assert_eq!(a.total_variation(&a), 0.0);
+    }
+
+    #[test]
+    fn conditioning_renormalizes() {
+        let mut w = PossibleWorlds::new();
+        w.add(world(&[(0, 1)]), 0.2);
+        w.add(world(&[(0, 2)]), 0.3);
+        w.add(world(&[(1, 9)]), 0.5);
+        let cond = w
+            .condition(|d| d.relation_len(r(0)) > 0)
+            .expect("positive probability");
+        assert_eq!(cond.len(), 2);
+        assert!((cond.mass() - 1.0).abs() < 1e-12);
+        assert!((cond.probability(|d| d.contains(r(0), &tuple![1i64])) - 0.4).abs() < 1e-12);
+        // Zero-probability events are rejected (Borel–Kolmogorov guard).
+        assert!(w.condition(|d| d.len() > 10).is_none());
+    }
+
+    #[test]
+    fn table_rendering_sorted() {
+        let mut cat = Catalog::new();
+        cat.declare_named(
+            "R",
+            vec![gdatalog_data::ColType::Int],
+            gdatalog_data::RelationKind::Intensional,
+        )
+        .unwrap();
+        let mut w = PossibleWorlds::new();
+        w.add(world(&[(0, 2)]), 0.5);
+        w.add(world(&[(0, 1)]), 0.25);
+        w.add(Instance::new(), 0.25);
+        let t = w.table(&cat);
+        assert_eq!(t[0].0, "(empty)");
+        assert_eq!(t[1].0, "R(1).");
+        assert_eq!(t[2].0, "R(2).");
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the (S)PDB layer: mass conservation laws of the
+//! measure-theoretic operations (push-forward, mixture, projection,
+//! conditioning).
+
+use proptest::prelude::*;
+
+use gdatalog_pdb::PossibleWorlds;
+use gdatalog_data::{Instance, RelId, Tuple, Value};
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    proptest::collection::vec((0u32..3, 0i64..5), 0..6).prop_map(|facts| {
+        let mut d = Instance::new();
+        for (r, v) in facts {
+            d.insert(RelId(r), Tuple::from(vec![Value::int(v)]));
+        }
+        d
+    })
+}
+
+/// Unnormalized world lists; the strategy normalizes them into a table of
+/// mass ≤ 1 with the rest as deficit.
+fn arb_worlds() -> impl Strategy<Value = PossibleWorlds> {
+    (
+        proptest::collection::vec((arb_instance(), 1u32..100), 1..6),
+        0u32..50,
+    )
+        .prop_map(|(entries, deficit_weight)| {
+            let total: u32 =
+                entries.iter().map(|(_, w)| *w).sum::<u32>() + deficit_weight;
+            let mut out = PossibleWorlds::new();
+            for (d, w) in entries {
+                out.add(d, f64::from(w) / f64::from(total));
+            }
+            out.add_nontermination(f64::from(deficit_weight) / f64::from(total));
+            out
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tables_are_mass_consistent(w in arb_worlds()) {
+        prop_assert!(w.mass_is_consistent(1e-9));
+        prop_assert!(w.mass() <= 1.0 + 1e-9);
+    }
+
+    /// Push-forward preserves total mass (it only merges worlds).
+    #[test]
+    fn map_preserves_mass(w in arb_worlds()) {
+        let before = w.mass();
+        let projected = w.project_relations(|r| r == RelId(0));
+        prop_assert!((projected.mass() - before).abs() < 1e-9);
+        prop_assert!(projected.len() <= w.len());
+        // Deficit is carried through unchanged.
+        prop_assert!(
+            (projected.deficit().total() - w.deficit().total()).abs() < 1e-12
+        );
+    }
+
+    /// Mixtures of consistent SPDBs are consistent, with mixed mass.
+    #[test]
+    fn mixture_mass_is_convex_combination(
+        a in arb_worlds(),
+        b in arb_worlds(),
+        lambda in 0.0f64..1.0,
+    ) {
+        let expect = lambda * a.mass() + (1.0 - lambda) * b.mass();
+        let mix = PossibleWorlds::mixture([(lambda, a), (1.0 - lambda, b)]);
+        prop_assert!((mix.mass() - expect).abs() < 1e-9);
+        prop_assert!(mix.mass_is_consistent(1e-9));
+    }
+
+    /// Conditioning renormalizes to probability 1 and preserves relative
+    /// weights within the event.
+    #[test]
+    fn conditioning_is_a_probability(w in arb_worlds()) {
+        let nonempty = |d: &Instance| !d.is_empty();
+        match w.condition(nonempty) {
+            None => {
+                prop_assert!((w.probability(nonempty)).abs() < 1e-12);
+            }
+            Some(cond) => {
+                prop_assert!((cond.mass() - 1.0).abs() < 1e-9);
+                // Relative weights preserved: P(A | E) ∝ P(A ∩ E).
+                let joint = w.probability(|d| nonempty(d) && d.relation_len(RelId(0)) > 0);
+                let whole = w.probability(nonempty);
+                let posterior = cond.probability(|d| d.relation_len(RelId(0)) > 0);
+                prop_assert!((posterior - joint / whole).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Total variation is a metric: zero on identical tables, symmetric,
+    /// bounded by 1 on (sub-)probability tables.
+    #[test]
+    fn total_variation_is_metric_like(a in arb_worlds(), b in arb_worlds()) {
+        prop_assert!(a.total_variation(&a) < 1e-12);
+        let d1 = a.total_variation(&b);
+        let d2 = b.total_variation(&a);
+        prop_assert!((d1 - d2).abs() < 1e-12);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&d1));
+    }
+
+    /// Marginals are monotone under union-growing events and bounded by
+    /// the table mass.
+    #[test]
+    fn marginals_bounded_by_mass(w in arb_worlds()) {
+        let fact = gdatalog_data::Fact::new(RelId(0), Tuple::from(vec![Value::int(0)]));
+        let m = w.marginal(&fact);
+        prop_assert!(m >= 0.0 && m <= w.mass() + 1e-12);
+    }
+}

@@ -1,0 +1,131 @@
+//! Chi-square goodness-of-fit test for discrete distributions.
+
+use crate::special_min::reg_gamma_upper;
+
+/// Outcome of a chi-square goodness-of-fit test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquareResult {
+    /// The X² statistic.
+    pub statistic: f64,
+    /// Degrees of freedom used.
+    pub dof: usize,
+    /// p-value `P(χ²_dof ≥ statistic)`.
+    pub p_value: f64,
+}
+
+impl ChiSquareResult {
+    /// Whether the null hypothesis survives at significance `alpha`.
+    pub fn passes(&self, alpha: f64) -> bool {
+        self.p_value >= alpha
+    }
+}
+
+/// Chi-square GOF: `observed[i]` counts vs expected probabilities
+/// `expected_probs[i]` (which are normalized internally). Cells whose
+/// expected count is below `min_expected` (commonly 5) are pooled into the
+/// last viable cell to keep the asymptotics honest.
+///
+/// # Panics
+/// Panics if the slices differ in length, are empty, or the total observed
+/// count is zero.
+pub fn chi_square_gof(
+    observed: &[u64],
+    expected_probs: &[f64],
+    min_expected: f64,
+) -> ChiSquareResult {
+    assert_eq!(observed.len(), expected_probs.len(), "length mismatch");
+    assert!(!observed.is_empty(), "empty test");
+    let n: u64 = observed.iter().sum();
+    assert!(n > 0, "no observations");
+    let total_p: f64 = expected_probs.iter().sum();
+    assert!(total_p > 0.0, "expected probabilities sum to zero");
+
+    // Pool small-expectation cells.
+    let mut pooled: Vec<(f64, f64)> = Vec::new(); // (observed, expected)
+    let mut acc_obs = 0.0;
+    let mut acc_exp = 0.0;
+    for (&o, &p) in observed.iter().zip(expected_probs) {
+        acc_obs += o as f64;
+        acc_exp += p / total_p * n as f64;
+        if acc_exp >= min_expected {
+            pooled.push((acc_obs, acc_exp));
+            acc_obs = 0.0;
+            acc_exp = 0.0;
+        }
+    }
+    if acc_exp > 0.0 || acc_obs > 0.0 {
+        if let Some(last) = pooled.last_mut() {
+            last.0 += acc_obs;
+            last.1 += acc_exp;
+        } else {
+            pooled.push((acc_obs, acc_exp));
+        }
+    }
+
+    let statistic: f64 = pooled
+        .iter()
+        .map(|(o, e)| {
+            let d = o - e;
+            d * d / e
+        })
+        .sum();
+    let dof = pooled.len().saturating_sub(1).max(1);
+    let p_value = reg_gamma_upper(dof as f64 / 2.0, statistic / 2.0);
+    ChiSquareResult {
+        statistic,
+        dof,
+        p_value,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_fit_has_high_p() {
+        let observed = [250u64, 250, 250, 250];
+        let probs = [0.25, 0.25, 0.25, 0.25];
+        let r = chi_square_gof(&observed, &probs, 5.0);
+        assert!(r.statistic < 1e-9);
+        assert!(r.passes(0.05));
+        assert_eq!(r.dof, 3);
+    }
+
+    #[test]
+    fn biased_counts_reject() {
+        let observed = [400u64, 100, 250, 250];
+        let probs = [0.25, 0.25, 0.25, 0.25];
+        let r = chi_square_gof(&observed, &probs, 5.0);
+        assert!(!r.passes(0.01), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn unnormalized_probs_accepted() {
+        let observed = [300u64, 700];
+        let r1 = chi_square_gof(&observed, &[0.3, 0.7], 5.0);
+        let r2 = chi_square_gof(&observed, &[3.0, 7.0], 5.0);
+        assert!((r1.statistic - r2.statistic).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_cells_get_pooled() {
+        // Last cells have tiny expectation; pooling keeps dof meaningful.
+        let observed = [500u64, 490, 8, 2];
+        let probs = [0.5, 0.49, 0.008, 0.002];
+        let r = chi_square_gof(&observed, &probs, 5.0);
+        assert!(r.dof <= 2);
+        assert!(r.passes(0.01), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn chi_square_p_value_reference() {
+        // For dof = 1, X² = 3.841 gives p ≈ 0.05.
+        let r = ChiSquareResult {
+            statistic: 3.841,
+            dof: 1,
+            p_value: reg_gamma_upper(0.5, 3.841 / 2.0),
+        };
+        assert!((r.p_value - 0.05).abs() < 0.001, "p = {}", r.p_value);
+    }
+}

@@ -1,0 +1,124 @@
+//! Fixed-width histograms for experiment reports.
+
+/// A fixed-bin histogram over `[lo, hi)` with under/overflow buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics unless `lo < hi` and `bins > 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(lo < hi && bins > 0, "invalid histogram spec");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let i = (((x - self.lo) / w) as usize).min(self.bins.len() - 1);
+            self.bins[i] += 1;
+        }
+    }
+
+    /// Bin counts (excludes under/overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Count of observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The `[lo, hi)` midpoint of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// A compact one-line ASCII rendering (for experiment logs).
+    pub fn render(&self, width: usize) -> String {
+        const GLYPHS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1) as f64;
+        let step = (self.bins.len() as f64 / width.max(1) as f64).max(1.0);
+        let mut out = String::new();
+        let mut i = 0.0;
+        while (i as usize) < self.bins.len() && out.chars().count() < width {
+            let j = ((i + step) as usize).min(self.bins.len());
+            let chunk_max = self.bins[i as usize..j].iter().copied().max().unwrap_or(0);
+            let level = ((chunk_max as f64 / max) * 8.0).round() as usize;
+            out.push(GLYPHS[level.min(8)]);
+            i += step;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_and_flows() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [-1.0, 0.0, 0.5, 5.5, 9.99, 10.0, 42.0] {
+            h.push(x);
+        }
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.counts()[0], 2); // 0.0 and 0.5
+        assert_eq!(h.counts()[5], 1); // 5.5
+        assert_eq!(h.counts()[9], 1); // 9.99
+    }
+
+    #[test]
+    fn bin_centers() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert!((h.bin_center(0) - 0.125).abs() < 1e-12);
+        assert!((h.bin_center(3) - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_is_nonempty_and_bounded() {
+        let mut h = Histogram::new(0.0, 1.0, 50);
+        for i in 0..1000 {
+            h.push((i % 50) as f64 / 50.0);
+        }
+        let r = h.render(20);
+        assert!(!r.is_empty());
+        assert!(r.chars().count() <= 20);
+    }
+}

@@ -1,0 +1,150 @@
+//! Kolmogorov–Smirnov tests: one-sample (against a CDF) and two-sample.
+//!
+//! p-values use the asymptotic Kolmogorov distribution with the standard
+//! finite-sample correction `λ = (√n + 0.12 + 0.11/√n)·D` (Stephens).
+
+/// Outcome of a KS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsResult {
+    /// The KS statistic `D = sup |F̂ − F|`.
+    pub statistic: f64,
+    /// Asymptotic p-value for the null "samples follow the distribution".
+    pub p_value: f64,
+    /// Effective sample size used for the p-value.
+    pub effective_n: f64,
+}
+
+impl KsResult {
+    /// Whether the null hypothesis survives at significance `alpha`.
+    pub fn passes(&self, alpha: f64) -> bool {
+        self.p_value >= alpha
+    }
+}
+
+/// Kolmogorov's asymptotic survival function
+/// `Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²}`.
+fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda < 1e-8 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        if term < 1e-12 {
+            break;
+        }
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// One-sample KS test of `samples` against the continuous CDF `cdf`.
+///
+/// # Panics
+/// Panics if `samples` is empty.
+pub fn ks_one_sample(samples: &[f64], cdf: impl Fn(f64) -> f64) -> KsResult {
+    assert!(!samples.is_empty(), "KS test needs at least one sample");
+    let mut xs = samples.to_vec();
+    xs.sort_by(f64::total_cmp);
+    let n = xs.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in xs.iter().enumerate() {
+        let f = cdf(x).clamp(0.0, 1.0);
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    let sqrt_n = n.sqrt();
+    let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+    KsResult {
+        statistic: d,
+        p_value: kolmogorov_q(lambda),
+        effective_n: n,
+    }
+}
+
+/// Two-sample KS test: are `a` and `b` draws from the same distribution?
+///
+/// # Panics
+/// Panics if either sample is empty.
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> KsResult {
+    assert!(!a.is_empty() && !b.is_empty(), "KS test needs samples");
+    let mut xs = a.to_vec();
+    let mut ys = b.to_vec();
+    xs.sort_by(f64::total_cmp);
+    ys.sort_by(f64::total_cmp);
+    let (na, nb) = (xs.len() as f64, ys.len() as f64);
+    let mut d: f64 = 0.0;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < xs.len() && j < ys.len() {
+        let x = xs[i].min(ys[j]);
+        while i < xs.len() && xs[i] <= x {
+            i += 1;
+        }
+        while j < ys.len() && ys[j] <= x {
+            j += 1;
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    let ne = na * nb / (na + nb);
+    let sqrt_ne = ne.sqrt();
+    let lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d;
+    KsResult {
+        statistic: d,
+        p_value: kolmogorov_q(lambda),
+        effective_n: ne,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic pseudo-uniform sequence (Weyl sequence) — low
+    /// discrepancy, so it passes KS against U(0,1) easily.
+    fn weyl(n: usize) -> Vec<f64> {
+        let alpha = 0.618_033_988_749_894_9_f64;
+        (1..=n).map(|i| (i as f64 * alpha).fract()).collect()
+    }
+
+    #[test]
+    fn uniform_sequence_passes_against_uniform_cdf() {
+        let xs = weyl(2000);
+        let r = ks_one_sample(&xs, |x| x.clamp(0.0, 1.0));
+        assert!(r.passes(0.01), "D = {}, p = {}", r.statistic, r.p_value);
+    }
+
+    #[test]
+    fn shifted_sequence_fails() {
+        let xs: Vec<f64> = weyl(2000).iter().map(|x| x * 0.5).collect();
+        let r = ks_one_sample(&xs, |x| x.clamp(0.0, 1.0));
+        assert!(!r.passes(0.01), "should reject, p = {}", r.p_value);
+        assert!(r.statistic > 0.4);
+    }
+
+    #[test]
+    fn two_sample_same_distribution_passes() {
+        let a = weyl(1500);
+        let b: Vec<f64> = weyl(3001).into_iter().skip(1501).collect();
+        let r = ks_two_sample(&a, &b);
+        assert!(r.passes(0.01), "D = {}, p = {}", r.statistic, r.p_value);
+    }
+
+    #[test]
+    fn two_sample_different_distributions_fail() {
+        let a = weyl(1000);
+        let b: Vec<f64> = weyl(1000).iter().map(|x| x.powi(2)).collect();
+        let r = ks_two_sample(&a, &b);
+        assert!(!r.passes(0.01), "should reject, p = {}", r.p_value);
+    }
+
+    #[test]
+    fn kolmogorov_q_boundaries() {
+        assert!((kolmogorov_q(0.0) - 1.0).abs() < 1e-9);
+        assert!(kolmogorov_q(3.0) < 1e-6);
+        // Known value: Q(1.0) ≈ 0.27.
+        assert!((kolmogorov_q(1.0) - 0.27).abs() < 0.01);
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # gdatalog-stats
+//!
+//! Statistical testing substrate used throughout the reproduction to *verify*
+//! distributional claims: Kolmogorov–Smirnov tests (one- and two-sample),
+//! chi-square goodness of fit, running moments, total-variation distance and
+//! histograms.
+//!
+//! This crate is deliberately dependency-free (it carries a small private
+//! copy of `ln Γ` / the regularized incomplete gamma so that chi-square
+//! p-values are exact) — it sits below every other crate in the workspace
+//! and is usable from their dev-dependencies without cycles.
+
+pub mod chisq;
+pub mod histogram;
+pub mod ks;
+pub mod quantile;
+pub mod summary;
+pub mod tv;
+
+mod special_min;
+
+pub use chisq::{chi_square_gof, ChiSquareResult};
+pub use histogram::Histogram;
+pub use ks::{ks_one_sample, ks_two_sample, KsResult};
+pub use quantile::{median, quantile, wilson_interval};
+pub use summary::Summary;
+pub use tv::total_variation;

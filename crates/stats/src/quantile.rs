@@ -1,0 +1,87 @@
+//! Quantiles and confidence intervals.
+
+/// Empirical quantile (type-7 / linear interpolation, the R default) of a
+/// sample, `q ∈ [0, 1]`.
+///
+/// # Panics
+/// Panics on an empty sample or `q` outside `[0, 1]`.
+pub fn quantile(samples: &[f64], q: f64) -> f64 {
+    assert!(!samples.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "q out of range: {q}");
+    let mut xs = samples.to_vec();
+    xs.sort_by(f64::total_cmp);
+    let h = (xs.len() - 1) as f64 * q;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        xs[lo]
+    } else {
+        xs[lo] + (h - lo as f64) * (xs[hi] - xs[lo])
+    }
+}
+
+/// Median (the 0.5 quantile).
+pub fn median(samples: &[f64]) -> f64 {
+    quantile(samples, 0.5)
+}
+
+/// Wilson score interval for a binomial proportion: the interval for the
+/// true probability after observing `successes` out of `trials`, at the
+/// given z-score (1.96 ≈ 95%).
+///
+/// Used to attach honest error bars to Monte-Carlo marginal estimates.
+///
+/// # Panics
+/// Panics if `trials` is 0 or `successes > trials`.
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    assert!(trials > 0, "no trials");
+    assert!(successes <= trials, "more successes than trials");
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_known_sample() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 5.0);
+        assert_eq!(median(&xs), 3.0);
+        assert!((quantile(&xs, 0.25) - 2.0).abs() < 1e-12);
+        // Interpolation between order statistics.
+        assert!((quantile(&xs, 0.1) - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_of_even_sample_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 10.0];
+        assert!((median(&xs) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wilson_interval_contains_point_estimate() {
+        let (lo, hi) = wilson_interval(30, 100, 1.96);
+        assert!(lo < 0.3 && 0.3 < hi);
+        assert!(lo > 0.2 && hi < 0.42, "({lo}, {hi})");
+        // Degenerate edges stay within [0, 1].
+        let (lo0, _) = wilson_interval(0, 10, 1.96);
+        assert_eq!(lo0, 0.0);
+        let (_, hi1) = wilson_interval(10, 10, 1.96);
+        assert_eq!(hi1, 1.0);
+    }
+
+    #[test]
+    fn wilson_narrows_with_more_trials() {
+        let (lo1, hi1) = wilson_interval(50, 100, 1.96);
+        let (lo2, hi2) = wilson_interval(5_000, 10_000, 1.96);
+        assert!(hi2 - lo2 < hi1 - lo1);
+    }
+}

@@ -1,0 +1,74 @@
+//! Total variation distance between discrete (sub-)distributions.
+
+use std::collections::BTreeMap;
+
+/// Total variation distance
+/// `TV(p, q) = ½ Σ_x |p(x) − q(x)|`
+/// between two discrete (sub-)probability maps keyed by any ordered key.
+///
+/// Keys absent from one map count as probability 0 there. For
+/// sub-probability inputs (masses < 1) the missing mass is treated as
+/// belonging to a shared "error" outcome only if *both* are deficient by
+/// the same amount; otherwise the deficit difference contributes, which is
+/// the right notion when comparing SPDB world-tables (Def. 2.7).
+pub fn total_variation<K: Ord>(p: &BTreeMap<K, f64>, q: &BTreeMap<K, f64>) -> f64 {
+    let mut acc = 0.0;
+    for (k, &pv) in p {
+        let qv = q.get(k).copied().unwrap_or(0.0);
+        acc += (pv - qv).abs();
+    }
+    for (k, &qv) in q {
+        if !p.contains_key(k) {
+            acc += qv;
+        }
+    }
+    // Deficit difference (mass assigned to the implicit error outcome).
+    let mp: f64 = p.values().sum();
+    let mq: f64 = q.values().sum();
+    acc += ((1.0 - mp) - (1.0 - mq)).abs();
+    acc / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn identical_distributions_have_zero_tv() {
+        let p = map(&[("a", 0.5), ("b", 0.5)]);
+        assert!(total_variation(&p, &p) < 1e-15);
+    }
+
+    #[test]
+    fn disjoint_distributions_have_tv_one() {
+        let p = map(&[("a", 1.0)]);
+        let q = map(&[("b", 1.0)]);
+        assert!((total_variation(&p, &q) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn simple_shift() {
+        let p = map(&[("a", 0.5), ("b", 0.5)]);
+        let q = map(&[("a", 0.25), ("b", 0.75)]);
+        assert!((total_variation(&p, &q) - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn subprobability_deficit_counts() {
+        // p puts 0.9 mass on "a" (0.1 deficit), q puts 1.0 on "a".
+        let p = map(&[("a", 0.9)]);
+        let q = map(&[("a", 1.0)]);
+        assert!((total_variation(&p, &q) - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn symmetric() {
+        let p = map(&[("a", 0.2), ("b", 0.3), ("c", 0.5)]);
+        let q = map(&[("b", 0.6), ("c", 0.2), ("d", 0.2)]);
+        assert!((total_variation(&p, &q) - total_variation(&q, &p)).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,86 @@
+//! Theorems 4.8/5.5/6.2 in action: the *input* is itself a probabilistic
+//! database, and the GDatalog program acts as a stochastic kernel
+//! transforming an input SPDB into an output SPDB.
+//!
+//! Scenario: a tuple-independent input PDB over sensor deployments (each
+//! sensor is installed with some probability); the program then models the
+//! sensors' failure behavior generatively. The output SPDB mixes both
+//! layers of uncertainty.
+//!
+//! Run with `cargo run --release --example probabilistic_input`.
+
+use gdatalog::prelude::*;
+
+const PROGRAM: &str = r#"
+    rel Sensor(symbol, real) input.     % sensor, failure probability
+    Fault(S, Flip<P>) :- Sensor(S, P).
+    Down(S) :- Fault(S, 1).
+    AnyDown(yes) :- Down(S).
+"#;
+
+fn main() {
+    let engine = Engine::from_source(PROGRAM, SemanticsMode::Grohe).expect("valid program");
+    let catalog = engine.program().catalog.clone();
+    let sensor = catalog.require("Sensor").expect("declared");
+    let down = catalog.require("Down").expect("declared");
+    let anydown = catalog.require("AnyDown").expect("declared");
+
+    // Tuple-independent input PDB: sensor a installed w.p. 0.8, sensor b
+    // w.p. 0.5 — four possible input worlds.
+    let a = Tuple::from(vec![Value::sym("a"), Value::real(0.1)]);
+    let b = Tuple::from(vec![Value::sym("b"), Value::real(0.2)]);
+    let mut input = PossibleWorlds::new();
+    for (has_a, has_b) in [(false, false), (false, true), (true, false), (true, true)] {
+        let mut world = Instance::new();
+        let mut p = 1.0;
+        p *= if has_a { 0.8 } else { 0.2 };
+        p *= if has_b { 0.5 } else { 0.5 };
+        if has_a {
+            world.insert(sensor, a.clone());
+        }
+        if has_b {
+            world.insert(sensor, b.clone());
+        }
+        input.add(world, p);
+    }
+    println!("input PDB: {} worlds, mass {:.6}", input.len(), input.mass());
+
+    // The program as a stochastic kernel: input SPDB ↦ output SPDB.
+    let out = engine
+        .transform_worlds(&input, ExactConfig::default())
+        .expect("discrete program");
+    println!("output SPDB: {} worlds, mass {:.9}\n", out.len(), out.mass());
+
+    // Marginals mix installation and failure uncertainty:
+    // P(Down(a)) = P(installed) · P(fails) = 0.8 · 0.1.
+    let down_a = Fact::new(down, Tuple::from(vec![Value::sym("a")]));
+    let down_b = Fact::new(down, Tuple::from(vec![Value::sym("b")]));
+    println!("P(Down(a)) = {:.4} (analytic 0.0800)", out.marginal(&down_a));
+    println!("P(Down(b)) = {:.4} (analytic 0.1000)", out.marginal(&down_b));
+    assert!((out.marginal(&down_a) - 0.08).abs() < 1e-12);
+    assert!((out.marginal(&down_b) - 0.10).abs() < 1e-12);
+
+    // P(AnyDown) = 1 − (1 − 0.08)(1 − 0.10) by independence across sensors.
+    let any = Fact::new(anydown, Tuple::from(vec![Value::sym("yes")]));
+    let expect = 1.0 - (1.0 - 0.08) * (1.0 - 0.10);
+    println!(
+        "P(AnyDown)  = {:.4} (analytic {expect:.4})",
+        out.marginal(&any)
+    );
+    assert!((out.marginal(&any) - expect).abs() < 1e-12);
+
+    // Conditioning (the PPDL direction, §7): observe that some sensor is
+    // down; the posterior probability that sensor a is installed rises.
+    let prior_a_installed = out.probability(|d| {
+        d.relation(sensor).iter().any(|t| t[0] == Value::sym("a"))
+    });
+    let posterior = out
+        .condition(|d| d.relation_len(anydown) == 1)
+        .expect("positive-probability event")
+        .probability(|d| d.relation(sensor).iter().any(|t| t[0] == Value::sym("a")));
+    println!(
+        "\nP(a installed) = {prior_a_installed:.4}; P(a installed | some sensor down) = {posterior:.4}"
+    );
+    assert!(posterior > prior_a_installed);
+    println!("\n✓ SPDB-to-SPDB transformation verified (Thms. 4.8/5.5/6.2)");
+}

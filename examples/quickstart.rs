@@ -1,0 +1,45 @@
+//! Quickstart: parse a GDatalog program, evaluate it exactly and by
+//! Monte-Carlo, and inspect the resulting (sub-)probabilistic database.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use gdatalog::prelude::*;
+
+fn main() {
+    // A tiny generative program: one biased coin decides whether the
+    // machine is faulty; a faulty machine triggers an alert.
+    let src = r#"
+        Faulty(Flip<0.2>) :- true.
+        Alert(on) :- Faulty(1).
+    "#;
+
+    let engine = Engine::from_source(src, SemanticsMode::Grohe).expect("valid program");
+    let program = engine.program();
+
+    println!("weakly acyclic: {}", program.weakly_acyclic());
+    println!("rules in the associated Datalog∃ program: {}", program.rules.len());
+
+    // --- Exact evaluation -------------------------------------------------
+    let worlds = engine
+        .enumerate(None, ExactConfig::default())
+        .expect("discrete program enumerates exactly");
+    println!("\nexact world table (output schema):");
+    for (text, p) in worlds.table(&program.catalog) {
+        println!("  {p:.4}  {text}");
+    }
+    println!("  mass = {:.6}, deficit = {:.6}", worlds.mass(), worlds.deficit().total());
+
+    // Marginal of a single fact.
+    let alert = program.catalog.require("Alert").expect("declared");
+    let fact = Fact::new(alert, Tuple::from(vec![Value::sym("on")]));
+    println!("\nP(Alert(on)) = {:.4} (exact)", worlds.marginal(&fact));
+
+    // --- Monte-Carlo evaluation -------------------------------------------
+    let cfg = McConfig {
+        runs: 100_000,
+        seed: 2024,
+        ..McConfig::default()
+    };
+    let pdb = engine.sample(None, &cfg).expect("sampling succeeds");
+    println!("P(Alert(on)) ≈ {:.4} ({} runs)", pdb.marginal(&fact), pdb.runs());
+}

@@ -1,0 +1,199 @@
+//! `gdl` — a small command-line front-end for the GDatalog engine.
+//!
+//! ```text
+//! gdl check  <file.gdl>                  parse + validate + analyze + show Ĝ
+//! gdl exact  <file.gdl> [--barany] [--depth N] [--input facts.gdl]
+//! gdl sample <file.gdl> [--barany] [--runs N] [--seed S] [--steps N] [--input facts.gdl]
+//! gdl tree   <file.gdl> [--depth N]      chase tree in Graphviz DOT
+//! ```
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use gdatalog::engine::{build_chase_tree, ChasePolicy};
+use gdatalog::prelude::*;
+
+struct Args {
+    command: String,
+    file: String,
+    mode: SemanticsMode,
+    runs: usize,
+    seed: u64,
+    steps: usize,
+    depth: usize,
+    input: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or("missing command")?;
+    let file = argv.next().ok_or("missing program file")?;
+    let mut args = Args {
+        command,
+        file,
+        mode: SemanticsMode::Grohe,
+        runs: 10_000,
+        seed: 0,
+        steps: 100_000,
+        depth: 10_000,
+        input: None,
+    };
+    while let Some(flag) = argv.next() {
+        let mut take = |what: &str| -> Result<String, String> {
+            argv.next().ok_or(format!("{what} needs a value"))
+        };
+        match flag.as_str() {
+            "--barany" => args.mode = SemanticsMode::Barany,
+            "--runs" => args.runs = take("--runs")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = take("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--steps" => args.steps = take("--steps")?.parse().map_err(|e| format!("{e}"))?,
+            "--depth" => args.depth = take("--depth")?.parse().map_err(|e| format!("{e}"))?,
+            "--input" => args.input = Some(take("--input")?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let src = std::fs::read_to_string(&args.file)
+        .map_err(|e| format!("cannot read {}: {e}", args.file))?;
+    let engine = Engine::from_source(&src, args.mode).map_err(|e| e.to_string())?;
+    let program = engine.program();
+    let extra_input = match &args.input {
+        None => None,
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            Some(
+                gdatalog::lang::parse_facts(&text, &program.catalog)
+                    .map_err(|e| e.to_string())?,
+            )
+        }
+    };
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+
+    match args.command.as_str() {
+        "check" => {
+            let n_exist = program.rules.iter().filter(|r| r.is_existential()).count();
+            let _ = writeln!(out, "semantics:        {}", program.mode);
+            let _ = writeln!(out, "relations:        {}", program.catalog.len());
+            let _ = writeln!(
+                out,
+                "rules (Datalog∃): {} ({} existential)",
+                program.rules.len(),
+                n_exist
+            );
+            let _ = writeln!(out, "initial facts:    {}", program.initial_instance.len());
+            let _ = writeln!(out, "all discrete:     {}", program.all_discrete());
+            let _ = writeln!(out, "weakly acyclic:   {}", program.weakly_acyclic());
+            if let Some(((from_r, from_c), (to_r, to_c))) = &program.acyclicity.witness {
+                let _ = writeln!(
+                    out,
+                    "  cycle witness: ({from_r}, {from_c}) → ({to_r}, {to_c})"
+                );
+            }
+            let _ = writeln!(out, "\nassociated Datalog∃ program Ĝ (§3.2):");
+            for line in program.render_existential_program().lines() {
+                let _ = writeln!(out, "  {line}");
+            }
+            Ok(())
+        }
+        "exact" => {
+            let worlds = engine
+                .enumerate(
+                    extra_input.as_ref(),
+                    ExactConfig {
+                        max_depth: args.depth,
+                        ..ExactConfig::default()
+                    },
+                )
+                .map_err(|e| e.to_string())?;
+            for (text, p) in worlds.table(&program.catalog) {
+                let _ = writeln!(out, "{p:.6}  {text}");
+            }
+            let _ = writeln!(
+                out,
+                "# mass {:.6}, non-termination {:.6}, truncation {:.6}",
+                worlds.mass(),
+                worlds.deficit().nontermination,
+                worlds.deficit().truncation
+            );
+            Ok(())
+        }
+        "sample" => {
+            let pdb = engine
+                .sample(
+                    extra_input.as_ref(),
+                    &McConfig {
+                        runs: args.runs,
+                        seed: args.seed,
+                        max_steps: args.steps,
+                        threads: 4,
+                        ..McConfig::default()
+                    },
+                )
+                .map_err(|e| e.to_string())?;
+            let dist = pdb.to_distribution();
+            // Print the most probable worlds first (up to 20).
+            let mut rows: Vec<(f64, String)> = dist
+                .iter()
+                .map(|(d, p)| (*p, gdatalog::data::canonical_text(d, &program.catalog)))
+                .collect();
+            rows.sort_by(|a, b| b.0.total_cmp(&a.0));
+            for (p, text) in rows.iter().take(20) {
+                let flat = if text.is_empty() {
+                    "(empty)".to_string()
+                } else {
+                    text.trim_end().replace('\n', "  ")
+                };
+                let _ = writeln!(out, "{p:.6}  {flat}");
+            }
+            if rows.len() > 20 {
+                let _ = writeln!(out, "… {} more distinct worlds", rows.len() - 20);
+            }
+            let _ = writeln!(
+                out,
+                "# runs {}, errors {}, estimated mass {:.4}",
+                pdb.runs(),
+                pdb.errors(),
+                pdb.mass()
+            );
+            Ok(())
+        }
+        "tree" => {
+            let mut policy = ChasePolicy::new(PolicyKind::Canonical, &[]);
+            let tree = build_chase_tree(
+                program,
+                &program.initial_instance,
+                &mut policy,
+                ExactConfig {
+                    max_depth: args.depth,
+                    ..ExactConfig::default()
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            let _ = write!(out, "{}", tree.to_dot(&program.catalog));
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown command `{other}` (expected check | exact | sample | tree)"
+        )),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("gdl: {e}");
+            eprintln!(
+                "usage: gdl <check|exact|sample|tree> <file.gdl> \
+                 [--barany] [--runs N] [--seed S] [--steps N] [--depth N]"
+            );
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+
+//! # gdatalog
+//!
+//! A from-scratch Rust implementation of **Generative Datalog with
+//! Continuous Distributions** (Grohe, Kaminski, Katoen, Lindner;
+//! PODS 2020): Datalog whose rule heads may sample from parameterized
+//! probability distributions — discrete *and* continuous — with the
+//! paper's measure-theoretic semantics made executable.
+//!
+//! A GDatalog program denotes a **sub-probabilistic database**: a
+//! (sub-)probability distribution over finite database instances, obtained
+//! as the push-forward of a Markov process (the *probabilistic chase*)
+//! along the paths-to-instances map `lim-inst`. This crate is a facade
+//! re-exporting the workspace:
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`data`] | values, schemas, facts, set-semantics instances, FDs |
+//! | [`dist`] | the parameterized distribution family Ψ (Def. 2.1) |
+//! | [`datalog`] | classical semi-naive Datalog substrate |
+//! | [`lang`] | parser, validation, weak acyclicity, Datalog∃ translation |
+//! | [`pdb`] | possible worlds, empirical PDBs, events, queries |
+//! | [`engine`] | the probabilistic chase: sequential/parallel, exact/MC |
+//! | [`stats`] | KS/χ² testing substrate used to verify the semantics |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gdatalog::prelude::*;
+//!
+//! // Example 1.1 of the paper, program G0.
+//! let engine = Engine::from_source(
+//!     "R(Flip<0.5>) :- true. R(Flip<0.5>) :- true.",
+//!     SemanticsMode::Grohe,
+//! ).unwrap();
+//!
+//! // Exact evaluation: the full world table.
+//! let worlds = engine.enumerate(None, ExactConfig::default()).unwrap();
+//! assert_eq!(worlds.len(), 3); // {R(0)}, {R(1)}, {R(0),R(1)}
+//!
+//! // Monte-Carlo evaluation (works for continuous programs too).
+//! let pdb = engine.sample(None, &McConfig { runs: 1000, ..Default::default() }).unwrap();
+//! assert_eq!(pdb.runs(), 1000);
+//! ```
+
+pub use gdatalog_core as engine;
+pub use gdatalog_data as data;
+pub use gdatalog_datalog as datalog;
+pub use gdatalog_dist as dist;
+pub use gdatalog_lang as lang;
+pub use gdatalog_pdb as pdb;
+pub use gdatalog_stats as stats;
+
+/// The most commonly used items, for `use gdatalog::prelude::*`.
+pub mod prelude {
+    pub use gdatalog_core::{
+        ChasePolicy, ChaseVariant, Engine, EngineError, ExactConfig, McConfig, PolicyKind,
+    };
+    pub use gdatalog_data::{Catalog, ColType, Fact, Instance, RelId, Tuple, Value};
+    pub use gdatalog_dist::{ParamDist, Registry};
+    pub use gdatalog_lang::{Program, SemanticsMode};
+    pub use gdatalog_pdb::{EmpiricalPdb, PossibleWorlds};
+}

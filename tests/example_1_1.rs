@@ -1,0 +1,125 @@
+//! Integration test: the full matrix of Example 1.1 — programs G0, Gε, G′0
+//! under both semantics, with the paper's exact probabilities.
+
+use gdatalog::prelude::*;
+
+fn worlds(src: &str, mode: SemanticsMode) -> (Engine, PossibleWorlds) {
+    let engine = Engine::from_source(src, mode).expect("valid program");
+    let w = engine.enumerate(None, ExactConfig::default()).expect("discrete");
+    (engine, w)
+}
+
+/// Outcome probabilities (only-R(1), only-R(0), both) for a 1-ary R.
+fn outcome_triple(engine: &Engine, w: &PossibleWorlds) -> (f64, f64, f64) {
+    let r = engine.program().catalog.require("R").unwrap();
+    let one = Tuple::from(vec![Value::int(1)]);
+    let zero = Tuple::from(vec![Value::int(0)]);
+    (
+        w.probability(|d| d.contains(r, &one) && !d.contains(r, &zero)),
+        w.probability(|d| d.contains(r, &zero) && !d.contains(r, &one)),
+        w.probability(|d| d.contains(r, &zero) && d.contains(r, &one)),
+    )
+}
+
+const G0: &str = "R(Flip<0.5>) :- true. R(Flip<0.5>) :- true.";
+
+#[test]
+fn g0_new_semantics_quarters() {
+    let (e, w) = worlds(G0, SemanticsMode::Grohe);
+    let (p1, p0, pb) = outcome_triple(&e, &w);
+    assert!((p1 - 0.25).abs() < 1e-12);
+    assert!((p0 - 0.25).abs() < 1e-12);
+    assert!((pb - 0.5).abs() < 1e-12);
+    assert!(w.mass_is_consistent(1e-12));
+}
+
+#[test]
+fn g0_old_semantics_halves() {
+    let (e, w) = worlds(G0, SemanticsMode::Barany);
+    let (p1, p0, pb) = outcome_triple(&e, &w);
+    assert!((p1 - 0.5).abs() < 1e-12);
+    assert!((p0 - 0.5).abs() < 1e-12);
+    assert_eq!(pb, 0.0);
+}
+
+/// Gε as displayed in the paper: one rule Flip⟨1/2⟩, one Flip⟨1/2+ε⟩.
+/// Both semantics treat the two parameters as distinct experiments, so the
+/// outcome is (1/2)(1/2+ε) / (1/2)(1/2−ε) / 1/2.
+#[test]
+fn g_eps_as_displayed() {
+    for eps in [0.25, 0.1, 0.01] {
+        let src = format!("R(Flip<0.5>) :- true. R(Flip<{}>) :- true.", 0.5 + eps);
+        for mode in [SemanticsMode::Grohe, SemanticsMode::Barany] {
+            let (e, w) = worlds(&src, mode);
+            let (p1, p0, pb) = outcome_triple(&e, &w);
+            assert!((p1 - 0.5 * (0.5 + eps)).abs() < 1e-12, "{mode}: {p1}");
+            assert!((p0 - 0.5 * (0.5 - eps)).abs() < 1e-12, "{mode}: {p0}");
+            assert!((pb - 0.5).abs() < 1e-12, "{mode}: {pb}");
+        }
+    }
+}
+
+/// The arithmetic the paper actually reports for Gε — `1/4+ε+ε²` etc. —
+/// corresponds to *both* rules using Flip⟨1/2+ε⟩ (see the errata note in
+/// DESIGN.md). Under the new semantics that variant reproduces the paper's
+/// numbers exactly.
+#[test]
+fn g_eps_paper_arithmetic_variant() {
+    for eps in [0.25, 0.1, 0.01] {
+        let p = 0.5 + eps;
+        let src = format!("R(Flip<{p}>) :- true. R(Flip<{p}>) :- true.");
+        let (e, w) = worlds(&src, SemanticsMode::Grohe);
+        let (p1, p0, pb) = outcome_triple(&e, &w);
+        assert!((p1 - (0.25 + eps + eps * eps)).abs() < 1e-12, "{p1}");
+        assert!((p0 - (0.25 - eps + eps * eps)).abs() < 1e-12, "{p0}");
+        assert!((pb - (0.5 - 2.0 * eps * eps)).abs() < 1e-12, "{pb}");
+    }
+}
+
+/// ε → 0 convergence: the new semantics is continuous in the parameters
+/// (the failure of this for the old semantics motivated the redesign).
+#[test]
+fn g_eps_converges_to_g0_under_new_semantics() {
+    let (e0, w0) = worlds(G0, SemanticsMode::Grohe);
+    let base = outcome_triple(&e0, &w0);
+    let mut last_gap = f64::INFINITY;
+    for eps in [0.2, 0.1, 0.05, 0.01, 0.001] {
+        let src = format!("R(Flip<0.5>) :- true. R(Flip<{}>) :- true.", 0.5 + eps);
+        let (e, w) = worlds(&src, SemanticsMode::Grohe);
+        let t = outcome_triple(&e, &w);
+        let gap = (t.0 - base.0).abs() + (t.1 - base.1).abs() + (t.2 - base.2).abs();
+        assert!(gap < last_gap, "gap must shrink with ε: {gap} vs {last_gap}");
+        last_gap = gap;
+    }
+    assert!(last_gap < 0.005);
+}
+
+/// Under the *old* semantics, G0 and Gε do not converge to each other:
+/// at ε = 0 the two rules suddenly share one experiment (the
+/// discontinuity of Example 1.1).
+#[test]
+fn old_semantics_is_discontinuous_at_eps_zero() {
+    let (e, w) = worlds(G0, SemanticsMode::Barany);
+    let at_zero = outcome_triple(&e, &w);
+    let src = "R(Flip<0.5>) :- true. R(Flip<0.501>) :- true.";
+    let (e2, w2) = worlds(src, SemanticsMode::Barany);
+    let near_zero = outcome_triple(&e2, &w2);
+    // Near zero the "both" outcome has probability ~1/2; at zero it is 0.
+    assert!((near_zero.2 - 0.5).abs() < 0.01);
+    assert_eq!(at_zero.2, 0.0);
+}
+
+/// G′0: Flip vs an identically-distributed, differently-named distribution.
+#[test]
+fn g0_prime_rename_sensitivity() {
+    let src = "R(Flip<0.5>) :- true. R(Bernoulli<0.5>) :- true.";
+    // New semantics: identical to G0.
+    let (e_new, w_new) = worlds(src, SemanticsMode::Grohe);
+    let (e0, w0) = worlds(G0, SemanticsMode::Grohe);
+    assert_eq!(outcome_triple(&e_new, &w_new), outcome_triple(&e0, &w0));
+    // Old semantics: the rename decorrelates — 4 outcomes like the new G0.
+    let (e_old, w_old) = worlds(src, SemanticsMode::Barany);
+    let t = outcome_triple(&e_old, &w_old);
+    assert!((t.0 - 0.25).abs() < 1e-12);
+    assert!((t.2 - 0.5).abs() < 1e-12);
+}

@@ -1,0 +1,136 @@
+//! Integration test: measurable queries on the generated SPDBs (Fact 2.6)
+//! — relational algebra and aggregation evaluated per world over the exact
+//! burglary table, cross-checked against marginals and counting events.
+
+use std::collections::BTreeSet;
+
+use gdatalog::pdb::{eval_query, eval_query_worlds, AggFun, ColPred, Event, FactSet, Query};
+use gdatalog::prelude::*;
+
+const SRC: &str = r#"
+    rel City(symbol, real) input.
+    rel House(symbol, symbol) input.
+    City(gotham, 0.3).
+    House(h1, gotham).
+    House(h2, gotham).
+    Earthquake(C, Flip<0.1>) :- City(C, R).
+    Unit(H, C) :- House(H, C).
+    Burglary(X, C, Flip<R>) :- Unit(X, C), City(C, R).
+    Trig(X, Flip<0.6>) :- Unit(X, C), Earthquake(C, 1).
+    Trig(X, Flip<0.9>) :- Burglary(X, C, 1).
+    Alarm(X) :- Trig(X, 1).
+"#;
+
+fn setup() -> (Engine, PossibleWorlds) {
+    let engine = Engine::from_source(SRC, SemanticsMode::Grohe).unwrap();
+    let worlds = engine.enumerate(None, ExactConfig::default()).unwrap();
+    (engine, worlds)
+}
+
+#[test]
+fn query_distribution_agrees_with_marginal() {
+    let (engine, worlds) = setup();
+    let alarm = engine.program().catalog.require("Alarm").unwrap();
+    // π over Alarm = the set of alarming units per world.
+    let q = Query::Rel(alarm).project(vec![0]);
+    let dist = eval_query_worlds(&q, &worlds);
+    let total: f64 = dist.values().sum();
+    assert!((total - worlds.mass()).abs() < 1e-9);
+    // P(h1 ∈ answer) computed from the query distribution equals the
+    // marginal of the Alarm(h1) fact.
+    let h1 = Tuple::from(vec![Value::sym("h1")]);
+    let p_from_query: f64 = dist
+        .iter()
+        .filter(|(ans, _)| ans.contains(&h1))
+        .map(|(_, p)| p)
+        .sum();
+    let marginal = worlds.marginal(&Fact::new(alarm, h1));
+    assert!((p_from_query - marginal).abs() < 1e-12);
+}
+
+#[test]
+fn join_query_expresses_correlation() {
+    let (engine, worlds) = setup();
+    let alarm = engine.program().catalog.require("Alarm").unwrap();
+    // Alarm ⋈ Alarm on nothing = cross product of alarming units; a world
+    // has (h1, h2) in the product iff both alarms fired.
+    let q = Query::Rel(alarm).join(Query::Rel(alarm), vec![]);
+    let both = Tuple::from(vec![Value::sym("h1"), Value::sym("h2")]);
+    let p_join: f64 = eval_query_worlds(&q, &worlds)
+        .iter()
+        .filter(|(ans, _)| ans.contains(&both))
+        .map(|(_, p)| p)
+        .sum();
+    let p_event = worlds.probability(|d| {
+        d.contains(alarm, &Tuple::from(vec![Value::sym("h1")]))
+            && d.contains(alarm, &Tuple::from(vec![Value::sym("h2")]))
+    });
+    assert!((p_join - p_event).abs() < 1e-12);
+    assert!(p_join > 0.0);
+}
+
+#[test]
+fn aggregate_count_matches_counting_events() {
+    let (engine, worlds) = setup();
+    let alarm = engine.program().catalog.require("Alarm").unwrap();
+    let q = Query::Rel(alarm).aggregate(vec![], AggFun::Count, 0);
+    let dist = eval_query_worlds(&q, &worlds);
+    // P(count = k) from the aggregate must equal P(C(Alarm, k)) from the
+    // counting event — the paper's σ-algebra generators (§2.3).
+    for k in 0..=2i64 {
+        let target: BTreeSet<Tuple> = [Tuple::from(vec![Value::int(k)])].into_iter().collect();
+        let p_agg = dist.get(&target).copied().unwrap_or_else(|| {
+            // count = 0 yields an empty aggregate answer set.
+            if k == 0 {
+                dist.get(&BTreeSet::new()).copied().unwrap_or(0.0)
+            } else {
+                0.0
+            }
+        });
+        let ev = Event::count_exactly(FactSet::whole_relation(alarm), k as usize);
+        let p_ev = worlds.probability(|d| ev.eval(d));
+        assert!(
+            (p_agg - p_ev).abs() < 1e-12,
+            "k = {k}: aggregate {p_agg} vs event {p_ev}"
+        );
+    }
+}
+
+#[test]
+fn selection_with_interval_predicates() {
+    let (engine, worlds) = setup();
+    let burglary = engine.program().catalog.require("Burglary").unwrap();
+    // σ_{flag = 1} π_{unit} over Burglary, on one representative world.
+    let (world, _) = worlds.iter().last().unwrap();
+    let q = Query::Rel(burglary)
+        .select(vec![(2, ColPred::Range { lo: 0.5, hi: 1.5 })])
+        .project(vec![0]);
+    let direct: BTreeSet<Tuple> = world
+        .relation(burglary)
+        .iter()
+        .filter(|t| t[2].as_f64().unwrap() >= 0.5)
+        .map(|t| t.project(&[0]))
+        .collect();
+    assert_eq!(eval_query(&q, world), direct);
+}
+
+#[test]
+fn conditioning_on_alarm_raises_burglary_probability() {
+    let (engine, worlds) = setup();
+    let alarm = engine.program().catalog.require("Alarm").unwrap();
+    let burglary = engine.program().catalog.require("Burglary").unwrap();
+    let h1 = Tuple::from(vec![Value::sym("h1")]);
+    let burgled = Tuple::from(vec![Value::sym("h1"), Value::sym("gotham"), Value::int(1)]);
+
+    let prior = worlds.probability(|d| d.contains(burglary, &burgled));
+    let posterior = worlds
+        .condition(|d| d.contains(alarm, &h1))
+        .expect("alarm has positive probability")
+        .probability(|d| d.contains(burglary, &burgled));
+    // Observing the alarm must raise the burglary probability (explaining
+    // away not withstanding: the alternative cause is rare).
+    assert!(
+        posterior > prior * 2.0,
+        "prior {prior}, posterior {posterior}"
+    );
+}
