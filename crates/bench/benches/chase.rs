@@ -16,7 +16,10 @@ fn bench_chase_variants(c: &mut Criterion) {
         let engine =
             Engine::from_source(&burglary_program(houses), SemanticsMode::Grohe).expect("ok");
         for (label, variant) in [
-            ("sequential", ChaseVariant::Sequential(PolicyKind::Canonical)),
+            (
+                "sequential",
+                ChaseVariant::Sequential(PolicyKind::Canonical),
+            ),
             ("parallel", ChaseVariant::Parallel),
             ("saturating", ChaseVariant::Saturating),
         ] {

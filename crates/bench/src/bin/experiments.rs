@@ -3,9 +3,16 @@
 //! measured values. `cargo run --release -p gdatalog-bench --bin
 //! experiments [e1 e2 …]` — no arguments runs everything.
 //!
+//! `cargo run --release -p gdatalog-bench --bin experiments bench`
+//! additionally runs the perf-trajectory suite and writes
+//! `BENCH_PR1.json` (per-bench median nanoseconds plus incremental-vs-
+//! rebuild speedups) so later PRs can track the performance curve
+//! machine-readably.
+//!
 //! The output of this binary is the source of EXPERIMENTS.md.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use gdatalog_bench::{burglary_program, geometric_chain, heights_program, normal_chain};
 use gdatalog_core::engine::Engine;
@@ -43,7 +50,10 @@ fn triple(engine: &Engine, worlds: &PossibleWorlds) -> (f64, f64, f64) {
 }
 
 fn e1() {
-    header("E1", "Example 1.1 — programs G0, Gε, G′0 under both semantics");
+    header(
+        "E1",
+        "Example 1.1 — programs G0, Gε, G′0 under both semantics",
+    );
     let g0 = "R(Flip<0.5>) :- true. R(Flip<0.5>) :- true.";
 
     let new = Engine::from_source(g0, SemanticsMode::Grohe).expect("ok");
@@ -67,7 +77,10 @@ fn e1() {
     println!("\nGε as displayed (rules Flip<1/2>, Flip<1/2+ε>), new semantics:");
     println!("  (expected (1/2)(1/2+ε), (1/2)(1/2−ε), 1/2 — see errata note: the");
     println!("  paper's stated 1/4±ε+ε² arithmetic corresponds to Flip<1/2+ε> twice)");
-    println!("  {:>8} {:>12} {:>12} {:>12}", "ε", "{R(1)}", "{R(0)}", "both");
+    println!(
+        "  {:>8} {:>12} {:>12} {:>12}",
+        "ε", "{R(1)}", "{R(0)}", "both"
+    );
     for eps in [0.25, 0.1, 0.05, 0.01, 0.0] {
         let src = format!("R(Flip<0.5>) :- true. R(Flip<{}>) :- true.", 0.5 + eps);
         let e = Engine::from_source(&src, SemanticsMode::Grohe).expect("ok");
@@ -119,7 +132,10 @@ fn e1() {
 }
 
 fn e2() {
-    header("E2", "Example 3.4 — burglary network: exact vs closed form vs MC");
+    header(
+        "E2",
+        "Example 3.4 — burglary network: exact vs closed form vs MC",
+    );
     let engine = Engine::from_source(&burglary_program(2), SemanticsMode::Grohe).expect("ok");
     let worlds = engine.enumerate(None, ExactConfig::default()).expect("ok");
     println!(
@@ -163,7 +179,10 @@ fn e2() {
 }
 
 fn e3() {
-    header("E3", "Example 3.5 — heights from per-country Normals (continuous MC)");
+    header(
+        "E3",
+        "Example 3.5 — heights from per-country Normals (continuous MC)",
+    );
     let engine = Engine::from_source(&heights_program(2), SemanticsMode::Grohe).expect("ok");
     let pheight = engine.program().catalog.require("PHeight").expect("ok");
     let pdb = engine
@@ -179,7 +198,7 @@ fn e3() {
         .expect("ok");
     println!("worlds sampled: {} ({} errors)\n", pdb.runs(), pdb.errors());
     println!("  person  target µ  target σ   sample mean  sample sd   KS p-value");
-    for (person, mu, s2) in [("nl0", 183.8, 49.0), ("pe0", 165.2, 36.0)] {
+    for (person, mu, s2) in [("nl0", 183.8, 49.0f64), ("pe0", 165.2, 36.0)] {
         let mut vals = Vec::new();
         for world in pdb.samples() {
             for t in world.relation(pheight) {
@@ -189,7 +208,7 @@ fn e3() {
             }
         }
         let s = Summary::of(&vals);
-        let sigma = (s2 as f64).sqrt();
+        let sigma = s2.sqrt();
         let ks = ks_one_sample(&vals, |x| {
             gdatalog_dist::special::std_normal_cdf((x - mu) / sigma)
         });
@@ -203,7 +222,10 @@ fn e3() {
 }
 
 fn e4() {
-    header("E4", "Theorem 6.1/6.2 — chase independence (policies & parallel)");
+    header(
+        "E4",
+        "Theorem 6.1/6.2 — chase independence (policies & parallel)",
+    );
     let engine = Engine::from_source(&burglary_program(2), SemanticsMode::Grohe).expect("ok");
     let program = engine.program();
     let reference = engine.enumerate(None, ExactConfig::default()).expect("ok");
@@ -375,7 +397,10 @@ fn e5() {
 }
 
 fn e6() {
-    header("E6", "§6.2 — semantics simulation (H ↦ H′ and the tagged dual)");
+    header(
+        "E6",
+        "§6.2 — semantics simulation (H ↦ H′ and the tagged dual)",
+    );
     let h = "R(Flip<0.5>) :- true. S(Flip<0.5>) :- true.";
     let old_engine = Engine::from_source(h, SemanticsMode::Barany).expect("ok");
     let old_table = old_engine
@@ -441,7 +466,10 @@ fn e6() {
 }
 
 fn e7() {
-    header("E7", "Theorems 4.8/5.5 — probabilistic inputs (SPDB → SPDB)");
+    header(
+        "E7",
+        "Theorems 4.8/5.5 — probabilistic inputs (SPDB → SPDB)",
+    );
     let engine = Engine::from_source(
         r#"
         rel Device(symbol, real) input.
@@ -541,6 +569,208 @@ fn e8() {
     }
 }
 
+/// Median wall-clock nanoseconds of `f` over `samples` timed calls (after
+/// one warm-up call).
+fn median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut times: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    let n = times.len();
+    if n % 2 == 1 {
+        times[n / 2]
+    } else {
+        0.5 * (times[n / 2 - 1] + times[n / 2])
+    }
+}
+
+/// The perf-trajectory suite behind `BENCH_PR1.json`: the Datalog
+/// substrate (transitive closure, naive vs rebuild-per-round semi-naive vs
+/// incremental semi-naive) and the chase (rebuild-per-step saturating
+/// baseline vs incremental saturating, plus sequential/parallel MC), with
+/// per-bench median ns and the incremental-vs-rebuild speedups.
+fn bench_pr1() {
+    use gdatalog_core::saturate::run_saturating_rebuild_baseline;
+    use gdatalog_core::{run_saturating, sample_pdb};
+    use gdatalog_data::{tuple, Instance, RelId};
+    use gdatalog_datalog::{
+        fixpoint_naive, fixpoint_seminaive, fixpoint_seminaive_rebuild, Atom, DatalogProgram,
+        DatalogRule, Term,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    header("BENCH", "perf trajectory (written to BENCH_PR1.json)");
+
+    // Transitive closure over a chain: T(x,y) :- E(x,y). T(x,z) :- T(x,y), E(y,z).
+    let tc = DatalogProgram::new(vec![
+        DatalogRule::new(
+            Atom::new(RelId(1), vec![Term::Var(0), Term::Var(1)]),
+            vec![Atom::new(RelId(0), vec![Term::Var(0), Term::Var(1)])],
+            2,
+        )
+        .expect("safe"),
+        DatalogRule::new(
+            Atom::new(RelId(1), vec![Term::Var(0), Term::Var(2)]),
+            vec![
+                Atom::new(RelId(1), vec![Term::Var(0), Term::Var(1)]),
+                Atom::new(RelId(0), vec![Term::Var(1), Term::Var(2)]),
+            ],
+            3,
+        )
+        .expect("safe"),
+    ]);
+    let chain = |n: i64| -> Instance {
+        let mut d = Instance::new();
+        for i in 0..n {
+            d.insert(RelId(0), tuple![i, i + 1]);
+        }
+        d
+    };
+
+    let mut results: Vec<(String, f64)> = Vec::new();
+    let mut push = |name: &str, ns: f64| {
+        println!("  {name:<44} {ns:>14.0} ns");
+        results.push((name.to_string(), ns));
+    };
+
+    for n in [32i64, 128] {
+        let input = chain(n);
+        push(
+            &format!("datalog_tc/naive/{n}"),
+            median_ns(5, || {
+                std::hint::black_box(fixpoint_naive(&tc, &input));
+            }),
+        );
+        push(
+            &format!("datalog_tc/seminaive_seed/{n}"),
+            median_ns(7, || {
+                std::hint::black_box(gdatalog_bench::legacy::fixpoint_seminaive_seed(&tc, &input));
+            }),
+        );
+        push(
+            &format!("datalog_tc/seminaive_rebuild/{n}"),
+            median_ns(7, || {
+                std::hint::black_box(fixpoint_seminaive_rebuild(&tc, &input));
+            }),
+        );
+        push(
+            &format!("datalog_tc/seminaive/{n}"),
+            median_ns(7, || {
+                std::hint::black_box(fixpoint_seminaive(&tc, &input));
+            }),
+        );
+    }
+
+    // Chase benches on the burglary network (Ex. 3.4).
+    let engine = Engine::from_source(&burglary_program(8), SemanticsMode::Grohe).expect("ok");
+    let program = engine.program();
+    push(
+        "chase/saturating_rebuild/8houses",
+        median_ns(5, || {
+            let mut rng = StdRng::seed_from_u64(1);
+            for _ in 0..10 {
+                std::hint::black_box(
+                    run_saturating_rebuild_baseline(
+                        program,
+                        &program.initial_instance,
+                        &mut rng,
+                        100_000,
+                    )
+                    .expect("runs"),
+                );
+            }
+        }),
+    );
+    push(
+        "chase/saturating/8houses",
+        median_ns(5, || {
+            let mut rng = StdRng::seed_from_u64(1);
+            for _ in 0..10 {
+                std::hint::black_box(
+                    run_saturating(program, &program.initial_instance, &mut rng, 100_000, false)
+                        .expect("runs"),
+                );
+            }
+        }),
+    );
+    for (label, variant) in [
+        (
+            "sequential",
+            ChaseVariant::Sequential(PolicyKind::Canonical),
+        ),
+        ("parallel", ChaseVariant::Parallel),
+        ("saturating", ChaseVariant::Saturating),
+    ] {
+        push(
+            &format!("chase_mc/{label}/8houses"),
+            median_ns(5, || {
+                let cfg = McConfig {
+                    runs: 50,
+                    max_steps: 100_000,
+                    seed: 1,
+                    variant,
+                    ..McConfig::default()
+                };
+                std::hint::black_box(
+                    sample_pdb(program, &program.initial_instance, &cfg).expect("runs"),
+                );
+            }),
+        );
+    }
+
+    let lookup = |name: &str| -> f64 {
+        results
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, ns)| *ns)
+            .expect("recorded bench")
+    };
+    let speedups = [
+        (
+            "datalog_tc/seminaive/128 vs seed",
+            lookup("datalog_tc/seminaive_seed/128") / lookup("datalog_tc/seminaive/128"),
+        ),
+        (
+            "datalog_tc/seminaive/128 vs rebuild",
+            lookup("datalog_tc/seminaive_rebuild/128") / lookup("datalog_tc/seminaive/128"),
+        ),
+        (
+            "datalog_tc/seminaive/128 vs naive",
+            lookup("datalog_tc/naive/128") / lookup("datalog_tc/seminaive/128"),
+        ),
+        (
+            "chase/saturating vs rebuild",
+            lookup("chase/saturating_rebuild/8houses") / lookup("chase/saturating/8houses"),
+        ),
+    ];
+    println!();
+    for (name, x) in &speedups {
+        println!("  speedup {name:<38} {x:>10.2}x");
+    }
+
+    let mut json = String::from("{\n  \"pr\": 1,\n  \"benches\": [\n");
+    for (i, (name, ns)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"bench\": \"{name}\", \"median_ns\": {ns:.0}}}{comma}\n"
+        ));
+    }
+    json.push_str("  ],\n  \"speedups\": {\n");
+    for (i, (name, x)) in speedups.iter().enumerate() {
+        let comma = if i + 1 < speedups.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {x:.2}{comma}\n"));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write("BENCH_PR1.json", json).expect("write BENCH_PR1.json");
+    println!("\n  wrote BENCH_PR1.json");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let run_all = args.is_empty();
@@ -555,6 +785,7 @@ fn main() {
         ("e6", e6),
         ("e7", e7),
         ("e8", e8),
+        ("bench", bench_pr1),
     ];
     let mut ran = 0;
     for (id, f) in &experiments {
@@ -564,7 +795,7 @@ fn main() {
         }
     }
     if ran == 0 {
-        eprintln!("unknown experiment id; available: e1..e8");
+        eprintln!("unknown experiment id; available: e1..e8, bench");
         std::process::exit(2);
     }
     println!("\nAll requested experiments completed.");

@@ -1,0 +1,286 @@
+//! A faithful copy of the original (seed) semi-naive evaluator, kept as
+//! the measured perf baseline: lazily rebuilt `(rel, cols) → key → tuples`
+//! hash indexes with owned `Vec<Value>` keys, per-round re-planning, and
+//! per-frame candidate buffers. Benchmarks compare the planned/incremental
+//! engine in `gdatalog-datalog` against this to quantify the win; nothing
+//! else should use it.
+
+use std::collections::HashMap;
+
+use gdatalog_data::{Instance, RelId, Tuple, Value};
+use gdatalog_datalog::{Atom, DatalogProgram, Term};
+
+/// The original lazily built, rebuild-after-mutation index cache.
+type LegacyBuckets = HashMap<Vec<Value>, Vec<Tuple>>;
+
+struct LegacyIndex<'a> {
+    instance: &'a Instance,
+    cache: HashMap<(RelId, Vec<usize>), LegacyBuckets>,
+}
+
+static EMPTY: Vec<Tuple> = Vec::new();
+
+impl<'a> LegacyIndex<'a> {
+    fn new(instance: &'a Instance) -> Self {
+        LegacyIndex {
+            instance,
+            cache: HashMap::new(),
+        }
+    }
+
+    fn probe(&mut self, rel: RelId, key_cols: &[usize], key: &[Value]) -> &[Tuple] {
+        let entry = self
+            .cache
+            .entry((rel, key_cols.to_vec()))
+            .or_insert_with(|| {
+                let mut map = LegacyBuckets::new();
+                for t in self.instance.relation(rel) {
+                    let k: Vec<Value> = key_cols.iter().map(|&c| t[c].clone()).collect();
+                    map.entry(k).or_default().push(t.clone());
+                }
+                map
+            });
+        entry.get(key).map_or(EMPTY.as_slice(), Vec::as_slice)
+    }
+}
+
+struct AtomPlan<'r> {
+    atom: &'r Atom,
+    key_cols: Vec<usize>,
+    key_terms: Vec<&'r Term>,
+    binds: Vec<(usize, usize)>,
+    checks: Vec<(usize, usize)>,
+}
+
+fn plan_body(body: &[Atom], n_vars: usize) -> Vec<AtomPlan<'_>> {
+    let mut bound = vec![false; n_vars];
+    body.iter()
+        .map(|atom| {
+            let mut key_cols = Vec::new();
+            let mut key_terms = Vec::new();
+            let mut binds = Vec::new();
+            let mut checks = Vec::new();
+            let mut bound_here: Vec<usize> = Vec::new();
+            for (c, t) in atom.args.iter().enumerate() {
+                match t {
+                    Term::Const(_) => {
+                        key_cols.push(c);
+                        key_terms.push(t);
+                    }
+                    Term::Var(v) => {
+                        if bound[*v] {
+                            key_cols.push(c);
+                            key_terms.push(t);
+                        } else if bound_here.contains(v) {
+                            checks.push((c, *v));
+                        } else {
+                            binds.push((c, *v));
+                            bound_here.push(*v);
+                        }
+                    }
+                }
+            }
+            for v in bound_here {
+                bound[v] = true;
+            }
+            AtomPlan {
+                atom,
+                key_cols,
+                key_terms,
+                binds,
+                checks,
+            }
+        })
+        .collect()
+}
+
+fn candidates(
+    plan: &AtomPlan<'_>,
+    binding: &[Option<Value>],
+    index: &mut LegacyIndex<'_>,
+) -> Vec<Tuple> {
+    let key: Vec<Value> = plan
+        .key_terms
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => c.clone(),
+            Term::Var(v) => binding[*v].clone().expect("planned var must be bound"),
+        })
+        .collect();
+    index.probe(plan.atom.rel, &plan.key_cols, &key).to_vec()
+}
+
+fn match_body(
+    plans: &[AtomPlan<'_>],
+    index: &mut LegacyIndex<'_>,
+    delta: Option<(usize, &mut LegacyIndex<'_>)>,
+    n_vars: usize,
+    emit: &mut dyn FnMut(&[Option<Value>]),
+) {
+    let mut binding: Vec<Option<Value>> = vec![None; n_vars];
+    let (delta_pos, mut delta_index) = match delta {
+        Some((p, ix)) => (Some(p), Some(ix)),
+        None => (None, None),
+    };
+    struct Frame {
+        tuples: Vec<Tuple>,
+        next: usize,
+    }
+    let mut stack: Vec<Frame> = Vec::with_capacity(plans.len());
+
+    if plans.is_empty() {
+        emit(&binding);
+        return;
+    }
+    let first = if delta_pos == Some(0) {
+        let ix = delta_index.as_deref_mut().expect("delta index present");
+        candidates(&plans[0], &binding, ix)
+    } else {
+        candidates(&plans[0], &binding, index)
+    };
+    stack.push(Frame {
+        tuples: first,
+        next: 0,
+    });
+
+    while let Some(depth) = stack.len().checked_sub(1) {
+        let frame = stack.last_mut().expect("nonempty stack");
+        if frame.next >= frame.tuples.len() {
+            stack.pop();
+            for (_, v) in &plans[depth].binds {
+                binding[*v] = None;
+            }
+            continue;
+        }
+        let tuple = frame.tuples[frame.next].clone();
+        frame.next += 1;
+        for (_, v) in &plans[depth].binds {
+            binding[*v] = None;
+        }
+        for (c, v) in &plans[depth].binds {
+            binding[*v] = Some(tuple[*c].clone());
+        }
+        let ok = plans[depth]
+            .checks
+            .iter()
+            .all(|(c, v)| binding[*v].as_ref() == Some(&tuple[*c]));
+        if !ok {
+            continue;
+        }
+        if depth + 1 == plans.len() {
+            emit(&binding);
+            continue;
+        }
+        let next_tuples = if delta_pos == Some(depth + 1) {
+            let ix = delta_index.as_deref_mut().expect("delta index present");
+            candidates(&plans[depth + 1], &binding, ix)
+        } else {
+            candidates(&plans[depth + 1], &binding, index)
+        };
+        stack.push(Frame {
+            tuples: next_tuples,
+            next: 0,
+        });
+    }
+}
+
+/// The seed's semi-naive fixpoint, verbatim: rebuilds all (lazy) indexes
+/// every round and replans every rule on every round.
+pub fn fixpoint_seminaive_seed(program: &DatalogProgram, input: &Instance) -> Instance {
+    let mut current = input.clone();
+
+    let mut delta = Instance::new();
+    {
+        let mut new_facts: Vec<(RelId, Tuple)> = Vec::new();
+        {
+            let mut index = LegacyIndex::new(&current);
+            for rule in &program.rules {
+                let plans = plan_body(&rule.body, rule.n_vars);
+                let mut emit = |binding: &[Option<Value>]| {
+                    new_facts.push((rule.head.rel, rule.head.instantiate(binding)));
+                };
+                match_body(&plans, &mut index, None, rule.n_vars, &mut emit);
+            }
+        }
+        for (rel, t) in new_facts {
+            if current.insert(rel, t.clone()) {
+                delta.insert(rel, t);
+            }
+        }
+    }
+
+    while !delta.is_empty() {
+        let mut new_facts: Vec<(RelId, Tuple)> = Vec::new();
+        {
+            let mut index = LegacyIndex::new(&current);
+            let mut delta_index = LegacyIndex::new(&delta);
+            for rule in &program.rules {
+                if rule.body.is_empty() {
+                    continue;
+                }
+                let plans = plan_body(&rule.body, rule.n_vars);
+                for pos in 0..rule.body.len() {
+                    if delta.relation_len(rule.body[pos].rel) == 0 {
+                        continue;
+                    }
+                    let mut emit = |binding: &[Option<Value>]| {
+                        new_facts.push((rule.head.rel, rule.head.instantiate(binding)));
+                    };
+                    match_body(
+                        &plans,
+                        &mut index,
+                        Some((pos, &mut delta_index)),
+                        rule.n_vars,
+                        &mut emit,
+                    );
+                }
+            }
+        }
+        let mut next_delta = Instance::new();
+        for (rel, t) in new_facts {
+            if current.insert(rel, t.clone()) {
+                next_delta.insert(rel, t);
+            }
+        }
+        delta = next_delta;
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdatalog_data::tuple;
+    use gdatalog_datalog::{fixpoint_seminaive, DatalogRule};
+
+    #[test]
+    fn seed_baseline_agrees_with_current_engine() {
+        let edge = RelId(0);
+        let tc = RelId(1);
+        let program = DatalogProgram::new(vec![
+            DatalogRule::new(
+                Atom::new(tc, vec![Term::Var(0), Term::Var(1)]),
+                vec![Atom::new(edge, vec![Term::Var(0), Term::Var(1)])],
+                2,
+            )
+            .unwrap(),
+            DatalogRule::new(
+                Atom::new(tc, vec![Term::Var(0), Term::Var(2)]),
+                vec![
+                    Atom::new(tc, vec![Term::Var(0), Term::Var(1)]),
+                    Atom::new(edge, vec![Term::Var(1), Term::Var(2)]),
+                ],
+                3,
+            )
+            .unwrap(),
+        ]);
+        let mut input = Instance::new();
+        for i in 0..12i64 {
+            input.insert(edge, tuple![i, i + 1]);
+        }
+        input.insert(edge, tuple![12i64, 0i64]);
+        let legacy = fixpoint_seminaive_seed(&program, &input);
+        let (current, _) = fixpoint_seminaive(&program, &input);
+        assert_eq!(legacy, current);
+    }
+}

@@ -6,6 +6,8 @@ use gdatalog_core::Engine;
 use gdatalog_lang::SemanticsMode;
 use std::fmt::Write as _;
 
+pub mod legacy;
+
 /// Example 3.4 of the paper (earthquake/burglary/alarm), parameterized by
 /// the number of houses in the first city.
 pub fn burglary_program(houses: usize) -> String {

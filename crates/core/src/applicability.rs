@@ -6,9 +6,16 @@
 //! the instantiated *key* already exists (the `∃y` in rule (3.A)) — which,
 //! combined with the induced FD of §3.5, realizes the sample-once
 //! discipline.
+//!
+//! [`PreparedProgram`] is the compile-once artifact the chase hot paths
+//! run on: every rule body is planned ([`BodyPlan`]) and every index the
+//! program will ever probe — body probes, existential head-key probes, and
+//! the deterministic fragment's probes — is interned into **one**
+//! [`IndexSpecs`] table, so a single incrementally maintained
+//! [`InstanceIndex`] serves the entire chase step.
 
 use gdatalog_data::{Instance, Tuple, Value};
-use gdatalog_datalog::{for_each_body_match, InstanceIndex, Term as DlTerm};
+use gdatalog_datalog::{BodyPlan, IndexSpecs, InstanceIndex, PlannedProgram, Term as DlTerm};
 use gdatalog_lang::{CompiledProgram, CompiledRule, RuleKind};
 
 /// An applicable pair `(rule, ā)`: rule id plus the valuation of the
@@ -35,72 +42,197 @@ pub(crate) fn eval_terms(terms: &[DlTerm], valuation: &Tuple) -> Vec<Value> {
     terms.iter().map(|t| eval_term(t, valuation)).collect()
 }
 
-/// Whether the head of `rule` is satisfied in `instance` under `valuation`
-/// (the `D ⊨ φ̂h(ā)` test of §3.3).
-pub fn head_satisfied(
-    rule: &CompiledRule,
-    valuation: &Tuple,
-    instance: &Instance,
-    index: &mut InstanceIndex<'_>,
-) -> bool {
-    match &rule.kind {
-        RuleKind::Deterministic { head } => {
-            let fact: Tuple = head
-                .args
-                .iter()
-                .map(|t| eval_term(t, valuation))
-                .collect();
-            instance.contains(head.rel, &fact)
-        }
-        RuleKind::Existential(e) => {
-            let key = eval_terms(&e.key_terms, valuation);
-            let key_cols: Vec<usize> = (0..key.len()).collect();
-            !index.probe(e.aux_rel, &key_cols, &key).is_empty()
-        }
-    }
+/// Completes a body-match binding into a total valuation tuple.
+///
+/// Validated rules are safe (every rule variable occurs in the body), so
+/// every slot must be bound; an unbound slot is a compiler/engine logic
+/// error and surfaces as a panic instead of being papered over with a
+/// fabricated value.
+fn valuation_of(binding: &[Option<Value>]) -> Tuple {
+    binding
+        .iter()
+        .enumerate()
+        .map(|(v, b)| {
+            b.clone().unwrap_or_else(|| {
+                panic!(
+                    "variable v{v} unbound after a body match — unsafe rule \
+                     slipped past validation"
+                )
+            })
+        })
+        .collect()
 }
 
-/// Computes `App(D)` for the whole program, in canonical order (rule id,
-/// then valuation order). The canonical order makes chase policies
-/// well-defined *functions of the instance* — i.e. genuine selections of
-/// the multifunction `App` in the sense of Lemma 3.6(ii).
-pub fn applicable_pairs(program: &CompiledProgram, instance: &Instance) -> Vec<AppPair> {
-    let mut out: Vec<AppPair> = Vec::new();
-    let mut index = InstanceIndex::new(instance);
-    for rule in &program.rules {
-        let mut seen_start = out.len();
-        for_each_body_match(&rule.body, rule.n_vars, instance, &mut |binding| {
-            // Complete the binding into a total valuation; unbound slots
-            // (impossible for validated rules, but defensively) get Int(0).
-            let valuation: Tuple = binding
-                .iter()
-                .map(|b| b.clone().unwrap_or(Value::Int(0)))
-                .collect();
+/// A compiled program with planned bodies and a unified index layout —
+/// built once, shared by every chase run over the program.
+pub struct PreparedProgram {
+    specs: IndexSpecs,
+    plans: Vec<BodyPlan>,
+    /// Per rule: the interned spec probing the existential auxiliary
+    /// relation on its full key (None for deterministic rules and for
+    /// empty keys, which degrade to a relation-emptiness test).
+    head_probe: Vec<Option<usize>>,
+    det: PlannedProgram,
+}
+
+impl PreparedProgram {
+    /// Plans every rule of `program` and the deterministic fragment into
+    /// one shared spec table.
+    pub fn new(program: &CompiledProgram) -> PreparedProgram {
+        let mut specs = IndexSpecs::new();
+        let plans = program
+            .rules
+            .iter()
+            .map(|r| BodyPlan::new(&r.body, r.n_vars, &mut specs))
+            .collect();
+        let head_probe = program
+            .rules
+            .iter()
+            .map(|r| match &r.kind {
+                RuleKind::Existential(e) if !e.key_terms.is_empty() => {
+                    let key_cols: Vec<usize> = (0..e.key_terms.len()).collect();
+                    Some(specs.intern(e.aux_rel, &key_cols))
+                }
+                _ => None,
+            })
+            .collect();
+        let det = PlannedProgram::new(
+            &crate::saturate::deterministic_fragment(program),
+            &mut specs,
+        );
+        PreparedProgram {
+            specs,
+            plans,
+            head_probe,
+            det,
+        }
+    }
+
+    /// The unified index spec table.
+    pub fn specs(&self) -> &IndexSpecs {
+        &self.specs
+    }
+
+    /// The planned deterministic fragment (for saturation between
+    /// sampling steps).
+    pub fn det(&self) -> &PlannedProgram {
+        &self.det
+    }
+
+    /// The body plan of rule `rule`.
+    pub fn plan(&self, rule: usize) -> &BodyPlan {
+        &self.plans[rule]
+    }
+
+    /// A freshly built index over `instance`, laid out for this program.
+    pub fn new_index(&self, instance: &Instance) -> InstanceIndex {
+        InstanceIndex::built(&self.specs, instance)
+    }
+
+    /// Whether the head of `rule` is satisfied in `instance` under
+    /// `valuation` (the `D ⊨ φ̂h(ā)` test of §3.3).
+    pub fn head_satisfied(
+        &self,
+        rule_ix: usize,
+        rule: &CompiledRule,
+        valuation: &Tuple,
+        instance: &Instance,
+        index: &InstanceIndex,
+    ) -> bool {
+        match &rule.kind {
+            RuleKind::Deterministic { head } => {
+                let fact: Tuple = head.args.iter().map(|t| eval_term(t, valuation)).collect();
+                instance.contains(head.rel, &fact)
+            }
+            RuleKind::Existential(e) => match self.head_probe[rule_ix] {
+                Some(spec) => {
+                    let key = eval_terms(&e.key_terms, valuation);
+                    index.contains_key(spec, &key)
+                }
+                None => instance.relation_len(e.aux_rel) > 0,
+            },
+        }
+    }
+
+    /// Appends the applicable pairs of rule `rule_ix` to `out`, in
+    /// canonical (valuation) order with duplicates collapsed.
+    fn push_applicable(
+        &self,
+        program: &CompiledProgram,
+        rule_ix: usize,
+        instance: &Instance,
+        index: &InstanceIndex,
+        out: &mut Vec<AppPair>,
+    ) {
+        let rule = &program.rules[rule_ix];
+        let seen_start = out.len();
+        self.plans[rule_ix].for_each_match(instance, index, &mut |binding| {
             out.push(AppPair {
-                rule: rule.id,
-                valuation,
+                rule: rule_ix,
+                valuation: valuation_of(binding),
             });
         });
         // Dedup repeated valuations (a body can match the same binding
         // through different derivations) and drop head-satisfied pairs.
-        let tail = &mut out[seen_start..];
-        tail.sort();
+        out[seen_start..].sort();
         let mut kept = seen_start;
         for i in seen_start..out.len() {
             let pair = out[i].clone();
             if kept > seen_start && out[kept - 1] == pair {
                 continue;
             }
-            if !head_satisfied(rule, &pair.valuation, instance, &mut index) {
+            if !self.head_satisfied(rule_ix, rule, &pair.valuation, instance, index) {
                 out[kept] = pair;
                 kept += 1;
             }
         }
         out.truncate(kept);
-        seen_start = kept;
-        let _ = seen_start;
     }
-    out
+
+    /// Computes `App(D)` against a maintained `index` (which must be in
+    /// lockstep with `instance`), in canonical order (rule id, then
+    /// valuation order). The canonical order makes chase policies
+    /// well-defined *functions of the instance* — i.e. genuine selections
+    /// of the multifunction `App` in the sense of Lemma 3.6(ii).
+    pub fn applicable_pairs(
+        &self,
+        program: &CompiledProgram,
+        instance: &Instance,
+        index: &InstanceIndex,
+    ) -> Vec<AppPair> {
+        let mut out: Vec<AppPair> = Vec::new();
+        for rule_ix in 0..program.rules.len() {
+            self.push_applicable(program, rule_ix, instance, index, &mut out);
+        }
+        out
+    }
+
+    /// Computes the applicable pairs of **existential** rules only
+    /// (canonical order), assuming the instance is deterministically
+    /// saturated — the selection the saturating chase samples from.
+    pub fn applicable_existential_pairs(
+        &self,
+        program: &CompiledProgram,
+        instance: &Instance,
+        index: &InstanceIndex,
+    ) -> Vec<AppPair> {
+        let mut out: Vec<AppPair> = Vec::new();
+        for (rule_ix, rule) in program.rules.iter().enumerate() {
+            if rule.is_existential() {
+                self.push_applicable(program, rule_ix, instance, index, &mut out);
+            }
+        }
+        out
+    }
+}
+
+/// Computes `App(D)` for the whole program from scratch (plans the program
+/// and builds a fresh index per call). Diagnostic/compatibility entry
+/// point — hot paths hold a [`PreparedProgram`] and a maintained index.
+pub fn applicable_pairs(program: &CompiledProgram, instance: &Instance) -> Vec<AppPair> {
+    let prepared = PreparedProgram::new(program);
+    let index = prepared.new_index(instance);
+    prepared.applicable_pairs(program, instance, &index)
 }
 
 #[cfg(test)]
@@ -186,5 +318,33 @@ mod tests {
         );
         let app = applicable_pairs(&prog, &prog.initial_instance);
         assert_eq!(app.len(), 1);
+    }
+
+    #[test]
+    fn prepared_pairs_match_scratch_pairs() {
+        let prog = compile(
+            r#"
+            rel City(symbol, real) input.
+            City(gotham, 0.3).
+            Earthquake(C, Flip<0.1>) :- City(C, R).
+            Trig(X, Flip<0.6>) :- Earthquake(X, 1).
+        "#,
+        );
+        let prepared = PreparedProgram::new(&prog);
+        let mut d = prog.initial_instance.clone();
+        let mut index = prepared.new_index(&d);
+        assert_eq!(
+            prepared.applicable_pairs(&prog, &d, &index),
+            applicable_pairs(&prog, &d)
+        );
+        // Mutate + absorb, and the maintained index stays equivalent.
+        let aux = prog.aux_relations[0];
+        let t = tuple!["gotham", 0.1, 1i64];
+        assert!(d.insert(aux, t.clone()));
+        index.absorb(aux, &t);
+        assert_eq!(
+            prepared.applicable_pairs(&prog, &d, &index),
+            applicable_pairs(&prog, &d)
+        );
     }
 }

@@ -144,7 +144,8 @@ impl Engine {
         config: ExactConfig,
     ) -> Result<PossibleWorlds, EngineError> {
         let mut policy = ChasePolicy::new(PolicyKind::Canonical, &[]);
-        let raw = enumerate_sequential(&self.program, &self.full_input(input), &mut policy, config)?;
+        let raw =
+            enumerate_sequential(&self.program, &self.full_input(input), &mut policy, config)?;
         Ok(raw.map(|d| self.program.project_output(d)))
     }
 
@@ -294,11 +295,9 @@ mod tests {
 
     #[test]
     fn run_once_produces_trace() {
-        let engine = Engine::from_source(
-            "R(Flip<0.5>) :- true. S(X) :- R(X).",
-            SemanticsMode::Grohe,
-        )
-        .unwrap();
+        let engine =
+            Engine::from_source("R(Flip<0.5>) :- true. S(X) :- R(X).", SemanticsMode::Grohe)
+                .unwrap();
         let run = engine
             .run_once(None, PolicyKind::Canonical, 11, 100)
             .unwrap();

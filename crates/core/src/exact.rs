@@ -17,7 +17,7 @@ use gdatalog_data::{Instance, Tuple, Value};
 use gdatalog_lang::{CompiledProgram, RuleKind};
 use gdatalog_pdb::PossibleWorlds;
 
-use crate::applicability::{applicable_pairs, eval_terms, AppPair};
+use crate::applicability::{eval_terms, AppPair, PreparedProgram};
 use crate::policy::ChasePolicy;
 use crate::EngineError;
 
@@ -46,6 +46,7 @@ impl Default for ExactConfig {
 
 /// The branches of firing one existential rule: every combination of
 /// outcomes of its samples, with its probability, plus truncated mass.
+#[allow(clippy::type_complexity)]
 pub(crate) fn existential_branches(
     program: &CompiledProgram,
     pair: &AppPair,
@@ -116,20 +117,22 @@ pub fn enumerate_sequential(
     config: ExactConfig,
 ) -> Result<PossibleWorlds, EngineError> {
     require_discrete(program)?;
+    let prepared = PreparedProgram::new(program);
     let mut worlds = PossibleWorlds::new();
-    // DFS over (instance, path probability, depth).
+    // DFS over (instance, path probability, depth). Bodies are planned
+    // once; each node builds its index fresh (branches share no instance).
     let mut stack: Vec<(Instance, f64, usize)> = vec![(input.clone(), 1.0, 0)];
     while let Some((instance, p, depth)) = stack.pop() {
         if p == 0.0 {
             continue;
         }
-        let app = applicable_pairs(program, &instance);
+        let index = prepared.new_index(&instance);
+        let app = prepared.applicable_pairs(program, &instance, &index);
         if app.is_empty() {
             worlds.add(instance, p);
             continue;
         }
-        if depth >= config.max_depth || (config.min_path_prob > 0.0 && p < config.min_path_prob)
-        {
+        if depth >= config.max_depth || (config.min_path_prob > 0.0 && p < config.min_path_prob) {
             worlds.add_nontermination(p);
             continue;
         }
@@ -140,7 +143,8 @@ pub fn enumerate_sequential(
                 stack.push((next, p, depth + 1));
             }
             RuleKind::Existential(_) => {
-                let (branches, truncated) = existential_branches(program, &pair, config.support_tol)?;
+                let (branches, truncated) =
+                    existential_branches(program, &pair, config.support_tol)?;
                 worlds.add_truncation(p * truncated);
                 for (outcomes, q) in branches {
                     let next = apply_branch(program, &pair, &outcomes, &instance);
@@ -165,19 +169,20 @@ pub fn enumerate_parallel(
     config: ExactConfig,
 ) -> Result<PossibleWorlds, EngineError> {
     require_discrete(program)?;
+    let prepared = PreparedProgram::new(program);
     let mut worlds = PossibleWorlds::new();
     let mut stack: Vec<(Instance, f64, usize)> = vec![(input.clone(), 1.0, 0)];
     while let Some((instance, p, depth)) = stack.pop() {
         if p == 0.0 {
             continue;
         }
-        let app = applicable_pairs(program, &instance);
+        let index = prepared.new_index(&instance);
+        let app = prepared.applicable_pairs(program, &instance, &index);
         if app.is_empty() {
             worlds.add(instance, p);
             continue;
         }
-        if depth >= config.max_depth || (config.min_path_prob > 0.0 && p < config.min_path_prob)
-        {
+        if depth >= config.max_depth || (config.min_path_prob > 0.0 && p < config.min_path_prob) {
             worlds.add_nontermination(p);
             continue;
         }
@@ -378,7 +383,10 @@ mod tests {
         let par = enumerate_parallel(&prog, &prog.initial_instance, ExactConfig::default())
             .unwrap()
             .map(|d| prog.project_output(d));
-        assert!(reference.total_variation(&par) < 1e-12, "parallel disagrees");
+        assert!(
+            reference.total_variation(&par) < 1e-12,
+            "parallel disagrees"
+        );
     }
 
     /// Truncation accounting: a Geometric support is infinite, the deficit
@@ -391,8 +399,7 @@ mod tests {
             support_tol: 1e-4,
             ..ExactConfig::default()
         };
-        let worlds =
-            enumerate_sequential(&prog, &prog.initial_instance, &mut policy, cfg).unwrap();
+        let worlds = enumerate_sequential(&prog, &prog.initial_instance, &mut policy, cfg).unwrap();
         assert!(worlds.deficit().truncation > 0.0);
         assert!(worlds.deficit().truncation <= 1e-4 + 1e-9);
         assert!(worlds.mass_is_consistent(1e-9));
@@ -416,8 +423,7 @@ mod tests {
             support_tol: 1e-6,
             ..ExactConfig::default()
         };
-        let worlds =
-            enumerate_sequential(&prog, &prog.initial_instance, &mut policy, cfg).unwrap();
+        let worlds = enumerate_sequential(&prog, &prog.initial_instance, &mut policy, cfg).unwrap();
         assert!(worlds.deficit().nontermination > 0.0);
         assert!(worlds.mass_is_consistent(1e-6));
     }
@@ -459,6 +465,9 @@ mod tests {
         let alarm = prog.catalog.require("Alarm").unwrap();
         let p = worlds.probability(|d| d.contains(alarm, &gdatalog_data::tuple!["h1"]));
         let expect = 1.0 - (1.0 - 0.1 * 0.6) * (1.0 - 0.3 * 0.9);
-        assert!((p - expect).abs() < 1e-9, "P(Alarm) = {p}, expected {expect}");
+        assert!(
+            (p - expect).abs() < 1e-9,
+            "P(Alarm) = {p}, expected {expect}"
+        );
     }
 }

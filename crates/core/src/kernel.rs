@@ -16,7 +16,7 @@ use gdatalog_data::Instance;
 use gdatalog_lang::{CompiledProgram, RuleKind};
 use rand::Rng;
 
-use crate::applicability::applicable_pairs;
+use crate::applicability::PreparedProgram;
 use crate::exact::ExactConfig;
 use crate::policy::ChasePolicy;
 use crate::sequential::fire;
@@ -42,6 +42,7 @@ pub trait StepKernel {
     ///
     /// # Errors
     /// [`EngineError::NotDiscrete`] for continuous programs.
+    #[allow(clippy::type_complexity)]
     fn branch_step(
         &mut self,
         instance: &Instance,
@@ -55,13 +56,19 @@ pub trait StepKernel {
 /// The sequential kernel `step_app` for a fixed chase policy.
 pub struct SequentialKernel<'p> {
     program: &'p CompiledProgram,
+    prepared: PreparedProgram,
     policy: ChasePolicy,
 }
 
 impl<'p> SequentialKernel<'p> {
-    /// Creates the kernel.
+    /// Creates the kernel, planning the program's joins once.
     pub fn new(program: &'p CompiledProgram, policy: ChasePolicy) -> Self {
-        SequentialKernel { program, policy }
+        let prepared = PreparedProgram::new(program);
+        SequentialKernel {
+            program,
+            prepared,
+            policy,
+        }
     }
 }
 
@@ -71,13 +78,21 @@ impl StepKernel for SequentialKernel<'_> {
         instance: &Instance,
         rng: &mut dyn Rng,
     ) -> Result<Option<Instance>, EngineError> {
-        let app = applicable_pairs(self.program, instance);
+        let index = self.prepared.new_index(instance);
+        let app = self
+            .prepared
+            .applicable_pairs(self.program, instance, &index);
         if app.is_empty() {
             return Ok(None);
         }
         let pair = &app[self.policy.select(&app)];
-        let fired = fire(self.program, &self.program.rules[pair.rule], &pair.valuation, rng)
-            .map_err(EngineError::Dist)?;
+        let fired = fire(
+            self.program,
+            &self.program.rules[pair.rule],
+            &pair.valuation,
+            rng,
+        )
+        .map_err(EngineError::Dist)?;
         let mut next = instance.clone();
         next.insert_fact(fired.fact);
         Ok(Some(next))
@@ -88,7 +103,10 @@ impl StepKernel for SequentialKernel<'_> {
         instance: &Instance,
         config: ExactConfig,
     ) -> Result<Option<(Vec<(Instance, f64)>, f64)>, EngineError> {
-        let app = applicable_pairs(self.program, instance);
+        let index = self.prepared.new_index(instance);
+        let app = self
+            .prepared
+            .applicable_pairs(self.program, instance, &index);
         if app.is_empty() {
             return Ok(None);
         }
@@ -123,12 +141,14 @@ impl StepKernel for SequentialKernel<'_> {
 /// The parallel kernel `step_App` (all applicable pairs fire at once).
 pub struct ParallelKernel<'p> {
     program: &'p CompiledProgram,
+    prepared: PreparedProgram,
 }
 
 impl<'p> ParallelKernel<'p> {
-    /// Creates the kernel.
+    /// Creates the kernel, planning the program's joins once.
     pub fn new(program: &'p CompiledProgram) -> Self {
-        ParallelKernel { program }
+        let prepared = PreparedProgram::new(program);
+        ParallelKernel { program, prepared }
     }
 }
 
@@ -138,7 +158,7 @@ impl StepKernel for ParallelKernel<'_> {
         instance: &Instance,
         rng: &mut dyn Rng,
     ) -> Result<Option<Instance>, EngineError> {
-        crate::parallel::parallel_step(self.program, instance, rng, None)
+        crate::parallel::parallel_step_prepared(self.program, &self.prepared, instance, rng, None)
             .map(|o| o.map(|(d, _)| d))
             .map_err(EngineError::Dist)
     }
@@ -148,7 +168,10 @@ impl StepKernel for ParallelKernel<'_> {
         instance: &Instance,
         config: ExactConfig,
     ) -> Result<Option<(Vec<(Instance, f64)>, f64)>, EngineError> {
-        let app = applicable_pairs(self.program, instance);
+        let index = self.prepared.new_index(instance);
+        let app = self
+            .prepared
+            .applicable_pairs(self.program, instance, &index);
         if app.is_empty() {
             return Ok(None);
         }

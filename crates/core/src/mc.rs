@@ -7,6 +7,8 @@
 //! recorded as error-event observations (`err`, §4.2), so the empirical
 //! mass estimates the SPDB mass `α` of Def. 2.7.
 
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
 use gdatalog_data::Instance;
 use gdatalog_lang::CompiledProgram;
 use gdatalog_pdb::EmpiricalPdb;
@@ -14,7 +16,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::policy::{ChasePolicy, PolicyKind};
-use crate::sequential::{run_sequential, RunOutcome};
+use crate::sequential::RunOutcome;
 use crate::EngineError;
 
 /// Which chase procedure drives each run.
@@ -68,99 +70,155 @@ fn derive_seed(master: u64, run: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-fn run_range(
+/// Executes run `run_ix` and returns its observation: `Some(world)` for a
+/// terminated run, `None` for the error event (budget exhausted).
+fn single_run(
+    program: &CompiledProgram,
+    prepared: &crate::applicability::PreparedProgram,
+    input: &Instance,
+    config: &McConfig,
+    existential: &[usize],
+    run_ix: usize,
+) -> Result<Option<Instance>, EngineError> {
+    let seed = derive_seed(config.seed, run_ix as u64);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let run = match config.variant {
+        ChaseVariant::Sequential(kind) => {
+            // Random policies get their own per-run stream.
+            let kind = match kind {
+                PolicyKind::Random { seed: s } => PolicyKind::Random {
+                    seed: derive_seed(s, run_ix as u64),
+                },
+                other => other,
+            };
+            let mut policy = ChasePolicy::new(kind, existential);
+            crate::sequential::run_sequential_prepared(
+                program,
+                prepared,
+                input,
+                &mut policy,
+                &mut rng,
+                config.max_steps,
+                false,
+            )
+            .map_err(EngineError::Dist)?
+        }
+        ChaseVariant::Parallel => crate::parallel::run_parallel_prepared(
+            program,
+            prepared,
+            input,
+            &mut rng,
+            config.max_steps,
+            false,
+        )
+        .map_err(EngineError::Dist)?,
+        ChaseVariant::Saturating => crate::saturate::run_saturating_prepared(
+            program,
+            prepared,
+            input,
+            &mut rng,
+            config.max_steps,
+            false,
+        )
+        .map_err(EngineError::Dist)?,
+    };
+    Ok(match run.outcome {
+        RunOutcome::Terminated => Some(if config.keep_aux {
+            run.instance
+        } else {
+            program.project_output(&run.instance)
+        }),
+        RunOutcome::BudgetExhausted => None,
+    })
+}
+
+/// Draws `config.runs` independent chase runs and collects them into an
+/// [`EmpiricalPdb`]. With `config.threads > 1` the runs are distributed by
+/// **work stealing** over a shared atomic run counter, so threads that draw
+/// short runs immediately pick up more work instead of idling at a chunk
+/// boundary. Results are bit-identical to the single-threaded execution:
+/// every run derives its own seed from its run index, and observations are
+/// merged in run-index order regardless of which worker produced them.
+///
+/// # Errors
+/// Propagates the runtime distribution failure of the smallest-index
+/// failing run (matching what a sequential execution would report).
+pub fn sample_pdb(
     program: &CompiledProgram,
     input: &Instance,
     config: &McConfig,
-    lo: usize,
-    hi: usize,
 ) -> Result<EmpiricalPdb, EngineError> {
-    let mut pdb = EmpiricalPdb::new();
     let existential: Vec<usize> = program
         .rules
         .iter()
         .filter(|r| r.is_existential())
         .map(|r| r.id)
         .collect();
-    for run_ix in lo..hi {
-        let seed = derive_seed(config.seed, run_ix as u64);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let run = match config.variant {
-            ChaseVariant::Sequential(kind) => {
-                // Random policies get their own per-run stream.
-                let kind = match kind {
-                    PolicyKind::Random { seed: s } => PolicyKind::Random {
-                        seed: derive_seed(s, run_ix as u64),
-                    },
-                    other => other,
-                };
-                let mut policy = ChasePolicy::new(kind, &existential);
-                run_sequential(program, input, &mut policy, &mut rng, config.max_steps, false)
-                    .map_err(EngineError::Dist)?
+    let prepared = crate::applicability::PreparedProgram::new(program);
+    let threads = config.threads.max(1).min(config.runs.max(1));
+    if threads <= 1 {
+        let mut pdb = EmpiricalPdb::new();
+        for run_ix in 0..config.runs {
+            match single_run(program, &prepared, input, config, &existential, run_ix)? {
+                Some(world) => pdb.push(world),
+                None => pdb.push_error(),
             }
-            ChaseVariant::Parallel => {
-                crate::parallel::run_parallel(program, input, &mut rng, config.max_steps, false)
-                    .map_err(EngineError::Dist)?
-            }
-            ChaseVariant::Saturating => {
-                crate::saturate::run_saturating(program, input, &mut rng, config.max_steps, false)
-                    .map_err(EngineError::Dist)?
-            }
-        };
-        match run.outcome {
-            RunOutcome::Terminated => {
-                let inst = if config.keep_aux {
-                    run.instance
-                } else {
-                    program.project_output(&run.instance)
-                };
-                pdb.push(inst);
-            }
-            RunOutcome::BudgetExhausted => pdb.push_error(),
+        }
+        return Ok(pdb);
+    }
+
+    let next_run = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    type RunObs = (usize, Result<Option<Instance>, EngineError>);
+    let mut per_worker: Vec<Vec<RunObs>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next_run = &next_run;
+                let failed = &failed;
+                let prepared = &prepared;
+                let existential = &existential;
+                scope.spawn(move || {
+                    let mut local: Vec<RunObs> = Vec::new();
+                    loop {
+                        // Check the failure flag only *before* claiming:
+                        // every claimed index is executed, so the executed
+                        // runs form a contiguous prefix and the merge below
+                        // reports the same (smallest-index) failure a
+                        // sequential execution would.
+                        if failed.load(Ordering::Relaxed) {
+                            return local;
+                        }
+                        let run_ix = next_run.fetch_add(1, Ordering::Relaxed);
+                        if run_ix >= config.runs {
+                            return local;
+                        }
+                        let obs = single_run(program, prepared, input, config, existential, run_ix);
+                        if obs.is_err() {
+                            failed.store(true, Ordering::Relaxed);
+                        }
+                        local.push((run_ix, obs));
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    // Merge in run-index order for bit-identical output; report the
+    // smallest-index failure, as a sequential execution would.
+    let mut observations: Vec<RunObs> = per_worker.drain(..).flatten().collect();
+    observations.sort_by_key(|(ix, _)| *ix);
+    let mut pdb = EmpiricalPdb::new();
+    for (_, obs) in observations {
+        match obs? {
+            Some(world) => pdb.push(world),
+            None => pdb.push_error(),
         }
     }
     Ok(pdb)
-}
-
-/// Draws `config.runs` independent chase runs and collects them into an
-/// [`EmpiricalPdb`]. With `config.threads > 1` the runs are split across
-/// crossbeam-scoped worker threads; results are bit-identical to the
-/// single-threaded execution because every run derives its own seed.
-///
-/// # Errors
-/// Propagates the first runtime distribution failure.
-pub fn sample_pdb(
-    program: &CompiledProgram,
-    input: &Instance,
-    config: &McConfig,
-) -> Result<EmpiricalPdb, EngineError> {
-    let threads = config.threads.max(1).min(config.runs.max(1));
-    if threads <= 1 {
-        return run_range(program, input, config, 0, config.runs);
-    }
-    let chunk = config.runs.div_ceil(threads);
-    let results = crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(config.runs);
-            if lo >= hi {
-                break;
-            }
-            handles.push(scope.spawn(move |_| run_range(program, input, config, lo, hi)));
-        }
-        let mut parts = Vec::new();
-        for h in handles {
-            parts.push(h.join().expect("worker panicked"));
-        }
-        parts
-    })
-    .expect("crossbeam scope");
-    let mut merged = EmpiricalPdb::new();
-    for part in results {
-        merged.merge(part?);
-    }
-    Ok(merged)
 }
 
 #[cfg(test)]
@@ -216,10 +274,7 @@ mod tests {
         let multi = sample_pdb(
             &prog,
             &prog.initial_instance,
-            &McConfig {
-                threads: 4,
-                ..base
-            },
+            &McConfig { threads: 4, ..base },
         )
         .unwrap();
         // Same per-run seeds → same multiset of outcomes.

@@ -18,7 +18,7 @@ use gdatalog_dist::DistError;
 use gdatalog_lang::{CompiledProgram, RuleKind};
 use rand::Rng;
 
-use crate::applicability::{applicable_pairs, eval_terms};
+use crate::applicability::{eval_terms, PreparedProgram};
 use crate::sequential::{fire, ChaseRun, RunOutcome, TraceStep};
 
 /// Performs one parallel chase step. Returns `None` when `App(D)` is empty
@@ -33,7 +33,23 @@ pub fn parallel_step(
     rng: &mut dyn Rng,
     trace: Option<&mut Vec<TraceStep>>,
 ) -> Result<Option<(Instance, usize)>, DistError> {
-    let app = applicable_pairs(program, instance);
+    let prepared = PreparedProgram::new(program);
+    parallel_step_prepared(program, &prepared, instance, rng, trace)
+}
+
+/// [`parallel_step`] on a pre-planned program (no per-call replanning).
+///
+/// # Errors
+/// Propagates runtime distribution-parameter failures.
+pub fn parallel_step_prepared(
+    program: &CompiledProgram,
+    prepared: &PreparedProgram,
+    instance: &Instance,
+    rng: &mut dyn Rng,
+    trace: Option<&mut Vec<TraceStep>>,
+) -> Result<Option<(Instance, usize)>, DistError> {
+    let index = prepared.new_index(instance);
+    let app = prepared.applicable_pairs(program, instance, &index);
     if app.is_empty() {
         return Ok(None);
     }
@@ -81,12 +97,32 @@ pub fn run_parallel(
     max_rounds: usize,
     record_trace: bool,
 ) -> Result<ChaseRun, DistError> {
+    let prepared = PreparedProgram::new(program);
+    run_parallel_prepared(program, &prepared, input, rng, max_rounds, record_trace)
+}
+
+/// [`run_parallel`] on a pre-planned program: the instance is mutated in
+/// place round over round and one incrementally maintained index follows
+/// it — no per-round instance clone or index rebuild.
+///
+/// # Errors
+/// Propagates runtime distribution-parameter failures.
+pub fn run_parallel_prepared(
+    program: &CompiledProgram,
+    prepared: &PreparedProgram,
+    input: &Instance,
+    rng: &mut dyn Rng,
+    max_rounds: usize,
+    record_trace: bool,
+) -> Result<ChaseRun, DistError> {
     let mut instance = input.clone();
+    let mut index = prepared.new_index(&instance);
     let mut rounds = 0usize;
+    let mut log_weight = 0.0;
     let mut trace = Vec::new();
+    let mut experiments_done: HashMap<(RelId, Vec<Value>), ()> = HashMap::new();
     loop {
         if rounds >= max_rounds {
-            let log_weight = trace.iter().map(|t: &TraceStep| t.log_density).sum();
             return Ok(ChaseRun {
                 outcome: RunOutcome::BudgetExhausted,
                 instance,
@@ -95,28 +131,45 @@ pub fn run_parallel(
                 trace,
             });
         }
-        let step = parallel_step(
-            program,
-            &instance,
-            rng,
-            if record_trace { Some(&mut trace) } else { None },
-        )?;
-        match step {
-            None => {
-                let log_weight = trace.iter().map(|t: &TraceStep| t.log_density).sum();
-                return Ok(ChaseRun {
-                    outcome: RunOutcome::Terminated,
-                    instance,
-                    steps: rounds,
-                    log_weight,
-                    trace,
+        let app = prepared.applicable_pairs(program, &instance, &index);
+        if app.is_empty() {
+            return Ok(ChaseRun {
+                outcome: RunOutcome::Terminated,
+                instance,
+                steps: rounds,
+                log_weight,
+                trace,
+            });
+        }
+        // Fire every applicable pair of this round, sampling each distinct
+        // experiment once (see module docs).
+        experiments_done.clear();
+        for pair in &app {
+            let rule = &program.rules[pair.rule];
+            if let RuleKind::Existential(e) = &rule.kind {
+                let key = eval_terms(&e.key_terms, &pair.valuation);
+                if experiments_done.contains_key(&(e.aux_rel, key.clone())) {
+                    continue;
+                }
+                experiments_done.insert((e.aux_rel, key), ());
+            }
+            let fired = fire(program, rule, &pair.valuation, rng)?;
+            let rel = fired.fact.rel;
+            let tuple = fired.fact.tuple;
+            if instance.insert(rel, tuple.clone()) {
+                index.absorb(rel, &tuple);
+            }
+            log_weight += fired.log_density;
+            if record_trace {
+                trace.push(TraceStep {
+                    rule: pair.rule,
+                    valuation: pair.valuation.clone(),
+                    sampled: fired.sampled,
+                    log_density: fired.log_density,
                 });
             }
-            Some((next, _)) => {
-                instance = next;
-                rounds += 1;
-            }
         }
+        rounds += 1;
     }
 }
 
@@ -148,10 +201,9 @@ mod tests {
         );
         let mut rng = StdRng::seed_from_u64(1);
         let mut trace = Vec::new();
-        let (d1, fired) =
-            parallel_step(&prog, &prog.initial_instance, &mut rng, Some(&mut trace))
-                .unwrap()
-                .unwrap();
+        let (d1, fired) = parallel_step(&prog, &prog.initial_instance, &mut rng, Some(&mut trace))
+            .unwrap()
+            .unwrap();
         assert_eq!(fired, 2, "both cities sampled in one round");
         assert_eq!(trace.len(), 2);
         // Second round: two delivery rules.
@@ -174,8 +226,7 @@ mod tests {
         );
         for seed in 0..20 {
             let mut rng = StdRng::seed_from_u64(seed);
-            let run =
-                run_parallel(&prog, &prog.initial_instance, &mut rng, 100, false).unwrap();
+            let run = run_parallel(&prog, &prog.initial_instance, &mut rng, 100, false).unwrap();
             assert_eq!(run.outcome, RunOutcome::Terminated);
             for fd in &prog.fds {
                 assert!(fd.check(&run.instance).is_ok(), "seed {seed}");
@@ -195,8 +246,7 @@ mod tests {
         let s = prog.catalog.require("S").unwrap();
         for seed in 0..30 {
             let mut rng = StdRng::seed_from_u64(seed);
-            let run =
-                run_parallel(&prog, &prog.initial_instance, &mut rng, 100, false).unwrap();
+            let run = run_parallel(&prog, &prog.initial_instance, &mut rng, 100, false).unwrap();
             assert_eq!(run.outcome, RunOutcome::Terminated);
             let rv: Vec<_> = run.instance.relation(r).iter().cloned().collect();
             let sv: Vec<_> = run.instance.relation(s).iter().cloned().collect();
@@ -219,11 +269,8 @@ mod tests {
         let mut both_seen = false;
         for seed in 0..50 {
             let mut rng = StdRng::seed_from_u64(seed);
-            let run =
-                run_parallel(&prog, &prog.initial_instance, &mut rng, 100, false).unwrap();
-            if run.instance.contains(r, &tuple![0i64])
-                && run.instance.contains(r, &tuple![1i64])
-            {
+            let run = run_parallel(&prog, &prog.initial_instance, &mut rng, 100, false).unwrap();
+            if run.instance.contains(r, &tuple![0i64]) && run.instance.contains(r, &tuple![1i64]) {
                 both_seen = true;
             }
         }

@@ -82,10 +82,7 @@ impl ChasePolicy {
             ChasePolicy::Random(rng) => (rng.next_u64() % pairs.len() as u64) as usize,
             ChasePolicy::RoundRobin { next } => {
                 // First pair whose rule id is >= next (cyclically).
-                let chosen = pairs
-                    .iter()
-                    .position(|p| p.rule >= *next)
-                    .unwrap_or(0);
+                let chosen = pairs.iter().position(|p| p.rule >= *next).unwrap_or(0);
                 *next = pairs[chosen].rule + 1;
                 chosen
             }

@@ -1,6 +1,6 @@
 //! Saturation-accelerated sequential chase: between sampling steps, all
 //! deterministic rules are driven to fixpoint at once by the semi-naive
-//! Datalog engine, instead of firing one deterministic pair per step.
+//! Datalog substrate, instead of firing one deterministic pair per step.
 //!
 //! Soundness: this is the [`crate::policy::PolicyKind::DeterministicFirst`]
 //! chase with the deterministic prefix fast-forwarded; by Theorem 6.1 the
@@ -8,18 +8,22 @@
 //! unchanged. The speedup (deterministic work goes from one
 //! `App(D)`-recomputation per fact to one fixpoint per sampling step) is
 //! quantified by the `chase` ablation bench.
+//!
+//! The saturation itself is **incremental**: one index follows the
+//! instance across the whole run, and after each sampled fact the
+//! deterministic fixpoint *continues* from the delta `{f}` via
+//! [`gdatalog_datalog::PlannedProgram::saturate_in_place`] rather than
+//! restarting from the whole instance — per sampling step the
+//! deterministic work is O(|Δ| + new matches), not O(|D|).
 
 use gdatalog_data::Instance;
-use gdatalog_datalog::{fixpoint_seminaive, DatalogProgram, DatalogRule};
+use gdatalog_datalog::{DatalogProgram, DatalogRule};
 use gdatalog_dist::DistError;
 use gdatalog_lang::{CompiledProgram, RuleKind};
-use gdatalog_datalog::InstanceIndex;
 use rand::Rng;
 
-use crate::applicability::{head_satisfied, AppPair};
+use crate::applicability::{AppPair, PreparedProgram};
 use crate::sequential::{fire, ChaseRun, RunOutcome, TraceStep};
-use gdatalog_data::Value;
-use gdatalog_datalog::for_each_body_match;
 
 /// The deterministic fragment of a compiled program, as a classical
 /// Datalog program (reusable across runs).
@@ -28,9 +32,10 @@ pub fn deterministic_fragment(program: &CompiledProgram) -> DatalogProgram {
         .rules
         .iter()
         .filter_map(|r| match &r.kind {
-            RuleKind::Deterministic { head } => {
-                Some(DatalogRule::new(head.clone(), r.body.clone(), r.n_vars).expect("compiled rules are safe"))
-            }
+            RuleKind::Deterministic { head } => Some(
+                DatalogRule::new(head.clone(), r.body.clone(), r.n_vars)
+                    .expect("compiled rules are safe"),
+            ),
             RuleKind::Existential(_) => None,
         })
         .collect();
@@ -39,50 +44,22 @@ pub fn deterministic_fragment(program: &CompiledProgram) -> DatalogProgram {
 
 /// Computes the applicable pairs of **existential** rules only (canonical
 /// order), assuming the instance is deterministically saturated.
+///
+/// Diagnostic/compatibility entry point: plans the program and builds a
+/// fresh index per call. The chase itself uses
+/// [`PreparedProgram::applicable_existential_pairs`] on a maintained index.
 pub fn applicable_existential_pairs(
     program: &CompiledProgram,
     instance: &Instance,
 ) -> Vec<AppPair> {
-    let mut out: Vec<AppPair> = Vec::new();
-    let mut index = InstanceIndex::new(instance);
-    for rule in &program.rules {
-        if !rule.is_existential() {
-            continue;
-        }
-        let seen_start = out.len();
-        for_each_body_match(&rule.body, rule.n_vars, instance, &mut |binding| {
-            let valuation = binding
-                .iter()
-                .map(|b| b.clone().unwrap_or(Value::Int(0)))
-                .collect();
-            out.push(AppPair {
-                rule: rule.id,
-                valuation,
-            });
-        });
-        let tail = &mut out[seen_start..];
-        tail.sort();
-        let mut kept = seen_start;
-        for i in seen_start..out.len() {
-            let pair = out[i].clone();
-            if kept > seen_start && out[kept - 1] == pair {
-                continue;
-            }
-            if !head_satisfied(rule, &pair.valuation, instance, &mut index) {
-                out[kept] = pair;
-                kept += 1;
-            }
-        }
-        out.truncate(kept);
-    }
-    out
+    let prepared = PreparedProgram::new(program);
+    let index = prepared.new_index(instance);
+    prepared.applicable_existential_pairs(program, instance, &index)
 }
 
-/// Runs the saturation-accelerated sequential chase. `max_samples` bounds
-/// the number of *sampling* steps (each followed by a deterministic
-/// fixpoint); the reported `steps` counts sampling steps plus derived
-/// deterministic facts, making budgets comparable with
-/// [`crate::sequential::run_sequential`].
+/// Runs the saturation-accelerated sequential chase. `max_steps` bounds
+/// the total of *sampling* steps plus derived deterministic facts, making
+/// budgets comparable with [`crate::sequential::run_sequential`].
 ///
 /// # Errors
 /// Runtime distribution failures.
@@ -93,17 +70,38 @@ pub fn run_saturating(
     max_steps: usize,
     record_trace: bool,
 ) -> Result<ChaseRun, DistError> {
-    let det = deterministic_fragment(program);
+    let prepared = PreparedProgram::new(program);
+    run_saturating_prepared(program, &prepared, input, rng, max_steps, record_trace)
+}
+
+/// [`run_saturating`] on a pre-planned program, with one incrementally
+/// maintained index shared between the deterministic saturation and the
+/// existential applicability probes.
+///
+/// # Errors
+/// Runtime distribution failures.
+pub fn run_saturating_prepared(
+    program: &CompiledProgram,
+    prepared: &PreparedProgram,
+    input: &Instance,
+    rng: &mut dyn Rng,
+    max_steps: usize,
+    record_trace: bool,
+) -> Result<ChaseRun, DistError> {
     let mut steps = 0usize;
     let mut log_weight = 0.0;
     let mut trace = Vec::new();
 
-    // Initial deterministic closure.
-    let (mut instance, stats) = fixpoint_seminaive(&det, input);
+    // Initial deterministic closure (full round 0).
+    let mut instance = input.clone();
+    let mut index = prepared.new_index(&instance);
+    let stats = prepared
+        .det()
+        .saturate_in_place(prepared.specs(), &mut instance, &mut index, None);
     steps += stats.derived_facts;
 
     loop {
-        let app = applicable_existential_pairs(program, &instance);
+        let app = prepared.applicable_existential_pairs(program, &instance, &index);
         if app.is_empty() {
             return Ok(ChaseRun {
                 outcome: RunOutcome::Terminated,
@@ -124,7 +122,9 @@ pub fn run_saturating(
         }
         let pair = app[0].clone();
         let fired = fire(program, &program.rules[pair.rule], &pair.valuation, rng)?;
-        instance.insert_fact(fired.fact);
+        let rel = fired.fact.rel;
+        let tuple = fired.fact.tuple.clone();
+        let fresh = instance.insert(rel, tuple.clone());
         steps += 1;
         log_weight += fired.log_density;
         if record_trace {
@@ -135,8 +135,69 @@ pub fn run_saturating(
                 log_density: fired.log_density,
             });
         }
-        // Re-saturate the deterministic rules.
-        let (next, stats) = fixpoint_seminaive(&det, &instance);
+        if fresh {
+            index.absorb(rel, &tuple);
+            // Continue the deterministic fixpoint from the new fact only.
+            let stats = prepared.det().saturate_in_place(
+                prepared.specs(),
+                &mut instance,
+                &mut index,
+                Some(gdatalog_datalog::Delta::single(rel, tuple)),
+            );
+            steps += stats.derived_facts;
+        }
+    }
+}
+
+/// The old rebuild-per-step saturating chase: every sampling step replans
+/// the program, rebuilds all indexes, and reruns the deterministic
+/// fixpoint from the whole instance.
+///
+/// Kept **only** as the measured baseline for the incremental chase (see
+/// the `bench` experiment and `BENCH_PR1.json`); do not use elsewhere.
+///
+/// # Errors
+/// Runtime distribution failures.
+#[doc(hidden)]
+pub fn run_saturating_rebuild_baseline(
+    program: &CompiledProgram,
+    input: &Instance,
+    rng: &mut dyn Rng,
+    max_steps: usize,
+) -> Result<ChaseRun, DistError> {
+    let det = deterministic_fragment(program);
+    let mut steps = 0usize;
+    let mut log_weight = 0.0;
+
+    let (mut instance, stats) = gdatalog_datalog::fixpoint_seminaive_rebuild(&det, input);
+    steps += stats.derived_facts;
+    loop {
+        let app = applicable_existential_pairs(program, &instance);
+        if app.is_empty() {
+            return Ok(ChaseRun {
+                outcome: RunOutcome::Terminated,
+                instance,
+                steps,
+                log_weight,
+                trace: Vec::new(),
+            });
+        }
+        if steps >= max_steps {
+            return Ok(ChaseRun {
+                outcome: RunOutcome::BudgetExhausted,
+                instance,
+                steps,
+                log_weight,
+                trace: Vec::new(),
+            });
+        }
+        let pair = app[0].clone();
+        let fired = fire(program, &program.rules[pair.rule], &pair.valuation, rng)?;
+        instance.insert_fact(fired.fact);
+        steps += 1;
+        log_weight += fired.log_density;
+        // The rebuild being benchmarked away: O(|D|) per sampling step.
+        let (next, stats) = gdatalog_datalog::fixpoint_seminaive_rebuild(&det, &instance);
         instance = next;
         steps += stats.derived_facts;
     }
@@ -174,14 +235,31 @@ mod tests {
     fn saturating_run_terminates_with_same_schema() {
         let prog = compile(BURGLARY);
         let mut rng = StdRng::seed_from_u64(9);
-        let run = run_saturating(&prog, &prog.initial_instance, &mut rng, 100_000, true)
-            .unwrap();
+        let run = run_saturating(&prog, &prog.initial_instance, &mut rng, 100_000, true).unwrap();
         assert_eq!(run.outcome, RunOutcome::Terminated);
         for fd in &prog.fds {
             assert!(fd.check(&run.instance).is_ok());
         }
         // Trace only contains sampling steps.
         assert!(run.trace.iter().all(|t| !t.sampled.is_empty()));
+    }
+
+    #[test]
+    fn saturating_reaches_a_saturated_final_instance() {
+        // On the final instance no rule at all is applicable — the
+        // incremental continuation must not leave deterministic rules
+        // unfired.
+        let prog = compile(BURGLARY);
+        for seed in 0..40 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let run =
+                run_saturating(&prog, &prog.initial_instance, &mut rng, 100_000, false).unwrap();
+            assert_eq!(run.outcome, RunOutcome::Terminated);
+            assert!(
+                crate::applicability::applicable_pairs(&prog, &run.instance).is_empty(),
+                "seed {seed}: final instance not saturated"
+            );
+        }
     }
 
     #[test]
@@ -194,8 +272,8 @@ mod tests {
         let mut hits_sat = 0u32;
         for seed in 0..runs {
             let mut rng = StdRng::seed_from_u64(u64::from(seed));
-            let run = run_saturating(&prog, &prog.initial_instance, &mut rng, 100_000, false)
-                .unwrap();
+            let run =
+                run_saturating(&prog, &prog.initial_instance, &mut rng, 100_000, false).unwrap();
             if run.instance.contains(alarm, &h1) {
                 hits_sat += 1;
             }
@@ -218,8 +296,14 @@ mod tests {
         let expect = 1.0 - (1.0 - 0.1 * 0.6) * (1.0 - 0.3 * 0.9);
         let p_sat = f64::from(hits_sat) / f64::from(runs);
         let p_plain = f64::from(hits_plain) / f64::from(runs);
-        assert!((p_sat - expect).abs() < 0.04, "saturating: {p_sat} vs {expect}");
-        assert!((p_plain - expect).abs() < 0.04, "plain: {p_plain} vs {expect}");
+        assert!(
+            (p_sat - expect).abs() < 0.04,
+            "saturating: {p_sat} vs {expect}"
+        );
+        assert!(
+            (p_plain - expect).abs() < 0.04,
+            "plain: {p_plain} vs {expect}"
+        );
     }
 
     #[test]

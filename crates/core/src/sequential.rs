@@ -13,7 +13,7 @@ use gdatalog_dist::DistError;
 use gdatalog_lang::{CompiledProgram, CompiledRule, RuleKind};
 use rand::Rng;
 
-use crate::applicability::{applicable_pairs, eval_term, eval_terms, AppPair};
+use crate::applicability::{eval_term, eval_terms, AppPair, PreparedProgram};
 use crate::policy::ChasePolicy;
 
 /// One recorded chase step (the path of the Markov process, §4.2).
@@ -115,13 +115,42 @@ pub fn run_sequential(
     max_steps: usize,
     record_trace: bool,
 ) -> Result<ChaseRun, DistError> {
+    let prepared = PreparedProgram::new(program);
+    run_sequential_prepared(
+        program,
+        &prepared,
+        input,
+        policy,
+        rng,
+        max_steps,
+        record_trace,
+    )
+}
+
+/// [`run_sequential`] on a pre-planned program: rule bodies are planned
+/// once and one incrementally maintained index follows the instance across
+/// steps, so a chase step costs the body matching alone — no per-step
+/// index rebuild.
+///
+/// # Errors
+/// Same as [`run_sequential`].
+pub fn run_sequential_prepared(
+    program: &CompiledProgram,
+    prepared: &PreparedProgram,
+    input: &Instance,
+    policy: &mut ChasePolicy,
+    rng: &mut dyn Rng,
+    max_steps: usize,
+    record_trace: bool,
+) -> Result<ChaseRun, DistError> {
     let mut instance = input.clone();
+    let mut index = prepared.new_index(&instance);
     let mut steps = 0usize;
     let mut log_weight = 0.0;
     let mut trace = Vec::new();
 
     loop {
-        let app = applicable_pairs(program, &instance);
+        let app = prepared.applicable_pairs(program, &instance, &index);
         if app.is_empty() {
             return Ok(ChaseRun {
                 outcome: RunOutcome::Terminated,
@@ -142,7 +171,10 @@ pub fn run_sequential(
         }
         let AppPair { rule, valuation } = app[policy.select(&app)].clone();
         let fired = fire(program, &program.rules[rule], &valuation, rng)?;
-        instance.insert_fact(fired.fact);
+        let Fact { rel, tuple } = fired.fact;
+        if instance.insert(rel, tuple.clone()) {
+            index.absorb(rel, &tuple);
+        }
         log_weight += fired.log_density;
         if record_trace {
             trace.push(TraceStep {
@@ -172,11 +204,7 @@ mod tests {
         translate(&v, SemanticsMode::Grohe).unwrap()
     }
 
-    fn run(
-        prog: &CompiledProgram,
-        seed: u64,
-        max_steps: usize,
-    ) -> ChaseRun {
+    fn run(prog: &CompiledProgram, seed: u64, max_steps: usize) -> ChaseRun {
         let mut policy = ChasePolicy::new(PolicyKind::Canonical, &[]);
         let mut rng = StdRng::seed_from_u64(seed);
         run_sequential(

@@ -10,8 +10,8 @@
 use gdatalog_data::{Catalog, Instance};
 use gdatalog_lang::CompiledProgram;
 
-use crate::applicability::applicable_pairs;
-use crate::exact::{existential_branches, apply_branch, ExactConfig};
+use crate::applicability::PreparedProgram;
+use crate::exact::{apply_branch, existential_branches, ExactConfig};
 use crate::policy::ChasePolicy;
 use crate::EngineError;
 use gdatalog_lang::RuleKind;
@@ -150,35 +150,33 @@ pub fn build_chase_tree(
         }],
         truncated_mass: 0.0,
     };
+    let prepared = PreparedProgram::new(program);
     let mut frontier = vec![0usize];
     while let Some(ix) = frontier.pop() {
         let (instance, p, depth) = {
             let n = &tree.nodes[ix];
             (n.instance.clone(), n.path_probability, n.depth)
         };
-        let app = applicable_pairs(program, &instance);
+        let index = prepared.new_index(&instance);
+        let app = prepared.applicable_pairs(program, &instance, &index);
         if app.is_empty() {
             tree.nodes[ix].terminated = true;
             continue;
         }
-        if depth >= config.max_depth
-            || (config.min_path_prob > 0.0 && p < config.min_path_prob)
-        {
+        if depth >= config.max_depth || (config.min_path_prob > 0.0 && p < config.min_path_prob) {
             tree.nodes[ix].cut = true;
             continue;
         }
         let pair = app[policy.select(&app)].clone();
         tree.nodes[ix].fired_rule = Some(pair.rule);
-        let branches: Vec<(Vec<gdatalog_data::Value>, f64)> =
-            match &program.rules[pair.rule].kind {
-                RuleKind::Deterministic { .. } => vec![(Vec::new(), 1.0)],
-                RuleKind::Existential(_) => {
-                    let (bs, truncated) =
-                        existential_branches(program, &pair, config.support_tol)?;
-                    tree.truncated_mass += p * truncated;
-                    bs
-                }
-            };
+        let branches: Vec<(Vec<gdatalog_data::Value>, f64)> = match &program.rules[pair.rule].kind {
+            RuleKind::Deterministic { .. } => vec![(Vec::new(), 1.0)],
+            RuleKind::Existential(_) => {
+                let (bs, truncated) = existential_branches(program, &pair, config.support_tol)?;
+                tree.truncated_mass += p * truncated;
+                bs
+            }
+        };
         for (outcomes, q) in branches {
             let child = apply_branch(program, &pair, &outcomes, &instance);
             let cix = tree.nodes.len();

@@ -53,7 +53,11 @@ mod tests {
             .declare_named("B", vec![ColType::Int], RelationKind::Intensional)
             .unwrap();
         let a = cat
-            .declare_named("A", vec![ColType::Symbol, ColType::Real], RelationKind::Extensional)
+            .declare_named(
+                "A",
+                vec![ColType::Symbol, ColType::Real],
+                RelationKind::Extensional,
+            )
             .unwrap();
         let mut d = Instance::new();
         d.insert(b, tuple![2i64]);

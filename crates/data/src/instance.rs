@@ -110,9 +110,9 @@ impl Instance {
 
     /// Iterates over all facts in canonical order.
     pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
-        self.rels.iter().flat_map(|(&rel, tuples)| {
-            tuples.iter().map(move |t| Fact::new(rel, t.clone()))
-        })
+        self.rels
+            .iter()
+            .flat_map(|(&rel, tuples)| tuples.iter().map(move |t| Fact::new(rel, t.clone())))
     }
 
     /// The relations that currently hold at least one fact.

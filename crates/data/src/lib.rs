@@ -35,7 +35,7 @@ pub use fd::{FdViolation, FunctionalDependency};
 pub use instance::{Fact, Instance};
 pub use schema::{Catalog, ColType, RelId, RelationDecl, RelationKind};
 pub use tuple::Tuple;
-pub use value::{F64, SymbolId, Value};
+pub use value::{SymbolId, Value, F64};
 
 /// Errors produced by the data layer.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -13,8 +13,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
-use std::sync::OnceLock;
+use std::sync::{OnceLock, RwLock};
 
 use crate::DataError;
 
@@ -118,16 +117,24 @@ fn interner() -> &'static RwLock<Interner> {
     })
 }
 
+fn read_interner() -> std::sync::RwLockReadGuard<'static, Interner> {
+    interner()
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 impl SymbolId {
     /// Interns `name`, returning its id. Idempotent.
     pub fn intern(name: &str) -> SymbolId {
         {
-            let g = interner().read();
+            let g = read_interner();
             if let Some(&id) = g.by_name.get(name) {
                 return SymbolId(id);
             }
         }
-        let mut g = interner().write();
+        let mut g = interner()
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(&id) = g.by_name.get(name) {
             return SymbolId(id);
         }
@@ -140,7 +147,7 @@ impl SymbolId {
 
     /// The symbol's text.
     pub fn as_str(self) -> Arc<str> {
-        interner().read().names[self.0 as usize].clone()
+        read_interner().names[self.0 as usize].clone()
     }
 
     /// Raw id (useful for dense per-symbol tables).

@@ -1,9 +1,25 @@
-//! Bottom-up fixpoint evaluation: naive and semi-naive.
+//! Bottom-up fixpoint evaluation: naive and semi-naive, over compile-once
+//! rule plans and incrementally maintained indexes.
+//!
+//! [`PlannedProgram`] is the reusable evaluation object: rule bodies are
+//! planned once (per-atom bound-column sets, interned index specs) and the
+//! semi-naive loop keeps one [`InstanceIndex`] in lockstep with the
+//! growing instance by absorbing each inserted fact — no index is rebuilt
+//! between rounds. [`PlannedProgram::saturate_in_place`] additionally
+//! supports *continuing* saturation from an externally supplied delta,
+//! which is what lets the probabilistic chase re-saturate after each
+//! sampled fact in O(|Δ|) instead of O(|D|).
+//!
+//! [`fixpoint_seminaive_rebuild`] preserves the old rebuild-per-round
+//! behavior; it exists as the measured baseline for the incremental path
+//! (see `benches/datalog_substrate.rs`) and as the oracle in the
+//! incremental-vs-rebuilt property tests.
 
-use gdatalog_data::{Instance, Tuple, Value};
+use gdatalog_data::{Instance, RelId, Tuple, Value};
 
-use crate::index::InstanceIndex;
-use crate::rule::{Atom, DatalogProgram, DatalogRule, Term};
+use crate::index::{Delta, IndexSpecs, InstanceIndex};
+use crate::plan::BodyPlan;
+use crate::rule::{Atom, DatalogProgram};
 
 /// Statistics from a fixpoint run (for benches and ablation reports).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -16,182 +32,127 @@ pub struct EvalStats {
     pub matches: usize,
 }
 
-/// A pre-analyzed body atom: which columns are probe keys given the atoms
-/// to its left, and which columns bind fresh variables.
-struct AtomPlan<'r> {
-    atom: &'r Atom,
-    /// Columns whose value is known before matching this atom.
-    key_cols: Vec<usize>,
-    /// For each key column, how to obtain the value.
-    key_terms: Vec<&'r Term>,
-    /// `(column, var)` pairs that bind fresh variables (first occurrence).
-    binds: Vec<(usize, usize)>,
-    /// `(column, var)` pairs that must re-check within-atom repeats.
-    checks: Vec<(usize, usize)>,
+struct PlannedRule {
+    head: Atom,
+    plan: BodyPlan,
+    body_rels: Vec<RelId>,
 }
 
-fn plan_rule(rule: &DatalogRule) -> Vec<AtomPlan<'_>> {
-    plan_body(&rule.body, rule.n_vars)
+/// A Datalog program with all rule bodies planned and index specs
+/// interned — build once, evaluate many times.
+pub struct PlannedProgram {
+    rules: Vec<PlannedRule>,
 }
 
-fn plan_body(body: &[Atom], n_vars: usize) -> Vec<AtomPlan<'_>> {
-    let mut bound = vec![false; n_vars];
-    body.iter()
-        .map(|atom| {
-            let mut key_cols = Vec::new();
-            let mut key_terms = Vec::new();
-            let mut binds = Vec::new();
-            let mut checks = Vec::new();
-            let mut bound_here: Vec<usize> = Vec::new();
-            for (c, t) in atom.args.iter().enumerate() {
-                match t {
-                    Term::Const(_) => {
-                        key_cols.push(c);
-                        key_terms.push(t);
-                    }
-                    Term::Var(v) => {
-                        if bound[*v] {
-                            key_cols.push(c);
-                            key_terms.push(t);
-                        } else if bound_here.contains(v) {
-                            checks.push((c, *v));
-                        } else {
-                            binds.push((c, *v));
-                            bound_here.push(*v);
-                        }
-                    }
-                }
-            }
-            for v in bound_here {
-                bound[v] = true;
-            }
-            AtomPlan {
-                atom,
-                key_cols,
-                key_terms,
-                binds,
-                checks,
-            }
-        })
-        .collect()
-}
-
-/// Matches the body of `rule` against `index`, optionally forcing atom
-/// `delta_pos` to match inside `delta` instead (semi-naive restriction).
-/// Calls `emit` with the complete binding for every match.
-fn match_body<'a>(
-    plans: &[AtomPlan<'_>],
-    index: &mut InstanceIndex<'a>,
-    delta: Option<(usize, &mut InstanceIndex<'a>)>,
-    n_vars: usize,
-    emit: &mut dyn FnMut(&[Option<Value>]),
-) {
-    let mut binding: Vec<Option<Value>> = vec![None; n_vars];
-    let (delta_pos, mut delta_index) = match delta {
-        Some((p, ix)) => (Some(p), Some(ix)),
-        None => (None, None),
-    };
-    // Depth-first join over body atoms. An explicit stack of tuple cursors
-    // avoids recursion so the hot loop has no call overhead.
-    struct Frame {
-        tuples: Vec<Tuple>,
-        next: usize,
-    }
-    let mut stack: Vec<Frame> = Vec::with_capacity(plans.len());
-
-    // Obtain the candidate tuples for plan `depth` under current binding.
-    fn candidates<'a>(
-        plan: &AtomPlan<'_>,
-        binding: &[Option<Value>],
-        index: &mut InstanceIndex<'a>,
-    ) -> Vec<Tuple> {
-        let key: Vec<Value> = plan
-            .key_terms
+impl PlannedProgram {
+    /// Plans every rule of `program`, interning index specs into `specs`.
+    ///
+    /// The same `specs` table can be shared with other plans (the chase
+    /// shares one table across the deterministic fragment and the
+    /// existential rules so a single index serves both).
+    pub fn new(program: &DatalogProgram, specs: &mut IndexSpecs) -> PlannedProgram {
+        let rules = program
+            .rules
             .iter()
-            .map(|t| match t {
-                Term::Const(c) => c.clone(),
-                Term::Var(v) => binding[*v].clone().expect("planned var must be bound"),
+            .map(|r| PlannedRule {
+                head: r.head.clone(),
+                plan: BodyPlan::new(&r.body, r.n_vars, specs),
+                body_rels: r.body.iter().map(|a| a.rel).collect(),
             })
             .collect();
-        index.probe(plan.atom.rel, &plan.key_cols, &key).to_vec()
+        PlannedProgram { rules }
     }
 
-    if plans.is_empty() {
-        emit(&binding);
-        return;
-    }
+    /// Runs semi-naive evaluation to fixpoint, mutating `current` (and its
+    /// lockstep `index`) in place.
+    ///
+    /// With `initial_delta = None` this performs a full round 0 (all rules
+    /// against the whole instance — the only round that fires body-less
+    /// rules) and then delta rounds to fixpoint. With `initial_delta =
+    /// Some(Δ)` the caller asserts that `current` is already saturated
+    /// except for the facts in `Δ` (which must already be inserted in
+    /// `current` and absorbed by `index`); evaluation starts directly from
+    /// the delta rounds, costing O(|Δ| + new matches) instead of O(|D|).
+    pub fn saturate_in_place(
+        &self,
+        specs: &IndexSpecs,
+        current: &mut Instance,
+        index: &mut InstanceIndex,
+        initial_delta: Option<Delta>,
+    ) -> EvalStats {
+        let mut stats = EvalStats::default();
+        let mut new_facts: Vec<(RelId, Tuple)> = Vec::new();
 
-    let first = if delta_pos == Some(0) {
-        let ix = delta_index.as_deref_mut().expect("delta index present");
-        candidates(&plans[0], &binding, ix)
-    } else {
-        candidates(&plans[0], &binding, index)
-    };
-    stack.push(Frame {
-        tuples: first,
-        next: 0,
-    });
-
-    while let Some(depth) = stack.len().checked_sub(1) {
-        let frame = stack.last_mut().expect("nonempty stack");
-        if frame.next >= frame.tuples.len() {
-            // Exhausted: undo bindings of this depth and pop.
-            stack.pop();
-            if let Some(prev_depth) = stack.len().checked_sub(1) {
-                let _ = prev_depth;
+        let mut delta = match initial_delta {
+            Some(d) => d,
+            None => {
+                stats.iterations += 1;
+                for rule in &self.rules {
+                    rule.plan.for_each_match(current, index, &mut |binding| {
+                        stats.matches += 1;
+                        new_facts.push((rule.head.rel, rule.head.instantiate(binding)));
+                    });
+                }
+                insert_round(current, index, &mut new_facts, &mut stats)
             }
-            // Unbind variables bound at this depth.
-            for (_, v) in &plans[depth].binds {
-                binding[*v] = None;
-            }
-            continue;
-        }
-        let tuple = frame.tuples[frame.next].clone();
-        frame.next += 1;
-
-        // Unbind (in case a previous tuple at this depth bound them).
-        for (_, v) in &plans[depth].binds {
-            binding[*v] = None;
-        }
-        // Bind fresh variables.
-        for (c, v) in &plans[depth].binds {
-            binding[*v] = Some(tuple[*c].clone());
-        }
-        // Within-atom repeat checks.
-        let ok = plans[depth]
-            .checks
-            .iter()
-            .all(|(c, v)| binding[*v].as_ref() == Some(&tuple[*c]));
-        if !ok {
-            continue;
-        }
-
-        if depth + 1 == plans.len() {
-            emit(&binding);
-            // Keep current frame; unbinding happens on next tuple/pop.
-            continue;
-        }
-
-        let next_tuples = if delta_pos == Some(depth + 1) {
-            let ix = delta_index.as_deref_mut().expect("delta index present");
-            candidates(&plans[depth + 1], &binding, ix)
-        } else {
-            candidates(&plans[depth + 1], &binding, index)
         };
-        stack.push(Frame {
-            tuples: next_tuples,
-            next: 0,
-        });
+
+        // One delta index turned over across rounds (allocation reuse).
+        let mut delta_index = InstanceIndex::new(specs);
+        while !delta.is_empty() {
+            stats.iterations += 1;
+            delta_index.build_from_delta(&delta);
+            for rule in &self.rules {
+                if rule.body_rels.is_empty() {
+                    continue; // body-less rules fire in round 0 only
+                }
+                for pos in 0..rule.body_rels.len() {
+                    if delta.tuples(rule.body_rels[pos]).is_empty() {
+                        continue;
+                    }
+                    rule.plan.for_each_match_delta(
+                        current,
+                        index,
+                        Some((pos, &delta, &delta_index)),
+                        &mut |binding| {
+                            stats.matches += 1;
+                            new_facts.push((rule.head.rel, rule.head.instantiate(binding)));
+                        },
+                    );
+                }
+            }
+            delta = insert_round(current, index, &mut new_facts, &mut stats);
+        }
+        stats
     }
+}
+
+/// Inserts a round's derived facts, absorbing the new ones into the index;
+/// returns them as the next delta. Drains `new_facts` for reuse.
+fn insert_round(
+    current: &mut Instance,
+    index: &mut InstanceIndex,
+    new_facts: &mut Vec<(RelId, Tuple)>,
+    stats: &mut EvalStats,
+) -> Delta {
+    let mut delta = Delta::new();
+    for (rel, t) in new_facts.drain(..) {
+        if current.insert(rel, t.clone()) {
+            stats.derived_facts += 1;
+            index.absorb(rel, &t);
+            delta.push(rel, t);
+        }
+    }
+    delta
 }
 
 /// Enumerates all matches of a conjunctive body against `instance`,
 /// invoking `emit` with the complete variable binding for each match.
 ///
 /// This is the single-rule matching primitive the probabilistic chase uses
-/// to compute the applicable pairs `App(D)` (§3.3 of the paper): the body
-/// matches produced here are the candidate valuations `ā`, which the chase
-/// then filters by the head-unsatisfied condition.
+/// to compute the applicable pairs `App(D)` (§3.3 of the paper). It plans
+/// and indexes on the fly; hot paths should plan once via [`BodyPlan`] and
+/// probe a maintained index instead.
 ///
 /// Variables not occurring in the body are left `None` in the binding.
 pub fn for_each_body_match(
@@ -200,31 +161,32 @@ pub fn for_each_body_match(
     instance: &Instance,
     emit: &mut dyn FnMut(&[Option<Value>]),
 ) {
-    let plans = plan_body(body, n_vars);
-    let mut index = InstanceIndex::new(instance);
-    match_body(&plans, &mut index, None, n_vars, emit);
+    let mut specs = IndexSpecs::new();
+    let plan = BodyPlan::new(body, n_vars, &mut specs);
+    let index = InstanceIndex::built(&specs, instance);
+    plan.for_each_match(instance, &index, emit);
 }
 
 /// Naive bottom-up evaluation: applies all rules to the whole instance
-/// until nothing new is derived. Returns the least fixpoint extension of
-/// `input` and evaluation statistics.
+/// until nothing new is derived, rebuilding indexes every round. Returns
+/// the least fixpoint extension of `input` and evaluation statistics.
+///
+/// This is the semantic oracle (and the slowest baseline) the semi-naive
+/// variants are tested and benchmarked against.
 pub fn fixpoint_naive(program: &DatalogProgram, input: &Instance) -> (Instance, EvalStats) {
+    let mut specs = IndexSpecs::new();
+    let planned = PlannedProgram::new(program, &mut specs);
     let mut stats = EvalStats::default();
     let mut current = input.clone();
     loop {
         stats.iterations += 1;
-        let mut new_facts: Vec<(gdatalog_data::RelId, Tuple)> = Vec::new();
-        {
-            let mut index = InstanceIndex::new(&current);
-            for rule in &program.rules {
-                let plans = plan_rule(rule);
-                let mut emit = |binding: &[Option<Value>]| {
-                    stats.matches += 1;
-                    let head = rule.head.instantiate(binding);
-                    new_facts.push((rule.head.rel, head));
-                };
-                match_body(&plans, &mut index, None, rule.n_vars, &mut emit);
-            }
+        let index = InstanceIndex::built(&specs, &current);
+        let mut new_facts: Vec<(RelId, Tuple)> = Vec::new();
+        for rule in &planned.rules {
+            rule.plan.for_each_match(&current, &index, &mut |binding| {
+                stats.matches += 1;
+                new_facts.push((rule.head.rel, rule.head.instantiate(binding)));
+            });
         }
         let mut changed = false;
         for (rel, t) in new_facts {
@@ -239,71 +201,83 @@ pub fn fixpoint_naive(program: &DatalogProgram, input: &Instance) -> (Instance, 
     }
 }
 
-/// Semi-naive bottom-up evaluation: after the first round, rules only fire
-/// on instantiations that touch at least one *newly derived* fact.
+/// Semi-naive bottom-up evaluation over **incrementally maintained**
+/// indexes: after the first round, rules only fire on instantiations that
+/// touch at least one newly derived fact, and inserted facts are absorbed
+/// into the live index instead of rebuilding it.
 pub fn fixpoint_seminaive(program: &DatalogProgram, input: &Instance) -> (Instance, EvalStats) {
+    let mut specs = IndexSpecs::new();
+    let planned = PlannedProgram::new(program, &mut specs);
+    let mut current = input.clone();
+    let mut index = InstanceIndex::built(&specs, &current);
+    let stats = planned.saturate_in_place(&specs, &mut current, &mut index, None);
+    (current, stats)
+}
+
+/// Semi-naive evaluation with the **old rebuild-after-mutation** index
+/// discipline: every round builds fresh indexes over the full instance.
+///
+/// Kept as the measured baseline for the incremental path and as a second
+/// oracle in property tests; do not use on hot paths.
+pub fn fixpoint_seminaive_rebuild(
+    program: &DatalogProgram,
+    input: &Instance,
+) -> (Instance, EvalStats) {
+    let mut specs = IndexSpecs::new();
+    let planned = PlannedProgram::new(program, &mut specs);
     let mut stats = EvalStats::default();
     let mut current = input.clone();
+    let mut new_facts: Vec<(RelId, Tuple)> = Vec::new();
 
-    // Round 0: all rules against the input (this also fires body-less rules).
-    let mut delta = Instance::new();
+    // Round 0: all rules against the input.
+    stats.iterations += 1;
     {
-        stats.iterations += 1;
-        let mut new_facts: Vec<(gdatalog_data::RelId, Tuple)> = Vec::new();
-        {
-            let mut index = InstanceIndex::new(&current);
-            for rule in &program.rules {
-                let plans = plan_rule(rule);
-                let mut emit = |binding: &[Option<Value>]| {
-                    stats.matches += 1;
-                    new_facts.push((rule.head.rel, rule.head.instantiate(binding)));
-                };
-                match_body(&plans, &mut index, None, rule.n_vars, &mut emit);
-            }
+        let index = InstanceIndex::built(&specs, &current);
+        for rule in &planned.rules {
+            rule.plan.for_each_match(&current, &index, &mut |binding| {
+                stats.matches += 1;
+                new_facts.push((rule.head.rel, rule.head.instantiate(binding)));
+            });
         }
-        for (rel, t) in new_facts {
-            if current.insert(rel, t.clone()) {
-                stats.derived_facts += 1;
-                delta.insert(rel, t);
-            }
+    }
+    let mut delta = Delta::new();
+    for (rel, t) in new_facts.drain(..) {
+        if current.insert(rel, t.clone()) {
+            stats.derived_facts += 1;
+            delta.push(rel, t);
         }
     }
 
     while !delta.is_empty() {
         stats.iterations += 1;
-        let mut new_facts: Vec<(gdatalog_data::RelId, Tuple)> = Vec::new();
-        {
-            let mut index = InstanceIndex::new(&current);
-            let mut delta_index = InstanceIndex::new(&delta);
-            for rule in &program.rules {
-                if rule.body.is_empty() {
-                    continue; // already fired in round 0
+        // The rebuild being benchmarked away: O(|D|) every round.
+        let index = InstanceIndex::built(&specs, &current);
+        let mut delta_index = InstanceIndex::new(&specs);
+        delta_index.build_from_delta(&delta);
+        for rule in &planned.rules {
+            if rule.body_rels.is_empty() {
+                continue;
+            }
+            for pos in 0..rule.body_rels.len() {
+                if delta.tuples(rule.body_rels[pos]).is_empty() {
+                    continue;
                 }
-                let plans = plan_rule(rule);
-                for pos in 0..rule.body.len() {
-                    // Skip positions whose relation has no delta facts.
-                    if delta.relation_len(rule.body[pos].rel) == 0 {
-                        continue;
-                    }
-                    let mut emit = |binding: &[Option<Value>]| {
+                rule.plan.for_each_match_delta(
+                    &current,
+                    &index,
+                    Some((pos, &delta, &delta_index)),
+                    &mut |binding| {
                         stats.matches += 1;
                         new_facts.push((rule.head.rel, rule.head.instantiate(binding)));
-                    };
-                    match_body(
-                        &plans,
-                        &mut index,
-                        Some((pos, &mut delta_index)),
-                        rule.n_vars,
-                        &mut emit,
-                    );
-                }
+                    },
+                );
             }
         }
-        let mut next_delta = Instance::new();
-        for (rel, t) in new_facts {
+        let mut next_delta = Delta::new();
+        for (rel, t) in new_facts.drain(..) {
             if current.insert(rel, t.clone()) {
                 stats.derived_facts += 1;
-                next_delta.insert(rel, t);
+                next_delta.push(rel, t);
             }
         }
         delta = next_delta;
@@ -367,7 +341,9 @@ mod tests {
         let input = chain(8);
         let (a, _) = fixpoint_naive(&tc_program(), &input);
         let (b, _) = fixpoint_seminaive(&tc_program(), &input);
+        let (c, _) = fixpoint_seminaive_rebuild(&tc_program(), &input);
         assert_eq!(a, b);
+        assert_eq!(a, c);
     }
 
     #[test]
@@ -393,6 +369,31 @@ mod tests {
             semi.matches,
             naive.matches
         );
+    }
+
+    #[test]
+    fn incremental_continuation_matches_full_fixpoint() {
+        // Saturate a chain, then add one edge and continue from the delta;
+        // the result must equal a from-scratch fixpoint on the bigger input.
+        let program = tc_program();
+        let mut specs = IndexSpecs::new();
+        let planned = PlannedProgram::new(&program, &mut specs);
+        let mut current = chain(10);
+        let mut index = InstanceIndex::built(&specs, &current);
+        planned.saturate_in_place(&specs, &mut current, &mut index, None);
+
+        let new_edge = tuple![10i64, 11i64];
+        assert!(current.insert(r(0), new_edge.clone()));
+        index.absorb(r(0), &new_edge);
+        planned.saturate_in_place(
+            &specs,
+            &mut current,
+            &mut index,
+            Some(Delta::single(r(0), new_edge)),
+        );
+
+        let (expect, _) = fixpoint_naive(&program, &chain(11));
+        assert_eq!(current, expect);
     }
 
     #[test]

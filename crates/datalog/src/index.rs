@@ -1,56 +1,368 @@
-//! Lazily built hash indexes over instances, keyed by column subsets.
+//! Incrementally maintained hash indexes over instances.
 //!
-//! Body atoms are matched left to right; when atom `i` is reached, some of
-//! its columns hold already-known values (constants or variables bound by
-//! earlier atoms). An index on exactly those columns turns the lookup into a
-//! hash probe instead of a relation scan — the standard hash-join pipeline.
+//! The previous design rebuilt a borrowed index cache from scratch after
+//! every instance mutation, making each semi-naive round and each chase
+//! step pay O(|D|) even when only one fact changed. This index is **owned
+//! and incremental**: the set of `(relation, key columns)` specs a program
+//! needs is interned once into an [`IndexSpecs`] table (by the join
+//! planner), an [`InstanceIndex`] is built once against the instance, and
+//! every subsequently inserted fact is *absorbed in place* —
+//! O(#indexes-on-relation) per fact, independent of |D|.
+//!
+//! Probing is by **hash of the key projection**: buckets are keyed by a
+//! stable 64-bit hash of the probed column values, so a probe hashes a few
+//! machine words instead of allocating a `Vec<Value>` key. Buckets may
+//! (astronomically rarely) mix keys that collide at 64 bits, so callers
+//! verify candidate tuples against the bound values while scanning — the
+//! join loop does this anyway to keep a single code path.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
 
 use gdatalog_data::{Instance, RelId, Tuple, Value};
 
-/// A cache of hash indexes `(relation, key columns) → (key values → tuples)`
-/// built on demand against a fixed snapshot of an [`Instance`].
+/// A fast multiplicative hasher (fxhash-style) for key projections.
+/// Deterministic, unseeded — bucket addressing needs nothing stronger,
+/// and it is several times cheaper than SipHash on short keys.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Hasher for the already-hashed `u64` bucket keys: one strong-mixing
+/// round (SplitMix64 finalizer) instead of re-hashing with SipHash.
+#[derive(Debug, Default, Clone)]
+pub struct U64Hasher {
+    hash: u64,
+}
+
+impl Hasher for U64Hasher {
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("U64Hasher only hashes u64 keys");
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        let mut z = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.hash = z ^ (z >> 31);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+type BucketMap = HashMap<u64, Vec<Tuple>, BuildHasherDefault<U64Hasher>>;
+
+/// Stable 64-bit hash of a key projection, fed value by value.
+#[derive(Debug, Default)]
+pub struct KeyHasher(FxHasher);
+
+impl KeyHasher {
+    /// Starts a key hash.
+    pub fn new() -> KeyHasher {
+        KeyHasher::default()
+    }
+
+    /// Feeds the next key component.
+    #[inline]
+    pub fn push(&mut self, v: &Value) {
+        v.hash(&mut self.0);
+    }
+
+    /// The finished bucket hash.
+    #[inline]
+    pub fn finish(&self) -> u64 {
+        self.0.finish()
+    }
+}
+
+/// Hashes a full key, in order.
+pub fn hash_key<'v>(key: impl IntoIterator<Item = &'v Value>) -> u64 {
+    let mut h = KeyHasher::new();
+    for v in key {
+        h.push(v);
+    }
+    h.finish()
+}
+
+/// An interned table of `(relation, key columns)` index specs.
 ///
-/// The index borrows the instance; rebuild after mutation.
-pub struct InstanceIndex<'a> {
-    instance: &'a Instance,
-    cache: HashMap<(RelId, Vec<usize>), HashMap<Vec<Value>, Vec<Tuple>>>,
+/// Join plans intern every probe they will make; the resulting spec ids
+/// are positions into any [`InstanceIndex`] created from this table, so a
+/// probe at evaluation time is a plain array access plus one hash lookup.
+#[derive(Debug, Clone, Default)]
+pub struct IndexSpecs {
+    specs: Vec<(RelId, Box<[usize]>)>,
+    by_key: HashMap<(RelId, Box<[usize]>), usize>,
+}
+
+impl IndexSpecs {
+    /// An empty spec table.
+    pub fn new() -> IndexSpecs {
+        IndexSpecs::default()
+    }
+
+    /// Interns a spec, returning its id. Key columns must be non-empty
+    /// (empty-key "probes" are full scans and read the instance directly).
+    pub fn intern(&mut self, rel: RelId, key_cols: &[usize]) -> usize {
+        debug_assert!(!key_cols.is_empty(), "empty keys are scans, not probes");
+        if let Some(&id) = self.by_key.get(&(rel, Box::from(key_cols))) {
+            return id;
+        }
+        let id = self.specs.len();
+        let cols: Box<[usize]> = Box::from(key_cols);
+        self.specs.push((rel, cols.clone()));
+        self.by_key.insert((rel, cols), id);
+        id
+    }
+
+    /// Number of interned specs.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether no specs are interned.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The `(relation, key columns)` of spec `id`.
+    pub fn spec(&self, id: usize) -> (RelId, &[usize]) {
+        let (rel, cols) = &self.specs[id];
+        (*rel, cols)
+    }
+}
+
+/// A round's worth of **freshly derived** facts, grouped per relation in
+/// first-derivation order.
+///
+/// Unlike an [`Instance`], a `Delta` does no set-semantics bookkeeping —
+/// callers only push facts that were new to the underlying instance — so
+/// pushing is an amortized-O(1) vector append instead of a B-tree insert.
+/// The semi-naive loop turns over one `Delta` per round; on transitive
+/// closure this halves the per-derived-fact ordered-set work.
+#[derive(Debug, Clone, Default)]
+pub struct Delta {
+    rels: Vec<(RelId, Vec<Tuple>)>,
+    len: usize,
+}
+
+impl Delta {
+    /// An empty delta.
+    pub fn new() -> Delta {
+        Delta::default()
+    }
+
+    /// A delta holding one fact.
+    pub fn single(rel: RelId, tuple: Tuple) -> Delta {
+        Delta {
+            rels: vec![(rel, vec![tuple])],
+            len: 1,
+        }
+    }
+
+    /// Appends a fact the caller knows to be fresh.
+    pub fn push(&mut self, rel: RelId, tuple: Tuple) {
+        self.len += 1;
+        // Programs touch a handful of relations; linear scan beats hashing.
+        match self.rels.iter_mut().find(|(r, _)| *r == rel) {
+            Some((_, tuples)) => tuples.push(tuple),
+            None => self.rels.push((rel, vec![tuple])),
+        }
+    }
+
+    /// Total number of facts.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the delta holds no facts.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The delta's tuples of one relation (empty if none).
+    pub fn tuples(&self, rel: RelId) -> &[Tuple] {
+        self.rels
+            .iter()
+            .find(|(r, _)| *r == rel)
+            .map_or(&[], |(_, ts)| ts.as_slice())
+    }
+
+    /// Per-relation groups, in first-derivation order.
+    pub fn iter(&self) -> impl Iterator<Item = (RelId, &[Tuple])> {
+        self.rels.iter().map(|(r, ts)| (*r, ts.as_slice()))
+    }
+}
+
+/// One maintained index: tuples bucketed by the hash of their projection
+/// onto the spec's key columns.
+#[derive(Debug, Clone)]
+struct ColumnIndex {
+    key_cols: Box<[usize]>,
+    buckets: BucketMap,
 }
 
 static EMPTY: Vec<Tuple> = Vec::new();
 
-impl<'a> InstanceIndex<'a> {
-    /// Creates an (empty) index cache over `instance`.
-    pub fn new(instance: &'a Instance) -> Self {
-        InstanceIndex {
-            instance,
-            cache: HashMap::new(),
+/// The maintained indexes for one instance, laid out per [`IndexSpecs`].
+///
+/// Keep it in lockstep with the instance: [`InstanceIndex::build`] once,
+/// then [`InstanceIndex::absorb`] every newly inserted fact. Probes take
+/// `&self`, so candidate buckets stay borrowable across a whole join.
+#[derive(Debug, Clone)]
+pub struct InstanceIndex {
+    indexes: Vec<ColumnIndex>,
+    /// Spec ids per relation, for O(1) insert fan-out.
+    by_rel: HashMap<RelId, Vec<usize>>,
+}
+
+impl InstanceIndex {
+    /// An empty (unbuilt) index laid out for `specs`.
+    pub fn new(specs: &IndexSpecs) -> InstanceIndex {
+        let mut by_rel: HashMap<RelId, Vec<usize>> = HashMap::new();
+        let mut indexes = Vec::with_capacity(specs.len());
+        for (id, (rel, cols)) in specs.specs.iter().enumerate() {
+            by_rel.entry(*rel).or_default().push(id);
+            indexes.push(ColumnIndex {
+                key_cols: cols.clone(),
+                buckets: BucketMap::default(),
+            });
+        }
+        InstanceIndex { indexes, by_rel }
+    }
+
+    /// Builds (or rebuilds) every index from `instance`, discarding any
+    /// previously absorbed state.
+    pub fn build(&mut self, instance: &Instance) {
+        for ix in &mut self.indexes {
+            ix.buckets.clear();
+        }
+        for (&rel, ids) in &self.by_rel {
+            for t in instance.relation(rel) {
+                for &id in ids {
+                    let ix = &mut self.indexes[id];
+                    let h = hash_key(ix.key_cols.iter().map(|&c| &t[c]));
+                    ix.buckets.entry(h).or_default().push(t.clone());
+                }
+            }
         }
     }
 
-    /// The underlying instance.
-    pub fn instance(&self) -> &'a Instance {
-        self.instance
+    /// Convenience: a built index over `instance`.
+    pub fn built(specs: &IndexSpecs, instance: &Instance) -> InstanceIndex {
+        let mut ix = InstanceIndex::new(specs);
+        ix.build(instance);
+        ix
     }
 
-    /// Tuples of `rel` whose projection onto `key_cols` equals `key`.
-    ///
-    /// With `key_cols` empty this is a full (cached) scan of the relation.
-    pub fn probe(&mut self, rel: RelId, key_cols: &[usize], key: &[Value]) -> &[Tuple] {
-        debug_assert_eq!(key_cols.len(), key.len());
-        let entry = self
-            .cache
-            .entry((rel, key_cols.to_vec()))
-            .or_insert_with(|| {
-                let mut map: HashMap<Vec<Value>, Vec<Tuple>> = HashMap::new();
-                for t in self.instance.relation(rel) {
-                    let k: Vec<Value> = key_cols.iter().map(|&c| t[c].clone()).collect();
-                    map.entry(k).or_default().push(t.clone());
+    /// Builds (or rebuilds) every index from a [`Delta`], discarding
+    /// previous state. Used for the per-round delta indexes of the
+    /// semi-naive loop; the layout (and spec ids) match the main index.
+    pub fn build_from_delta(&mut self, delta: &Delta) {
+        for ix in &mut self.indexes {
+            ix.buckets.clear();
+        }
+        for (rel, tuples) in delta.iter() {
+            let Some(ids) = self.by_rel.get(&rel) else {
+                continue;
+            };
+            for t in tuples {
+                for &id in ids {
+                    let ix = &mut self.indexes[id];
+                    let h = hash_key(ix.key_cols.iter().map(|&c| &t[c]));
+                    ix.buckets.entry(h).or_default().push(t.clone());
                 }
-                map
-            });
-        entry.get(key).map_or(EMPTY.as_slice(), Vec::as_slice)
+            }
+        }
+    }
+
+    /// Absorbs one **newly inserted** fact into every index on its
+    /// relation. Only pass facts that were actually new to the instance
+    /// (set semantics), or buckets would hold duplicates.
+    #[inline]
+    pub fn absorb(&mut self, rel: RelId, tuple: &Tuple) {
+        let Some(ids) = self.by_rel.get(&rel) else {
+            return;
+        };
+        for &id in ids {
+            let ix = &mut self.indexes[id];
+            let h = hash_key(ix.key_cols.iter().map(|&c| &tuple[c]));
+            ix.buckets.entry(h).or_default().push(tuple.clone());
+        }
+    }
+
+    /// The bucket of tuples whose key projection hashes to `hash` under
+    /// spec `id`. Candidates must still be verified against the actual key
+    /// values (64-bit collisions).
+    #[inline]
+    pub fn bucket(&self, id: usize, hash: u64) -> &[Tuple] {
+        self.indexes[id]
+            .buckets
+            .get(&hash)
+            .map_or(EMPTY.as_slice(), Vec::as_slice)
+    }
+
+    /// Whether the indexed relation holds a tuple whose key projection
+    /// equals `key` under spec `id` (hash probe plus verification).
+    pub fn contains_key(&self, id: usize, key: &[Value]) -> bool {
+        let ix = &self.indexes[id];
+        debug_assert_eq!(ix.key_cols.len(), key.len());
+        let h = hash_key(key.iter());
+        self.bucket(id, h)
+            .iter()
+            .any(|t| ix.key_cols.iter().zip(key).all(|(&c, v)| &t[c] == v))
     }
 }
 
@@ -69,21 +381,70 @@ mod tests {
         d.insert(r(0), tuple!["a", 1i64]);
         d.insert(r(0), tuple!["a", 2i64]);
         d.insert(r(0), tuple!["b", 3i64]);
-        let mut idx = InstanceIndex::new(&d);
-        let hits = idx.probe(r(0), &[0], &[Value::sym("a")]);
+        let mut specs = IndexSpecs::new();
+        let id = specs.intern(r(0), &[0]);
+        let idx = InstanceIndex::built(&specs, &d);
+        let key = [Value::sym("a")];
+        let hits: Vec<_> = idx
+            .bucket(id, hash_key(key.iter()))
+            .iter()
+            .filter(|t| t[0] == key[0])
+            .collect();
         assert_eq!(hits.len(), 2);
-        let misses = idx.probe(r(0), &[0], &[Value::sym("z")]);
-        assert!(misses.is_empty());
+        assert!(idx.contains_key(id, &key));
+        assert!(!idx.contains_key(id, &[Value::sym("z")]));
     }
 
     #[test]
-    fn empty_key_scans_whole_relation() {
+    fn absorb_keeps_index_in_lockstep() {
         let mut d = Instance::new();
-        d.insert(r(0), tuple![1i64]);
-        d.insert(r(0), tuple![2i64]);
-        let mut idx = InstanceIndex::new(&d);
-        assert_eq!(idx.probe(r(0), &[], &[]).len(), 2);
-        assert_eq!(idx.probe(r(1), &[], &[]).len(), 0);
+        d.insert(r(0), tuple!["a", 1i64]);
+        let mut specs = IndexSpecs::new();
+        let id = specs.intern(r(0), &[0]);
+        let mut idx = InstanceIndex::built(&specs, &d);
+        assert!(!idx.contains_key(id, &[Value::sym("b")]));
+        let t = tuple!["b", 9i64];
+        assert!(d.insert(r(0), t.clone()));
+        idx.absorb(r(0), &t);
+        assert!(idx.contains_key(id, &[Value::sym("b")]));
+        // Absorbing into a relation with no indexes is a no-op.
+        idx.absorb(r(7), &tuple![1i64]);
+    }
+
+    #[test]
+    fn incremental_equals_rebuilt() {
+        let mut specs = IndexSpecs::new();
+        let id01 = specs.intern(r(0), &[0, 1]);
+        let id1 = specs.intern(r(0), &[1]);
+        let mut d = Instance::new();
+        let mut incremental = InstanceIndex::built(&specs, &d);
+        for i in 0..50i64 {
+            let t = tuple![i % 7, i % 3, i];
+            if d.insert(r(0), t.clone()) {
+                incremental.absorb(r(0), &t);
+            }
+        }
+        let rebuilt = InstanceIndex::built(&specs, &d);
+        for i in 0..7i64 {
+            for j in 0..3i64 {
+                let key = [Value::int(i), Value::int(j)];
+                assert_eq!(
+                    incremental.contains_key(id01, &key),
+                    rebuilt.contains_key(id01, &key)
+                );
+                let h = hash_key(key.iter());
+                assert_eq!(
+                    incremental.bucket(id01, h).len(),
+                    rebuilt.bucket(id01, h).len()
+                );
+            }
+            let key = [Value::int(i)];
+            let h = hash_key(key.iter());
+            assert_eq!(
+                incremental.bucket(id1, h).len(),
+                rebuilt.bucket(id1, h).len()
+            );
+        }
     }
 
     #[test]
@@ -92,8 +453,15 @@ mod tests {
         d.insert(r(0), tuple!["a", 1i64, "x"]);
         d.insert(r(0), tuple!["a", 1i64, "y"]);
         d.insert(r(0), tuple!["a", 2i64, "x"]);
-        let mut idx = InstanceIndex::new(&d);
-        let hits = idx.probe(r(0), &[0, 1], &[Value::sym("a"), Value::int(1)]);
-        assert_eq!(hits.len(), 2);
+        let mut specs = IndexSpecs::new();
+        let id = specs.intern(r(0), &[0, 1]);
+        let idx = InstanceIndex::built(&specs, &d);
+        let key = [Value::sym("a"), Value::int(1)];
+        let hits = idx
+            .bucket(id, hash_key(key.iter()))
+            .iter()
+            .filter(|t| t[0] == key[0] && t[1] == key[1])
+            .count();
+        assert_eq!(hits, 2);
     }
 }

@@ -3,20 +3,27 @@
 //! # gdatalog-datalog
 //!
 //! A classical **positive Datalog** engine over the `gdatalog-data` model:
-//! bottom-up naive and semi-naive fixpoint evaluation with hash-indexed
-//! joins.
+//! bottom-up naive and semi-naive fixpoint evaluation with **compile-once
+//! join plans** ([`BodyPlan`]) probing **incrementally maintained** hash
+//! indexes ([`InstanceIndex`]).
 //!
 //! This is the substrate that GDatalog (the paper's language) extends: a
 //! GDatalog program with no random atoms *is* a Datalog program, and the
 //! probabilistic chase restricted to deterministic rules computes exactly
-//! the least fixpoint computed here. `gdatalog-core` uses this engine to
-//! saturate deterministic rules between sampling steps, and the test suites
-//! use it as an oracle for that equivalence.
+//! the least fixpoint computed here. `gdatalog-core` uses
+//! [`PlannedProgram::saturate_in_place`] to saturate deterministic rules
+//! between sampling steps in O(|Δ|), and the test suites use the naive
+//! evaluator as an oracle for that equivalence.
 
 pub mod eval;
 pub mod index;
+pub mod plan;
 pub mod rule;
 
-pub use eval::{fixpoint_naive, fixpoint_seminaive, for_each_body_match, EvalStats};
-pub use index::InstanceIndex;
+pub use eval::{
+    fixpoint_naive, fixpoint_seminaive, fixpoint_seminaive_rebuild, for_each_body_match, EvalStats,
+    PlannedProgram,
+};
+pub use index::{hash_key, Delta, IndexSpecs, InstanceIndex, KeyHasher};
+pub use plan::{AtomPlan, BodyPlan, KeySource};
 pub use rule::{Atom, DatalogProgram, DatalogRule, RuleError, Term};

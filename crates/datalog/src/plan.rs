@@ -1,0 +1,369 @@
+//! Compile-once join plans for rule bodies.
+//!
+//! Body atoms are matched left to right; when atom `i` is reached, some of
+//! its columns hold already-known values (constants or variables bound by
+//! earlier atoms). The planner computes, **once per rule**, which columns
+//! those are and how to obtain their values, and interns the resulting
+//! `(relation, bound columns)` index specs into a shared [`IndexSpecs`]
+//! table. At evaluation time a probe hashes the bound values straight into
+//! the index — no per-probe key `Vec<Value>` is allocated and no `Value`
+//! is cloned for key building.
+
+use gdatalog_data::{Instance, RelId, Tuple, Value};
+
+use crate::index::{Delta, IndexSpecs, InstanceIndex, KeyHasher};
+use crate::rule::{Atom, Term};
+
+/// How to obtain the value of one bound (key) column at probe time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeySource {
+    /// The atom carries a constant in this column.
+    Const(Value),
+    /// The column's variable was bound by an earlier atom.
+    Var(usize),
+}
+
+/// The plan for matching one body atom.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomPlan {
+    /// The atom's relation.
+    pub rel: RelId,
+    /// Columns whose value is known before matching this atom (the probe
+    /// key), in column order.
+    pub key_cols: Box<[usize]>,
+    /// For each key column, how to obtain the value.
+    pub key_sources: Box<[KeySource]>,
+    /// Interned index spec for `(rel, key_cols)`; `None` when the key is
+    /// empty and the atom is matched by scanning the relation.
+    pub index: Option<usize>,
+    /// `(column, var)` pairs that bind fresh variables (first occurrence).
+    pub binds: Box<[(usize, usize)]>,
+    /// `(column, var)` pairs that re-check within-atom variable repeats.
+    pub checks: Box<[(usize, usize)]>,
+}
+
+/// The compiled plan for one conjunctive body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BodyPlan {
+    /// Per-atom plans, in body order.
+    pub atoms: Box<[AtomPlan]>,
+    /// Number of rule-local variables.
+    pub n_vars: usize,
+}
+
+impl BodyPlan {
+    /// Plans `body` left to right, interning its index specs into `specs`.
+    pub fn new(body: &[Atom], n_vars: usize, specs: &mut IndexSpecs) -> BodyPlan {
+        let mut bound = vec![false; n_vars];
+        let atoms = body
+            .iter()
+            .map(|atom| {
+                let mut key_cols = Vec::new();
+                let mut key_sources = Vec::new();
+                let mut binds = Vec::new();
+                let mut checks = Vec::new();
+                let mut bound_here: Vec<usize> = Vec::new();
+                for (c, t) in atom.args.iter().enumerate() {
+                    match t {
+                        Term::Const(v) => {
+                            key_cols.push(c);
+                            key_sources.push(KeySource::Const(v.clone()));
+                        }
+                        Term::Var(v) => {
+                            if bound[*v] {
+                                key_cols.push(c);
+                                key_sources.push(KeySource::Var(*v));
+                            } else if bound_here.contains(v) {
+                                checks.push((c, *v));
+                            } else {
+                                binds.push((c, *v));
+                                bound_here.push(*v);
+                            }
+                        }
+                    }
+                }
+                for v in bound_here {
+                    bound[v] = true;
+                }
+                let index = if key_cols.is_empty() {
+                    None
+                } else {
+                    Some(specs.intern(atom.rel, &key_cols))
+                };
+                AtomPlan {
+                    rel: atom.rel,
+                    key_cols: key_cols.into_boxed_slice(),
+                    key_sources: key_sources.into_boxed_slice(),
+                    index,
+                    binds: binds.into_boxed_slice(),
+                    checks: checks.into_boxed_slice(),
+                }
+            })
+            .collect();
+        BodyPlan { atoms, n_vars }
+    }
+
+    /// Enumerates all matches of this body against `instance` (probed
+    /// through `index`, which must be laid out for the same [`IndexSpecs`]
+    /// the plan was built with and kept in lockstep with `instance`),
+    /// invoking `emit` with the complete variable binding for each match.
+    pub fn for_each_match(
+        &self,
+        instance: &Instance,
+        index: &InstanceIndex,
+        emit: &mut dyn FnMut(&[Option<Value>]),
+    ) {
+        self.for_each_match_delta(instance, index, None, emit);
+    }
+
+    /// Like [`BodyPlan::for_each_match`], optionally forcing atom
+    /// `delta.0` to match inside the round's [`Delta`] instead (the
+    /// semi-naive restriction). `delta.2` must be an index laid out for
+    /// the same specs and built from the same delta
+    /// ([`InstanceIndex::build_from_delta`]).
+    pub fn for_each_match_delta(
+        &self,
+        instance: &Instance,
+        index: &InstanceIndex,
+        delta: Option<(usize, &Delta, &InstanceIndex)>,
+        emit: &mut dyn FnMut(&[Option<Value>]),
+    ) {
+        let mut binding: Vec<Option<Value>> = vec![None; self.n_vars];
+        match_plans(&self.atoms, instance, index, delta, &mut binding, emit);
+    }
+}
+
+/// A cursor over the candidate tuples of one join depth: either a borrowed
+/// index bucket (verified against the key during iteration) or a borrowed
+/// full-relation scan. Neither clones tuples.
+enum Cursor<'a> {
+    Bucket {
+        tuples: &'a [Tuple],
+        next: usize,
+    },
+    Scan(std::collections::btree_set::Iter<'a, Tuple>),
+    /// Unverified slice scan (a delta-position atom with no bound columns).
+    Slice {
+        tuples: &'a [Tuple],
+        next: usize,
+    },
+}
+
+/// The source a join depth draws candidates from.
+#[derive(Clone, Copy)]
+enum Source<'a> {
+    Full(&'a Instance, &'a InstanceIndex),
+    Delta(&'a Delta, &'a InstanceIndex),
+}
+
+/// Obtains the candidate cursor for `plan` under the current binding.
+fn open_cursor<'a>(plan: &AtomPlan, binding: &[Option<Value>], source: Source<'a>) -> Cursor<'a> {
+    let index = match source {
+        Source::Full(instance, index) => match plan.index {
+            None => return Cursor::Scan(instance.relation(plan.rel).iter()),
+            Some(_) => index,
+        },
+        Source::Delta(delta, index) => match plan.index {
+            None => {
+                return Cursor::Slice {
+                    tuples: delta.tuples(plan.rel),
+                    next: 0,
+                }
+            }
+            Some(_) => index,
+        },
+    };
+    match plan.index {
+        None => unreachable!("scan handled above"),
+        Some(spec) => {
+            let mut h = KeyHasher::new();
+            for src in plan.key_sources.iter() {
+                match src {
+                    KeySource::Const(v) => h.push(v),
+                    KeySource::Var(v) => {
+                        h.push(binding[*v].as_ref().expect("planned var must be bound"));
+                    }
+                }
+            }
+            Cursor::Bucket {
+                tuples: index.bucket(spec, h.finish()),
+                next: 0,
+            }
+        }
+    }
+}
+
+/// Verifies that `tuple`'s key columns equal the planned key values (hash
+/// buckets may mix 64-bit-colliding keys; constants and bound variables
+/// must match exactly).
+#[inline]
+fn key_matches(plan: &AtomPlan, binding: &[Option<Value>], tuple: &Tuple) -> bool {
+    plan.key_cols
+        .iter()
+        .zip(plan.key_sources.iter())
+        .all(|(&c, src)| match src {
+            KeySource::Const(v) => &tuple[c] == v,
+            KeySource::Var(v) => Some(&tuple[c]) == binding[*v].as_ref(),
+        })
+}
+
+/// Depth-first join over the planned atoms. An explicit stack of cursors
+/// avoids recursion; tuples are borrowed from the index or the instance,
+/// never cloned into per-depth buffers.
+fn match_plans(
+    plans: &[AtomPlan],
+    instance: &Instance,
+    index: &InstanceIndex,
+    delta: Option<(usize, &Delta, &InstanceIndex)>,
+    binding: &mut [Option<Value>],
+    emit: &mut dyn FnMut(&[Option<Value>]),
+) {
+    if plans.is_empty() {
+        emit(binding);
+        return;
+    }
+    let source = |depth: usize| -> Source<'_> {
+        match delta {
+            Some((pos, d, d_index)) if pos == depth => Source::Delta(d, d_index),
+            _ => Source::Full(instance, index),
+        }
+    };
+    let mut stack: Vec<Cursor<'_>> = Vec::with_capacity(plans.len());
+    stack.push(open_cursor(&plans[0], binding, source(0)));
+
+    while let Some(depth) = stack.len().checked_sub(1) {
+        let plan = &plans[depth];
+        // Next candidate at this depth, verified against the probe key.
+        let tuple: Option<&Tuple> = match stack.last_mut().expect("nonempty stack") {
+            Cursor::Bucket { tuples, next } => loop {
+                match tuples.get(*next) {
+                    None => break None,
+                    Some(t) => {
+                        *next += 1;
+                        if key_matches(plan, binding, t) {
+                            break Some(t);
+                        }
+                    }
+                }
+            },
+            Cursor::Scan(iter) => iter.next(),
+            Cursor::Slice { tuples, next } => {
+                let t = tuples.get(*next);
+                *next += 1;
+                t
+            }
+        };
+        let Some(tuple) = tuple else {
+            // Exhausted: unbind this depth's variables and pop.
+            for (_, v) in plan.binds.iter() {
+                binding[*v] = None;
+            }
+            stack.pop();
+            continue;
+        };
+        // Bind fresh variables (overwriting bindings of the previous
+        // candidate at this depth).
+        for (c, v) in plan.binds.iter() {
+            binding[*v] = Some(tuple[*c].clone());
+        }
+        // Within-atom repeat checks.
+        let ok = plan
+            .checks
+            .iter()
+            .all(|(c, v)| binding[*v].as_ref() == Some(&tuple[*c]));
+        if !ok {
+            continue;
+        }
+        if depth + 1 == plans.len() {
+            emit(binding);
+            continue;
+        }
+        stack.push(open_cursor(&plans[depth + 1], binding, source(depth + 1)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::{Atom, Term};
+    use gdatalog_data::tuple;
+
+    fn r(n: u32) -> RelId {
+        RelId(n)
+    }
+
+    fn matches(body: &[Atom], n_vars: usize, instance: &Instance) -> Vec<Vec<Option<Value>>> {
+        let mut specs = IndexSpecs::new();
+        let plan = BodyPlan::new(body, n_vars, &mut specs);
+        let index = InstanceIndex::built(&specs, instance);
+        let mut out = Vec::new();
+        plan.for_each_match(instance, &index, &mut |b| out.push(b.to_vec()));
+        out
+    }
+
+    #[test]
+    fn planned_join_binds_across_atoms() {
+        // T(x, y), E(y, z): the second atom probes E on column 0.
+        let body = vec![
+            Atom::new(r(1), vec![Term::Var(0), Term::Var(1)]),
+            Atom::new(r(0), vec![Term::Var(1), Term::Var(2)]),
+        ];
+        let mut d = Instance::new();
+        d.insert(r(1), tuple![10i64, 20i64]);
+        d.insert(r(0), tuple![20i64, 30i64]);
+        d.insert(r(0), tuple![21i64, 31i64]);
+        let ms = matches(&body, 3, &d);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0][2], Some(Value::int(30)));
+    }
+
+    #[test]
+    fn constants_and_repeats_verify() {
+        // E(1, x), E(x, x).
+        let body = vec![
+            Atom::new(r(0), vec![Term::Const(Value::int(1)), Term::Var(0)]),
+            Atom::new(r(0), vec![Term::Var(0), Term::Var(0)]),
+        ];
+        let mut d = Instance::new();
+        d.insert(r(0), tuple![1i64, 2i64]);
+        d.insert(r(0), tuple![2i64, 2i64]);
+        d.insert(r(0), tuple![1i64, 3i64]);
+        d.insert(r(0), tuple![3i64, 4i64]);
+        let ms = matches(&body, 1, &d);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0][0], Some(Value::int(2)));
+    }
+
+    #[test]
+    fn within_atom_repeat_on_fresh_var() {
+        // Diag via E(x, x) alone (scan + check path).
+        let body = vec![Atom::new(r(0), vec![Term::Var(0), Term::Var(0)])];
+        let mut d = Instance::new();
+        d.insert(r(0), tuple![1i64, 1i64]);
+        d.insert(r(0), tuple![1i64, 2i64]);
+        let ms = matches(&body, 1, &d);
+        assert_eq!(ms.len(), 1);
+    }
+
+    #[test]
+    fn empty_body_emits_once() {
+        let ms = matches(&[], 0, &Instance::new());
+        assert_eq!(ms.len(), 1);
+    }
+
+    #[test]
+    fn cross_product_scans_both() {
+        let body = vec![
+            Atom::new(r(0), vec![Term::Var(0)]),
+            Atom::new(r(1), vec![Term::Var(1)]),
+        ];
+        let mut d = Instance::new();
+        for i in 0..3i64 {
+            d.insert(r(0), tuple![i]);
+        }
+        for j in 0..4i64 {
+            d.insert(r(1), tuple![j]);
+        }
+        assert_eq!(matches(&body, 2, &d).len(), 12);
+    }
+}

@@ -54,9 +54,7 @@ impl Atom {
             .iter()
             .map(|t| match t {
                 Term::Const(c) => c.clone(),
-                Term::Var(v) => binding[*v]
-                    .clone()
-                    .expect("instantiate: unbound variable"),
+                Term::Var(v) => binding[*v].clone().expect("instantiate: unbound variable"),
             })
             .collect()
     }
@@ -195,11 +193,7 @@ mod tests {
     #[test]
     fn ground_rule_is_safe() {
         // P(1) :- ⊤ (empty body, no variables).
-        let rule = DatalogRule::new(
-            Atom::new(r(0), vec![Term::Const(Value::int(1))]),
-            vec![],
-            0,
-        );
+        let rule = DatalogRule::new(Atom::new(r(0), vec![Term::Const(Value::int(1))]), vec![], 0);
         assert!(rule.is_ok());
     }
 

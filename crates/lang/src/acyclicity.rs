@@ -238,9 +238,7 @@ mod tests {
 
     #[test]
     fn heights_program_is_weakly_acyclic() {
-        let r = report(
-            "PHeight(P, Normal<Mu, S2>) :- PCountry(P, C), CMoments(C, Mu, S2).",
-        );
+        let r = report("PHeight(P, Normal<Mu, S2>) :- PCountry(P, C), CMoments(C, Mu, S2).");
         assert!(r.weakly_acyclic);
     }
 

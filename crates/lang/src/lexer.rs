@@ -147,9 +147,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                         break;
                     }
                     b'\\' => {
-                        let esc = bytes.get(j + 1).copied().ok_or_else(|| {
-                            LangError::at(sp, "unterminated escape in string")
-                        })?;
+                        let esc = bytes
+                            .get(j + 1)
+                            .copied()
+                            .ok_or_else(|| LangError::at(sp, "unterminated escape in string"))?;
                         s.push(match esc {
                             b'n' => '\n',
                             b't' => '\t',
@@ -217,15 +218,16 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                 }
             }
             let text = &src[start..i];
-            let tok = if is_real {
-                Tok::Real(text.parse().map_err(|_| {
-                    LangError::at(sp, format!("malformed real literal `{text}`"))
-                })?)
-            } else {
-                Tok::Int(text.parse().map_err(|_| {
-                    LangError::at(sp, format!("malformed integer literal `{text}`"))
-                })?)
-            };
+            let tok =
+                if is_real {
+                    Tok::Real(text.parse().map_err(|_| {
+                        LangError::at(sp, format!("malformed real literal `{text}`"))
+                    })?)
+                } else {
+                    Tok::Int(text.parse().map_err(|_| {
+                        LangError::at(sp, format!("malformed integer literal `{text}`"))
+                    })?)
+                };
             col += (i - start) as u32;
             toks.push(Token { tok, span: sp });
             continue;
@@ -234,7 +236,9 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
         if c.is_ascii_alphabetic() || c == '_' {
             let start = i;
             while i < bytes.len()
-                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'\'')
+                && ((bytes[i] as char).is_ascii_alphanumeric()
+                    || bytes[i] == b'_'
+                    || bytes[i] == b'\'')
             {
                 i += 1;
             }

@@ -40,8 +40,7 @@ pub use ast::{AtomAst, GroundFactAst, Program, RelDeclAst, RuleAst, Span, TermAs
 pub use parser::{parse_facts, parse_program};
 pub use simulate::{simulate_barany_in_grohe, simulate_grohe_in_barany, BSIM_PREFIX};
 pub use translate::{
-    translate, CompiledProgram, CompiledRule, ExistentialHead, RuleKind, SampleSpec,
-    SemanticsMode,
+    translate, CompiledProgram, CompiledRule, ExistentialHead, RuleKind, SampleSpec, SemanticsMode,
 };
 pub use validate::{validate, ValidatedProgram};
 

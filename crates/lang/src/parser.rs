@@ -68,7 +68,10 @@ impl Parser {
         let sp = self.span();
         match self.bump().tok {
             Tok::UpperIdent(s) | Tok::LowerIdent(s) => Ok((s, sp)),
-            other => Err(LangError::at(sp, format!("expected identifier, found {other:?}"))),
+            other => Err(LangError::at(
+                sp,
+                format!("expected identifier, found {other:?}"),
+            )),
         }
     }
 
@@ -81,7 +84,10 @@ impl Parser {
             Tok::LowerIdent(s) if s == "true" => Ok(Value::Bool(true)),
             Tok::LowerIdent(s) if s == "false" => Ok(Value::Bool(false)),
             Tok::LowerIdent(s) => Ok(Value::sym(&s)),
-            other => Err(LangError::at(sp, format!("expected a constant, found {other:?}"))),
+            other => Err(LangError::at(
+                sp,
+                format!("expected a constant, found {other:?}"),
+            )),
         }
     }
 
@@ -381,7 +387,9 @@ pub fn parse_program(src: &str) -> Result<Program, LangError> {
     loop {
         match p.peek() {
             Tok::Eof => break,
-            Tok::LowerIdent(kw) if kw == "rel" && matches!(p.peek2(), Tok::UpperIdent(_) | Tok::LowerIdent(_)) => {
+            Tok::LowerIdent(kw)
+                if kw == "rel" && matches!(p.peek2(), Tok::UpperIdent(_) | Tok::LowerIdent(_)) =>
+            {
                 let d = p.parse_decl()?;
                 program.decls.push(d);
             }
@@ -436,7 +444,10 @@ mod tests {
         "#;
         let p = parse_program(src).unwrap();
         assert_eq!(p.facts.len(), 1);
-        assert_eq!(p.facts[0].values, vec![Value::sym("gotham"), Value::real(0.3)]);
+        assert_eq!(
+            p.facts[0].values,
+            vec![Value::sym("gotham"), Value::real(0.3)]
+        );
         assert_eq!(p.rules.len(), 2);
         assert!(p.rules[0].body.is_empty());
         assert!(p.rules[1].body.is_empty());

@@ -160,8 +160,7 @@ pub fn simulate_grohe_in_barany(program: &Program) -> Program {
             .collect();
         for arg in &mut rule.head.args {
             if let TermAst::Random { tags, .. } = arg {
-                let mut new_tags =
-                    vec![TermAst::Const(Value::sym(&format!("grule{rix}")))];
+                let mut new_tags = vec![TermAst::Const(Value::sym(&format!("grule{rix}")))];
                 new_tags.extend(det_args.iter().cloned());
                 new_tags.extend(tags.iter().cloned());
                 *tags = new_tags;
@@ -211,10 +210,9 @@ mod tests {
 
     #[test]
     fn grohe_in_barany_adds_rule_tags() {
-        let g = parse_program(
-            "Earthquake(C, Flip<0.1>) :- City(C, R). Trig(X, Flip<0.1>) :- U(X).",
-        )
-        .unwrap();
+        let g =
+            parse_program("Earthquake(C, Flip<0.1>) :- City(C, R). Trig(X, Flip<0.1>) :- U(X).")
+                .unwrap();
         let g2 = simulate_grohe_in_barany(&g);
         for (i, rule) in g2.rules.iter().enumerate() {
             for arg in &rule.head.args {

@@ -33,9 +33,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use gdatalog_data::{
-    Catalog, ColType, FunctionalDependency, Instance, RelId, RelationKind, Value,
-};
+use gdatalog_data::{Catalog, ColType, FunctionalDependency, Instance, RelId, RelationKind, Value};
 use gdatalog_datalog::{Atom as DlAtom, Term as DlTerm};
 use gdatalog_dist::{ParamDist, Registry};
 
@@ -76,7 +74,12 @@ pub struct SampleSpec {
 
 impl fmt::Debug for SampleSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SampleSpec({}, {:?})", self.dist.name(), self.param_terms)
+        write!(
+            f,
+            "SampleSpec({}, {:?})",
+            self.dist.name(),
+            self.param_terms
+        )
     }
 }
 
@@ -199,15 +202,13 @@ impl CompiledProgram {
                     );
                 }
                 RuleKind::Existential(e) => {
-                    let ys: Vec<String> =
-                        (0..e.samples.len()).map(|j| format!("y{j}")).collect();
+                    let ys: Vec<String> = (0..e.samples.len()).map(|j| format!("y{j}")).collect();
                     let keys: Vec<String> = e.key_terms.iter().map(&term).collect();
                     let dists: Vec<String> = e
                         .samples
                         .iter()
                         .map(|s| {
-                            let ps: Vec<String> =
-                                s.param_terms.iter().map(&term).collect();
+                            let ps: Vec<String> = s.param_terms.iter().map(&term).collect();
                             format!("{}⟨{}⟩", s.dist.name(), ps.join(", "))
                         })
                         .collect();
@@ -241,8 +242,7 @@ impl CompiledProgram {
     /// Restricts an instance to the output schema (drops aux relations).
     pub fn project_output(&self, instance: &Instance) -> Instance {
         let catalog = &self.catalog;
-        instance
-            .project_relations(|rel| catalog.decl(rel).kind() != RelationKind::Auxiliary)
+        instance.project_relations(|rel| catalog.decl(rel).kind() != RelationKind::Auxiliary)
     }
 }
 
@@ -387,8 +387,7 @@ pub fn translate(
                 // One joint aux relation per source rule:
                 // key = det head args ++ (params ++ tags per random term);
                 // outcomes = one column per random term.
-                let mut key_terms: Vec<DlTerm> =
-                    det_terms.iter().map(|(_, t)| t.clone()).collect();
+                let mut key_terms: Vec<DlTerm> = det_terms.iter().map(|(_, t)| t.clone()).collect();
                 for r in &rnds {
                     key_terms.extend(r.param_terms.iter().cloned());
                     key_terms.extend(r.tag_terms.iter().cloned());
@@ -690,8 +689,10 @@ mod tests {
         let rendered = c.render_existential_program();
         assert!(rendered.contains("∃y0"), "{rendered}");
         assert!(rendered.contains("Flip⟨0.1⟩"), "{rendered}");
-        assert!(rendered.contains("Earthquake(v0, y0)") || rendered.contains("Earthquake(v0, v2)"),
-            "{rendered}");
+        assert!(
+            rendered.contains("Earthquake(v0, y0)") || rendered.contains("Earthquake(v0, v2)"),
+            "{rendered}"
+        );
         assert_eq!(rendered.lines().count(), 2, "3.A and 3.B");
     }
 }

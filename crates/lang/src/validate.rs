@@ -54,9 +54,9 @@ pub fn validate(program: Program, registry: Arc<Registry>) -> Result<ValidatedPr
     let mut rels: HashMap<String, RelInfo> = HashMap::new();
 
     let touch = |name: &str,
-                     arity: usize,
-                     span: crate::ast::Span,
-                     rels: &mut HashMap<String, RelInfo>|
+                 arity: usize,
+                 span: crate::ast::Span,
+                 rels: &mut HashMap<String, RelInfo>|
      -> Result<(), LangError> {
         let info = rels.entry(name.to_string()).or_insert_with(|| RelInfo {
             first_seen: span,
@@ -136,10 +136,7 @@ pub fn validate(program: Program, registry: Arc<Registry>) -> Result<ValidatedPr
         // only at top level of intensional heads.
         for (i, t) in r.head.args.iter().enumerate() {
             if let TermAst::Random {
-                dist,
-                params,
-                span,
-                ..
+                dist, params, span, ..
             } = t
             {
                 let d = registry.get(dist).ok_or_else(|| {
@@ -206,10 +203,7 @@ pub fn validate(program: Program, registry: Arc<Registry>) -> Result<ValidatedPr
             for a in &r.body {
                 let info = &rels[&a.rel];
                 let col_ty = |i: usize| -> Option<ColType> {
-                    info.declared
-                        .as_ref()
-                        .map(|c| c[i])
-                        .or(info.inferred[i])
+                    info.declared.as_ref().map(|c| c[i]).or(info.inferred[i])
                 };
                 for (i, t) in a.args.iter().enumerate() {
                     if let TermAst::Var(v) = t {
@@ -228,9 +222,7 @@ pub fn validate(program: Program, registry: Arc<Registry>) -> Result<ValidatedPr
                 let ty = match t {
                     TermAst::Const(c) => Some(c.type_of()),
                     TermAst::Var(v) => var_ty.get(v.as_str()).copied(),
-                    TermAst::Random { dist, .. } => {
-                        registry.get(dist).map(|d| d.output_type())
-                    }
+                    TermAst::Random { dist, .. } => registry.get(dist).map(|d| d.output_type()),
                 };
                 if let Some(ty) = ty {
                     let info = rels.get_mut(&head_rel).expect("touched");
@@ -287,7 +279,9 @@ pub fn validate(program: Program, registry: Arc<Registry>) -> Result<ValidatedPr
     // Materialize the ground facts, type-checking against the catalog.
     let mut initial_instance = Instance::new();
     for f in &program.facts {
-        let rel = catalog.require(&f.rel).map_err(|e| LangError::msg(e.to_string()))?;
+        let rel = catalog
+            .require(&f.rel)
+            .map_err(|e| LangError::msg(e.to_string()))?;
         let tuple = Tuple::from(f.values.clone());
         catalog
             .check_tuple(rel, &tuple)
@@ -362,7 +356,11 @@ mod tests {
     #[test]
     fn unknown_distribution_rejected() {
         let err = check("R(Zorp<0.5>) :- true.").unwrap_err();
-        assert!(err.message.contains("unknown distribution"), "{}", err.message);
+        assert!(
+            err.message.contains("unknown distribution"),
+            "{}",
+            err.message
+        );
     }
 
     #[test]
@@ -374,7 +372,11 @@ mod tests {
     #[test]
     fn input_relation_cannot_be_head() {
         let err = check("rel Q(int) input. Q(X) :- R(X).").unwrap_err();
-        assert!(err.message.contains("cannot appear in a rule head"), "{}", err.message);
+        assert!(
+            err.message.contains("cannot appear in a rule head"),
+            "{}",
+            err.message
+        );
     }
 
     #[test]

@@ -65,7 +65,13 @@ impl FactSet {
     pub fn singleton(fact: &Fact) -> FactSet {
         FactSet {
             rel: fact.rel,
-            cols: fact.tuple.values().iter().cloned().map(ColPred::Eq).collect(),
+            cols: fact
+                .tuple
+                .values()
+                .iter()
+                .cloned()
+                .map(ColPred::Eq)
+                .collect(),
         }
     }
 
@@ -154,6 +160,7 @@ impl Event {
     }
 
     /// Complement helper.
+    #[allow(clippy::should_implement_trait)] // `e.not()` mirrors the event-algebra notation
     pub fn not(self) -> Event {
         Event::Not(Box::new(self))
     }

@@ -273,7 +273,10 @@ mod tests {
             0,
             ColPred::OneOf(vec![Value::sym("a"), Value::sym("b")]),
         )]);
-        let u = eval_query(&Query::Union(Box::new(ab.clone()), Box::new(names.clone())), &d);
+        let u = eval_query(
+            &Query::Union(Box::new(ab.clone()), Box::new(names.clone())),
+            &d,
+        );
         assert_eq!(u.len(), 3);
         let diff = eval_query(&Query::Diff(Box::new(names), Box::new(ab)), &d);
         assert_eq!(diff.len(), 1);

@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 
-use gdatalog_pdb::PossibleWorlds;
 use gdatalog_data::{Instance, RelId, Tuple, Value};
+use gdatalog_pdb::PossibleWorlds;
 
 fn arb_instance() -> impl Strategy<Value = Instance> {
     proptest::collection::vec((0u32..3, 0i64..5), 0..6).prop_map(|facts| {
@@ -25,8 +25,7 @@ fn arb_worlds() -> impl Strategy<Value = PossibleWorlds> {
         0u32..50,
     )
         .prop_map(|(entries, deficit_weight)| {
-            let total: u32 =
-                entries.iter().map(|(_, w)| *w).sum::<u32>() + deficit_weight;
+            let total: u32 = entries.iter().map(|(_, w)| *w).sum::<u32>() + deficit_weight;
             let mut out = PossibleWorlds::new();
             for (d, w) in entries {
                 out.add(d, f64::from(w) / f64::from(total));

@@ -3,6 +3,7 @@
 //! `gdatalog-dist::special`; this copy keeps `gdatalog-stats` free of
 //! dependencies so every other crate can use it in tests.
 
+#[allow(clippy::excessive_precision)]
 pub(crate) fn ln_gamma(x: f64) -> f64 {
     const COEF: [f64; 9] = [
         0.999_999_999_999_809_93,

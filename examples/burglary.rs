@@ -38,11 +38,7 @@ fn main() {
     let worlds = engine
         .enumerate(None, ExactConfig::default())
         .expect("discrete program");
-    println!(
-        "exact worlds: {} (mass {:.9})",
-        worlds.len(),
-        worlds.mass()
-    );
+    println!("exact worlds: {} (mass {:.9})", worlds.len(), worlds.mass());
 
     // Monte-Carlo estimate for comparison (saturating variant: the
     // semi-naive Datalog engine fast-forwards deterministic rules between
@@ -67,17 +63,22 @@ fn main() {
         let closed = 1.0 - (1.0 - 0.1 * 0.6) * (1.0 - rate * 0.9);
         let mc = pdb.marginal(&fact);
         println!("{unit:<9} {rate:<10} {exact:<15.6} {closed:<12.6} {mc:.6}");
-        assert!((exact - closed).abs() < 1e-9, "exact must match closed form");
-        assert!((mc - closed).abs() < 0.02, "MC must approximate closed form");
+        assert!(
+            (exact - closed).abs() < 1e-9,
+            "exact must match closed form"
+        );
+        assert!(
+            (mc - closed).abs() < 0.02,
+            "MC must approximate closed form"
+        );
     }
 
     // The correlation the network models: units in the same city share the
     // earthquake trigger, so alarms are positively correlated.
     let a1 = Fact::new(alarm, Tuple::from(vec![Value::sym("h1")]));
     let a2 = Fact::new(alarm, Tuple::from(vec![Value::sym("h2")]));
-    let p_both = worlds.probability(|d| {
-        d.contains(a1.rel, &a1.tuple) && d.contains(a2.rel, &a2.tuple)
-    });
+    let p_both =
+        worlds.probability(|d| d.contains(a1.rel, &a1.tuple) && d.contains(a2.rel, &a2.tuple));
     let p1 = worlds.marginal(&a1);
     let p2 = worlds.marginal(&a2);
     println!(
@@ -85,5 +86,8 @@ fn main() {
         p_both,
         p1 * p2
     );
-    assert!(p_both > p1 * p2, "same-city alarms must be positively correlated");
+    assert!(
+        p_both > p1 * p2,
+        "same-city alarms must be positively correlated"
+    );
 }

@@ -46,11 +46,15 @@ fn main() {
             },
         )
         .expect("sampling succeeds");
-    println!("sampled {} worlds, every run terminated: {}", pdb.runs(), pdb.errors() == 0);
+    println!(
+        "sampled {} worlds, every run terminated: {}",
+        pdb.runs(),
+        pdb.errors() == 0
+    );
 
     // Collect per-person height samples across worlds.
     for (person, mu, sigma2) in [
-        ("ada", 183.8, 49.0),
+        ("ada", 183.8, 49.0f64),
         ("bas", 183.8, 49.0),
         ("carlos", 165.2, 36.0),
     ] {
@@ -63,7 +67,7 @@ fn main() {
             }
         }
         let s = Summary::of(&heights);
-        let sigma = (sigma2 as f64).sqrt();
+        let sigma = sigma2.sqrt();
         let ks = ks_one_sample(&heights, |x| {
             gdatalog::dist::special::std_normal_cdf((x - mu) / sigma)
         });
@@ -74,6 +78,9 @@ fn main() {
             s.std_dev(),
             ks.p_value
         );
-        assert!(ks.passes(1e-4), "{person}: sampled heights must match Normal({mu}, {sigma2})");
+        assert!(
+            ks.passes(1e-4),
+            "{person}: sampled heights must match Normal({mu}, {sigma2})"
+        );
     }
 }

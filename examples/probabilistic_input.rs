@@ -34,7 +34,8 @@ fn main() {
         let mut world = Instance::new();
         let mut p = 1.0;
         p *= if has_a { 0.8 } else { 0.2 };
-        p *= if has_b { 0.5 } else { 0.5 };
+        p *= 0.5; // P(B) = 1/2 regardless of has_b
+        let _ = has_b;
         if has_a {
             world.insert(sensor, a.clone());
         }
@@ -43,20 +44,34 @@ fn main() {
         }
         input.add(world, p);
     }
-    println!("input PDB: {} worlds, mass {:.6}", input.len(), input.mass());
+    println!(
+        "input PDB: {} worlds, mass {:.6}",
+        input.len(),
+        input.mass()
+    );
 
     // The program as a stochastic kernel: input SPDB ↦ output SPDB.
     let out = engine
         .transform_worlds(&input, ExactConfig::default())
         .expect("discrete program");
-    println!("output SPDB: {} worlds, mass {:.9}\n", out.len(), out.mass());
+    println!(
+        "output SPDB: {} worlds, mass {:.9}\n",
+        out.len(),
+        out.mass()
+    );
 
     // Marginals mix installation and failure uncertainty:
     // P(Down(a)) = P(installed) · P(fails) = 0.8 · 0.1.
     let down_a = Fact::new(down, Tuple::from(vec![Value::sym("a")]));
     let down_b = Fact::new(down, Tuple::from(vec![Value::sym("b")]));
-    println!("P(Down(a)) = {:.4} (analytic 0.0800)", out.marginal(&down_a));
-    println!("P(Down(b)) = {:.4} (analytic 0.1000)", out.marginal(&down_b));
+    println!(
+        "P(Down(a)) = {:.4} (analytic 0.0800)",
+        out.marginal(&down_a)
+    );
+    println!(
+        "P(Down(b)) = {:.4} (analytic 0.1000)",
+        out.marginal(&down_b)
+    );
     assert!((out.marginal(&down_a) - 0.08).abs() < 1e-12);
     assert!((out.marginal(&down_b) - 0.10).abs() < 1e-12);
 
@@ -71,9 +86,8 @@ fn main() {
 
     // Conditioning (the PPDL direction, §7): observe that some sensor is
     // down; the posterior probability that sensor a is installed rises.
-    let prior_a_installed = out.probability(|d| {
-        d.relation(sensor).iter().any(|t| t[0] == Value::sym("a"))
-    });
+    let prior_a_installed =
+        out.probability(|d| d.relation(sensor).iter().any(|t| t[0] == Value::sym("a")));
     let posterior = out
         .condition(|d| d.relation_len(anydown) == 1)
         .expect("positive-probability event")

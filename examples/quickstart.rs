@@ -17,7 +17,10 @@ fn main() {
     let program = engine.program();
 
     println!("weakly acyclic: {}", program.weakly_acyclic());
-    println!("rules in the associated Datalog∃ program: {}", program.rules.len());
+    println!(
+        "rules in the associated Datalog∃ program: {}",
+        program.rules.len()
+    );
 
     // --- Exact evaluation -------------------------------------------------
     let worlds = engine
@@ -27,7 +30,11 @@ fn main() {
     for (text, p) in worlds.table(&program.catalog) {
         println!("  {p:.4}  {text}");
     }
-    println!("  mass = {:.6}, deficit = {:.6}", worlds.mass(), worlds.deficit().total());
+    println!(
+        "  mass = {:.6}, deficit = {:.6}",
+        worlds.mass(),
+        worlds.deficit().total()
+    );
 
     // Marginal of a single fact.
     let alert = program.catalog.require("Alert").expect("declared");
@@ -41,5 +48,9 @@ fn main() {
         ..McConfig::default()
     };
     let pdb = engine.sample(None, &cfg).expect("sampling succeeds");
-    println!("P(Alert(on)) ≈ {:.4} ({} runs)", pdb.marginal(&fact), pdb.runs());
+    println!(
+        "P(Alert(on)) ≈ {:.4} ({} runs)",
+        pdb.marginal(&fact),
+        pdb.runs()
+    );
 }

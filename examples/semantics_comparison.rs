@@ -47,7 +47,10 @@ fn main() {
 
     // --- Gε sweep -------------------------------------------------------
     println!("\nGε: P(world) as ε → 0 (new semantics; program as displayed in the paper)");
-    println!("{:>8} {:>12} {:>12} {:>12}", "ε", "{R(1)}", "{R(0)}", "both");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "ε", "{R(1)}", "{R(0)}", "both"
+    );
     for eps in [0.25, 0.1, 0.05, 0.01, 0.0] {
         let src = format!("R(Flip<0.5>) :- true. R(Flip<{}>) :- true.", 0.5 + eps);
         let engine = Engine::from_source(&src, SemanticsMode::Grohe).unwrap();
@@ -67,7 +70,10 @@ fn main() {
     let g0p = "R(Flip<0.5>) :- true. R(Bernoulli<0.5>) :- true.";
     let e_new_p = Engine::from_source(g0p, SemanticsMode::Grohe).unwrap();
     let e_old_p = Engine::from_source(g0p, SemanticsMode::Barany).unwrap();
-    let w_new_p = show("G′0 (renamed distribution) under this paper's semantics", &e_new_p);
+    let w_new_p = show(
+        "G′0 (renamed distribution) under this paper's semantics",
+        &e_new_p,
+    );
     let w_old_p = show("G′0 under Bárány et al. semantics", &e_old_p);
     // Cross-engine comparisons go through canonical text tables.
     assert!(
@@ -88,7 +94,10 @@ fn main() {
     // --- H and the §6.2 simulation ---------------------------------------
     let h = "R(Flip<0.5>) :- true. S(Flip<0.5>) :- true.";
     let e_h_old = Engine::from_source(h, SemanticsMode::Barany).unwrap();
-    let h_old = show("H under Bárány et al. semantics (perfectly correlated)", &e_h_old);
+    let h_old = show(
+        "H under Bárány et al. semantics (perfectly correlated)",
+        &e_h_old,
+    );
     let h_ast = parse_program(h).unwrap();
     let h_prime = simulate_barany_in_grohe(&h_ast);
     println!("\nH′ (the §6.2 rewriting):\n{h_prime}");

@@ -59,7 +59,11 @@ fn main() {
             },
         )
         .expect("sampling succeeds");
-    println!("worlds sampled: {} (all terminated: {})", pdb.runs(), pdb.errors() == 0);
+    println!(
+        "worlds sampled: {} (all terminated: {})",
+        pdb.runs(),
+        pdb.errors() == 0
+    );
 
     let measured = program.catalog.require("Measured").expect("declared");
 

@@ -32,9 +32,20 @@ fn main() {
         wa.program().weakly_acyclic()
     );
     let pdb = wa
-        .sample(None, &McConfig { runs: 2_000, seed: 1, ..Default::default() })
+        .sample(
+            None,
+            &McConfig {
+                runs: 2_000,
+                seed: 1,
+                ..Default::default()
+            },
+        )
         .unwrap();
-    println!("  {} runs, errors (non-terminated): {}", pdb.runs(), pdb.errors());
+    println!(
+        "  {} runs, errors (non-terminated): {}",
+        pdb.runs(),
+        pdb.errors()
+    );
     assert_eq!(pdb.errors(), 0);
 
     // --- Continuous cycle: a.s. non-termination ---------------------------
@@ -106,7 +117,10 @@ fn main() {
         s.max(),
         exhausted
     );
-    assert_eq!(exhausted, 0, "the discrete chain terminates a.s. in practice");
+    assert_eq!(
+        exhausted, 0,
+        "the discrete chain terminates a.s. in practice"
+    );
 
     // And exact enumeration quantifies the termination mass by depth.
     let worlds = disc

@@ -64,12 +64,9 @@ fn run() -> Result<(), String> {
     let extra_input = match &args.input {
         None => None,
         Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
-            Some(
-                gdatalog::lang::parse_facts(&text, &program.catalog)
-                    .map_err(|e| e.to_string())?,
-            )
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            Some(gdatalog::lang::parse_facts(&text, &program.catalog).map_err(|e| e.to_string())?)
         }
     };
     let stdout = std::io::stdout();

@@ -5,7 +5,9 @@ use gdatalog::prelude::*;
 
 fn worlds(src: &str, mode: SemanticsMode) -> (Engine, PossibleWorlds) {
     let engine = Engine::from_source(src, mode).expect("valid program");
-    let w = engine.enumerate(None, ExactConfig::default()).expect("discrete");
+    let w = engine
+        .enumerate(None, ExactConfig::default())
+        .expect("discrete");
     (engine, w)
 }
 
@@ -88,7 +90,10 @@ fn g_eps_converges_to_g0_under_new_semantics() {
         let (e, w) = worlds(&src, SemanticsMode::Grohe);
         let t = outcome_triple(&e, &w);
         let gap = (t.0 - base.0).abs() + (t.1 - base.1).abs() + (t.2 - base.2).abs();
-        assert!(gap < last_gap, "gap must shrink with ε: {gap} vs {last_gap}");
+        assert!(
+            gap < last_gap,
+            "gap must shrink with ε: {gap} vs {last_gap}"
+        );
         last_gap = gap;
     }
     assert!(last_gap < 0.005);

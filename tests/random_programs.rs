@@ -14,8 +14,8 @@ use gdatalog::prelude::*;
 #[derive(Debug, Clone)]
 enum LayerKind {
     Copy,
-    Coin(u8),       // bias in percent, 1..=99
-    JoinPrevious,   // join with layer k-2 (if any)
+    Coin(u8),     // bias in percent, 1..=99
+    JoinPrevious, // join with layer k-2 (if any)
 }
 
 fn arb_layer() -> impl Strategy<Value = LayerKind> {

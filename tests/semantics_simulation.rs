@@ -9,6 +9,7 @@ use gdatalog::lang::{
 use gdatalog::prelude::*;
 
 /// Enumerates `src` under `mode` and projects to the named relations.
+#[allow(dead_code)] // shared helper; not every test file exercises it
 fn worlds_over(src: &str, mode: SemanticsMode, rels: &[&str]) -> PossibleWorlds {
     let engine = Engine::from_source(src, mode).unwrap();
     let catalog = engine.program().catalog.clone();
@@ -21,7 +22,11 @@ fn worlds_over(src: &str, mode: SemanticsMode, rels: &[&str]) -> PossibleWorlds 
 
 /// Enumerates a rewritten AST under `mode`, projecting to `rels` *by name*
 /// (the rewritten program has its own catalog with different RelIds).
-fn worlds_of_ast(ast: gdatalog::lang::Program, mode: SemanticsMode, rels: &[&str]) -> PossibleWorlds {
+fn worlds_of_ast(
+    ast: gdatalog::lang::Program,
+    mode: SemanticsMode,
+    rels: &[&str],
+) -> PossibleWorlds {
     let engine = Engine::from_ast(ast, mode, Arc::new(Registry::standard())).unwrap();
     let catalog = engine.program().catalog.clone();
     let keep: Vec<RelId> = rels.iter().map(|r| catalog.require(r).unwrap()).collect();

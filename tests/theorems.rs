@@ -47,7 +47,9 @@ fn chase_independence_burglary() {
             reference.total_variation(&w)
         );
     }
-    let par = engine.enumerate_parallel(None, ExactConfig::default()).unwrap();
+    let par = engine
+        .enumerate_parallel(None, ExactConfig::default())
+        .unwrap();
     assert!(reference.total_variation(&par) < 1e-9, "parallel chase");
 }
 
@@ -65,7 +67,9 @@ fn chase_independence_barany_mode() {
             .map(|d| program.project_output(d));
         assert!(reference.total_variation(&w) < 1e-12, "{kind:?}");
     }
-    let par = engine.enumerate_parallel(None, ExactConfig::default()).unwrap();
+    let par = engine
+        .enumerate_parallel(None, ExactConfig::default())
+        .unwrap();
     assert!(reference.total_variation(&par) < 1e-12);
 }
 
@@ -128,14 +132,22 @@ fn probabilistic_input_mixture_and_independence() {
 
     // Input PDB: two worlds over the extensional schema.
     let mut w1 = Instance::new();
-    w1.insert(device, Tuple::from(vec![Value::sym("pump"), Value::real(0.5)]));
+    w1.insert(
+        device,
+        Tuple::from(vec![Value::sym("pump"), Value::real(0.5)]),
+    );
     let mut w2 = w1.clone();
-    w2.insert(device, Tuple::from(vec![Value::sym("valve"), Value::real(0.25)]));
+    w2.insert(
+        device,
+        Tuple::from(vec![Value::sym("valve"), Value::real(0.25)]),
+    );
     let mut input = PossibleWorlds::new();
     input.add(w1.clone(), 0.6);
     input.add(w2.clone(), 0.4);
 
-    let out = engine.transform_worlds(&input, ExactConfig::default()).unwrap();
+    let out = engine
+        .transform_worlds(&input, ExactConfig::default())
+        .unwrap();
     assert!(out.mass_is_consistent(1e-12));
 
     // Manual mixture check on a marginal.
@@ -174,7 +186,14 @@ fn weak_acyclicity_implies_termination() {
     assert!((worlds.mass() - 1.0).abs() < 1e-9, "full mass, no deficit");
     assert_eq!(worlds.deficit().nontermination, 0.0);
     let pdb = engine
-        .sample(None, &McConfig { runs: 3_000, seed: 5, ..Default::default() })
+        .sample(
+            None,
+            &McConfig {
+                runs: 3_000,
+                seed: 5,
+                ..Default::default()
+            },
+        )
         .unwrap();
     assert_eq!(pdb.errors(), 0);
 }
@@ -220,8 +239,8 @@ fn raw_enumeration_agreement() {
         ExactConfig::default(),
     )
     .unwrap();
-    let par = enumerate_parallel(program, &program.initial_instance, ExactConfig::default())
-        .unwrap();
+    let par =
+        enumerate_parallel(program, &program.initial_instance, ExactConfig::default()).unwrap();
     assert!(seq.total_variation(&par) < 1e-12);
     let all_heads = program.catalog.require("AllHeads").unwrap();
     let p = seq.probability(|d| d.relation_len(all_heads) == 1);

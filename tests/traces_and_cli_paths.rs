@@ -38,16 +38,13 @@ fn discrete_path_weights_exponentiate_to_branch_probabilities() {
     // For an all-Flip program, exp(log_weight) is the exact probability of
     // the sampled leaf *given the chase order* — and summing over seeds of
     // distinct outcomes recovers the world table.
-    let engine =
-        Engine::from_source("R(Flip<0.25>) :- true.", SemanticsMode::Grohe).unwrap();
+    let engine = Engine::from_source("R(Flip<0.25>) :- true.", SemanticsMode::Grohe).unwrap();
     let r = engine.program().catalog.require("R").unwrap();
     for seed in 0..10 {
         let run = engine
             .run_once(None, PolicyKind::Canonical, seed, 100)
             .unwrap();
-        let got_one = run
-            .instance
-            .contains(r, &Tuple::from(vec![Value::int(1)]));
+        let got_one = run.instance.contains(r, &Tuple::from(vec![Value::int(1)]));
         let expect = if got_one { 0.25f64 } else { 0.75 };
         assert!((run.log_weight.exp() - expect).abs() < 1e-12);
     }
@@ -97,7 +94,13 @@ fn runtime_parameter_errors_are_reported_not_panicked() {
     )
     .unwrap();
     let err = engine
-        .sample(None, &McConfig { runs: 1, ..Default::default() })
+        .sample(
+            None,
+            &McConfig {
+                runs: 1,
+                ..Default::default()
+            },
+        )
         .unwrap_err();
     assert!(matches!(err, EngineError::Dist(_)), "{err}");
 }

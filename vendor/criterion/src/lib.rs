@@ -1,0 +1,214 @@
+//! In-tree benchmark-harness shim.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the slice of the `criterion` API the bench suite uses: `Criterion`,
+//! benchmark groups, `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros. Each benchmark is run for
+//! a fixed number of timed samples after a warm-up; the **median
+//! nanoseconds per iteration** is printed and appended to
+//! `target/criterion-medians.jsonl` (one JSON object per line) so tooling
+//! can consume results without parsing human output.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Identifier for a parameterized benchmark, rendered as `function/param`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("seminaive", 128)` → `seminaive/128`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// `BenchmarkId::from_parameter(128)` → `128`.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Measured per-iteration times in nanoseconds.
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample per measured batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch-size calibration: aim for batches of at least
+        // ~1 ms so Instant overhead is negligible, capped for slow bodies.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let once = start.elapsed().as_nanos().max(1) as f64;
+        let batch = ((1_000_000.0 / once).ceil() as usize).clamp(1, 1_000_000);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / batch as f64;
+            self.samples.push(ns);
+        }
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let n = samples.len();
+    if n == 0 {
+        return f64::NAN;
+    }
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        0.5 * (samples[n / 2 - 1] + samples[n / 2])
+    }
+}
+
+fn record(group: Option<&str>, name: &str, median_ns: f64) {
+    let full = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_string(),
+    };
+    println!("bench {full:<48} median {:>14.1} ns/iter", median_ns);
+    let line = format!("{{\"bench\":\"{full}\",\"median_ns\":{median_ns:.1}}}\n");
+    let path = std::path::Path::new("target");
+    if path.is_dir() {
+        use std::io::Write as _;
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path.join("criterion-medians.jsonl"))
+        {
+            let _ = f.write_all(line.as_bytes());
+        }
+    }
+}
+
+fn run_bench(group: Option<&str>, name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    record(group, name, median(&mut b.samples));
+}
+
+/// Throughput annotation (accepted for API compatibility; the shim reports
+/// plain per-iteration medians).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Records the group's throughput unit (no-op in the shim).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark under `group/id`.
+    pub fn bench_function(&mut self, id: impl fmt::Display, mut f: impl FnMut(&mut Bencher)) {
+        run_bench(Some(&self.name), &id.to_string(), self.sample_size, &mut f);
+    }
+
+    /// Runs a parameterized benchmark; the input is passed by reference.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        run_bench(
+            Some(&self.name),
+            &id.to_string(),
+            self.sample_size,
+            &mut |b| f(b, input),
+        );
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Fresh harness with the default sample count.
+    pub fn new() -> Self {
+        Criterion { sample_size: 20 }
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        run_bench(None, name, self.sample_size, &mut f);
+    }
+}
+
+/// Re-export for code written against `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function list.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::new();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench-harness `main` (use with `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,184 @@
+//! In-tree deterministic PRNG shim.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the small slice of the `rand` API the workspace uses: an **object-safe**
+//! [`Rng`] trait (the engine passes `&mut dyn Rng` through the chase),
+//! [`SeedableRng`], and [`rngs::StdRng`] backed by xoshiro256++ seeded via
+//! SplitMix64. Streams are fully deterministic per seed, which the engine
+//! relies on for reproducible Monte-Carlo runs.
+
+/// An object-safe random number generator.
+///
+/// All derived methods are provided in terms of [`Rng::next_u64`], so any
+/// implementor stays usable as `&mut dyn Rng`.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform draw from `[0, 1)` with 53 bits of precision.
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        self.gen_f64() < p
+    }
+
+    /// A uniform integer in `[lo, hi]` (inclusive). Uses rejection sampling
+    /// to avoid modulo bias.
+    fn gen_range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "gen_range_i64: empty range");
+        let span = (hi as i128 - lo as i128 + 1) as u128;
+        if span == 1 {
+            return lo;
+        }
+        // Largest multiple of `span` that fits in u64 range.
+        let zone = u64::MAX - ((u128::from(u64::MAX) + 1) % span) as u64;
+        loop {
+            let x = self.next_u64();
+            if x <= zone {
+                return (lo as i128 + (u128::from(x) % span) as i128) as i64;
+            }
+        }
+    }
+
+    /// A uniform `usize` in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    fn gen_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "gen_index: empty range");
+        self.gen_range_i64(0, n as i64 - 1) as usize
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a deterministic function of
+    /// `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard PRNG: xoshiro256++ (Blackman/Vigna),
+    /// seeded through SplitMix64 so that nearby seeds yield decorrelated
+    /// streams.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // All-zero state is invalid for xoshiro; SplitMix64 cannot
+            // produce four zero outputs in a row, but be defensive.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = r.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_frequency() {
+        let mut r = StdRng::seed_from_u64(1);
+        let hits = (0..20_000).filter(|_| r.gen_bool(0.3)).count();
+        let p = hits as f64 / 20_000.0;
+        assert!((p - 0.3).abs() < 0.02, "p = {p}");
+    }
+
+    #[test]
+    fn gen_range_covers_bounds() {
+        let mut r = StdRng::seed_from_u64(5);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let x = r.gen_range_i64(0, 9);
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+        assert_eq!(r.gen_range_i64(4, 4), 4);
+    }
+
+    #[test]
+    fn dyn_rng_is_usable() {
+        let mut r = StdRng::seed_from_u64(3);
+        let d: &mut dyn Rng = &mut r;
+        let _ = d.next_u64();
+        let _ = d.gen_f64();
+    }
+}
