@@ -3,6 +3,8 @@
 //! and the saturation-accelerated chase (the DESIGN.md ablation for
 //! "saturate deterministic rules with the semi-naive engine").
 
+#![allow(deprecated)] // exercises the legacy Engine entry points (now shims over Evaluation)
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gdatalog_bench::burglary_program;
 use gdatalog_core::{ChaseVariant, Engine, McConfig, PolicyKind};

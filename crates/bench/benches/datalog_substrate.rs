@@ -2,6 +2,8 @@
 //! closure, plus the step-by-step chase as the slow baseline the
 //! saturation ablation replaces.
 
+#![allow(deprecated)] // exercises the legacy Engine entry points (now shims over Evaluation)
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gdatalog_core::{Engine, PolicyKind};
 use gdatalog_data::{tuple, Instance, RelId};

@@ -2,6 +2,8 @@
 //! `k`-coins program (chase tree with 2^k leaves), sequential vs parallel
 //! enumeration.
 
+#![allow(deprecated)] // exercises the legacy Engine entry points (now shims over Evaluation)
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gdatalog_bench::{burglary_program, coins_program};
 use gdatalog_core::{Engine, ExactConfig};

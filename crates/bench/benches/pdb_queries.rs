@@ -2,6 +2,8 @@
 //! algebra and aggregates applied per world (Fact 2.6), plus marginal and
 //! counting-event probabilities.
 
+#![allow(deprecated)] // exercises the legacy Engine entry points (now shims over Evaluation)
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gdatalog_bench::burglary_program;
 use gdatalog_core::{Engine, ExactConfig};

@@ -3,6 +3,8 @@
 //! only the selection overhead and the traversal order's effect on
 //! intermediate state).
 
+#![allow(deprecated)] // exercises the legacy Engine entry points (now shims over Evaluation)
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gdatalog_bench::burglary_program;
 use gdatalog_core::{Engine, ExactConfig, PolicyKind};

@@ -11,6 +11,8 @@
 //!
 //! The output of this binary is the source of EXPERIMENTS.md.
 
+#![allow(deprecated)] // exercises the legacy Engine entry points (now shims over Evaluation)
+
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -771,6 +773,112 @@ fn bench_pr1() {
     println!("\n  wrote BENCH_PR1.json");
 }
 
+/// Resident set size in KiB (Linux), or 0 where unavailable.
+fn rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmRSS:"))
+                .and_then(|l| l.split_whitespace().nth(1).and_then(|v| v.parse().ok()))
+        })
+        .unwrap_or(0)
+}
+
+/// The PR2 suite behind `BENCH_PR2.json`: streaming Monte-Carlo through
+/// the Session/Evaluation API. A 1M-run marginal folds run-by-run into an
+/// O(result) sink (single- and multi-threaded), compared against the PR1
+/// baseline that materializes every sampled instance into an
+/// `EmpiricalPdb` (run at 100k and extrapolated to 1M for the memory
+/// ratio).
+fn bench_pr2() {
+    use gdatalog_core::Session;
+    use gdatalog_data::tuple;
+    use std::time::Instant;
+
+    header(
+        "BENCH2",
+        "streaming Monte-Carlo (written to BENCH_PR2.json)",
+    );
+
+    let session = Session::from_source("R(Flip<0.5>) :- true. S(X) :- R(X).", SemanticsMode::Grohe)
+        .expect("ok");
+    let r = session.program().catalog.require("R").expect("declared");
+    let fact = Fact::new(r, tuple![1i64]);
+
+    const STREAM_RUNS: usize = 1_000_000;
+    const MAT_RUNS: usize = 100_000;
+
+    // 1M-run streaming marginal: no per-run instance survives the fold.
+    let rss_before = rss_kb();
+    let t = Instant::now();
+    let p1 = session
+        .eval()
+        .sample(STREAM_RUNS)
+        .seed(7)
+        .marginal(&fact)
+        .expect("runs");
+    let stream_ns = t.elapsed().as_nanos() as f64;
+    let stream_rss_kb = rss_kb().saturating_sub(rss_before);
+
+    let t = Instant::now();
+    let p4 = session
+        .eval()
+        .sample(STREAM_RUNS)
+        .seed(7)
+        .threads(4)
+        .marginal(&fact)
+        .expect("runs");
+    let stream4_ns = t.elapsed().as_nanos() as f64;
+    assert!((p1 - p4).abs() < 1e-9, "deterministic across threads");
+    assert!((p1 - 0.5).abs() < 0.01, "P(R(1)) ≈ 1/2");
+
+    // PR1 baseline: materialize every sampled instance (at 100k runs;
+    // memory extrapolated ×10 for the 1M comparison).
+    let rss_before = rss_kb();
+    let t = Instant::now();
+    let pdb = session.eval().sample(MAT_RUNS).seed(7).pdb().expect("runs");
+    let mat_ns = t.elapsed().as_nanos() as f64;
+    let mat_rss_kb = rss_kb().saturating_sub(rss_before);
+    let retained = pdb.samples().len();
+    assert!((pdb.marginal(&fact) - p1).abs() < 0.01);
+    drop(pdb);
+
+    let stream_rate = STREAM_RUNS as f64 / (stream_ns / 1e9);
+    let stream4_rate = STREAM_RUNS as f64 / (stream4_ns / 1e9);
+    let mat_rate = MAT_RUNS as f64 / (mat_ns / 1e9);
+    println!(
+        "  {:<44} {:>14.0} runs/s",
+        "mc_stream/marginal/1thread", stream_rate
+    );
+    println!(
+        "  {:<44} {:>14.0} runs/s",
+        "mc_stream/marginal/4threads", stream4_rate
+    );
+    println!(
+        "  {:<44} {:>14.0} runs/s",
+        "mc_materialize/pdb/1thread", mat_rate
+    );
+    println!(
+        "  streaming retained ~{stream_rss_kb} KiB over {STREAM_RUNS} runs; \
+         materializing retained ~{mat_rss_kb} KiB over {retained} instances"
+    );
+
+    let json = format!(
+        "{{\n  \"pr\": 2,\n  \"benches\": [\n    \
+         {{\"bench\": \"mc_stream/marginal/1M/1thread\", \"runs_per_s\": {stream_rate:.0}, \
+         \"rss_delta_kb\": {stream_rss_kb}}},\n    \
+         {{\"bench\": \"mc_stream/marginal/1M/4threads\", \"runs_per_s\": {stream4_rate:.0}}},\n    \
+         {{\"bench\": \"mc_materialize/pdb/100k/1thread\", \"runs_per_s\": {mat_rate:.0}, \
+         \"rss_delta_kb\": {mat_rss_kb}, \"retained_instances\": {retained}}}\n  ],\n  \
+         \"memory_ratio_1m_extrapolated\": {:.1},\n  \
+         \"marginal\": {p1}\n}}\n",
+        (mat_rss_kb.max(1) * 10) as f64 / stream_rss_kb.max(1) as f64,
+    );
+    std::fs::write("BENCH_PR2.json", json).expect("write BENCH_PR2.json");
+    println!("\n  wrote BENCH_PR2.json");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let run_all = args.is_empty();
@@ -786,6 +894,7 @@ fn main() {
         ("e7", e7),
         ("e8", e8),
         ("bench", bench_pr1),
+        ("bench2", bench_pr2),
     ];
     let mut ran = 0;
     for (id, f) in &experiments {

@@ -1,0 +1,411 @@
+//! Evaluation backends: one trait unifying exact-sequential,
+//! exact-parallel, and Monte-Carlo chase evaluation.
+//!
+//! Every backend drives the same interface: it evaluates a compiled
+//! program on an input instance under one unified [`EvalOptions`] record
+//! and feeds weighted possible-world observations into a
+//! [`WorldSink`]. Exact backends emit each world
+//! of the enumerated table once with its probability; the Monte-Carlo
+//! backend **streams** each sampled run with weight `1/runs` — so any
+//! statistic expressible as a sink is computed in O(result) memory,
+//! independent of the number of runs.
+
+use gdatalog_data::Instance;
+use gdatalog_lang::CompiledProgram;
+use gdatalog_pdb::{DeficitKind, PossibleWorlds, WorldSink};
+
+use crate::applicability::PreparedProgram;
+use crate::exact::{enumerate_parallel, enumerate_sequential, ExactConfig};
+use crate::mc::{single_run, ChaseVariant, McConfig};
+use crate::policy::{ChasePolicy, PolicyKind};
+use crate::EngineError;
+
+/// The unified evaluation configuration consumed by every [`Backend`].
+///
+/// This replaces the former split between `ExactConfig` (passed by value)
+/// and `McConfig` (passed by reference): the builder owns one options
+/// record, and each backend reads the fields that apply to it.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalOptions {
+    /// Number of independent Monte-Carlo runs.
+    pub runs: usize,
+    /// Master seed for Monte-Carlo sampling; run `i` derives its own seed.
+    pub seed: u64,
+    /// Worker threads (1 = run on the calling thread). Used by the
+    /// Monte-Carlo backend.
+    pub threads: usize,
+    /// Budget along any chase path: maximum depth for exact enumeration,
+    /// maximum steps/rounds per Monte-Carlo run. Deeper paths are charged
+    /// to the non-termination deficit (the paper's `err` event, §4.2).
+    pub max_depth: usize,
+    /// Tail mass at which countably-infinite supports are truncated during
+    /// exact enumeration.
+    pub support_tol: f64,
+    /// Exact-enumeration paths whose probability falls below this threshold
+    /// are pruned into the non-termination deficit (0 disables pruning).
+    pub min_path_prob: f64,
+    /// Chase procedure driving each Monte-Carlo run.
+    pub variant: ChaseVariant,
+    /// Chase policy for exact sequential enumeration (and the default
+    /// sequential Monte-Carlo variant).
+    pub policy: PolicyKind,
+    /// Whether to keep auxiliary experiment relations in the observed
+    /// worlds instead of projecting to the output schema (Remark 4.9).
+    pub keep_aux: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            runs: 10_000,
+            seed: 0xC0FFEE,
+            threads: 1,
+            max_depth: 10_000,
+            support_tol: 1e-9,
+            min_path_prob: 0.0,
+            variant: ChaseVariant::Sequential(PolicyKind::Canonical),
+            policy: PolicyKind::Canonical,
+            keep_aux: false,
+        }
+    }
+}
+
+impl EvalOptions {
+    /// The exact-enumeration slice of the options.
+    pub fn exact_config(&self) -> ExactConfig {
+        ExactConfig {
+            max_depth: self.max_depth,
+            support_tol: self.support_tol,
+            min_path_prob: self.min_path_prob,
+        }
+    }
+
+    /// The Monte-Carlo slice of the options.
+    pub fn mc_config(&self) -> McConfig {
+        McConfig {
+            runs: self.runs,
+            max_steps: self.max_depth,
+            seed: self.seed,
+            variant: self.variant,
+            threads: self.threads,
+            keep_aux: self.keep_aux,
+        }
+    }
+}
+
+/// An evaluation strategy: drives the probabilistic chase of `program` on
+/// `input` and feeds weighted possible-world observations into `sink`.
+///
+/// The three shipped implementations are [`ExactSequentialBackend`]
+/// (Def. 4.2), [`ExactParallelBackend`] (Def. 5.2), and [`McBackend`]
+/// (path sampling, §4.3); by Theorems 6.1/6.2 they agree on the denoted
+/// SPDB, which the test suite verifies rather than assumes.
+pub trait Backend {
+    /// The backend's name (for diagnostics and reports).
+    fn name(&self) -> &'static str;
+
+    /// Evaluates and streams observations into `sink`.
+    ///
+    /// # Errors
+    /// [`EngineError::NotDiscrete`] if an exact backend meets a continuous
+    /// distribution; [`EngineError::Dist`] on runtime parameter failures.
+    fn run(
+        &self,
+        program: &CompiledProgram,
+        input: &Instance,
+        options: &EvalOptions,
+        sink: &mut dyn WorldSink,
+    ) -> Result<(), EngineError>;
+}
+
+fn existential_rule_ids(program: &CompiledProgram) -> Vec<usize> {
+    program
+        .rules
+        .iter()
+        .filter(|r| r.is_existential())
+        .map(|r| r.id)
+        .collect()
+}
+
+/// Feeds an enumerated world table into a sink, applying the output-schema
+/// projection unless `keep_aux`.
+fn feed_table(
+    program: &CompiledProgram,
+    table: PossibleWorlds,
+    keep_aux: bool,
+    sink: &mut dyn WorldSink,
+) {
+    let deficit = table.deficit();
+    for (world, p) in table.into_worlds() {
+        let world = if keep_aux {
+            world
+        } else {
+            program.project_output(&world)
+        };
+        sink.observe(world, p);
+    }
+    sink.observe_deficit(DeficitKind::Nontermination, deficit.nontermination);
+    sink.observe_deficit(DeficitKind::Truncation, deficit.truncation);
+}
+
+/// Exact **sequential** chase-tree enumeration (Def. 4.2) under the
+/// configured policy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactSequentialBackend;
+
+impl Backend for ExactSequentialBackend {
+    fn name(&self) -> &'static str {
+        "exact-sequential"
+    }
+
+    fn run(
+        &self,
+        program: &CompiledProgram,
+        input: &Instance,
+        options: &EvalOptions,
+        sink: &mut dyn WorldSink,
+    ) -> Result<(), EngineError> {
+        let existential = existential_rule_ids(program);
+        let mut policy = ChasePolicy::new(options.policy, &existential);
+        let table = enumerate_sequential(program, input, &mut policy, options.exact_config())?;
+        feed_table(program, table, options.keep_aux, sink);
+        Ok(())
+    }
+}
+
+/// Exact **parallel** chase enumeration (Def. 5.2): all applicable pairs
+/// fire at every node. Equal to the sequential result by Theorem 6.1.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactParallelBackend;
+
+impl Backend for ExactParallelBackend {
+    fn name(&self) -> &'static str {
+        "exact-parallel"
+    }
+
+    fn run(
+        &self,
+        program: &CompiledProgram,
+        input: &Instance,
+        options: &EvalOptions,
+        sink: &mut dyn WorldSink,
+    ) -> Result<(), EngineError> {
+        let table = enumerate_parallel(program, input, options.exact_config())?;
+        feed_table(program, table, options.keep_aux, sink);
+        Ok(())
+    }
+}
+
+/// **Monte-Carlo** path sampling of the chase Markov process (§4.3/§5.2),
+/// streaming each run into the sink with weight `1/runs`.
+///
+/// Works for continuous programs. Runs that exhaust the step budget are
+/// streamed as [`DeficitKind::Nontermination`] observations, so weight
+/// totals estimate the SPDB mass `α` of Def. 2.7.
+///
+/// With `threads > 1` and a sink that supports
+/// [`fork`](gdatalog_pdb::WorldSink::fork), the run range is split into
+/// contiguous per-worker chunks, each folded locally and joined back in
+/// chunk order — results are **deterministic** (independent of thread
+/// timing) because every run's seed derives from its run index. Sinks that
+/// do not fork are fed sequentially regardless of `threads`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct McBackend;
+
+impl Backend for McBackend {
+    fn name(&self) -> &'static str {
+        "monte-carlo"
+    }
+
+    fn run(
+        &self,
+        program: &CompiledProgram,
+        input: &Instance,
+        options: &EvalOptions,
+        sink: &mut dyn WorldSink,
+    ) -> Result<(), EngineError> {
+        let runs = options.runs;
+        if runs == 0 {
+            return Ok(());
+        }
+        let weight = 1.0 / runs as f64;
+        let existential = existential_rule_ids(program);
+        let prepared = PreparedProgram::new(program);
+        let config = options.mc_config();
+        let threads = options.threads.max(1).min(runs);
+
+        let sequential = |sink: &mut dyn WorldSink| -> Result<(), EngineError> {
+            for run_ix in 0..runs {
+                match single_run(program, &prepared, input, &config, &existential, run_ix)? {
+                    Some(world) => sink.observe(world, weight),
+                    None => sink.observe_deficit(DeficitKind::Nontermination, weight),
+                }
+            }
+            Ok(())
+        };
+
+        if threads <= 1 || sink.fork().is_none() {
+            return sequential(sink);
+        }
+
+        // Contiguous chunks, folded worker-locally into forked sinks and
+        // joined back in chunk order: deterministic regardless of timing.
+        // Every worker runs its whole chunk (stopping only at its *own*
+        // first error), so the set of per-chunk outcomes — and therefore
+        // the smallest-index error chosen below — does not depend on
+        // thread scheduling.
+        type ChunkResult = Result<Box<dyn WorldSink>, (usize, EngineError)>;
+        let chunks: Vec<ChunkResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|worker| {
+                    let lo = worker * runs / threads;
+                    let hi = (worker + 1) * runs / threads;
+                    let mut local = sink.fork().expect("fork checked above");
+                    let prepared = &prepared;
+                    let existential = &existential;
+                    let config = &config;
+                    scope.spawn(move || -> ChunkResult {
+                        for run_ix in lo..hi {
+                            match single_run(program, prepared, input, config, existential, run_ix)
+                            {
+                                Ok(Some(world)) => local.observe(world, weight),
+                                Ok(None) => {
+                                    local.observe_deficit(DeficitKind::Nontermination, weight);
+                                }
+                                Err(e) => return Err((run_ix, e)),
+                            }
+                        }
+                        Ok(local)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+
+        // Report the smallest-index failure (deterministic: each chunk's
+        // first error is fixed by the per-run seeds); otherwise join the
+        // chunks in run order.
+        let mut first_error: Option<(usize, EngineError)> = None;
+        let mut done = Vec::with_capacity(chunks.len());
+        for chunk in chunks {
+            match chunk {
+                Ok(local) => done.push(local),
+                Err((ix, e)) => {
+                    if first_error.as_ref().is_none_or(|(best, _)| ix < *best) {
+                        first_error = Some((ix, e));
+                    }
+                }
+            }
+        }
+        if let Some((_, e)) = first_error {
+            return Err(e);
+        }
+        for local in done {
+            sink.join(local);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdatalog_data::{tuple, Fact};
+    use gdatalog_dist::Registry;
+    use gdatalog_lang::{parse_program, translate, validate, SemanticsMode};
+    use gdatalog_pdb::{EmpiricalSink, MarginalSink, WorldTableSink};
+    use std::sync::Arc;
+
+    fn compile(src: &str) -> CompiledProgram {
+        let v = validate(parse_program(src).unwrap(), Arc::new(Registry::standard())).unwrap();
+        translate(&v, SemanticsMode::Grohe).unwrap()
+    }
+
+    #[test]
+    fn exact_backends_agree() {
+        let prog = compile("R(Flip<0.25>) :- true. S(X) :- R(X).");
+        let opts = EvalOptions::default();
+        let mut seq = WorldTableSink::new();
+        ExactSequentialBackend
+            .run(&prog, &prog.initial_instance, &opts, &mut seq)
+            .unwrap();
+        let mut par = WorldTableSink::new();
+        ExactParallelBackend
+            .run(&prog, &prog.initial_instance, &opts, &mut par)
+            .unwrap();
+        let (a, b) = (seq.finish(), par.finish());
+        assert!(a.total_variation(&b) < 1e-12);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn mc_streaming_marginal_matches_materialized() {
+        let prog = compile("R(Flip<0.3>) :- true.");
+        let r = prog.catalog.require("R").unwrap();
+        let fact = Fact::new(r, tuple![1i64]);
+        let opts = EvalOptions {
+            runs: 5_000,
+            seed: 42,
+            ..EvalOptions::default()
+        };
+        let mut streaming = MarginalSink::new(fact.clone());
+        McBackend
+            .run(&prog, &prog.initial_instance, &opts, &mut streaming)
+            .unwrap();
+        let mut materialized = EmpiricalSink::new();
+        McBackend
+            .run(&prog, &prog.initial_instance, &opts, &mut materialized)
+            .unwrap();
+        let pdb = materialized.finish();
+        assert_eq!(pdb.runs(), 5_000);
+        assert!((streaming.finish() - pdb.marginal(&fact)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mc_multithreaded_streaming_is_deterministic() {
+        let prog = compile("R(Flip<0.5>) :- true. R(Flip<0.5>) :- true.");
+        let r = prog.catalog.require("R").unwrap();
+        let fact = Fact::new(r, tuple![1i64]);
+        let single = EvalOptions {
+            runs: 4_000,
+            seed: 9,
+            ..EvalOptions::default()
+        };
+        let multi = EvalOptions {
+            threads: 4,
+            ..single
+        };
+        let run = |opts: &EvalOptions| {
+            let mut sink = MarginalSink::new(fact.clone());
+            McBackend
+                .run(&prog, &prog.initial_instance, opts, &mut sink)
+                .unwrap();
+            sink.finish()
+        };
+        let a = run(&multi);
+        let b = run(&multi);
+        assert_eq!(a.to_bits(), b.to_bits(), "repeat runs bit-identical");
+        assert!((a - run(&single)).abs() < 1e-12, "thread-count invariant");
+    }
+
+    #[test]
+    fn mc_budget_exhaustion_streams_deficit() {
+        let prog = compile("C(0.0). C(Normal<V, 1.0>) :- C(V).");
+        let opts = EvalOptions {
+            runs: 20,
+            max_depth: 25,
+            seed: 1,
+            ..EvalOptions::default()
+        };
+        let mut sink = WorldTableSink::new();
+        McBackend
+            .run(&prog, &prog.initial_instance, &opts, &mut sink)
+            .unwrap();
+        let table = sink.finish();
+        assert_eq!(table.len(), 0);
+        assert!((table.deficit().nontermination - 1.0).abs() < 1e-9);
+    }
+}

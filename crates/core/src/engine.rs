@@ -1,5 +1,12 @@
 //! The user-facing engine: parse → validate → translate → evaluate.
+//!
+//! Evaluation goes through the builder-style [`Evaluation`] surface
+//! ([`Engine::eval`] / [`Engine::eval_on`], or a [`Session`] for a
+//! persistent extensional database). The method-per-strategy entry points
+//! (`enumerate`, `sample`, …) remain as thin deprecated shims over the
+//! builder.
 
+use std::borrow::Cow;
 use std::fmt;
 use std::sync::Arc;
 
@@ -9,13 +16,14 @@ use gdatalog_lang::{
     parse_program, translate, validate, CompiledProgram, LangError, Program, SemanticsMode,
 };
 use gdatalog_pdb::{EmpiricalPdb, PossibleWorlds};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-use crate::exact::{enumerate_parallel, enumerate_sequential, ExactConfig};
-use crate::mc::{sample_pdb, McConfig};
-use crate::policy::{ChasePolicy, PolicyKind};
-use crate::sequential::{run_sequential, ChaseRun};
+use crate::exact::ExactConfig;
+use crate::mc::McConfig;
+use crate::policy::PolicyKind;
+use crate::sequential::ChaseRun;
+use crate::session::Evaluation;
+#[cfg(doc)]
+use crate::session::Session;
 
 /// Errors from engine construction or evaluation.
 #[derive(Debug, Clone)]
@@ -29,6 +37,9 @@ pub enum EngineError {
     /// Exact enumeration requested for a program using this continuous
     /// distribution.
     NotDiscrete(String),
+    /// An evaluation request that contradicts the selected backend (e.g.
+    /// materializing Monte-Carlo samples from an exact enumeration).
+    InvalidRequest(String),
 }
 
 impl fmt::Display for EngineError {
@@ -42,6 +53,7 @@ impl fmt::Display for EngineError {
                 "exact enumeration requires discrete distributions, found `{d}` \
                  (use Monte-Carlo sampling instead)"
             ),
+            EngineError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
         }
     }
 }
@@ -67,14 +79,14 @@ impl From<DataError> for EngineError {
 /// A compiled, ready-to-run GDatalog program.
 ///
 /// ```
-/// use gdatalog_core::{Engine, ExactConfig};
+/// use gdatalog_core::Engine;
 /// use gdatalog_lang::SemanticsMode;
 ///
 /// let engine = Engine::from_source(
 ///     "R(Flip<0.5>) :- true. R(Flip<0.5>) :- true.",
 ///     SemanticsMode::Grohe,
 /// ).unwrap();
-/// let worlds = engine.enumerate(None, ExactConfig::default()).unwrap();
+/// let worlds = engine.eval().worlds().unwrap();
 /// // Example 1.1 of the paper: three worlds, probabilities 1/4, 1/4, 1/2.
 /// assert_eq!(worlds.len(), 3);
 /// ```
@@ -124,12 +136,52 @@ impl Engine {
         &self.program
     }
 
-    /// Merges the program's own ground facts with extra input facts.
-    fn full_input(&self, extra: Option<&Instance>) -> Instance {
+    /// Merges the program's own ground facts with extra input facts,
+    /// borrowing when there is nothing to merge.
+    fn full_input(&self, extra: Option<&Instance>) -> Cow<'_, Instance> {
         match extra {
-            None => self.program.initial_instance.clone(),
-            Some(d) => self.program.initial_instance.union(d),
+            None => Cow::Borrowed(&self.program.initial_instance),
+            Some(d) if d.is_empty() => Cow::Borrowed(&self.program.initial_instance),
+            Some(d) => Cow::Owned(self.program.initial_instance.union(d)),
         }
+    }
+
+    /// Starts a builder-style [`Evaluation`] over the program's own ground
+    /// facts. For a persistent, incrementally extendable fact store, use a
+    /// [`Session`].
+    ///
+    /// ```
+    /// use gdatalog_core::Engine;
+    /// use gdatalog_lang::SemanticsMode;
+    ///
+    /// let engine = Engine::from_source("R(Flip<0.25>) :- true.", SemanticsMode::Grohe).unwrap();
+    /// let worlds = engine.eval().exact().worlds().unwrap();
+    /// assert_eq!(worlds.len(), 2);
+    /// ```
+    pub fn eval(&self) -> Evaluation<'_> {
+        Evaluation::new(&self.program, Cow::Borrowed(&self.program.initial_instance))
+    }
+
+    /// Starts an [`Evaluation`] over the program's ground facts unioned
+    /// with `extra` input facts (borrowing when `extra` is `None`).
+    ///
+    /// ```
+    /// use gdatalog_core::Engine;
+    /// use gdatalog_data::{tuple, Instance};
+    /// use gdatalog_lang::SemanticsMode;
+    ///
+    /// let engine = Engine::from_source(
+    ///     "rel City(symbol) input. Quake(C, Flip<0.4>) :- City(C).",
+    ///     SemanticsMode::Grohe,
+    /// ).unwrap();
+    /// let city = engine.program().catalog.require("City").unwrap();
+    /// let mut extra = Instance::new();
+    /// extra.insert(city, tuple!["gotham"]);
+    /// let worlds = engine.eval_on(Some(&extra)).worlds().unwrap();
+    /// assert_eq!(worlds.len(), 2);
+    /// ```
+    pub fn eval_on<'a>(&'a self, extra: Option<&Instance>) -> Evaluation<'a> {
+        Evaluation::new(&self.program, self.full_input(extra))
     }
 
     /// **Exact** evaluation: enumerates the chase tree of a discrete
@@ -138,46 +190,65 @@ impl Engine {
     ///
     /// # Errors
     /// [`EngineError::NotDiscrete`] for continuous programs.
+    #[deprecated(since = "0.1.0", note = "use `engine.eval_on(input).exact()…worlds()`")]
     pub fn enumerate(
         &self,
         input: Option<&Instance>,
         config: ExactConfig,
     ) -> Result<PossibleWorlds, EngineError> {
-        let mut policy = ChasePolicy::new(PolicyKind::Canonical, &[]);
-        let raw =
-            enumerate_sequential(&self.program, &self.full_input(input), &mut policy, config)?;
-        Ok(raw.map(|d| self.program.project_output(d)))
+        self.eval_on(input)
+            .exact()
+            .max_depth(config.max_depth)
+            .support_tol(config.support_tol)
+            .min_path_prob(config.min_path_prob)
+            .worlds()
     }
 
     /// Exact evaluation without the output projection (auxiliary
     /// experiment relations retained).
     ///
     /// # Errors
-    /// Same as [`Engine::enumerate`].
+    /// Same as the `enumerate` shim.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `engine.eval_on(input).exact().policy(kind).keep_aux(true)…worlds()`"
+    )]
     pub fn enumerate_raw(
         &self,
         input: Option<&Instance>,
         policy_kind: PolicyKind,
         config: ExactConfig,
     ) -> Result<PossibleWorlds, EngineError> {
-        let existential = self.existential_rule_ids();
-        let mut policy = ChasePolicy::new(policy_kind, &existential);
-        enumerate_sequential(&self.program, &self.full_input(input), &mut policy, config)
+        self.eval_on(input)
+            .exact()
+            .policy(policy_kind)
+            .keep_aux(true)
+            .max_depth(config.max_depth)
+            .support_tol(config.support_tol)
+            .min_path_prob(config.min_path_prob)
+            .worlds()
     }
 
     /// Exact evaluation via the **parallel** chase (Def. 5.2), projected to
-    /// the output schema. By Theorem 6.1 the result equals
-    /// [`Engine::enumerate`].
+    /// the output schema.
     ///
     /// # Errors
-    /// Same as [`Engine::enumerate`].
+    /// Same as the `enumerate` shim.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `engine.eval_on(input).exact_parallel()…worlds()`"
+    )]
     pub fn enumerate_parallel(
         &self,
         input: Option<&Instance>,
         config: ExactConfig,
     ) -> Result<PossibleWorlds, EngineError> {
-        let raw = enumerate_parallel(&self.program, &self.full_input(input), config)?;
-        Ok(raw.map(|d| self.program.project_output(d)))
+        self.eval_on(input)
+            .exact_parallel()
+            .max_depth(config.max_depth)
+            .support_tol(config.support_tol)
+            .min_path_prob(config.min_path_prob)
+            .worlds()
     }
 
     /// **Monte-Carlo** evaluation: samples chase runs into an empirical
@@ -185,18 +256,34 @@ impl Engine {
     ///
     /// # Errors
     /// Runtime distribution failures.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `engine.eval_on(input).sample(runs)…pdb()` — or a streaming \
+                statistic terminal, which holds O(result) memory"
+    )]
     pub fn sample(
         &self,
         input: Option<&Instance>,
         config: &McConfig,
     ) -> Result<EmpiricalPdb, EngineError> {
-        sample_pdb(&self.program, &self.full_input(input), config)
+        self.eval_on(input)
+            .sample(config.runs)
+            .seed(config.seed)
+            .threads(config.threads)
+            .variant(config.variant)
+            .max_depth(config.max_steps)
+            .keep_aux(config.keep_aux)
+            .pdb()
     }
 
     /// Runs a single sequential chase (useful for traces and debugging).
     ///
     /// # Errors
     /// Runtime distribution failures.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `engine.eval_on(input).policy(kind).seed(seed).max_depth(steps).trace()`"
+    )]
     pub fn run_once(
         &self,
         input: Option<&Instance>,
@@ -204,50 +291,30 @@ impl Engine {
         seed: u64,
         max_steps: usize,
     ) -> Result<ChaseRun, EngineError> {
-        let existential = self.existential_rule_ids();
-        let mut policy = ChasePolicy::new(policy_kind, &existential);
-        let mut rng = StdRng::seed_from_u64(seed);
-        run_sequential(
-            &self.program,
-            &self.full_input(input),
-            &mut policy,
-            &mut rng,
-            max_steps,
-            true,
-        )
-        .map_err(EngineError::Dist)
+        self.eval_on(input)
+            .policy(policy_kind)
+            .seed(seed)
+            .max_depth(max_steps)
+            .trace()
     }
 
     /// Applies the program to a **probabilistic input** (Theorems 4.8, 5.5
     /// and 6.2): the output SPDB is the probability-weighted mixture of the
-    /// outputs on each input world. Input worlds must range over the
-    /// extensional relations.
+    /// outputs on each input world.
     ///
     /// # Errors
-    /// Same as [`Engine::enumerate`].
+    /// Same as the `enumerate` shim.
+    #[deprecated(since = "0.1.0", note = "use `engine.eval()…transform(input)`")]
     pub fn transform_worlds(
         &self,
         input: &PossibleWorlds,
         config: ExactConfig,
     ) -> Result<PossibleWorlds, EngineError> {
-        let mut parts = Vec::with_capacity(input.len());
-        for (world, p) in input.iter() {
-            parts.push((p, self.enumerate(Some(world), config)?));
-        }
-        let mut out = PossibleWorlds::mixture(parts);
-        // Input deficit passes through unchanged.
-        out.add_nontermination(input.deficit().nontermination);
-        out.add_truncation(input.deficit().truncation);
-        Ok(out)
-    }
-
-    fn existential_rule_ids(&self) -> Vec<usize> {
-        self.program
-            .rules
-            .iter()
-            .filter(|r| r.is_existential())
-            .map(|r| r.id)
-            .collect()
+        self.eval()
+            .max_depth(config.max_depth)
+            .support_tol(config.support_tol)
+            .min_path_prob(config.min_path_prob)
+            .transform(input)
     }
 }
 
@@ -259,7 +326,7 @@ mod tests {
     #[test]
     fn facade_round_trip() {
         let engine = Engine::from_source("R(Flip<0.25>) :- true.", SemanticsMode::Grohe).unwrap();
-        let worlds = engine.enumerate(None, ExactConfig::default()).unwrap();
+        let worlds = engine.eval().worlds().unwrap();
         assert_eq!(worlds.len(), 2);
         let r = engine.program().catalog.require("R").unwrap();
         let p = worlds.marginal(&Fact::new(r, tuple![1i64]));
@@ -285,9 +352,7 @@ mod tests {
         let mut input = PossibleWorlds::new();
         input.add(with_city, 0.5);
         input.add(Instance::new(), 0.5);
-        let out = engine
-            .transform_worlds(&input, ExactConfig::default())
-            .unwrap();
+        let out = engine.eval().transform(&input).unwrap();
         assert!(out.mass_is_consistent(1e-12));
         let p = out.marginal(&Fact::new(quake, tuple!["gotham", 1i64]));
         assert!((p - 0.5 * 0.4).abs() < 1e-12, "p = {p}");
@@ -298,9 +363,7 @@ mod tests {
         let engine =
             Engine::from_source("R(Flip<0.5>) :- true. S(X) :- R(X).", SemanticsMode::Grohe)
                 .unwrap();
-        let run = engine
-            .run_once(None, PolicyKind::Canonical, 11, 100)
-            .unwrap();
+        let run = engine.eval().seed(11).max_depth(100).trace().unwrap();
         assert_eq!(run.trace.len(), run.steps);
         assert!(run.steps >= 3, "sample, deliver, copy");
     }
@@ -309,5 +372,22 @@ mod tests {
     fn parse_errors_surface() {
         assert!(Engine::from_source("R(X :-", SemanticsMode::Grohe).is_err());
         assert!(Engine::from_source("R(Zorp<1.0>) :- true.", SemanticsMode::Grohe).is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shims_delegate() {
+        let engine = Engine::from_source("R(Flip<0.25>) :- true.", SemanticsMode::Grohe).unwrap();
+        let legacy = engine.enumerate(None, ExactConfig::default()).unwrap();
+        assert_eq!(legacy, engine.eval().worlds().unwrap());
+        let cfg = McConfig {
+            runs: 500,
+            seed: 3,
+            ..McConfig::default()
+        };
+        let legacy_pdb = engine.sample(None, &cfg).unwrap();
+        let new_pdb = engine.eval().sample(500).seed(3).pdb().unwrap();
+        assert_eq!(legacy_pdb.samples(), new_pdb.samples());
+        assert_eq!(legacy_pdb.errors(), new_pdb.errors());
     }
 }

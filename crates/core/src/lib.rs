@@ -30,6 +30,7 @@
 //!   (Theorems 4.8/5.5/6.2).
 
 pub mod applicability;
+pub mod backend;
 pub mod engine;
 pub mod exact;
 pub mod kernel;
@@ -38,9 +39,11 @@ pub mod parallel;
 pub mod policy;
 pub mod saturate;
 pub mod sequential;
+pub mod session;
 pub mod tree;
 
 pub use applicability::{applicable_pairs, AppPair};
+pub use backend::{Backend, EvalOptions, ExactParallelBackend, ExactSequentialBackend, McBackend};
 pub use engine::{Engine, EngineError};
 pub use exact::{enumerate_parallel, enumerate_sequential, ExactConfig};
 pub use kernel::{ParallelKernel, SequentialKernel, StepKernel};
@@ -48,4 +51,5 @@ pub use mc::{sample_pdb, ChaseVariant, McConfig};
 pub use policy::{ChasePolicy, PolicyKind};
 pub use saturate::run_saturating;
 pub use sequential::{run_sequential, ChaseRun, RunOutcome, TraceStep};
+pub use session::{Evaluation, Session};
 pub use tree::{build_chase_tree, ChaseNode, ChaseTree};

@@ -63,7 +63,7 @@ impl Default for McConfig {
 }
 
 /// SplitMix64 finalizer: decorrelates per-run seeds from the master seed.
-fn derive_seed(master: u64, run: u64) -> u64 {
+pub(crate) fn derive_seed(master: u64, run: u64) -> u64 {
     let mut z = master ^ run.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -72,7 +72,7 @@ fn derive_seed(master: u64, run: u64) -> u64 {
 
 /// Executes run `run_ix` and returns its observation: `Some(world)` for a
 /// terminated run, `None` for the error event (budget exhausted).
-fn single_run(
+pub(crate) fn single_run(
     program: &CompiledProgram,
     prepared: &crate::applicability::PreparedProgram,
     input: &Instance,

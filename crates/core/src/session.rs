@@ -1,0 +1,922 @@
+//! The session/query surface: one compiled program serving many requests.
+//!
+//! A [`Session`] pairs a compiled [`Engine`] with a persistent,
+//! incrementally extendable fact store (the extensional database), so a
+//! program compiled once can answer many queries over evolving inputs.
+//! Every evaluation goes through the builder-style [`Evaluation`] returned
+//! by [`Session::eval`] (or [`Engine::eval`]): configure the run with
+//! chained setters, then finish with a typed terminal —
+//! [`worlds`](Evaluation::worlds), [`pdb`](Evaluation::pdb),
+//! [`marginal`](Evaluation::marginal),
+//! [`probability`](Evaluation::probability),
+//! [`expectation`](Evaluation::expectation),
+//! [`histogram`](Evaluation::histogram), and friends.
+//!
+//! Queries are the point of the exercise: Fact 2.6 of the paper says
+//! relational-algebra and aggregate queries are measurable maps on
+//! (S)PDBs, so every query terminal is well-defined on the *distribution*
+//! the program denotes — and is evaluated natively on whichever backend
+//! the builder selects, exact world tables or streaming Monte-Carlo.
+
+use std::borrow::Cow;
+use std::sync::Arc;
+
+use gdatalog_data::{Fact, Instance, RelId};
+use gdatalog_dist::Registry;
+use gdatalog_lang::{parse_facts, CompiledProgram, Program, SemanticsMode};
+use gdatalog_pdb::{
+    AggFun, ColumnHistogram, EmpiricalPdb, EmpiricalSink, Event, EventProbabilitySink,
+    HistogramSink, MarginalSink, Moments, MomentsSink, PossibleWorlds, Query,
+    RelationMarginalsSink, WorldSink, WorldTableSink,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::backend::{
+    Backend, EvalOptions, ExactParallelBackend, ExactSequentialBackend, McBackend,
+};
+use crate::engine::{Engine, EngineError};
+use crate::mc::ChaseVariant;
+use crate::policy::{ChasePolicy, PolicyKind};
+use crate::sequential::{run_sequential, ChaseRun};
+
+/// A compiled program plus a persistent extensional database: the serving
+/// surface of the engine. Compile once, [insert facts](Session::insert_facts)
+/// as they arrive, and answer any number of [`Evaluation`] requests.
+///
+/// ```
+/// use gdatalog_core::Session;
+/// use gdatalog_lang::SemanticsMode;
+///
+/// let mut session = Session::from_source(
+///     "rel City(symbol) input. Quake(C, Flip<0.4>) :- City(C).",
+///     SemanticsMode::Grohe,
+/// ).unwrap();
+/// session.insert_facts_text("City(gotham).").unwrap();
+/// let worlds = session.eval().exact().worlds().unwrap();
+/// assert_eq!(worlds.len(), 2);
+/// session.insert_facts_text("City(metropolis).").unwrap();
+/// assert_eq!(session.eval().exact().worlds().unwrap().len(), 4);
+/// ```
+pub struct Session {
+    engine: Engine,
+    /// The program's initial facts unioned with everything inserted — the
+    /// instance every evaluation starts from, maintained incrementally.
+    input: Instance,
+    /// Count of facts inserted on top of the program's own ground facts.
+    inserted: usize,
+}
+
+impl Session {
+    /// Compiles program text into a session, with the standard
+    /// distribution family.
+    ///
+    /// # Errors
+    /// Syntax/validation/translation errors.
+    pub fn from_source(src: &str, mode: SemanticsMode) -> Result<Session, EngineError> {
+        Ok(Session::new(Engine::from_source(src, mode)?))
+    }
+
+    /// Compiles program text against a custom distribution family Ψ.
+    ///
+    /// # Errors
+    /// Syntax/validation/translation errors.
+    pub fn from_source_with_registry(
+        src: &str,
+        mode: SemanticsMode,
+        registry: Arc<Registry>,
+    ) -> Result<Session, EngineError> {
+        Ok(Session::new(Engine::from_source_with_registry(
+            src, mode, registry,
+        )?))
+    }
+
+    /// Compiles an already-parsed AST into a session.
+    ///
+    /// # Errors
+    /// Validation/translation errors.
+    pub fn from_ast(
+        ast: Program,
+        mode: SemanticsMode,
+        registry: Arc<Registry>,
+    ) -> Result<Session, EngineError> {
+        Ok(Session::new(Engine::from_ast(ast, mode, registry)?))
+    }
+
+    /// Wraps an already-compiled engine.
+    pub fn new(engine: Engine) -> Session {
+        let input = engine.program().initial_instance.clone();
+        Session {
+            engine,
+            input,
+            inserted: 0,
+        }
+    }
+
+    /// The compiled engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The compiled program (catalog, rules, analyses).
+    pub fn program(&self) -> &CompiledProgram {
+        self.engine.program()
+    }
+
+    /// The instance every evaluation starts from: the program's own ground
+    /// facts plus everything inserted into the session.
+    pub fn facts(&self) -> &Instance {
+        &self.input
+    }
+
+    /// Number of facts inserted beyond the program's own ground facts.
+    pub fn inserted_facts(&self) -> usize {
+        self.inserted
+    }
+
+    /// Extends the extensional database with `facts` (set semantics:
+    /// duplicates are no-ops). The merge is incremental — no rebuild of the
+    /// base instance per request.
+    ///
+    /// ```
+    /// use gdatalog_core::Session;
+    /// use gdatalog_data::{tuple, Instance};
+    /// use gdatalog_lang::SemanticsMode;
+    ///
+    /// let mut session = Session::from_source(
+    ///     "rel City(symbol) input. Quake(C, Flip<0.4>) :- City(C).",
+    ///     SemanticsMode::Grohe,
+    /// ).unwrap();
+    /// let city = session.program().catalog.require("City").unwrap();
+    /// let mut batch = Instance::new();
+    /// batch.insert(city, tuple!["gotham"]);
+    /// session.insert_facts(&batch);
+    /// assert_eq!(session.facts().len(), 1);
+    /// ```
+    pub fn insert_facts(&mut self, facts: &Instance) {
+        for fact in facts.facts() {
+            if self.input.insert_fact(fact) {
+                self.inserted += 1;
+            }
+        }
+    }
+
+    /// Inserts one fact; returns whether it was new.
+    pub fn insert_fact(&mut self, fact: Fact) -> bool {
+        let fresh = self.input.insert_fact(fact);
+        if fresh {
+            self.inserted += 1;
+        }
+        fresh
+    }
+
+    /// Parses `text` as ground facts against the program's catalog and
+    /// inserts them; returns the number of facts parsed.
+    ///
+    /// # Errors
+    /// Parse errors, unknown relations, arity/type mismatches.
+    pub fn insert_facts_text(&mut self, text: &str) -> Result<usize, EngineError> {
+        let parsed = parse_facts(text, &self.program().catalog)?;
+        let n = parsed.len();
+        self.insert_facts(&parsed);
+        Ok(n)
+    }
+
+    /// Starts a builder-style evaluation over the session's facts.
+    ///
+    /// ```
+    /// use gdatalog_core::Session;
+    /// use gdatalog_lang::SemanticsMode;
+    ///
+    /// let session = Session::from_source(
+    ///     "R(Flip<0.5>) :- true. R(Flip<0.5>) :- true.",
+    ///     SemanticsMode::Grohe,
+    /// ).unwrap();
+    /// // Example 1.1: three worlds with probabilities 1/4, 1/4, 1/2.
+    /// let worlds = session.eval().worlds().unwrap();
+    /// assert_eq!(worlds.len(), 3);
+    /// ```
+    pub fn eval(&self) -> Evaluation<'_> {
+        Evaluation::new(self.program(), Cow::Borrowed(&self.input))
+    }
+}
+
+/// Which evaluation strategy the builder selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BackendChoice {
+    /// Pick per terminal: exact for discrete programs, Monte-Carlo when the
+    /// program samples a continuous distribution.
+    Auto,
+    /// Exact sequential chase-tree enumeration.
+    ExactSequential,
+    /// Exact parallel chase enumeration.
+    ExactParallel,
+    /// Monte-Carlo path sampling.
+    Mc,
+}
+
+/// A configured evaluation request: chain setters, then call a typed
+/// terminal. Created by [`Session::eval`], [`Engine::eval`], or
+/// [`Engine::eval_on`].
+///
+/// Unless [`exact`](Evaluation::exact),
+/// [`exact_parallel`](Evaluation::exact_parallel), or
+/// [`sample`](Evaluation::sample) is called, the backend is picked
+/// automatically: exact enumeration for discrete programs, Monte-Carlo
+/// when the program uses a continuous distribution.
+pub struct Evaluation<'a> {
+    program: &'a CompiledProgram,
+    input: Cow<'a, Instance>,
+    options: EvalOptions,
+    choice: BackendChoice,
+}
+
+impl<'a> Evaluation<'a> {
+    pub(crate) fn new(program: &'a CompiledProgram, input: Cow<'a, Instance>) -> Evaluation<'a> {
+        Evaluation {
+            program,
+            input,
+            options: EvalOptions::default(),
+            choice: BackendChoice::Auto,
+        }
+    }
+
+    // -- backend selection -------------------------------------------------
+
+    /// Forces exact sequential chase-tree enumeration (Def. 4.2).
+    ///
+    /// ```
+    /// use gdatalog_core::Session;
+    /// use gdatalog_lang::SemanticsMode;
+    ///
+    /// let s = Session::from_source("R(Flip<0.25>) :- true.", SemanticsMode::Grohe).unwrap();
+    /// let worlds = s.eval().exact().worlds().unwrap();
+    /// assert_eq!(worlds.len(), 2);
+    /// ```
+    pub fn exact(mut self) -> Evaluation<'a> {
+        self.choice = BackendChoice::ExactSequential;
+        self
+    }
+
+    /// Forces exact **parallel** chase enumeration (Def. 5.2); the result
+    /// equals [`exact`](Evaluation::exact) by Theorem 6.1.
+    ///
+    /// ```
+    /// use gdatalog_core::Session;
+    /// use gdatalog_lang::SemanticsMode;
+    ///
+    /// let s = Session::from_source("R(Flip<0.25>) :- true.", SemanticsMode::Grohe).unwrap();
+    /// let seq = s.eval().exact().worlds().unwrap();
+    /// let par = s.eval().exact_parallel().worlds().unwrap();
+    /// assert!(seq.total_variation(&par) < 1e-12);
+    /// ```
+    pub fn exact_parallel(mut self) -> Evaluation<'a> {
+        self.choice = BackendChoice::ExactParallel;
+        self
+    }
+
+    /// Forces Monte-Carlo path sampling with `runs` independent runs
+    /// (works for continuous programs; statistics stream run-by-run).
+    ///
+    /// ```
+    /// use gdatalog_core::Session;
+    /// use gdatalog_lang::SemanticsMode;
+    ///
+    /// let s = Session::from_source("H(Normal<0.0, 1.0>) :- true.", SemanticsMode::Grohe).unwrap();
+    /// let pdb = s.eval().sample(500).pdb().unwrap();
+    /// assert_eq!(pdb.runs(), 500);
+    /// ```
+    pub fn sample(mut self, runs: usize) -> Evaluation<'a> {
+        self.choice = BackendChoice::Mc;
+        self.options.runs = runs;
+        self
+    }
+
+    // -- configuration -----------------------------------------------------
+
+    /// Sets the number of Monte-Carlo worker threads. The set of sampled
+    /// worlds is identical regardless of the thread count (each run's seed
+    /// derives from its run index; partial results merge in run order);
+    /// streamed f64 statistics can differ across thread counts only by
+    /// floating-point re-association (≪ 1e-12).
+    ///
+    /// ```
+    /// use gdatalog_core::Session;
+    /// use gdatalog_lang::SemanticsMode;
+    ///
+    /// let s = Session::from_source("R(Flip<0.5>) :- true.", SemanticsMode::Grohe).unwrap();
+    /// let single = s.eval().sample(2000).pdb().unwrap();
+    /// let multi = s.eval().sample(2000).threads(4).pdb().unwrap();
+    /// assert_eq!(single.samples(), multi.samples());
+    /// ```
+    pub fn threads(mut self, threads: usize) -> Evaluation<'a> {
+        self.options.threads = threads;
+        self
+    }
+
+    /// Sets the Monte-Carlo master seed (run `i` uses a deterministic
+    /// derivation of it).
+    ///
+    /// ```
+    /// use gdatalog_core::Session;
+    /// use gdatalog_lang::SemanticsMode;
+    ///
+    /// let s = Session::from_source("R(Flip<0.5>) :- true.", SemanticsMode::Grohe).unwrap();
+    /// let a = s.eval().sample(100).seed(7).pdb().unwrap();
+    /// let b = s.eval().sample(100).seed(7).pdb().unwrap();
+    /// assert_eq!(a.samples(), b.samples());
+    /// ```
+    pub fn seed(mut self, seed: u64) -> Evaluation<'a> {
+        self.options.seed = seed;
+        self
+    }
+
+    /// Sets the chase policy (the measurable selection of §3.3) for
+    /// sequential evaluation, exact or sampled. By Theorem 6.1 the denoted
+    /// SPDB does not depend on the choice.
+    ///
+    /// ```
+    /// use gdatalog_core::{PolicyKind, Session};
+    /// use gdatalog_lang::SemanticsMode;
+    ///
+    /// let s = Session::from_source("R(Flip<0.25>) :- true.", SemanticsMode::Grohe).unwrap();
+    /// let canonical = s.eval().worlds().unwrap();
+    /// let reversed = s.eval().policy(PolicyKind::Reverse).worlds().unwrap();
+    /// assert!(canonical.total_variation(&reversed) < 1e-12);
+    /// ```
+    pub fn policy(mut self, policy: PolicyKind) -> Evaluation<'a> {
+        self.options.policy = policy;
+        if let ChaseVariant::Sequential(_) = self.options.variant {
+            self.options.variant = ChaseVariant::Sequential(policy);
+        }
+        self
+    }
+
+    /// Sets the chase budget: maximum depth for exact enumeration, maximum
+    /// steps per Monte-Carlo run. Mass beyond the budget is charged to the
+    /// non-termination deficit (the paper's `err` event, §4.2).
+    ///
+    /// ```
+    /// use gdatalog_core::Session;
+    /// use gdatalog_lang::SemanticsMode;
+    ///
+    /// let s = Session::from_source(
+    ///     "G(0). G(Geometric<0.5 | X>) :- G(X).",
+    ///     SemanticsMode::Grohe,
+    /// ).unwrap();
+    /// let worlds = s.eval().exact().max_depth(6).worlds().unwrap();
+    /// assert!(worlds.deficit().nontermination > 0.0);
+    /// ```
+    pub fn max_depth(mut self, depth: usize) -> Evaluation<'a> {
+        self.options.max_depth = depth;
+        self
+    }
+
+    /// Sets the tail mass at which countably-infinite discrete supports are
+    /// truncated during exact enumeration.
+    ///
+    /// ```
+    /// use gdatalog_core::Session;
+    /// use gdatalog_lang::SemanticsMode;
+    ///
+    /// let s = Session::from_source("N(Geometric<0.5>) :- true.", SemanticsMode::Grohe).unwrap();
+    /// let worlds = s.eval().exact().support_tol(1e-4).worlds().unwrap();
+    /// assert!(worlds.deficit().truncation <= 1e-4 + 1e-9);
+    /// ```
+    pub fn support_tol(mut self, tol: f64) -> Evaluation<'a> {
+        self.options.support_tol = tol;
+        self
+    }
+
+    /// Prunes exact-enumeration paths whose probability falls below the
+    /// threshold into the non-termination deficit (0 disables pruning).
+    ///
+    /// ```
+    /// use gdatalog_core::Session;
+    /// use gdatalog_lang::SemanticsMode;
+    ///
+    /// let s = Session::from_source("R(Flip<0.001>) :- true.", SemanticsMode::Grohe).unwrap();
+    /// let worlds = s.eval().exact().min_path_prob(0.01).worlds().unwrap();
+    /// assert!(worlds.deficit().nontermination > 0.0, "rare branch pruned");
+    /// ```
+    pub fn min_path_prob(mut self, p: f64) -> Evaluation<'a> {
+        self.options.min_path_prob = p;
+        self
+    }
+
+    /// Sets the chase procedure driving each Monte-Carlo run (sequential
+    /// under a policy, parallel, or saturating).
+    ///
+    /// ```
+    /// use gdatalog_core::{ChaseVariant, Session};
+    /// use gdatalog_lang::SemanticsMode;
+    ///
+    /// let s = Session::from_source("R(Flip<0.5>) :- true.", SemanticsMode::Grohe).unwrap();
+    /// let pdb = s.eval().sample(500).variant(ChaseVariant::Parallel).pdb().unwrap();
+    /// assert_eq!(pdb.runs(), 500);
+    /// ```
+    pub fn variant(mut self, variant: ChaseVariant) -> Evaluation<'a> {
+        self.options.variant = variant;
+        self
+    }
+
+    /// Keeps auxiliary experiment relations in the results instead of
+    /// projecting to the output schema (Remark 4.9).
+    ///
+    /// ```
+    /// use gdatalog_core::Session;
+    /// use gdatalog_lang::SemanticsMode;
+    ///
+    /// let s = Session::from_source("R(Flip<0.5>) :- true.", SemanticsMode::Grohe).unwrap();
+    /// let raw = s.eval().keep_aux(true).worlds().unwrap();
+    /// let projected = s.eval().worlds().unwrap();
+    /// // Aux experiment relations make the raw worlds strictly larger.
+    /// let raw_facts: usize = raw.iter().map(|(d, _)| d.len()).sum();
+    /// let out_facts: usize = projected.iter().map(|(d, _)| d.len()).sum();
+    /// assert!(raw_facts > out_facts);
+    /// ```
+    pub fn keep_aux(mut self, keep: bool) -> Evaluation<'a> {
+        self.options.keep_aux = keep;
+        self
+    }
+
+    /// Replaces the whole options record (bulk configuration).
+    pub fn options(mut self, options: EvalOptions) -> Evaluation<'a> {
+        self.options = options;
+        self
+    }
+
+    /// The current options record.
+    pub fn current_options(&self) -> &EvalOptions {
+        &self.options
+    }
+
+    // -- backend resolution ------------------------------------------------
+
+    fn auto_backend(&self) -> BackendChoice {
+        if self.program.all_discrete() {
+            BackendChoice::ExactSequential
+        } else {
+            BackendChoice::Mc
+        }
+    }
+
+    fn backend_for(&self, choice: BackendChoice) -> Box<dyn Backend> {
+        match choice {
+            BackendChoice::ExactSequential | BackendChoice::Auto => {
+                Box::new(ExactSequentialBackend)
+            }
+            BackendChoice::ExactParallel => Box::new(ExactParallelBackend),
+            BackendChoice::Mc => Box::new(McBackend),
+        }
+    }
+
+    fn run_with(&self, choice: BackendChoice, sink: &mut dyn WorldSink) -> Result<(), EngineError> {
+        self.backend_for(choice)
+            .run(self.program, &self.input, &self.options, sink)
+    }
+
+    // -- terminals ---------------------------------------------------------
+
+    /// Drives the selected backend, folding observations into a custom
+    /// [`WorldSink`] — the escape hatch behind every other terminal, and
+    /// the entry point for user-defined streaming statistics. Also accepts
+    /// a custom [`Backend`] via [`Evaluation::collect_with`].
+    ///
+    /// ```
+    /// use gdatalog_core::Session;
+    /// use gdatalog_lang::SemanticsMode;
+    /// use gdatalog_pdb::WorldTableSink;
+    ///
+    /// let s = Session::from_source("R(Flip<0.25>) :- true.", SemanticsMode::Grohe).unwrap();
+    /// let mut sink = WorldTableSink::new();
+    /// s.eval().collect_into(&mut sink).unwrap();
+    /// assert_eq!(sink.finish().len(), 2);
+    /// ```
+    ///
+    /// # Errors
+    /// Backend evaluation errors.
+    pub fn collect_into(&self, sink: &mut dyn WorldSink) -> Result<(), EngineError> {
+        let choice = match self.choice {
+            BackendChoice::Auto => self.auto_backend(),
+            c => c,
+        };
+        self.run_with(choice, sink)
+    }
+
+    /// Like [`Evaluation::collect_into`], with a caller-supplied backend —
+    /// the pluggable-backend entry point.
+    ///
+    /// # Errors
+    /// Whatever the backend reports.
+    pub fn collect_with(
+        &self,
+        backend: &dyn Backend,
+        sink: &mut dyn WorldSink,
+    ) -> Result<(), EngineError> {
+        backend.run(self.program, &self.input, &self.options, sink)
+    }
+
+    /// The full world table. Under an exact backend (the default, and the
+    /// automatic choice for discrete programs) this is the exact SPDB; under
+    /// an explicit [`sample`](Evaluation::sample) it is the empirical
+    /// distribution over canonical instances.
+    ///
+    /// ```
+    /// use gdatalog_core::Session;
+    /// use gdatalog_lang::SemanticsMode;
+    ///
+    /// let s = Session::from_source(
+    ///     "R(Flip<0.5>) :- true. R(Flip<0.5>) :- true.",
+    ///     SemanticsMode::Grohe,
+    /// ).unwrap();
+    /// let worlds = s.eval().worlds().unwrap();
+    /// assert_eq!(worlds.len(), 3);
+    /// assert!(worlds.mass_is_consistent(1e-12));
+    /// ```
+    ///
+    /// # Errors
+    /// [`EngineError::NotDiscrete`] when exact enumeration meets a
+    /// continuous program — use [`sample`](Evaluation::sample).
+    pub fn worlds(&self) -> Result<PossibleWorlds, EngineError> {
+        let choice = match self.choice {
+            BackendChoice::Auto => BackendChoice::ExactSequential,
+            c => c,
+        };
+        let mut sink = WorldTableSink::new();
+        self.run_with(choice, &mut sink)?;
+        Ok(sink.finish())
+    }
+
+    /// The empirical PDB of a Monte-Carlo evaluation: every sampled world,
+    /// materialized. Memory is O(runs) — prefer the streaming statistic
+    /// terminals for large run counts.
+    ///
+    /// ```
+    /// use gdatalog_core::Session;
+    /// use gdatalog_lang::SemanticsMode;
+    ///
+    /// let s = Session::from_source("R(Flip<0.3>) :- true.", SemanticsMode::Grohe).unwrap();
+    /// let pdb = s.eval().sample(1000).seed(42).pdb().unwrap();
+    /// assert_eq!(pdb.runs(), 1000);
+    /// assert_eq!(pdb.errors(), 0);
+    /// ```
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidRequest`] if an exact backend was forced.
+    pub fn pdb(&self) -> Result<EmpiricalPdb, EngineError> {
+        match self.choice {
+            BackendChoice::Auto | BackendChoice::Mc => {}
+            _ => {
+                return Err(EngineError::InvalidRequest(
+                    "pdb() materializes Monte-Carlo samples; use .sample(runs), \
+                     or .worlds() for exact backends"
+                        .to_string(),
+                ))
+            }
+        }
+        let mut sink = EmpiricalSink::new();
+        self.run_with(BackendChoice::Mc, &mut sink)?;
+        Ok(sink.finish())
+    }
+
+    /// The marginal probability `P(f ∈ D)` of one fact, streamed in O(1)
+    /// memory on the Monte-Carlo path.
+    ///
+    /// ```
+    /// use gdatalog_core::Session;
+    /// use gdatalog_data::{tuple, Fact};
+    /// use gdatalog_lang::SemanticsMode;
+    ///
+    /// let s = Session::from_source("R(Flip<0.25>) :- true.", SemanticsMode::Grohe).unwrap();
+    /// let r = s.program().catalog.require("R").unwrap();
+    /// let p = s.eval().marginal(&Fact::new(r, tuple![1i64])).unwrap();
+    /// assert!((p - 0.25).abs() < 1e-12);
+    /// ```
+    ///
+    /// # Errors
+    /// Backend evaluation errors.
+    pub fn marginal(&self, fact: &Fact) -> Result<f64, EngineError> {
+        let mut sink = MarginalSink::new(fact.clone());
+        self.collect_into(&mut sink)?;
+        Ok(sink.finish())
+    }
+
+    /// The probability of a measurable [`Event`] (§2.3 of the paper);
+    /// deficit mass counts as not satisfying the event.
+    ///
+    /// ```
+    /// use gdatalog_core::Session;
+    /// use gdatalog_data::{tuple, Fact};
+    /// use gdatalog_lang::SemanticsMode;
+    /// use gdatalog_pdb::Event;
+    ///
+    /// let s = Session::from_source(
+    ///     "R(Flip<0.5>) :- true. R(Flip<0.5>) :- true.",
+    ///     SemanticsMode::Grohe,
+    /// ).unwrap();
+    /// let r = s.program().catalog.require("R").unwrap();
+    /// let both = Event::contains_fact(&Fact::new(r, tuple![0i64]))
+    ///     .and(Event::contains_fact(&Fact::new(r, tuple![1i64])));
+    /// let p = s.eval().probability(&both).unwrap();
+    /// assert!((p - 0.5).abs() < 1e-12);
+    /// ```
+    ///
+    /// # Errors
+    /// Backend evaluation errors.
+    pub fn probability(&self, event: &Event) -> Result<f64, EngineError> {
+        let mut sink = EventProbabilitySink::new(event.clone());
+        self.collect_into(&mut sink)?;
+        Ok(sink.finish())
+    }
+
+    /// Mean and variance of an aggregate of a [`Query`]'s answers: per
+    /// world, `agg` is applied to the last column of the answer tuples
+    /// (count ignores the column); empty answers contribute 0. Moments are
+    /// conditional on termination. Returns `None` if no world mass was
+    /// observed.
+    ///
+    /// ```
+    /// use gdatalog_core::Session;
+    /// use gdatalog_lang::SemanticsMode;
+    /// use gdatalog_pdb::{AggFun, Query};
+    ///
+    /// let s = Session::from_source(
+    ///     "R(Flip<0.5>) :- true. R(Flip<0.5>) :- true.",
+    ///     SemanticsMode::Grohe,
+    /// ).unwrap();
+    /// let r = s.program().catalog.require("R").unwrap();
+    /// // E[|R|] = 1/4·1 + 1/4·1 + 1/2·2 = 1.5.
+    /// let m = s.eval().expectation(&Query::Rel(r), AggFun::Count).unwrap().unwrap();
+    /// assert!((m.mean - 1.5).abs() < 1e-12);
+    /// ```
+    ///
+    /// # Errors
+    /// Backend evaluation errors.
+    pub fn expectation(&self, query: &Query, agg: AggFun) -> Result<Option<Moments>, EngineError> {
+        let mut sink = MomentsSink::new(query.clone(), agg, 0.0);
+        self.collect_into(&mut sink)?;
+        Ok(sink.finish())
+    }
+
+    /// A probability-weighted histogram of the values at column `col` of
+    /// relation `rel`, with `bins` equal-width bins spanning `[lo, hi)` —
+    /// streamed in O(bins) memory on the Monte-Carlo path.
+    ///
+    /// ```
+    /// use gdatalog_core::Session;
+    /// use gdatalog_lang::SemanticsMode;
+    ///
+    /// let s = Session::from_source("H(Normal<0.0, 1.0>) :- true.", SemanticsMode::Grohe).unwrap();
+    /// let h = s.program().catalog.require("H").unwrap();
+    /// let hist = s.eval().sample(2000).histogram(h, 0, -4.0, 4.0, 16).unwrap();
+    /// assert!((hist.total() - 1.0).abs() < 0.05, "one sample per run");
+    /// ```
+    ///
+    /// # Errors
+    /// Backend evaluation errors.
+    ///
+    /// # Panics
+    /// Panics unless `lo < hi` and `bins > 0`.
+    pub fn histogram(
+        &self,
+        rel: RelId,
+        col: usize,
+        lo: f64,
+        hi: f64,
+        bins: usize,
+    ) -> Result<ColumnHistogram, EngineError> {
+        let mut sink = HistogramSink::new(rel, col, lo, hi, bins);
+        self.collect_into(&mut sink)?;
+        Ok(sink.finish())
+    }
+
+    /// The marginal of **every** tuple of `rel` occurring in some world,
+    /// sorted by tuple — O(distinct tuples) memory.
+    ///
+    /// ```
+    /// use gdatalog_core::Session;
+    /// use gdatalog_lang::SemanticsMode;
+    ///
+    /// let s = Session::from_source("R(Flip<0.25>) :- true.", SemanticsMode::Grohe).unwrap();
+    /// let r = s.program().catalog.require("R").unwrap();
+    /// let ms = s.eval().marginals(r).unwrap();
+    /// assert_eq!(ms.len(), 2);
+    /// assert!((ms[0].1 - 0.75).abs() < 1e-12, "P(R(0))");
+    /// assert!((ms[1].1 - 0.25).abs() < 1e-12, "P(R(1))");
+    /// ```
+    ///
+    /// # Errors
+    /// Backend evaluation errors.
+    pub fn marginals(&self, rel: RelId) -> Result<Vec<(Fact, f64)>, EngineError> {
+        let mut sink = RelationMarginalsSink::new(rel);
+        self.collect_into(&mut sink)?;
+        Ok(sink.finish())
+    }
+
+    /// Runs a **single** sequential chase under the configured policy,
+    /// seed, and budget, recording the per-step trace — the debugging
+    /// terminal.
+    ///
+    /// ```
+    /// use gdatalog_core::Session;
+    /// use gdatalog_lang::SemanticsMode;
+    ///
+    /// let s = Session::from_source(
+    ///     "R(Flip<0.5>) :- true. S(X) :- R(X).",
+    ///     SemanticsMode::Grohe,
+    /// ).unwrap();
+    /// let run = s.eval().seed(11).trace().unwrap();
+    /// assert_eq!(run.trace.len(), run.steps);
+    /// assert!(run.steps >= 3, "sample, deliver, copy");
+    /// ```
+    ///
+    /// # Errors
+    /// Runtime distribution failures.
+    pub fn trace(&self) -> Result<ChaseRun, EngineError> {
+        let existential: Vec<usize> = self
+            .program
+            .rules
+            .iter()
+            .filter(|r| r.is_existential())
+            .map(|r| r.id)
+            .collect();
+        let mut policy = ChasePolicy::new(self.options.policy, &existential);
+        let mut rng = StdRng::seed_from_u64(self.options.seed);
+        run_sequential(
+            self.program,
+            &self.input,
+            &mut policy,
+            &mut rng,
+            self.options.max_depth,
+            true,
+        )
+        .map_err(EngineError::Dist)
+    }
+
+    /// Applies the program to a **probabilistic input** (Theorems 4.8, 5.5
+    /// and 6.2): the output SPDB is the probability-weighted mixture of the
+    /// outputs on each input world, each evaluated exactly on top of the
+    /// evaluation's base facts. Input deficit passes through unchanged.
+    ///
+    /// ```
+    /// use gdatalog_core::Session;
+    /// use gdatalog_data::{tuple, Fact, Instance};
+    /// use gdatalog_lang::SemanticsMode;
+    /// use gdatalog_pdb::PossibleWorlds;
+    ///
+    /// let s = Session::from_source(
+    ///     "rel City(symbol) input. Quake(C, Flip<0.4>) :- City(C).",
+    ///     SemanticsMode::Grohe,
+    /// ).unwrap();
+    /// let city = s.program().catalog.require("City").unwrap();
+    /// let quake = s.program().catalog.require("Quake").unwrap();
+    /// let mut with_city = Instance::new();
+    /// with_city.insert(city, tuple!["gotham"]);
+    /// let mut input = PossibleWorlds::new();
+    /// input.add(with_city, 0.5);
+    /// input.add(Instance::new(), 0.5);
+    /// let out = s.eval().transform(&input).unwrap();
+    /// let p = out.marginal(&Fact::new(quake, tuple!["gotham", 1i64]));
+    /// assert!((p - 0.5 * 0.4).abs() < 1e-12);
+    /// ```
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidRequest`] under a Monte-Carlo backend; else
+    /// the errors of [`Evaluation::worlds`].
+    pub fn transform(&self, input: &PossibleWorlds) -> Result<PossibleWorlds, EngineError> {
+        let choice = match self.choice {
+            BackendChoice::Auto => BackendChoice::ExactSequential,
+            BackendChoice::Mc => {
+                return Err(EngineError::InvalidRequest(
+                    "transform() mixes exact world tables; do not combine it with .sample()"
+                        .to_string(),
+                ))
+            }
+            c => c,
+        };
+        let mut parts = Vec::with_capacity(input.len());
+        for (world, p) in input.iter() {
+            let part = Evaluation {
+                program: self.program,
+                input: Cow::Owned(self.input.union(world)),
+                options: self.options,
+                choice,
+            };
+            parts.push((p, part.worlds()?));
+        }
+        let mut out = PossibleWorlds::mixture(parts);
+        out.add_nontermination(input.deficit().nontermination);
+        out.add_truncation(input.deficit().truncation);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdatalog_data::tuple;
+
+    #[test]
+    fn one_session_many_query_types_both_backends() {
+        // Acceptance: a single compiled session serves marginal,
+        // expectation, and histogram queries over exact AND MC backends.
+        let mut session = Session::from_source(
+            r#"
+            rel City(symbol, real) input.
+            Earthquake(C, Flip<R>) :- City(C, R).
+            Alarm(C) :- Earthquake(C, 1).
+        "#,
+            SemanticsMode::Grohe,
+        )
+        .unwrap();
+        session
+            .insert_facts_text("City(gotham, 0.3). City(metropolis, 0.6).")
+            .unwrap();
+        let alarm = session.program().catalog.require("Alarm").unwrap();
+        let quake = session.program().catalog.require("Earthquake").unwrap();
+        let fact = Fact::new(alarm, tuple!["gotham"]);
+
+        let exact_marginal = session.eval().exact().marginal(&fact).unwrap();
+        assert!((exact_marginal - 0.3).abs() < 1e-12);
+        let mc_marginal = session
+            .eval()
+            .sample(20_000)
+            .seed(5)
+            .threads(4)
+            .marginal(&fact)
+            .unwrap();
+        assert!((mc_marginal - 0.3).abs() < 0.02);
+
+        let q = Query::Rel(alarm);
+        let exact_e = session
+            .eval()
+            .exact()
+            .expectation(&q, AggFun::Count)
+            .unwrap()
+            .unwrap();
+        assert!((exact_e.mean - 0.9).abs() < 1e-12, "0.3 + 0.6");
+        let mc_e = session
+            .eval()
+            .sample(20_000)
+            .seed(6)
+            .expectation(&q, AggFun::Count)
+            .unwrap()
+            .unwrap();
+        assert!((mc_e.mean - 0.9).abs() < 0.03);
+
+        let exact_h = session
+            .eval()
+            .exact()
+            .histogram(quake, 1, 0.0, 2.0, 2)
+            .unwrap();
+        assert!((exact_h.bins[0] - 1.1).abs() < 1e-12, "E[#zeros]");
+        assert!((exact_h.bins[1] - 0.9).abs() < 1e-12, "E[#ones]");
+        let mc_h = session
+            .eval()
+            .sample(20_000)
+            .seed(7)
+            .histogram(quake, 1, 0.0, 2.0, 2)
+            .unwrap();
+        assert!((mc_h.bins[1] - 0.9).abs() < 0.03);
+    }
+
+    #[test]
+    fn incremental_edb_extends_results() {
+        let mut session = Session::from_source(
+            "rel City(symbol) input. Quake(C, Flip<0.4>) :- City(C).",
+            SemanticsMode::Grohe,
+        )
+        .unwrap();
+        assert_eq!(session.eval().worlds().unwrap().len(), 1, "empty world");
+        session.insert_facts_text("City(gotham).").unwrap();
+        assert_eq!(session.inserted_facts(), 1);
+        assert_eq!(session.eval().worlds().unwrap().len(), 2);
+        // Duplicate insert is a set-semantics no-op.
+        session.insert_facts_text("City(gotham).").unwrap();
+        assert_eq!(session.inserted_facts(), 1);
+    }
+
+    #[test]
+    fn pdb_rejects_exact_backend() {
+        let session = Session::from_source("R(Flip<0.5>) :- true.", SemanticsMode::Grohe).unwrap();
+        let err = session.eval().exact().pdb().unwrap_err();
+        assert!(matches!(err, EngineError::InvalidRequest(_)));
+    }
+
+    #[test]
+    fn auto_backend_picks_mc_for_continuous() {
+        let session =
+            Session::from_source("H(Normal<0.0, 1.0>) :- true.", SemanticsMode::Grohe).unwrap();
+        let h = session.program().catalog.require("H").unwrap();
+        // marginal on a continuous program auto-routes to Monte-Carlo
+        // rather than failing with NotDiscrete.
+        let ms = session.eval().sample(200).seed(1).marginals(h).unwrap();
+        assert_eq!(ms.len(), 200, "a.s. distinct continuous samples");
+        // worlds() keeps the exact backend and reports the obstruction.
+        assert!(matches!(
+            session.eval().worlds().unwrap_err(),
+            EngineError::NotDiscrete(_)
+        ));
+    }
+}

@@ -13,12 +13,12 @@
 //!   City(gotham, 0.3).
 //!   Earthquake(C, Flip<0.1>) :- City(C, R).
 //!   ```
-//! * [`validate`] — name resolution, arity/type inference and the
+//! * [`mod@validate`] — name resolution, arity/type inference and the
 //!   well-formedness conditions of Defs. 3.1–3.3 (deterministic bodies,
 //!   range restriction, random terms only in intensional heads).
 //! * [`acyclicity`] — the position dependency graph and the **weak
 //!   acyclicity** check of Theorem 6.3.
-//! * [`translate`] — association of the existential Datalog program `Ĝ`
+//! * [`mod@translate`] — association of the existential Datalog program `Ĝ`
 //!   (rules (3.A)/(3.B)) under either semantics:
 //!   [`SemanticsMode::Grohe`] (this paper — experiments keyed per rule ×
 //!   head valuation × parameters) or [`SemanticsMode::Barany`] (TODS 2017 —

@@ -20,15 +20,24 @@
 //! * [`query`] — relational algebra (σ, π, ⋈, ∪, −, ρ) and aggregation
 //!   evaluated per world: the measurable queries of Fact 2.6, lifted from
 //!   instances to (S)PDBs.
+//! * [`streaming`] — run-by-run observers ([`WorldSink`]) that fold weighted
+//!   possible-world streams into marginals, event probabilities, moments,
+//!   and histograms in O(result) memory — the statistics of Fact 2.6
+//!   evaluated natively on exact tables *and* Monte-Carlo streams.
 
 pub mod empirical;
 pub mod events;
 pub mod expectation;
 pub mod query;
+pub mod streaming;
 pub mod worlds;
 
 pub use empirical::EmpiricalPdb;
 pub use events::{ColPred, CountOp, Event, FactSet};
 pub use expectation::{expected_relation_size, fact_marginals, moments_of, query_moments, Moments};
 pub use query::{eval_query, eval_query_worlds, AggFun, Query};
+pub use streaming::{
+    scalar_aggregate, ColumnHistogram, DeficitKind, EmpiricalSink, EventProbabilitySink,
+    HistogramSink, MarginalSink, MomentsSink, RelationMarginalsSink, WorldSink, WorldTableSink,
+};
 pub use worlds::{MassDeficit, PossibleWorlds};

@@ -1,0 +1,687 @@
+//! Streaming observers over possible-world observations.
+//!
+//! Both evaluation strategies of the engine produce the same kind of
+//! stream: a sequence of weighted possible worlds (exact enumeration emits
+//! each world once with its probability; Monte-Carlo emits each sampled
+//! world with weight `1/runs`), plus weighted *deficit* observations for
+//! the mass that never becomes a world (budget-cut paths, truncated
+//! supports, error runs). A [`WorldSink`] consumes such a stream and folds
+//! it into a statistic **run-by-run**, so a million-run Monte-Carlo
+//! marginal holds O(result) memory instead of retaining every sampled
+//! instance.
+//!
+//! The sinks in this module are the statistics of Fact 2.6 of the paper —
+//! marginals, event probabilities, moments of aggregate queries,
+//! histograms — each usable unchanged on exact world tables and on
+//! Monte-Carlo streams, because both are streams of weighted worlds whose
+//! weights sum to (at most) one.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use gdatalog_data::{Fact, Instance, RelId, Tuple};
+
+use crate::empirical::EmpiricalPdb;
+use crate::events::Event;
+use crate::expectation::Moments;
+use crate::query::{eval_query, AggFun, Query};
+use crate::worlds::PossibleWorlds;
+
+/// Which kind of probability mass a deficit observation carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeficitKind {
+    /// Mass of chase paths cut off by the step/depth budget (the paper's
+    /// `err` outcome of §4.2); Monte-Carlo error runs report this kind.
+    Nontermination,
+    /// Mass lost to truncating countably-infinite discrete supports during
+    /// exact enumeration.
+    Truncation,
+}
+
+/// A consumer of weighted possible-world observations.
+///
+/// Implementations fold each observation into their statistic immediately;
+/// they must not retain the observed instances (that is the whole point —
+/// see the module docs). The `fork`/`join` pair supports deterministic
+/// parallel folding: a backend may `fork` one empty sink per worker, fold
+/// disjoint chunks of the stream into them, and `join` them back **in
+/// chunk order**, so the merged result does not depend on thread timing.
+pub trait WorldSink: Send {
+    /// Folds one weighted world into the statistic. Exact streams pass each
+    /// world once with its probability; Monte-Carlo streams pass each
+    /// sampled world with weight `1/runs`.
+    fn observe(&mut self, world: Instance, weight: f64);
+
+    /// Folds weighted deficit mass (non-termination or truncation).
+    fn observe_deficit(&mut self, kind: DeficitKind, weight: f64);
+
+    /// Creates an empty sink of the same type for a parallel worker, or
+    /// `None` if this sink only supports sequential folding (the default).
+    fn fork(&self) -> Option<Box<dyn WorldSink>> {
+        None
+    }
+
+    /// Merges a sink previously produced by [`WorldSink::fork`] back into
+    /// this one. Backends call `join` in deterministic chunk order.
+    ///
+    /// # Panics
+    /// The default panics; sinks that return `Some` from `fork` override it.
+    fn join(&mut self, forked: Box<dyn WorldSink>) {
+        let _ = forked;
+        unreachable!("join called on a sink that does not fork");
+    }
+
+    /// Upcast for [`WorldSink::join`] downcasting.
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+/// Implements `fork`/`join`/`into_any` for a sink with inherent
+/// `forked(&self) -> Self` and `absorb(&mut self, Self)` methods.
+macro_rules! forkable {
+    () => {
+        fn fork(&self) -> Option<Box<dyn WorldSink>> {
+            Some(Box::new(self.forked()))
+        }
+
+        fn join(&mut self, forked: Box<dyn WorldSink>) {
+            let other = forked
+                .into_any()
+                .downcast::<Self>()
+                .expect("join requires a sink forked from self");
+            self.absorb(*other);
+        }
+
+        fn into_any(self: Box<Self>) -> Box<dyn Any> {
+            self
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// World-table collector (exact results).
+// ---------------------------------------------------------------------------
+
+/// Collects the stream back into an exact [`PossibleWorlds`] table.
+///
+/// Feeding it an exact enumeration reproduces the table bit-for-bit;
+/// feeding it a Monte-Carlo stream yields the empirical distribution over
+/// canonical instances (weights `1/runs` merged per world).
+#[derive(Debug, Default)]
+pub struct WorldTableSink {
+    worlds: PossibleWorlds,
+}
+
+impl WorldTableSink {
+    /// An empty collector.
+    pub fn new() -> WorldTableSink {
+        WorldTableSink::default()
+    }
+
+    /// The collected table.
+    pub fn finish(self) -> PossibleWorlds {
+        self.worlds
+    }
+
+    fn forked(&self) -> WorldTableSink {
+        WorldTableSink::new()
+    }
+
+    fn absorb(&mut self, other: WorldTableSink) {
+        let deficit = other.worlds.deficit();
+        self.worlds.add_nontermination(deficit.nontermination);
+        self.worlds.add_truncation(deficit.truncation);
+        for (d, p) in other.worlds.into_worlds() {
+            self.worlds.add(d, p);
+        }
+    }
+}
+
+impl WorldSink for WorldTableSink {
+    fn observe(&mut self, world: Instance, weight: f64) {
+        self.worlds.add(world, weight);
+    }
+
+    fn observe_deficit(&mut self, kind: DeficitKind, weight: f64) {
+        match kind {
+            DeficitKind::Nontermination => self.worlds.add_nontermination(weight),
+            DeficitKind::Truncation => self.worlds.add_truncation(weight),
+        }
+    }
+
+    forkable!();
+}
+
+// ---------------------------------------------------------------------------
+// Empirical collector (Monte-Carlo results).
+// ---------------------------------------------------------------------------
+
+/// Collects a Monte-Carlo stream into an [`EmpiricalPdb`] (each observation
+/// is one retained sample, each deficit observation one error run).
+///
+/// This sink intentionally *materializes* every observed instance — it is
+/// the one statistic whose result is O(runs); use the other sinks when a
+/// summary suffices.
+#[derive(Debug, Default)]
+pub struct EmpiricalSink {
+    pdb: EmpiricalPdb,
+}
+
+impl EmpiricalSink {
+    /// An empty collector.
+    pub fn new() -> EmpiricalSink {
+        EmpiricalSink::default()
+    }
+
+    /// The collected estimate.
+    pub fn finish(self) -> EmpiricalPdb {
+        self.pdb
+    }
+
+    fn forked(&self) -> EmpiricalSink {
+        EmpiricalSink::new()
+    }
+
+    fn absorb(&mut self, other: EmpiricalSink) {
+        self.pdb.merge(other.pdb);
+    }
+}
+
+impl WorldSink for EmpiricalSink {
+    fn observe(&mut self, world: Instance, _weight: f64) {
+        self.pdb.push(world);
+    }
+
+    fn observe_deficit(&mut self, _kind: DeficitKind, _weight: f64) {
+        self.pdb.push_error();
+    }
+
+    forkable!();
+}
+
+// ---------------------------------------------------------------------------
+// Marginal of a single fact.
+// ---------------------------------------------------------------------------
+
+/// Streams the marginal probability `P(f ∈ D)` of one fact.
+///
+/// Deficit mass counts against the marginal (sub-probability semantics:
+/// an error run does not contain the fact), matching both
+/// [`PossibleWorlds::marginal`] and [`EmpiricalPdb::marginal`].
+#[derive(Debug, Clone)]
+pub struct MarginalSink {
+    fact: Fact,
+    mass: f64,
+}
+
+impl MarginalSink {
+    /// Streams the marginal of `fact`.
+    pub fn new(fact: Fact) -> MarginalSink {
+        MarginalSink { fact, mass: 0.0 }
+    }
+
+    /// The accumulated marginal probability.
+    pub fn finish(&self) -> f64 {
+        self.mass
+    }
+
+    fn forked(&self) -> MarginalSink {
+        MarginalSink::new(self.fact.clone())
+    }
+
+    fn absorb(&mut self, other: MarginalSink) {
+        self.mass += other.mass;
+    }
+}
+
+impl WorldSink for MarginalSink {
+    fn observe(&mut self, world: Instance, weight: f64) {
+        if world.contains(self.fact.rel, &self.fact.tuple) {
+            self.mass += weight;
+        }
+    }
+
+    fn observe_deficit(&mut self, _kind: DeficitKind, _weight: f64) {}
+
+    forkable!();
+}
+
+// ---------------------------------------------------------------------------
+// Probability of a measurable event.
+// ---------------------------------------------------------------------------
+
+/// Streams the probability of a measurable [`Event`] (§2.3 of the paper).
+/// Deficit mass counts as not satisfying the event.
+#[derive(Debug, Clone)]
+pub struct EventProbabilitySink {
+    event: Event,
+    mass: f64,
+}
+
+impl EventProbabilitySink {
+    /// Streams the probability of `event`.
+    pub fn new(event: Event) -> EventProbabilitySink {
+        EventProbabilitySink { event, mass: 0.0 }
+    }
+
+    /// The accumulated event probability.
+    pub fn finish(&self) -> f64 {
+        self.mass
+    }
+
+    fn forked(&self) -> EventProbabilitySink {
+        EventProbabilitySink::new(self.event.clone())
+    }
+
+    fn absorb(&mut self, other: EventProbabilitySink) {
+        self.mass += other.mass;
+    }
+}
+
+impl WorldSink for EventProbabilitySink {
+    fn observe(&mut self, world: Instance, weight: f64) {
+        if self.event.eval(&world) {
+            self.mass += weight;
+        }
+    }
+
+    fn observe_deficit(&mut self, _kind: DeficitKind, _weight: f64) {}
+
+    forkable!();
+}
+
+// ---------------------------------------------------------------------------
+// Moments of an aggregate query.
+// ---------------------------------------------------------------------------
+
+/// Streams the mean/variance of a scalar aggregate statistic of a query:
+/// per world, `query` is evaluated and `agg` is applied to the **last
+/// column** of its answer tuples (the convention of
+/// [`crate::expectation::query_moments`]); worlds with an empty answer
+/// contribute `empty_default`. Moments are conditional on termination
+/// (normalized by the observed world mass, excluding deficits).
+#[derive(Debug, Clone)]
+pub struct MomentsSink {
+    query: Query,
+    agg: AggFun,
+    empty_default: f64,
+    weight: f64,
+    weighted_sum: f64,
+    weighted_sq_sum: f64,
+}
+
+impl MomentsSink {
+    /// Streams moments of `agg` over the answers of `query`.
+    pub fn new(query: Query, agg: AggFun, empty_default: f64) -> MomentsSink {
+        MomentsSink {
+            query,
+            agg,
+            empty_default,
+            weight: 0.0,
+            weighted_sum: 0.0,
+            weighted_sq_sum: 0.0,
+        }
+    }
+
+    /// The accumulated moments, or `None` if no world mass was observed.
+    pub fn finish(&self) -> Option<Moments> {
+        if self.weight <= 0.0 {
+            return None;
+        }
+        let mean = self.weighted_sum / self.weight;
+        let variance = (self.weighted_sq_sum / self.weight - mean * mean).max(0.0);
+        Some(Moments {
+            mean,
+            variance,
+            mass: self.weight,
+        })
+    }
+
+    fn forked(&self) -> MomentsSink {
+        MomentsSink::new(self.query.clone(), self.agg, self.empty_default)
+    }
+
+    fn absorb(&mut self, other: MomentsSink) {
+        self.weight += other.weight;
+        self.weighted_sum += other.weighted_sum;
+        self.weighted_sq_sum += other.weighted_sq_sum;
+    }
+}
+
+/// Applies `agg` to the last column of an answer set, the scalar-statistic
+/// convention shared by [`MomentsSink`] and
+/// [`crate::expectation::query_moments`]. Returns `None` on an empty set.
+pub fn scalar_aggregate(answers: &std::collections::BTreeSet<Tuple>, agg: AggFun) -> Option<f64> {
+    if answers.is_empty() {
+        return None;
+    }
+    let nums = || {
+        answers
+            .iter()
+            .filter_map(|t| t.values().last())
+            .filter_map(gdatalog_data::Value::as_f64)
+    };
+    Some(match agg {
+        AggFun::Count => answers.len() as f64,
+        AggFun::Sum => nums().sum(),
+        AggFun::Avg => {
+            let (n, s) = nums().fold((0usize, 0.0), |(n, s), x| (n + 1, s + x));
+            if n == 0 {
+                return None;
+            }
+            s / n as f64
+        }
+        AggFun::Min => nums().fold(f64::INFINITY, f64::min),
+        AggFun::Max => nums().fold(f64::NEG_INFINITY, f64::max),
+    })
+}
+
+impl WorldSink for MomentsSink {
+    fn observe(&mut self, world: Instance, weight: f64) {
+        let answers = eval_query(&self.query, &world);
+        let x = scalar_aggregate(&answers, self.agg).unwrap_or(self.empty_default);
+        self.weight += weight;
+        self.weighted_sum += x * weight;
+        self.weighted_sq_sum += x * x * weight;
+    }
+
+    fn observe_deficit(&mut self, _kind: DeficitKind, _weight: f64) {}
+
+    forkable!();
+}
+
+// ---------------------------------------------------------------------------
+// Histogram of a numeric column.
+// ---------------------------------------------------------------------------
+
+/// A probability-weighted fixed-bin histogram over a numeric column: bin
+/// `i` holds the expected number of facts per world whose column value
+/// falls into the bin (for Monte-Carlo streams, the average count per run).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnHistogram {
+    /// Inclusive lower bound of the binned range.
+    pub lo: f64,
+    /// Exclusive upper bound of the binned range.
+    pub hi: f64,
+    /// Per-bin expected fact counts.
+    pub bins: Vec<f64>,
+    /// Expected count of values below `lo`.
+    pub underflow: f64,
+    /// Expected count of values at or above `hi`.
+    pub overflow: f64,
+    /// Total world mass observed (excludes deficits).
+    pub mass: f64,
+}
+
+impl ColumnHistogram {
+    /// The `[lo, hi)` midpoint of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Total expected count over all bins including under/overflow.
+    pub fn total(&self) -> f64 {
+        self.bins.iter().sum::<f64>() + self.underflow + self.overflow
+    }
+}
+
+/// Streams a [`ColumnHistogram`] of the values at column `col` of relation
+/// `rel`, weighting each fact by its world's probability.
+#[derive(Debug, Clone)]
+pub struct HistogramSink {
+    rel: RelId,
+    col: usize,
+    hist: ColumnHistogram,
+}
+
+impl HistogramSink {
+    /// Streams a histogram of `rel`'s column `col` with `bins` equal-width
+    /// bins spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics unless `lo < hi` and `bins > 0`.
+    pub fn new(rel: RelId, col: usize, lo: f64, hi: f64, bins: usize) -> HistogramSink {
+        assert!(lo < hi && bins > 0, "invalid histogram spec");
+        HistogramSink {
+            rel,
+            col,
+            hist: ColumnHistogram {
+                lo,
+                hi,
+                bins: vec![0.0; bins],
+                underflow: 0.0,
+                overflow: 0.0,
+                mass: 0.0,
+            },
+        }
+    }
+
+    /// The accumulated histogram.
+    pub fn finish(self) -> ColumnHistogram {
+        self.hist
+    }
+
+    fn forked(&self) -> HistogramSink {
+        HistogramSink::new(
+            self.rel,
+            self.col,
+            self.hist.lo,
+            self.hist.hi,
+            self.hist.bins.len(),
+        )
+    }
+
+    fn absorb(&mut self, other: HistogramSink) {
+        for (a, b) in self.hist.bins.iter_mut().zip(&other.hist.bins) {
+            *a += b;
+        }
+        self.hist.underflow += other.hist.underflow;
+        self.hist.overflow += other.hist.overflow;
+        self.hist.mass += other.hist.mass;
+    }
+}
+
+impl WorldSink for HistogramSink {
+    fn observe(&mut self, world: Instance, weight: f64) {
+        self.hist.mass += weight;
+        let h = &mut self.hist;
+        for t in world.relation(self.rel) {
+            let Some(x) = t[self.col].as_f64() else {
+                continue;
+            };
+            if x < h.lo {
+                h.underflow += weight;
+            } else if x >= h.hi {
+                h.overflow += weight;
+            } else {
+                let w = (h.hi - h.lo) / h.bins.len() as f64;
+                let i = (((x - h.lo) / w) as usize).min(h.bins.len() - 1);
+                h.bins[i] += weight;
+            }
+        }
+    }
+
+    fn observe_deficit(&mut self, _kind: DeficitKind, _weight: f64) {}
+
+    forkable!();
+}
+
+// ---------------------------------------------------------------------------
+// All fact marginals of one relation.
+// ---------------------------------------------------------------------------
+
+/// Streams the marginal `P(R(t̄) ∈ D)` of **every** tuple of one relation
+/// that occurs in some observed world — O(distinct tuples) memory, matching
+/// [`crate::expectation::fact_marginals`] on exact tables.
+#[derive(Debug, Clone)]
+pub struct RelationMarginalsSink {
+    rel: RelId,
+    acc: BTreeMap<Tuple, f64>,
+}
+
+impl RelationMarginalsSink {
+    /// Streams all fact marginals of `rel`.
+    pub fn new(rel: RelId) -> RelationMarginalsSink {
+        RelationMarginalsSink {
+            rel,
+            acc: BTreeMap::new(),
+        }
+    }
+
+    /// The accumulated marginals, sorted by tuple.
+    pub fn finish(self) -> Vec<(Fact, f64)> {
+        let rel = self.rel;
+        self.acc
+            .into_iter()
+            .map(|(t, p)| (Fact::new(rel, t), p))
+            .collect()
+    }
+
+    fn forked(&self) -> RelationMarginalsSink {
+        RelationMarginalsSink::new(self.rel)
+    }
+
+    fn absorb(&mut self, other: RelationMarginalsSink) {
+        for (t, p) in other.acc {
+            *self.acc.entry(t).or_insert(0.0) += p;
+        }
+    }
+}
+
+impl WorldSink for RelationMarginalsSink {
+    fn observe(&mut self, world: Instance, weight: f64) {
+        for t in world.relation(self.rel) {
+            *self.acc.entry(t.clone()).or_insert(0.0) += weight;
+        }
+    }
+
+    fn observe_deficit(&mut self, _kind: DeficitKind, _weight: f64) {}
+
+    forkable!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::FactSet;
+    use gdatalog_data::{tuple, Value};
+
+    fn r(n: u32) -> RelId {
+        RelId(n)
+    }
+
+    /// Feeds the demo table of `expectation::tests` into a sink: {1,2} w.p.
+    /// 0.5, {5} w.p. 0.25, {} w.p. 0.25.
+    fn feed_demo(sink: &mut dyn WorldSink) {
+        let mut d1 = Instance::new();
+        d1.insert(r(0), tuple![1i64]);
+        d1.insert(r(0), tuple![2i64]);
+        sink.observe(d1, 0.5);
+        let mut d2 = Instance::new();
+        d2.insert(r(0), tuple![5i64]);
+        sink.observe(d2, 0.25);
+        sink.observe(Instance::new(), 0.25);
+    }
+
+    #[test]
+    fn world_table_round_trips() {
+        let mut sink = WorldTableSink::new();
+        feed_demo(&mut sink);
+        sink.observe_deficit(DeficitKind::Truncation, 0.0);
+        let w = sink.finish();
+        assert_eq!(w.len(), 3);
+        assert!(w.mass_is_consistent(1e-12));
+    }
+
+    #[test]
+    fn marginal_streams() {
+        let mut sink = MarginalSink::new(Fact::new(r(0), tuple![1i64]));
+        feed_demo(&mut sink);
+        assert!((sink.finish() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn event_probability_streams() {
+        let ev = Event::count_exactly(FactSet::whole_relation(r(0)), 2);
+        let mut sink = EventProbabilitySink::new(ev);
+        feed_demo(&mut sink);
+        sink.observe_deficit(DeficitKind::Nontermination, 0.1);
+        assert!((sink.finish() - 0.5).abs() < 1e-12, "deficit never counts");
+    }
+
+    #[test]
+    fn moments_match_expectation_module() {
+        // E[sum] = 0.5·3 + 0.25·5 + 0.25·0 = 2.75, as in query_moments.
+        let q = Query::Rel(r(0));
+        let mut sink = MomentsSink::new(q, AggFun::Sum, 0.0);
+        feed_demo(&mut sink);
+        let m = sink.finish().unwrap();
+        assert!((m.mean - 2.75).abs() < 1e-12);
+        assert!((m.mass - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_weights_by_world() {
+        let mut sink = HistogramSink::new(r(0), 0, 0.0, 10.0, 10);
+        feed_demo(&mut sink);
+        let h = sink.finish();
+        assert!(
+            (h.bins[1] - 0.5).abs() < 1e-12,
+            "value 1 from the 0.5 world"
+        );
+        assert!((h.bins[2] - 0.5).abs() < 1e-12);
+        assert!((h.bins[5] - 0.25).abs() < 1e-12);
+        assert!((h.total() - 1.25).abs() < 1e-12, "E[|R|]");
+        assert!((h.mass - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relation_marginals_stream() {
+        let mut sink = RelationMarginalsSink::new(r(0));
+        feed_demo(&mut sink);
+        let ms = sink.finish();
+        assert_eq!(ms.len(), 3);
+        assert!((ms[0].1 - 0.5).abs() < 1e-12);
+        assert!((ms[2].1 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fork_join_is_deterministic_merge() {
+        let mut main = MarginalSink::new(Fact::new(r(0), tuple![1i64]));
+        let mut w1 = main.fork().unwrap();
+        let mut w2 = main.fork().unwrap();
+        let mut d = Instance::new();
+        d.insert(r(0), tuple![1i64]);
+        w1.observe(d.clone(), 0.25);
+        w2.observe(d, 0.5);
+        main.join(w1);
+        main.join(w2);
+        assert!((main.finish() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_sink_counts_errors() {
+        let mut sink = EmpiricalSink::new();
+        let mut d = Instance::new();
+        d.insert(r(0), tuple![1i64]);
+        sink.observe(d, 0.5);
+        sink.observe_deficit(DeficitKind::Nontermination, 0.5);
+        let pdb = sink.finish();
+        assert_eq!(pdb.runs(), 2);
+        assert_eq!(pdb.errors(), 1);
+        let _ = Value::int(0);
+    }
+
+    #[test]
+    fn scalar_aggregate_conventions() {
+        let mut set = std::collections::BTreeSet::new();
+        assert!(scalar_aggregate(&set, AggFun::Count).is_none());
+        set.insert(tuple!["a", 2.0]);
+        set.insert(tuple!["b", 4.0]);
+        assert_eq!(scalar_aggregate(&set, AggFun::Count), Some(2.0));
+        assert_eq!(scalar_aggregate(&set, AggFun::Sum), Some(6.0));
+        assert_eq!(scalar_aggregate(&set, AggFun::Avg), Some(3.0));
+        assert_eq!(scalar_aggregate(&set, AggFun::Min), Some(2.0));
+        assert_eq!(scalar_aggregate(&set, AggFun::Max), Some(4.0));
+    }
+}

@@ -104,6 +104,13 @@ impl PossibleWorlds {
         self.worlds.iter().map(|(d, &p)| (d, p))
     }
 
+    /// Consumes the table, yielding owned `(instance, probability)` pairs in
+    /// canonical instance order. The deficit record is discarded; read it
+    /// with [`PossibleWorlds::deficit`] first if needed.
+    pub fn into_worlds(self) -> impl Iterator<Item = (Instance, f64)> {
+        self.worlds.into_iter()
+    }
+
     /// Checks `mass + deficit ≈ 1` within `tol`.
     pub fn mass_is_consistent(&self, tol: f64) -> bool {
         (self.mass() + self.deficit.total() - 1.0).abs() <= tol

@@ -28,32 +28,26 @@ const PROGRAM: &str = r#"
 "#;
 
 fn main() {
-    let engine = Engine::from_source(PROGRAM, SemanticsMode::Grohe).expect("valid program");
-    let catalog = &engine.program().catalog;
+    let session = Session::from_source(PROGRAM, SemanticsMode::Grohe).expect("valid program");
+    let catalog = &session.program().catalog;
     let alarm = catalog.require("Alarm").expect("declared");
 
-    println!("weakly acyclic: {}", engine.program().weakly_acyclic());
+    println!("weakly acyclic: {}", session.program().weakly_acyclic());
 
     // Exact enumeration of all possible worlds.
-    let worlds = engine
-        .enumerate(None, ExactConfig::default())
-        .expect("discrete program");
+    let worlds = session.eval().exact().worlds().expect("discrete program");
     println!("exact worlds: {} (mass {:.9})", worlds.len(), worlds.mass());
 
     // Monte-Carlo estimate for comparison (saturating variant: the
     // semi-naive Datalog engine fast-forwards deterministic rules between
     // samples; same distribution by Theorem 6.1).
-    let pdb = engine
-        .sample(
-            None,
-            &McConfig {
-                runs: 20_000,
-                seed: 7,
-                threads: 4,
-                variant: ChaseVariant::Saturating,
-                ..McConfig::default()
-            },
-        )
+    let pdb = session
+        .eval()
+        .sample(20_000)
+        .seed(7)
+        .threads(4)
+        .variant(ChaseVariant::Saturating)
+        .pdb()
         .expect("sampling succeeds");
 
     println!("\nunit      city rate  P(alarm) exact  closed form  MC estimate");

@@ -27,24 +27,22 @@ const PROGRAM: &str = r#"
 "#;
 
 fn main() {
-    let engine = Engine::from_source(PROGRAM, SemanticsMode::Grohe).expect("valid program");
-    let program = engine.program();
+    let session = Session::from_source(PROGRAM, SemanticsMode::Grohe).expect("valid program");
+    let program = session.program();
     let pheight = program.catalog.require("PHeight").expect("declared");
 
     // Continuous programs cannot be enumerated exactly…
-    assert!(engine.enumerate(None, ExactConfig::default()).is_err());
+    assert!(session.eval().exact().worlds().is_err());
 
-    // …but the chase Markov process samples them directly.
-    let pdb = engine
-        .sample(
-            None,
-            &McConfig {
-                runs: 5_000,
-                seed: 3,
-                threads: 4,
-                ..McConfig::default()
-            },
-        )
+    // …but the chase Markov process samples them directly. (With no
+    // explicit backend the builder auto-picks Monte-Carlo here, since the
+    // program is continuous.)
+    let pdb = session
+        .eval()
+        .sample(5_000)
+        .seed(3)
+        .threads(4)
+        .pdb()
         .expect("sampling succeeds");
     println!(
         "sampled {} worlds, every run terminated: {}",

@@ -19,8 +19,8 @@ const PROGRAM: &str = r#"
 "#;
 
 fn main() {
-    let engine = Engine::from_source(PROGRAM, SemanticsMode::Grohe).expect("valid program");
-    let catalog = engine.program().catalog.clone();
+    let session = Session::from_source(PROGRAM, SemanticsMode::Grohe).expect("valid program");
+    let catalog = session.program().catalog.clone();
     let sensor = catalog.require("Sensor").expect("declared");
     let down = catalog.require("Down").expect("declared");
     let anydown = catalog.require("AnyDown").expect("declared");
@@ -51,9 +51,7 @@ fn main() {
     );
 
     // The program as a stochastic kernel: input SPDB ↦ output SPDB.
-    let out = engine
-        .transform_worlds(&input, ExactConfig::default())
-        .expect("discrete program");
+    let out = session.eval().transform(&input).expect("discrete program");
     println!(
         "output SPDB: {} worlds, mass {:.9}\n",
         out.len(),

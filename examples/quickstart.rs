@@ -1,5 +1,6 @@
-//! Quickstart: parse a GDatalog program, evaluate it exactly and by
-//! Monte-Carlo, and inspect the resulting (sub-)probabilistic database.
+//! Quickstart: compile a GDatalog program into a session, evaluate it
+//! exactly and by Monte-Carlo through the builder API, and inspect the
+//! resulting (sub-)probabilistic database.
 //!
 //! Run with `cargo run --example quickstart`.
 
@@ -13,8 +14,8 @@ fn main() {
         Alert(on) :- Faulty(1).
     "#;
 
-    let engine = Engine::from_source(src, SemanticsMode::Grohe).expect("valid program");
-    let program = engine.program();
+    let session = Session::from_source(src, SemanticsMode::Grohe).expect("valid program");
+    let program = session.program();
 
     println!("weakly acyclic: {}", program.weakly_acyclic());
     println!(
@@ -23,8 +24,10 @@ fn main() {
     );
 
     // --- Exact evaluation -------------------------------------------------
-    let worlds = engine
-        .enumerate(None, ExactConfig::default())
+    let worlds = session
+        .eval()
+        .exact()
+        .worlds()
         .expect("discrete program enumerates exactly");
     println!("\nexact world table (output schema):");
     for (text, p) in worlds.table(&program.catalog) {
@@ -36,21 +39,22 @@ fn main() {
         worlds.deficit().total()
     );
 
-    // Marginal of a single fact.
+    // Marginal of a single fact, as a query terminal on the same session.
     let alert = program.catalog.require("Alert").expect("declared");
     let fact = Fact::new(alert, Tuple::from(vec![Value::sym("on")]));
-    println!("\nP(Alert(on)) = {:.4} (exact)", worlds.marginal(&fact));
+    let exact_p = session.eval().exact().marginal(&fact).expect("discrete");
+    println!("\nP(Alert(on)) = {exact_p:.4} (exact)");
 
     // --- Monte-Carlo evaluation -------------------------------------------
-    let cfg = McConfig {
-        runs: 100_000,
-        seed: 2024,
-        ..McConfig::default()
-    };
-    let pdb = engine.sample(None, &cfg).expect("sampling succeeds");
-    println!(
-        "P(Alert(on)) ≈ {:.4} ({} runs)",
-        pdb.marginal(&fact),
-        pdb.runs()
-    );
+    // The same terminal on the sampling backend *streams*: the marginal
+    // folds run-by-run, no per-run instance is retained.
+    let mc_p = session
+        .eval()
+        .sample(100_000)
+        .seed(2024)
+        .threads(4)
+        .marginal(&fact)
+        .expect("sampling succeeds");
+    println!("P(Alert(on)) ≈ {mc_p:.4} (100000 streamed runs)");
+    assert!((exact_p - mc_p).abs() < 0.01);
 }

@@ -16,9 +16,7 @@ use gdatalog::lang::{parse_program, simulate_barany_in_grohe, BSIM_PREFIX};
 use gdatalog::prelude::*;
 
 fn show(label: &str, engine: &Engine) -> PossibleWorlds {
-    let worlds = engine
-        .enumerate(None, ExactConfig::default())
-        .expect("discrete program");
+    let worlds = engine.eval().exact().worlds().expect("discrete program");
     println!("\n{label}:");
     for (text, p) in worlds.table(&engine.program().catalog) {
         println!("  {p:.4}  {text}");
@@ -54,7 +52,7 @@ fn main() {
     for eps in [0.25, 0.1, 0.05, 0.01, 0.0] {
         let src = format!("R(Flip<0.5>) :- true. R(Flip<{}>) :- true.", 0.5 + eps);
         let engine = Engine::from_source(&src, SemanticsMode::Grohe).unwrap();
-        let worlds = engine.enumerate(None, ExactConfig::default()).unwrap();
+        let worlds = engine.eval().worlds().unwrap();
         let r = engine.program().catalog.require("R").unwrap();
         let one = Tuple::from(vec![Value::int(1)]);
         let zero = Tuple::from(vec![Value::int(0)]);
@@ -109,7 +107,8 @@ fn main() {
     .unwrap();
     let catalog = sim.program().catalog.clone();
     let w_sim = sim
-        .enumerate(None, ExactConfig::default())
+        .eval()
+        .worlds()
         .unwrap()
         // Drop the helper relations of the rewriting before comparing.
         .project_relations(|rel| !catalog.name(rel).starts_with(BSIM_PREFIX));

@@ -9,7 +9,7 @@
 //!
 //! Run with `cargo run --example sensor_pipeline`.
 
-use gdatalog::pdb::{ColPred, FactSet};
+use gdatalog::pdb::{CountOp, Event};
 use gdatalog::prelude::*;
 use gdatalog::stats::Summary;
 
@@ -44,20 +44,16 @@ const PROGRAM: &str = r#"
 "#;
 
 fn main() {
-    let engine = Engine::from_source(PROGRAM, SemanticsMode::Grohe).expect("valid program");
-    let program = engine.program();
+    let session = Session::from_source(PROGRAM, SemanticsMode::Grohe).expect("valid program");
+    let program = session.program();
     println!("weakly acyclic: {}", program.weakly_acyclic());
 
-    let pdb = engine
-        .sample(
-            None,
-            &McConfig {
-                runs: 20_000,
-                seed: 99,
-                threads: 4,
-                ..McConfig::default()
-            },
-        )
+    let pdb = session
+        .eval()
+        .sample(20_000)
+        .seed(99)
+        .threads(4)
+        .pdb()
         .expect("sampling succeeds");
     println!(
         "worlds sampled: {} (all terminated: {})",
@@ -82,7 +78,19 @@ fn main() {
                 },
             ],
         };
-        let p_hot = pdb.estimate(|d| hot.count_in(d) >= 1);
+        // Streamed over a fresh 20k-run evaluation: the event probability
+        // folds run-by-run, no per-run instance is retained.
+        let p_hot = session
+            .eval()
+            .sample(20_000)
+            .seed(99)
+            .threads(4)
+            .probability(&Event::Count {
+                set: hot.clone(),
+                op: CountOp::AtLeast,
+                n: 1,
+            })
+            .expect("sampling succeeds");
         let mut vals = Vec::new();
         for world in pdb.samples() {
             for t in world.relation(measured) {

@@ -17,7 +17,7 @@ use gdatalog::stats::Summary;
 
 fn main() {
     // --- Weakly acyclic ⇒ terminates (Thm. 6.3) ---------------------------
-    let wa = Engine::from_source(
+    let wa = Session::from_source(
         r#"
         rel City(symbol, real) input.
         City(gotham, 0.3).
@@ -31,16 +31,7 @@ fn main() {
         "burglary fragment: weakly acyclic = {}",
         wa.program().weakly_acyclic()
     );
-    let pdb = wa
-        .sample(
-            None,
-            &McConfig {
-                runs: 2_000,
-                seed: 1,
-                ..Default::default()
-            },
-        )
-        .unwrap();
+    let pdb = wa.eval().sample(2_000).seed(1).pdb().unwrap();
     println!(
         "  {} runs, errors (non-terminated): {}",
         pdb.runs(),
@@ -49,7 +40,7 @@ fn main() {
     assert_eq!(pdb.errors(), 0);
 
     // --- Continuous cycle: a.s. non-termination ---------------------------
-    let cont = Engine::from_source(
+    let cont = Session::from_source(
         r#"
         C(0.0).
         C(Normal<V, 1.0>) :- C(V).
@@ -64,15 +55,11 @@ fn main() {
     println!("  step budget → fraction of runs still alive:");
     for budget in [10usize, 50, 200] {
         let pdb = cont
-            .sample(
-                None,
-                &McConfig {
-                    runs: 200,
-                    max_steps: budget,
-                    seed: 2,
-                    ..Default::default()
-                },
-            )
+            .eval()
+            .sample(200)
+            .seed(2)
+            .max_depth(budget)
+            .pdb()
             .unwrap();
         let alive = pdb.errors() as f64 / pdb.runs() as f64;
         println!("    budget {budget:>4}: {alive:.2}");
@@ -86,7 +73,7 @@ fn main() {
     // Each present value X spawns one tagged Geometric<0.5 | X> experiment;
     // a sampled value already present adds nothing. The growth process dies
     // out almost surely.
-    let disc = Engine::from_source(
+    let disc = Session::from_source(
         r#"
         G(0).
         G(Geometric<0.5 | X>) :- G(X).
@@ -101,9 +88,7 @@ fn main() {
     let mut lengths = Vec::new();
     let mut exhausted = 0usize;
     for seed in 0..2_000u64 {
-        let run = disc
-            .run_once(None, PolicyKind::Canonical, seed, 50_000)
-            .unwrap();
+        let run = disc.eval().seed(seed).max_depth(50_000).trace().unwrap();
         match run.outcome {
             RunOutcome::Terminated => lengths.push(run.steps as f64),
             RunOutcome::BudgetExhausted => exhausted += 1,
@@ -124,17 +109,15 @@ fn main() {
 
     // And exact enumeration quantifies the termination mass by depth.
     let worlds = disc
-        .enumerate_raw(
-            None,
-            PolicyKind::Canonical,
-            ExactConfig {
-                max_depth: 14,
-                support_tol: 1e-6,
-                // Prune paths below 1e-7 into the deficit: keeps the tree
-                // finite (each sample branches over ~20 outcomes).
-                min_path_prob: 1e-7,
-            },
-        )
+        .eval()
+        .exact()
+        .keep_aux(true)
+        .max_depth(14)
+        .support_tol(1e-6)
+        // Prune paths below 1e-7 into the deficit: keeps the tree finite
+        // (each sample branches over ~20 outcomes).
+        .min_path_prob(1e-7)
+        .worlds()
         .unwrap();
     println!(
         "  exact (depth ≤ 14): terminated mass {:.5}, unresolved mass {:.5}, truncated {:.7}",

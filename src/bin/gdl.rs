@@ -2,26 +2,61 @@
 //!
 //! ```text
 //! gdl check  <file.gdl>                  parse + validate + analyze + show Ĝ
-//! gdl exact  <file.gdl> [--barany] [--depth N] [--input facts.gdl]
-//! gdl sample <file.gdl> [--barany] [--runs N] [--seed S] [--steps N] [--input facts.gdl]
+//! gdl exact  <file.gdl> [--barany] [--depth N] [--input facts.gdl] [--format json]
+//! gdl sample <file.gdl> [--barany] [--runs N] [--seed S] [--steps N]
+//!                       [--threads N] [--input facts.gdl] [--format json]
+//! gdl query  <file.gdl> <marginal|expectation|histogram> <Relation>
+//!                       [--agg count|sum|avg|min|max] [--col K]
+//!                       [--lo X --hi Y --bins N]
+//!                       [--exact | --mc] [--runs N] [--seed S] [--steps N]
+//!                       [--threads N] [--input facts.gdl] [--format json]
 //! gdl tree   <file.gdl> [--depth N]      chase tree in Graphviz DOT
 //! ```
+//!
+//! Every evaluating command goes through the [`Session`] API: the program
+//! is compiled once, `--input` facts extend the session's extensional
+//! database, and the builder picks exact enumeration or streaming
+//! Monte-Carlo automatically (`--exact` / `--mc` force a backend).
 
 use std::io::Write as _;
 use std::process::ExitCode;
 
-use gdatalog::engine::{build_chase_tree, ChasePolicy};
+use gdatalog::engine::{build_chase_tree, ChasePolicy, Evaluation};
 use gdatalog::prelude::*;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ForceBackend {
+    Auto,
+    Exact,
+    Mc,
+}
 
 struct Args {
     command: String,
     file: String,
+    /// `query` positionals: kind and relation name.
+    query_kind: Option<String>,
+    query_rel: Option<String>,
     mode: SemanticsMode,
     runs: usize,
     seed: u64,
     steps: usize,
     depth: usize,
+    threads: usize,
     input: Option<String>,
+    format: Format,
+    force: ForceBackend,
+    agg: AggFun,
+    col: Option<usize>,
+    lo: Option<f64>,
+    hi: Option<f64>,
+    bins: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -31,16 +66,33 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         command,
         file,
+        query_kind: None,
+        query_rel: None,
         mode: SemanticsMode::Grohe,
         runs: 10_000,
         seed: 0,
         steps: 100_000,
         depth: 10_000,
+        threads: 1,
         input: None,
+        format: Format::Text,
+        force: ForceBackend::Auto,
+        agg: AggFun::Count,
+        col: None,
+        lo: None,
+        hi: None,
+        bins: 20,
     };
+    if args.command == "query" {
+        args.query_kind = Some(argv.next().ok_or("query needs a kind")?);
+        args.query_rel = Some(argv.next().ok_or("query needs a relation")?);
+    }
     while let Some(flag) = argv.next() {
         let mut take = |what: &str| -> Result<String, String> {
             argv.next().ok_or(format!("{what} needs a value"))
+        };
+        let num = |what: &str, v: Result<String, String>| -> Result<f64, String> {
+            v?.parse().map_err(|e| format!("{what}: {e}"))
         };
         match flag.as_str() {
             "--barany" => args.mode = SemanticsMode::Barany,
@@ -48,27 +100,114 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => args.seed = take("--seed")?.parse().map_err(|e| format!("{e}"))?,
             "--steps" => args.steps = take("--steps")?.parse().map_err(|e| format!("{e}"))?,
             "--depth" => args.depth = take("--depth")?.parse().map_err(|e| format!("{e}"))?,
+            "--threads" => args.threads = take("--threads")?.parse().map_err(|e| format!("{e}"))?,
             "--input" => args.input = Some(take("--input")?),
+            "--format" => {
+                args.format = match take("--format")?.as_str() {
+                    "json" => Format::Json,
+                    "text" => Format::Text,
+                    other => return Err(format!("unknown format `{other}`")),
+                }
+            }
+            "--exact" => args.force = ForceBackend::Exact,
+            "--mc" => args.force = ForceBackend::Mc,
+            "--agg" => {
+                args.agg = match take("--agg")?.as_str() {
+                    "count" => AggFun::Count,
+                    "sum" => AggFun::Sum,
+                    "avg" => AggFun::Avg,
+                    "min" => AggFun::Min,
+                    "max" => AggFun::Max,
+                    other => return Err(format!("unknown aggregate `{other}`")),
+                }
+            }
+            "--col" => args.col = Some(take("--col")?.parse().map_err(|e| format!("{e}"))?),
+            "--lo" => args.lo = Some(num("--lo", take("--lo"))?),
+            "--hi" => args.hi = Some(num("--hi", take("--hi"))?),
+            "--bins" => args.bins = take("--bins")?.parse().map_err(|e| format!("{e}"))?,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     Ok(args)
 }
 
-fn run() -> Result<(), String> {
-    let args = parse_args()?;
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fact_text(fact: &Fact, catalog: &Catalog) -> String {
+    let mut line = format!("{}(", catalog.name(fact.rel));
+    for (i, v) in fact.tuple.values().iter().enumerate() {
+        if i > 0 {
+            line.push_str(", ");
+        }
+        line.push_str(&format!("{v}"));
+    }
+    line.push(')');
+    line
+}
+
+fn world_text(world: &Instance, catalog: &Catalog) -> String {
+    let text = gdatalog::data::canonical_text(world, catalog);
+    if text.is_empty() {
+        "(empty)".to_string()
+    } else {
+        text.trim_end().replace('\n', "  ")
+    }
+}
+
+/// Builds the session and applies `--input` facts.
+fn make_session(args: &Args) -> Result<Session, String> {
     let src = std::fs::read_to_string(&args.file)
         .map_err(|e| format!("cannot read {}: {e}", args.file))?;
-    let engine = Engine::from_source(&src, args.mode).map_err(|e| e.to_string())?;
-    let program = engine.program();
-    let extra_input = match &args.input {
-        None => None,
-        Some(path) => {
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            Some(gdatalog::lang::parse_facts(&text, &program.catalog).map_err(|e| e.to_string())?)
-        }
+    let mut session = Session::from_source(&src, args.mode).map_err(|e| e.to_string())?;
+    if let Some(path) = &args.input {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        session
+            .insert_facts_text(&text)
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(session)
+}
+
+/// Configures an evaluation from the CLI flags: the backend is resolved
+/// first (auto picks Monte-Carlo for continuous programs), then the budget
+/// flag that matches it applies — `--steps` for Monte-Carlo, `--depth` for
+/// exact enumeration.
+fn configure<'a>(session: &'a Session, args: &Args) -> Evaluation<'a> {
+    let mc = match args.force {
+        ForceBackend::Mc => true,
+        ForceBackend::Exact => false,
+        ForceBackend::Auto => !session.program().all_discrete(),
     };
+    let eval = session
+        .eval()
+        .seed(args.seed)
+        .threads(args.threads)
+        .max_depth(if mc { args.steps } else { args.depth });
+    if mc {
+        eval.sample(args.runs)
+    } else if args.force == ForceBackend::Exact {
+        eval.exact()
+    } else {
+        eval
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let session = make_session(&args)?;
+    let program = session.program();
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
 
@@ -99,67 +238,97 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "exact" => {
-            let worlds = engine
-                .enumerate(
-                    extra_input.as_ref(),
-                    ExactConfig {
-                        max_depth: args.depth,
-                        ..ExactConfig::default()
-                    },
-                )
+            let worlds = session
+                .eval()
+                .exact()
+                .max_depth(args.depth)
+                .worlds()
                 .map_err(|e| e.to_string())?;
-            for (text, p) in worlds.table(&program.catalog) {
-                let _ = writeln!(out, "{p:.6}  {text}");
+            match args.format {
+                Format::Text => {
+                    for (text, p) in worlds.table(&program.catalog) {
+                        let _ = writeln!(out, "{p:.6}  {text}");
+                    }
+                    let _ = writeln!(
+                        out,
+                        "# mass {:.6}, non-termination {:.6}, truncation {:.6}",
+                        worlds.mass(),
+                        worlds.deficit().nontermination,
+                        worlds.deficit().truncation
+                    );
+                }
+                Format::Json => {
+                    let rows: Vec<String> = worlds
+                        .table(&program.catalog)
+                        .into_iter()
+                        .map(|(text, p)| {
+                            format!("{{\"p\": {p}, \"world\": \"{}\"}}", json_escape(&text))
+                        })
+                        .collect();
+                    let _ = writeln!(
+                        out,
+                        "{{\"mass\": {}, \"nontermination\": {}, \"truncation\": {}, \
+                         \"worlds\": [{}]}}",
+                        worlds.mass(),
+                        worlds.deficit().nontermination,
+                        worlds.deficit().truncation,
+                        rows.join(", ")
+                    );
+                }
             }
-            let _ = writeln!(
-                out,
-                "# mass {:.6}, non-termination {:.6}, truncation {:.6}",
-                worlds.mass(),
-                worlds.deficit().nontermination,
-                worlds.deficit().truncation
-            );
             Ok(())
         }
         "sample" => {
-            let pdb = engine
-                .sample(
-                    extra_input.as_ref(),
-                    &McConfig {
-                        runs: args.runs,
-                        seed: args.seed,
-                        max_steps: args.steps,
-                        threads: 4,
-                        ..McConfig::default()
-                    },
-                )
+            let pdb = session
+                .eval()
+                .sample(args.runs)
+                .seed(args.seed)
+                .threads(args.threads.max(1))
+                .max_depth(args.steps)
+                .pdb()
                 .map_err(|e| e.to_string())?;
             let dist = pdb.to_distribution();
-            // Print the most probable worlds first (up to 20).
             let mut rows: Vec<(f64, String)> = dist
                 .iter()
-                .map(|(d, p)| (*p, gdatalog::data::canonical_text(d, &program.catalog)))
+                .map(|(d, p)| (*p, world_text(d, &program.catalog)))
                 .collect();
             rows.sort_by(|a, b| b.0.total_cmp(&a.0));
-            for (p, text) in rows.iter().take(20) {
-                let flat = if text.is_empty() {
-                    "(empty)".to_string()
-                } else {
-                    text.trim_end().replace('\n', "  ")
-                };
-                let _ = writeln!(out, "{p:.6}  {flat}");
+            match args.format {
+                Format::Text => {
+                    for (p, text) in rows.iter().take(20) {
+                        let _ = writeln!(out, "{p:.6}  {text}");
+                    }
+                    if rows.len() > 20 {
+                        let _ = writeln!(out, "… {} more distinct worlds", rows.len() - 20);
+                    }
+                    let _ = writeln!(
+                        out,
+                        "# runs {}, errors {}, estimated mass {:.4}",
+                        pdb.runs(),
+                        pdb.errors(),
+                        pdb.mass()
+                    );
+                }
+                Format::Json => {
+                    let worlds: Vec<String> = rows
+                        .iter()
+                        .map(|(p, text)| {
+                            format!("{{\"p\": {p}, \"world\": \"{}\"}}", json_escape(text))
+                        })
+                        .collect();
+                    let _ = writeln!(
+                        out,
+                        "{{\"runs\": {}, \"errors\": {}, \"mass\": {}, \"worlds\": [{}]}}",
+                        pdb.runs(),
+                        pdb.errors(),
+                        pdb.mass(),
+                        worlds.join(", ")
+                    );
+                }
             }
-            if rows.len() > 20 {
-                let _ = writeln!(out, "… {} more distinct worlds", rows.len() - 20);
-            }
-            let _ = writeln!(
-                out,
-                "# runs {}, errors {}, estimated mass {:.4}",
-                pdb.runs(),
-                pdb.errors(),
-                pdb.mass()
-            );
             Ok(())
         }
+        "query" => run_query(&args, &session, &mut out),
         "tree" => {
             let mut policy = ChasePolicy::new(PolicyKind::Canonical, &[]);
             let tree = build_chase_tree(
@@ -176,7 +345,136 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         other => Err(format!(
-            "unknown command `{other}` (expected check | exact | sample | tree)"
+            "unknown command `{other}` (expected check | exact | sample | query | tree)"
+        )),
+    }
+}
+
+fn run_query(args: &Args, session: &Session, out: &mut impl std::io::Write) -> Result<(), String> {
+    let program = session.program();
+    let rel_name = args.query_rel.as_deref().expect("parsed");
+    let rel = program
+        .catalog
+        .require(rel_name)
+        .map_err(|e| format!("{e}"))?;
+    let arity = program.catalog.decl(rel).arity();
+    let eval = configure(session, args);
+    match args.query_kind.as_deref().expect("parsed") {
+        "marginal" => {
+            let marginals = eval.marginals(rel).map_err(|e| e.to_string())?;
+            match args.format {
+                Format::Text => {
+                    for (fact, p) in &marginals {
+                        let _ = writeln!(out, "{p:.6}  {}", fact_text(fact, &program.catalog));
+                    }
+                }
+                Format::Json => {
+                    let rows: Vec<String> = marginals
+                        .iter()
+                        .map(|(fact, p)| {
+                            format!(
+                                "{{\"fact\": \"{}\", \"p\": {p}}}",
+                                json_escape(&fact_text(fact, &program.catalog))
+                            )
+                        })
+                        .collect();
+                    let _ = writeln!(out, "{{\"marginals\": [{}]}}", rows.join(", "));
+                }
+            }
+            Ok(())
+        }
+        "expectation" => {
+            let query = Query::Rel(rel);
+            let query = match args.col {
+                // Aggregate a specific column by projecting it to the end.
+                Some(col) if col < arity => query.project(vec![col]),
+                Some(col) => {
+                    return Err(format!(
+                        "--col {col} out of range for {rel_name} (arity {arity})"
+                    ))
+                }
+                None => query,
+            };
+            let m = eval
+                .expectation(&query, args.agg)
+                .map_err(|e| e.to_string())?
+                .ok_or("no world mass observed")?;
+            match args.format {
+                Format::Text => {
+                    let _ = writeln!(
+                        out,
+                        "mean {:.6}  variance {:.6}  mass {:.6}",
+                        m.mean, m.variance, m.mass
+                    );
+                }
+                Format::Json => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"mean\": {}, \"variance\": {}, \"mass\": {}}}",
+                        m.mean, m.variance, m.mass
+                    );
+                }
+            }
+            Ok(())
+        }
+        "histogram" => {
+            let col = args.col.unwrap_or(arity.saturating_sub(1));
+            if col >= arity {
+                return Err(format!(
+                    "--col {col} out of range for {rel_name} (arity {arity})"
+                ));
+            }
+            let (lo, hi) = match (args.lo, args.hi) {
+                (Some(lo), Some(hi)) => (lo, hi),
+                _ => return Err("histogram needs --lo and --hi".to_string()),
+            };
+            if lo.is_nan() || hi.is_nan() || lo >= hi || args.bins == 0 {
+                return Err(format!(
+                    "invalid histogram spec: need --lo < --hi and --bins > 0 \
+                     (got lo {lo}, hi {hi}, bins {})",
+                    args.bins
+                ));
+            }
+            let hist = eval
+                .histogram(rel, col, lo, hi, args.bins)
+                .map_err(|e| e.to_string())?;
+            match args.format {
+                Format::Text => {
+                    for (i, count) in hist.bins.iter().enumerate() {
+                        let _ = writeln!(out, "{:>12.4}  {count:.6}", hist.bin_center(i));
+                    }
+                    let _ = writeln!(
+                        out,
+                        "# underflow {:.6}, overflow {:.6}, mass {:.6}",
+                        hist.underflow, hist.overflow, hist.mass
+                    );
+                }
+                Format::Json => {
+                    let bins: Vec<String> = hist
+                        .bins
+                        .iter()
+                        .enumerate()
+                        .map(|(i, c)| {
+                            format!("{{\"center\": {}, \"count\": {c}}}", hist.bin_center(i))
+                        })
+                        .collect();
+                    let _ = writeln!(
+                        out,
+                        "{{\"lo\": {}, \"hi\": {}, \"underflow\": {}, \"overflow\": {}, \
+                         \"mass\": {}, \"bins\": [{}]}}",
+                        hist.lo,
+                        hist.hi,
+                        hist.underflow,
+                        hist.overflow,
+                        hist.mass,
+                        bins.join(", ")
+                    );
+                }
+            }
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown query kind `{other}` (expected marginal | expectation | histogram)"
         )),
     }
 }
@@ -187,8 +485,11 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("gdl: {e}");
             eprintln!(
-                "usage: gdl <check|exact|sample|tree> <file.gdl> \
-                 [--barany] [--runs N] [--seed S] [--steps N] [--depth N]"
+                "usage: gdl <check|exact|sample|query|tree> <file.gdl> [args]\n\
+                 \x20 query: gdl query <file.gdl> <marginal|expectation|histogram> <Relation>\n\
+                 \x20        [--agg count|sum|avg|min|max] [--col K] [--lo X --hi Y --bins N]\n\
+                 \x20 flags: [--barany] [--runs N] [--seed S] [--steps N] [--depth N]\n\
+                 \x20        [--threads N] [--input facts.gdl] [--format json] [--exact|--mc]"
             );
             ExitCode::from(2)
         }

@@ -20,29 +20,45 @@
 //! | [`dist`] | the parameterized distribution family Ψ (Def. 2.1) |
 //! | [`datalog`] | classical semi-naive Datalog substrate |
 //! | [`lang`] | parser, validation, weak acyclicity, Datalog∃ translation |
-//! | [`pdb`] | possible worlds, empirical PDBs, events, queries |
-//! | [`engine`] | the probabilistic chase: sequential/parallel, exact/MC |
+//! | [`pdb`] | possible worlds, empirical PDBs, events, queries, streaming sinks |
+//! | [`engine`] | the probabilistic chase: sessions, backends, exact/MC |
 //! | [`stats`] | KS/χ² testing substrate used to verify the semantics |
 //!
 //! ## Quickstart
 //!
+//! Compile a program once into a [`Session`](prelude::Session), feed it
+//! facts, and answer queries through the builder-style evaluation surface:
+//!
 //! ```
 //! use gdatalog::prelude::*;
 //!
-//! // Example 1.1 of the paper, program G0.
-//! let engine = Engine::from_source(
-//!     "R(Flip<0.5>) :- true. R(Flip<0.5>) :- true.",
+//! let mut session = Session::from_source(
+//!     "rel City(symbol, real) input.
+//!      Earthquake(C, Flip<R>) :- City(C, R).
+//!      Alarm(C) :- Earthquake(C, 1).",
 //!     SemanticsMode::Grohe,
 //! ).unwrap();
+//! session.insert_facts_text("City(gotham, 0.3).").unwrap();
 //!
 //! // Exact evaluation: the full world table.
-//! let worlds = engine.enumerate(None, ExactConfig::default()).unwrap();
-//! assert_eq!(worlds.len(), 3); // {R(0)}, {R(1)}, {R(0),R(1)}
+//! let worlds = session.eval().exact().worlds().unwrap();
+//! assert_eq!(worlds.len(), 2);
 //!
-//! // Monte-Carlo evaluation (works for continuous programs too).
-//! let pdb = engine.sample(None, &McConfig { runs: 1000, ..Default::default() }).unwrap();
-//! assert_eq!(pdb.runs(), 1000);
+//! // Query terminals work on any backend (Fact 2.6): exact here …
+//! let alarm = session.program().catalog.require("Alarm").unwrap();
+//! let p = session.eval().marginal(&Fact::new(alarm, tuple!["gotham"])).unwrap();
+//! assert!((p - 0.3).abs() < 1e-12);
+//!
+//! // … and streaming Monte-Carlo here: statistics fold run-by-run, so
+//! // large run counts hold O(result) memory; the sampled worlds are
+//! // identical for a fixed seed regardless of thread count.
+//! let p_mc = session.eval().sample(10_000).threads(4).seed(7)
+//!     .marginal(&Fact::new(alarm, tuple!["gotham"])).unwrap();
+//! assert!((p - p_mc).abs() < 0.02);
 //! ```
+//!
+//! See `docs/API.md` for the migration table from the pre-session
+//! `Engine` entry points.
 
 pub use gdatalog_core as engine;
 pub use gdatalog_data as data;
@@ -55,10 +71,15 @@ pub use gdatalog_stats as stats;
 /// The most commonly used items, for `use gdatalog::prelude::*`.
 pub mod prelude {
     pub use gdatalog_core::{
-        ChasePolicy, ChaseVariant, Engine, EngineError, ExactConfig, McConfig, PolicyKind,
+        Backend, ChasePolicy, ChaseVariant, Engine, EngineError, EvalOptions, Evaluation,
+        ExactConfig, ExactParallelBackend, ExactSequentialBackend, McBackend, McConfig, PolicyKind,
+        Session,
     };
-    pub use gdatalog_data::{Catalog, ColType, Fact, Instance, RelId, Tuple, Value};
+    pub use gdatalog_data::{tuple, Catalog, ColType, Fact, Instance, RelId, Tuple, Value};
     pub use gdatalog_dist::{ParamDist, Registry};
     pub use gdatalog_lang::{Program, SemanticsMode};
-    pub use gdatalog_pdb::{EmpiricalPdb, PossibleWorlds};
+    pub use gdatalog_pdb::{
+        AggFun, ColPred, ColumnHistogram, EmpiricalPdb, Event, FactSet, Moments, PossibleWorlds,
+        Query, WorldSink,
+    };
 }

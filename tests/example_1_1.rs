@@ -1,6 +1,8 @@
 //! Integration test: the full matrix of Example 1.1 — programs G0, Gε, G′0
 //! under both semantics, with the paper's exact probabilities.
 
+#![allow(deprecated)] // exercises the legacy Engine entry points (now shims over Evaluation)
+
 use gdatalog::prelude::*;
 
 fn worlds(src: &str, mode: SemanticsMode) -> (Engine, PossibleWorlds) {

@@ -1,6 +1,8 @@
 //! Integration test: Monte-Carlo sampling converges to the exact world
 //! table (chi-square GOF on the world distribution, plus marginals).
 
+#![allow(deprecated)] // exercises the legacy Engine entry points (now shims over Evaluation)
+
 use std::collections::BTreeMap;
 
 use gdatalog::prelude::*;

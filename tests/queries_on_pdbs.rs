@@ -2,6 +2,8 @@
 //! — relational algebra and aggregation evaluated per world over the exact
 //! burglary table, cross-checked against marginals and counting events.
 
+#![allow(deprecated)] // exercises the legacy Engine entry points (now shims over Evaluation)
+
 use std::collections::BTreeSet;
 
 use gdatalog::pdb::{eval_query, eval_query_worlds, AggFun, ColPred, Event, FactSet, Query};

@@ -7,6 +7,8 @@
 //! either copies, flips a coin parameterized by a constant, or joins two
 //! earlier layers. Layering guarantees weak acyclicity by construction.
 
+#![allow(deprecated)] // exercises the legacy Engine entry points (now shims over Evaluation)
+
 use proptest::prelude::*;
 
 use gdatalog::prelude::*;

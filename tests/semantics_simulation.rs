@@ -1,6 +1,8 @@
 //! Integration tests for §6.2: each semantics simulates the other via the
 //! program rewritings, exactly.
 
+#![allow(deprecated)] // exercises the legacy Engine entry points (now shims over Evaluation)
+
 use std::sync::Arc;
 
 use gdatalog::lang::{

@@ -1,0 +1,364 @@
+//! API-equivalence suite for the Session/Evaluation redesign: every new
+//! builder path must produce **bit-identical** results to the legacy
+//! method-per-strategy entry points it replaces (exact and Monte-Carlo,
+//! single- and multi-threaded), and the streaming statistic terminals must
+//! agree with the materializing reference implementations.
+
+#![allow(deprecated)] // the point of this suite is new-vs-legacy equality
+
+use gdatalog::pdb::{query_moments, MarginalSink, WorldSink};
+use gdatalog::prelude::*;
+
+const BURGLARY: &str = r#"
+    rel City(symbol, real) input.
+    rel House(symbol, symbol) input.
+    City(gotham, 0.3).
+    House(h1, gotham).
+    House(h2, gotham).
+    Earthquake(C, Flip<0.1>) :- City(C, R).
+    Unit(H, C) :- House(H, C).
+    Burglary(X, C, Flip<R>) :- Unit(X, C), City(C, R).
+    Trig(X, Flip<0.6>) :- Unit(X, C), Earthquake(C, 1).
+    Trig(X, Flip<0.9>) :- Burglary(X, C, 1).
+    Alarm(X) :- Trig(X, 1).
+"#;
+
+/// A program with an infinite discrete support, so truncation deficits are
+/// exercised by the equivalence checks too.
+const GEOMETRIC: &str = "N(Geometric<0.5>) :- true. M(Geometric<0.3>) :- true.";
+
+#[test]
+fn exact_builder_bit_identical_to_enumerate() {
+    for src in [BURGLARY, GEOMETRIC] {
+        let engine = Engine::from_source(src, SemanticsMode::Grohe).unwrap();
+        let legacy = engine.enumerate(None, ExactConfig::default()).unwrap();
+        let new = engine.eval().exact().worlds().unwrap();
+        assert_eq!(legacy, new, "worlds and deficits must match bit-for-bit");
+    }
+}
+
+#[test]
+fn exact_parallel_builder_bit_identical_to_enumerate_parallel() {
+    let engine = Engine::from_source(BURGLARY, SemanticsMode::Grohe).unwrap();
+    let legacy = engine
+        .enumerate_parallel(None, ExactConfig::default())
+        .unwrap();
+    let new = engine.eval().exact_parallel().worlds().unwrap();
+    assert_eq!(legacy, new);
+}
+
+#[test]
+fn raw_enumeration_policy_and_aux_preserved() {
+    let engine = Engine::from_source(BURGLARY, SemanticsMode::Grohe).unwrap();
+    for kind in [
+        PolicyKind::Canonical,
+        PolicyKind::Reverse,
+        PolicyKind::RoundRobin,
+        PolicyKind::DeterministicFirst,
+    ] {
+        let legacy = engine
+            .enumerate_raw(None, kind, ExactConfig::default())
+            .unwrap();
+        let new = engine
+            .eval()
+            .exact()
+            .policy(kind)
+            .keep_aux(true)
+            .worlds()
+            .unwrap();
+        assert_eq!(legacy, new, "policy {kind:?}");
+    }
+}
+
+#[test]
+fn exact_config_knobs_flow_through_builder() {
+    let src = "G(0). G(Geometric<0.5 | X>) :- G(X).";
+    let engine = Engine::from_source(src, SemanticsMode::Grohe).unwrap();
+    let config = ExactConfig {
+        max_depth: 6,
+        support_tol: 1e-4,
+        min_path_prob: 1e-6,
+    };
+    let legacy = engine.enumerate(None, config).unwrap();
+    let new = engine
+        .eval()
+        .exact()
+        .max_depth(6)
+        .support_tol(1e-4)
+        .min_path_prob(1e-6)
+        .worlds()
+        .unwrap();
+    assert_eq!(legacy, new);
+    assert!(new.deficit().nontermination > 0.0);
+}
+
+#[test]
+fn mc_builder_bit_identical_to_sample_single_and_multi_threaded() {
+    let engine = Engine::from_source(BURGLARY, SemanticsMode::Grohe).unwrap();
+    for threads in [1, 4] {
+        let config = McConfig {
+            runs: 3_000,
+            seed: 99,
+            threads,
+            ..McConfig::default()
+        };
+        let legacy = engine.sample(None, &config).unwrap();
+        let new = engine
+            .eval()
+            .sample(3_000)
+            .seed(99)
+            .threads(threads)
+            .pdb()
+            .unwrap();
+        assert_eq!(legacy.samples(), new.samples(), "threads = {threads}");
+        assert_eq!(legacy.errors(), new.errors());
+        // And thread count itself never changes the result.
+        let single = engine.eval().sample(3_000).seed(99).pdb().unwrap();
+        assert_eq!(single.samples(), new.samples());
+    }
+}
+
+#[test]
+fn mc_variants_flow_through_builder() {
+    let engine = Engine::from_source(BURGLARY, SemanticsMode::Grohe).unwrap();
+    for variant in [
+        ChaseVariant::Sequential(PolicyKind::Reverse),
+        ChaseVariant::Parallel,
+        ChaseVariant::Saturating,
+    ] {
+        let config = McConfig {
+            runs: 500,
+            seed: 5,
+            variant,
+            ..McConfig::default()
+        };
+        let legacy = engine.sample(None, &config).unwrap();
+        let new = engine
+            .eval()
+            .sample(500)
+            .seed(5)
+            .variant(variant)
+            .pdb()
+            .unwrap();
+        assert_eq!(legacy.samples(), new.samples(), "variant {variant:?}");
+    }
+}
+
+#[test]
+fn extra_input_equivalence_through_eval_on() {
+    let engine = Engine::from_source(BURGLARY, SemanticsMode::Grohe).unwrap();
+    let city = engine.program().catalog.require("City").unwrap();
+    let mut extra = Instance::new();
+    extra.insert(city, tuple!["metropolis", 0.5]);
+    let legacy = engine
+        .enumerate(Some(&extra), ExactConfig::default())
+        .unwrap();
+    let new = engine.eval_on(Some(&extra)).worlds().unwrap();
+    assert_eq!(legacy, new);
+    // A session with the same facts inserted answers identically.
+    let mut session = Session::from_source(BURGLARY, SemanticsMode::Grohe).unwrap();
+    session.insert_facts(&extra);
+    assert_eq!(legacy, session.eval().worlds().unwrap());
+}
+
+#[test]
+fn transform_equivalence_with_probabilistic_input() {
+    let engine = Engine::from_source(
+        "rel City(symbol) input. Quake(C, Flip<0.4>) :- City(C).",
+        SemanticsMode::Grohe,
+    )
+    .unwrap();
+    let city = engine.program().catalog.require("City").unwrap();
+    let mut with_city = Instance::new();
+    with_city.insert(city, tuple!["gotham"]);
+    let mut input = PossibleWorlds::new();
+    input.add(with_city, 0.6);
+    input.add(Instance::new(), 0.3);
+    input.add_nontermination(0.1);
+    let legacy = engine
+        .transform_worlds(&input, ExactConfig::default())
+        .unwrap();
+    let new = engine.eval().transform(&input).unwrap();
+    assert_eq!(legacy, new);
+    assert!(new.mass_is_consistent(1e-12));
+}
+
+#[test]
+fn trace_equivalence_with_run_once() {
+    let engine = Engine::from_source(BURGLARY, SemanticsMode::Grohe).unwrap();
+    let legacy = engine
+        .run_once(None, PolicyKind::RoundRobin, 17, 500)
+        .unwrap();
+    let new = engine
+        .eval()
+        .policy(PolicyKind::RoundRobin)
+        .seed(17)
+        .max_depth(500)
+        .trace()
+        .unwrap();
+    assert_eq!(legacy.steps, new.steps);
+    assert_eq!(legacy.instance, new.instance);
+    assert_eq!(legacy.log_weight.to_bits(), new.log_weight.to_bits());
+}
+
+#[test]
+fn streaming_marginal_agrees_with_materialized_pdb() {
+    let engine = Engine::from_source(BURGLARY, SemanticsMode::Grohe).unwrap();
+    let alarm = engine.program().catalog.require("Alarm").unwrap();
+    let fact = Fact::new(alarm, tuple!["h1"]);
+    let pdb = engine.eval().sample(6_000).seed(3).pdb().unwrap();
+    for threads in [1, 4] {
+        let streamed = engine
+            .eval()
+            .sample(6_000)
+            .seed(3)
+            .threads(threads)
+            .marginal(&fact)
+            .unwrap();
+        assert!(
+            (streamed - pdb.marginal(&fact)).abs() < 1e-9,
+            "threads {threads}"
+        );
+    }
+}
+
+#[test]
+fn streaming_expectation_agrees_with_query_moments() {
+    let engine = Engine::from_source(BURGLARY, SemanticsMode::Grohe).unwrap();
+    let alarm = engine.program().catalog.require("Alarm").unwrap();
+    let worlds = engine.eval().worlds().unwrap();
+    let q = Query::Rel(alarm).aggregate(vec![], AggFun::Count, 0);
+    let reference = query_moments(&worlds, &q, 0.0).unwrap();
+    let m = engine
+        .eval()
+        .expectation(&Query::Rel(alarm), AggFun::Count)
+        .unwrap()
+        .unwrap();
+    assert!((m.mean - reference.mean).abs() < 1e-12);
+    assert!((m.variance - reference.variance).abs() < 1e-12);
+    assert!((m.mass - reference.mass).abs() < 1e-12);
+}
+
+#[test]
+fn streaming_histogram_agrees_across_backends() {
+    let engine = Engine::from_source(BURGLARY, SemanticsMode::Grohe).unwrap();
+    let quake = engine.program().catalog.require("Earthquake").unwrap();
+    let exact = engine.eval().histogram(quake, 1, 0.0, 2.0, 2).unwrap();
+    assert!((exact.bins[0] - 0.9).abs() < 1e-12);
+    assert!((exact.bins[1] - 0.1).abs() < 1e-12);
+    let mc = engine
+        .eval()
+        .sample(8_000)
+        .seed(11)
+        .threads(4)
+        .histogram(quake, 1, 0.0, 2.0, 2)
+        .unwrap();
+    assert!((mc.bins[1] - 0.1).abs() < 0.02);
+    assert!((mc.total() - 1.0).abs() < 1e-9, "one quake fact per world");
+}
+
+/// A sink that counts observations but retains nothing — used to show the
+/// Monte-Carlo path truly streams: no per-run instance survives the fold.
+struct CountingSink {
+    observed: usize,
+    deficits: usize,
+}
+
+impl WorldSink for CountingSink {
+    fn observe(&mut self, world: Instance, _weight: f64) {
+        // The world is dropped right here; nothing is retained.
+        drop(world);
+        self.observed += 1;
+    }
+
+    fn observe_deficit(&mut self, _kind: gdatalog::pdb::DeficitKind, _weight: f64) {
+        self.deficits += 1;
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
+#[test]
+fn streaming_mc_holds_o_result_memory() {
+    // 100k runs through a statistic sink: the only state that survives the
+    // evaluation is the sink itself — a few machine words — versus the
+    // O(runs · |D|) of a materialized EmpiricalPdb. (The 1M-run version of
+    // this check runs in release mode in the experiments bench and is
+    // recorded in BENCH_PR2.json.)
+    let engine =
+        Engine::from_source("R(Flip<0.5>) :- true. S(X) :- R(X).", SemanticsMode::Grohe).unwrap();
+    let mut counter = CountingSink {
+        observed: 0,
+        deficits: 0,
+    };
+    engine
+        .eval()
+        .sample(100_000)
+        .seed(1)
+        .collect_into(&mut counter)
+        .unwrap();
+    assert_eq!(counter.observed, 100_000);
+    assert_eq!(counter.deficits, 0);
+    // The streaming statistic state is O(result), independent of runs.
+    assert!(std::mem::size_of::<MarginalSink>() < 128);
+}
+
+#[test]
+fn one_session_serves_all_query_types_over_both_backends() {
+    // Acceptance criterion: one compiled session, ≥3 query types
+    // (marginal, expectation, histogram), exact and MC backends.
+    let mut session = Session::from_source(BURGLARY, SemanticsMode::Grohe).unwrap();
+    session
+        .insert_facts_text("City(metropolis, 0.2). House(h3, metropolis).")
+        .unwrap();
+    let alarm = session.program().catalog.require("Alarm").unwrap();
+    let fact = Fact::new(alarm, tuple!["h3"]);
+
+    let exact_p = session.eval().exact().marginal(&fact).unwrap();
+    let mc_p = session
+        .eval()
+        .sample(6_000)
+        .seed(8)
+        .threads(4)
+        .marginal(&fact)
+        .unwrap();
+    // Quake path (0.1·0.6) or burglary path (0.2·0.9) trigger h3's alarm.
+    let expect = 1.0 - (1.0 - 0.1 * 0.6) * (1.0 - 0.2 * 0.9);
+    assert!((exact_p - expect).abs() < 1e-12);
+    assert!((mc_p - exact_p).abs() < 0.03);
+
+    let m_exact = session
+        .eval()
+        .exact()
+        .expectation(&Query::Rel(alarm), AggFun::Count)
+        .unwrap()
+        .unwrap();
+    let m_mc = session
+        .eval()
+        .sample(6_000)
+        .seed(9)
+        .threads(4)
+        .expectation(&Query::Rel(alarm), AggFun::Count)
+        .unwrap()
+        .unwrap();
+    assert!((m_exact.mean - m_mc.mean).abs() < 0.06);
+
+    let burglary = session.program().catalog.require("Burglary").unwrap();
+    let h_exact = session
+        .eval()
+        .exact()
+        .histogram(burglary, 2, 0.0, 2.0, 2)
+        .unwrap();
+    let h_mc = session
+        .eval()
+        .sample(6_000)
+        .seed(10)
+        .threads(4)
+        .histogram(burglary, 2, 0.0, 2.0, 2)
+        .unwrap();
+    // Bin 1 holds E[#burgled houses] = 2·0.3 + 1·0.2.
+    assert!((h_exact.bins[1] - 0.8).abs() < 1e-12);
+    assert!((h_exact.bins[1] - h_mc.bins[1]).abs() < 0.06);
+}

@@ -2,6 +2,8 @@
 //! (Thm. 6.1/6.2), probabilistic inputs (Thms. 4.8/5.5), weak acyclicity ⇒
 //! termination (Thm. 6.3), and the FD invariant (Lemma 3.10).
 
+#![allow(deprecated)] // exercises the legacy Engine entry points (now shims over Evaluation)
+
 use gdatalog::engine::{enumerate_parallel, enumerate_sequential, RunOutcome};
 use gdatalog::prelude::*;
 use gdatalog::stats::ks_two_sample;

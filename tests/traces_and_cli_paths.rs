@@ -1,6 +1,8 @@
 //! Integration tests for run traces (the path measure of §4.2) and the
 //! fact-file loading path used by the `gdl` CLI.
 
+#![allow(deprecated)] // exercises the legacy Engine entry points (now shims over Evaluation)
+
 use gdatalog::lang::parse_facts;
 use gdatalog::prelude::*;
 
