@@ -1,0 +1,105 @@
+//! P3 — the serving layer: cached + pooled + batched request execution
+//! against the naive per-request baseline that compiles the program anew
+//! for every query (the pre-PR3 workflow of every caller).
+//!
+//! The batch is the workload of ISSUE 3: many independent marginal
+//! queries against **one** model, each with its own evidence. The served
+//! path compiles and plans once (ProgramCache), reuses warm sessions
+//! (SessionPool), and schedules requests across workers (BatchExecutor);
+//! the naive path pays parse+validate+translate+plan per request.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdatalog_bench::serving_library_program;
+use gdatalog_core::Session;
+use gdatalog_lang::SemanticsMode;
+use gdatalog_serve::{execute_on, Request, Server};
+use std::hint::black_box;
+
+fn requests(n: usize, detectors: usize) -> Vec<Request> {
+    (0..n)
+        .map(|i| {
+            Request::marginal(format!("Out{}(c{i})", i % detectors))
+                .evidence(format!("In{}(c{i}, 0.{}).", i % detectors, 1 + i % 8))
+                .exact()
+        })
+        .collect()
+}
+
+fn bench_batch_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(10);
+    let model = serving_library_program(16);
+    for n in [16usize, 64] {
+        let reqs = requests(n, 16);
+        group.bench_with_input(
+            BenchmarkId::new("naive_compile_per_request", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    for req in &reqs {
+                        // The pre-serving workflow: compile + plan +
+                        // evaluate, nothing amortized.
+                        let mut session =
+                            Session::from_source(&model, SemanticsMode::Grohe).expect("compiles");
+                        black_box(execute_on(&mut session, req).expect("evaluates"));
+                    }
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("server_batch_1thread", n), &n, |b, _| {
+            let server = Server::from_source(&model, SemanticsMode::Grohe).expect("compiles");
+            b.iter(|| black_box(server.batch(&reqs)))
+        });
+        group.bench_with_input(BenchmarkId::new("server_batch_4threads", n), &n, |b, _| {
+            let server = Server::from_source(&model, SemanticsMode::Grohe)
+                .expect("compiles")
+                .threads(4);
+            b.iter(|| black_box(server.batch(&reqs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache_and_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving_components");
+    let model = serving_library_program(16);
+    group.bench_function("program_cache_miss", |b| {
+        b.iter(|| {
+            let cache = gdatalog_serve::ProgramCache::new();
+            black_box(
+                cache
+                    .get_or_compile(&model, SemanticsMode::Grohe)
+                    .expect("compiles"),
+            )
+        })
+    });
+    group.bench_function("program_cache_hit", |b| {
+        let cache = gdatalog_serve::ProgramCache::new();
+        cache
+            .get_or_compile(&model, SemanticsMode::Grohe)
+            .expect("compiles");
+        b.iter(|| {
+            black_box(
+                cache
+                    .get_or_compile(&model, SemanticsMode::Grohe)
+                    .expect("hit"),
+            )
+        })
+    });
+    group.bench_function("pool_checkout_return", |b| {
+        let cache = gdatalog_serve::ProgramCache::new();
+        let entry = cache
+            .get_or_compile(&model, SemanticsMode::Grohe)
+            .expect("compiles");
+        let pool = gdatalog_serve::SessionPool::new(entry);
+        b.iter(|| {
+            let mut session = pool.checkout();
+            session.insert_facts_text("In0(x, 0.5).").expect("parses");
+            black_box(session.facts().len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_vs_naive, bench_cache_and_pool);
+criterion_main!(benches);

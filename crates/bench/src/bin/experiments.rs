@@ -879,6 +879,164 @@ fn bench_pr2() {
     println!("\n  wrote BENCH_PR2.json");
 }
 
+/// The PR3 suite behind `BENCH_PR3.json`: the serving layer. A
+/// 100-request batch of mixed queries (marginal / probability /
+/// expectation / histogram, each with its own evidence) against **one**
+/// model is answered two ways — naive per-request compile+plan+evaluate
+/// (the pre-PR3 workflow of every caller) and through the cached, pooled,
+/// batched `Server` — with bit-identity asserted between the batch, the
+/// single-request path, and a fresh uncached session before any timing is
+/// reported. A seeded Monte-Carlo sub-batch extends the identity check to
+/// the sampling backend.
+fn bench_pr3() {
+    use gdatalog_bench::serving_library_program;
+    use gdatalog_core::Session;
+    use gdatalog_serve::{execute_on, ProgramCache, Request, Response, Server};
+
+    header("BENCH3", "serving layer (written to BENCH_PR3.json)");
+
+    let model_src = serving_library_program(16);
+    const BATCH: usize = 100;
+
+    // Mixed exact workload: the four query kinds round-robin, evidence
+    // differing per request.
+    let requests: Vec<Request> = (0..BATCH)
+        .map(|i| {
+            let d = i % 16;
+            let evidence = format!("In{d}(c{i}, 0.{}).", 1 + i % 8);
+            match i % 4 {
+                0 => Request::marginal(format!("Out{d}(c{i})")),
+                1 => Request::probability(format!("Out{d}(c{i})")),
+                2 => Request::expectation(format!("Out{d}"), gdatalog_pdb::AggFun::Count),
+                _ => Request::histogram(format!("Ev{d}"), 1, 0.0, 2.0, 2),
+            }
+            .evidence(evidence)
+            .exact()
+        })
+        .collect();
+
+    // Naive baseline: compile + plan + evaluate per request (every
+    // session is fresh, so nothing is amortized).
+    let naive = |reqs: &[Request]| -> Vec<Response> {
+        reqs.iter()
+            .map(|req| {
+                let mut session =
+                    Session::from_source(&model_src, SemanticsMode::Grohe).expect("compiles");
+                execute_on(&mut session, req).expect("request succeeds")
+            })
+            .collect()
+    };
+
+    let unwrap = |answers: Vec<Result<Response, gdatalog_serve::ServeError>>| {
+        answers
+            .into_iter()
+            .map(|a| a.expect("request succeeds"))
+            .collect::<Vec<Response>>()
+    };
+
+    let cache = ProgramCache::new();
+    let model = cache
+        .get_or_compile(&model_src, SemanticsMode::Grohe)
+        .expect("compiles");
+    let server1 = Server::new(Arc::clone(&model));
+    let server4 = Server::new(Arc::clone(&model)).threads(4);
+
+    // Bit-identity first: batch == sequential single-request == naive
+    // uncached, response by response (Response equality is exact f64
+    // equality). A seeded MC sub-batch covers the sampling backend.
+    let reference = naive(&requests);
+    let singles = unwrap(
+        requests
+            .iter()
+            .map(|r| server1.execute(r))
+            .collect::<Vec<_>>(),
+    );
+    let seq = unwrap(server1.batch(&requests));
+    let par = unwrap(server4.batch(&requests));
+    for i in 0..BATCH {
+        assert_eq!(reference[i], singles[i], "single-request differs at {i}");
+        assert_eq!(reference[i], seq[i], "sequential batch differs at {i}");
+        assert_eq!(reference[i], par[i], "parallel batch differs at {i}");
+    }
+    let mc_batch: Vec<Request> = (0..8)
+        .map(|i| {
+            Request::marginal(format!("Out0(m{i})"))
+                .evidence(format!("In0(m{i}, 0.4)."))
+                .mc(2_000)
+                .seed(i as u64)
+        })
+        .collect();
+    assert_eq!(
+        unwrap(server4.batch(&mc_batch)),
+        naive(&mc_batch),
+        "seeded Monte-Carlo batch must be bit-identical too"
+    );
+    println!("  bit-identity: naive == single-request == batch(1) == batch(4)  ✓ (exact + MC)");
+
+    let naive_ns = median_ns(5, || {
+        std::hint::black_box(naive(&requests));
+    });
+    let seq_ns = median_ns(5, || {
+        std::hint::black_box(server1.batch(&requests));
+    });
+    let par_ns = median_ns(5, || {
+        std::hint::black_box(server4.batch(&requests));
+    });
+
+    let rate = |ns: f64| BATCH as f64 / (ns / 1e9);
+    let speedup_seq = naive_ns / seq_ns;
+    let speedup_par = naive_ns / par_ns;
+    println!(
+        "  {:<44} {:>14.0} req/s",
+        "naive compile-per-request",
+        rate(naive_ns)
+    );
+    println!(
+        "  {:<44} {:>14.0} req/s   ({speedup_seq:.1}x)",
+        "cached+pooled batch, 1 worker",
+        rate(seq_ns)
+    );
+    println!(
+        "  {:<44} {:>14.0} req/s   ({speedup_par:.1}x)",
+        "cached+pooled batch, 4 workers",
+        rate(par_ns)
+    );
+    let stats = cache.stats();
+    println!(
+        "  cache: {} hit(s), {} miss(es); pool sessions created: {} (seq) / {} (par)",
+        stats.hits,
+        stats.misses,
+        server1.pool().created(),
+        server4.pool().created()
+    );
+    // Acceptance gate: ≥5x throughput for the served batch vs naive
+    // per-request compile+evaluate (worker count per available
+    // parallelism; on a single-core runner the two batch rows coincide).
+    let best = speedup_seq.max(speedup_par);
+    assert!(
+        best >= 5.0,
+        "acceptance: ≥5x throughput for the batched path (got {best:.1}x)"
+    );
+
+    let json = format!(
+        "{{\n  \"pr\": 3,\n  \"batch_requests\": {BATCH},\n  \"benches\": [\n    \
+         {{\"bench\": \"serving/naive_compile_per_request\", \"median_ns\": {naive_ns:.0}, \
+         \"req_per_s\": {:.0}}},\n    \
+         {{\"bench\": \"serving/batch_1worker\", \"median_ns\": {seq_ns:.0}, \
+         \"req_per_s\": {:.0}}},\n    \
+         {{\"bench\": \"serving/batch_4workers\", \"median_ns\": {par_ns:.0}, \
+         \"req_per_s\": {:.0}}}\n  ],\n  \"speedups\": {{\n    \
+         \"batch_1worker vs naive\": {speedup_seq:.2},\n    \
+         \"batch_4workers vs naive\": {speedup_par:.2}\n  }},\n  \
+         \"bit_identical_to_sequential\": true\n}}\n",
+        rate(naive_ns),
+        rate(seq_ns),
+        rate(par_ns),
+    );
+    std::fs::write("BENCH_PR3.json", json).expect("write BENCH_PR3.json");
+    println!("\n  wrote BENCH_PR3.json");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let run_all = args.is_empty();
@@ -895,6 +1053,7 @@ fn main() {
         ("e8", e8),
         ("bench", bench_pr1),
         ("bench2", bench_pr2),
+        ("bench3", bench_pr3),
     ];
     let mut ran = 0;
     for (id, f) in &experiments {

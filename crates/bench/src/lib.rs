@@ -74,6 +74,21 @@ pub fn normal_chain() -> &'static str {
     "C(0.0).\nC(Normal<V, 1.0>) :- C(V).\n"
 }
 
+/// The serving-layer workload model: a library of `k` independent
+/// event detectors (`In_i → Ev_i → Out_i`). Compilation and planning
+/// scale with `k` while any single request's evidence activates only one
+/// detector — the shape where caching parse+plan pays off most, and a
+/// realistic stand-in for a production model serving many tenants.
+pub fn serving_library_program(k: usize) -> String {
+    let mut src = String::new();
+    for i in 0..k {
+        let _ = writeln!(src, "rel In{i}(symbol, real) input.");
+        let _ = writeln!(src, "Ev{i}(X, Flip<R>) :- In{i}(X, R).");
+        let _ = writeln!(src, "Out{i}(X) :- Ev{i}(X, 1).");
+    }
+    src
+}
+
 /// Compiles a program under the Grohe semantics, panicking on errors
 /// (bench corpus programs are known-good).
 pub fn engine_of(src: &str) -> Engine {
@@ -91,5 +106,6 @@ mod tests {
         engine_of(&heights_program(5));
         engine_of(geometric_chain());
         engine_of(normal_chain());
+        engine_of(&serving_library_program(4));
     }
 }

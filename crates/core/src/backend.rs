@@ -1,21 +1,43 @@
 //! Evaluation backends: one trait unifying exact-sequential,
 //! exact-parallel, and Monte-Carlo chase evaluation.
 //!
-//! Every backend drives the same interface: it evaluates a compiled
-//! program on an input instance under one unified [`EvalOptions`] record
-//! and feeds weighted possible-world observations into a
-//! [`WorldSink`]. Exact backends emit each world
-//! of the enumerated table once with its probability; the Monte-Carlo
-//! backend **streams** each sampled run with weight `1/runs` — so any
-//! statistic expressible as a sink is computed in O(result) memory,
-//! independent of the number of runs.
+//! Every backend drives the same interface: it evaluates one [`EvalJob`] —
+//! a compiled program (plus, optionally, its pre-built chase plans), an
+//! input instance, and one unified [`EvalOptions`] record — and feeds
+//! weighted possible-world observations into a [`WorldSink`]. Exact
+//! backends emit each world of the enumerated table once with its
+//! probability; the Monte-Carlo backend **streams** each sampled run with
+//! weight `1/runs` — so any statistic expressible as a sink is computed in
+//! O(result) memory, independent of the number of runs.
+//!
+//! Backends are driven directly for custom evaluation strategies, or —
+//! almost always — through the builder surface of
+//! [`Session`](crate::Session)/[`Evaluation`](crate::Evaluation):
+//!
+//! ```
+//! use gdatalog_core::{Engine, EvalJob, EvalOptions, ExactSequentialBackend, Backend};
+//! use gdatalog_lang::SemanticsMode;
+//! use gdatalog_pdb::WorldTableSink;
+//!
+//! let engine = Engine::from_source("R(Flip<0.25>) :- true.", SemanticsMode::Grohe).unwrap();
+//! let options = EvalOptions::default();
+//! let job = EvalJob {
+//!     program: engine.program(),
+//!     prepared: Some(engine.prepared()),   // reuse the compile-once plans
+//!     input: &engine.program().initial_instance,
+//!     options: &options,
+//! };
+//! let mut sink = WorldTableSink::new();
+//! ExactSequentialBackend.run(&job, &mut sink).unwrap();
+//! assert_eq!(sink.finish().len(), 2);
+//! ```
 
 use gdatalog_data::Instance;
 use gdatalog_lang::CompiledProgram;
 use gdatalog_pdb::{DeficitKind, PossibleWorlds, WorldSink};
 
 use crate::applicability::PreparedProgram;
-use crate::exact::{enumerate_parallel, enumerate_sequential, ExactConfig};
+use crate::exact::{enumerate_parallel_prepared, enumerate_sequential_prepared, ExactConfig};
 use crate::mc::{single_run, ChaseVariant, McConfig};
 use crate::policy::{ChasePolicy, PolicyKind};
 use crate::EngineError;
@@ -93,8 +115,56 @@ impl EvalOptions {
     }
 }
 
-/// An evaluation strategy: drives the probabilistic chase of `program` on
-/// `input` and feeds weighted possible-world observations into `sink`.
+/// One evaluation request as a backend sees it: the compiled program,
+/// optionally its pre-built chase plans, the input instance, and the
+/// options record.
+///
+/// `prepared` is the serving-layer fast path: when a program is compiled
+/// once and evaluated many times (a [`Session`](crate::Session), a session
+/// pool, a batch), the caller passes the shared
+/// [`PreparedProgram`] and no backend re-plans rule
+/// bodies per request. When absent, backends plan on the fly — correct,
+/// just slower on repeated requests.
+pub struct EvalJob<'a> {
+    /// The compiled program under evaluation.
+    pub program: &'a CompiledProgram,
+    /// Pre-built chase plans for `program`, if the caller holds them.
+    /// Must have been built from this very program.
+    pub prepared: Option<&'a PreparedProgram>,
+    /// The instance evaluation starts from.
+    pub input: &'a Instance,
+    /// The unified configuration record.
+    pub options: &'a EvalOptions,
+}
+
+/// The job's plans: shared when the caller holds them, else freshly built.
+enum Plans<'a> {
+    Shared(&'a PreparedProgram),
+    Owned(Box<PreparedProgram>),
+}
+
+impl std::ops::Deref for Plans<'_> {
+    type Target = PreparedProgram;
+    fn deref(&self) -> &PreparedProgram {
+        match self {
+            Plans::Shared(p) => p,
+            Plans::Owned(p) => p,
+        }
+    }
+}
+
+impl<'a> EvalJob<'a> {
+    fn plans(&self) -> Plans<'a> {
+        match self.prepared {
+            Some(p) => Plans::Shared(p),
+            None => Plans::Owned(Box::new(PreparedProgram::new(self.program))),
+        }
+    }
+}
+
+/// An evaluation strategy: drives the probabilistic chase of a job's
+/// program on its input and feeds weighted possible-world observations
+/// into `sink`.
 ///
 /// The three shipped implementations are [`ExactSequentialBackend`]
 /// (Def. 4.2), [`ExactParallelBackend`] (Def. 5.2), and [`McBackend`]
@@ -109,13 +179,7 @@ pub trait Backend {
     /// # Errors
     /// [`EngineError::NotDiscrete`] if an exact backend meets a continuous
     /// distribution; [`EngineError::Dist`] on runtime parameter failures.
-    fn run(
-        &self,
-        program: &CompiledProgram,
-        input: &Instance,
-        options: &EvalOptions,
-        sink: &mut dyn WorldSink,
-    ) -> Result<(), EngineError>;
+    fn run(&self, job: &EvalJob<'_>, sink: &mut dyn WorldSink) -> Result<(), EngineError>;
 }
 
 fn existential_rule_ids(program: &CompiledProgram) -> Vec<usize> {
@@ -158,17 +222,17 @@ impl Backend for ExactSequentialBackend {
         "exact-sequential"
     }
 
-    fn run(
-        &self,
-        program: &CompiledProgram,
-        input: &Instance,
-        options: &EvalOptions,
-        sink: &mut dyn WorldSink,
-    ) -> Result<(), EngineError> {
-        let existential = existential_rule_ids(program);
-        let mut policy = ChasePolicy::new(options.policy, &existential);
-        let table = enumerate_sequential(program, input, &mut policy, options.exact_config())?;
-        feed_table(program, table, options.keep_aux, sink);
+    fn run(&self, job: &EvalJob<'_>, sink: &mut dyn WorldSink) -> Result<(), EngineError> {
+        let existential = existential_rule_ids(job.program);
+        let mut policy = ChasePolicy::new(job.options.policy, &existential);
+        let table = enumerate_sequential_prepared(
+            job.program,
+            &job.plans(),
+            job.input,
+            &mut policy,
+            job.options.exact_config(),
+        )?;
+        feed_table(job.program, table, job.options.keep_aux, sink);
         Ok(())
     }
 }
@@ -183,15 +247,14 @@ impl Backend for ExactParallelBackend {
         "exact-parallel"
     }
 
-    fn run(
-        &self,
-        program: &CompiledProgram,
-        input: &Instance,
-        options: &EvalOptions,
-        sink: &mut dyn WorldSink,
-    ) -> Result<(), EngineError> {
-        let table = enumerate_parallel(program, input, options.exact_config())?;
-        feed_table(program, table, options.keep_aux, sink);
+    fn run(&self, job: &EvalJob<'_>, sink: &mut dyn WorldSink) -> Result<(), EngineError> {
+        let table = enumerate_parallel_prepared(
+            job.program,
+            &job.plans(),
+            job.input,
+            job.options.exact_config(),
+        )?;
+        feed_table(job.program, table, job.options.keep_aux, sink);
         Ok(())
     }
 }
@@ -217,22 +280,17 @@ impl Backend for McBackend {
         "monte-carlo"
     }
 
-    fn run(
-        &self,
-        program: &CompiledProgram,
-        input: &Instance,
-        options: &EvalOptions,
-        sink: &mut dyn WorldSink,
-    ) -> Result<(), EngineError> {
-        let runs = options.runs;
+    fn run(&self, job: &EvalJob<'_>, sink: &mut dyn WorldSink) -> Result<(), EngineError> {
+        let (program, input) = (job.program, job.input);
+        let runs = job.options.runs;
         if runs == 0 {
             return Ok(());
         }
         let weight = 1.0 / runs as f64;
         let existential = existential_rule_ids(program);
-        let prepared = PreparedProgram::new(program);
-        let config = options.mc_config();
-        let threads = options.threads.max(1).min(runs);
+        let prepared = job.plans();
+        let config = job.options.mc_config();
+        let threads = job.options.threads.max(1).min(runs);
 
         let sequential = |sink: &mut dyn WorldSink| -> Result<(), EngineError> {
             for run_ix in 0..runs {
@@ -324,18 +382,33 @@ mod tests {
         translate(&v, SemanticsMode::Grohe).unwrap()
     }
 
+    fn drive(
+        backend: &dyn Backend,
+        prog: &CompiledProgram,
+        opts: &EvalOptions,
+        sink: &mut dyn WorldSink,
+    ) {
+        backend
+            .run(
+                &EvalJob {
+                    program: prog,
+                    prepared: None,
+                    input: &prog.initial_instance,
+                    options: opts,
+                },
+                sink,
+            )
+            .unwrap();
+    }
+
     #[test]
     fn exact_backends_agree() {
         let prog = compile("R(Flip<0.25>) :- true. S(X) :- R(X).");
         let opts = EvalOptions::default();
         let mut seq = WorldTableSink::new();
-        ExactSequentialBackend
-            .run(&prog, &prog.initial_instance, &opts, &mut seq)
-            .unwrap();
+        drive(&ExactSequentialBackend, &prog, &opts, &mut seq);
         let mut par = WorldTableSink::new();
-        ExactParallelBackend
-            .run(&prog, &prog.initial_instance, &opts, &mut par)
-            .unwrap();
+        drive(&ExactParallelBackend, &prog, &opts, &mut par);
         let (a, b) = (seq.finish(), par.finish());
         assert!(a.total_variation(&b) < 1e-12);
         assert_eq!(a.len(), 2);
@@ -352,13 +425,9 @@ mod tests {
             ..EvalOptions::default()
         };
         let mut streaming = MarginalSink::new(fact.clone());
-        McBackend
-            .run(&prog, &prog.initial_instance, &opts, &mut streaming)
-            .unwrap();
+        drive(&McBackend, &prog, &opts, &mut streaming);
         let mut materialized = EmpiricalSink::new();
-        McBackend
-            .run(&prog, &prog.initial_instance, &opts, &mut materialized)
-            .unwrap();
+        drive(&McBackend, &prog, &opts, &mut materialized);
         let pdb = materialized.finish();
         assert_eq!(pdb.runs(), 5_000);
         assert!((streaming.finish() - pdb.marginal(&fact)).abs() < 1e-12);
@@ -380,15 +449,43 @@ mod tests {
         };
         let run = |opts: &EvalOptions| {
             let mut sink = MarginalSink::new(fact.clone());
-            McBackend
-                .run(&prog, &prog.initial_instance, opts, &mut sink)
-                .unwrap();
+            drive(&McBackend, &prog, opts, &mut sink);
             sink.finish()
         };
         let a = run(&multi);
         let b = run(&multi);
         assert_eq!(a.to_bits(), b.to_bits(), "repeat runs bit-identical");
         assert!((a - run(&single)).abs() < 1e-12, "thread-count invariant");
+    }
+
+    #[test]
+    fn shared_plans_change_nothing() {
+        // A job carrying pre-built plans is bit-identical to one that
+        // plans on the fly — the serving layer's cache-reuse guarantee.
+        let prog = compile("R(Flip<0.5>) :- true. S(X) :- R(X).");
+        let r = prog.catalog.require("R").unwrap();
+        let fact = Fact::new(r, tuple![1i64]);
+        let opts = EvalOptions {
+            runs: 2_000,
+            seed: 13,
+            ..EvalOptions::default()
+        };
+        let prepared = PreparedProgram::new(&prog);
+        let mut with = MarginalSink::new(fact.clone());
+        McBackend
+            .run(
+                &EvalJob {
+                    program: &prog,
+                    prepared: Some(&prepared),
+                    input: &prog.initial_instance,
+                    options: &opts,
+                },
+                &mut with,
+            )
+            .unwrap();
+        let mut without = MarginalSink::new(fact.clone());
+        drive(&McBackend, &prog, &opts, &mut without);
+        assert_eq!(with.finish().to_bits(), without.finish().to_bits());
     }
 
     #[test]
@@ -401,9 +498,7 @@ mod tests {
             ..EvalOptions::default()
         };
         let mut sink = WorldTableSink::new();
-        McBackend
-            .run(&prog, &prog.initial_instance, &opts, &mut sink)
-            .unwrap();
+        drive(&McBackend, &prog, &opts, &mut sink);
         let table = sink.finish();
         assert_eq!(table.len(), 0);
         assert!((table.deficit().nontermination - 1.0).abs() < 1e-9);

@@ -8,7 +8,7 @@
 
 use std::borrow::Cow;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use gdatalog_data::{DataError, Instance};
 use gdatalog_dist::{DistError, Registry};
@@ -17,6 +17,7 @@ use gdatalog_lang::{
 };
 use gdatalog_pdb::{EmpiricalPdb, PossibleWorlds};
 
+use crate::applicability::PreparedProgram;
 use crate::exact::ExactConfig;
 use crate::mc::McConfig;
 use crate::policy::PolicyKind;
@@ -78,6 +79,11 @@ impl From<DataError> for EngineError {
 
 /// A compiled, ready-to-run GDatalog program.
 ///
+/// The compiled program and its chase plans live behind [`Arc`]s, so
+/// cloning an `Engine` is cheap and every clone shares the same
+/// allocations — that is what lets a session pool hold many warm
+/// [`Session`]s over one compiled model.
+///
 /// ```
 /// use gdatalog_core::Engine;
 /// use gdatalog_lang::SemanticsMode;
@@ -89,9 +95,20 @@ impl From<DataError> for EngineError {
 /// let worlds = engine.eval().worlds().unwrap();
 /// // Example 1.1 of the paper: three worlds, probabilities 1/4, 1/4, 1/2.
 /// assert_eq!(worlds.len(), 3);
+///
+/// // Clones share the compiled program (pointer-identical).
+/// let clone = engine.clone();
+/// assert!(std::sync::Arc::ptr_eq(engine.program_shared(), clone.program_shared()));
 /// ```
+#[derive(Clone)]
 pub struct Engine {
-    program: CompiledProgram,
+    program: Arc<CompiledProgram>,
+    /// The chase plans (body plans + interned index specs), built on first
+    /// use. The cell itself is shared, so whichever clone plans first
+    /// plans for all of them — a pooled session never re-plans,
+    /// regardless of whether cloning happened before or after the first
+    /// evaluation.
+    prepared: Arc<OnceLock<Arc<PreparedProgram>>>,
 }
 
 impl Engine {
@@ -128,12 +145,35 @@ impl Engine {
     ) -> Result<Engine, EngineError> {
         let validated = validate(ast, registry)?;
         let program = translate(&validated, mode)?;
-        Ok(Engine { program })
+        Ok(Engine::from_compiled(Arc::new(program)))
+    }
+
+    /// Wraps an already-compiled (possibly shared) program.
+    pub fn from_compiled(program: Arc<CompiledProgram>) -> Engine {
+        Engine {
+            program,
+            prepared: Arc::new(OnceLock::new()),
+        }
     }
 
     /// The compiled program (catalog, rules, analyses).
     pub fn program(&self) -> &CompiledProgram {
         &self.program
+    }
+
+    /// The compiled program behind its shared handle (cheap to clone;
+    /// pointer-identity is the cache-hit witness of the serving layer).
+    pub fn program_shared(&self) -> &Arc<CompiledProgram> {
+        &self.program
+    }
+
+    /// The chase plans of the program — body plans and the unified index
+    /// spec table — built on first use and shared by every clone of this
+    /// engine. Backends receive it through the evaluation surface, so a
+    /// cached program plans **once** across any number of requests.
+    pub fn prepared(&self) -> &Arc<PreparedProgram> {
+        self.prepared
+            .get_or_init(|| Arc::new(PreparedProgram::new(&self.program)))
     }
 
     /// Merges the program's own ground facts with extra input facts,
@@ -160,6 +200,7 @@ impl Engine {
     /// ```
     pub fn eval(&self) -> Evaluation<'_> {
         Evaluation::new(&self.program, Cow::Borrowed(&self.program.initial_instance))
+            .shared_plans(Arc::clone(self.prepared()))
     }
 
     /// Starts an [`Evaluation`] over the program's ground facts unioned
@@ -182,6 +223,7 @@ impl Engine {
     /// ```
     pub fn eval_on<'a>(&'a self, extra: Option<&Instance>) -> Evaluation<'a> {
         Evaluation::new(&self.program, self.full_input(extra))
+            .shared_plans(Arc::clone(self.prepared()))
     }
 
     /// **Exact** evaluation: enumerates the chase tree of a discrete
@@ -366,6 +408,15 @@ mod tests {
         let run = engine.eval().seed(11).max_depth(100).trace().unwrap();
         assert_eq!(run.trace.len(), run.steps);
         assert!(run.steps >= 3, "sample, deliver, copy");
+    }
+
+    #[test]
+    fn clones_share_plans_even_when_cloned_before_planning() {
+        let engine = Engine::from_source("R(Flip<0.5>) :- true.", SemanticsMode::Grohe).unwrap();
+        let clone = engine.clone();
+        // Neither has planned yet; whichever plans first plans for both.
+        assert!(Arc::ptr_eq(engine.prepared(), clone.prepared()));
+        assert!(Arc::ptr_eq(clone.prepared(), engine.clone().prepared()));
     }
 
     #[test]

@@ -116,8 +116,24 @@ pub fn enumerate_sequential(
     policy: &mut ChasePolicy,
     config: ExactConfig,
 ) -> Result<PossibleWorlds, EngineError> {
-    require_discrete(program)?;
     let prepared = PreparedProgram::new(program);
+    enumerate_sequential_prepared(program, &prepared, input, policy, config)
+}
+
+/// [`enumerate_sequential`] against caller-held chase plans, the serving
+/// fast path: a cached program's [`PreparedProgram`] is built once and
+/// reused across requests instead of being re-planned per call.
+///
+/// # Errors
+/// Same as [`enumerate_sequential`].
+pub fn enumerate_sequential_prepared(
+    program: &CompiledProgram,
+    prepared: &PreparedProgram,
+    input: &Instance,
+    policy: &mut ChasePolicy,
+    config: ExactConfig,
+) -> Result<PossibleWorlds, EngineError> {
+    require_discrete(program)?;
     let mut worlds = PossibleWorlds::new();
     // DFS over (instance, path probability, depth). Bodies are planned
     // once; each node builds its index fresh (branches share no instance).
@@ -168,8 +184,22 @@ pub fn enumerate_parallel(
     input: &Instance,
     config: ExactConfig,
 ) -> Result<PossibleWorlds, EngineError> {
-    require_discrete(program)?;
     let prepared = PreparedProgram::new(program);
+    enumerate_parallel_prepared(program, &prepared, input, config)
+}
+
+/// [`enumerate_parallel`] against caller-held chase plans (see
+/// [`enumerate_sequential_prepared`]).
+///
+/// # Errors
+/// Same as [`enumerate_sequential`].
+pub fn enumerate_parallel_prepared(
+    program: &CompiledProgram,
+    prepared: &PreparedProgram,
+    input: &Instance,
+    config: ExactConfig,
+) -> Result<PossibleWorlds, EngineError> {
+    require_discrete(program)?;
     let mut worlds = PossibleWorlds::new();
     let mut stack: Vec<(Instance, f64, usize)> = vec![(input.clone(), 1.0, 0)];
     while let Some((instance, p, depth)) = stack.pop() {

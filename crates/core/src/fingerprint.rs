@@ -1,0 +1,108 @@
+//! Content fingerprints for compiled programs: the cache keys of the
+//! serving layer.
+//!
+//! A program's compile+plan artifacts ([`crate::Engine`] and its shared
+//! [`crate::applicability::PreparedProgram`]) are pure functions of the
+//! source text, the [`SemanticsMode`], and the distribution family, so a
+//! cache may key them by a **content hash** of those inputs: two requests
+//! carrying byte-identical sources under the same mode hit the same
+//! compiled entry and share the very same plan allocation.
+//!
+//! ```
+//! use gdatalog_core::fingerprint::source_fingerprint;
+//! use gdatalog_lang::SemanticsMode;
+//!
+//! let a = source_fingerprint("R(Flip<0.5>) :- true.", SemanticsMode::Grohe);
+//! let b = source_fingerprint("R(Flip<0.5>) :- true.", SemanticsMode::Grohe);
+//! assert_eq!(a, b, "same source, same mode: same key");
+//! let c = source_fingerprint("R(Flip<0.5>) :- true.", SemanticsMode::Barany);
+//! assert_ne!(a, c, "the semantics mode is part of the key");
+//! ```
+
+use gdatalog_lang::SemanticsMode;
+
+/// 64-bit FNV-1a over a byte stream — stable across platforms and runs
+/// (unlike `std`'s randomized hasher), which is what a cache key persisted
+/// into reports and logs needs.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A hasher in its initial state.
+    pub fn new() -> Fnv1a {
+        Fnv1a(Self::OFFSET)
+    }
+
+    /// Folds `bytes` into the state.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+/// The content fingerprint of `(src, mode)`: the cache key under which the
+/// serving layer memoizes compilation and planning. Byte-exact on the
+/// source — whitespace and comments count, because the compiled artifact
+/// is a function of the exact text.
+pub fn source_fingerprint(src: &str, mode: SemanticsMode) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(match mode {
+        SemanticsMode::Grohe => b"grohe\0",
+        SemanticsMode::Barany => b"barany\0",
+    });
+    h.write(src.as_bytes());
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminating() {
+        let a = source_fingerprint("R(Flip<0.5>) :- true.", SemanticsMode::Grohe);
+        assert_eq!(
+            a,
+            source_fingerprint("R(Flip<0.5>) :- true.", SemanticsMode::Grohe)
+        );
+        assert_ne!(
+            a,
+            source_fingerprint("R(Flip<0.6>) :- true.", SemanticsMode::Grohe),
+            "different source"
+        );
+        assert_ne!(
+            a,
+            source_fingerprint("R(Flip<0.5>) :- true.", SemanticsMode::Barany),
+            "different mode"
+        );
+        // Whitespace is significant: the key is byte-exact.
+        assert_ne!(
+            a,
+            source_fingerprint("R(Flip<0.5>) :- true. ", SemanticsMode::Grohe)
+        );
+    }
+
+    #[test]
+    fn fnv_reference_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c.
+        let mut h = Fnv1a::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -33,6 +33,7 @@ pub mod applicability;
 pub mod backend;
 pub mod engine;
 pub mod exact;
+pub mod fingerprint;
 pub mod kernel;
 pub mod mc;
 pub mod parallel;
@@ -42,10 +43,16 @@ pub mod sequential;
 pub mod session;
 pub mod tree;
 
-pub use applicability::{applicable_pairs, AppPair};
-pub use backend::{Backend, EvalOptions, ExactParallelBackend, ExactSequentialBackend, McBackend};
+pub use applicability::{applicable_pairs, AppPair, PreparedProgram};
+pub use backend::{
+    Backend, EvalJob, EvalOptions, ExactParallelBackend, ExactSequentialBackend, McBackend,
+};
 pub use engine::{Engine, EngineError};
-pub use exact::{enumerate_parallel, enumerate_sequential, ExactConfig};
+pub use exact::{
+    enumerate_parallel, enumerate_parallel_prepared, enumerate_sequential,
+    enumerate_sequential_prepared, ExactConfig,
+};
+pub use fingerprint::source_fingerprint;
 pub use kernel::{ParallelKernel, SequentialKernel, StepKernel};
 pub use mc::{sample_pdb, ChaseVariant, McConfig};
 pub use policy::{ChasePolicy, PolicyKind};

@@ -32,8 +32,9 @@ use gdatalog_pdb::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::applicability::PreparedProgram;
 use crate::backend::{
-    Backend, EvalOptions, ExactParallelBackend, ExactSequentialBackend, McBackend,
+    Backend, EvalJob, EvalOptions, ExactParallelBackend, ExactSequentialBackend, McBackend,
 };
 use crate::engine::{Engine, EngineError};
 use crate::mc::ChaseVariant;
@@ -63,8 +64,10 @@ pub struct Session {
     /// The program's initial facts unioned with everything inserted — the
     /// instance every evaluation starts from, maintained incrementally.
     input: Instance,
-    /// Count of facts inserted on top of the program's own ground facts.
-    inserted: usize,
+    /// The facts inserted on top of the program's own ground facts, in
+    /// insertion order — the per-request delta that [`Session::reset`]
+    /// removes in O(|delta|), independent of the base instance size.
+    delta: Vec<Fact>,
 }
 
 impl Session {
@@ -109,7 +112,7 @@ impl Session {
         Session {
             engine,
             input,
-            inserted: 0,
+            delta: Vec::new(),
         }
     }
 
@@ -131,7 +134,7 @@ impl Session {
 
     /// Number of facts inserted beyond the program's own ground facts.
     pub fn inserted_facts(&self) -> usize {
-        self.inserted
+        self.delta.len()
     }
 
     /// Extends the extensional database with `facts` (set semantics:
@@ -155,17 +158,15 @@ impl Session {
     /// ```
     pub fn insert_facts(&mut self, facts: &Instance) {
         for fact in facts.facts() {
-            if self.input.insert_fact(fact) {
-                self.inserted += 1;
-            }
+            self.insert_fact(fact);
         }
     }
 
     /// Inserts one fact; returns whether it was new.
     pub fn insert_fact(&mut self, fact: Fact) -> bool {
-        let fresh = self.input.insert_fact(fact);
+        let fresh = self.input.insert_fact(fact.clone());
         if fresh {
-            self.inserted += 1;
+            self.delta.push(fact);
         }
         fresh
     }
@@ -198,6 +199,35 @@ impl Session {
     /// ```
     pub fn eval(&self) -> Evaluation<'_> {
         Evaluation::new(self.program(), Cow::Borrowed(&self.input))
+            .shared_plans(Arc::clone(self.engine.prepared()))
+    }
+
+    /// Discards every inserted fact, returning the extensional database to
+    /// the program's own ground facts — the checkout hook of a session
+    /// pool: a pooled session is `reset` when it comes back, so the next
+    /// request starts from a clean base with the compiled program (and its
+    /// chase plans) still warm. Costs O(|inserted delta|): only the facts
+    /// inserted since construction (or the last reset) are removed, so a
+    /// large base EDB is never re-cloned per request.
+    ///
+    /// ```
+    /// use gdatalog_core::Session;
+    /// use gdatalog_lang::SemanticsMode;
+    ///
+    /// let mut session = Session::from_source(
+    ///     "rel City(symbol) input. Quake(C, Flip<0.4>) :- City(C).",
+    ///     SemanticsMode::Grohe,
+    /// ).unwrap();
+    /// session.insert_facts_text("City(gotham).").unwrap();
+    /// assert_eq!(session.facts().len(), 1);
+    /// session.reset();
+    /// assert_eq!(session.facts().len(), 0);
+    /// assert_eq!(session.inserted_facts(), 0);
+    /// ```
+    pub fn reset(&mut self) {
+        for fact in self.delta.drain(..) {
+            self.input.remove(fact.rel, &fact.tuple);
+        }
     }
 }
 
@@ -229,6 +259,9 @@ pub struct Evaluation<'a> {
     input: Cow<'a, Instance>,
     options: EvalOptions,
     choice: BackendChoice,
+    /// Shared chase plans (from the owning [`Engine`]/[`Session`]); when
+    /// present, backends skip per-request planning.
+    prepared: Option<Arc<PreparedProgram>>,
 }
 
 impl<'a> Evaluation<'a> {
@@ -238,7 +271,15 @@ impl<'a> Evaluation<'a> {
             input,
             options: EvalOptions::default(),
             choice: BackendChoice::Auto,
+            prepared: None,
         }
+    }
+
+    /// Attaches pre-built chase plans (must belong to this program), so
+    /// backends reuse them instead of planning per request.
+    pub(crate) fn shared_plans(mut self, prepared: Arc<PreparedProgram>) -> Evaluation<'a> {
+        self.prepared = Some(prepared);
+        self
     }
 
     // -- backend selection -------------------------------------------------
@@ -471,9 +512,19 @@ impl<'a> Evaluation<'a> {
         }
     }
 
+    /// The job record handed to backends: program, shared plans (when the
+    /// evaluation came from an [`Engine`]/[`Session`]), input, options.
+    fn job(&self) -> EvalJob<'_> {
+        EvalJob {
+            program: self.program,
+            prepared: self.prepared.as_deref(),
+            input: &self.input,
+            options: &self.options,
+        }
+    }
+
     fn run_with(&self, choice: BackendChoice, sink: &mut dyn WorldSink) -> Result<(), EngineError> {
-        self.backend_for(choice)
-            .run(self.program, &self.input, &self.options, sink)
+        self.backend_for(choice).run(&self.job(), sink)
     }
 
     // -- terminals ---------------------------------------------------------
@@ -514,7 +565,7 @@ impl<'a> Evaluation<'a> {
         backend: &dyn Backend,
         sink: &mut dyn WorldSink,
     ) -> Result<(), EngineError> {
-        backend.run(self.program, &self.input, &self.options, sink)
+        backend.run(&self.job(), sink)
     }
 
     /// The full world table. Under an exact backend (the default, and the
@@ -802,6 +853,7 @@ impl<'a> Evaluation<'a> {
                 input: Cow::Owned(self.input.union(world)),
                 options: self.options,
                 choice,
+                prepared: self.prepared.clone(),
             };
             parts.push((p, part.worlds()?));
         }

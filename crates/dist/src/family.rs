@@ -8,6 +8,38 @@
 //!   passes per-country `(µ, σ²)` moments straight in).
 //! * Discrete members return `Int` outcomes except `Categorical`, which
 //!   returns one of its listed values verbatim.
+//!
+//! Members are looked up by name through the registry; each one
+//! validates its parameters at the call site, samples, reports densities,
+//! and — when discrete — enumerates its support exactly:
+//!
+//! ```
+//! use gdatalog_data::Value;
+//! use gdatalog_dist::Registry;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let family = Registry::standard();
+//!
+//! // A discrete member: exact support enumeration for the chase tree.
+//! let geometric = family.get("Geometric").unwrap();
+//! let support = geometric.enumerate(&[Value::real(0.5)], 1e-6).unwrap();
+//! assert!(support.tabulated_mass() > 1.0 - 1e-6);
+//! assert_eq!(support.outcomes[0], (Value::int(0), 0.5));
+//!
+//! // A continuous member: sampling + log-density, no enumeration.
+//! let normal = family.get("Normal").unwrap();
+//! let params = [Value::real(0.0), Value::real(1.0)];
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let draw = normal.sample(&params, &mut rng).unwrap();
+//! assert!(draw.as_f64().unwrap().abs() < 6.0, "six sigma");
+//! let log_pdf = normal.log_density(&params, &Value::real(0.0)).unwrap();
+//! assert!((log_pdf - (-0.5 * (2.0 * std::f64::consts::PI).ln())).abs() < 1e-12);
+//! assert!(normal.enumerate(&params, 1e-9).is_err(), "continuous");
+//!
+//! // Inadmissible parameters are runtime errors, not panics.
+//! assert!(family.get("Flip").unwrap().sample(&[Value::real(1.5)], &mut rng).is_err());
+//! ```
 
 // Parameter guards are written `!(x > 0.0)` on purpose: the negation also
 // rejects NaN, which `x <= 0.0` would silently admit.

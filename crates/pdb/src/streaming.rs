@@ -15,6 +15,25 @@
 //! histograms — each usable unchanged on exact world tables and on
 //! Monte-Carlo streams, because both are streams of weighted worlds whose
 //! weights sum to (at most) one.
+//!
+//! A sink can be driven by hand, which is also how custom statistics are
+//! tested before plugging them into an engine backend:
+//!
+//! ```
+//! use gdatalog_data::{tuple, Fact, Instance, RelId};
+//! use gdatalog_pdb::{DeficitKind, MarginalSink, WorldSink};
+//!
+//! let rel = RelId(0);
+//! let mut sink = MarginalSink::new(Fact::new(rel, tuple![1i64]));
+//! // Two weighted worlds and one budget-cut path (deficit).
+//! let mut world = Instance::new();
+//! world.insert(rel, tuple![1i64]);
+//! sink.observe(world, 0.5);
+//! sink.observe(Instance::new(), 0.25);
+//! sink.observe_deficit(DeficitKind::Nontermination, 0.25);
+//! // The marginal counts only worlds containing the fact.
+//! assert!((sink.finish() - 0.5).abs() < 1e-12);
+//! ```
 
 use std::any::Any;
 use std::collections::BTreeMap;

@@ -1,0 +1,281 @@
+//! The program cache: compile (and plan) each distinct program **once**,
+//! no matter how many requests carry it.
+//!
+//! Compilation — parse, validate, translate to the associated Datalog∃
+//! program Ĝ, plan every rule body and intern every index the chase will
+//! probe — is a pure function of `(source text, semantics mode)`, so the
+//! cache keys entries by the [`source_fingerprint`] content hash. A hit
+//! returns the **same** [`Arc`] as every previous hit: plan reuse is
+//! pointer identity, not structural re-derivation.
+//!
+//! ```
+//! use gdatalog_serve::ProgramCache;
+//! use gdatalog_lang::SemanticsMode;
+//! use std::sync::Arc;
+//!
+//! let cache = ProgramCache::new();
+//! let a = cache.get_or_compile("R(Flip<0.5>) :- true.", SemanticsMode::Grohe).unwrap();
+//! let b = cache.get_or_compile("R(Flip<0.5>) :- true.", SemanticsMode::Grohe).unwrap();
+//! assert!(Arc::ptr_eq(&a, &b), "second request hits the cache");
+//! assert_eq!(cache.stats().hits, 1);
+//! assert_eq!(cache.stats().misses, 1);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use gdatalog_core::fingerprint::source_fingerprint;
+use gdatalog_core::{Engine, EngineError, PreparedProgram, Session};
+use gdatalog_lang::{CompiledProgram, SemanticsMode};
+
+/// A compiled program plus its chase plans, ready to serve: the unit the
+/// [`ProgramCache`] memoizes and the [`SessionPool`](crate::SessionPool)
+/// spawns sessions from.
+pub struct PreparedModel {
+    fingerprint: u64,
+    /// The exact source text compiled, kept so a cache probe can verify a
+    /// fingerprint hit against the real key — a 64-bit hash alone would
+    /// let a (constructible) collision serve the wrong program.
+    source: String,
+    mode: SemanticsMode,
+    engine: Engine,
+}
+
+impl PreparedModel {
+    /// Compiles `src` and eagerly builds the chase plans (the point of the
+    /// cache is to pay parse+plan once, so the plan cost belongs to the
+    /// miss, not to the first request that evaluates).
+    ///
+    /// # Errors
+    /// Syntax/validation/translation errors.
+    pub fn compile(src: &str, mode: SemanticsMode) -> Result<PreparedModel, EngineError> {
+        let engine = Engine::from_source(src, mode)?;
+        engine.prepared();
+        Ok(PreparedModel {
+            fingerprint: source_fingerprint(src, mode),
+            source: src.to_string(),
+            mode,
+            engine,
+        })
+    }
+
+    /// The content hash of `(source, mode)` this model was compiled from.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The exact source text this model was compiled from.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The semantics the model was compiled under.
+    pub fn mode(&self) -> SemanticsMode {
+        self.mode
+    }
+
+    /// The compiled engine (shared program + plans).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The compiled program (catalog, rules, analyses).
+    pub fn program(&self) -> &CompiledProgram {
+        self.engine.program()
+    }
+
+    /// The shared chase plans; every session spawned from this model
+    /// evaluates against this very allocation.
+    pub fn plans(&self) -> &Arc<PreparedProgram> {
+        self.engine.prepared()
+    }
+
+    /// A fresh [`Session`] over this model. Cheap: the engine clone shares
+    /// the compiled program and plans; only the extensional database is
+    /// per-session state.
+    pub fn session(&self) -> Session {
+        Session::new(self.engine.clone())
+    }
+}
+
+/// Cache observability counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered from an existing entry (including compile races
+    /// lost to a concurrent caller of the same program).
+    pub hits: u64,
+    /// Requests whose answer was a freshly compiled model. Failed
+    /// compiles count as neither.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+/// A concurrent memo table `content hash → Arc<PreparedModel>`.
+///
+/// Lookups hold the lock only for the probe; compilation happens outside
+/// it, and when two threads race to compile the same program the first
+/// insert wins — both callers get the same `Arc`, preserving the
+/// plans-are-pointer-identical invariant.
+pub struct ProgramCache {
+    entries: Mutex<HashMap<u64, Arc<PreparedModel>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ProgramCache {
+    /// An empty cache.
+    pub fn new() -> ProgramCache {
+        ProgramCache {
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The cached model for `(src, mode)`, compiling on first sight.
+    ///
+    /// # Errors
+    /// Compilation errors (not cached: a failing program re-reports its
+    /// error on every request).
+    pub fn get_or_compile(
+        &self,
+        src: &str,
+        mode: SemanticsMode,
+    ) -> Result<Arc<PreparedModel>, EngineError> {
+        let key = source_fingerprint(src, mode);
+        if let Some(hit) = self.entries.lock().expect("cache poisoned").get(&key) {
+            // A hit must match the real key, not just its hash: on a
+            // fingerprint collision the probe falls through and compiles.
+            if hit.source == src && hit.mode == mode {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(hit));
+            }
+        }
+        let fresh = Arc::new(PreparedModel::compile(src, mode)?);
+        let mut entries = self.entries.lock().expect("cache poisoned");
+        match entries.get(&key) {
+            // A racing caller inserted the same program while we
+            // compiled: keep pointer identity by serving their entry, and
+            // count ourselves as a hit — the cache did answer us from an
+            // existing entry, our compile was wasted work, not a miss.
+            Some(existing) if existing.source == src && existing.mode == mode => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Ok(Arc::clone(existing))
+            }
+            // Fingerprint collision: the resident entry is a *different*
+            // program. The loser stays uncached (correctness over reuse
+            // in that pathological case) and counts as a miss.
+            Some(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Ok(fresh)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                entries.insert(key, Arc::clone(&fresh));
+                Ok(fresh)
+            }
+        }
+    }
+
+    /// Hit/miss/occupancy counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.lock().expect("cache poisoned").len(),
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (sessions already spawned keep their shared
+    /// program alive through their own `Arc`s).
+    pub fn clear(&self) {
+        self.entries.lock().expect("cache poisoned").clear();
+    }
+}
+
+impl Default for ProgramCache {
+    fn default() -> Self {
+        ProgramCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "R(Flip<0.5>) :- true. S(X) :- R(X).";
+
+    #[test]
+    fn hit_returns_identical_plan_pointer() {
+        let cache = ProgramCache::new();
+        let a = cache.get_or_compile(SRC, SemanticsMode::Grohe).unwrap();
+        let b = cache.get_or_compile(SRC, SemanticsMode::Grohe).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "model is shared");
+        assert!(Arc::ptr_eq(a.plans(), b.plans()), "plans are shared");
+        assert!(
+            Arc::ptr_eq(a.engine().program_shared(), b.engine().program_shared()),
+            "compiled program is shared"
+        );
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                entries: 1
+            }
+        );
+    }
+
+    #[test]
+    fn distinct_sources_and_modes_get_distinct_entries() {
+        let cache = ProgramCache::new();
+        let a = cache.get_or_compile(SRC, SemanticsMode::Grohe).unwrap();
+        let b = cache
+            .get_or_compile("R(Flip<0.25>) :- true.", SemanticsMode::Grohe)
+            .unwrap();
+        let c = cache.get_or_compile(SRC, SemanticsMode::Barany).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn compile_errors_are_not_cached() {
+        let cache = ProgramCache::new();
+        assert!(cache
+            .get_or_compile("R(X :-", SemanticsMode::Grohe)
+            .is_err());
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 0);
+    }
+
+    #[test]
+    fn concurrent_requests_share_one_model() {
+        let cache = Arc::new(ProgramCache::new());
+        let models: Vec<Arc<PreparedModel>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let cache = Arc::clone(&cache);
+                    scope.spawn(move || cache.get_or_compile(SRC, SemanticsMode::Grohe).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for m in &models[1..] {
+            assert!(Arc::ptr_eq(&models[0], m), "all callers share one entry");
+        }
+        assert_eq!(cache.len(), 1);
+    }
+}

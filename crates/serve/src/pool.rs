@@ -1,0 +1,186 @@
+//! The session pool: warm [`Session`]s checked out per request and reset
+//! on return.
+//!
+//! A session over a cached model is cheap to create (the compiled program
+//! and chase plans are shared), but not free: the extensional database is
+//! cloned from the program's ground facts, and a busy serving loop would
+//! otherwise re-clone it per request. The pool keeps finished sessions
+//! warm: [`SessionPool::checkout`] hands out an idle session (or creates
+//! one when all are busy), and dropping the [`PooledSession`] guard
+//! [`reset`](Session::reset)s the per-request fact delta and returns the
+//! session to the idle list — the next checkout starts from a clean base.
+//!
+//! ```
+//! use gdatalog_serve::{PreparedModel, SessionPool};
+//! use gdatalog_lang::SemanticsMode;
+//! use std::sync::Arc;
+//!
+//! let model = Arc::new(PreparedModel::compile(
+//!     "rel City(symbol) input. Quake(C, Flip<0.4>) :- City(C).",
+//!     SemanticsMode::Grohe,
+//! ).unwrap());
+//! let pool = SessionPool::new(model);
+//! {
+//!     let mut session = pool.checkout();
+//!     session.insert_facts_text("City(gotham).").unwrap();
+//!     assert_eq!(session.eval().worlds().unwrap().len(), 2);
+//! } // drop: reset + returned to the pool
+//! let session = pool.checkout();
+//! assert_eq!(session.facts().len(), 0, "no residual facts");
+//! assert_eq!(pool.created(), 1, "the warm session was reused");
+//! ```
+
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use gdatalog_core::Session;
+
+use crate::cache::PreparedModel;
+
+/// A pool of warm sessions over one prepared model.
+pub struct SessionPool {
+    model: Arc<PreparedModel>,
+    idle: Mutex<Vec<Session>>,
+    created: AtomicUsize,
+}
+
+impl SessionPool {
+    /// An empty pool over `model` (sessions are created on demand).
+    pub fn new(model: Arc<PreparedModel>) -> SessionPool {
+        SessionPool {
+            model,
+            idle: Mutex::new(Vec::new()),
+            created: AtomicUsize::new(0),
+        }
+    }
+
+    /// The model the pool serves.
+    pub fn model(&self) -> &Arc<PreparedModel> {
+        &self.model
+    }
+
+    /// Checks out a warm session, creating one when none is idle. The
+    /// returned guard derefs to [`Session`]; dropping it resets the
+    /// session's fact delta and returns it to the pool.
+    pub fn checkout(&self) -> PooledSession<'_> {
+        let session = self.idle.lock().expect("pool poisoned").pop();
+        let session = session.unwrap_or_else(|| {
+            self.created.fetch_add(1, Ordering::Relaxed);
+            self.model.session()
+        });
+        PooledSession {
+            pool: self,
+            session: Some(session),
+        }
+    }
+
+    /// Number of idle sessions currently parked in the pool.
+    pub fn idle(&self) -> usize {
+        self.idle.lock().expect("pool poisoned").len()
+    }
+
+    /// Total sessions ever created by this pool (peak concurrency
+    /// watermark).
+    pub fn created(&self) -> usize {
+        self.created.load(Ordering::Relaxed)
+    }
+
+    fn give_back(&self, mut session: Session) {
+        session.reset();
+        self.idle.lock().expect("pool poisoned").push(session);
+    }
+}
+
+/// A checked-out session; derefs to [`Session`]. On drop the session is
+/// reset and returned to its pool.
+pub struct PooledSession<'p> {
+    pool: &'p SessionPool,
+    session: Option<Session>,
+}
+
+impl PooledSession<'_> {
+    /// Takes the session out of pool management permanently (it will not
+    /// be reset or returned).
+    pub fn detach(mut self) -> Session {
+        self.session.take().expect("session present until drop")
+    }
+}
+
+impl Deref for PooledSession<'_> {
+    type Target = Session;
+    fn deref(&self) -> &Session {
+        self.session.as_ref().expect("session present until drop")
+    }
+}
+
+impl DerefMut for PooledSession<'_> {
+    fn deref_mut(&mut self) -> &mut Session {
+        self.session.as_mut().expect("session present until drop")
+    }
+}
+
+impl Drop for PooledSession<'_> {
+    fn drop(&mut self) {
+        if let Some(session) = self.session.take() {
+            self.pool.give_back(session);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdatalog_lang::SemanticsMode;
+
+    fn pool() -> SessionPool {
+        let model = Arc::new(
+            PreparedModel::compile(
+                "rel City(symbol) input. Quake(C, Flip<0.4>) :- City(C).",
+                SemanticsMode::Grohe,
+            )
+            .unwrap(),
+        );
+        SessionPool::new(model)
+    }
+
+    #[test]
+    fn return_resets_fact_delta() {
+        let pool = pool();
+        {
+            let mut s = pool.checkout();
+            s.insert_facts_text("City(gotham). City(metropolis).")
+                .unwrap();
+            assert_eq!(s.facts().len(), 2);
+        }
+        assert_eq!(pool.idle(), 1);
+        let s = pool.checkout();
+        assert_eq!(s.facts().len(), 0, "no residual facts after return");
+        assert_eq!(s.inserted_facts(), 0);
+    }
+
+    #[test]
+    fn concurrent_checkouts_get_distinct_sessions() {
+        let pool = pool();
+        let a = pool.checkout();
+        let b = pool.checkout();
+        assert_eq!(pool.created(), 2);
+        drop(a);
+        drop(b);
+        assert_eq!(pool.idle(), 2);
+        let _c = pool.checkout();
+        assert_eq!(pool.created(), 2, "warm session reused");
+    }
+
+    #[test]
+    fn sessions_share_the_model_plans() {
+        let pool = pool();
+        let s = pool.checkout().detach();
+        assert!(Arc::ptr_eq(
+            s.engine().program_shared(),
+            pool.model().engine().program_shared()
+        ));
+        assert!(Arc::ptr_eq(s.engine().prepared(), pool.model().plans()));
+        assert_eq!(pool.idle(), 0, "detached sessions do not come back");
+    }
+}

@@ -1,0 +1,456 @@
+//! The batch wire format: one [`Request`] per independent query, one
+//! [`Response`] per answer.
+//!
+//! Requests name relations and facts **textually** (`"Alarm(h0)"`) so they
+//! can travel as JSON; the executor resolves them against the cached
+//! program's catalog at evaluation time. Each request carries its own
+//! evidence (ground facts inserted into the pooled session before
+//! evaluation), backend choice, and Monte-Carlo configuration — requests
+//! in one batch are fully independent, which is what makes batched
+//! execution embarrassingly parallel *and* bit-reproducible.
+//!
+//! ```
+//! use gdatalog_serve::{Request, json::Json};
+//!
+//! let req = Request::marginal("Alarm(h0)").evidence("City(h0, 0.3).").seed(7);
+//! let parsed = Request::from_json(&Json::parse(
+//!     r#"{"kind": "marginal", "fact": "Alarm(h0)", "evidence": "City(h0, 0.3).", "seed": 7}"#,
+//! ).unwrap()).unwrap();
+//! assert_eq!(req, parsed);
+//! ```
+
+use gdatalog_data::{Catalog, Fact};
+use gdatalog_pdb::{AggFun, ColumnHistogram, Moments};
+
+use crate::json::Json;
+use crate::ServeError;
+
+/// Which evaluation strategy a request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendSpec {
+    /// Let the builder pick: exact for discrete programs, Monte-Carlo for
+    /// continuous ones.
+    #[default]
+    Auto,
+    /// Exact sequential chase-tree enumeration.
+    Exact,
+    /// Exact parallel chase enumeration.
+    ExactParallel,
+    /// Monte-Carlo path sampling.
+    Mc,
+}
+
+/// The query a request asks, with textual relation/fact references.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryKind {
+    /// `P(fact ∈ D)` for one fact, e.g. `"Alarm(h0)"`.
+    Marginal {
+        /// The fact, in program syntax (trailing `.` optional).
+        fact: String,
+    },
+    /// The marginal of every tuple of a relation occurring in some world.
+    Marginals {
+        /// Relation name.
+        rel: String,
+    },
+    /// Probability that **all** listed facts are present (a conjunctive
+    /// event over fact containment, §2.3).
+    Probability {
+        /// Ground facts in program syntax, e.g. `"Alarm(h0). Alarm(h1)."`.
+        facts: String,
+    },
+    /// Mean/variance of an aggregate over a relation's tuples per world.
+    Expectation {
+        /// Relation name.
+        rel: String,
+        /// Aggregate applied per world.
+        agg: AggFun,
+        /// Column to aggregate (projected to the aggregate position);
+        /// `None` aggregates whole tuples (only meaningful for `count`).
+        col: Option<usize>,
+    },
+    /// Probability-weighted fixed-bin histogram of a numeric column.
+    Histogram {
+        /// Relation name.
+        rel: String,
+        /// Column index.
+        col: usize,
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Exclusive upper bound.
+        hi: f64,
+        /// Number of equal-width bins.
+        bins: usize,
+    },
+}
+
+/// One independent query request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// What to compute.
+    pub query: QueryKind,
+    /// Ground facts (program syntax) inserted into the session before
+    /// evaluation — the request's evidence.
+    pub evidence: Option<String>,
+    /// Evaluation strategy.
+    pub backend: BackendSpec,
+    /// Monte-Carlo run count (applies when the Monte-Carlo backend is
+    /// selected or auto-picked).
+    pub runs: Option<usize>,
+    /// Monte-Carlo master seed.
+    pub seed: Option<u64>,
+    /// Chase depth/step budget.
+    pub max_depth: Option<usize>,
+}
+
+impl Request {
+    fn new(query: QueryKind) -> Request {
+        Request {
+            query,
+            evidence: None,
+            backend: BackendSpec::Auto,
+            runs: None,
+            seed: None,
+            max_depth: None,
+        }
+    }
+
+    /// A marginal request for one fact, e.g. `"Alarm(h0)"`.
+    pub fn marginal(fact: impl Into<String>) -> Request {
+        Request::new(QueryKind::Marginal { fact: fact.into() })
+    }
+
+    /// An all-fact-marginals request for one relation.
+    pub fn marginals(rel: impl Into<String>) -> Request {
+        Request::new(QueryKind::Marginals { rel: rel.into() })
+    }
+
+    /// A conjunctive event-probability request: all listed facts present.
+    pub fn probability(facts: impl Into<String>) -> Request {
+        Request::new(QueryKind::Probability {
+            facts: facts.into(),
+        })
+    }
+
+    /// An expectation request over a relation.
+    pub fn expectation(rel: impl Into<String>, agg: AggFun) -> Request {
+        Request::new(QueryKind::Expectation {
+            rel: rel.into(),
+            agg,
+            col: None,
+        })
+    }
+
+    /// A histogram request over `rel`'s column `col`.
+    pub fn histogram(rel: impl Into<String>, col: usize, lo: f64, hi: f64, bins: usize) -> Request {
+        Request::new(QueryKind::Histogram {
+            rel: rel.into(),
+            col,
+            lo,
+            hi,
+            bins,
+        })
+    }
+
+    /// Sets the request's evidence facts.
+    pub fn evidence(mut self, facts: impl Into<String>) -> Request {
+        self.evidence = Some(facts.into());
+        self
+    }
+
+    /// Forces exact sequential enumeration.
+    pub fn exact(mut self) -> Request {
+        self.backend = BackendSpec::Exact;
+        self
+    }
+
+    /// Forces Monte-Carlo sampling with `runs` runs.
+    pub fn mc(mut self, runs: usize) -> Request {
+        self.backend = BackendSpec::Mc;
+        self.runs = Some(runs);
+        self
+    }
+
+    /// Sets the Monte-Carlo master seed.
+    pub fn seed(mut self, seed: u64) -> Request {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Sets the chase depth/step budget.
+    pub fn max_depth(mut self, depth: usize) -> Request {
+        self.max_depth = Some(depth);
+        self
+    }
+
+    /// Parses one request object of the batch wire format.
+    ///
+    /// # Errors
+    /// [`ServeError::BadRequest`] on unknown kinds or missing fields.
+    pub fn from_json(v: &Json) -> Result<Request, ServeError> {
+        let bad = |msg: &str| ServeError::BadRequest(msg.to_string());
+        let str_field = |key: &str| -> Result<String, ServeError> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| ServeError::BadRequest(format!("request needs a string `{key}`")))
+        };
+        // Optional members: absent is fine, present-but-invalid (wrong
+        // type, negative, fractional, or beyond the exact-f64 range) is
+        // an error — never a silent fallback to a default.
+        let opt_str = |key: &str| -> Result<Option<String>, ServeError> {
+            match v.get(key) {
+                None => Ok(None),
+                Some(s) => s.as_str().map(|s| Some(s.to_string())).ok_or_else(|| {
+                    ServeError::BadRequest(format!("`{key}` must be a string, got {}", s.render()))
+                }),
+            }
+        };
+        let opt_usize = |key: &str| -> Result<Option<usize>, ServeError> {
+            match v.get(key) {
+                None => Ok(None),
+                Some(n) => n.as_usize().map(Some).ok_or_else(|| {
+                    ServeError::BadRequest(format!(
+                        "`{key}` must be a non-negative whole number, got {}",
+                        n.render()
+                    ))
+                }),
+            }
+        };
+        let opt_u64 = |key: &str| -> Result<Option<u64>, ServeError> {
+            match v.get(key) {
+                None => Ok(None),
+                Some(n) => n.as_u64().map(Some).ok_or_else(|| {
+                    ServeError::BadRequest(format!(
+                        "`{key}` must be a whole number in [0, 2^53] — JSON numbers \
+                         are f64, so larger values do not survive the wire — got {}",
+                        n.render()
+                    ))
+                }),
+            }
+        };
+        let kind = str_field("kind")?;
+        let query = match kind.as_str() {
+            "marginal" => QueryKind::Marginal {
+                fact: str_field("fact")?,
+            },
+            "marginals" => QueryKind::Marginals {
+                rel: str_field("rel")?,
+            },
+            "probability" => QueryKind::Probability {
+                facts: str_field("facts")?,
+            },
+            "expectation" => QueryKind::Expectation {
+                rel: str_field("rel")?,
+                agg: match opt_str("agg")?.as_deref().unwrap_or("count") {
+                    "count" => AggFun::Count,
+                    "sum" => AggFun::Sum,
+                    "avg" => AggFun::Avg,
+                    "min" => AggFun::Min,
+                    "max" => AggFun::Max,
+                    other => {
+                        return Err(ServeError::BadRequest(format!(
+                            "unknown aggregate `{other}`"
+                        )))
+                    }
+                },
+                col: opt_usize("col")?,
+            },
+            "histogram" => QueryKind::Histogram {
+                rel: str_field("rel")?,
+                col: opt_usize("col")?.ok_or_else(|| bad("histogram needs an integer `col`"))?,
+                lo: v
+                    .get("lo")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| bad("histogram needs a numeric `lo`"))?,
+                hi: v
+                    .get("hi")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| bad("histogram needs a numeric `hi`"))?,
+                bins: opt_usize("bins")?.unwrap_or(20),
+            },
+            other => {
+                return Err(ServeError::BadRequest(format!(
+                    "unknown request kind `{other}` (expected marginal | marginals | \
+                     probability | expectation | histogram)"
+                )))
+            }
+        };
+        let backend = match opt_str("backend")?.as_deref().unwrap_or("auto") {
+            "auto" => BackendSpec::Auto,
+            "exact" => BackendSpec::Exact,
+            "exact-parallel" => BackendSpec::ExactParallel,
+            "mc" => BackendSpec::Mc,
+            other => {
+                return Err(ServeError::BadRequest(format!(
+                    "unknown backend `{other}` (expected auto | exact | exact-parallel | mc)"
+                )))
+            }
+        };
+        Ok(Request {
+            query,
+            evidence: opt_str("evidence")?,
+            backend,
+            runs: opt_usize("runs")?,
+            seed: opt_u64("seed")?,
+            max_depth: opt_usize("max_depth")?,
+        })
+    }
+}
+
+/// One answered request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A marginal probability.
+    Marginal(f64),
+    /// A conjunctive event probability.
+    Probability(f64),
+    /// Moments of an aggregate (`None` when no world mass was observed).
+    Expectation(Option<Moments>),
+    /// A column histogram.
+    Histogram(ColumnHistogram),
+    /// All fact marginals of a relation, facts rendered in program syntax.
+    Marginals(Vec<(String, f64)>),
+}
+
+impl Response {
+    /// Renders the response as a JSON object tagged with its kind.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Marginal(p) => Json::Obj(vec![
+                ("kind".into(), Json::Str("marginal".into())),
+                ("p".into(), Json::Num(*p)),
+            ]),
+            Response::Probability(p) => Json::Obj(vec![
+                ("kind".into(), Json::Str("probability".into())),
+                ("p".into(), Json::Num(*p)),
+            ]),
+            Response::Expectation(None) => Json::Obj(vec![
+                ("kind".into(), Json::Str("expectation".into())),
+                ("empty".into(), Json::Bool(true)),
+            ]),
+            Response::Expectation(Some(m)) => Json::Obj(vec![
+                ("kind".into(), Json::Str("expectation".into())),
+                ("mean".into(), Json::Num(m.mean)),
+                ("variance".into(), Json::Num(m.variance)),
+                ("mass".into(), Json::Num(m.mass)),
+            ]),
+            Response::Histogram(h) => Json::Obj(vec![
+                ("kind".into(), Json::Str("histogram".into())),
+                ("lo".into(), Json::Num(h.lo)),
+                ("hi".into(), Json::Num(h.hi)),
+                (
+                    "bins".into(),
+                    Json::Arr(h.bins.iter().map(|c| Json::Num(*c)).collect()),
+                ),
+                ("underflow".into(), Json::Num(h.underflow)),
+                ("overflow".into(), Json::Num(h.overflow)),
+                ("mass".into(), Json::Num(h.mass)),
+            ]),
+            Response::Marginals(rows) => Json::Obj(vec![
+                ("kind".into(), Json::Str("marginals".into())),
+                (
+                    "marginals".into(),
+                    Json::Arr(
+                        rows.iter()
+                            .map(|(fact, p)| {
+                                Json::Obj(vec![
+                                    ("fact".into(), Json::Str(fact.clone())),
+                                    ("p".into(), Json::Num(*p)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        }
+    }
+}
+
+/// Renders a fact in program syntax against a catalog, e.g. `Alarm(h0)`.
+pub fn fact_text(fact: &Fact, catalog: &Catalog) -> String {
+    let mut line = format!("{}(", catalog.name(fact.rel));
+    for (i, v) in fact.tuple.values().iter().enumerate() {
+        if i > 0 {
+            line.push_str(", ");
+        }
+        line.push_str(&format!("{v}"));
+    }
+    line.push(')');
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_kind() {
+        let reqs = r#"[
+            {"kind": "marginal", "fact": "A(x)"},
+            {"kind": "marginals", "rel": "A", "backend": "exact-parallel"},
+            {"kind": "probability", "facts": "A(x). A(y).", "backend": "mc", "runs": 100},
+            {"kind": "expectation", "rel": "A", "agg": "sum", "col": 1},
+            {"kind": "histogram", "rel": "A", "col": 0, "lo": 0, "hi": 1, "bins": 4}
+        ]"#;
+        let parsed: Vec<Request> = Json::parse(reqs)
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| Request::from_json(v).unwrap())
+            .collect();
+        assert_eq!(parsed.len(), 5);
+        assert_eq!(parsed[1].backend, BackendSpec::ExactParallel);
+        assert_eq!(parsed[2].runs, Some(100));
+        assert!(matches!(
+            &parsed[3].query,
+            QueryKind::Expectation {
+                agg: AggFun::Sum,
+                col: Some(1),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_kind_and_backend() {
+        let v = Json::parse(r#"{"kind": "zorp"}"#).unwrap();
+        assert!(Request::from_json(&v).is_err());
+        let v = Json::parse(r#"{"kind": "marginal", "fact": "A(x)", "backend": "gpu"}"#).unwrap();
+        assert!(Request::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn invalid_numeric_members_error_instead_of_degrading() {
+        // A present-but-invalid `runs` must not silently fall back to the
+        // 10,000-run default.
+        for bad in [
+            r#"{"kind": "marginal", "fact": "A(x)", "runs": -5}"#,
+            r#"{"kind": "marginal", "fact": "A(x)", "runs": 1.5}"#,
+            r#"{"kind": "marginal", "fact": "A(x)", "seed": "seven"}"#,
+            r#"{"kind": "marginal", "fact": "A(x)", "max_depth": -1}"#,
+            r#"{"kind": "histogram", "rel": "A", "col": 0, "lo": 0, "hi": 1, "bins": 2.5}"#,
+            r#"{"kind": "marginal", "fact": "A(x)", "evidence": 5}"#,
+            r#"{"kind": "marginal", "fact": "A(x)", "backend": 5}"#,
+            r#"{"kind": "expectation", "rel": "A", "agg": 3}"#,
+        ] {
+            let v = Json::parse(bad).unwrap();
+            assert!(Request::from_json(&v).is_err(), "{bad} should be rejected");
+        }
+        // Large-but-exact run counts parse instead of being dropped.
+        let v = Json::parse(r#"{"kind": "marginal", "fact": "A(x)", "runs": 5000000000}"#).unwrap();
+        assert_eq!(Request::from_json(&v).unwrap().runs, Some(5_000_000_000));
+    }
+
+    #[test]
+    fn responses_render_as_json() {
+        let r = Response::Marginal(0.25);
+        assert_eq!(r.to_json().render(), r#"{"kind": "marginal", "p": 0.25}"#);
+        let e = Response::Expectation(None);
+        assert_eq!(
+            e.to_json().render(),
+            r#"{"kind": "expectation", "empty": true}"#
+        );
+    }
+}

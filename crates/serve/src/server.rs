@@ -1,0 +1,437 @@
+//! Batched query execution: schedule independent requests across pooled
+//! sessions with deterministic chunked parallelism.
+//!
+//! [`BatchExecutor`] is the scheduling core: it splits a batch into
+//! contiguous per-worker chunks (the same discipline as the Monte-Carlo
+//! backend's run chunking), gives each worker its own pooled session, and
+//! joins the answers back **in request order**. Because every request is
+//! evaluated independently — its own evidence, its own seed, thread-count
+//! 1 inside the evaluation — the batch answers are bit-identical to
+//! evaluating each request alone, regardless of worker count.
+//!
+//! [`Server`] ties the pieces together for one program: a
+//! [`SessionPool`] over a cached [`PreparedModel`] plus an executor.
+
+use std::sync::Arc;
+
+use gdatalog_core::{EngineError, Session};
+use gdatalog_lang::{parse_facts, SemanticsMode};
+use gdatalog_pdb::{Event, Query};
+
+use crate::cache::PreparedModel;
+use crate::pool::SessionPool;
+use crate::request::{fact_text, BackendSpec, QueryKind, Request, Response};
+use crate::ServeError;
+
+/// Evaluates one request on a (clean) session. The session's extensional
+/// database is extended with the request's evidence for the duration of
+/// the call; the caller is responsible for [`Session::reset`] afterwards
+/// (the pool and executor do this automatically).
+///
+/// # Errors
+/// [`ServeError::BadRequest`] for unresolvable names/malformed specs,
+/// engine errors from evaluation.
+pub fn execute_on(session: &mut Session, request: &Request) -> Result<Response, ServeError> {
+    if let Some(evidence) = &request.evidence {
+        session.insert_facts_text(evidence)?;
+    }
+    let program = session.program();
+    let resolve = |name: &str| {
+        program
+            .catalog
+            .require(name)
+            .map_err(|e| ServeError::BadRequest(format!("{e}")))
+    };
+    // Backend selection mirrors the CLI: an explicit choice wins, auto
+    // picks Monte-Carlo exactly when the program samples a continuous
+    // distribution.
+    let mc = match request.backend {
+        BackendSpec::Mc => true,
+        BackendSpec::Exact | BackendSpec::ExactParallel => false,
+        BackendSpec::Auto => !program.all_discrete(),
+    };
+    let mut eval = session.eval();
+    if let Some(seed) = request.seed {
+        eval = eval.seed(seed);
+    }
+    if let Some(depth) = request.max_depth {
+        eval = eval.max_depth(depth);
+    }
+    eval = if mc {
+        eval.sample(request.runs.unwrap_or(10_000))
+    } else {
+        match request.backend {
+            BackendSpec::ExactParallel => eval.exact_parallel(),
+            BackendSpec::Exact => eval.exact(),
+            _ => eval,
+        }
+    };
+    match &request.query {
+        QueryKind::Marginal { fact } => {
+            let parsed = parse_facts(&ensure_dot(fact), &program.catalog)?;
+            let mut facts = parsed.facts();
+            let (Some(fact), None) = (facts.next(), facts.next()) else {
+                return Err(ServeError::BadRequest(format!(
+                    "marginal expects exactly one fact, got `{fact}`"
+                )));
+            };
+            Ok(Response::Marginal(eval.marginal(&fact)?))
+        }
+        QueryKind::Marginals { rel } => {
+            let rel = resolve(rel)?;
+            let rows = eval
+                .marginals(rel)?
+                .into_iter()
+                .map(|(fact, p)| (fact_text(&fact, &program.catalog), p))
+                .collect();
+            Ok(Response::Marginals(rows))
+        }
+        QueryKind::Probability { facts } => {
+            let parsed = parse_facts(&ensure_dot(facts), &program.catalog)?;
+            let mut event: Option<Event> = None;
+            for fact in parsed.facts() {
+                let clause = Event::contains_fact(&fact);
+                event = Some(match event {
+                    None => clause,
+                    Some(e) => e.and(clause),
+                });
+            }
+            let Some(event) = event else {
+                return Err(ServeError::BadRequest(
+                    "probability needs at least one fact".to_string(),
+                ));
+            };
+            Ok(Response::Probability(eval.probability(&event)?))
+        }
+        QueryKind::Expectation { rel, agg, col } => {
+            let rel = resolve(rel)?;
+            let arity = program.catalog.decl(rel).arity();
+            let query = Query::Rel(rel);
+            let query = match col {
+                Some(c) if *c < arity => query.project(vec![*c]),
+                Some(c) => {
+                    return Err(ServeError::BadRequest(format!(
+                        "column {c} out of range (arity {arity})"
+                    )))
+                }
+                None => query,
+            };
+            Ok(Response::Expectation(eval.expectation(&query, *agg)?))
+        }
+        QueryKind::Histogram {
+            rel,
+            col,
+            lo,
+            hi,
+            bins,
+        } => {
+            let rel = resolve(rel)?;
+            let arity = program.catalog.decl(rel).arity();
+            if *col >= arity {
+                return Err(ServeError::BadRequest(format!(
+                    "column {col} out of range (arity {arity})"
+                )));
+            }
+            // `partial_cmp` so NaN bounds are rejected too.
+            if lo.partial_cmp(hi) != Some(std::cmp::Ordering::Less) || *bins == 0 {
+                return Err(ServeError::BadRequest(format!(
+                    "invalid histogram spec: need lo < hi and bins > 0 \
+                     (got lo {lo}, hi {hi}, bins {bins})"
+                )));
+            }
+            Ok(Response::Histogram(
+                eval.histogram(rel, *col, *lo, *hi, *bins)?,
+            ))
+        }
+    }
+}
+
+fn ensure_dot(text: &str) -> String {
+    let trimmed = text.trim();
+    if trimmed.ends_with('.') {
+        trimmed.to_string()
+    } else {
+        format!("{trimmed}.")
+    }
+}
+
+/// Deterministic chunked scheduling of independent requests over a
+/// [`SessionPool`].
+#[derive(Debug, Clone, Copy)]
+pub struct BatchExecutor {
+    threads: usize,
+}
+
+impl BatchExecutor {
+    /// An executor with `threads` workers (1 = run on the calling thread).
+    pub fn new(threads: usize) -> BatchExecutor {
+        BatchExecutor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Evaluates every request, answers in request order. Each worker
+    /// checks out one session and resets it between requests, so no
+    /// request observes another's evidence. One failing request yields an
+    /// `Err` in its slot without sinking the batch.
+    pub fn execute(
+        &self,
+        pool: &SessionPool,
+        requests: &[Request],
+    ) -> Vec<Result<Response, ServeError>> {
+        let threads = self.threads.min(requests.len().max(1));
+        if threads <= 1 {
+            let mut session = pool.checkout();
+            return requests
+                .iter()
+                .map(|request| {
+                    let out = execute_on(&mut session, request);
+                    session.reset();
+                    out
+                })
+                .collect();
+        }
+        // Contiguous chunks joined in order: answers land in request
+        // order and are independent of worker timing.
+        let n = requests.len();
+        let chunks: Vec<Vec<Result<Response, ServeError>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|worker| {
+                    let lo = worker * n / threads;
+                    let hi = (worker + 1) * n / threads;
+                    let slice = &requests[lo..hi];
+                    scope.spawn(move || {
+                        let mut session = pool.checkout();
+                        slice
+                            .iter()
+                            .map(|request| {
+                                let out = execute_on(&mut session, request);
+                                session.reset();
+                                out
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("batch worker panicked"))
+                .collect()
+        });
+        chunks.into_iter().flatten().collect()
+    }
+}
+
+impl Default for BatchExecutor {
+    fn default() -> Self {
+        BatchExecutor::new(1)
+    }
+}
+
+/// The serving surface for one program: a session pool over a cached
+/// model plus a batch executor.
+///
+/// ```
+/// use gdatalog_serve::{Request, Response, Server};
+/// use gdatalog_lang::SemanticsMode;
+///
+/// let server = Server::from_source(
+///     "rel City(symbol, real) input.
+///      Quake(C, Flip<R>) :- City(C, R).",
+///     SemanticsMode::Grohe,
+/// ).unwrap().threads(4);
+/// let requests: Vec<Request> = (0..8)
+///     .map(|i| {
+///         Request::marginal(format!("Quake(c{i}, 1)"))
+///             .evidence(format!("City(c{i}, 0.25)."))
+///             .exact()
+///     })
+///     .collect();
+/// let answers = server.batch(&requests);
+/// for answer in answers {
+///     assert_eq!(answer.unwrap(), Response::Marginal(0.25));
+/// }
+/// ```
+pub struct Server {
+    pool: SessionPool,
+    executor: BatchExecutor,
+}
+
+impl Server {
+    /// A server over an already-prepared (typically cached) model.
+    pub fn new(model: Arc<PreparedModel>) -> Server {
+        Server {
+            pool: SessionPool::new(model),
+            executor: BatchExecutor::default(),
+        }
+    }
+
+    /// Compiles `src` and serves it (going through a
+    /// [`ProgramCache`](crate::ProgramCache) instead amortizes this across
+    /// servers).
+    ///
+    /// # Errors
+    /// Compilation errors.
+    pub fn from_source(src: &str, mode: SemanticsMode) -> Result<Server, EngineError> {
+        Ok(Server::new(Arc::new(PreparedModel::compile(src, mode)?)))
+    }
+
+    /// Sets the batch worker count. Answers do not depend on it.
+    pub fn threads(mut self, threads: usize) -> Server {
+        self.executor = BatchExecutor::new(threads);
+        self
+    }
+
+    /// The served model.
+    pub fn model(&self) -> &Arc<PreparedModel> {
+        self.pool.model()
+    }
+
+    /// The underlying session pool.
+    pub fn pool(&self) -> &SessionPool {
+        &self.pool
+    }
+
+    /// Answers one request (equivalent to a batch of one).
+    ///
+    /// # Errors
+    /// Bad request specs or evaluation errors.
+    pub fn execute(&self, request: &Request) -> Result<Response, ServeError> {
+        let mut session = self.pool.checkout();
+        execute_on(&mut session, request)
+    }
+
+    /// Answers a batch of independent requests, in request order —
+    /// bit-identical to answering each alone, for any worker count.
+    pub fn batch(&self, requests: &[Request]) -> Vec<Result<Response, ServeError>> {
+        self.executor.execute(&self.pool, requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdatalog_pdb::AggFun;
+
+    const SRC: &str = "rel City(symbol, real) input.
+        Earthquake(C, Flip<R>) :- City(C, R).
+        Alarm(C) :- Earthquake(C, 1).";
+
+    #[test]
+    fn batch_answers_land_in_request_order() {
+        let server = Server::from_source(SRC, SemanticsMode::Grohe)
+            .unwrap()
+            .threads(3);
+        let rates = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7];
+        let requests: Vec<Request> = rates
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                Request::marginal(format!("Alarm(c{i})"))
+                    .evidence(format!("City(c{i}, {r})."))
+                    .exact()
+            })
+            .collect();
+        for (i, answer) in server.batch(&requests).into_iter().enumerate() {
+            let Response::Marginal(p) = answer.unwrap() else {
+                panic!("marginal response expected");
+            };
+            assert!((p - rates[i]).abs() < 1e-12, "slot {i}");
+        }
+        assert!(server.pool().created() <= 3);
+    }
+
+    #[test]
+    fn evidence_does_not_leak_between_requests() {
+        let server = Server::from_source(SRC, SemanticsMode::Grohe).unwrap();
+        let with = Request::marginals("Alarm")
+            .evidence("City(a, 1.0).")
+            .exact();
+        let without = Request::marginals("Alarm").exact();
+        let answers = server.batch(&[with, without]);
+        let Response::Marginals(first) = answers[0].as_ref().unwrap() else {
+            panic!()
+        };
+        assert_eq!(first.len(), 1);
+        let Response::Marginals(second) = answers[1].as_ref().unwrap() else {
+            panic!()
+        };
+        assert!(second.is_empty(), "no residual evidence from request 0");
+    }
+
+    #[test]
+    fn one_bad_request_does_not_sink_the_batch() {
+        let server = Server::from_source(SRC, SemanticsMode::Grohe).unwrap();
+        let answers = server.batch(&[
+            Request::marginals("NoSuchRel"),
+            Request::expectation("Alarm", AggFun::Count).exact(),
+        ]);
+        assert!(answers[0].is_err());
+        assert!(answers[1].is_ok());
+    }
+
+    #[test]
+    fn all_query_kinds_execute() {
+        let server = Server::from_source(SRC, SemanticsMode::Grohe).unwrap();
+        let evidence = "City(a, 0.5). City(b, 0.5).";
+        let answers = server.batch(&[
+            Request::marginal("Alarm(a)").evidence(evidence).exact(),
+            Request::probability("Alarm(a). Alarm(b).")
+                .evidence(evidence)
+                .exact(),
+            Request::expectation("Alarm", AggFun::Count)
+                .evidence(evidence)
+                .exact(),
+            Request::histogram("Earthquake", 1, 0.0, 2.0, 2)
+                .evidence(evidence)
+                .exact(),
+            Request::marginals("Alarm").evidence(evidence).exact(),
+        ]);
+        assert_eq!(answers[0].as_ref().unwrap(), &Response::Marginal(0.5));
+        assert_eq!(answers[1].as_ref().unwrap(), &Response::Probability(0.25));
+        let Response::Expectation(Some(m)) = answers[2].as_ref().unwrap() else {
+            panic!()
+        };
+        assert!((m.mean - 1.0).abs() < 1e-12);
+        let Response::Histogram(h) = answers[3].as_ref().unwrap() else {
+            panic!()
+        };
+        assert!((h.bins[1] - 1.0).abs() < 1e-12, "E[#quake=1] = 1");
+        let Response::Marginals(rows) = answers[4].as_ref().unwrap() else {
+            panic!()
+        };
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "Alarm(a)");
+    }
+
+    #[test]
+    fn mc_requests_are_deterministic_across_worker_counts() {
+        let server1 = Server::from_source(SRC, SemanticsMode::Grohe).unwrap();
+        let server4 = Server::from_source(SRC, SemanticsMode::Grohe)
+            .unwrap()
+            .threads(4);
+        let requests: Vec<Request> = (0..6)
+            .map(|i| {
+                Request::marginal(format!("Alarm(c{i})"))
+                    .evidence(format!("City(c{i}, 0.3)."))
+                    .mc(2_000)
+                    .seed(i as u64)
+            })
+            .collect();
+        let a = server1.batch(&requests);
+        let b = server4.batch(&requests);
+        for (x, y) in a.iter().zip(&b) {
+            let (Response::Marginal(p), Response::Marginal(q)) =
+                (x.as_ref().unwrap(), y.as_ref().unwrap())
+            else {
+                panic!()
+            };
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+    }
+}

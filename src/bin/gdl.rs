@@ -10,6 +10,7 @@
 //!                       [--lo X --hi Y --bins N]
 //!                       [--exact | --mc] [--runs N] [--seed S] [--steps N]
 //!                       [--threads N] [--input facts.gdl] [--format json]
+//! gdl batch  <requests.json> [--threads N] [--format json]
 //! gdl tree   <file.gdl> [--depth N]      chase tree in Graphviz DOT
 //! ```
 //!
@@ -17,12 +18,34 @@
 //! is compiled once, `--input` facts extend the session's extensional
 //! database, and the builder picks exact enumeration or streaming
 //! Monte-Carlo automatically (`--exact` / `--mc` force a backend).
+//!
+//! `batch` is the serving path (`gdatalog::serve`): the document names a
+//! program (by path or inline source) and a list of independent requests
+//! — the program compiles **once**, warm sessions are pooled, and
+//! requests are scheduled across `--threads` workers with answers in
+//! request order, bit-identical to one-at-a-time evaluation:
+//!
+//! ```text
+//! {
+//!   "program": "model.gdl",
+//!   "requests": [
+//!     {"kind": "marginal", "fact": "Alarm(h0)", "evidence": "City(h0, 0.3)."},
+//!     {"kind": "expectation", "rel": "Alarm", "agg": "count"},
+//!     {"kind": "histogram", "rel": "PHeight", "col": 1, "lo": 140, "hi": 220,
+//!      "bins": 16, "backend": "mc", "runs": 20000, "seed": 7}
+//!   ]
+//! }
+//! ```
 
 use std::io::Write as _;
 use std::process::ExitCode;
 
 use gdatalog::engine::{build_chase_tree, ChasePolicy, Evaluation};
 use gdatalog::prelude::*;
+// The wire-syntax renderers are shared with the serving layer so
+// `gdl query` and `gdl batch` output cannot diverge.
+use gdatalog::serve::fact_text;
+use gdatalog::serve::json::{escape as json_escape, Json};
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Format {
@@ -49,6 +72,12 @@ struct Args {
     steps: usize,
     depth: usize,
     threads: usize,
+    /// Whether `--threads` was given explicitly (the flag then overrides a
+    /// batch document's own `threads` member, including `--threads 1`).
+    threads_set: bool,
+    /// Every flag seen on the command line, in order — lets subcommands
+    /// reject flags they would otherwise silently ignore.
+    seen_flags: Vec<String>,
     input: Option<String>,
     format: Format,
     force: ForceBackend,
@@ -74,6 +103,8 @@ fn parse_args() -> Result<Args, String> {
         steps: 100_000,
         depth: 10_000,
         threads: 1,
+        threads_set: false,
+        seen_flags: Vec::new(),
         input: None,
         format: Format::Text,
         force: ForceBackend::Auto,
@@ -88,6 +119,7 @@ fn parse_args() -> Result<Args, String> {
         args.query_rel = Some(argv.next().ok_or("query needs a relation")?);
     }
     while let Some(flag) = argv.next() {
+        args.seen_flags.push(flag.clone());
         let mut take = |what: &str| -> Result<String, String> {
             argv.next().ok_or(format!("{what} needs a value"))
         };
@@ -100,7 +132,10 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => args.seed = take("--seed")?.parse().map_err(|e| format!("{e}"))?,
             "--steps" => args.steps = take("--steps")?.parse().map_err(|e| format!("{e}"))?,
             "--depth" => args.depth = take("--depth")?.parse().map_err(|e| format!("{e}"))?,
-            "--threads" => args.threads = take("--threads")?.parse().map_err(|e| format!("{e}"))?,
+            "--threads" => {
+                args.threads = take("--threads")?.parse().map_err(|e| format!("{e}"))?;
+                args.threads_set = true;
+            }
             "--input" => args.input = Some(take("--input")?),
             "--format" => {
                 args.format = match take("--format")?.as_str() {
@@ -129,32 +164,6 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
-}
-
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn fact_text(fact: &Fact, catalog: &Catalog) -> String {
-    let mut line = format!("{}(", catalog.name(fact.rel));
-    for (i, v) in fact.tuple.values().iter().enumerate() {
-        if i > 0 {
-            line.push_str(", ");
-        }
-        line.push_str(&format!("{v}"));
-    }
-    line.push(')');
-    line
 }
 
 fn world_text(world: &Instance, catalog: &Catalog) -> String {
@@ -204,8 +213,134 @@ fn configure<'a>(session: &'a Session, args: &Args) -> Evaluation<'a> {
     }
 }
 
+/// Runs `gdl batch <requests.json>`: compile once, pool sessions, answer
+/// the batch in request order.
+fn run_batch(args: &Args) -> Result<(), String> {
+    // Evaluation configuration is per-request in the document; accepting
+    // these flags here and then ignoring them would silently change what
+    // the user asked for.
+    const NOT_FOR_BATCH: &[&str] = &[
+        "--runs", "--seed", "--steps", "--depth", "--input", "--exact", "--mc", "--agg", "--col",
+        "--lo", "--hi", "--bins",
+    ];
+    if let Some(flag) = args
+        .seen_flags
+        .iter()
+        .find(|f| NOT_FOR_BATCH.contains(&f.as_str()))
+    {
+        return Err(format!(
+            "{flag} does not apply to `batch`; set the per-request members \
+             (backend/runs/seed/max_depth/evidence) in the document instead"
+        ));
+    }
+    let doc_text = std::fs::read_to_string(&args.file)
+        .map_err(|e| format!("cannot read {}: {e}", args.file))?;
+    let doc = Json::parse(&doc_text).map_err(|e| format!("{}: {e}", args.file))?;
+    // The --barany flag wins; otherwise the document's "mode" member
+    // (which must be a string when present — no silent default).
+    let mode = if args.mode == SemanticsMode::Barany {
+        SemanticsMode::Barany
+    } else {
+        match doc.get("mode") {
+            None => SemanticsMode::Grohe,
+            Some(m) => match m.as_str() {
+                Some("grohe") => SemanticsMode::Grohe,
+                Some("barany") => SemanticsMode::Barany,
+                Some(other) => return Err(format!("unknown mode `{other}`")),
+                None => return Err(format!("`mode` must be a string, got {}", m.render())),
+            },
+        }
+    };
+    let src = match (
+        doc.get("source").and_then(Json::as_str),
+        doc.get("program").and_then(Json::as_str),
+    ) {
+        (Some(src), _) => src.to_string(),
+        (None, Some(path)) => {
+            // A relative program path resolves against the batch document
+            // (as documented); absolute paths are used as-is.
+            let direct = std::path::Path::new(path);
+            let resolved = if direct.is_absolute() {
+                direct.to_path_buf()
+            } else {
+                std::path::Path::new(&args.file)
+                    .parent()
+                    .map(|dir| dir.join(path))
+                    .unwrap_or_else(|| direct.to_path_buf())
+            };
+            std::fs::read_to_string(&resolved)
+                .map_err(|e| format!("cannot read {}: {e}", resolved.display()))?
+        }
+        (None, None) => {
+            return Err("batch document needs a `program` path or inline `source`".to_string())
+        }
+    };
+    let requests: Vec<Request> = doc
+        .get("requests")
+        .and_then(Json::as_array)
+        .ok_or("batch document needs a `requests` array")?
+        .iter()
+        .map(|v| Request::from_json(v).map_err(|e| e.to_string()))
+        .collect::<Result<_, String>>()?;
+    // An explicit --threads (even `--threads 1`) wins over the document's
+    // own "threads" member; a malformed member is an error, not a silent
+    // fall-back to sequential execution.
+    let threads = if args.threads_set {
+        args.threads
+    } else {
+        match doc.get("threads") {
+            None => 1,
+            Some(n) => n.as_usize().ok_or_else(|| {
+                format!(
+                    "`threads` must be a non-negative whole number, got {}",
+                    n.render()
+                )
+            })?,
+        }
+    };
+    let server = Server::from_source(&src, mode)
+        .map_err(|e| e.to_string())?
+        .threads(threads);
+    let answers = server.batch(&requests);
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let rendered: Vec<Json> = answers
+        .iter()
+        .map(|answer| match answer {
+            Ok(response) => response.to_json(),
+            Err(e) => Json::Obj(vec![("error".into(), Json::Str(e.to_string()))]),
+        })
+        .collect();
+    match args.format {
+        Format::Json => {
+            let _ = writeln!(
+                out,
+                "{}",
+                Json::Obj(vec![("results".into(), Json::Arr(rendered))]).render()
+            );
+        }
+        Format::Text => {
+            for (i, row) in rendered.iter().enumerate() {
+                let _ = writeln!(out, "[{i}] {}", row.render());
+            }
+            let _ = writeln!(
+                out,
+                "# {} request(s), {} worker(s), {} pooled session(s)",
+                requests.len(),
+                threads,
+                server.pool().created()
+            );
+        }
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args()?;
+    if args.command == "batch" {
+        return run_batch(&args);
+    }
     let session = make_session(&args)?;
     let program = session.program();
     let stdout = std::io::stdout();
@@ -345,7 +480,7 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         other => Err(format!(
-            "unknown command `{other}` (expected check | exact | sample | query | tree)"
+            "unknown command `{other}` (expected check | exact | sample | query | batch | tree)"
         )),
     }
 }
@@ -485,9 +620,10 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("gdl: {e}");
             eprintln!(
-                "usage: gdl <check|exact|sample|query|tree> <file.gdl> [args]\n\
+                "usage: gdl <check|exact|sample|query|batch|tree> <file.gdl> [args]\n\
                  \x20 query: gdl query <file.gdl> <marginal|expectation|histogram> <Relation>\n\
                  \x20        [--agg count|sum|avg|min|max] [--col K] [--lo X --hi Y --bins N]\n\
+                 \x20 batch: gdl batch <requests.json> [--threads N] [--format json]\n\
                  \x20 flags: [--barany] [--runs N] [--seed S] [--steps N] [--depth N]\n\
                  \x20        [--threads N] [--input facts.gdl] [--format json] [--exact|--mc]"
             );

@@ -22,6 +22,7 @@
 //! | [`lang`] | parser, validation, weak acyclicity, Datalog∃ translation |
 //! | [`pdb`] | possible worlds, empirical PDBs, events, queries, streaming sinks |
 //! | [`engine`] | the probabilistic chase: sessions, backends, exact/MC |
+//! | [`serve`] | program cache, session pool, batched query execution |
 //! | [`stats`] | KS/χ² testing substrate used to verify the semantics |
 //!
 //! ## Quickstart
@@ -66,14 +67,15 @@ pub use gdatalog_datalog as datalog;
 pub use gdatalog_dist as dist;
 pub use gdatalog_lang as lang;
 pub use gdatalog_pdb as pdb;
+pub use gdatalog_serve as serve;
 pub use gdatalog_stats as stats;
 
 /// The most commonly used items, for `use gdatalog::prelude::*`.
 pub mod prelude {
     pub use gdatalog_core::{
-        Backend, ChasePolicy, ChaseVariant, Engine, EngineError, EvalOptions, Evaluation,
+        Backend, ChasePolicy, ChaseVariant, Engine, EngineError, EvalJob, EvalOptions, Evaluation,
         ExactConfig, ExactParallelBackend, ExactSequentialBackend, McBackend, McConfig, PolicyKind,
-        Session,
+        PreparedProgram, Session,
     };
     pub use gdatalog_data::{tuple, Catalog, ColType, Fact, Instance, RelId, Tuple, Value};
     pub use gdatalog_dist::{ParamDist, Registry};
@@ -82,4 +84,23 @@ pub mod prelude {
         AggFun, ColPred, ColumnHistogram, EmpiricalPdb, Event, FactSet, Moments, PossibleWorlds,
         Query, WorldSink,
     };
+    pub use gdatalog_serve::{
+        BatchExecutor, PreparedModel, ProgramCache, Request, Response, ServeError, Server,
+        SessionPool,
+    };
+}
+
+/// Rendered documentation, compiled: the guides under `docs/` are included
+/// here as rustdoc modules so that **every Rust code block in them builds
+/// and runs under `cargo test --doc`** — the tutorial cannot silently rot.
+pub mod docs {
+    /// The end-to-end tutorial (`docs/TUTORIAL.md`), from first program to
+    /// batch serving.
+    #[doc = include_str!("../docs/TUTORIAL.md")]
+    pub mod tutorial {}
+
+    /// The paper-to-code map (`docs/SEMANTICS.md`): where each construct
+    /// of Grohe et al. (PODS 2020) lives in this workspace.
+    #[doc = include_str!("../docs/SEMANTICS.md")]
+    pub mod semantics {}
 }
