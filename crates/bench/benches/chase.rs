@@ -3,11 +3,9 @@
 //! and the saturation-accelerated chase (the DESIGN.md ablation for
 //! "saturate deterministic rules with the semi-naive engine").
 
-#![allow(deprecated)] // exercises the legacy Engine entry points (now shims over Evaluation)
-
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gdatalog_bench::burglary_program;
-use gdatalog_core::{ChaseVariant, Engine, McConfig, PolicyKind};
+use gdatalog_core::{ChaseVariant, Engine, PolicyKind};
 use gdatalog_lang::SemanticsMode;
 use std::hint::black_box;
 
@@ -27,14 +25,16 @@ fn bench_chase_variants(c: &mut Criterion) {
         ] {
             group.bench_with_input(BenchmarkId::new(label, houses), &houses, |b, _| {
                 b.iter(|| {
-                    let cfg = McConfig {
-                        runs: 50,
-                        max_steps: 100_000,
-                        seed: 1,
-                        variant,
-                        ..McConfig::default()
-                    };
-                    black_box(engine.sample(None, &cfg).expect("runs"))
+                    black_box(
+                        engine
+                            .eval()
+                            .sample(50)
+                            .seed(1)
+                            .variant(variant)
+                            .max_depth(100_000)
+                            .pdb()
+                            .expect("runs"),
+                    )
                 })
             });
         }
@@ -53,7 +53,11 @@ fn bench_single_run_scaling(c: &mut Criterion) {
                 seed += 1;
                 black_box(
                     engine
-                        .run_once(None, PolicyKind::Canonical, seed, 100_000)
+                        .eval()
+                        .policy(PolicyKind::Canonical)
+                        .seed(seed)
+                        .max_depth(100_000)
+                        .trace()
                         .expect("run"),
                 )
             })

@@ -2,8 +2,6 @@
 //! closure, plus the step-by-step chase as the slow baseline the
 //! saturation ablation replaces.
 
-#![allow(deprecated)] // exercises the legacy Engine entry points (now shims over Evaluation)
-
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gdatalog_core::{Engine, PolicyKind};
 use gdatalog_data::{tuple, Instance, RelId};
@@ -76,7 +74,11 @@ fn bench_chase_as_datalog(c: &mut Criterion) {
             b.iter(|| {
                 black_box(
                     engine
-                        .run_once(None, PolicyKind::Canonical, 0, 1_000_000)
+                        .eval()
+                        .policy(PolicyKind::Canonical)
+                        .seed(0)
+                        .max_depth(1_000_000)
+                        .trace()
                         .expect("run"),
                 )
             })

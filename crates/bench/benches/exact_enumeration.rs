@@ -2,11 +2,9 @@
 //! `k`-coins program (chase tree with 2^k leaves), sequential vs parallel
 //! enumeration.
 
-#![allow(deprecated)] // exercises the legacy Engine entry points (now shims over Evaluation)
-
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gdatalog_bench::{burglary_program, coins_program};
-use gdatalog_core::{Engine, ExactConfig};
+use gdatalog_core::Engine;
 use gdatalog_lang::SemanticsMode;
 use std::hint::black_box;
 
@@ -16,16 +14,10 @@ fn bench_coins(c: &mut Criterion) {
     for k in [4usize, 6, 8] {
         let engine = Engine::from_source(&coins_program(k), SemanticsMode::Grohe).expect("ok");
         group.bench_with_input(BenchmarkId::new("sequential", k), &k, |b, _| {
-            b.iter(|| black_box(engine.enumerate(None, ExactConfig::default()).expect("ok")))
+            b.iter(|| black_box(engine.eval().exact().worlds().expect("ok")))
         });
         group.bench_with_input(BenchmarkId::new("parallel", k), &k, |b, _| {
-            b.iter(|| {
-                black_box(
-                    engine
-                        .enumerate_parallel(None, ExactConfig::default())
-                        .expect("ok"),
-                )
-            })
+            b.iter(|| black_box(engine.eval().exact_parallel().worlds().expect("ok")))
         });
     }
     group.finish();
@@ -38,7 +30,7 @@ fn bench_burglary_exact(c: &mut Criterion) {
         let engine =
             Engine::from_source(&burglary_program(houses), SemanticsMode::Grohe).expect("ok");
         group.bench_with_input(BenchmarkId::from_parameter(houses), &houses, |b, _| {
-            b.iter(|| black_box(engine.enumerate(None, ExactConfig::default()).expect("ok")))
+            b.iter(|| black_box(engine.eval().exact().worlds().expect("ok")))
         });
     }
     group.finish();

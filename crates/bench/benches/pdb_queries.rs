@@ -2,11 +2,9 @@
 //! algebra and aggregates applied per world (Fact 2.6), plus marginal and
 //! counting-event probabilities.
 
-#![allow(deprecated)] // exercises the legacy Engine entry points (now shims over Evaluation)
-
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gdatalog_bench::burglary_program;
-use gdatalog_core::{Engine, ExactConfig};
+use gdatalog_core::Engine;
 use gdatalog_data::Value;
 use gdatalog_lang::SemanticsMode;
 use gdatalog_pdb::{eval_query_worlds, AggFun, ColPred, Event, FactSet, Query};
@@ -14,9 +12,7 @@ use std::hint::black_box;
 
 fn bench_pdb_queries(c: &mut Criterion) {
     let engine = Engine::from_source(&burglary_program(3), SemanticsMode::Grohe).expect("ok");
-    let worlds = engine
-        .enumerate(None, ExactConfig::default())
-        .expect("discrete");
+    let worlds = engine.eval().exact().worlds().expect("discrete");
     let alarm = engine.program().catalog.require("Alarm").expect("declared");
     let trig = engine.program().catalog.require("Trig").expect("declared");
 

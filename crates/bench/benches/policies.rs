@@ -3,11 +3,9 @@
 //! only the selection overhead and the traversal order's effect on
 //! intermediate state).
 
-#![allow(deprecated)] // exercises the legacy Engine entry points (now shims over Evaluation)
-
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gdatalog_bench::burglary_program;
-use gdatalog_core::{Engine, ExactConfig, PolicyKind};
+use gdatalog_core::{Engine, PolicyKind};
 use gdatalog_lang::SemanticsMode;
 use std::hint::black_box;
 
@@ -29,7 +27,11 @@ fn bench_policies(c: &mut Criterion) {
                 b.iter(|| {
                     black_box(
                         engine
-                            .enumerate_raw(None, kind, ExactConfig::default())
+                            .eval()
+                            .exact()
+                            .policy(kind)
+                            .keep_aux(true)
+                            .worlds()
                             .expect("ok"),
                     )
                 })

@@ -11,8 +11,6 @@
 //!
 //! The output of this binary is the source of EXPERIMENTS.md.
 
-#![allow(deprecated)] // exercises the legacy Engine entry points (now shims over Evaluation)
-
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -59,7 +57,7 @@ fn e1() {
     let g0 = "R(Flip<0.5>) :- true. R(Flip<0.5>) :- true.";
 
     let new = Engine::from_source(g0, SemanticsMode::Grohe).expect("ok");
-    let w = new.enumerate(None, ExactConfig::default()).expect("ok");
+    let w = new.eval().exact().worlds().expect("ok");
     let (p1, p0, pb) = triple(&new, &w);
     println!("\nG0 under this paper's semantics (paper: 1/4, 1/4, 1/2):");
     row3("outcome", "paper", "measured");
@@ -68,7 +66,7 @@ fn e1() {
     row3("{R(0), R(1)}", 0.5, pb);
 
     let old = Engine::from_source(g0, SemanticsMode::Barany).expect("ok");
-    let w = old.enumerate(None, ExactConfig::default()).expect("ok");
+    let w = old.eval().exact().worlds().expect("ok");
     let (p1, p0, pb) = triple(&old, &w);
     println!("\nG0 under Bárány et al. semantics (paper: 1/2, 1/2, 0):");
     row3("outcome", "paper", "measured");
@@ -86,7 +84,7 @@ fn e1() {
     for eps in [0.25, 0.1, 0.05, 0.01, 0.0] {
         let src = format!("R(Flip<0.5>) :- true. R(Flip<{}>) :- true.", 0.5 + eps);
         let e = Engine::from_source(&src, SemanticsMode::Grohe).expect("ok");
-        let w = e.enumerate(None, ExactConfig::default()).expect("ok");
+        let w = e.eval().exact().worlds().expect("ok");
         let (p1, p0, pb) = triple(&e, &w);
         println!("  {eps:>8} {p1:>12.6} {p0:>12.6} {pb:>12.6}");
     }
@@ -100,7 +98,7 @@ fn e1() {
         let p = 0.5 + eps;
         let src = format!("R(Flip<{p}>) :- true. R(Flip<{p}>) :- true.");
         let e = Engine::from_source(&src, SemanticsMode::Grohe).expect("ok");
-        let w = e.enumerate(None, ExactConfig::default()).expect("ok");
+        let w = e.eval().exact().worlds().expect("ok");
         let (p1, _, pb) = triple(&e, &w);
         println!(
             "  {eps:>8} {p1:>12.6} {:>12.6} {pb:>14.6} {:>14.6}",
@@ -124,7 +122,7 @@ fn e1() {
         ),
     ] {
         let e = Engine::from_source(g0p, mode).expect("ok");
-        let w = e.enumerate(None, ExactConfig::default()).expect("ok");
+        let w = e.eval().exact().worlds().expect("ok");
         let t = triple(&e, &w);
         println!(
             "  {label:<32} paper ({:.2}, {:.2}, {:.2})  measured ({:.4}, {:.4}, {:.4})",
@@ -139,23 +137,19 @@ fn e2() {
         "Example 3.4 — burglary network: exact vs closed form vs MC",
     );
     let engine = Engine::from_source(&burglary_program(2), SemanticsMode::Grohe).expect("ok");
-    let worlds = engine.enumerate(None, ExactConfig::default()).expect("ok");
+    let worlds = engine.eval().exact().worlds().expect("ok");
     println!(
         "exact worlds over the output schema: {} (mass {:.9})",
         worlds.len(),
         worlds.mass()
     );
     let pdb = engine
-        .sample(
-            None,
-            &McConfig {
-                runs: 100_000,
-                seed: 7,
-                threads: 4,
-                variant: ChaseVariant::Saturating,
-                ..McConfig::default()
-            },
-        )
+        .eval()
+        .sample(100_000)
+        .seed(7)
+        .threads(4)
+        .variant(ChaseVariant::Saturating)
+        .pdb()
         .expect("ok");
     let alarm = engine.program().catalog.require("Alarm").expect("ok");
     println!("\n  unit  rate   closed-form      exact           MC(100k)");
@@ -188,15 +182,11 @@ fn e3() {
     let engine = Engine::from_source(&heights_program(2), SemanticsMode::Grohe).expect("ok");
     let pheight = engine.program().catalog.require("PHeight").expect("ok");
     let pdb = engine
-        .sample(
-            None,
-            &McConfig {
-                runs: 8_000,
-                seed: 3,
-                threads: 4,
-                ..McConfig::default()
-            },
-        )
+        .eval()
+        .sample(8_000)
+        .seed(3)
+        .threads(4)
+        .pdb()
         .expect("ok");
     println!("worlds sampled: {} ({} errors)\n", pdb.runs(), pdb.errors());
     println!("  person  target µ  target σ   sample mean  sample sd   KS p-value");
@@ -230,7 +220,7 @@ fn e4() {
     );
     let engine = Engine::from_source(&burglary_program(2), SemanticsMode::Grohe).expect("ok");
     let program = engine.program();
-    let reference = engine.enumerate(None, ExactConfig::default()).expect("ok");
+    let reference = engine.eval().exact().worlds().expect("ok");
     println!("\n  discrete (burglary, exact): total variation vs canonical policy");
     for kind in [
         PolicyKind::Reverse,
@@ -239,15 +229,17 @@ fn e4() {
         PolicyKind::DeterministicFirst,
     ] {
         let w = engine
-            .enumerate_raw(None, kind, ExactConfig::default())
+            .eval()
+            .exact()
+            .policy(kind)
+            .keep_aux(true)
+            .worlds()
             .expect("ok")
             .map(|d| program.project_output(d));
         let label = format!("{kind:?}");
         println!("    {label:<28} TV = {:.2e}", reference.total_variation(&w));
     }
-    let par = engine
-        .enumerate_parallel(None, ExactConfig::default())
-        .expect("ok");
+    let par = engine.eval().exact_parallel().worlds().expect("ok");
     println!(
         "    {:<28} TV = {:.2e}",
         "Parallel chase",
@@ -264,15 +256,11 @@ fn e4() {
         .expect("ok");
     let sample_with = |variant, seed| {
         heights_engine
-            .sample(
-                None,
-                &McConfig {
-                    runs: 4_000,
-                    seed,
-                    variant,
-                    ..McConfig::default()
-                },
-            )
+            .eval()
+            .sample(4_000)
+            .seed(seed)
+            .variant(variant)
+            .pdb()
             .expect("ok")
             .column_values(ph, 1)
     };
@@ -313,16 +301,12 @@ fn e5() {
         let engine = Engine::from_source(src, SemanticsMode::Grohe).expect("ok");
         let wa = engine.program().weakly_acyclic();
         let pdb = engine
-            .sample(
-                None,
-                &McConfig {
-                    runs: 200,
-                    max_steps: 500,
-                    seed: 11,
-                    threads: 4,
-                    ..McConfig::default()
-                },
-            )
+            .eval()
+            .sample(200)
+            .max_depth(500)
+            .seed(11)
+            .threads(4)
+            .pdb()
             .expect("ok");
         let behavior = if pdb.errors() == 0 {
             "terminates (all runs)".to_string()
@@ -342,16 +326,12 @@ fn e5() {
     let cont = Engine::from_source(normal_chain(), SemanticsMode::Grohe).expect("ok");
     for budget in [10usize, 100, 500] {
         let pdb = cont
-            .sample(
-                None,
-                &McConfig {
-                    runs: 200,
-                    max_steps: budget,
-                    seed: 2,
-                    threads: 4,
-                    ..McConfig::default()
-                },
-            )
+            .eval()
+            .sample(200)
+            .max_depth(budget)
+            .seed(2)
+            .threads(4)
+            .pdb()
             .expect("ok");
         println!(
             "    budget {budget:>5}: alive {:.3} (expected 1.000)",
@@ -366,15 +346,14 @@ fn e5() {
     // outcomes per sample at this tolerance).
     for depth in [4usize, 8, 12, 16] {
         let w = disc
-            .enumerate_raw(
-                None,
-                PolicyKind::Canonical,
-                ExactConfig {
-                    max_depth: depth,
-                    support_tol: 1e-6,
-                    min_path_prob: 1e-6,
-                },
-            )
+            .eval()
+            .exact()
+            .policy(PolicyKind::Canonical)
+            .keep_aux(true)
+            .max_depth(depth)
+            .support_tol(1e-6)
+            .min_path_prob(1e-6)
+            .worlds()
             .expect("ok");
         println!(
             "    depth ≤ {depth:>2}: terminated mass ≥ {:.6}, unresolved ≤ {:.6}",
@@ -385,7 +364,11 @@ fn e5() {
     let mut lens = Vec::new();
     for seed in 0..2_000u64 {
         let run = disc
-            .run_once(None, PolicyKind::Canonical, seed, 100_000)
+            .eval()
+            .policy(PolicyKind::Canonical)
+            .seed(seed)
+            .max_depth(100_000)
+            .trace()
             .expect("ok");
         assert_eq!(run.outcome, RunOutcome::Terminated);
         lens.push(run.steps as f64);
@@ -406,7 +389,9 @@ fn e6() {
     let h = "R(Flip<0.5>) :- true. S(Flip<0.5>) :- true.";
     let old_engine = Engine::from_source(h, SemanticsMode::Barany).expect("ok");
     let old_table = old_engine
-        .enumerate(None, ExactConfig::default())
+        .eval()
+        .exact()
+        .worlds()
         .expect("ok")
         .table(&old_engine.program().catalog);
     println!("\n  H under Bárány et al. (paper: two perfectly correlated worlds):");
@@ -423,7 +408,9 @@ fn e6() {
     .expect("ok");
     let sim_catalog = sim_engine.program().catalog.clone();
     let sim_table = sim_engine
-        .enumerate(None, ExactConfig::default())
+        .eval()
+        .exact()
+        .worlds()
         .expect("ok")
         .project_relations(|rel| !sim_catalog.name(rel).starts_with(BSIM_PREFIX))
         .table(&sim_catalog);
@@ -442,7 +429,9 @@ fn e6() {
     let g = "Quake(C, Flip<R>) :- City(C, R).\nEcho(C, Flip<R>) :- City(C, R).\nCity(a, 0.5).\nCity(b, 0.25).";
     let new_engine = Engine::from_source(g, SemanticsMode::Grohe).expect("ok");
     let new_table = new_engine
-        .enumerate(None, ExactConfig::default())
+        .eval()
+        .exact()
+        .worlds()
         .expect("ok")
         .table(&new_engine.program().catalog);
     let tagged = simulate_grohe_in_barany(&parse_program(g).expect("ok"));
@@ -453,7 +442,9 @@ fn e6() {
     )
     .expect("ok");
     let dual_table = dual_engine
-        .enumerate(None, ExactConfig::default())
+        .eval()
+        .exact()
+        .worlds()
         .expect("ok")
         .table(&dual_engine.program().catalog);
     let agree_dual = new_table.len() == dual_table.len()
@@ -496,9 +487,7 @@ fn e7() {
     let mut input = PossibleWorlds::new();
     input.add(w1, 0.6);
     input.add(w2, 0.4);
-    let out = engine
-        .transform_worlds(&input, ExactConfig::default())
-        .expect("ok");
+    let out = engine.eval().transform(&input).expect("ok");
     println!(
         "\n  input: 2 worlds (0.6 / 0.4); output mass {:.9}",
         out.mass()

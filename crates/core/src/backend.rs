@@ -26,6 +26,7 @@
 //!     prepared: Some(engine.prepared()),   // reuse the compile-once plans
 //!     input: &engine.program().initial_instance,
 //!     options: &options,
+//!     observes: &[],                       // no conditioning
 //! };
 //! let mut sink = WorldTableSink::new();
 //! ExactSequentialBackend.run(&job, &mut sink).unwrap();
@@ -33,12 +34,13 @@
 //! ```
 
 use gdatalog_data::Instance;
-use gdatalog_lang::CompiledProgram;
+use gdatalog_lang::{CompiledObserve, CompiledProgram};
 use gdatalog_pdb::{DeficitKind, PossibleWorlds, WorldSink};
 
 use crate::applicability::PreparedProgram;
 use crate::exact::{enumerate_parallel_prepared, enumerate_sequential_prepared, ExactConfig};
 use crate::mc::{single_run, ChaseVariant, McConfig};
+use crate::observe;
 use crate::policy::{ChasePolicy, PolicyKind};
 use crate::EngineError;
 
@@ -135,6 +137,12 @@ pub struct EvalJob<'a> {
     pub input: &'a Instance,
     /// The unified configuration record.
     pub options: &'a EvalOptions,
+    /// Evidence to condition on (empty = unconditional). When present,
+    /// backends emit **unnormalized** posterior weights — prior ×
+    /// likelihood per world — and drop deficit observations (the
+    /// conditional is taken given termination); callers self-normalize,
+    /// e.g. through [`gdatalog_pdb::NormalizingSink`].
+    pub observes: &'a [CompiledObserve],
 }
 
 /// The job's plans: shared when the caller holds them, else freshly built.
@@ -192,15 +200,28 @@ fn existential_rule_ids(program: &CompiledProgram) -> Vec<usize> {
 }
 
 /// Feeds an enumerated world table into a sink, applying the output-schema
-/// projection unless `keep_aux`.
+/// projection unless `keep_aux`. Under conditioning (`observes` nonempty)
+/// every world's probability is multiplied by its evidence weight
+/// (indicator × likelihood), zero-weight worlds are filtered out, and
+/// deficit mass is dropped — the stream carries the **unnormalized**
+/// conditional, which the evaluation terminals renormalize.
 fn feed_table(
     program: &CompiledProgram,
     table: PossibleWorlds,
     keep_aux: bool,
+    observes: &[CompiledObserve],
     sink: &mut dyn WorldSink,
-) {
+) -> Result<(), EngineError> {
     let deficit = table.deficit();
     for (world, p) in table.into_worlds() {
+        let p = if observes.is_empty() {
+            p
+        } else {
+            p * observe::weight(observes, &world)?
+        };
+        if p == 0.0 {
+            continue;
+        }
         let world = if keep_aux {
             world
         } else {
@@ -208,8 +229,11 @@ fn feed_table(
         };
         sink.observe(world, p);
     }
-    sink.observe_deficit(DeficitKind::Nontermination, deficit.nontermination);
-    sink.observe_deficit(DeficitKind::Truncation, deficit.truncation);
+    if observes.is_empty() {
+        sink.observe_deficit(DeficitKind::Nontermination, deficit.nontermination);
+        sink.observe_deficit(DeficitKind::Truncation, deficit.truncation);
+    }
+    Ok(())
 }
 
 /// Exact **sequential** chase-tree enumeration (Def. 4.2) under the
@@ -232,8 +256,7 @@ impl Backend for ExactSequentialBackend {
             &mut policy,
             job.options.exact_config(),
         )?;
-        feed_table(job.program, table, job.options.keep_aux, sink);
-        Ok(())
+        feed_table(job.program, table, job.options.keep_aux, job.observes, sink)
     }
 }
 
@@ -254,8 +277,7 @@ impl Backend for ExactParallelBackend {
             job.input,
             job.options.exact_config(),
         )?;
-        feed_table(job.program, table, job.options.keep_aux, sink);
-        Ok(())
+        feed_table(job.program, table, job.options.keep_aux, job.observes, sink)
     }
 }
 
@@ -265,6 +287,15 @@ impl Backend for ExactParallelBackend {
 /// Works for continuous programs. Runs that exhaust the step budget are
 /// streamed as [`DeficitKind::Nontermination`] observations, so weight
 /// totals estimate the SPDB mass `α` of Def. 2.7.
+///
+/// Under conditioning (`job.observes` nonempty) this is
+/// **likelihood-weighted** (importance) sampling: run `i`'s weight becomes
+/// `wᵢ = exp(log-likelihood of the evidence in world i) / runs`, runs
+/// failing a hard observation (and budget-exhausted runs) are dropped, and
+/// the evaluation terminals self-normalize by `Σwᵢ` — the classical
+/// self-normalized importance-sampling estimator of the posterior. The
+/// per-run weight is a deterministic function of the run's world, so every
+/// determinism guarantee below carries over unchanged.
 ///
 /// With `threads > 1` and a sink that supports
 /// [`fork`](gdatalog_pdb::WorldSink::fork), the run range is split into
@@ -287,16 +318,47 @@ impl Backend for McBackend {
             return Ok(());
         }
         let weight = 1.0 / runs as f64;
+        let observes = job.observes;
         let existential = existential_rule_ids(program);
         let prepared = job.plans();
         let config = job.options.mc_config();
         let threads = job.options.threads.max(1).min(runs);
 
+        // One run's observation: the sampled world with its (possibly
+        // likelihood-weighted) stream weight, or a deficit under the
+        // unconditional semantics. Deterministic per run index.
+        enum Obs {
+            World(Instance, f64),
+            Deficit,
+            Dropped,
+        }
+        let observe_run = |run_ix: usize| -> Result<Obs, EngineError> {
+            match single_run(program, &prepared, input, &config, &existential, run_ix)? {
+                Some(world) => {
+                    let w = if observes.is_empty() {
+                        weight
+                    } else {
+                        weight * observe::weight(observes, &world)?
+                    };
+                    if w == 0.0 {
+                        Ok(Obs::Dropped)
+                    } else {
+                        Ok(Obs::World(world, w))
+                    }
+                }
+                None if observes.is_empty() => Ok(Obs::Deficit),
+                // Conditioning is taken given termination: budget-exhausted
+                // runs are dropped like hard-rejected ones.
+                None => Ok(Obs::Dropped),
+            }
+        };
+
         let sequential = |sink: &mut dyn WorldSink| -> Result<(), EngineError> {
             for run_ix in 0..runs {
-                match single_run(program, &prepared, input, &config, &existential, run_ix)? {
-                    Some(world) => sink.observe(world, weight),
-                    None => sink.observe_deficit(DeficitKind::Nontermination, weight),
+                match observe_run(run_ix)? {
+                    Obs::World(world, w) => sink.observe(world, w),
+                    Obs::Deficit => sink.observe_deficit(DeficitKind::Nontermination, weight),
+                    Obs::Dropped => {}
                 }
             }
             Ok(())
@@ -319,17 +381,15 @@ impl Backend for McBackend {
                     let lo = worker * runs / threads;
                     let hi = (worker + 1) * runs / threads;
                     let mut local = sink.fork().expect("fork checked above");
-                    let prepared = &prepared;
-                    let existential = &existential;
-                    let config = &config;
+                    let observe_run = &observe_run;
                     scope.spawn(move || -> ChunkResult {
                         for run_ix in lo..hi {
-                            match single_run(program, prepared, input, config, existential, run_ix)
-                            {
-                                Ok(Some(world)) => local.observe(world, weight),
-                                Ok(None) => {
+                            match observe_run(run_ix) {
+                                Ok(Obs::World(world, w)) => local.observe(world, w),
+                                Ok(Obs::Deficit) => {
                                     local.observe_deficit(DeficitKind::Nontermination, weight);
                                 }
+                                Ok(Obs::Dropped) => {}
                                 Err(e) => return Err((run_ix, e)),
                             }
                         }
@@ -395,6 +455,7 @@ mod tests {
                     prepared: None,
                     input: &prog.initial_instance,
                     options: opts,
+                    observes: &[],
                 },
                 sink,
             )
@@ -479,6 +540,7 @@ mod tests {
                     prepared: Some(&prepared),
                     input: &prog.initial_instance,
                     options: &opts,
+                    observes: &[],
                 },
                 &mut with,
             )

@@ -2,9 +2,9 @@
 //!
 //! Evaluation goes through the builder-style [`Evaluation`] surface
 //! ([`Engine::eval`] / [`Engine::eval_on`], or a [`Session`] for a
-//! persistent extensional database). The method-per-strategy entry points
-//! (`enumerate`, `sample`, …) remain as thin deprecated shims over the
-//! builder.
+//! persistent extensional database). The pre-session method-per-strategy
+//! entry points (`enumerate`, `sample`, …) were deprecated in 0.1.0 and
+//! removed in 0.2.0; `docs/API.md` keeps the migration table.
 
 use std::borrow::Cow;
 use std::fmt;
@@ -15,13 +15,8 @@ use gdatalog_dist::{DistError, Registry};
 use gdatalog_lang::{
     parse_program, translate, validate, CompiledProgram, LangError, Program, SemanticsMode,
 };
-use gdatalog_pdb::{EmpiricalPdb, PossibleWorlds};
 
 use crate::applicability::PreparedProgram;
-use crate::exact::ExactConfig;
-use crate::mc::McConfig;
-use crate::policy::PolicyKind;
-use crate::sequential::ChaseRun;
 use crate::session::Evaluation;
 #[cfg(doc)]
 use crate::session::Session;
@@ -41,6 +36,10 @@ pub enum EngineError {
     /// An evaluation request that contradicts the selected backend (e.g.
     /// materializing Monte-Carlo samples from an exact enumeration).
     InvalidRequest(String),
+    /// Conditioning left no probability mass: every enumerated world (or
+    /// every Monte-Carlo run) was rejected by the evidence, so the
+    /// conditional distribution is undefined.
+    ZeroEvidence,
 }
 
 impl fmt::Display for EngineError {
@@ -55,6 +54,12 @@ impl fmt::Display for EngineError {
                  (use Monte-Carlo sampling instead)"
             ),
             EngineError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            EngineError::ZeroEvidence => write!(
+                f,
+                "conditioning rejected all probability mass (the evidence has \
+                 probability ≈ 0 under this program — for Monte-Carlo, consider \
+                 more runs or soft observations)"
+            ),
         }
     }
 }
@@ -225,145 +230,13 @@ impl Engine {
         Evaluation::new(&self.program, self.full_input(extra))
             .shared_plans(Arc::clone(self.prepared()))
     }
-
-    /// **Exact** evaluation: enumerates the chase tree of a discrete
-    /// program and returns the world table over the *output schema*
-    /// (auxiliary relations projected away, Remark 4.9).
-    ///
-    /// # Errors
-    /// [`EngineError::NotDiscrete`] for continuous programs.
-    #[deprecated(since = "0.1.0", note = "use `engine.eval_on(input).exact()…worlds()`")]
-    pub fn enumerate(
-        &self,
-        input: Option<&Instance>,
-        config: ExactConfig,
-    ) -> Result<PossibleWorlds, EngineError> {
-        self.eval_on(input)
-            .exact()
-            .max_depth(config.max_depth)
-            .support_tol(config.support_tol)
-            .min_path_prob(config.min_path_prob)
-            .worlds()
-    }
-
-    /// Exact evaluation without the output projection (auxiliary
-    /// experiment relations retained).
-    ///
-    /// # Errors
-    /// Same as the `enumerate` shim.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `engine.eval_on(input).exact().policy(kind).keep_aux(true)…worlds()`"
-    )]
-    pub fn enumerate_raw(
-        &self,
-        input: Option<&Instance>,
-        policy_kind: PolicyKind,
-        config: ExactConfig,
-    ) -> Result<PossibleWorlds, EngineError> {
-        self.eval_on(input)
-            .exact()
-            .policy(policy_kind)
-            .keep_aux(true)
-            .max_depth(config.max_depth)
-            .support_tol(config.support_tol)
-            .min_path_prob(config.min_path_prob)
-            .worlds()
-    }
-
-    /// Exact evaluation via the **parallel** chase (Def. 5.2), projected to
-    /// the output schema.
-    ///
-    /// # Errors
-    /// Same as the `enumerate` shim.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `engine.eval_on(input).exact_parallel()…worlds()`"
-    )]
-    pub fn enumerate_parallel(
-        &self,
-        input: Option<&Instance>,
-        config: ExactConfig,
-    ) -> Result<PossibleWorlds, EngineError> {
-        self.eval_on(input)
-            .exact_parallel()
-            .max_depth(config.max_depth)
-            .support_tol(config.support_tol)
-            .min_path_prob(config.min_path_prob)
-            .worlds()
-    }
-
-    /// **Monte-Carlo** evaluation: samples chase runs into an empirical
-    /// SPDB estimate (works for continuous programs).
-    ///
-    /// # Errors
-    /// Runtime distribution failures.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `engine.eval_on(input).sample(runs)…pdb()` — or a streaming \
-                statistic terminal, which holds O(result) memory"
-    )]
-    pub fn sample(
-        &self,
-        input: Option<&Instance>,
-        config: &McConfig,
-    ) -> Result<EmpiricalPdb, EngineError> {
-        self.eval_on(input)
-            .sample(config.runs)
-            .seed(config.seed)
-            .threads(config.threads)
-            .variant(config.variant)
-            .max_depth(config.max_steps)
-            .keep_aux(config.keep_aux)
-            .pdb()
-    }
-
-    /// Runs a single sequential chase (useful for traces and debugging).
-    ///
-    /// # Errors
-    /// Runtime distribution failures.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `engine.eval_on(input).policy(kind).seed(seed).max_depth(steps).trace()`"
-    )]
-    pub fn run_once(
-        &self,
-        input: Option<&Instance>,
-        policy_kind: PolicyKind,
-        seed: u64,
-        max_steps: usize,
-    ) -> Result<ChaseRun, EngineError> {
-        self.eval_on(input)
-            .policy(policy_kind)
-            .seed(seed)
-            .max_depth(max_steps)
-            .trace()
-    }
-
-    /// Applies the program to a **probabilistic input** (Theorems 4.8, 5.5
-    /// and 6.2): the output SPDB is the probability-weighted mixture of the
-    /// outputs on each input world.
-    ///
-    /// # Errors
-    /// Same as the `enumerate` shim.
-    #[deprecated(since = "0.1.0", note = "use `engine.eval()…transform(input)`")]
-    pub fn transform_worlds(
-        &self,
-        input: &PossibleWorlds,
-        config: ExactConfig,
-    ) -> Result<PossibleWorlds, EngineError> {
-        self.eval()
-            .max_depth(config.max_depth)
-            .support_tol(config.support_tol)
-            .min_path_prob(config.min_path_prob)
-            .transform(input)
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use gdatalog_data::{tuple, Fact};
+    use gdatalog_pdb::PossibleWorlds;
 
     #[test]
     fn facade_round_trip() {
@@ -423,22 +296,5 @@ mod tests {
     fn parse_errors_surface() {
         assert!(Engine::from_source("R(X :-", SemanticsMode::Grohe).is_err());
         assert!(Engine::from_source("R(Zorp<1.0>) :- true.", SemanticsMode::Grohe).is_err());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_shims_delegate() {
-        let engine = Engine::from_source("R(Flip<0.25>) :- true.", SemanticsMode::Grohe).unwrap();
-        let legacy = engine.enumerate(None, ExactConfig::default()).unwrap();
-        assert_eq!(legacy, engine.eval().worlds().unwrap());
-        let cfg = McConfig {
-            runs: 500,
-            seed: 3,
-            ..McConfig::default()
-        };
-        let legacy_pdb = engine.sample(None, &cfg).unwrap();
-        let new_pdb = engine.eval().sample(500).seed(3).pdb().unwrap();
-        assert_eq!(legacy_pdb.samples(), new_pdb.samples());
-        assert_eq!(legacy_pdb.errors(), new_pdb.errors());
     }
 }

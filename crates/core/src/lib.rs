@@ -25,6 +25,11 @@
 //!   export (Figure 1 of the paper);
 //! * [`mc`] — Monte-Carlo path sampling of the Markov process, single- or
 //!   multi-threaded, producing [`gdatalog_pdb::EmpiricalPdb`] estimates;
+//! * [`observe`] — evidence weighting for conditioning (`@observe` /
+//!   [`Evaluation::given`](session::Evaluation::given)): per-world
+//!   log-likelihoods that turn exact enumeration into filtered
+//!   renormalization and Monte-Carlo into likelihood-weighted importance
+//!   sampling;
 //! * [`engine`] — the user-facing facade tying everything together,
 //!   including the transformation of probabilistic *inputs*
 //!   (Theorems 4.8/5.5/6.2).
@@ -36,6 +41,7 @@ pub mod exact;
 pub mod fingerprint;
 pub mod kernel;
 pub mod mc;
+pub mod observe;
 pub mod parallel;
 pub mod policy;
 pub mod saturate;
@@ -55,8 +61,9 @@ pub use exact::{
 pub use fingerprint::source_fingerprint;
 pub use kernel::{ParallelKernel, SequentialKernel, StepKernel};
 pub use mc::{sample_pdb, ChaseVariant, McConfig};
+pub use observe::{log_weight, weight as observation_weight};
 pub use policy::{ChasePolicy, PolicyKind};
 pub use saturate::run_saturating;
 pub use sequential::{run_sequential, ChaseRun, RunOutcome, TraceStep};
-pub use session::{Evaluation, Session};
+pub use session::{Evaluation, EvidenceSummary, Session};
 pub use tree::{build_chase_tree, ChaseNode, ChaseTree};

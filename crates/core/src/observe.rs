@@ -1,0 +1,215 @@
+//! Evidence weighting: the per-world likelihood of a set of compiled
+//! observations.
+//!
+//! Conditioning follows the evidence semantics of Bárány et al.'s PPDL
+//! (TODS 2017) and the conditional event probabilities of the companion
+//! PPDB paper: the posterior over worlds is the prior re-weighted by
+//!
+//! * an **indicator** per hard observation (`@observe R(c̄).` — the world
+//!   must contain the fact), and
+//! * a **likelihood** per soft observation
+//!   (`@observe ψ⟨θ̄⟩ == v :- body.` — for every valuation of `body` over
+//!   the world, the density of `v` under `ψ⟨θ̄⟩`),
+//!
+//! renormalized over the surviving mass. This module computes the
+//! log-weight of one world; the backends multiply it into the stream
+//! weights (exact enumeration and Monte-Carlo alike), and the evaluation
+//! terminals self-normalize.
+
+use gdatalog_data::{Instance, Value};
+use gdatalog_datalog::{Atom as DlAtom, Term as DlTerm};
+use gdatalog_lang::CompiledObserve;
+
+use crate::EngineError;
+
+/// Evaluates a term under a (possibly partial) binding; `None` if the term
+/// is a still-unbound variable.
+fn term_value<'a>(term: &'a DlTerm, binding: &'a [Option<Value>]) -> Option<&'a Value> {
+    match term {
+        DlTerm::Const(c) => Some(c),
+        DlTerm::Var(v) => binding[*v].as_ref(),
+    }
+}
+
+/// A visitor over complete observation-body valuations.
+type MatchVisitor<'a> = dyn FnMut(&[Option<Value>]) -> Result<(), EngineError> + 'a;
+
+/// Backtracking conjunctive matching of `body` over `world`, invoking `f`
+/// on every complete valuation. Observation bodies are tiny (a handful of
+/// atoms over one materialized world), so a nested-loop join is the right
+/// tool — no index, no planning.
+fn for_each_match(
+    world: &Instance,
+    body: &[DlAtom],
+    binding: &mut [Option<Value>],
+    f: &mut MatchVisitor<'_>,
+) -> Result<(), EngineError> {
+    let Some(atom) = body.first() else {
+        return f(binding);
+    };
+    'tuples: for tuple in world.relation(atom.rel) {
+        if tuple.arity() != atom.args.len() {
+            continue;
+        }
+        // Unify the atom against the tuple, remembering what we bind so the
+        // bindings can be undone before trying the next tuple.
+        let mut bound_here: Vec<usize> = Vec::new();
+        for (term, value) in atom.args.iter().zip(tuple.values()) {
+            match term {
+                DlTerm::Const(c) => {
+                    if c != value {
+                        for v in bound_here.drain(..) {
+                            binding[v] = None;
+                        }
+                        continue 'tuples;
+                    }
+                }
+                DlTerm::Var(v) => match &binding[*v] {
+                    Some(existing) if existing != value => {
+                        for v in bound_here.drain(..) {
+                            binding[v] = None;
+                        }
+                        continue 'tuples;
+                    }
+                    Some(_) => {}
+                    None => {
+                        binding[*v] = Some(value.clone());
+                        bound_here.push(*v);
+                    }
+                },
+            }
+        }
+        for_each_match(world, &body[1..], binding, f)?;
+        for v in bound_here {
+            binding[v] = None;
+        }
+    }
+    Ok(())
+}
+
+/// The log-weight of `world` under `observes`: `−∞` if a hard observation
+/// fails, else the summed log-densities of all soft observations (one term
+/// per valuation of each observation body). An empty observation set gives
+/// log-weight 0 (weight 1).
+///
+/// # Errors
+/// [`EngineError::Dist`] when a soft observation's parameters (flowing
+/// from the world) are inadmissible for its distribution.
+pub fn log_weight(observes: &[CompiledObserve], world: &Instance) -> Result<f64, EngineError> {
+    let mut total = 0.0;
+    for obs in observes {
+        match obs {
+            CompiledObserve::Hard { fact } => {
+                if !world.contains(fact.rel, &fact.tuple) {
+                    return Ok(f64::NEG_INFINITY);
+                }
+            }
+            CompiledObserve::Soft {
+                body,
+                n_vars,
+                sample,
+                value_term,
+            } => {
+                let mut binding: Vec<Option<Value>> = vec![None; *n_vars];
+                let mut acc = 0.0;
+                for_each_match(world, body, &mut binding, &mut |binding| {
+                    let params: Vec<Value> = sample
+                        .param_terms
+                        .iter()
+                        .map(|t| {
+                            term_value(t, binding)
+                                .expect("observation variables bound by the body (validated)")
+                                .clone()
+                        })
+                        .collect();
+                    let value = term_value(value_term, binding)
+                        .expect("observation variables bound by the body (validated)")
+                        .clone();
+                    acc += sample
+                        .dist
+                        .log_density(&params, &value)
+                        .map_err(EngineError::Dist)?;
+                    Ok(())
+                })?;
+                total += acc;
+            }
+        }
+    }
+    Ok(total)
+}
+
+/// The multiplicative weight of `world`: `exp` of [`log_weight`] (0 for a
+/// failed hard observation).
+///
+/// Weights live in linear space because the sink stream is single-pass
+/// (no global max for a log-sum-exp): evidence whose log-likelihood is
+/// below ≈ −745 for every world underflows to 0 and surfaces as
+/// `ZeroEvidence` downstream — a documented limitation (docs/API.md,
+/// "Conditioning"); re-center far-tail soft observations to avoid it.
+///
+/// # Errors
+/// Same as [`log_weight`].
+pub fn weight(observes: &[CompiledObserve], world: &Instance) -> Result<f64, EngineError> {
+    Ok(log_weight(observes, world)?.exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdatalog_data::tuple;
+    use gdatalog_dist::Registry;
+    use gdatalog_lang::{compile_observations, parse_program, translate, validate, SemanticsMode};
+    use std::sync::Arc;
+
+    fn compile(src: &str) -> gdatalog_lang::CompiledProgram {
+        let v = validate(parse_program(src).unwrap(), Arc::new(Registry::standard())).unwrap();
+        translate(&v, SemanticsMode::Grohe).unwrap()
+    }
+
+    #[test]
+    fn hard_observation_is_an_indicator() {
+        let prog = compile("rel Alarm(symbol) input. R(Flip<0.5>) :- true.");
+        let obs = compile_observations(&prog, "Alarm(h1).").unwrap();
+        let alarm = prog.catalog.require("Alarm").unwrap();
+        let mut world = Instance::new();
+        assert_eq!(log_weight(&obs, &world).unwrap(), f64::NEG_INFINITY);
+        world.insert(alarm, tuple!["h1"]);
+        assert_eq!(log_weight(&obs, &world).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn soft_observation_sums_log_densities_over_matches() {
+        let prog = compile("rel Mu(symbol, real) input. H(S, Normal<M, 1.0>) :- Mu(S, M).");
+        let obs = compile_observations(&prog, "Normal<M, 1.0> == 0.0 :- Mu(S, M).").unwrap();
+        let mu = prog.catalog.require("Mu").unwrap();
+        let mut world = Instance::new();
+        world.insert(mu, tuple!["a", 0.0]);
+        world.insert(mu, tuple!["b", 1.0]);
+        let lw = log_weight(&obs, &world).unwrap();
+        let ln_norm = |x: f64| -0.5 * (x * x + (2.0 * std::f64::consts::PI).ln());
+        assert!((lw - (ln_norm(0.0) + ln_norm(1.0))).abs() < 1e-12);
+        // No matches → weight 1 (the likelihood statement is vacuous).
+        assert_eq!(log_weight(&obs, &Instance::new()).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn soft_observation_with_constant_terms_needs_no_body() {
+        let prog = compile("R(Flip<0.25>) :- true.");
+        let obs = compile_observations(&prog, "Flip<0.25> == 1.").unwrap();
+        let w = weight(&obs, &Instance::new()).unwrap();
+        assert!((w - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_parameters_surface_as_dist_errors() {
+        let prog = compile("rel P(real) input. R(Flip<X>) :- P(X).");
+        let obs = compile_observations(&prog, "Flip<X> == 1 :- P(X).").unwrap();
+        let p = prog.catalog.require("P").unwrap();
+        let mut world = Instance::new();
+        world.insert(p, tuple![1.5]);
+        assert!(matches!(
+            log_weight(&obs, &world).unwrap_err(),
+            EngineError::Dist(_)
+        ));
+    }
+}

@@ -23,11 +23,13 @@ use std::sync::Arc;
 
 use gdatalog_data::{Fact, Instance, RelId};
 use gdatalog_dist::Registry;
-use gdatalog_lang::{parse_facts, CompiledProgram, Program, SemanticsMode};
+use gdatalog_lang::{
+    compile_observations, parse_facts, CompiledObserve, CompiledProgram, Program, SemanticsMode,
+};
 use gdatalog_pdb::{
     AggFun, ColumnHistogram, EmpiricalPdb, EmpiricalSink, Event, EventProbabilitySink,
-    HistogramSink, MarginalSink, Moments, MomentsSink, PossibleWorlds, Query,
-    RelationMarginalsSink, WorldSink, WorldTableSink,
+    HistogramSink, MarginalSink, Moments, MomentsSink, NormalizingSink, PossibleWorlds, Query,
+    RelationMarginalsSink, WeightStats, WorldSink, WorldTableSink,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -231,6 +233,39 @@ impl Session {
     }
 }
 
+/// The evidence summary of a (conditioned) evaluation: normalizing
+/// constant and importance-sampling diagnostics. See
+/// [`Evaluation::evidence`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvidenceSummary {
+    /// Total observed weight: `P(evidence ∧ termination)` on exact
+    /// backends, the self-normalizing constant `1/N·ΣLᵢ` on
+    /// likelihood-weighted Monte-Carlo streams.
+    pub mass: f64,
+    /// Effective sample size `(Σw)²/Σw²`: equals the surviving world/run
+    /// count when all weights agree, collapses toward 1 when few runs
+    /// dominate the posterior.
+    pub ess: f64,
+    /// Number of (nonzero-weight) world observations.
+    pub worlds: usize,
+}
+
+/// A sink that discards every observation — drives a backend purely for
+/// the [`NormalizingSink`] weight statistics.
+struct NullSink;
+
+impl WorldSink for NullSink {
+    fn observe(&mut self, _world: Instance, _weight: f64) {}
+    fn observe_deficit(&mut self, _kind: gdatalog_pdb::DeficitKind, _weight: f64) {}
+    fn fork(&self) -> Option<Box<dyn WorldSink>> {
+        Some(Box::new(NullSink))
+    }
+    fn join(&mut self, _forked: Box<dyn WorldSink>) {}
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
 /// Which evaluation strategy the builder selected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum BackendChoice {
@@ -262,6 +297,9 @@ pub struct Evaluation<'a> {
     /// Shared chase plans (from the owning [`Engine`]/[`Session`]); when
     /// present, backends skip per-request planning.
     prepared: Option<Arc<PreparedProgram>>,
+    /// Per-request evidence text (compiled lazily at the terminal, on top
+    /// of the program's own `@observe` clauses).
+    given: Vec<String>,
 }
 
 impl<'a> Evaluation<'a> {
@@ -272,6 +310,7 @@ impl<'a> Evaluation<'a> {
             options: EvalOptions::default(),
             choice: BackendChoice::Auto,
             prepared: None,
+            given: Vec::new(),
         }
     }
 
@@ -461,6 +500,39 @@ impl<'a> Evaluation<'a> {
         self
     }
 
+    /// Conditions the evaluation on **evidence**: the same statements as
+    /// `@observe` program clauses, with the prefix optional — hard ground
+    /// facts (`"Alarm(h1)."`) and soft likelihood statements
+    /// (`"Normal<M, 1.0> == 2.5 :- Mu(M)."`). May be chained; each call
+    /// appends. Evidence composes with the program's own `@observe`
+    /// clauses.
+    ///
+    /// Under conditioning every statistic terminal returns the
+    /// **posterior**: exact backends filter and renormalize the enumerated
+    /// world table, the Monte-Carlo backend switches to likelihood-weighted
+    /// (self-normalized importance) sampling using the distributions'
+    /// log-densities. Use [`evidence`](Evaluation::evidence) for the
+    /// normalizing constant and an effective-sample-size diagnostic.
+    ///
+    /// ```
+    /// use gdatalog_core::Session;
+    /// use gdatalog_data::{tuple, Fact};
+    /// use gdatalog_lang::SemanticsMode;
+    ///
+    /// let s = Session::from_source(
+    ///     "R(Flip<0.5>) :- true. S(Flip<0.8>) :- R(1).",
+    ///     SemanticsMode::Grohe,
+    /// ).unwrap();
+    /// let r = s.program().catalog.require("R").unwrap();
+    /// // Posterior P(R(1) | S(1)) = 1: only R(1) worlds can derive S(1).
+    /// let p = s.eval().given("S(1).").marginal(&Fact::new(r, tuple![1i64])).unwrap();
+    /// assert!((p - 1.0).abs() < 1e-12);
+    /// ```
+    pub fn given(mut self, evidence: impl Into<String>) -> Evaluation<'a> {
+        self.given.push(evidence.into());
+        self
+    }
+
     /// Keeps auxiliary experiment relations in the results instead of
     /// projecting to the output schema (Remark 4.9).
     ///
@@ -512,19 +584,71 @@ impl<'a> Evaluation<'a> {
         }
     }
 
+    /// Whether any evidence applies — program-level `@observe` clauses or
+    /// per-request [`given`](Evaluation::given) statements. Decided on the
+    /// **compiled** observation set, so evidence text that compiles to
+    /// nothing (empty or comment-only `given("")`) does not flip the
+    /// evaluation into conditioned mode.
+    fn is_conditioned(&self) -> Result<bool, EngineError> {
+        if self.given.is_empty() {
+            return Ok(self.program.has_observes());
+        }
+        Ok(!self.observes()?.is_empty())
+    }
+
+    /// The full compiled observation set: the program's `@observe` clauses
+    /// plus the per-request [`given`](Evaluation::given) evidence.
+    fn observes(&self) -> Result<Cow<'a, [CompiledObserve]>, EngineError> {
+        if self.given.is_empty() {
+            return Ok(Cow::Borrowed(&self.program.observes));
+        }
+        let mut all = self.program.observes.clone();
+        for text in &self.given {
+            all.extend(compile_observations(self.program, text)?);
+        }
+        Ok(Cow::Owned(all))
+    }
+
     /// The job record handed to backends: program, shared plans (when the
-    /// evaluation came from an [`Engine`]/[`Session`]), input, options.
-    fn job(&self) -> EvalJob<'_> {
+    /// evaluation came from an [`Engine`]/[`Session`]), input, options,
+    /// evidence.
+    fn job_with<'o>(&'o self, observes: &'o [CompiledObserve]) -> EvalJob<'o> {
         EvalJob {
             program: self.program,
             prepared: self.prepared.as_deref(),
             input: &self.input,
             options: &self.options,
+            observes,
         }
     }
 
     fn run_with(&self, choice: BackendChoice, sink: &mut dyn WorldSink) -> Result<(), EngineError> {
-        self.backend_for(choice).run(&self.job(), sink)
+        let observes = self.observes()?;
+        self.backend_for(choice)
+            .run(&self.job_with(&observes), sink)
+    }
+
+    /// Runs under a [`NormalizingSink`], returning the inner sink and the
+    /// observed weight statistics — the conditioned-terminal work-horse.
+    fn run_normalized<S: WorldSink + 'static>(
+        &self,
+        choice: BackendChoice,
+        sink: S,
+    ) -> Result<(S, WeightStats), EngineError> {
+        let mut wrapper = NormalizingSink::new(sink);
+        self.run_with(choice, &mut wrapper)?;
+        let (inner, stats) = wrapper.finish();
+        if stats.total <= 0.0 {
+            return Err(EngineError::ZeroEvidence);
+        }
+        Ok((inner, stats))
+    }
+
+    fn resolved_choice(&self) -> BackendChoice {
+        match self.choice {
+            BackendChoice::Auto => self.auto_backend(),
+            c => c,
+        }
     }
 
     // -- terminals ---------------------------------------------------------
@@ -548,11 +672,7 @@ impl<'a> Evaluation<'a> {
     /// # Errors
     /// Backend evaluation errors.
     pub fn collect_into(&self, sink: &mut dyn WorldSink) -> Result<(), EngineError> {
-        let choice = match self.choice {
-            BackendChoice::Auto => self.auto_backend(),
-            c => c,
-        };
-        self.run_with(choice, sink)
+        self.run_with(self.resolved_choice(), sink)
     }
 
     /// Like [`Evaluation::collect_into`], with a caller-supplied backend —
@@ -565,7 +685,8 @@ impl<'a> Evaluation<'a> {
         backend: &dyn Backend,
         sink: &mut dyn WorldSink,
     ) -> Result<(), EngineError> {
-        backend.run(&self.job(), sink)
+        let observes = self.observes()?;
+        backend.run(&self.job_with(&observes), sink)
     }
 
     /// The full world table. Under an exact backend (the default, and the
@@ -586,17 +707,32 @@ impl<'a> Evaluation<'a> {
     /// assert!(worlds.mass_is_consistent(1e-12));
     /// ```
     ///
+    /// Under conditioning (program `@observe` clauses or
+    /// [`given`](Evaluation::given)) the returned table is the
+    /// **renormalized posterior**: worlds rejected by the evidence are
+    /// gone, the remaining probabilities sum to 1, and the deficit is empty
+    /// (the conditional is taken given termination).
+    ///
     /// # Errors
     /// [`EngineError::NotDiscrete`] when exact enumeration meets a
-    /// continuous program — use [`sample`](Evaluation::sample).
+    /// continuous program — use [`sample`](Evaluation::sample);
+    /// [`EngineError::ZeroEvidence`] when conditioning rejects all mass.
     pub fn worlds(&self) -> Result<PossibleWorlds, EngineError> {
         let choice = match self.choice {
             BackendChoice::Auto => BackendChoice::ExactSequential,
             c => c,
         };
-        let mut sink = WorldTableSink::new();
-        self.run_with(choice, &mut sink)?;
-        Ok(sink.finish())
+        if !self.is_conditioned()? {
+            let mut sink = WorldTableSink::new();
+            self.run_with(choice, &mut sink)?;
+            return Ok(sink.finish());
+        }
+        let (sink, stats) = self.run_normalized(choice, WorldTableSink::new())?;
+        let mut posterior = PossibleWorlds::new();
+        for (world, p) in sink.finish().into_worlds() {
+            posterior.add(world, p / stats.total);
+        }
+        Ok(posterior)
     }
 
     /// The empirical PDB of a Monte-Carlo evaluation: every sampled world,
@@ -626,6 +762,17 @@ impl<'a> Evaluation<'a> {
                 ))
             }
         }
+        if self.is_conditioned()? {
+            // An EmpiricalPdb is an unweighted sample multiset — it cannot
+            // carry importance weights, so it would silently report the
+            // prior instead of the posterior.
+            return Err(EngineError::InvalidRequest(
+                "pdb() is unweighted and cannot represent a conditioned \
+                 (likelihood-weighted) sample; use worlds() or a statistic \
+                 terminal"
+                    .to_string(),
+            ));
+        }
         let mut sink = EmpiricalSink::new();
         self.run_with(BackendChoice::Mc, &mut sink)?;
         Ok(sink.finish())
@@ -645,9 +792,18 @@ impl<'a> Evaluation<'a> {
     /// assert!((p - 0.25).abs() < 1e-12);
     /// ```
     ///
+    /// Under conditioning this is the **posterior** marginal
+    /// `P(f ∈ D | evidence)` (self-normalized).
+    ///
     /// # Errors
-    /// Backend evaluation errors.
+    /// Backend evaluation errors; [`EngineError::ZeroEvidence`] when
+    /// conditioning rejects all mass.
     pub fn marginal(&self, fact: &Fact) -> Result<f64, EngineError> {
+        if self.is_conditioned()? {
+            let (sink, stats) =
+                self.run_normalized(self.resolved_choice(), MarginalSink::new(fact.clone()))?;
+            return Ok(sink.finish() / stats.total);
+        }
         let mut sink = MarginalSink::new(fact.clone());
         self.collect_into(&mut sink)?;
         Ok(sink.finish())
@@ -673,9 +829,20 @@ impl<'a> Evaluation<'a> {
     /// assert!((p - 0.5).abs() < 1e-12);
     /// ```
     ///
+    /// Under conditioning this is the **posterior** event probability
+    /// `P(event | evidence)` (self-normalized).
+    ///
     /// # Errors
-    /// Backend evaluation errors.
+    /// Backend evaluation errors; [`EngineError::ZeroEvidence`] when
+    /// conditioning rejects all mass.
     pub fn probability(&self, event: &Event) -> Result<f64, EngineError> {
+        if self.is_conditioned()? {
+            let (sink, stats) = self.run_normalized(
+                self.resolved_choice(),
+                EventProbabilitySink::new(event.clone()),
+            )?;
+            return Ok(sink.finish() / stats.total);
+        }
         let mut sink = EventProbabilitySink::new(event.clone());
         self.collect_into(&mut sink)?;
         Ok(sink.finish())
@@ -702,9 +869,25 @@ impl<'a> Evaluation<'a> {
     /// assert!((m.mean - 1.5).abs() < 1e-12);
     /// ```
     ///
+    /// Under conditioning the moments are **posterior** moments: the sink
+    /// normalizes by the observed (likelihood-weighted) mass, so no extra
+    /// correction applies; `Moments::mass` then reports the unnormalized
+    /// evidence mass (see [`evidence`](Evaluation::evidence)).
+    ///
     /// # Errors
     /// Backend evaluation errors.
     pub fn expectation(&self, query: &Query, agg: AggFun) -> Result<Option<Moments>, EngineError> {
+        if self.is_conditioned()? {
+            // The sink normalizes by observed mass on its own, but routing
+            // through run_normalized keeps this terminal consistent with
+            // the others: impossible evidence is ZeroEvidence, not a
+            // `None` indistinguishable from an empty query result.
+            let (sink, _) = self.run_normalized(
+                self.resolved_choice(),
+                MomentsSink::new(query.clone(), agg, 0.0),
+            )?;
+            return Ok(sink.finish());
+        }
         let mut sink = MomentsSink::new(query.clone(), agg, 0.0);
         self.collect_into(&mut sink)?;
         Ok(sink.finish())
@@ -724,11 +907,15 @@ impl<'a> Evaluation<'a> {
     /// assert!((hist.total() - 1.0).abs() < 0.05, "one sample per run");
     /// ```
     ///
+    /// Under conditioning the histogram is normalized by the evidence mass
+    /// (bin totals are posterior expected counts, `mass` becomes 1).
+    ///
     /// # Errors
-    /// Backend evaluation errors.
+    /// Backend evaluation errors; [`EngineError::ZeroEvidence`] when
+    /// conditioning rejects all mass.
     ///
     /// # Panics
-    /// Panics unless `lo < hi` and `bins > 0`.
+    /// Panics unless `lo < hi` (finite) and `bins > 0`.
     pub fn histogram(
         &self,
         rel: RelId,
@@ -737,6 +924,21 @@ impl<'a> Evaluation<'a> {
         hi: f64,
         bins: usize,
     ) -> Result<ColumnHistogram, EngineError> {
+        if self.is_conditioned()? {
+            let (sink, stats) = self.run_normalized(
+                self.resolved_choice(),
+                HistogramSink::new(rel, col, lo, hi, bins),
+            )?;
+            let mut hist = sink.finish();
+            for bin in &mut hist.bins {
+                *bin /= stats.total;
+            }
+            hist.underflow /= stats.total;
+            hist.overflow /= stats.total;
+            hist.nan /= stats.total;
+            hist.mass /= stats.total;
+            return Ok(hist);
+        }
         let mut sink = HistogramSink::new(rel, col, lo, hi, bins);
         self.collect_into(&mut sink)?;
         Ok(sink.finish())
@@ -757,12 +959,66 @@ impl<'a> Evaluation<'a> {
     /// assert!((ms[1].1 - 0.25).abs() < 1e-12, "P(R(1))");
     /// ```
     ///
+    /// Under conditioning the marginals are **posterior** marginals
+    /// (self-normalized).
+    ///
     /// # Errors
-    /// Backend evaluation errors.
+    /// Backend evaluation errors; [`EngineError::ZeroEvidence`] when
+    /// conditioning rejects all mass.
     pub fn marginals(&self, rel: RelId) -> Result<Vec<(Fact, f64)>, EngineError> {
+        if self.is_conditioned()? {
+            let (sink, stats) =
+                self.run_normalized(self.resolved_choice(), RelationMarginalsSink::new(rel))?;
+            return Ok(sink
+                .finish()
+                .into_iter()
+                .map(|(fact, p)| (fact, p / stats.total))
+                .collect());
+        }
         let mut sink = RelationMarginalsSink::new(rel);
         self.collect_into(&mut sink)?;
         Ok(sink.finish())
+    }
+
+    /// The **evidence summary** of a conditioned evaluation: the estimated
+    /// evidence mass (the normalizing constant — `P(evidence ∧ termination)`
+    /// on exact backends, the self-normalizing constant `1/N·ΣLᵢ` on
+    /// likelihood-weighted Monte-Carlo) and the effective sample size
+    /// `(Σw)²/Σw²` of the weighted stream. Works unconditioned too, where
+    /// it reports the observed world mass and the world/run count.
+    ///
+    /// ```
+    /// use gdatalog_core::Session;
+    /// use gdatalog_lang::SemanticsMode;
+    ///
+    /// let s = Session::from_source(
+    ///     "R(Flip<0.5>) :- true. S(Flip<0.8>) :- R(1).",
+    ///     SemanticsMode::Grohe,
+    /// ).unwrap();
+    /// let ev = s.eval().given("S(1).").evidence().unwrap();
+    /// assert!((ev.mass - 0.4).abs() < 1e-12, "P(S(1)) = 0.5 · 0.8");
+    /// assert!(ev.ess >= 1.0);
+    /// ```
+    ///
+    /// # Errors
+    /// Backend evaluation errors; [`EngineError::ZeroEvidence`] when
+    /// conditioning rejects all mass.
+    pub fn evidence(&self) -> Result<EvidenceSummary, EngineError> {
+        let stats = if self.is_conditioned()? {
+            self.run_normalized(self.resolved_choice(), NullSink)?.1
+        } else {
+            // Unconditioned: an all-deficit stream (every run over budget)
+            // legitimately has zero observed mass — report it rather than
+            // claiming evidence of probability 0 was rejected.
+            let mut wrapper = NormalizingSink::new(NullSink);
+            self.run_with(self.resolved_choice(), &mut wrapper)?;
+            wrapper.finish().1
+        };
+        Ok(EvidenceSummary {
+            mass: stats.total,
+            ess: stats.ess(),
+            worlds: stats.worlds,
+        })
     }
 
     /// Runs a **single** sequential chase under the configured policy,
@@ -782,9 +1038,33 @@ impl<'a> Evaluation<'a> {
     /// assert!(run.steps >= 3, "sample, deliver, copy");
     /// ```
     ///
+    /// Traces the **prior** chase process: a program's own `@observe`
+    /// clauses do not re-weight a single run, so they are reported in the
+    /// run's instance but do not alter the trace.
+    ///
     /// # Errors
-    /// Runtime distribution failures.
+    /// Runtime distribution failures; [`EngineError::InvalidRequest`] if
+    /// per-request [`given`](Evaluation::given) evidence was supplied —
+    /// a single run cannot represent a posterior, and silently tracing
+    /// the prior would misread as one.
     pub fn trace(&self) -> Result<ChaseRun, EngineError> {
+        if !self.given.is_empty() {
+            // Compile first so malformed evidence text surfaces as its own
+            // error; text that compiles to zero observations (empty or
+            // comment-only) is a no-op, not a rejection.
+            let mut given_observes = 0usize;
+            for text in &self.given {
+                given_observes += compile_observations(self.program, text)?.len();
+            }
+            if given_observes > 0 {
+                return Err(EngineError::InvalidRequest(
+                    "trace() records a single prior chase run and cannot honor \
+                     given() evidence; drop given() or use worlds()/statistic \
+                     terminals for the posterior"
+                        .to_string(),
+                ));
+            }
+        }
         let existential: Vec<usize> = self
             .program
             .rules
@@ -833,8 +1113,10 @@ impl<'a> Evaluation<'a> {
     /// ```
     ///
     /// # Errors
-    /// [`EngineError::InvalidRequest`] under a Monte-Carlo backend; else
-    /// the errors of [`Evaluation::worlds`].
+    /// [`EngineError::InvalidRequest`] under a Monte-Carlo backend or
+    /// under conditioning (the mixture of per-world posteriors is not the
+    /// posterior of the mixture — condition the transformed table
+    /// yourself); else the errors of [`Evaluation::worlds`].
     pub fn transform(&self, input: &PossibleWorlds) -> Result<PossibleWorlds, EngineError> {
         let choice = match self.choice {
             BackendChoice::Auto => BackendChoice::ExactSequential,
@@ -846,6 +1128,13 @@ impl<'a> Evaluation<'a> {
             }
             c => c,
         };
+        if self.is_conditioned()? {
+            return Err(EngineError::InvalidRequest(
+                "transform() does not compose with conditioning: renormalizing \
+                 per input world would weight the mixture wrongly"
+                    .to_string(),
+            ));
+        }
         let mut parts = Vec::with_capacity(input.len());
         for (world, p) in input.iter() {
             let part = Evaluation {
@@ -854,6 +1143,7 @@ impl<'a> Evaluation<'a> {
                 options: self.options,
                 choice,
                 prepared: self.prepared.clone(),
+                given: Vec::new(),
             };
             parts.push((p, part.worlds()?));
         }
@@ -947,6 +1237,238 @@ mod tests {
         // Duplicate insert is a set-semantics no-op.
         session.insert_facts_text("City(gotham).").unwrap();
         assert_eq!(session.inserted_facts(), 1);
+    }
+
+    #[test]
+    fn hard_conditioning_renormalizes_exactly() {
+        // Burglary-style chain: P(Quake=1) = 0.1; Alarm iff Trig=1, where
+        // Trig fires w.p. 0.6 given a quake. Condition on the alarm.
+        let session = Session::from_source(
+            r#"
+            Quake(Flip<0.1>) :- true.
+            Trig(Flip<0.6>) :- Quake(1).
+            Alarm() :- Trig(1).
+        "#,
+            SemanticsMode::Grohe,
+        )
+        .unwrap();
+        let quake = session.program().catalog.require("Quake").unwrap();
+        let fact = Fact::new(quake, tuple![1i64]);
+        // Prior: P(Quake=1) = 0.1.
+        let prior = session.eval().marginal(&fact).unwrap();
+        assert!((prior - 0.1).abs() < 1e-12);
+        // Posterior: P(Quake=1 | Alarm) = 1 (only quakes trigger alarms).
+        let posterior = session.eval().given("Alarm().").marginal(&fact).unwrap();
+        assert!((posterior - 1.0).abs() < 1e-12);
+        // Evidence mass: P(Alarm) = 0.1 · 0.6.
+        let ev = session.eval().given("Alarm().").evidence().unwrap();
+        assert!((ev.mass - 0.06).abs() < 1e-12);
+        // Posterior world table is a probability distribution again.
+        let worlds = session.eval().given("Alarm().").worlds().unwrap();
+        assert!((worlds.mass() - 1.0).abs() < 1e-12);
+        assert_eq!(worlds.deficit().total(), 0.0);
+    }
+
+    #[test]
+    fn program_level_observe_clauses_condition_every_evaluation() {
+        let session = Session::from_source(
+            r#"
+            Quake(Flip<0.1>) :- true.
+            Trig(Flip<0.6>) :- Quake(1).
+            Alarm() :- Trig(1).
+            @observe Alarm().
+        "#,
+            SemanticsMode::Grohe,
+        )
+        .unwrap();
+        let quake = session.program().catalog.require("Quake").unwrap();
+        let p = session
+            .eval()
+            .marginal(&Fact::new(quake, tuple![1i64]))
+            .unwrap();
+        assert!((p - 1.0).abs() < 1e-12, "@observe applies without given()");
+    }
+
+    #[test]
+    fn soft_conditioning_is_bayes_rule() {
+        // Two-component model: Mu ∈ {0, 4} uniformly; observe a Normal
+        // reading of 4.0 with unit variance. Exact conditioning multiplies
+        // each world by the Gaussian likelihood and renormalizes.
+        let session = Session::from_source(
+            "Mu(Categorical<0.0, 1.0, 4.0, 1.0>) :- true.",
+            SemanticsMode::Grohe,
+        )
+        .unwrap();
+        let mu = session.program().catalog.require("Mu").unwrap();
+        let posterior = session
+            .eval()
+            .given("Normal<M, 1.0> == 4.0 :- Mu(M).")
+            .marginal(&Fact::new(mu, tuple![4.0]))
+            .unwrap();
+        // Bayes: L(4|4)=φ(0), L(4|0)=φ(4); posterior = φ(0)/(φ(0)+φ(4)).
+        let phi = |z: f64| (-0.5 * z * z).exp();
+        let expect = phi(0.0) / (phi(0.0) + phi(4.0));
+        assert!(
+            (posterior - expect).abs() < 1e-12,
+            "{posterior} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn zero_evidence_is_an_error_not_a_nan() {
+        let session = Session::from_source("R(Flip<1.0>) :- true.", SemanticsMode::Grohe).unwrap();
+        let r = session.program().catalog.require("R").unwrap();
+        let err = session
+            .eval()
+            .given("R(0).")
+            .marginal(&Fact::new(r, tuple![0i64]))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::ZeroEvidence));
+        // expectation() reports it the same way — Ok(None) would be
+        // indistinguishable from a legitimately empty query result.
+        let err = session
+            .eval()
+            .given("R(0).")
+            .expectation(&Query::Rel(r), AggFun::Count)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::ZeroEvidence));
+    }
+
+    #[test]
+    fn unconditioned_evidence_reports_all_deficit_mass_without_erroring() {
+        // Every run exhausts the budget: the observed world mass is 0, but
+        // no evidence was given, so this is a report — not ZeroEvidence.
+        let session =
+            Session::from_source("C(0.0). C(Normal<V, 1.0>) :- C(V).", SemanticsMode::Grohe)
+                .unwrap();
+        let ev = session
+            .eval()
+            .sample(20)
+            .max_depth(10)
+            .seed(1)
+            .evidence()
+            .unwrap();
+        assert_eq!(ev.mass, 0.0);
+        assert_eq!(ev.worlds, 0);
+    }
+
+    #[test]
+    fn conditioned_pdb_transform_and_trace_are_rejected() {
+        let session = Session::from_source("R(Flip<0.5>) :- true.", SemanticsMode::Grohe).unwrap();
+        let err = session.eval().sample(10).given("R(1).").pdb().unwrap_err();
+        assert!(matches!(err, EngineError::InvalidRequest(_)));
+        let err = session
+            .eval()
+            .given("R(1).")
+            .transform(&PossibleWorlds::dirac(Instance::new()))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidRequest(_)));
+        // trace() cannot honor evidence — rejecting beats silently
+        // tracing the prior as if it were a posterior-consistent run.
+        let err = session.eval().given("R(1).").trace().unwrap_err();
+        assert!(matches!(err, EngineError::InvalidRequest(_)));
+        // Malformed evidence text surfaces as its own error first.
+        let err = session.eval().given("R(1").trace().unwrap_err();
+        assert!(matches!(err, EngineError::Lang(_)));
+        // Program-level @observe clauses do not block the debug terminal.
+        let observed =
+            Session::from_source("R(Flip<0.5>) :- true. @observe R(1).", SemanticsMode::Grohe)
+                .unwrap();
+        assert!(observed.eval().trace().is_ok());
+    }
+
+    #[test]
+    fn empty_evidence_text_is_a_no_op_not_a_condition() {
+        // given("") compiles to zero observations: the evaluation must
+        // behave exactly like the unconditioned one — same budget-deficit
+        // handling, and no terminal rejections.
+        let session =
+            Session::from_source("G(0). G(Geometric<0.5 | X>) :- G(X).", SemanticsMode::Grohe)
+                .unwrap();
+        let g = session.program().catalog.require("G").unwrap();
+        let fact = Fact::new(g, tuple![0i64]);
+        let base = session
+            .eval()
+            .sample(200)
+            .seed(4)
+            .max_depth(5)
+            .marginal(&fact)
+            .unwrap();
+        for noop in ["", "   ", "% just a comment"] {
+            let same = session
+                .eval()
+                .sample(200)
+                .seed(4)
+                .max_depth(5)
+                .given(noop)
+                .marginal(&fact)
+                .unwrap();
+            assert_eq!(base.to_bits(), same.to_bits(), "{noop:?}");
+            assert!(session.eval().given(noop).trace().is_ok());
+            assert!(session.eval().sample(10).given(noop).pdb().is_ok());
+        }
+    }
+
+    #[test]
+    fn invalid_evidence_text_surfaces_at_the_terminal() {
+        let session = Session::from_source("R(Flip<0.5>) :- true.", SemanticsMode::Grohe).unwrap();
+        let r = session.program().catalog.require("R").unwrap();
+        let fact = Fact::new(r, tuple![1i64]);
+        for bad in ["NoSuchRel(1).", "Zorp<0.5> == 1.", "R(X).", "R(1"] {
+            let err = session.eval().given(bad).marginal(&fact);
+            assert!(err.is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn mc_likelihood_weighting_matches_exact_posterior() {
+        let session = Session::from_source(
+            r#"
+            Quake(Flip<0.2>) :- true.
+            Trig(Flip<0.7>) :- Quake(1).
+            Trig(Flip<0.1>) :- Quake(0).
+            Alarm() :- Trig(1).
+        "#,
+            SemanticsMode::Grohe,
+        )
+        .unwrap();
+        let quake = session.program().catalog.require("Quake").unwrap();
+        let fact = Fact::new(quake, tuple![1i64]);
+        let exact = session
+            .eval()
+            .exact()
+            .given("Alarm().")
+            .marginal(&fact)
+            .unwrap();
+        // Bayes: 0.2·0.7 / (0.2·0.7 + 0.8·0.1) = 0.636…
+        assert!((exact - 0.14 / 0.22).abs() < 1e-12);
+        let mc = session
+            .eval()
+            .sample(40_000)
+            .seed(11)
+            .given("Alarm().")
+            .marginal(&fact)
+            .unwrap();
+        assert!((mc - exact).abs() < 0.02, "mc = {mc}, exact = {exact}");
+        // Deterministic: repeat bit-identical; thread-count invariant to fp
+        // re-association.
+        let mc2 = session
+            .eval()
+            .sample(40_000)
+            .seed(11)
+            .given("Alarm().")
+            .marginal(&fact)
+            .unwrap();
+        assert_eq!(mc.to_bits(), mc2.to_bits());
+        let mc4 = session
+            .eval()
+            .sample(40_000)
+            .seed(11)
+            .threads(4)
+            .given("Alarm().")
+            .marginal(&fact)
+            .unwrap();
+        assert!((mc4 - mc).abs() < 1e-12);
     }
 
     #[test]

@@ -491,7 +491,14 @@ impl ParamDist for Geometric {
         if k < 0 {
             return Ok(f64::NEG_INFINITY);
         }
-        Ok(p.ln() + k as f64 * (1.0 - p).ln())
+        // Guard the k = 0 term: at p = 1 the naive `k · ln(1−p)` is
+        // `0 · (−∞)` = NaN, but P(0) = p exactly.
+        let tail = if k == 0 {
+            0.0
+        } else {
+            k as f64 * (1.0 - p).ln()
+        };
+        Ok(p.ln() + tail)
     }
     fn enumerate(&self, params: &[Value], tol: f64) -> Result<Support, DistError> {
         let p = self.p(params)?;

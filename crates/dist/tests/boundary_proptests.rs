@@ -1,0 +1,248 @@
+//! Boundary-parameter property tests across the Ψ family: at the edges of
+//! every parameter domain — `Uniform(a, a)`, `Geometric(1.0)`,
+//! `Binomial(0, p)`, `Categorical` with a single nonzero weight,
+//! `Flip(0.0)` / `Flip(1.0)`, `UniformInt(a, a)` — the three capabilities
+//! of a member (sample, log-density, exact support) must **agree or error
+//! cleanly**, never panic:
+//!
+//! * inadmissible parameters are `DistError`s from *every* entry point;
+//! * admissible degenerate parameters give a Dirac member: sampling is
+//!   constant, the support has one outcome of mass 1, and the log-density
+//!   of that outcome is 0;
+//! * for any admissible discrete parameters, sampled outcomes lie in the
+//!   enumerated support and `exp(log_density)` matches the tabulated pmf.
+
+use gdatalog_data::Value;
+use gdatalog_dist::{DistError, ParamDist, Registry, Support};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn family() -> Registry {
+    Registry::standard()
+}
+
+/// Draws `n` samples, asserting the call is total (no panic; Ok or Err).
+fn try_samples(
+    dist: &dyn ParamDist,
+    params: &[Value],
+    n: usize,
+    seed: u64,
+) -> Result<Vec<Value>, DistError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| dist.sample(params, &mut rng)).collect()
+}
+
+/// Checks sample/log-density/enumerate coherence for admissible discrete
+/// parameters.
+fn check_discrete_coherence(
+    dist: &dyn ParamDist,
+    params: &[Value],
+    support: &Support,
+    samples: &[Value],
+) -> Result<(), TestCaseError> {
+    let mass = support.tabulated_mass();
+    prop_assert!(
+        mass <= 1.0 + 1e-9,
+        "{}: tabulated mass {mass} > 1",
+        dist.name()
+    );
+    for (v, p) in &support.outcomes {
+        prop_assert!(*p > 0.0, "{}: zero-mass outcome listed", dist.name());
+        let ld = dist.log_density(params, v).map_err(|e| {
+            TestCaseError::fail(format!(
+                "{}: log_density on support failed: {e}",
+                dist.name()
+            ))
+        })?;
+        prop_assert!(
+            (ld.exp() - p).abs() < 1e-9,
+            "{}: pmf {} vs exp(log_density) {}",
+            dist.name(),
+            p,
+            ld.exp()
+        );
+    }
+    for s in samples {
+        prop_assert!(
+            support.outcomes.iter().any(|(v, _)| v == s),
+            "{}: sampled {s} outside the (fully tabulated) support",
+            dist.name()
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `Uniform(a, a)` (and reversed bounds) is an empty interval: every
+    /// capability errors cleanly, for any `a`.
+    #[test]
+    fn uniform_empty_interval_errors_everywhere(a in -1e6f64..1e6, seed in 0u64..1000) {
+        let reg = family();
+        let u = reg.get("Uniform").unwrap();
+        let params = [Value::real(a), Value::real(a)];
+        prop_assert!(try_samples(u.as_ref(), &params, 3, seed).is_err());
+        prop_assert!(u.log_density(&params, &Value::real(a)).is_err());
+        prop_assert!(u.cdf(&params, a).is_err());
+        let reversed = [Value::real(a), Value::real(a - 1.0)];
+        prop_assert!(try_samples(u.as_ref(), &reversed, 3, seed).is_err());
+    }
+
+    /// `Geometric(1.0)` is the Dirac at 0; `Geometric(0.0)` and
+    /// out-of-range probabilities are clean errors.
+    #[test]
+    fn geometric_boundaries(seed in 0u64..1000, tol in 1e-9f64..1e-3) {
+        let reg = family();
+        let g = reg.get("Geometric").unwrap();
+        let one = [Value::real(1.0)];
+        let samples = try_samples(g.as_ref(), &one, 8, seed).unwrap();
+        prop_assert!(samples.iter().all(|v| *v == Value::int(0)));
+        let support = g.enumerate(&one, tol).unwrap();
+        prop_assert_eq!(&support.outcomes, &vec![(Value::int(0), 1.0)]);
+        check_discrete_coherence(g.as_ref(), &one, &support, &samples)?;
+        prop_assert!((g.log_density(&one, &Value::int(0)).unwrap()).abs() < 1e-12);
+        for bad in [0.0, -0.25, 1.5] {
+            let params = [Value::real(bad)];
+            prop_assert!(try_samples(g.as_ref(), &params, 3, seed).is_err());
+            prop_assert!(g.enumerate(&params, tol).is_err());
+            prop_assert!(g.log_density(&params, &Value::int(1)).is_err());
+        }
+    }
+
+    /// `Binomial(0, p)` is the Dirac at 0 for every admissible `p`,
+    /// including the `p ∈ {0, 1}` corners.
+    #[test]
+    fn binomial_zero_trials_is_dirac(p in 0.0f64..1.0, seed in 0u64..1000) {
+        let reg = family();
+        let b = reg.get("Binomial").unwrap();
+        for p in [p, 0.0, 1.0] {
+            let params = [Value::int(0), Value::real(p)];
+            let samples = try_samples(b.as_ref(), &params, 8, seed).unwrap();
+            prop_assert!(samples.iter().all(|v| *v == Value::int(0)));
+            let support = b.enumerate(&params, 1e-9).unwrap();
+            prop_assert_eq!(&support.outcomes, &vec![(Value::int(0), 1.0)]);
+            check_discrete_coherence(b.as_ref(), &params, &support, &samples)?;
+            prop_assert!((b.log_density(&params, &Value::int(0)).unwrap()).abs() < 1e-12);
+            prop_assert_eq!(
+                b.log_density(&params, &Value::int(1)).unwrap(),
+                f64::NEG_INFINITY
+            );
+        }
+    }
+
+    /// `Categorical` with a single nonzero weight is the Dirac on that
+    /// value regardless of how many zero-weight entries surround it; an
+    /// all-zero weight vector errors cleanly.
+    #[test]
+    fn categorical_single_nonzero_weight(
+        pick in 0usize..4,
+        w in 1e-6f64..1e6,
+        seed in 0u64..1000,
+    ) {
+        let reg = family();
+        let c = reg.get("Categorical").unwrap();
+        let mut params = Vec::new();
+        for i in 0..4usize {
+            params.push(Value::int(i as i64));
+            params.push(Value::real(if i == pick { w } else { 0.0 }));
+        }
+        let samples = try_samples(c.as_ref(), &params, 8, seed).unwrap();
+        prop_assert!(samples.iter().all(|v| *v == Value::int(pick as i64)));
+        let support = c.enumerate(&params, 1e-9).unwrap();
+        prop_assert_eq!(&support.outcomes, &vec![(Value::int(pick as i64), 1.0)]);
+        check_discrete_coherence(c.as_ref(), &params, &support, &samples)?;
+        // All-zero weights: clean error from every capability.
+        let zeros: Vec<Value> = (0..4)
+            .flat_map(|i| [Value::int(i), Value::real(0.0)])
+            .collect();
+        prop_assert!(try_samples(c.as_ref(), &zeros, 3, seed).is_err());
+        prop_assert!(c.enumerate(&zeros, 1e-9).is_err());
+        prop_assert!(c.log_density(&zeros, &Value::int(0)).is_err());
+    }
+
+    /// `Flip(0)` / `Flip(1)` and `UniformInt(a, a)` are Dirac members with
+    /// singleton supports of mass exactly 1.
+    #[test]
+    fn dirac_corners_have_singleton_supports(a in -1000i64..1000, seed in 0u64..1000) {
+        let reg = family();
+        let flip = reg.get("Flip").unwrap();
+        for (p, outcome) in [(0.0, 0i64), (1.0, 1i64)] {
+            let params = [Value::real(p)];
+            let support = flip.enumerate(&params, 1e-9).unwrap();
+            prop_assert_eq!(&support.outcomes, &vec![(Value::int(outcome), 1.0)]);
+            let samples = try_samples(flip.as_ref(), &params, 8, seed).unwrap();
+            check_discrete_coherence(flip.as_ref(), &params, &support, &samples)?;
+        }
+        let ui = reg.get("UniformInt").unwrap();
+        let params = [Value::int(a), Value::int(a)];
+        let support = ui.enumerate(&params, 1e-9).unwrap();
+        prop_assert_eq!(&support.outcomes, &vec![(Value::int(a), 1.0)]);
+        let samples = try_samples(ui.as_ref(), &params, 8, seed).unwrap();
+        check_discrete_coherence(ui.as_ref(), &params, &support, &samples)?;
+        // Reversed bounds error cleanly.
+        let reversed = [Value::int(a), Value::int(a - 1)];
+        prop_assert!(try_samples(ui.as_ref(), &reversed, 3, seed).is_err());
+        prop_assert!(ui.enumerate(&reversed, 1e-9).is_err());
+    }
+
+    /// Fuzz the whole discrete family with arbitrary (possibly
+    /// inadmissible) real parameters: every capability is total — it
+    /// returns `Ok` or `Err`, and whenever both sampling and enumeration
+    /// succeed they agree.
+    #[test]
+    fn discrete_family_is_total_on_arbitrary_parameters(
+        raw in prop_oneof![
+            -2.0f64..2.0,
+            Just(0.0),
+            Just(1.0),
+            Just(-1.0),
+            0.0f64..1.0,
+        ],
+        n in prop_oneof![Just(0i64), Just(1i64), 0i64..40],
+        seed in 0u64..1000,
+    ) {
+        let reg = family();
+        for (name, params) in [
+            ("Flip", vec![Value::real(raw)]),
+            ("Bernoulli", vec![Value::real(raw)]),
+            ("Geometric", vec![Value::real(raw)]),
+            ("Poisson", vec![Value::real(raw)]),
+            ("Binomial", vec![Value::int(n), Value::real(raw)]),
+            ("UniformInt", vec![Value::int(n), Value::int(n + 3)]),
+        ] {
+            let dist = reg.get(name).unwrap();
+            let sampled = try_samples(dist.as_ref(), &params, 4, seed);
+            let support = dist.enumerate(&params, 1e-6);
+            match (&sampled, &support) {
+                (Ok(samples), Ok(support)) => {
+                    // Tolerate truncated tails: a sample may fall past the
+                    // tabulated support, but tabulated outcomes must obey
+                    // the density and cover the bulk of the mass.
+                    check_discrete_coherence(
+                        dist.as_ref(),
+                        &params,
+                        support,
+                        if support.tabulated_mass() > 1.0 - 1e-6 {
+                            samples
+                        } else {
+                            &[]
+                        },
+                    )?;
+                }
+                (Err(_), Err(_)) => {}
+                (Ok(_), Err(e)) => {
+                    return Err(TestCaseError::fail(format!(
+                        "{name}: sampling admits {params:?} but enumerate rejects: {e}"
+                    )));
+                }
+                (Err(e), Ok(_)) => {
+                    return Err(TestCaseError::fail(format!(
+                        "{name}: enumerate admits {params:?} but sampling rejects: {e}"
+                    )));
+                }
+            }
+        }
+    }
+}

@@ -115,6 +115,48 @@ pub struct RelDeclAst {
     pub span: Span,
 }
 
+/// What an `@observe` clause conditions on.
+///
+/// Conditioning follows the evidence construct of Bárány et al.'s PPDL
+/// (TODS 2017): **hard** observations restrict the possible worlds to those
+/// containing a ground fact, **soft** observations re-weight each world by
+/// the likelihood of an observed value under a distribution whose
+/// parameters flow from the world. Both renormalize the surviving mass.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObserveKind {
+    /// `@observe R(c₁, …, cₙ).` — the ground fact must hold in the world.
+    Hard {
+        /// Relation name.
+        rel: String,
+        /// Constant tuple.
+        values: Vec<Value>,
+    },
+    /// `@observe ψ⟨θ₁,…,θₘ⟩ == v [:- body].` — for every valuation of the
+    /// body, the world's weight is multiplied by the density of `v` under
+    /// `ψ⟨θ̄⟩` (a likelihood statement; `v` and the parameters may mention
+    /// body variables).
+    Soft {
+        /// Distribution name.
+        dist: String,
+        /// Parameter terms (deterministic).
+        params: Vec<TermAst>,
+        /// The observed value term (deterministic).
+        value: TermAst,
+    },
+}
+
+/// One `@observe` clause: the observation plus an optional deterministic
+/// body binding its variables (hard observations are ground and body-less).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObserveAst {
+    /// Hard or soft observation.
+    pub kind: ObserveKind,
+    /// Body atoms (soft observations only; empty means "once").
+    pub body: Vec<AtomAst>,
+    /// Source location.
+    pub span: Span,
+}
+
 /// A ground fact appearing in program text, e.g. `City(gotham, 0.3).`
 #[derive(Debug, Clone, PartialEq)]
 pub struct GroundFactAst {
@@ -135,6 +177,8 @@ pub struct Program {
     pub facts: Vec<GroundFactAst>,
     /// Rules.
     pub rules: Vec<RuleAst>,
+    /// `@observe` clauses (evidence the program conditions on).
+    pub observes: Vec<ObserveAst>,
 }
 
 impl Program {

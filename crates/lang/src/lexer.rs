@@ -34,6 +34,10 @@ pub enum Tok {
     Gt,
     /// `|`
     Pipe,
+    /// `@` (introduces `@observe` clauses).
+    At,
+    /// `==` (the likelihood operator of soft observations).
+    EqEq,
     /// End of input.
     Eof,
 }
@@ -104,6 +108,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
             '<' => Some(Tok::Lt),
             '>' => Some(Tok::Gt),
             '|' => Some(Tok::Pipe),
+            '@' => Some(Tok::At),
             _ => None,
         };
         if let Some(t) = single {
@@ -111,6 +116,19 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
             i += 1;
             col += 1;
             continue;
+        }
+        // `==`
+        if c == '=' {
+            if bytes.get(i + 1) == Some(&b'=') {
+                toks.push(Token {
+                    tok: Tok::EqEq,
+                    span: sp,
+                });
+                i += 2;
+                col += 2;
+                continue;
+            }
+            return Err(LangError::at(sp, "expected `==`"));
         }
         // `:-`
         if c == ':' {
@@ -339,8 +357,17 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        assert!(lex("R(x) @ Q(x)").is_err());
+        assert!(lex("R(x) # Q(x)").is_err());
+        assert!(lex("R(x) = Q(x)").is_err(), "single `=` is not a token");
         assert!(lex("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn lexes_observe_clauses() {
+        let ts = kinds("@observe Normal<0.0, 1.0> == 2.5.");
+        assert_eq!(ts[0], Tok::At);
+        assert_eq!(ts[1], Tok::LowerIdent("observe".into()));
+        assert!(ts.contains(&Tok::EqEq));
     }
 
     #[test]

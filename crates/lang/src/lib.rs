@@ -36,11 +36,14 @@ pub mod translate;
 pub mod validate;
 
 pub use acyclicity::{weak_acyclicity, AcyclicityReport};
-pub use ast::{AtomAst, GroundFactAst, Program, RelDeclAst, RuleAst, Span, TermAst};
-pub use parser::{parse_facts, parse_program};
+pub use ast::{
+    AtomAst, GroundFactAst, ObserveAst, ObserveKind, Program, RelDeclAst, RuleAst, Span, TermAst,
+};
+pub use parser::{parse_facts, parse_observations, parse_program};
 pub use simulate::{simulate_barany_in_grohe, simulate_grohe_in_barany, BSIM_PREFIX};
 pub use translate::{
-    translate, CompiledProgram, CompiledRule, ExistentialHead, RuleKind, SampleSpec, SemanticsMode,
+    compile_observations, translate, CompiledObserve, CompiledProgram, CompiledRule,
+    ExistentialHead, RuleKind, SampleSpec, SemanticsMode,
 };
 pub use validate::{validate, ValidatedProgram};
 

@@ -4,8 +4,9 @@
 //!
 //! ```text
 //! program   := clause*
-//! clause    := decl | rule | fact
+//! clause    := decl | rule | fact | observe
 //! decl      := "rel" RelName "(" type ("," type)* ")" ["input"] "."
+//! observe   := "@" "observe" (groundAtom | random "==" term [":-" body]) "."
 //! type      := "bool" | "int" | "real" | "symbol" | "str" | "any"
 //! rule      := atom (":-" | "←") body "."
 //! body      := "true" | atom ("," atom)*
@@ -23,7 +24,9 @@
 
 use gdatalog_data::{ColType, Value};
 
-use crate::ast::{AtomAst, GroundFactAst, Program, RelDeclAst, RuleAst, Span, TermAst};
+use crate::ast::{
+    AtomAst, GroundFactAst, ObserveAst, ObserveKind, Program, RelDeclAst, RuleAst, Span, TermAst,
+};
 use crate::lexer::{lex, Tok, Token};
 use crate::LangError;
 
@@ -266,6 +269,118 @@ impl Parser {
         })
     }
 
+    /// Consumes the `@observe` introducer.
+    fn expect_observe_keyword(&mut self) -> Result<(), LangError> {
+        self.expect(&Tok::At, "`@`")?;
+        match self.peek() {
+            Tok::LowerIdent(kw) if kw == "observe" => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(LangError::at(
+                self.span(),
+                format!("expected `observe` after `@`, found {other:?}"),
+            )),
+        }
+    }
+
+    /// Parses the clause after `@observe`: either a hard observation (a
+    /// ground atom) or a soft likelihood statement
+    /// `Dist<θ̄> == value [:- body]`.
+    fn parse_observe_clause(&mut self) -> Result<ObserveAst, LangError> {
+        let sp = self.span();
+        // Disambiguate on the token after the leading identifier: `<`
+        // introduces a distribution (soft), `(` a relation atom (hard).
+        let soft = matches!(self.peek(), Tok::UpperIdent(_) | Tok::LowerIdent(_))
+            && *self.peek2() == Tok::Lt;
+        if soft {
+            let term = self.parse_term()?;
+            let TermAst::Random {
+                dist, params, tags, ..
+            } = term
+            else {
+                return Err(LangError::at(sp, "expected a distribution term"));
+            };
+            if !tags.is_empty() {
+                return Err(LangError::at(
+                    sp,
+                    "tags have no meaning in observations (the likelihood depends \
+                     only on the parameters)",
+                ));
+            }
+            self.expect(&Tok::EqEq, "`==`")?;
+            let value = self.parse_term()?;
+            if value.is_random() {
+                return Err(LangError::at(
+                    sp,
+                    "the observed value must be deterministic",
+                ));
+            }
+            let mut body = Vec::new();
+            if *self.peek() == Tok::Arrow {
+                self.bump();
+                // `true` denotes the empty body, as in rules.
+                let empty_body = matches!(self.peek(), Tok::LowerIdent(kw)
+                    if kw == "true" && *self.peek2() != Tok::LParen);
+                if empty_body {
+                    self.bump();
+                } else {
+                    loop {
+                        let atom = self.parse_atom()?;
+                        if atom.is_random() {
+                            return Err(LangError::at(
+                                atom.span,
+                                "random terms are not allowed in observation bodies",
+                            ));
+                        }
+                        body.push(atom);
+                        if *self.peek() == Tok::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+            self.expect(&Tok::Dot, "`.`")?;
+            return Ok(ObserveAst {
+                kind: ObserveKind::Soft {
+                    dist,
+                    params,
+                    value,
+                },
+                body,
+                span: sp,
+            });
+        }
+        // Hard observation: a ground atom.
+        let atom = self.parse_atom()?;
+        let values: Vec<Value> = atom
+            .args
+            .iter()
+            .map(|t| match t {
+                TermAst::Const(c) => Some(c.clone()),
+                _ => None,
+            })
+            .collect::<Option<_>>()
+            .ok_or_else(|| {
+                LangError::at(
+                    atom.span,
+                    "hard observations must be ground facts (constants only); \
+                     use `Dist<θ> == value :- body` for likelihood statements",
+                )
+            })?;
+        self.expect(&Tok::Dot, "`.`")?;
+        Ok(ObserveAst {
+            kind: ObserveKind::Hard {
+                rel: atom.rel,
+                values,
+            },
+            body: Vec::new(),
+            span: sp,
+        })
+    }
+
     /// Parses a rule or a ground fact (disambiguated after reading the
     /// head atom: `.` means fact-or-bodyless-rule, `:-` means rule).
     fn parse_rule_or_fact(&mut self, program: &mut Program) -> Result<(), LangError> {
@@ -357,9 +472,10 @@ pub fn parse_facts(
     catalog: &gdatalog_data::Catalog,
 ) -> Result<gdatalog_data::Instance, LangError> {
     let program = parse_program(src)?;
-    if !program.rules.is_empty() || !program.decls.is_empty() {
+    if !program.rules.is_empty() || !program.decls.is_empty() || !program.observes.is_empty() {
         return Err(LangError::msg(
-            "fact files may contain only ground facts (no rules or declarations)",
+            "fact files may contain only ground facts (no rules, declarations, \
+             or observations)",
         ));
     }
     let mut out = gdatalog_data::Instance::new();
@@ -387,6 +503,11 @@ pub fn parse_program(src: &str) -> Result<Program, LangError> {
     loop {
         match p.peek() {
             Tok::Eof => break,
+            Tok::At => {
+                p.expect_observe_keyword()?;
+                let o = p.parse_observe_clause()?;
+                program.observes.push(o);
+            }
             Tok::LowerIdent(kw)
                 if kw == "rel" && matches!(p.peek2(), Tok::UpperIdent(_) | Tok::LowerIdent(_)) =>
             {
@@ -397,6 +518,27 @@ pub fn parse_program(src: &str) -> Result<Program, LangError> {
         }
     }
     Ok(program)
+}
+
+/// Parses evidence text into observation clauses — the dynamic counterpart
+/// of `@observe` program clauses, used by `Evaluation::given(...)` and the
+/// serving layer's `"given"` request member. The `@observe` prefix is
+/// optional here: `"Alarm(h1)."` (hard) and
+/// `"Normal<M, 1.0> == 2.5 :- Mu(M)."` (soft) are both accepted.
+///
+/// # Errors
+/// Returns the first syntax error.
+pub fn parse_observations(src: &str) -> Result<Vec<ObserveAst>, LangError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut out = Vec::new();
+    while *p.peek() != Tok::Eof {
+        if *p.peek() == Tok::At {
+            p.expect_observe_keyword()?;
+        }
+        out.push(p.parse_observe_clause()?);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -516,6 +658,65 @@ mod tests {
     fn nullary_atoms_parse() {
         let p = parse_program("Done() :- Start().").unwrap();
         assert_eq!(p.rules[0].head.args.len(), 0);
+    }
+
+    #[test]
+    fn parses_hard_and_soft_observations() {
+        let src = r#"
+            rel Mu(real) input.
+            H(Normal<M, 1.0>) :- Mu(M).
+            @observe Alarm(h1).
+            @observe Normal<M, 1.0> == 2.5 :- Mu(M).
+            @observe Flip<0.5> == 1.
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.observes.len(), 3);
+        match &p.observes[0].kind {
+            ObserveKind::Hard { rel, values } => {
+                assert_eq!(rel, "Alarm");
+                assert_eq!(values, &vec![Value::sym("h1")]);
+            }
+            other => panic!("expected hard observation, got {other:?}"),
+        }
+        match &p.observes[1].kind {
+            ObserveKind::Soft { dist, value, .. } => {
+                assert_eq!(dist, "Normal");
+                assert_eq!(value, &TermAst::Const(Value::real(2.5)));
+            }
+            other => panic!("expected soft observation, got {other:?}"),
+        }
+        assert_eq!(p.observes[1].body.len(), 1);
+        assert!(p.observes[2].body.is_empty());
+        // Pretty-printing round-trips observations too (spans differ, so
+        // compare the rendered text, a span-insensitive AST invariant).
+        let again = parse_program(&p.to_string()).unwrap();
+        assert_eq!(p.to_string(), again.to_string());
+        assert_eq!(again.observes.len(), 3);
+    }
+
+    #[test]
+    fn parse_observations_accepts_optional_prefix() {
+        let obs = parse_observations("Alarm(h1). @observe Flip<0.5> == 1.").unwrap();
+        assert_eq!(obs.len(), 2);
+        assert!(matches!(obs[0].kind, ObserveKind::Hard { .. }));
+        assert!(matches!(obs[1].kind, ObserveKind::Soft { .. }));
+    }
+
+    #[test]
+    fn rejects_malformed_observations() {
+        // Non-ground hard observation.
+        assert!(parse_program("@observe Alarm(X).")
+            .unwrap_err()
+            .span
+            .is_some());
+        // Random observed value.
+        assert!(parse_program("@observe Flip<0.5> == Flip<0.5>.").is_err());
+        // Tags in the likelihood term.
+        assert!(parse_program("@observe Flip<0.5 | 1> == 1.").is_err());
+        // Missing `==`.
+        assert!(parse_program("@observe Flip<0.5>.").is_err());
+        // `@` without `observe`.
+        assert!(parse_program("@foo Alarm(h1).").is_err());
     }
 
     #[test]

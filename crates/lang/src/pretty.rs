@@ -4,7 +4,9 @@ use std::fmt;
 
 use gdatalog_data::ColType;
 
-use crate::ast::{AtomAst, GroundFactAst, Program, RelDeclAst, RuleAst, TermAst};
+use crate::ast::{
+    AtomAst, GroundFactAst, ObserveAst, ObserveKind, Program, RelDeclAst, RuleAst, TermAst,
+};
 
 impl fmt::Display for TermAst {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -104,6 +106,48 @@ impl fmt::Display for GroundFactAst {
     }
 }
 
+impl fmt::Display for ObserveAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@observe ")?;
+        match &self.kind {
+            ObserveKind::Hard { rel, values } => {
+                write!(f, "{rel}(")?;
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")?;
+            }
+            ObserveKind::Soft {
+                dist,
+                params,
+                value,
+            } => {
+                write!(f, "{dist}<")?;
+                for (i, p) in params.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, "> == {value}")?;
+            }
+        }
+        if !self.body.is_empty() {
+            write!(f, " :- ")?;
+            for (i, a) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{a}")?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
 impl fmt::Display for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for d in &self.decls {
@@ -114,6 +158,9 @@ impl fmt::Display for Program {
         }
         for r in &self.rules {
             writeln!(f, "{r}")?;
+        }
+        for o in &self.observes {
+            writeln!(f, "{o}")?;
         }
         Ok(())
     }

@@ -39,6 +39,7 @@ pub fn simulate_barany_in_grohe(program: &Program) -> Program {
         decls: program.decls.clone(),
         facts: program.facts.clone(),
         rules: Vec::new(),
+        observes: program.observes.clone(),
     };
     let mut sigs_done: HashSet<(String, usize, usize)> = HashSet::new();
 

@@ -33,13 +33,15 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use gdatalog_data::{Catalog, ColType, FunctionalDependency, Instance, RelId, RelationKind, Value};
+use gdatalog_data::{
+    Catalog, ColType, Fact, FunctionalDependency, Instance, RelId, RelationKind, Tuple, Value,
+};
 use gdatalog_datalog::{Atom as DlAtom, Term as DlTerm};
 use gdatalog_dist::{ParamDist, Registry};
 
 use crate::acyclicity::{weak_acyclicity, AcyclicityReport};
-use crate::ast::{Span, TermAst};
-use crate::validate::{rule_vars, ValidatedProgram};
+use crate::ast::{ObserveAst, ObserveKind, Span, TermAst};
+use crate::validate::{check_observe, rule_vars, ValidatedProgram};
 use crate::LangError;
 
 /// Which sample-once discipline to compile (see module docs).
@@ -93,6 +95,37 @@ pub struct ExistentialHead {
     pub key_terms: Vec<DlTerm>,
     /// One sampler per outcome column.
     pub samples: Vec<SampleSpec>,
+}
+
+/// One compiled observation: evidence the evaluation conditions on, as
+/// produced from `@observe` program clauses (at translation time) or from
+/// dynamic evidence text ([`compile_observations`]).
+///
+/// The conditional semantics is the one of Bárány et al.'s PPDL and the
+/// companion PPDB paper (Grohe et al.): a world's prior weight is
+/// multiplied by the indicator of every hard observation and by the
+/// likelihood of every soft observation (the density of the observed value
+/// under the distribution, once per valuation of the observation body),
+/// and the surviving mass is renormalized.
+#[derive(Debug, Clone)]
+pub enum CompiledObserve {
+    /// The world must contain this ground fact.
+    Hard {
+        /// The observed fact.
+        fact: gdatalog_data::Fact,
+    },
+    /// For every valuation of `body` over the world, multiply the world's
+    /// weight by the density of `value_term` under the distribution.
+    Soft {
+        /// Deterministic body atoms binding the observation's variables.
+        body: Vec<DlAtom>,
+        /// Number of body variables.
+        n_vars: usize,
+        /// The distribution and its parameter terms.
+        sample: SampleSpec,
+        /// The observed value (evaluated under the body valuation).
+        value_term: DlTerm,
+    },
 }
 
 /// A compiled rule is either deterministic (including the delivery rules
@@ -155,6 +188,10 @@ pub struct CompiledProgram {
     pub fds: Vec<FunctionalDependency>,
     /// Weak-acyclicity analysis of the source program (Thm. 6.3).
     pub acyclicity: AcyclicityReport,
+    /// Compiled `@observe` clauses — evidence every evaluation of this
+    /// program conditions on (extendable per request via
+    /// `Evaluation::given`).
+    pub observes: Vec<CompiledObserve>,
 }
 
 impl CompiledProgram {
@@ -244,6 +281,12 @@ impl CompiledProgram {
         let catalog = &self.catalog;
         instance.project_relations(|rel| catalog.decl(rel).kind() != RelationKind::Auxiliary)
     }
+
+    /// Whether the program carries `@observe` clauses (so every evaluation
+    /// is conditional).
+    pub fn has_observes(&self) -> bool {
+        !self.observes.is_empty()
+    }
 }
 
 /// Term-level helper: converts a deterministic AST term to a Datalog term
@@ -264,6 +307,132 @@ fn lower_term(
             "random term in a deterministic position",
         )),
     }
+}
+
+/// Lowers one (already checked) observation clause against a catalog and
+/// distribution family.
+fn lower_observe(
+    o: &ObserveAst,
+    catalog: &Catalog,
+    registry: &Registry,
+) -> Result<CompiledObserve, LangError> {
+    // Observations may only reference the output schema. Auxiliary
+    // experiment relations are an implementation detail, and — decisive
+    // for correctness — the Monte-Carlo backend weighs worlds after the
+    // aux projection while exact enumeration weighs them before it, so an
+    // aux reference would make the two backends disagree. (The text
+    // parser cannot produce `@…` names; this guards programmatically
+    // built ASTs.)
+    let require_output = |name: &str, span: Span| -> Result<RelId, LangError> {
+        let rel = catalog
+            .resolve(name)
+            .ok_or_else(|| LangError::at(span, format!("unknown relation `{name}`")))?;
+        if catalog.decl(rel).kind() == RelationKind::Auxiliary {
+            return Err(LangError::at(
+                span,
+                format!("observations cannot reference the auxiliary relation `{name}`"),
+            ));
+        }
+        Ok(rel)
+    };
+    match &o.kind {
+        ObserveKind::Hard { rel, values } => {
+            let rel_id = require_output(rel, o.span)?;
+            let tuple = Tuple::from(values.clone());
+            catalog
+                .check_tuple(rel_id, &tuple)
+                .map_err(|e| LangError::at(o.span, e.to_string()))?;
+            Ok(CompiledObserve::Hard {
+                fact: Fact::new(rel_id, tuple),
+            })
+        }
+        ObserveKind::Soft {
+            dist,
+            params,
+            value,
+        } => {
+            // Body variables in first-use order, as for rules.
+            let mut vars: Vec<String> = Vec::new();
+            for a in &o.body {
+                for v in a.vars() {
+                    if !vars.iter().any(|s| s == v) {
+                        vars.push(v.to_string());
+                    }
+                }
+            }
+            let var_ix: HashMap<String, usize> = vars
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (v.clone(), i))
+                .collect();
+            let body = o
+                .body
+                .iter()
+                .map(|a| {
+                    let rel = require_output(&a.rel, a.span)?;
+                    let arity = catalog.decl(rel).arity();
+                    if arity != a.args.len() {
+                        return Err(LangError::at(
+                            a.span,
+                            format!(
+                                "relation `{}` has arity {arity}, found {} argument(s)",
+                                a.rel,
+                                a.args.len()
+                            ),
+                        ));
+                    }
+                    let args = a
+                        .args
+                        .iter()
+                        .map(|t| lower_term(t, &var_ix, a.span))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Ok(DlAtom::new(rel, args))
+                })
+                .collect::<Result<Vec<_>, LangError>>()?;
+            let d = registry
+                .get(dist)
+                .ok_or_else(|| LangError::at(o.span, format!("unknown distribution `{dist}`")))?
+                .clone();
+            let param_terms = params
+                .iter()
+                .map(|p| lower_term(p, &var_ix, o.span))
+                .collect::<Result<Vec<_>, _>>()?;
+            let value_term = lower_term(value, &var_ix, o.span)?;
+            Ok(CompiledObserve::Soft {
+                body,
+                n_vars: vars.len(),
+                sample: SampleSpec {
+                    dist: d,
+                    param_terms,
+                },
+                value_term,
+            })
+        }
+    }
+}
+
+/// Compiles **dynamic evidence text** against an already-compiled program:
+/// the per-request counterpart of `@observe` program clauses, used by
+/// `Evaluation::given(...)`, the serving layer's `"given"` request member
+/// and `gdl query --given`. Accepts the same statements with the
+/// `@observe` prefix optional (`"Alarm(h1)."`,
+/// `"Normal<M, 1.0> == 2.5 :- Mu(M)."`).
+///
+/// # Errors
+/// Syntax errors, unknown relations/distributions, arity and type
+/// mismatches, unbound observation variables.
+pub fn compile_observations(
+    program: &CompiledProgram,
+    src: &str,
+) -> Result<Vec<CompiledObserve>, LangError> {
+    let parsed = crate::parser::parse_observations(src)?;
+    parsed
+        .iter()
+        .map(|o| {
+            check_observe(o, &program.registry)?;
+            lower_observe(o, &program.catalog, &program.registry)
+        })
+        .collect()
 }
 
 /// Translates a validated GDatalog program into its associated Datalog∃
@@ -538,6 +707,15 @@ pub fn translate(
         .map(|(id, _)| id)
         .collect();
 
+    // Lower the program's own `@observe` clauses against the final catalog
+    // (validation already checked their well-formedness).
+    let observes = validated
+        .program
+        .observes
+        .iter()
+        .map(|o| lower_observe(o, &catalog, &registry))
+        .collect::<Result<Vec<_>, _>>()?;
+
     Ok(CompiledProgram {
         catalog,
         registry,
@@ -548,6 +726,7 @@ pub fn translate(
         aux_relations,
         fds,
         acyclicity,
+        observes,
     })
 }
 
@@ -670,6 +849,41 @@ mod tests {
         let aux = c.aux_relations[0];
         // key = param 0.5 + tag X → 2 key cols + outcome.
         assert_eq!(c.catalog.decl(aux).arity(), 3);
+    }
+
+    #[test]
+    fn observations_cannot_reference_auxiliary_relations() {
+        // The text parser cannot spell `@…` names, but programmatically
+        // built ASTs could; the lowering must refuse them, because exact
+        // and Monte-Carlo backends weigh worlds on opposite sides of the
+        // aux projection.
+        let c = compile("R(Flip<0.5>) :- true.", SemanticsMode::Grohe);
+        let aux_name = c.catalog.name(c.aux_relations[0]).to_string();
+        let hard = ObserveAst {
+            kind: crate::ast::ObserveKind::Hard {
+                rel: aux_name.clone(),
+                values: vec![Value::real(0.5), Value::int(1)],
+            },
+            body: Vec::new(),
+            span: Span::default(),
+        };
+        let err = lower_observe(&hard, &c.catalog, &c.registry).unwrap_err();
+        assert!(err.message.contains("auxiliary"), "{err}");
+        let soft = ObserveAst {
+            kind: crate::ast::ObserveKind::Soft {
+                dist: "Flip".into(),
+                params: vec![TermAst::Const(Value::real(0.5))],
+                value: TermAst::Var("X".into()),
+            },
+            body: vec![crate::ast::AtomAst {
+                rel: aux_name,
+                args: vec![TermAst::Const(Value::real(0.5)), TermAst::Var("X".into())],
+                span: Span::default(),
+            }],
+            span: Span::default(),
+        };
+        let err = lower_observe(&soft, &c.catalog, &c.registry).unwrap_err();
+        assert!(err.message.contains("auxiliary"), "{err}");
     }
 
     #[test]

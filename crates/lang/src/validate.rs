@@ -10,7 +10,7 @@ use std::sync::Arc;
 use gdatalog_data::{Catalog, ColType, Instance, RelationKind, Tuple};
 use gdatalog_dist::Registry;
 
-use crate::ast::{AtomAst, Program, TermAst};
+use crate::ast::{AtomAst, ObserveAst, ObserveKind, Program, TermAst};
 use crate::LangError;
 
 /// A validated program: the AST plus the resolved catalog (extensional and
@@ -106,6 +106,18 @@ pub fn validate(program: Program, registry: Arc<Registry>) -> Result<ValidatedPr
         }
     }
 
+    // Observations: relations referenced by hard observations and by
+    // observation bodies enter the schema like any other reference.
+    for o in &program.observes {
+        if let ObserveKind::Hard { rel, values } = &o.kind {
+            touch(rel, values.len(), o.span, &mut rels)?;
+        }
+        for a in &o.body {
+            touch(&a.rel, a.args.len(), a.span, &mut rels)?;
+        }
+        check_observe(o, &registry)?;
+    }
+
     // Well-formedness per rule.
     for r in &program.rules {
         // Bodies deterministic (the parser already enforces this for text
@@ -186,11 +198,20 @@ pub fn validate(program: Program, registry: Arc<Registry>) -> Result<ValidatedPr
         }
     };
 
-    // Seed: facts flow value types into columns.
+    // Seed: facts flow value types into columns; hard observations flow
+    // like facts (they name tuples of the same relations).
     for f in &program.facts {
         let info = rels.get_mut(&f.rel).expect("touched");
         for (i, v) in f.values.iter().enumerate() {
             join(&mut info.inferred[i], v.type_of());
+        }
+    }
+    for o in &program.observes {
+        if let ObserveKind::Hard { rel, values } = &o.kind {
+            let info = rels.get_mut(rel).expect("touched");
+            for (i, v) in values.iter().enumerate() {
+                join(&mut info.inferred[i], v.type_of());
+            }
         }
     }
 
@@ -295,6 +316,79 @@ pub fn validate(program: Program, registry: Arc<Registry>) -> Result<ValidatedPr
         registry,
         initial_instance,
     })
+}
+
+/// Well-formedness of one observation clause: hard observations are ground
+/// and body-less; soft observations name a known distribution with an
+/// admissible parameter count, have deterministic bodies, and bind every
+/// parameter/value variable in the body (safety). Shared by program
+/// validation and the dynamic-evidence path
+/// ([`crate::translate::compile_observations`]).
+pub(crate) fn check_observe(o: &ObserveAst, registry: &Registry) -> Result<(), LangError> {
+    match &o.kind {
+        ObserveKind::Hard { .. } => {
+            // The parser only builds ground, body-less hard observations;
+            // re-check for programmatically constructed ASTs.
+            if !o.body.is_empty() {
+                return Err(LangError::at(
+                    o.span,
+                    "hard observations take no body (they are ground facts)",
+                ));
+            }
+            Ok(())
+        }
+        ObserveKind::Soft {
+            dist,
+            params,
+            value,
+        } => {
+            for a in &o.body {
+                if a.is_random() {
+                    return Err(LangError::at(
+                        a.span,
+                        "random terms are not allowed in observation bodies",
+                    ));
+                }
+            }
+            let d = registry
+                .get(dist)
+                .ok_or_else(|| LangError::at(o.span, format!("unknown distribution `{dist}`")))?;
+            if !d.arity().admits(params.len()) {
+                return Err(LangError::at(
+                    o.span,
+                    format!(
+                        "distribution `{dist}` expects {} parameter(s), found {}",
+                        d.arity(),
+                        params.len()
+                    ),
+                ));
+            }
+            if params.iter().any(TermAst::is_random) || value.is_random() {
+                return Err(LangError::at(
+                    o.span,
+                    "observation parameters and values must be deterministic",
+                ));
+            }
+            let mut body_vars: Vec<&str> = Vec::new();
+            for a in &o.body {
+                body_vars.extend(a.vars());
+            }
+            let mut used: Vec<&str> = Vec::new();
+            for p in params {
+                p.collect_vars(&mut used);
+            }
+            value.collect_vars(&mut used);
+            for v in used {
+                if !body_vars.contains(&v) {
+                    return Err(LangError::at(
+                        o.span,
+                        format!("observation variable `{v}` does not occur in the body"),
+                    ));
+                }
+            }
+            Ok(())
+        }
+    }
 }
 
 /// Convenience: collect the distinct variable names of a rule in first-use
@@ -424,6 +518,38 @@ mod tests {
             "{}",
             err.message
         );
+    }
+
+    #[test]
+    fn observations_validate() {
+        // Well-formed: hard ground fact + soft likelihood with bound vars.
+        let v = check(
+            r#"
+            rel Mu(real) input.
+            H(Normal<M, 1.0>) :- Mu(M).
+            @observe H(2.5).
+            @observe Normal<M, 1.0> == 2.5 :- Mu(M).
+        "#,
+        )
+        .unwrap();
+        assert_eq!(v.program.observes.len(), 2);
+        // A hard observation of an otherwise-unmentioned relation enters
+        // the catalog (as an extensional relation).
+        let v2 = check("R(Flip<0.5>) :- true. @observe Seen(1).").unwrap();
+        assert!(v2.catalog.resolve("Seen").is_some());
+    }
+
+    #[test]
+    fn malformed_observations_rejected() {
+        // Unknown distribution.
+        let err = check("@observe Zorp<0.5> == 1.").unwrap_err();
+        assert!(err.message.contains("unknown distribution"), "{err}");
+        // Wrong parameter count.
+        let err = check("@observe Normal<1.0> == 1.").unwrap_err();
+        assert!(err.message.contains("parameter"), "{err}");
+        // Unbound observation variable.
+        let err = check("rel Mu(real) input. @observe Normal<M, 1.0> == X :- Mu(M).").unwrap_err();
+        assert!(err.message.contains("`X`"), "{err}");
     }
 
     #[test]

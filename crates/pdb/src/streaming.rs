@@ -117,6 +117,111 @@ macro_rules! forkable {
 }
 
 // ---------------------------------------------------------------------------
+// Self-normalization (conditioning support).
+// ---------------------------------------------------------------------------
+
+/// Weight bookkeeping of a (possibly conditioned) observation stream: the
+/// total observed world weight, the sum of squared weights, and the world
+/// count — everything needed to self-normalize a statistic and to report
+/// the classical effective sample size `(Σw)² / Σw²` of importance
+/// sampling.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WeightStats {
+    /// Sum of observed world weights (the evidence mass: `P(evidence)` on
+    /// exact streams, the self-normalizing constant `1/N·ΣLᵢ` on
+    /// likelihood-weighted Monte-Carlo streams).
+    pub total: f64,
+    /// Sum of squared weights.
+    pub sq_total: f64,
+    /// Number of (nonzero-weight) world observations.
+    pub worlds: usize,
+}
+
+impl WeightStats {
+    /// Effective sample size `(Σw)² / Σw²` — equals the world count when
+    /// all weights are equal (unconditioned Monte-Carlo) and collapses
+    /// toward 1 when a few runs dominate the posterior.
+    pub fn ess(&self) -> f64 {
+        if self.sq_total > 0.0 {
+            self.total * self.total / self.sq_total
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Wraps an inner sink, forwarding every observation unchanged while
+/// accumulating [`WeightStats`] — the self-normalization device for
+/// conditioned evaluation: backends emit **unnormalized** posterior
+/// weights (prior × likelihood), the wrapper records their total, and the
+/// caller divides the inner statistic by [`WeightStats::total`].
+///
+/// Forks iff the inner sink forks, preserving the backends' deterministic
+/// chunked parallelism.
+#[derive(Debug)]
+pub struct NormalizingSink<S> {
+    inner: S,
+    stats: WeightStats,
+}
+
+impl<S: WorldSink + 'static> NormalizingSink<S> {
+    /// Wraps `inner`.
+    pub fn new(inner: S) -> NormalizingSink<S> {
+        NormalizingSink {
+            inner,
+            stats: WeightStats::default(),
+        }
+    }
+
+    /// The inner sink and the accumulated weight statistics.
+    pub fn finish(self) -> (S, WeightStats) {
+        (self.inner, self.stats)
+    }
+}
+
+impl<S: WorldSink + 'static> WorldSink for NormalizingSink<S> {
+    fn observe(&mut self, world: Instance, weight: f64) {
+        self.stats.total += weight;
+        self.stats.sq_total += weight * weight;
+        self.stats.worlds += 1;
+        self.inner.observe(world, weight);
+    }
+
+    fn observe_deficit(&mut self, kind: DeficitKind, weight: f64) {
+        self.inner.observe_deficit(kind, weight);
+    }
+
+    fn fork(&self) -> Option<Box<dyn WorldSink>> {
+        // The inner fork is an empty sink of the same concrete type (the
+        // `forkable!` contract), so the wrapper forks to a fresh wrapper.
+        let forked = self.inner.fork()?;
+        let inner = forked
+            .into_any()
+            .downcast::<S>()
+            .expect("fork returns the sink's own type");
+        Some(Box::new(NormalizingSink {
+            inner: *inner,
+            stats: WeightStats::default(),
+        }))
+    }
+
+    fn join(&mut self, forked: Box<dyn WorldSink>) {
+        let other = forked
+            .into_any()
+            .downcast::<NormalizingSink<S>>()
+            .expect("join requires a sink forked from self");
+        self.stats.total += other.stats.total;
+        self.stats.sq_total += other.stats.sq_total;
+        self.stats.worlds += other.stats.worlds;
+        self.inner.join(Box::new(other.inner));
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
 // World-table collector (exact results).
 // ---------------------------------------------------------------------------
 
@@ -415,6 +520,14 @@ impl WorldSink for MomentsSink {
 /// A probability-weighted fixed-bin histogram over a numeric column: bin
 /// `i` holds the expected number of facts per world whose column value
 /// falls into the bin (for Monte-Carlo streams, the average count per run).
+///
+/// The binned range is the half-open interval `[lo, hi)`, split into
+/// equal-width half-open bins `[lo + i·w, lo + (i+1)·w)`: a value exactly
+/// at `lo` lands in bin 0, a value exactly at `hi` counts as overflow, and
+/// every finite value lands in exactly one of bins / underflow / overflow.
+/// `NaN` values compare false against both bounds, so they are counted in
+/// their own [`nan`](ColumnHistogram::nan) bucket instead of being
+/// silently misfiled.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ColumnHistogram {
     /// Inclusive lower bound of the binned range.
@@ -427,6 +540,8 @@ pub struct ColumnHistogram {
     pub underflow: f64,
     /// Expected count of values at or above `hi`.
     pub overflow: f64,
+    /// Expected count of `NaN` values (orderable into no bin).
+    pub nan: f64,
     /// Total world mass observed (excludes deficits).
     pub mass: f64,
 }
@@ -438,9 +553,34 @@ impl ColumnHistogram {
         self.lo + (i as f64 + 0.5) * w
     }
 
-    /// Total expected count over all bins including under/overflow.
+    /// Total expected count over all bins including under/overflow and the
+    /// NaN bucket.
     pub fn total(&self) -> f64 {
-        self.bins.iter().sum::<f64>() + self.underflow + self.overflow
+        self.bins.iter().sum::<f64>() + self.underflow + self.overflow + self.nan
+    }
+
+    /// Deposits one value with the given weight, following the `[lo, hi)`
+    /// convention documented on the type: NaN goes to
+    /// [`nan`](ColumnHistogram::nan), values below `lo` to underflow,
+    /// values at or above `hi` to overflow, everything else to its
+    /// half-open bin. A hand-built histogram with no bins (the sink never
+    /// constructs one) counts in-range values as overflow rather than
+    /// indexing an empty bin vector.
+    pub fn deposit(&mut self, x: f64, weight: f64) {
+        // NaN fails both ordered comparisons below; without this arm it
+        // would fall through and be cast into bin 0 (`NaN as usize`
+        // saturates to 0) — route it to the explicit counter instead.
+        if x.is_nan() {
+            self.nan += weight;
+        } else if x < self.lo {
+            self.underflow += weight;
+        } else if x >= self.hi || self.bins.is_empty() {
+            self.overflow += weight;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let i = (((x - self.lo) / w) as usize).min(self.bins.len() - 1);
+            self.bins[i] += weight;
+        }
     }
 }
 
@@ -458,9 +598,14 @@ impl HistogramSink {
     /// bins spanning `[lo, hi)`.
     ///
     /// # Panics
-    /// Panics unless `lo < hi` and `bins > 0`.
+    /// Panics unless `lo < hi`, both bounds are finite (an infinite range
+    /// would make the bin width arithmetic produce NaN indices), and
+    /// `bins > 0`.
     pub fn new(rel: RelId, col: usize, lo: f64, hi: f64, bins: usize) -> HistogramSink {
-        assert!(lo < hi && bins > 0, "invalid histogram spec");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi && bins > 0,
+            "invalid histogram spec: need finite lo < hi and bins > 0"
+        );
         HistogramSink {
             rel,
             col,
@@ -470,6 +615,7 @@ impl HistogramSink {
                 bins: vec![0.0; bins],
                 underflow: 0.0,
                 overflow: 0.0,
+                nan: 0.0,
                 mass: 0.0,
             },
         }
@@ -496,6 +642,7 @@ impl HistogramSink {
         }
         self.hist.underflow += other.hist.underflow;
         self.hist.overflow += other.hist.overflow;
+        self.hist.nan += other.hist.nan;
         self.hist.mass += other.hist.mass;
     }
 }
@@ -503,20 +650,11 @@ impl HistogramSink {
 impl WorldSink for HistogramSink {
     fn observe(&mut self, world: Instance, weight: f64) {
         self.hist.mass += weight;
-        let h = &mut self.hist;
         for t in world.relation(self.rel) {
             let Some(x) = t[self.col].as_f64() else {
                 continue;
             };
-            if x < h.lo {
-                h.underflow += weight;
-            } else if x >= h.hi {
-                h.overflow += weight;
-            } else {
-                let w = (h.hi - h.lo) / h.bins.len() as f64;
-                let i = (((x - h.lo) / w) as usize).min(h.bins.len() - 1);
-                h.bins[i] += weight;
-            }
+            self.hist.deposit(x, weight);
         }
     }
 
@@ -652,6 +790,109 @@ mod tests {
         assert!((h.bins[5] - 0.25).abs() < 1e-12);
         assert!((h.total() - 1.25).abs() < 1e-12, "E[|R|]");
         assert!((h.mass - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_routes_nan_to_its_own_counter() {
+        // Regression: NaN fails both `< lo` and `>= hi` and `NaN as usize`
+        // is 0, so NaN used to be silently counted in bin 0. (The engine's
+        // own `Value` type rejects NaN at construction, but the histogram
+        // is public API and its binning arithmetic must stay total.)
+        let mut sink = HistogramSink::new(r(0), 0, 0.0, 10.0, 10);
+        let mut world = Instance::new();
+        world.insert(r(0), tuple![0.5]);
+        sink.observe(world, 1.0);
+        let mut h = sink.finish();
+        h.deposit(f64::NAN, 1.0);
+        assert!((h.nan - 1.0).abs() < 1e-12, "NaN counted explicitly");
+        assert!((h.bins[0] - 1.0).abs() < 1e-12, "only the real 0.5 value");
+        assert!(
+            (h.total() - 2.0).abs() < 1e-12,
+            "total includes the NaN bucket"
+        );
+        // Infinities are orderable and go to the flow counters, not NaN.
+        h.deposit(f64::INFINITY, 1.0);
+        h.deposit(f64::NEG_INFINITY, 1.0);
+        assert!((h.overflow - 1.0).abs() < 1e-12);
+        assert!((h.underflow - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deposit_is_total_on_a_binless_histogram() {
+        // All fields are pub, so a caller can hand-build a histogram with
+        // no bins; deposit must stay total instead of indexing bins[-1].
+        let mut h = ColumnHistogram {
+            lo: 0.0,
+            hi: 1.0,
+            bins: Vec::new(),
+            underflow: 0.0,
+            overflow: 0.0,
+            nan: 0.0,
+            mass: 0.0,
+        };
+        h.deposit(0.5, 1.0);
+        assert!((h.overflow - 1.0).abs() < 1e-12, "in-range → overflow");
+        h.deposit(-1.0, 1.0);
+        assert!((h.underflow - 1.0).abs() < 1e-12);
+        assert!((h.total() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid histogram spec")]
+    fn histogram_rejects_infinite_bounds() {
+        // An infinite range makes the bin-width arithmetic produce NaN
+        // indices (everything would land in bin 0).
+        let _ = HistogramSink::new(r(0), 0, f64::NEG_INFINITY, f64::INFINITY, 10);
+    }
+
+    #[test]
+    fn histogram_bin_convention_is_half_open() {
+        // [lo, hi) with half-open bins: lo lands in bin 0, hi overflows.
+        let mut sink = HistogramSink::new(r(0), 0, 0.0, 2.0, 2);
+        let mut world = Instance::new();
+        world.insert(r(0), tuple![0.0]);
+        world.insert(r(0), tuple![1.0]);
+        world.insert(r(0), tuple![2.0]);
+        sink.observe(world, 1.0);
+        let h = sink.finish();
+        assert!((h.bins[0] - 1.0).abs() < 1e-12, "lo is inclusive");
+        assert!((h.bins[1] - 1.0).abs() < 1e-12, "interior boundary goes up");
+        assert!((h.overflow - 1.0).abs() < 1e-12, "hi is exclusive");
+    }
+
+    #[test]
+    fn normalizing_sink_tracks_totals_and_ess() {
+        let mut sink = NormalizingSink::new(MarginalSink::new(Fact::new(r(0), tuple![1i64])));
+        let mut with = Instance::new();
+        with.insert(r(0), tuple![1i64]);
+        sink.observe(with.clone(), 0.6);
+        sink.observe(Instance::new(), 0.2);
+        sink.observe_deficit(DeficitKind::Nontermination, 0.2);
+        let (inner, stats) = sink.finish();
+        assert!((stats.total - 0.8).abs() < 1e-12, "deficits excluded");
+        assert_eq!(stats.worlds, 2);
+        // Self-normalized conditional marginal.
+        assert!((inner.finish() / stats.total - 0.75).abs() < 1e-12);
+        // ESS: (0.8)^2 / (0.36 + 0.04) = 1.6.
+        assert!((stats.ess() - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalizing_sink_forks_and_joins_with_inner() {
+        let mut main = NormalizingSink::new(MarginalSink::new(Fact::new(r(0), tuple![1i64])));
+        let mut w1 = main.fork().unwrap();
+        let mut w2 = main.fork().unwrap();
+        let mut d = Instance::new();
+        d.insert(r(0), tuple![1i64]);
+        w1.observe(d.clone(), 0.25);
+        w2.observe(d, 0.5);
+        w2.observe(Instance::new(), 0.25);
+        main.join(w1);
+        main.join(w2);
+        let (inner, stats) = main.finish();
+        assert!((stats.total - 1.0).abs() < 1e-12);
+        assert_eq!(stats.worlds, 3);
+        assert!((inner.finish() - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -62,6 +62,7 @@ impl Json {
         let mut p = Parser {
             bytes: src.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let value = p.value()?;
@@ -195,9 +196,19 @@ pub fn escape(s: &str) -> String {
     out
 }
 
+/// Maximum container nesting the parser accepts. The reader is
+/// recursive-descent, so each `[`/`{` level consumes a stack frame; an
+/// adversarial batch request (`[[[[…`) must hit a parse error, not
+/// overflow the serving process's stack. 128 levels is far beyond any
+/// legitimate batch document while keeping recursion bounded at a few
+/// kilobytes of stack.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting level (see [`MAX_DEPTH`]).
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -236,10 +247,31 @@ impl Parser<'_> {
         }
     }
 
+    /// Enters one container level, erroring out at [`MAX_DEPTH`].
+    fn descend(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(format!(
+                "nesting deeper than {MAX_DEPTH} levels is not accepted"
+            )));
+        }
+        Ok(())
+    }
+
     fn value(&mut self) -> Result<Json, JsonError> {
         match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(b'{') => {
+                self.descend()?;
+                let v = self.object();
+                self.depth -= 1;
+                v
+            }
+            Some(b'[') => {
+                self.descend()?;
+                let v = self.array();
+                self.depth -= 1;
+                v
+            }
             Some(b'"') => Ok(Json::Str(self.string()?)),
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
@@ -454,6 +486,27 @@ mod tests {
         assert_eq!(Json::Num(1.5).as_usize(), None);
         assert_eq!(Json::Num(-1.0).as_usize(), None);
         assert_eq!(Json::Num(2f64.powi(54)).as_usize(), None);
+    }
+
+    #[test]
+    fn depth_cap_rejects_adversarial_nesting() {
+        // An adversarial batch body like `[[[[…` must produce a parse
+        // error, not a stack overflow in the serving process.
+        // 100 levels: fine.
+        let ok = format!("{}0{}", "[".repeat(100), "]".repeat(100));
+        assert!(Json::parse(&ok).is_ok());
+        // 1 million levels: a clean error (would overflow without the cap).
+        let deep = "[".repeat(1_000_000);
+        let err = Json::parse(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        // Objects are capped too.
+        let deep_obj = "{\"k\":".repeat(200) + "0" + &"}".repeat(200);
+        assert!(Json::parse(&deep_obj).is_err());
+        // Exactly at the cap parses; one past it does not.
+        let at = format!("{}0{}", "[".repeat(128), "]".repeat(128));
+        assert!(Json::parse(&at).is_ok());
+        let past = format!("{}0{}", "[".repeat(129), "]".repeat(129));
+        assert!(Json::parse(&past).is_err());
     }
 
     #[test]

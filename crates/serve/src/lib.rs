@@ -66,7 +66,7 @@ pub mod request;
 pub mod server;
 
 pub use cache::{CacheStats, PreparedModel, ProgramCache};
-pub use pool::{PooledSession, SessionPool};
+pub use pool::{PooledSession, SessionPool, DEFAULT_MAX_IDLE};
 pub use request::{fact_text, BackendSpec, QueryKind, Request, Response};
 pub use server::{execute_on, BatchExecutor, Server};
 

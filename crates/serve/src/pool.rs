@@ -38,21 +38,45 @@ use gdatalog_core::Session;
 
 use crate::cache::PreparedModel;
 
+/// Default [`SessionPool::max_idle`]: enough warm sessions for any
+/// realistic worker count while bounding a bursty pool's steady-state
+/// footprint.
+pub const DEFAULT_MAX_IDLE: usize = 64;
+
 /// A pool of warm sessions over one prepared model.
+///
+/// The idle list is **capped**: a burst of concurrent checkouts may create
+/// many sessions, but on return only up to [`max_idle`](SessionPool::max_idle)
+/// are retained — surplus sessions are dropped, so the pool shrinks back
+/// to its cap instead of pinning the burst's peak memory forever.
 pub struct SessionPool {
     model: Arc<PreparedModel>,
     idle: Mutex<Vec<Session>>,
     created: AtomicUsize,
+    max_idle: usize,
 }
 
 impl SessionPool {
-    /// An empty pool over `model` (sessions are created on demand).
+    /// An empty pool over `model` (sessions are created on demand), with
+    /// the default idle cap [`DEFAULT_MAX_IDLE`].
     pub fn new(model: Arc<PreparedModel>) -> SessionPool {
+        SessionPool::with_max_idle(model, DEFAULT_MAX_IDLE)
+    }
+
+    /// An empty pool retaining at most `max_idle` warm sessions (0 means
+    /// never retain — every checkout creates a fresh session).
+    pub fn with_max_idle(model: Arc<PreparedModel>, max_idle: usize) -> SessionPool {
         SessionPool {
             model,
             idle: Mutex::new(Vec::new()),
             created: AtomicUsize::new(0),
+            max_idle,
         }
+    }
+
+    /// The maximum number of idle sessions retained on return.
+    pub fn max_idle(&self) -> usize {
+        self.max_idle
     }
 
     /// The model the pool serves.
@@ -88,7 +112,13 @@ impl SessionPool {
 
     fn give_back(&self, mut session: Session) {
         session.reset();
-        self.idle.lock().expect("pool poisoned").push(session);
+        let mut idle = self.idle.lock().expect("pool poisoned");
+        // Enforce the idle cap on return: dropping the surplus session here
+        // (rather than refusing checkouts) keeps bursts fully served while
+        // guaranteeing the pool shrinks back afterwards.
+        if idle.len() < self.max_idle {
+            idle.push(session);
+        }
     }
 }
 
@@ -170,6 +200,40 @@ mod tests {
         assert_eq!(pool.idle(), 2);
         let _c = pool.checkout();
         assert_eq!(pool.created(), 2, "warm session reused");
+    }
+
+    #[test]
+    fn bursty_checkout_shrinks_back_to_max_idle() {
+        let model = Arc::new(
+            PreparedModel::compile(
+                "rel City(symbol) input. Quake(C, Flip<0.4>) :- City(C).",
+                SemanticsMode::Grohe,
+            )
+            .unwrap(),
+        );
+        let pool = SessionPool::with_max_idle(model, 2);
+        // A burst of 5 concurrent checkouts creates 5 sessions …
+        let burst: Vec<_> = (0..5).map(|_| pool.checkout()).collect();
+        assert_eq!(pool.created(), 5);
+        drop(burst);
+        // … but only max_idle survive the return.
+        assert_eq!(pool.idle(), 2, "surplus sessions dropped on return");
+        // Subsequent traffic reuses the retained sessions.
+        drop(pool.checkout());
+        assert_eq!(pool.created(), 5, "no new session needed");
+        assert_eq!(pool.idle(), 2);
+    }
+
+    #[test]
+    fn zero_max_idle_disables_retention() {
+        let model = Arc::new(
+            PreparedModel::compile("R(Flip<0.5>) :- true.", SemanticsMode::Grohe).unwrap(),
+        );
+        let pool = SessionPool::with_max_idle(model, 0);
+        drop(pool.checkout());
+        assert_eq!(pool.idle(), 0);
+        drop(pool.checkout());
+        assert_eq!(pool.created(), 2, "every checkout is fresh");
     }
 
     #[test]

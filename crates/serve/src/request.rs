@@ -90,8 +90,13 @@ pub struct Request {
     /// What to compute.
     pub query: QueryKind,
     /// Ground facts (program syntax) inserted into the session before
-    /// evaluation — the request's evidence.
+    /// evaluation — the request's **input** facts.
     pub evidence: Option<String>,
+    /// Observation statements to **condition** on (`@observe` syntax with
+    /// the prefix optional): hard ground facts (`"Alarm(h0)."`) and soft
+    /// likelihood statements (`"Normal<M, 1.0> == 2.5 :- Mu(M)."`). The
+    /// answer is then the posterior given this evidence, self-normalized.
+    pub given: Option<String>,
     /// Evaluation strategy.
     pub backend: BackendSpec,
     /// Monte-Carlo run count (applies when the Monte-Carlo backend is
@@ -108,6 +113,7 @@ impl Request {
         Request {
             query,
             evidence: None,
+            given: None,
             backend: BackendSpec::Auto,
             runs: None,
             seed: None,
@@ -152,9 +158,16 @@ impl Request {
         })
     }
 
-    /// Sets the request's evidence facts.
+    /// Sets the request's input facts.
     pub fn evidence(mut self, facts: impl Into<String>) -> Request {
         self.evidence = Some(facts.into());
+        self
+    }
+
+    /// Conditions the request on observation statements (the wire
+    /// counterpart of `Evaluation::given`).
+    pub fn given(mut self, observations: impl Into<String>) -> Request {
+        self.given = Some(observations.into());
         self
     }
 
@@ -290,6 +303,7 @@ impl Request {
         Ok(Request {
             query,
             evidence: opt_str("evidence")?,
+            given: opt_str("given")?,
             backend,
             runs: opt_usize("runs")?,
             seed: opt_u64("seed")?,
@@ -345,6 +359,7 @@ impl Response {
                 ),
                 ("underflow".into(), Json::Num(h.underflow)),
                 ("overflow".into(), Json::Num(h.overflow)),
+                ("nan".into(), Json::Num(h.nan)),
                 ("mass".into(), Json::Num(h.mass)),
             ]),
             Response::Marginals(rows) => Json::Obj(vec![

@@ -57,6 +57,9 @@ pub fn execute_on(session: &mut Session, request: &Request) -> Result<Response, 
     if let Some(depth) = request.max_depth {
         eval = eval.max_depth(depth);
     }
+    if let Some(given) = &request.given {
+        eval = eval.given(given.clone());
+    }
     eval = if mc {
         eval.sample(request.runs.unwrap_or(10_000))
     } else {
@@ -132,10 +135,12 @@ pub fn execute_on(session: &mut Session, request: &Request) -> Result<Response, 
                     "column {col} out of range (arity {arity})"
                 )));
             }
-            // `partial_cmp` so NaN bounds are rejected too.
-            if lo.partial_cmp(hi) != Some(std::cmp::Ordering::Less) || *bins == 0 {
+            // Finiteness required: JSON can smuggle ±∞ in via `1e999`, and
+            // an infinite range breaks the bin-width arithmetic. NaN fails
+            // `is_finite` too.
+            if !lo.is_finite() || !hi.is_finite() || lo >= hi || *bins == 0 {
                 return Err(ServeError::BadRequest(format!(
-                    "invalid histogram spec: need lo < hi and bins > 0 \
+                    "invalid histogram spec: need finite lo < hi and bins > 0 \
                      (got lo {lo}, hi {hi}, bins {bins})"
                 )));
             }
@@ -407,6 +412,60 @@ mod tests {
         };
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].0, "Alarm(a)");
+    }
+
+    #[test]
+    fn conditional_requests_answer_the_posterior() {
+        // P(Earthquake=1 | Alarm) = 1 under this program: alarms only
+        // fire on earthquakes.
+        let server = Server::from_source(SRC, SemanticsMode::Grohe)
+            .unwrap()
+            .threads(2);
+        let prior = Request::marginal("Earthquake(a, 1)")
+            .evidence("City(a, 0.3).")
+            .exact();
+        let posterior = Request::marginal("Earthquake(a, 1)")
+            .evidence("City(a, 0.3).")
+            .given("Alarm(a).")
+            .exact();
+        let answers = server.batch(&[prior.clone(), posterior.clone()]);
+        assert_eq!(answers[0].as_ref().unwrap(), &Response::Marginal(0.3));
+        assert_eq!(answers[1].as_ref().unwrap(), &Response::Marginal(1.0));
+        // Batched conditional answers are identical to the single-request
+        // path (the acceptance criterion for serving-layer conditioning).
+        let single = server.execute(&posterior).unwrap();
+        assert_eq!(&single, answers[1].as_ref().unwrap());
+    }
+
+    #[test]
+    fn conditional_mc_requests_are_deterministic_and_batch_equals_single() {
+        let server1 = Server::from_source(SRC, SemanticsMode::Grohe).unwrap();
+        let server4 = Server::from_source(SRC, SemanticsMode::Grohe)
+            .unwrap()
+            .threads(4);
+        let requests: Vec<Request> = (0..6)
+            .map(|i| {
+                Request::marginal(format!("Earthquake(c{i}, 1)"))
+                    .evidence(format!("City(c{i}, 0.3)."))
+                    .given(format!("Alarm(c{i})."))
+                    .mc(4_000)
+                    .seed(i as u64)
+            })
+            .collect();
+        let a = server1.batch(&requests);
+        let b = server4.batch(&requests);
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            let (Response::Marginal(p), Response::Marginal(q)) =
+                (x.as_ref().unwrap(), y.as_ref().unwrap())
+            else {
+                panic!()
+            };
+            assert_eq!(p.to_bits(), q.to_bits(), "slot {i}");
+            assert!((p - 1.0).abs() < 1e-12, "posterior is 1 here");
+            // Single-request path bit-identical to the batch slot.
+            let single = server1.execute(&requests[i]).unwrap();
+            assert_eq!(&single, x.as_ref().unwrap());
+        }
     }
 
     #[test]

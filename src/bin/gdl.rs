@@ -7,7 +7,7 @@
 //!                       [--threads N] [--input facts.gdl] [--format json]
 //! gdl query  <file.gdl> <marginal|expectation|histogram> <Relation>
 //!                       [--agg count|sum|avg|min|max] [--col K]
-//!                       [--lo X --hi Y --bins N]
+//!                       [--lo X --hi Y --bins N] [--given "observations"]
 //!                       [--exact | --mc] [--runs N] [--seed S] [--steps N]
 //!                       [--threads N] [--input facts.gdl] [--format json]
 //! gdl batch  <requests.json> [--threads N] [--format json]
@@ -18,6 +18,12 @@
 //! is compiled once, `--input` facts extend the session's extensional
 //! database, and the builder picks exact enumeration or streaming
 //! Monte-Carlo automatically (`--exact` / `--mc` force a backend).
+//!
+//! `query --given "<observations>"` **conditions** the query: the argument
+//! takes `@observe` statements with the prefix optional — hard ground
+//! facts (`"Alarm(h1)."`) and soft likelihood statements
+//! (`"Normal<M, 1.0> == 2.5 :- Mu(M)."`) — and the answer is the
+//! posterior (exact renormalization or likelihood-weighted Monte-Carlo).
 //!
 //! `batch` is the serving path (`gdatalog::serve`): the document names a
 //! program (by path or inline source) and a list of independent requests
@@ -79,6 +85,7 @@ struct Args {
     /// reject flags they would otherwise silently ignore.
     seen_flags: Vec<String>,
     input: Option<String>,
+    given: Option<String>,
     format: Format,
     force: ForceBackend,
     agg: AggFun,
@@ -106,6 +113,7 @@ fn parse_args() -> Result<Args, String> {
         threads_set: false,
         seen_flags: Vec::new(),
         input: None,
+        given: None,
         format: Format::Text,
         force: ForceBackend::Auto,
         agg: AggFun::Count,
@@ -137,6 +145,7 @@ fn parse_args() -> Result<Args, String> {
                 args.threads_set = true;
             }
             "--input" => args.input = Some(take("--input")?),
+            "--given" => args.given = Some(take("--given")?),
             "--format" => {
                 args.format = match take("--format")?.as_str() {
                     "json" => Format::Json,
@@ -199,11 +208,14 @@ fn configure<'a>(session: &'a Session, args: &Args) -> Evaluation<'a> {
         ForceBackend::Exact => false,
         ForceBackend::Auto => !session.program().all_discrete(),
     };
-    let eval = session
+    let mut eval = session
         .eval()
         .seed(args.seed)
         .threads(args.threads)
         .max_depth(if mc { args.steps } else { args.depth });
+    if let Some(given) = &args.given {
+        eval = eval.given(given.clone());
+    }
     if mc {
         eval.sample(args.runs)
     } else if args.force == ForceBackend::Exact {
@@ -220,8 +232,8 @@ fn run_batch(args: &Args) -> Result<(), String> {
     // these flags here and then ignoring them would silently change what
     // the user asked for.
     const NOT_FOR_BATCH: &[&str] = &[
-        "--runs", "--seed", "--steps", "--depth", "--input", "--exact", "--mc", "--agg", "--col",
-        "--lo", "--hi", "--bins",
+        "--runs", "--seed", "--steps", "--depth", "--input", "--given", "--exact", "--mc", "--agg",
+        "--col", "--lo", "--hi", "--bins",
     ];
     if let Some(flag) = args
         .seen_flags
@@ -346,6 +358,17 @@ fn run() -> Result<(), String> {
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
 
+    // `--given` conditions `query` and `exact`; accepting it elsewhere and
+    // then ignoring it would silently answer the prior as if it were the
+    // posterior (the same silent-flag-drop `batch` guards against).
+    if args.given.is_some() && !matches!(args.command.as_str(), "query" | "exact") {
+        return Err(format!(
+            "--given does not apply to `{}`; use `query … --given` (posterior \
+             statistics) or `exact --given` (renormalized posterior world table)",
+            args.command
+        ));
+    }
+
     match args.command.as_str() {
         "check" => {
             let n_exist = program.rules.iter().filter(|r| r.is_existential()).count();
@@ -373,12 +396,11 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "exact" => {
-            let worlds = session
-                .eval()
-                .exact()
-                .max_depth(args.depth)
-                .worlds()
-                .map_err(|e| e.to_string())?;
+            let mut eval = session.eval().exact().max_depth(args.depth);
+            if let Some(given) = &args.given {
+                eval = eval.given(given.clone());
+            }
+            let worlds = eval.worlds().map_err(|e| e.to_string())?;
             match args.format {
                 Format::Text => {
                     for (text, p) in worlds.table(&program.catalog) {
@@ -563,9 +585,9 @@ fn run_query(args: &Args, session: &Session, out: &mut impl std::io::Write) -> R
                 (Some(lo), Some(hi)) => (lo, hi),
                 _ => return Err("histogram needs --lo and --hi".to_string()),
             };
-            if lo.is_nan() || hi.is_nan() || lo >= hi || args.bins == 0 {
+            if !lo.is_finite() || !hi.is_finite() || lo >= hi || args.bins == 0 {
                 return Err(format!(
-                    "invalid histogram spec: need --lo < --hi and --bins > 0 \
+                    "invalid histogram spec: need finite --lo < --hi and --bins > 0 \
                      (got lo {lo}, hi {hi}, bins {})",
                     args.bins
                 ));
@@ -623,6 +645,7 @@ fn main() -> ExitCode {
                 "usage: gdl <check|exact|sample|query|batch|tree> <file.gdl> [args]\n\
                  \x20 query: gdl query <file.gdl> <marginal|expectation|histogram> <Relation>\n\
                  \x20        [--agg count|sum|avg|min|max] [--col K] [--lo X --hi Y --bins N]\n\
+                 \x20        [--given \"Alarm(h1). Normal<M, 1.0> == 2.5 :- Mu(M).\"]\n\
                  \x20 batch: gdl batch <requests.json> [--threads N] [--format json]\n\
                  \x20 flags: [--barany] [--runs N] [--seed S] [--steps N] [--depth N]\n\
                  \x20        [--threads N] [--input facts.gdl] [--format json] [--exact|--mc]"

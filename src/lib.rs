@@ -74,15 +74,15 @@ pub use gdatalog_stats as stats;
 pub mod prelude {
     pub use gdatalog_core::{
         Backend, ChasePolicy, ChaseVariant, Engine, EngineError, EvalJob, EvalOptions, Evaluation,
-        ExactConfig, ExactParallelBackend, ExactSequentialBackend, McBackend, McConfig, PolicyKind,
-        PreparedProgram, Session,
+        EvidenceSummary, ExactConfig, ExactParallelBackend, ExactSequentialBackend, McBackend,
+        McConfig, PolicyKind, PreparedProgram, Session,
     };
     pub use gdatalog_data::{tuple, Catalog, ColType, Fact, Instance, RelId, Tuple, Value};
     pub use gdatalog_dist::{ParamDist, Registry};
     pub use gdatalog_lang::{Program, SemanticsMode};
     pub use gdatalog_pdb::{
-        AggFun, ColPred, ColumnHistogram, EmpiricalPdb, Event, FactSet, Moments, PossibleWorlds,
-        Query, WorldSink,
+        AggFun, ColPred, ColumnHistogram, EmpiricalPdb, Event, FactSet, Moments, NormalizingSink,
+        PossibleWorlds, Query, WeightStats, WorldSink,
     };
     pub use gdatalog_serve::{
         BatchExecutor, PreparedModel, ProgramCache, Request, Response, ServeError, Server,

@@ -1,0 +1,213 @@
+//! Acceptance suite for conditioning (PR 4): likelihood-weighted
+//! Monte-Carlo posteriors converge to the exactly-enumerated renormalized
+//! conditional, the weighted run stream is bit-identical for a fixed seed
+//! across worker counts, and a conditional batch request through the
+//! serving layer answers exactly like the single-session path.
+
+use gdatalog::pdb::{DeficitKind, WorldSink};
+use gdatalog::prelude::*;
+
+/// A diagnostic chain with a non-trivial posterior: quakes are rare, but
+/// alarms are much likelier under a quake.
+const DIAGNOSIS: &str = r#"
+    Quake(Flip<0.2>) :- true.
+    Trig(Flip<0.7>) :- Quake(1).
+    Trig(Flip<0.1>) :- Quake(0).
+    Alarm() :- Trig(1).
+"#;
+
+#[test]
+fn lw_mc_posterior_converges_to_exact_renormalized_conditional() {
+    let session = Session::from_source(DIAGNOSIS, SemanticsMode::Grohe).unwrap();
+    let quake = session.program().catalog.require("Quake").unwrap();
+    let fact = Fact::new(quake, tuple![1i64]);
+
+    // Exact conditional: filter + renormalize the enumerated table.
+    let exact = session
+        .eval()
+        .exact()
+        .given("Alarm().")
+        .marginal(&fact)
+        .unwrap();
+    // Bayes by hand: 0.2·0.7 / (0.2·0.7 + 0.8·0.1).
+    assert!((exact - 0.14 / 0.22).abs() < 1e-12);
+
+    // The exact parallel chase renormalizes to the same conditional.
+    let exact_par = session
+        .eval()
+        .exact_parallel()
+        .given("Alarm().")
+        .marginal(&fact)
+        .unwrap();
+    assert!((exact_par - exact).abs() < 1e-12);
+
+    // Likelihood-weighted MC converges (seeded, fixed tolerance).
+    for seed in [3, 7, 1234] {
+        let mc = session
+            .eval()
+            .sample(60_000)
+            .seed(seed)
+            .given("Alarm().")
+            .marginal(&fact)
+            .unwrap();
+        assert!((mc - exact).abs() < 0.02, "seed {seed}: {mc} vs {exact}");
+    }
+
+    // Soft evidence too: observing a Flip outcome directly weights by its
+    // pmf, which for a discrete program must match exact conditioning.
+    let soft = "Flip<0.7> == 1 :- Quake(1).";
+    let exact_soft = session.eval().exact().given(soft).marginal(&fact).unwrap();
+    let mc_soft = session
+        .eval()
+        .sample(60_000)
+        .seed(5)
+        .given(soft)
+        .marginal(&fact)
+        .unwrap();
+    assert!((mc_soft - exact_soft).abs() < 0.02);
+}
+
+#[test]
+fn posterior_world_table_is_renormalized_on_both_backends() {
+    let session = Session::from_source(DIAGNOSIS, SemanticsMode::Grohe).unwrap();
+    let exact = session.eval().exact().given("Alarm().").worlds().unwrap();
+    assert!((exact.mass() - 1.0).abs() < 1e-12, "posterior sums to 1");
+    assert_eq!(exact.deficit().total(), 0.0);
+    let mc = session
+        .eval()
+        .sample(20_000)
+        .seed(9)
+        .given("Alarm().")
+        .worlds()
+        .unwrap();
+    assert!((mc.mass() - 1.0).abs() < 1e-12);
+    assert!(exact.total_variation(&mc) < 0.03);
+}
+
+/// Records every observation as `(canonical world text, weight bits)` so
+/// streams can be compared **bitwise** as multisets across worker counts.
+struct RecordingSink {
+    catalog: Catalog,
+    rows: Vec<(String, u64)>,
+}
+
+impl WorldSink for RecordingSink {
+    fn observe(&mut self, world: Instance, weight: f64) {
+        self.rows.push((
+            gdatalog::data::canonical_text(&world, &self.catalog),
+            weight.to_bits(),
+        ));
+    }
+
+    fn observe_deficit(&mut self, _kind: DeficitKind, _weight: f64) {}
+
+    fn fork(&self) -> Option<Box<dyn WorldSink>> {
+        Some(Box::new(RecordingSink {
+            catalog: self.catalog.clone(),
+            rows: Vec::new(),
+        }))
+    }
+
+    fn join(&mut self, forked: Box<dyn WorldSink>) {
+        let other = forked
+            .into_any()
+            .downcast::<RecordingSink>()
+            .expect("forked from self");
+        self.rows.extend(other.rows);
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
+#[test]
+fn weighted_run_stream_is_bit_identical_across_worker_counts() {
+    let session = Session::from_source(DIAGNOSIS, SemanticsMode::Grohe).unwrap();
+    let catalog = session.program().catalog.clone();
+    let stream = |threads: usize| {
+        let mut sink = RecordingSink {
+            catalog: catalog.clone(),
+            rows: Vec::new(),
+        };
+        session
+            .eval()
+            .sample(8_000)
+            .seed(42)
+            .threads(threads)
+            .given("Alarm().")
+            .collect_into(&mut sink)
+            .unwrap();
+        let mut rows = sink.rows;
+        rows.sort();
+        rows
+    };
+    let reference = stream(1);
+    assert!(!reference.is_empty());
+    for threads in [2, 3, 4, 8] {
+        assert_eq!(
+            reference,
+            stream(threads),
+            "the multiset of (world, weight) observations must be \
+             bit-identical for {threads} workers"
+        );
+    }
+    // Repeat runs are bit-identical too.
+    assert_eq!(reference, stream(1));
+}
+
+#[test]
+fn conditional_batch_through_serve_equals_single_session_path() {
+    let server = Server::from_source(DIAGNOSIS, SemanticsMode::Grohe)
+        .unwrap()
+        .threads(4);
+    let requests: Vec<Request> = vec![
+        Request::marginal("Quake(1)").given("Alarm().").exact(),
+        Request::marginal("Quake(1)")
+            .given("Alarm().")
+            .mc(20_000)
+            .seed(7),
+        Request::marginals("Quake").given("Alarm().").exact(),
+        Request::probability("Quake(1)").given("Alarm()."),
+    ];
+    let batched = server.batch(&requests);
+    for (i, request) in requests.iter().enumerate() {
+        let single = server.execute(request).unwrap();
+        assert_eq!(&single, batched[i].as_ref().unwrap(), "slot {i}");
+    }
+    // And both agree with the session API directly.
+    let session = Session::from_source(DIAGNOSIS, SemanticsMode::Grohe).unwrap();
+    let quake = session.program().catalog.require("Quake").unwrap();
+    let expect = session
+        .eval()
+        .exact()
+        .given("Alarm().")
+        .marginal(&Fact::new(quake, tuple![1i64]))
+        .unwrap();
+    let Response::Marginal(p) = batched[0].as_ref().unwrap() else {
+        panic!("marginal expected");
+    };
+    assert_eq!(p.to_bits(), expect.to_bits());
+}
+
+#[test]
+fn evidence_summary_reports_mass_and_ess() {
+    let session = Session::from_source(DIAGNOSIS, SemanticsMode::Grohe).unwrap();
+    // Exact: the evidence mass is P(Alarm) = 0.2·0.7 + 0.8·0.1 = 0.22.
+    let exact = session.eval().exact().given("Alarm().").evidence().unwrap();
+    assert!((exact.mass - 0.22).abs() < 1e-12);
+    // MC: the self-normalizing constant estimates the same quantity, and
+    // the ESS is bounded by the number of surviving runs.
+    let mc = session
+        .eval()
+        .sample(30_000)
+        .seed(21)
+        .given("Alarm().")
+        .evidence()
+        .unwrap();
+    assert!((mc.mass - 0.22).abs() < 0.02);
+    assert!(mc.ess > 0.0 && mc.ess <= mc.worlds as f64 + 1e-9);
+    // Hard evidence only: all surviving weights are equal, so ESS equals
+    // the surviving run count exactly.
+    assert!((mc.ess - mc.worlds as f64).abs() < 1e-6);
+}

@@ -1,15 +1,11 @@
 //! Integration test: the full matrix of Example 1.1 — programs G0, Gε, G′0
 //! under both semantics, with the paper's exact probabilities.
 
-#![allow(deprecated)] // exercises the legacy Engine entry points (now shims over Evaluation)
-
 use gdatalog::prelude::*;
 
 fn worlds(src: &str, mode: SemanticsMode) -> (Engine, PossibleWorlds) {
     let engine = Engine::from_source(src, mode).expect("valid program");
-    let w = engine
-        .enumerate(None, ExactConfig::default())
-        .expect("discrete");
+    let w = engine.eval().exact().worlds().expect("discrete");
     (engine, w)
 }
 

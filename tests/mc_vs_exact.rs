@@ -1,8 +1,6 @@
 //! Integration test: Monte-Carlo sampling converges to the exact world
 //! table (chi-square GOF on the world distribution, plus marginals).
 
-#![allow(deprecated)] // exercises the legacy Engine entry points (now shims over Evaluation)
-
 use std::collections::BTreeMap;
 
 use gdatalog::prelude::*;
@@ -18,17 +16,13 @@ fn mc_matches_exact_world_distribution() {
         Alarm(C) :- Trig(C, 1).
     "#;
     let engine = Engine::from_source(src, SemanticsMode::Grohe).unwrap();
-    let exact = engine.enumerate(None, ExactConfig::default()).unwrap();
+    let exact = engine.eval().exact().worlds().unwrap();
     let pdb = engine
-        .sample(
-            None,
-            &McConfig {
-                runs: 60_000,
-                seed: 31,
-                threads: 4,
-                ..McConfig::default()
-            },
-        )
+        .eval()
+        .sample(60_000)
+        .seed(31)
+        .threads(4)
+        .pdb()
         .unwrap();
     assert_eq!(pdb.errors(), 0);
 
@@ -52,17 +46,13 @@ fn mc_matches_exact_world_distribution() {
 fn mc_parallel_variant_matches_exact_too() {
     let src = "R(Flip<0.5>) :- true. S(Flip<0.25>) :- true.";
     let engine = Engine::from_source(src, SemanticsMode::Grohe).unwrap();
-    let exact = engine.enumerate(None, ExactConfig::default()).unwrap();
+    let exact = engine.eval().exact().worlds().unwrap();
     let pdb = engine
-        .sample(
-            None,
-            &McConfig {
-                runs: 40_000,
-                seed: 77,
-                variant: ChaseVariant::Parallel,
-                ..McConfig::default()
-            },
-        )
+        .eval()
+        .sample(40_000)
+        .seed(77)
+        .variant(ChaseVariant::Parallel)
+        .pdb()
         .unwrap();
     let empirical = pdb.to_distribution();
     let mut observed = Vec::new();
@@ -87,30 +77,25 @@ fn empirical_mass_estimates_spdb_mass() {
     "#;
     let engine = Engine::from_source(src, SemanticsMode::Grohe).unwrap();
     let exact = engine
-        .enumerate_raw(
-            None,
-            PolicyKind::Canonical,
-            ExactConfig {
-                max_depth: 16,
-                support_tol: 1e-6,
-                min_path_prob: 1e-6,
-            },
-        )
+        .eval()
+        .exact()
+        .policy(PolicyKind::Canonical)
+        .keep_aux(true)
+        .max_depth(16)
+        .support_tol(1e-6)
+        .min_path_prob(1e-6)
+        .worlds()
         .unwrap();
     // Termination mass is at least the exactly-terminated mass.
     let lower = exact.mass();
     assert!(lower > 0.8);
 
     let pdb = engine
-        .sample(
-            None,
-            &McConfig {
-                runs: 5_000,
-                max_steps: 5_000,
-                seed: 13,
-                ..McConfig::default()
-            },
-        )
+        .eval()
+        .sample(5_000)
+        .max_depth(5_000)
+        .seed(13)
+        .pdb()
         .unwrap();
     let mc_mass = pdb.mass();
     assert!(

@@ -2,8 +2,6 @@
 //! — relational algebra and aggregation evaluated per world over the exact
 //! burglary table, cross-checked against marginals and counting events.
 
-#![allow(deprecated)] // exercises the legacy Engine entry points (now shims over Evaluation)
-
 use std::collections::BTreeSet;
 
 use gdatalog::pdb::{eval_query, eval_query_worlds, AggFun, ColPred, Event, FactSet, Query};
@@ -25,7 +23,7 @@ const SRC: &str = r#"
 
 fn setup() -> (Engine, PossibleWorlds) {
     let engine = Engine::from_source(SRC, SemanticsMode::Grohe).unwrap();
-    let worlds = engine.enumerate(None, ExactConfig::default()).unwrap();
+    let worlds = engine.eval().exact().worlds().unwrap();
     (engine, worlds)
 }
 

@@ -7,8 +7,6 @@
 //! either copies, flips a coin parameterized by a constant, or joins two
 //! earlier layers. Layering guarantees weak acyclicity by construction.
 
-#![allow(deprecated)] // exercises the legacy Engine entry points (now shims over Evaluation)
-
 use proptest::prelude::*;
 
 use gdatalog::prelude::*;
@@ -75,7 +73,7 @@ proptest! {
 
         // Thm. 6.3: exact enumeration completes with full mass.
         let reference = engine
-            .enumerate(None, ExactConfig::default())
+            .eval().exact().worlds()
             .map_err(|e| TestCaseError::fail(format!("{e}\n{src}")))?;
         prop_assert!(
             (reference.mass() - 1.0).abs() < 1e-9,
@@ -86,17 +84,17 @@ proptest! {
         // Thm. 6.1: policy independence + parallel agreement.
         for kind in [PolicyKind::Reverse, PolicyKind::Random { seed: 3 }] {
             let w = engine
-                .enumerate_raw(None, kind, ExactConfig::default())
+                .eval().exact().policy(kind).keep_aux(true).worlds()
                 .unwrap()
                 .map(|d| engine.program().project_output(d));
             prop_assert!(reference.total_variation(&w) < 1e-9, "{kind:?} on\n{src}");
         }
-        let par = engine.enumerate_parallel(None, ExactConfig::default()).unwrap();
+        let par = engine.eval().exact_parallel().worlds().unwrap();
         prop_assert!(reference.total_variation(&par) < 1e-9, "parallel on\n{src}");
 
         // Lemma 3.10 in every world of the raw table.
         let raw = engine
-            .enumerate_raw(None, PolicyKind::Canonical, ExactConfig::default())
+            .eval().exact().policy(PolicyKind::Canonical).keep_aux(true).worlds()
             .unwrap();
         for (world, _) in raw.iter() {
             for fd in &engine.program().fds {
@@ -123,8 +121,8 @@ proptest! {
         }
         let a = Engine::from_source(&src, SemanticsMode::Grohe).unwrap();
         let b = Engine::from_source(&src, SemanticsMode::Barany).unwrap();
-        let wa = a.enumerate(None, ExactConfig::default()).unwrap();
-        let wb = b.enumerate(None, ExactConfig::default()).unwrap();
+        let wa = a.eval().exact().worlds().unwrap();
+        let wb = b.eval().exact().worlds().unwrap();
         // Compare by canonical text (catalogs differ between engines).
         let ta = wa.table(&a.program().catalog);
         let tb = wb.table(&b.program().catalog);

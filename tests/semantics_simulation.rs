@@ -1,8 +1,6 @@
 //! Integration tests for §6.2: each semantics simulates the other via the
 //! program rewritings, exactly.
 
-#![allow(deprecated)] // exercises the legacy Engine entry points (now shims over Evaluation)
-
 use std::sync::Arc;
 
 use gdatalog::lang::{
@@ -17,7 +15,9 @@ fn worlds_over(src: &str, mode: SemanticsMode, rels: &[&str]) -> PossibleWorlds 
     let catalog = engine.program().catalog.clone();
     let keep: Vec<RelId> = rels.iter().map(|r| catalog.require(r).unwrap()).collect();
     engine
-        .enumerate(None, ExactConfig::default())
+        .eval()
+        .exact()
+        .worlds()
         .unwrap()
         .project_relations(|rel| keep.contains(&rel))
 }
@@ -33,7 +33,9 @@ fn worlds_of_ast(
     let catalog = engine.program().catalog.clone();
     let keep: Vec<RelId> = rels.iter().map(|r| catalog.require(r).unwrap()).collect();
     engine
-        .enumerate(None, ExactConfig::default())
+        .eval()
+        .exact()
+        .worlds()
         .unwrap()
         .project_relations(|rel| keep.contains(&rel))
 }
@@ -45,7 +47,9 @@ fn named_table(engine_src: &str, mode: SemanticsMode, rels: &[&str]) -> Vec<(Str
     let catalog = engine.program().catalog.clone();
     let keep: Vec<RelId> = rels.iter().map(|r| catalog.require(r).unwrap()).collect();
     engine
-        .enumerate(None, ExactConfig::default())
+        .eval()
+        .exact()
+        .worlds()
         .unwrap()
         .project_relations(|rel| keep.contains(&rel))
         .table(&catalog)
@@ -60,7 +64,9 @@ fn named_table_of_ast(
     let catalog = engine.program().catalog.clone();
     let keep: Vec<RelId> = rels.iter().map(|r| catalog.require(r).unwrap()).collect();
     engine
-        .enumerate(None, ExactConfig::default())
+        .eval()
+        .exact()
+        .worlds()
         .unwrap()
         .project_relations(|rel| keep.contains(&rel))
         .table(&catalog)
@@ -119,10 +125,7 @@ fn grohe_simulation_via_tags() {
     ] {
         let engine_new = Engine::from_source(src, SemanticsMode::Grohe).unwrap();
         let cat_new = engine_new.program().catalog.clone();
-        let new_table = engine_new
-            .enumerate(None, ExactConfig::default())
-            .unwrap()
-            .table(&cat_new);
+        let new_table = engine_new.eval().exact().worlds().unwrap().table(&cat_new);
 
         let tagged = simulate_grohe_in_barany(&parse_program(src).unwrap());
         let engine_sim = Engine::from_ast(
@@ -132,10 +135,7 @@ fn grohe_simulation_via_tags() {
         )
         .unwrap();
         let cat_sim = engine_sim.program().catalog.clone();
-        let sim_table = engine_sim
-            .enumerate(None, ExactConfig::default())
-            .unwrap()
-            .table(&cat_sim);
+        let sim_table = engine_sim.eval().exact().worlds().unwrap().table(&cat_sim);
         assert!(
             tables_close(&new_table, &sim_table),
             "program {src}:\nnew: {new_table:?}\nsim: {sim_table:?}"

@@ -1,13 +1,20 @@
-//! API-equivalence suite for the Session/Evaluation redesign: every new
-//! builder path must produce **bit-identical** results to the legacy
-//! method-per-strategy entry points it replaces (exact and Monte-Carlo,
-//! single- and multi-threaded), and the streaming statistic terminals must
-//! agree with the materializing reference implementations.
+//! API-equivalence suite for the Session/Evaluation surface: every builder
+//! path must produce **bit-identical** results to the low-level chase
+//! entry points it drives (exact and Monte-Carlo, single- and
+//! multi-threaded), and the streaming statistic terminals must agree with
+//! the materializing reference implementations.
+//!
+//! (Until 0.2.0 this suite compared the builder against the deprecated
+//! `Engine::{enumerate, sample, …}` shims; those are gone, so the
+//! reference side is now the public low-level functions themselves —
+//! `enumerate_sequential`, `enumerate_parallel`, `sample_pdb`,
+//! `run_sequential` — which is a strictly stronger check.)
 
-#![allow(deprecated)] // the point of this suite is new-vs-legacy equality
-
+use gdatalog::engine::{enumerate_parallel, enumerate_sequential, run_sequential, sample_pdb};
 use gdatalog::pdb::{query_moments, MarginalSink, WorldSink};
 use gdatalog::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 const BURGLARY: &str = r#"
     rel City(symbol, real) input.
@@ -27,24 +34,58 @@ const BURGLARY: &str = r#"
 /// exercised by the equivalence checks too.
 const GEOMETRIC: &str = "N(Geometric<0.5>) :- true. M(Geometric<0.3>) :- true.";
 
+fn reference_exact(engine: &Engine, kind: PolicyKind, config: ExactConfig) -> PossibleWorlds {
+    let mut policy = ChasePolicy::new(
+        kind,
+        &engine
+            .program()
+            .rules
+            .iter()
+            .filter(|r| r.is_existential())
+            .map(|r| r.id)
+            .collect::<Vec<_>>(),
+    );
+    enumerate_sequential(
+        engine.program(),
+        &engine.program().initial_instance,
+        &mut policy,
+        config,
+    )
+    .unwrap()
+}
+
 #[test]
-fn exact_builder_bit_identical_to_enumerate() {
+fn exact_builder_bit_identical_to_enumerate_sequential() {
     for src in [BURGLARY, GEOMETRIC] {
         let engine = Engine::from_source(src, SemanticsMode::Grohe).unwrap();
-        let legacy = engine.enumerate(None, ExactConfig::default()).unwrap();
-        let new = engine.eval().exact().worlds().unwrap();
-        assert_eq!(legacy, new, "worlds and deficits must match bit-for-bit");
+        let reference = reference_exact(&engine, PolicyKind::Canonical, ExactConfig::default());
+        let new = engine.eval().exact().keep_aux(true).worlds().unwrap();
+        assert_eq!(reference, new, "worlds and deficits must match bit-for-bit");
+        // The default builder output is exactly the projected table.
+        let projected = engine.eval().exact().worlds().unwrap();
+        assert_eq!(
+            reference.map(|d| engine.program().project_output(d)),
+            projected
+        );
     }
 }
 
 #[test]
 fn exact_parallel_builder_bit_identical_to_enumerate_parallel() {
     let engine = Engine::from_source(BURGLARY, SemanticsMode::Grohe).unwrap();
-    let legacy = engine
-        .enumerate_parallel(None, ExactConfig::default())
+    let reference = enumerate_parallel(
+        engine.program(),
+        &engine.program().initial_instance,
+        ExactConfig::default(),
+    )
+    .unwrap();
+    let new = engine
+        .eval()
+        .exact_parallel()
+        .keep_aux(true)
+        .worlds()
         .unwrap();
-    let new = engine.eval().exact_parallel().worlds().unwrap();
-    assert_eq!(legacy, new);
+    assert_eq!(reference, new);
 }
 
 #[test]
@@ -56,9 +97,7 @@ fn raw_enumeration_policy_and_aux_preserved() {
         PolicyKind::RoundRobin,
         PolicyKind::DeterministicFirst,
     ] {
-        let legacy = engine
-            .enumerate_raw(None, kind, ExactConfig::default())
-            .unwrap();
+        let reference = reference_exact(&engine, kind, ExactConfig::default());
         let new = engine
             .eval()
             .exact()
@@ -66,7 +105,7 @@ fn raw_enumeration_policy_and_aux_preserved() {
             .keep_aux(true)
             .worlds()
             .unwrap();
-        assert_eq!(legacy, new, "policy {kind:?}");
+        assert_eq!(reference, new, "policy {kind:?}");
     }
 }
 
@@ -79,21 +118,22 @@ fn exact_config_knobs_flow_through_builder() {
         support_tol: 1e-4,
         min_path_prob: 1e-6,
     };
-    let legacy = engine.enumerate(None, config).unwrap();
+    let reference = reference_exact(&engine, PolicyKind::Canonical, config);
     let new = engine
         .eval()
         .exact()
+        .keep_aux(true)
         .max_depth(6)
         .support_tol(1e-4)
         .min_path_prob(1e-6)
         .worlds()
         .unwrap();
-    assert_eq!(legacy, new);
+    assert_eq!(reference, new);
     assert!(new.deficit().nontermination > 0.0);
 }
 
 #[test]
-fn mc_builder_bit_identical_to_sample_single_and_multi_threaded() {
+fn mc_builder_bit_identical_to_sample_pdb_single_and_multi_threaded() {
     let engine = Engine::from_source(BURGLARY, SemanticsMode::Grohe).unwrap();
     for threads in [1, 4] {
         let config = McConfig {
@@ -102,7 +142,12 @@ fn mc_builder_bit_identical_to_sample_single_and_multi_threaded() {
             threads,
             ..McConfig::default()
         };
-        let legacy = engine.sample(None, &config).unwrap();
+        let reference = sample_pdb(
+            engine.program(),
+            &engine.program().initial_instance,
+            &config,
+        )
+        .unwrap();
         let new = engine
             .eval()
             .sample(3_000)
@@ -110,8 +155,8 @@ fn mc_builder_bit_identical_to_sample_single_and_multi_threaded() {
             .threads(threads)
             .pdb()
             .unwrap();
-        assert_eq!(legacy.samples(), new.samples(), "threads = {threads}");
-        assert_eq!(legacy.errors(), new.errors());
+        assert_eq!(reference.samples(), new.samples(), "threads = {threads}");
+        assert_eq!(reference.errors(), new.errors());
         // And thread count itself never changes the result.
         let single = engine.eval().sample(3_000).seed(99).pdb().unwrap();
         assert_eq!(single.samples(), new.samples());
@@ -132,7 +177,12 @@ fn mc_variants_flow_through_builder() {
             variant,
             ..McConfig::default()
         };
-        let legacy = engine.sample(None, &config).unwrap();
+        let reference = sample_pdb(
+            engine.program(),
+            &engine.program().initial_instance,
+            &config,
+        )
+        .unwrap();
         let new = engine
             .eval()
             .sample(500)
@@ -140,7 +190,7 @@ fn mc_variants_flow_through_builder() {
             .variant(variant)
             .pdb()
             .unwrap();
-        assert_eq!(legacy.samples(), new.samples(), "variant {variant:?}");
+        assert_eq!(reference.samples(), new.samples(), "variant {variant:?}");
     }
 }
 
@@ -150,19 +200,25 @@ fn extra_input_equivalence_through_eval_on() {
     let city = engine.program().catalog.require("City").unwrap();
     let mut extra = Instance::new();
     extra.insert(city, tuple!["metropolis", 0.5]);
-    let legacy = engine
-        .enumerate(Some(&extra), ExactConfig::default())
-        .unwrap();
+    let mut policy = ChasePolicy::new(PolicyKind::Canonical, &[]);
+    let reference = enumerate_sequential(
+        engine.program(),
+        &engine.program().initial_instance.union(&extra),
+        &mut policy,
+        ExactConfig::default(),
+    )
+    .unwrap()
+    .map(|d| engine.program().project_output(d));
     let new = engine.eval_on(Some(&extra)).worlds().unwrap();
-    assert_eq!(legacy, new);
+    assert_eq!(reference, new);
     // A session with the same facts inserted answers identically.
     let mut session = Session::from_source(BURGLARY, SemanticsMode::Grohe).unwrap();
     session.insert_facts(&extra);
-    assert_eq!(legacy, session.eval().worlds().unwrap());
+    assert_eq!(reference, session.eval().worlds().unwrap());
 }
 
 #[test]
-fn transform_equivalence_with_probabilistic_input() {
+fn transform_equivalence_with_manual_mixture() {
     let engine = Engine::from_source(
         "rel City(symbol) input. Quake(C, Flip<0.4>) :- City(C).",
         SemanticsMode::Grohe,
@@ -175,20 +231,40 @@ fn transform_equivalence_with_probabilistic_input() {
     input.add(with_city, 0.6);
     input.add(Instance::new(), 0.3);
     input.add_nontermination(0.1);
-    let legacy = engine
-        .transform_worlds(&input, ExactConfig::default())
-        .unwrap();
+    // Theorems 4.8/5.5: the transformed SPDB is the probability-weighted
+    // mixture of the per-world outputs; input deficit passes through.
+    let parts: Vec<(f64, PossibleWorlds)> = input
+        .iter()
+        .map(|(world, p)| (p, engine.eval_on(Some(world)).worlds().unwrap()))
+        .collect();
+    let mut reference = PossibleWorlds::mixture(parts);
+    reference.add_nontermination(input.deficit().nontermination);
     let new = engine.eval().transform(&input).unwrap();
-    assert_eq!(legacy, new);
+    assert_eq!(reference, new);
     assert!(new.mass_is_consistent(1e-12));
 }
 
 #[test]
-fn trace_equivalence_with_run_once() {
+fn trace_equivalence_with_run_sequential() {
     let engine = Engine::from_source(BURGLARY, SemanticsMode::Grohe).unwrap();
-    let legacy = engine
-        .run_once(None, PolicyKind::RoundRobin, 17, 500)
-        .unwrap();
+    let existential: Vec<usize> = engine
+        .program()
+        .rules
+        .iter()
+        .filter(|r| r.is_existential())
+        .map(|r| r.id)
+        .collect();
+    let mut policy = ChasePolicy::new(PolicyKind::RoundRobin, &existential);
+    let mut rng = StdRng::seed_from_u64(17);
+    let reference = run_sequential(
+        engine.program(),
+        &engine.program().initial_instance,
+        &mut policy,
+        &mut rng,
+        500,
+        true,
+    )
+    .unwrap();
     let new = engine
         .eval()
         .policy(PolicyKind::RoundRobin)
@@ -196,9 +272,9 @@ fn trace_equivalence_with_run_once() {
         .max_depth(500)
         .trace()
         .unwrap();
-    assert_eq!(legacy.steps, new.steps);
-    assert_eq!(legacy.instance, new.instance);
-    assert_eq!(legacy.log_weight.to_bits(), new.log_weight.to_bits());
+    assert_eq!(reference.steps, new.steps);
+    assert_eq!(reference.instance, new.instance);
+    assert_eq!(reference.log_weight.to_bits(), new.log_weight.to_bits());
 }
 
 #[test]

@@ -2,8 +2,6 @@
 //! (Thm. 6.1/6.2), probabilistic inputs (Thms. 4.8/5.5), weak acyclicity ⇒
 //! termination (Thm. 6.3), and the FD invariant (Lemma 3.10).
 
-#![allow(deprecated)] // exercises the legacy Engine entry points (now shims over Evaluation)
-
 use gdatalog::engine::{enumerate_parallel, enumerate_sequential, RunOutcome};
 use gdatalog::prelude::*;
 use gdatalog::stats::ks_two_sample;
@@ -35,12 +33,16 @@ fn chase_independence_burglary() {
     "#;
     let engine = Engine::from_source(src, SemanticsMode::Grohe).unwrap();
     let program = engine.program();
-    let reference = engine.enumerate(None, ExactConfig::default()).unwrap();
+    let reference = engine.eval().exact().worlds().unwrap();
     assert!(reference.mass_is_consistent(1e-9));
 
     for kind in POLICIES {
         let w = engine
-            .enumerate_raw(None, kind, ExactConfig::default())
+            .eval()
+            .exact()
+            .policy(kind)
+            .keep_aux(true)
+            .worlds()
             .unwrap()
             .map(|d| program.project_output(d));
         assert!(
@@ -49,9 +51,7 @@ fn chase_independence_burglary() {
             reference.total_variation(&w)
         );
     }
-    let par = engine
-        .enumerate_parallel(None, ExactConfig::default())
-        .unwrap();
+    let par = engine.eval().exact_parallel().worlds().unwrap();
     assert!(reference.total_variation(&par) < 1e-9, "parallel chase");
 }
 
@@ -61,17 +61,19 @@ fn chase_independence_barany_mode() {
     let src = "R(Flip<0.5>) :- true. S(Flip<0.5>) :- true. T(X) :- R(X), S(X).";
     let engine = Engine::from_source(src, SemanticsMode::Barany).unwrap();
     let program = engine.program();
-    let reference = engine.enumerate(None, ExactConfig::default()).unwrap();
+    let reference = engine.eval().exact().worlds().unwrap();
     for kind in POLICIES {
         let w = engine
-            .enumerate_raw(None, kind, ExactConfig::default())
+            .eval()
+            .exact()
+            .policy(kind)
+            .keep_aux(true)
+            .worlds()
             .unwrap()
             .map(|d| program.project_output(d));
         assert!(reference.total_variation(&w) < 1e-12, "{kind:?}");
     }
-    let par = engine
-        .enumerate_parallel(None, ExactConfig::default())
-        .unwrap();
+    let par = engine.eval().exact_parallel().worlds().unwrap();
     assert!(reference.total_variation(&par) < 1e-12);
 }
 
@@ -100,15 +102,11 @@ fn chase_independence_continuous_ks() {
     .enumerate()
     {
         let pdb = engine
-            .sample(
-                None,
-                &McConfig {
-                    runs: 4_000,
-                    seed: 1000 + i as u64,
-                    variant,
-                    ..McConfig::default()
-                },
-            )
+            .eval()
+            .sample(4_000)
+            .seed(1000 + i as u64)
+            .variant(variant)
+            .pdb()
             .unwrap();
         samples.push(pdb.column_values(ph, 1));
     }
@@ -147,9 +145,7 @@ fn probabilistic_input_mixture_and_independence() {
     input.add(w1.clone(), 0.6);
     input.add(w2.clone(), 0.4);
 
-    let out = engine
-        .transform_worlds(&input, ExactConfig::default())
-        .unwrap();
+    let out = engine.eval().transform(&input).unwrap();
     assert!(out.mass_is_consistent(1e-12));
 
     // Manual mixture check on a marginal.
@@ -162,7 +158,9 @@ fn probabilistic_input_mixture_and_independence() {
     let mut par_mix = PossibleWorlds::new();
     for (world, p) in input.iter() {
         let part = engine
-            .enumerate_parallel(Some(world), ExactConfig::default())
+            .eval_on(Some(world))
+            .exact_parallel()
+            .worlds()
             .unwrap();
         for (d, q) in part.iter() {
             par_mix.add(d.clone(), p * q);
@@ -184,19 +182,10 @@ fn weak_acyclicity_implies_termination() {
     "#;
     let engine = Engine::from_source(src, SemanticsMode::Grohe).unwrap();
     assert!(engine.program().weakly_acyclic());
-    let worlds = engine.enumerate(None, ExactConfig::default()).unwrap();
+    let worlds = engine.eval().exact().worlds().unwrap();
     assert!((worlds.mass() - 1.0).abs() < 1e-9, "full mass, no deficit");
     assert_eq!(worlds.deficit().nontermination, 0.0);
-    let pdb = engine
-        .sample(
-            None,
-            &McConfig {
-                runs: 3_000,
-                seed: 5,
-                ..Default::default()
-            },
-        )
-        .unwrap();
+    let pdb = engine.eval().sample(3_000).seed(5).pdb().unwrap();
     assert_eq!(pdb.errors(), 0);
 }
 
@@ -212,7 +201,11 @@ fn fd_invariant_in_every_world() {
     "#;
     let engine = Engine::from_source(src, SemanticsMode::Grohe).unwrap();
     let raw = engine
-        .enumerate_raw(None, PolicyKind::Canonical, ExactConfig::default())
+        .eval()
+        .exact()
+        .policy(PolicyKind::Canonical)
+        .keep_aux(true)
+        .worlds()
         .unwrap();
     for (world, _) in raw.iter() {
         for fd in &engine.program().fds {
@@ -261,7 +254,11 @@ fn deterministic_gdatalog_equals_datalog_fixpoint() {
     "#;
     let engine = Engine::from_source(src, SemanticsMode::Grohe).unwrap();
     let run = engine
-        .run_once(None, PolicyKind::Canonical, 0, 100_000)
+        .eval()
+        .policy(PolicyKind::Canonical)
+        .seed(0)
+        .max_depth(100_000)
+        .trace()
         .unwrap();
     assert_eq!(run.outcome, RunOutcome::Terminated);
 

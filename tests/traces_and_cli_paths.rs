@@ -1,8 +1,6 @@
 //! Integration tests for run traces (the path measure of §4.2) and the
 //! fact-file loading path used by the `gdl` CLI.
 
-#![allow(deprecated)] // exercises the legacy Engine entry points (now shims over Evaluation)
-
 use gdatalog::lang::parse_facts;
 use gdatalog::prelude::*;
 
@@ -20,7 +18,11 @@ fn trace_log_weight_is_sum_of_step_densities() {
     .unwrap();
     for seed in 0..20 {
         let run = engine
-            .run_once(None, PolicyKind::Canonical, seed, 10_000)
+            .eval()
+            .policy(PolicyKind::Canonical)
+            .seed(seed)
+            .max_depth(10_000)
+            .trace()
             .unwrap();
         let total: f64 = run.trace.iter().map(|t| t.log_density).sum();
         assert!((total - run.log_weight).abs() < 1e-9);
@@ -44,7 +46,11 @@ fn discrete_path_weights_exponentiate_to_branch_probabilities() {
     let r = engine.program().catalog.require("R").unwrap();
     for seed in 0..10 {
         let run = engine
-            .run_once(None, PolicyKind::Canonical, seed, 100)
+            .eval()
+            .policy(PolicyKind::Canonical)
+            .seed(seed)
+            .max_depth(100)
+            .trace()
             .unwrap();
         let got_one = run.instance.contains(r, &Tuple::from(vec![Value::int(1)]));
         let expect = if got_one { 0.25f64 } else { 0.75 };
@@ -64,9 +70,7 @@ fn external_fact_files_feed_the_engine() {
     .unwrap();
     let catalog = &engine.program().catalog;
     let input = parse_facts("City(gotham, 1.0).\nCity(metropolis, 0.0).", catalog).unwrap();
-    let worlds = engine
-        .enumerate(Some(&input), ExactConfig::default())
-        .unwrap();
+    let worlds = engine.eval_on(Some(&input)).exact().worlds().unwrap();
     let quake = catalog.require("Quake").unwrap();
     // Deterministic parameters: exactly one world.
     assert_eq!(worlds.len(), 1);
@@ -95,14 +99,6 @@ fn runtime_parameter_errors_are_reported_not_panicked() {
         SemanticsMode::Grohe,
     )
     .unwrap();
-    let err = engine
-        .sample(
-            None,
-            &McConfig {
-                runs: 1,
-                ..Default::default()
-            },
-        )
-        .unwrap_err();
+    let err = engine.eval().sample(1).pdb().unwrap_err();
     assert!(matches!(err, EngineError::Dist(_)), "{err}");
 }
