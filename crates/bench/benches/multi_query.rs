@@ -1,0 +1,110 @@
+//! P5 — single-pass multi-query execution: `Evaluation::answer` over a
+//! `QuerySet` of K statistics (one backend pass fanned out to K sinks)
+//! against the pre-PR5 workflow of K independent terminal calls (K full
+//! passes), on the serving_library_program corpus.
+//!
+//! The win scales with K because the chase/enumeration/sampling pass
+//! dominates and the per-sink fold is O(observation): 1 pass × K sinks
+//! vs K passes × 1 sink.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdatalog_bench::serving_library_program;
+use gdatalog_core::{QuerySet, Session};
+use gdatalog_lang::SemanticsMode;
+use std::hint::black_box;
+
+const DETECTORS: usize = 16;
+
+fn session_with_inputs(k: usize) -> Session {
+    let mut session =
+        Session::from_source(&serving_library_program(DETECTORS), SemanticsMode::Grohe)
+            .expect("corpus compiles");
+    for d in 0..k {
+        session
+            .insert_facts_text(&format!("In{d}(c{d}, 0.3)."))
+            .expect("input facts");
+    }
+    session
+}
+
+/// The K-statistics dashboard: marginals and expectations round-robin
+/// over the active detectors.
+fn query_sets(session: &Session, k: usize) -> (QuerySet, Vec<QuerySet>) {
+    let catalog = &session.program().catalog;
+    let mut bundle = QuerySet::new();
+    let mut singles = Vec::with_capacity(k);
+    for d in 0..k {
+        let out = catalog.require(&format!("Out{d}")).expect("declared");
+        let ev = catalog.require(&format!("Ev{d}")).expect("declared");
+        let query = match d % 4 {
+            0 | 1 => gdatalog_core::QueryIr::Marginals { rel: out },
+            2 => gdatalog_core::QueryIr::Expectation {
+                query: gdatalog_pdb::Query::Rel(out),
+                agg: gdatalog_pdb::AggFun::Count,
+            },
+            _ => gdatalog_core::QueryIr::Histogram {
+                rel: ev,
+                col: 1,
+                lo: 0.0,
+                hi: 2.0,
+                bins: 2,
+            },
+        };
+        bundle.push(query.clone());
+        let mut single = QuerySet::new();
+        single.push(query);
+        singles.push(single);
+    }
+    (bundle, singles)
+}
+
+fn bench_one_pass_vs_k_passes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multi_query");
+    group.sample_size(10);
+    for k in [4usize, 8] {
+        let session = session_with_inputs(k);
+        let (bundle, singles) = query_sets(&session, k);
+
+        group.bench_with_input(BenchmarkId::new("exact_one_pass", k), &k, |b, _| {
+            b.iter(|| black_box(session.eval().exact().answer(&bundle).expect("answers")))
+        });
+        group.bench_with_input(BenchmarkId::new("exact_k_passes", k), &k, |b, _| {
+            b.iter(|| {
+                for single in &singles {
+                    black_box(session.eval().exact().answer(single).expect("answers"));
+                }
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("mc2000_one_pass", k), &k, |b, _| {
+            b.iter(|| {
+                black_box(
+                    session
+                        .eval()
+                        .sample(2_000)
+                        .seed(7)
+                        .answer(&bundle)
+                        .expect("answers"),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mc2000_k_passes", k), &k, |b, _| {
+            b.iter(|| {
+                for single in &singles {
+                    black_box(
+                        session
+                            .eval()
+                            .sample(2_000)
+                            .seed(7)
+                            .answer(single)
+                            .expect("answers"),
+                    );
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_one_pass_vs_k_passes);
+criterion_main!(benches);

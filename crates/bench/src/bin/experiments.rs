@@ -880,7 +880,7 @@ fn bench_pr2() {
 fn bench_pr3() {
     use gdatalog_bench::serving_library_program;
     use gdatalog_core::Session;
-    use gdatalog_serve::{execute_on, ProgramCache, Request, Response, Server};
+    use gdatalog_serve::{execute_on, ProgramCache, Reply, Request, Server};
 
     header("BENCH3", "serving layer (written to BENCH_PR3.json)");
 
@@ -906,7 +906,7 @@ fn bench_pr3() {
 
     // Naive baseline: compile + plan + evaluate per request (every
     // session is fresh, so nothing is amortized).
-    let naive = |reqs: &[Request]| -> Vec<Response> {
+    let naive = |reqs: &[Request]| -> Vec<Reply> {
         reqs.iter()
             .map(|req| {
                 let mut session =
@@ -916,11 +916,11 @@ fn bench_pr3() {
             .collect()
     };
 
-    let unwrap = |answers: Vec<Result<Response, gdatalog_serve::ServeError>>| {
+    let unwrap = |answers: Vec<Result<Reply, gdatalog_serve::ServeError>>| {
         answers
             .into_iter()
             .map(|a| a.expect("request succeeds"))
-            .collect::<Vec<Response>>()
+            .collect::<Vec<Reply>>()
     };
 
     let cache = ProgramCache::new();
@@ -1026,6 +1026,132 @@ fn bench_pr3() {
     println!("\n  wrote BENCH_PR3.json");
 }
 
+/// The PR5 suite behind `BENCH_PR5.json`: single-pass multi-query
+/// execution. A dashboard-style client asks K = 8 statistics about one
+/// program + input; the pre-PR5 workflow sends 8 single-query requests
+/// (8 backend passes), the Query-IR workflow sends 1 request with a
+/// `"queries"` array (1 backend pass fanned out to 8 sinks).
+/// Bit-identity between the two is asserted before any timing, and the
+/// acceptance gate is ≥4x throughput at K = 8.
+fn bench_pr5() {
+    use gdatalog_bench::serving_library_program;
+    use gdatalog_serve::{QueryKind, Reply, Request, Server};
+
+    header(
+        "BENCH5",
+        "multi-query single pass (written to BENCH_PR5.json)",
+    );
+
+    const K: usize = 8;
+    let model_src = serving_library_program(16);
+    let input: String = (0..K)
+        .map(|d| format!("In{d}(c{d}, 0.3). "))
+        .collect::<String>();
+    let kinds: Vec<QueryKind> = (0..K)
+        .map(|d| match d % 4 {
+            0 => QueryKind::Marginal {
+                fact: format!("Out{d}(c{d})"),
+            },
+            1 => QueryKind::Marginals {
+                rel: format!("Out{d}"),
+            },
+            2 => QueryKind::Expectation {
+                rel: format!("Out{d}"),
+                agg: gdatalog_pdb::AggFun::Count,
+                col: None,
+            },
+            _ => QueryKind::Histogram {
+                rel: format!("Ev{d}"),
+                col: 1,
+                lo: 0.0,
+                hi: 2.0,
+                bins: 2,
+            },
+        })
+        .collect();
+
+    let configure = |req: Request, mc: bool| {
+        let req = req.input(input.clone());
+        if mc {
+            req.mc(2_000).seed(7)
+        } else {
+            req.exact()
+        }
+    };
+    let server = Server::from_source(&model_src, SemanticsMode::Grohe).expect("compiles");
+
+    let mut results = Vec::new();
+    for (label, mc) in [("exact", false), ("mc2000", true)] {
+        let multi = configure(Request::multi(kinds.clone()), mc);
+        let singles: Vec<Request> = kinds
+            .iter()
+            .map(|kind| configure(Request::multi(vec![kind.clone()]), mc))
+            .collect();
+
+        // Bit-identity first: the multiplexed answers must equal the K
+        // independent single-query answers, response by response
+        // (Response equality is exact f64 equality).
+        let reply = server.execute(&multi).expect("multi request succeeds");
+        assert_eq!(reply.responses.len(), K);
+        for (i, single) in singles.iter().enumerate() {
+            let expect = server.execute(single).expect("single request succeeds");
+            assert_eq!(
+                &reply.responses[i],
+                expect.single(),
+                "{label}: slot {i} differs"
+            );
+        }
+
+        let one_pass_ns = median_ns(9, || {
+            std::hint::black_box(server.execute(&multi).expect("ok"));
+        });
+        let k_passes_ns = median_ns(9, || {
+            let replies: Vec<Reply> = singles
+                .iter()
+                .map(|r| server.execute(r).expect("ok"))
+                .collect();
+            std::hint::black_box(replies);
+        });
+        let speedup = k_passes_ns / one_pass_ns;
+        println!(
+            "  {label:<10} {K} queries: one pass {one_pass_ns:>12.0} ns, \
+             {K} passes {k_passes_ns:>12.0} ns   ({speedup:.1}x)"
+        );
+        results.push((label, one_pass_ns, k_passes_ns, speedup));
+    }
+    println!("  bit-identity: multi-query reply == K single-query replies  ✓ (exact + MC)");
+
+    // Acceptance gate: ≥4x throughput at K = 8 for the multiplexed pass,
+    // in EVERY mode — gating on the best would let a mode-specific
+    // regression (say, the MC fan-out path) slip through while exact
+    // keeps CI green.
+    for (label, _, _, speedup) in &results {
+        assert!(
+            *speedup >= 4.0,
+            "acceptance: >=4x throughput at K = {K} for {label} (got {speedup:.1}x)"
+        );
+    }
+
+    let benches: Vec<String> = results
+        .iter()
+        .map(|(label, one, k, speedup)| {
+            format!(
+                "    {{\"bench\": \"multi_query/{label}\", \
+                 \"one_pass_median_ns\": {one:.0}, \
+                 \"repeated_single_query_median_ns\": {k:.0}, \
+                 \"speedup\": {speedup:.2}}}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"pr\": 5,\n  \"queries_per_request\": {K},\n  \"benches\": [\n{}\n  ],\n  \
+         \"bit_identical_to_single_query_requests\": true\n}}\n",
+        benches.join(",\n")
+    );
+    std::fs::write("BENCH_PR5.json", json).expect("write BENCH_PR5.json");
+    println!("\n  wrote BENCH_PR5.json");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let run_all = args.is_empty();
@@ -1043,6 +1169,7 @@ fn main() {
         ("bench", bench_pr1),
         ("bench2", bench_pr2),
         ("bench3", bench_pr3),
+        ("bench5", bench_pr5),
     ];
     let mut ran = 0;
     for (id, f) in &experiments {

@@ -32,7 +32,11 @@
 //!   sampling;
 //! * [`engine`] — the user-facing facade tying everything together,
 //!   including the transformation of probabilistic *inputs*
-//!   (Theorems 4.8/5.5/6.2).
+//!   (Theorems 4.8/5.5/6.2);
+//! * [`queryset`] — first-class queries ([`QueryIr`]/[`QuerySet`]):
+//!   many statistics answered in **one** backend pass through a sink
+//!   multiplexer, with conditioning normalization computed once and
+//!   shared.
 
 pub mod applicability;
 pub mod backend;
@@ -44,6 +48,7 @@ pub mod mc;
 pub mod observe;
 pub mod parallel;
 pub mod policy;
+pub mod queryset;
 pub mod saturate;
 pub mod sequential;
 pub mod session;
@@ -63,6 +68,7 @@ pub use kernel::{ParallelKernel, SequentialKernel, StepKernel};
 pub use mc::{sample_pdb, ChaseVariant, McConfig};
 pub use observe::{log_weight, weight as observation_weight};
 pub use policy::{ChasePolicy, PolicyKind};
+pub use queryset::{tail_event, Answer, Answers, QueryIr, QuerySet};
 pub use saturate::run_saturating;
 pub use sequential::{run_sequential, ChaseRun, RunOutcome, TraceStep};
 pub use session::{Evaluation, EvidenceSummary, Session};

@@ -10,7 +10,13 @@
 //! [`marginal`](Evaluation::marginal),
 //! [`probability`](Evaluation::probability),
 //! [`expectation`](Evaluation::expectation),
-//! [`histogram`](Evaluation::histogram), and friends.
+//! [`histogram`](Evaluation::histogram),
+//! [`quantile`](Evaluation::quantile),
+//! [`tail_probability`](Evaluation::tail_probability), and friends — or
+//! answer **many** statistics from one backend pass with
+//! [`answer`](Evaluation::answer) over a
+//! [`QuerySet`] (every statistic terminal is one-query
+//! sugar over that path).
 //!
 //! Queries are the point of the exercise: Fact 2.6 of the paper says
 //! relational-algebra and aggregate queries are measurable maps on
@@ -27,9 +33,8 @@ use gdatalog_lang::{
     compile_observations, parse_facts, CompiledObserve, CompiledProgram, Program, SemanticsMode,
 };
 use gdatalog_pdb::{
-    AggFun, ColumnHistogram, EmpiricalPdb, EmpiricalSink, Event, EventProbabilitySink,
-    HistogramSink, MarginalSink, Moments, MomentsSink, NormalizingSink, PossibleWorlds, Query,
-    RelationMarginalsSink, WeightStats, WorldSink, WorldTableSink,
+    AggFun, ColumnHistogram, EmpiricalPdb, EmpiricalSink, Event, Moments, MultiplexSink,
+    NormalizingSink, PossibleWorlds, Query, WeightStats, WorldSink, WorldTableSink,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -41,6 +46,7 @@ use crate::backend::{
 use crate::engine::{Engine, EngineError};
 use crate::mc::ChaseVariant;
 use crate::policy::{ChasePolicy, PolicyKind};
+use crate::queryset::{Answer, Answers, QuerySet};
 use crate::sequential::{run_sequential, ChaseRun};
 
 /// A compiled program plus a persistent extensional database: the serving
@@ -248,22 +254,6 @@ pub struct EvidenceSummary {
     pub ess: f64,
     /// Number of (nonzero-weight) world observations.
     pub worlds: usize,
-}
-
-/// A sink that discards every observation — drives a backend purely for
-/// the [`NormalizingSink`] weight statistics.
-struct NullSink;
-
-impl WorldSink for NullSink {
-    fn observe(&mut self, _world: Instance, _weight: f64) {}
-    fn observe_deficit(&mut self, _kind: gdatalog_pdb::DeficitKind, _weight: f64) {}
-    fn fork(&self) -> Option<Box<dyn WorldSink>> {
-        Some(Box::new(NullSink))
-    }
-    fn join(&mut self, _forked: Box<dyn WorldSink>) {}
-    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
-        self
-    }
 }
 
 /// Which evaluation strategy the builder selected.
@@ -689,6 +679,108 @@ impl<'a> Evaluation<'a> {
         backend.run(&self.job_with(&observes), sink)
     }
 
+    /// Answers **every** query of a [`QuerySet`] in one backend pass: the
+    /// set is validated once against the program schema, one sink per
+    /// query is built, and the selected backend's world stream is fanned
+    /// out to all of them through a
+    /// [`MultiplexSink`] wrapped in a single shared
+    /// [`NormalizingSink`] — so K statistics cost one
+    /// chase/enumeration/Monte-Carlo pass, and under
+    /// [`given`](Evaluation::given) conditioning the normalizing constant
+    /// and effective sample size are computed once and shared by every
+    /// answer. Each single-query terminal is sugar over this method, so
+    /// the bundled answers are **bit-identical** to the K individual
+    /// terminal calls.
+    ///
+    /// ```
+    /// use gdatalog_core::{Answer, QuerySet, Session};
+    /// use gdatalog_data::{tuple, Fact};
+    /// use gdatalog_lang::SemanticsMode;
+    /// use gdatalog_pdb::{AggFun, Query};
+    ///
+    /// let s = Session::from_source(
+    ///     "R(Flip<0.5>) :- true. R(Flip<0.5>) :- true.",
+    ///     SemanticsMode::Grohe,
+    /// ).unwrap();
+    /// let r = s.program().catalog.require("R").unwrap();
+    /// let queries = QuerySet::new()
+    ///     .marginal(&Fact::new(r, tuple![1i64]))
+    ///     .expectation(&Query::Rel(r), AggFun::Count)
+    ///     .histogram(r, 0, 0.0, 2.0, 2)
+    ///     .tail(r, 0, 1.0);
+    /// let answers = s.eval().answer(&queries).unwrap();   // one pass
+    /// assert_eq!(answers.len(), 4);
+    /// assert_eq!(answers[0], Answer::Marginal(0.75));
+    /// assert_eq!(answers[3], Answer::Tail(0.75));
+    /// ```
+    ///
+    /// An empty set is the diagnostics-only request: it still runs the
+    /// pass and reports the [`EvidenceSummary`] through
+    /// [`Answers::evidence`].
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidRequest`] if a query fails schema
+    /// validation; backend evaluation errors;
+    /// [`EngineError::ZeroEvidence`] when conditioning rejects all mass.
+    pub fn answer(&self, queries: &QuerySet) -> Result<Answers, EngineError> {
+        self.answer_multiplexed(None, queries)
+    }
+
+    /// Like [`Evaluation::answer`], with a caller-supplied backend — the
+    /// pluggable-backend entry point for multi-query execution (and the
+    /// hook the test suite uses to *count* backend passes).
+    ///
+    /// # Errors
+    /// As [`Evaluation::answer`], plus whatever the backend reports.
+    pub fn answer_with(
+        &self,
+        backend: &dyn Backend,
+        queries: &QuerySet,
+    ) -> Result<Answers, EngineError> {
+        self.answer_multiplexed(Some(backend), queries)
+    }
+
+    /// The single-pass multi-query work-horse behind
+    /// [`answer`](Evaluation::answer) and every statistic terminal.
+    fn answer_multiplexed(
+        &self,
+        backend: Option<&dyn Backend>,
+        queries: &QuerySet,
+    ) -> Result<Answers, EngineError> {
+        queries.validate(self.program)?;
+        let conditioned = self.is_conditioned()?;
+        let mut wrapper = NormalizingSink::new(MultiplexSink::new(queries.sinks()));
+        match backend {
+            None => self.run_with(self.resolved_choice(), &mut wrapper)?,
+            Some(backend) => {
+                let observes = self.observes()?;
+                backend.run(&self.job_with(&observes), &mut wrapper)?;
+            }
+        }
+        let (mux, stats) = wrapper.finish();
+        if conditioned && stats.total <= 0.0 {
+            return Err(EngineError::ZeroEvidence);
+        }
+        let norm = if conditioned { Some(stats.total) } else { None };
+        let answers = queries.finish(mux.into_sinks(), norm);
+        Ok(Answers::new(
+            answers,
+            EvidenceSummary {
+                mass: stats.total,
+                ess: stats.ess(),
+                worlds: stats.worlds,
+            },
+            conditioned,
+        ))
+    }
+
+    /// Unwraps the single answer of a one-query sugar terminal.
+    fn answer_one(&self, queries: QuerySet) -> Result<Answer, EngineError> {
+        debug_assert_eq!(queries.len(), 1);
+        self.answer(&queries)
+            .map(|answers| answers.into_iter().next().expect("one query, one answer"))
+    }
+
     /// The full world table. Under an exact backend (the default, and the
     /// automatic choice for discrete programs) this is the exact SPDB; under
     /// an explicit [`sample`](Evaluation::sample) it is the empirical
@@ -799,14 +891,10 @@ impl<'a> Evaluation<'a> {
     /// Backend evaluation errors; [`EngineError::ZeroEvidence`] when
     /// conditioning rejects all mass.
     pub fn marginal(&self, fact: &Fact) -> Result<f64, EngineError> {
-        if self.is_conditioned()? {
-            let (sink, stats) =
-                self.run_normalized(self.resolved_choice(), MarginalSink::new(fact.clone()))?;
-            return Ok(sink.finish() / stats.total);
+        match self.answer_one(QuerySet::new().marginal(fact))? {
+            Answer::Marginal(p) => Ok(p),
+            _ => unreachable!("marginal query answers with Answer::Marginal"),
         }
-        let mut sink = MarginalSink::new(fact.clone());
-        self.collect_into(&mut sink)?;
-        Ok(sink.finish())
     }
 
     /// The probability of a measurable [`Event`] (§2.3 of the paper);
@@ -836,16 +924,10 @@ impl<'a> Evaluation<'a> {
     /// Backend evaluation errors; [`EngineError::ZeroEvidence`] when
     /// conditioning rejects all mass.
     pub fn probability(&self, event: &Event) -> Result<f64, EngineError> {
-        if self.is_conditioned()? {
-            let (sink, stats) = self.run_normalized(
-                self.resolved_choice(),
-                EventProbabilitySink::new(event.clone()),
-            )?;
-            return Ok(sink.finish() / stats.total);
+        match self.answer_one(QuerySet::new().probability(event))? {
+            Answer::Probability(p) => Ok(p),
+            _ => unreachable!("probability query answers with Answer::Probability"),
         }
-        let mut sink = EventProbabilitySink::new(event.clone());
-        self.collect_into(&mut sink)?;
-        Ok(sink.finish())
     }
 
     /// Mean and variance of an aggregate of a [`Query`]'s answers: per
@@ -877,20 +959,10 @@ impl<'a> Evaluation<'a> {
     /// # Errors
     /// Backend evaluation errors.
     pub fn expectation(&self, query: &Query, agg: AggFun) -> Result<Option<Moments>, EngineError> {
-        if self.is_conditioned()? {
-            // The sink normalizes by observed mass on its own, but routing
-            // through run_normalized keeps this terminal consistent with
-            // the others: impossible evidence is ZeroEvidence, not a
-            // `None` indistinguishable from an empty query result.
-            let (sink, _) = self.run_normalized(
-                self.resolved_choice(),
-                MomentsSink::new(query.clone(), agg, 0.0),
-            )?;
-            return Ok(sink.finish());
+        match self.answer_one(QuerySet::new().expectation(query, agg))? {
+            Answer::Expectation(m) => Ok(m),
+            _ => unreachable!("expectation query answers with Answer::Expectation"),
         }
-        let mut sink = MomentsSink::new(query.clone(), agg, 0.0);
-        self.collect_into(&mut sink)?;
-        Ok(sink.finish())
     }
 
     /// A probability-weighted histogram of the values at column `col` of
@@ -911,11 +983,10 @@ impl<'a> Evaluation<'a> {
     /// (bin totals are posterior expected counts, `mass` becomes 1).
     ///
     /// # Errors
-    /// Backend evaluation errors; [`EngineError::ZeroEvidence`] when
-    /// conditioning rejects all mass.
-    ///
-    /// # Panics
-    /// Panics unless `lo < hi` (finite) and `bins > 0`.
+    /// [`EngineError::InvalidRequest`] unless `lo < hi` (finite), `col`
+    /// is within the relation's arity, and `bins > 0`; backend evaluation
+    /// errors; [`EngineError::ZeroEvidence`] when conditioning rejects
+    /// all mass.
     pub fn histogram(
         &self,
         rel: RelId,
@@ -924,24 +995,10 @@ impl<'a> Evaluation<'a> {
         hi: f64,
         bins: usize,
     ) -> Result<ColumnHistogram, EngineError> {
-        if self.is_conditioned()? {
-            let (sink, stats) = self.run_normalized(
-                self.resolved_choice(),
-                HistogramSink::new(rel, col, lo, hi, bins),
-            )?;
-            let mut hist = sink.finish();
-            for bin in &mut hist.bins {
-                *bin /= stats.total;
-            }
-            hist.underflow /= stats.total;
-            hist.overflow /= stats.total;
-            hist.nan /= stats.total;
-            hist.mass /= stats.total;
-            return Ok(hist);
+        match self.answer_one(QuerySet::new().histogram(rel, col, lo, hi, bins))? {
+            Answer::Histogram(h) => Ok(h),
+            _ => unreachable!("histogram query answers with Answer::Histogram"),
         }
-        let mut sink = HistogramSink::new(rel, col, lo, hi, bins);
-        self.collect_into(&mut sink)?;
-        Ok(sink.finish())
     }
 
     /// The marginal of **every** tuple of `rel` occurring in some world,
@@ -966,18 +1023,77 @@ impl<'a> Evaluation<'a> {
     /// Backend evaluation errors; [`EngineError::ZeroEvidence`] when
     /// conditioning rejects all mass.
     pub fn marginals(&self, rel: RelId) -> Result<Vec<(Fact, f64)>, EngineError> {
-        if self.is_conditioned()? {
-            let (sink, stats) =
-                self.run_normalized(self.resolved_choice(), RelationMarginalsSink::new(rel))?;
-            return Ok(sink
-                .finish()
-                .into_iter()
-                .map(|(fact, p)| (fact, p / stats.total))
-                .collect());
+        match self.answer_one(QuerySet::new().marginals(rel))? {
+            Answer::Marginals(rows) => Ok(rows),
+            _ => unreachable!("marginals query answers with Answer::Marginals"),
         }
-        let mut sink = RelationMarginalsSink::new(rel);
-        self.collect_into(&mut sink)?;
-        Ok(sink.finish())
+    }
+
+    /// The weighted `q`-quantile of the values at column `col` of `rel`:
+    /// each value occurrence is weighted by its world's probability, and
+    /// the quantile is the smallest value whose cumulative weight reaches
+    /// `q` of the total observed value weight — O(distinct values)
+    /// memory. Returns `None` when no world carries a numeric value in
+    /// the column.
+    ///
+    /// ```
+    /// use gdatalog_core::Session;
+    /// use gdatalog_lang::SemanticsMode;
+    ///
+    /// let s = Session::from_source("H(Normal<0.0, 1.0>) :- true.", SemanticsMode::Grohe).unwrap();
+    /// let h = s.program().catalog.require("H").unwrap();
+    /// let median = s.eval().sample(4000).seed(3).quantile(h, 0, 0.5).unwrap().unwrap();
+    /// assert!(median.abs() < 0.1, "median of a standard normal ≈ 0");
+    /// ```
+    ///
+    /// Quantiles are invariant under rescaling the weights, so the
+    /// conditioned reading needs no renormalization; impossible evidence
+    /// still reports [`EngineError::ZeroEvidence`].
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidRequest`] unless `q ∈ [0, 1]` and `col` is
+    /// within the relation's arity; backend evaluation errors;
+    /// [`EngineError::ZeroEvidence`] when conditioning rejects all mass.
+    pub fn quantile(&self, rel: RelId, col: usize, q: f64) -> Result<Option<f64>, EngineError> {
+        match self.answer_one(QuerySet::new().quantile(rel, col, q))? {
+            Answer::Quantile(v) => Ok(v),
+            _ => unreachable!("quantile query answers with Answer::Quantile"),
+        }
+    }
+
+    /// The tail probability `P(some fact of rel has column value ≥
+    /// threshold)` — a counting event over the half-open value range
+    /// `[threshold, ∞)`, streamed in O(1) memory. Deficit mass counts as
+    /// not exceeding the threshold.
+    ///
+    /// ```
+    /// use gdatalog_core::Session;
+    /// use gdatalog_lang::SemanticsMode;
+    ///
+    /// let s = Session::from_source("H(Normal<0.0, 1.0>) :- true.", SemanticsMode::Grohe).unwrap();
+    /// let h = s.program().catalog.require("H").unwrap();
+    /// let p = s.eval().sample(4000).seed(3).tail_probability(h, 0, 0.0).unwrap();
+    /// assert!((p - 0.5).abs() < 0.05, "P(N(0,1) >= 0) = 1/2");
+    /// ```
+    ///
+    /// Under conditioning this is the **posterior** tail probability
+    /// (self-normalized).
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidRequest`] unless `col` is within the
+    /// relation's arity and `threshold` is not NaN; backend evaluation
+    /// errors; [`EngineError::ZeroEvidence`] when conditioning rejects
+    /// all mass.
+    pub fn tail_probability(
+        &self,
+        rel: RelId,
+        col: usize,
+        threshold: f64,
+    ) -> Result<f64, EngineError> {
+        match self.answer_one(QuerySet::new().tail(rel, col, threshold))? {
+            Answer::Tail(p) => Ok(p),
+            _ => unreachable!("tail query answers with Answer::Tail"),
+        }
     }
 
     /// The **evidence summary** of a conditioned evaluation: the estimated
@@ -1004,21 +1120,11 @@ impl<'a> Evaluation<'a> {
     /// Backend evaluation errors; [`EngineError::ZeroEvidence`] when
     /// conditioning rejects all mass.
     pub fn evidence(&self) -> Result<EvidenceSummary, EngineError> {
-        let stats = if self.is_conditioned()? {
-            self.run_normalized(self.resolved_choice(), NullSink)?.1
-        } else {
-            // Unconditioned: an all-deficit stream (every run over budget)
-            // legitimately has zero observed mass — report it rather than
-            // claiming evidence of probability 0 was rejected.
-            let mut wrapper = NormalizingSink::new(NullSink);
-            self.run_with(self.resolved_choice(), &mut wrapper)?;
-            wrapper.finish().1
-        };
-        Ok(EvidenceSummary {
-            mass: stats.total,
-            ess: stats.ess(),
-            worlds: stats.worlds,
-        })
+        // The empty QuerySet is the diagnostics-only request: one pass
+        // through the shared normalizer, no statistic sinks. Conditioned
+        // zero mass is ZeroEvidence; an unconditioned all-deficit stream
+        // (every run over budget) legitimately reports mass 0.
+        Ok(self.answer(&QuerySet::new())?.evidence())
     }
 
     /// Runs a **single** sequential chase under the configured policy,

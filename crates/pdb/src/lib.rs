@@ -38,7 +38,7 @@ pub use expectation::{expected_relation_size, fact_marginals, moments_of, query_
 pub use query::{eval_query, eval_query_worlds, AggFun, Query};
 pub use streaming::{
     scalar_aggregate, ColumnHistogram, DeficitKind, EmpiricalSink, EventProbabilitySink,
-    HistogramSink, MarginalSink, MomentsSink, NormalizingSink, RelationMarginalsSink, WeightStats,
-    WorldSink, WorldTableSink,
+    HistogramSink, MarginalSink, MomentsSink, MultiplexSink, NormalizingSink, QuantileSink,
+    RelationMarginalsSink, WeightStats, WorldSink, WorldTableSink,
 };
 pub use worlds::{MassDeficit, PossibleWorlds};

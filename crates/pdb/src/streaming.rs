@@ -12,9 +12,12 @@
 //!
 //! The sinks in this module are the statistics of Fact 2.6 of the paper —
 //! marginals, event probabilities, moments of aggregate queries,
-//! histograms — each usable unchanged on exact world tables and on
-//! Monte-Carlo streams, because both are streams of weighted worlds whose
-//! weights sum to (at most) one.
+//! histograms, quantiles — each usable unchanged on exact world tables
+//! and on Monte-Carlo streams, because both are streams of weighted
+//! worlds whose weights sum to (at most) one. A [`MultiplexSink`] fans
+//! one stream out to many sinks **by reference**
+//! ([`WorldSink::observe_ref`]), which is how the engine answers a whole
+//! query set from a single backend pass.
 //!
 //! A sink can be driven by hand, which is also how custom statistics are
 //! tested before plugging them into an engine backend:
@@ -70,6 +73,15 @@ pub trait WorldSink: Send {
     /// world once with its probability; Monte-Carlo streams pass each
     /// sampled world with weight `1/runs`.
     fn observe(&mut self, world: Instance, weight: f64);
+
+    /// Folds one weighted world **by reference** — the fan-out path of
+    /// [`MultiplexSink`], where one observed world feeds many sinks.
+    /// Statistic sinks override this (they only read the instance), so a
+    /// K-way fan-out costs K folds and zero clones; collectors that retain
+    /// the instance keep the default, which clones.
+    fn observe_ref(&mut self, world: &Instance, weight: f64) {
+        self.observe(world.clone(), weight);
+    }
 
     /// Folds weighted deficit mass (non-termination or truncation).
     fn observe_deficit(&mut self, kind: DeficitKind, weight: f64);
@@ -187,6 +199,13 @@ impl<S: WorldSink + 'static> WorldSink for NormalizingSink<S> {
         self.inner.observe(world, weight);
     }
 
+    fn observe_ref(&mut self, world: &Instance, weight: f64) {
+        self.stats.total += weight;
+        self.stats.sq_total += weight * weight;
+        self.stats.worlds += 1;
+        self.inner.observe_ref(world, weight);
+    }
+
     fn observe_deficit(&mut self, kind: DeficitKind, weight: f64) {
         self.inner.observe_deficit(kind, weight);
     }
@@ -214,6 +233,90 @@ impl<S: WorldSink + 'static> WorldSink for NormalizingSink<S> {
         self.stats.sq_total += other.stats.sq_total;
         self.stats.worlds += other.stats.worlds;
         self.inner.join(Box::new(other.inner));
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fan-out (single-pass multi-query support).
+// ---------------------------------------------------------------------------
+
+/// Fans one weighted-world stream out to many sinks — the single-pass
+/// multi-query device: every observation is folded into each inner sink
+/// **by reference** ([`WorldSink::observe_ref`]), so answering K
+/// statistics costs one backend pass plus K folds, with no per-sink
+/// instance cloning for statistic sinks.
+///
+/// Inner sinks are kept in insertion order; [`MultiplexSink::into_sinks`]
+/// returns them in the same order, which is how a caller maps the folded
+/// sinks back to its queries. Forks iff **every** inner sink forks;
+/// forked multiplexers join their inner sinks pairwise in chunk order,
+/// preserving the backends' deterministic chunked parallelism.
+pub struct MultiplexSink {
+    sinks: Vec<Box<dyn WorldSink>>,
+}
+
+impl MultiplexSink {
+    /// A fan-out over `sinks` (insertion order is answer order).
+    pub fn new(sinks: Vec<Box<dyn WorldSink>>) -> MultiplexSink {
+        MultiplexSink { sinks }
+    }
+
+    /// Number of inner sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether the fan-out is empty (a valid null sink).
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+
+    /// The folded inner sinks, in insertion order.
+    pub fn into_sinks(self) -> Vec<Box<dyn WorldSink>> {
+        self.sinks
+    }
+}
+
+impl WorldSink for MultiplexSink {
+    fn observe(&mut self, world: Instance, weight: f64) {
+        self.observe_ref(&world, weight);
+    }
+
+    fn observe_ref(&mut self, world: &Instance, weight: f64) {
+        for sink in &mut self.sinks {
+            sink.observe_ref(world, weight);
+        }
+    }
+
+    fn observe_deficit(&mut self, kind: DeficitKind, weight: f64) {
+        for sink in &mut self.sinks {
+            sink.observe_deficit(kind, weight);
+        }
+    }
+
+    fn fork(&self) -> Option<Box<dyn WorldSink>> {
+        let forked: Option<Vec<Box<dyn WorldSink>>> =
+            self.sinks.iter().map(|sink| sink.fork()).collect();
+        Some(Box::new(MultiplexSink { sinks: forked? }))
+    }
+
+    fn join(&mut self, forked: Box<dyn WorldSink>) {
+        let other = forked
+            .into_any()
+            .downcast::<MultiplexSink>()
+            .expect("join requires a sink forked from self");
+        assert_eq!(
+            self.sinks.len(),
+            other.sinks.len(),
+            "join requires a multiplexer forked from self"
+        );
+        for (mine, theirs) in self.sinks.iter_mut().zip(other.sinks) {
+            mine.join(theirs);
+        }
     }
 
     fn into_any(self: Box<Self>) -> Box<dyn Any> {
@@ -359,6 +462,10 @@ impl MarginalSink {
 
 impl WorldSink for MarginalSink {
     fn observe(&mut self, world: Instance, weight: f64) {
+        self.observe_ref(&world, weight);
+    }
+
+    fn observe_ref(&mut self, world: &Instance, weight: f64) {
         if world.contains(self.fact.rel, &self.fact.tuple) {
             self.mass += weight;
         }
@@ -403,7 +510,11 @@ impl EventProbabilitySink {
 
 impl WorldSink for EventProbabilitySink {
     fn observe(&mut self, world: Instance, weight: f64) {
-        if self.event.eval(&world) {
+        self.observe_ref(&world, weight);
+    }
+
+    fn observe_ref(&mut self, world: &Instance, weight: f64) {
+        if self.event.eval(world) {
             self.mass += weight;
         }
     }
@@ -501,7 +612,11 @@ pub fn scalar_aggregate(answers: &std::collections::BTreeSet<Tuple>, agg: AggFun
 
 impl WorldSink for MomentsSink {
     fn observe(&mut self, world: Instance, weight: f64) {
-        let answers = eval_query(&self.query, &world);
+        self.observe_ref(&world, weight);
+    }
+
+    fn observe_ref(&mut self, world: &Instance, weight: f64) {
+        let answers = eval_query(&self.query, world);
         let x = scalar_aggregate(&answers, self.agg).unwrap_or(self.empty_default);
         self.weight += weight;
         self.weighted_sum += x * weight;
@@ -649,12 +764,132 @@ impl HistogramSink {
 
 impl WorldSink for HistogramSink {
     fn observe(&mut self, world: Instance, weight: f64) {
+        self.observe_ref(&world, weight);
+    }
+
+    fn observe_ref(&mut self, world: &Instance, weight: f64) {
         self.hist.mass += weight;
         for t in world.relation(self.rel) {
             let Some(x) = t[self.col].as_f64() else {
                 continue;
             };
             self.hist.deposit(x, weight);
+        }
+    }
+
+    fn observe_deficit(&mut self, _kind: DeficitKind, _weight: f64) {}
+
+    forkable!();
+}
+
+// ---------------------------------------------------------------------------
+// Quantile of a numeric column.
+// ---------------------------------------------------------------------------
+
+/// A total-order key for `f64` accumulator maps (via [`f64::total_cmp`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &OrdF64) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &OrdF64) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Streams the weighted `q`-quantile of the values at column `col` of
+/// relation `rel`: each value occurrence carries its world's weight, and
+/// the quantile is the smallest value whose cumulative weight reaches `q`
+/// of the total observed value weight — O(distinct values) memory,
+/// invariant under rescaling the weights (so the conditioned and
+/// unconditioned readings coincide). Non-numeric and NaN values carry no
+/// value mass (NaN belongs to no quantile — the same totality concern as
+/// [`ColumnHistogram`]'s explicit NaN bucket).
+#[derive(Debug, Clone)]
+pub struct QuantileSink {
+    rel: RelId,
+    col: usize,
+    q: f64,
+    acc: BTreeMap<OrdF64, f64>,
+}
+
+impl QuantileSink {
+    /// Streams the `q`-quantile of `rel`'s column `col`.
+    ///
+    /// # Panics
+    /// Panics unless `q ∈ [0, 1]`.
+    pub fn new(rel: RelId, col: usize, q: f64) -> QuantileSink {
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "invalid quantile spec: need q in [0, 1], got {q}"
+        );
+        QuantileSink {
+            rel,
+            col,
+            q,
+            acc: BTreeMap::new(),
+        }
+    }
+
+    /// The accumulated quantile, or `None` if no value weight was
+    /// observed (no world contained a numeric value in the column).
+    pub fn finish(&self) -> Option<f64> {
+        let total: f64 = self.acc.values().sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let target = self.q * total;
+        let mut cum = 0.0;
+        let mut last = None;
+        for (value, weight) in &self.acc {
+            cum += weight;
+            last = Some(value.0);
+            if cum >= target {
+                return last;
+            }
+        }
+        // Unreachable when the loop ran (the final cumulative sum equals
+        // `total` by identical summation order), kept total for safety.
+        last
+    }
+
+    fn forked(&self) -> QuantileSink {
+        QuantileSink::new(self.rel, self.col, self.q)
+    }
+
+    fn absorb(&mut self, other: QuantileSink) {
+        for (value, weight) in other.acc {
+            *self.acc.entry(value).or_insert(0.0) += weight;
+        }
+    }
+}
+
+impl WorldSink for QuantileSink {
+    fn observe(&mut self, world: Instance, weight: f64) {
+        self.observe_ref(&world, weight);
+    }
+
+    fn observe_ref(&mut self, world: &Instance, weight: f64) {
+        for t in world.relation(self.rel) {
+            let Some(x) = t[self.col].as_f64() else {
+                continue;
+            };
+            // NaN is orderable into no quantile (total_cmp would sort it
+            // after +inf and poison the top of the distribution); like
+            // non-numeric values it carries no value mass. The engine's
+            // own `Value` rejects NaN at construction, but the sink is
+            // public API and must stay total on hand-fed streams.
+            if x.is_nan() {
+                continue;
+            }
+            *self.acc.entry(OrdF64(x)).or_insert(0.0) += weight;
         }
     }
 
@@ -707,6 +942,10 @@ impl RelationMarginalsSink {
 
 impl WorldSink for RelationMarginalsSink {
     fn observe(&mut self, world: Instance, weight: f64) {
+        self.observe_ref(&world, weight);
+    }
+
+    fn observe_ref(&mut self, world: &Instance, weight: f64) {
         for t in world.relation(self.rel) {
             *self.acc.entry(t.clone()).or_insert(0.0) += weight;
         }
@@ -903,6 +1142,160 @@ mod tests {
         assert_eq!(ms.len(), 3);
         assert!((ms[0].1 - 0.5).abs() < 1e-12);
         assert!((ms[2].1 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiplex_fans_one_stream_into_many_sinks() {
+        let mut mux = MultiplexSink::new(vec![
+            Box::new(MarginalSink::new(Fact::new(r(0), tuple![1i64]))),
+            Box::new(MomentsSink::new(Query::Rel(r(0)), AggFun::Count, 0.0)),
+            Box::new(HistogramSink::new(r(0), 0, 0.0, 10.0, 10)),
+        ]);
+        feed_demo(&mut mux);
+        mux.observe_deficit(DeficitKind::Nontermination, 0.0);
+        let mut sinks = mux.into_sinks().into_iter();
+        let marginal = sinks
+            .next()
+            .unwrap()
+            .into_any()
+            .downcast::<MarginalSink>()
+            .unwrap();
+        assert!((marginal.finish() - 0.5).abs() < 1e-12);
+        let moments = sinks
+            .next()
+            .unwrap()
+            .into_any()
+            .downcast::<MomentsSink>()
+            .unwrap();
+        assert!((moments.finish().unwrap().mean - 1.25).abs() < 1e-12);
+        let hist = sinks
+            .next()
+            .unwrap()
+            .into_any()
+            .downcast::<HistogramSink>()
+            .unwrap();
+        assert!((hist.finish().total() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiplex_fold_is_bit_identical_to_standalone_sinks() {
+        // The fan-out must not perturb any statistic: same observations,
+        // same fold order, bit-identical result.
+        let mut standalone = MarginalSink::new(Fact::new(r(0), tuple![1i64]));
+        feed_demo(&mut standalone);
+        let mut mux = MultiplexSink::new(vec![
+            Box::new(MarginalSink::new(Fact::new(r(0), tuple![1i64]))),
+            Box::new(EventProbabilitySink::new(Event::count_exactly(
+                FactSet::whole_relation(r(0)),
+                2,
+            ))),
+        ]);
+        feed_demo(&mut mux);
+        let folded = mux
+            .into_sinks()
+            .remove(0)
+            .into_any()
+            .downcast::<MarginalSink>()
+            .unwrap();
+        assert_eq!(folded.finish().to_bits(), standalone.finish().to_bits());
+    }
+
+    #[test]
+    fn multiplex_forks_and_joins_in_chunk_order() {
+        let mut main = MultiplexSink::new(vec![
+            Box::new(MarginalSink::new(Fact::new(r(0), tuple![1i64]))),
+            Box::new(RelationMarginalsSink::new(r(0))),
+        ]);
+        let mut w1 = main.fork().unwrap();
+        let mut w2 = main.fork().unwrap();
+        let mut d = Instance::new();
+        d.insert(r(0), tuple![1i64]);
+        w1.observe(d.clone(), 0.25);
+        w2.observe(d, 0.5);
+        w2.observe(Instance::new(), 0.25);
+        main.join(w1);
+        main.join(w2);
+        let mut sinks = main.into_sinks().into_iter();
+        let marginal = sinks
+            .next()
+            .unwrap()
+            .into_any()
+            .downcast::<MarginalSink>()
+            .unwrap();
+        assert!((marginal.finish() - 0.75).abs() < 1e-12);
+        let rels = sinks
+            .next()
+            .unwrap()
+            .into_any()
+            .downcast::<RelationMarginalsSink>()
+            .unwrap();
+        assert_eq!(rels.finish().len(), 1);
+    }
+
+    #[test]
+    fn empty_multiplex_is_a_null_sink() {
+        let mut mux = MultiplexSink::new(Vec::new());
+        assert!(mux.is_empty());
+        feed_demo(&mut mux);
+        assert!(mux.fork().is_some(), "vacuously forkable");
+    }
+
+    #[test]
+    fn quantile_streams_weighted_order_statistics() {
+        // Values 1, 2 (weight 0.5 each via the 0.5-world) and 5 (0.25).
+        let mut sink = QuantileSink::new(r(0), 0, 0.5);
+        feed_demo(&mut sink);
+        // Total value weight 1.25; cumulative: 1 → 0.5, 2 → 1.0, 5 → 1.25.
+        // Median target 0.625 lands on value 2.
+        assert_eq!(sink.finish(), Some(2.0));
+        let mut lo = QuantileSink::new(r(0), 0, 0.0);
+        feed_demo(&mut lo);
+        assert_eq!(lo.finish(), Some(1.0));
+        let mut hi = QuantileSink::new(r(0), 0, 1.0);
+        feed_demo(&mut hi);
+        assert_eq!(hi.finish(), Some(5.0));
+        // No observed values: None, not a panic.
+        let empty = QuantileSink::new(r(0), 0, 0.5);
+        assert_eq!(empty.finish(), None);
+    }
+
+    #[test]
+    fn quantile_forks_and_joins() {
+        let mut main = QuantileSink::new(r(0), 0, 0.5);
+        let mut w1 = main.fork().unwrap();
+        let mut w2 = main.fork().unwrap();
+        let mut d1 = Instance::new();
+        d1.insert(r(0), tuple![1.0]);
+        w1.observe(d1, 0.5);
+        let mut d2 = Instance::new();
+        d2.insert(r(0), tuple![3.0]);
+        w2.observe(d2, 0.5);
+        main.join(w1);
+        main.join(w2);
+        assert_eq!(main.finish(), Some(1.0), "cum 0.5 >= target 0.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid quantile spec")]
+    fn quantile_rejects_out_of_range_q() {
+        let _ = QuantileSink::new(r(0), 0, 1.5);
+    }
+
+    #[test]
+    fn quantile_never_reports_nan() {
+        // NaN carries no value mass (observe_ref skips it — total_cmp
+        // would sort it after +inf and q = 1 would report Some(NaN)),
+        // matching the histogram's explicit-NaN-bucket convention. The
+        // accumulator is private and `Value` rejects NaN upstream, so
+        // assert the observable contract: the top quantile of a clean
+        // stream is the real maximum, never NaN.
+        let mut sink = QuantileSink::new(r(0), 0, 1.0);
+        let mut world = Instance::new();
+        world.insert(r(0), tuple![2.0]);
+        world.insert(r(0), tuple![f64::INFINITY]);
+        sink.observe(world, 0.5);
+        assert_eq!(sink.finish(), Some(f64::INFINITY), "infinities order");
+        assert!(!sink.finish().unwrap().is_nan());
     }
 
     #[test]

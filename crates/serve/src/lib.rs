@@ -25,6 +25,14 @@
 //!   and joins answers in request order. Batch answers are bit-identical
 //!   to evaluating each request alone, for any worker count.
 //!
+//! A request may bundle **several queries** (`Request::query` /
+//! the `"queries"` wire member): the executor compiles them into one
+//! `gdatalog_core::QuerySet` and answers all of them in a **single**
+//! backend pass, so a K-statistics dashboard request costs one chase
+//! instead of K. The [`Reply`] carries one [`Response`] per query in
+//! query order, plus the evidence diagnostics (mass, effective sample
+//! size) when the request was conditioned.
+//!
 //! ```
 //! use gdatalog_serve::{ProgramCache, Request, Response, Server};
 //! use gdatalog_lang::SemanticsMode;
@@ -42,11 +50,11 @@
 //! let server = Server::new(model).threads(4);
 //! let requests: Vec<Request> = (0..16)
 //!     .map(|i| Request::marginal(format!("Alarm(city{i})"))
-//!         .evidence(format!("City(city{i}, 0.3)."))
+//!         .input(format!("City(city{i}, 0.3)."))
 //!         .exact())
 //!     .collect();
 //! for answer in server.batch(&requests) {
-//!     assert_eq!(answer.unwrap(), Response::Marginal(0.3));
+//!     assert_eq!(answer.unwrap().single(), &Response::Marginal(0.3));
 //! }
 //! assert_eq!(cache.stats().misses, 1);
 //! ```
@@ -67,7 +75,7 @@ pub mod server;
 
 pub use cache::{CacheStats, PreparedModel, ProgramCache};
 pub use pool::{PooledSession, SessionPool, DEFAULT_MAX_IDLE};
-pub use request::{fact_text, BackendSpec, QueryKind, Request, Response};
+pub use request::{fact_text, query_from_json, BackendSpec, QueryKind, Reply, Request, Response};
 pub use server::{execute_on, BatchExecutor, Server};
 
 /// Errors of the serving layer.

@@ -1,24 +1,43 @@
-//! The batch wire format: one [`Request`] per independent query, one
-//! [`Response`] per answer.
+//! The batch wire format: one [`Request`] per independent unit of work,
+//! one [`Reply`] per answer.
 //!
 //! Requests name relations and facts **textually** (`"Alarm(h0)"`) so they
 //! can travel as JSON; the executor resolves them against the cached
 //! program's catalog at evaluation time. Each request carries its own
-//! evidence (ground facts inserted into the pooled session before
-//! evaluation), backend choice, and Monte-Carlo configuration — requests
-//! in one batch are fully independent, which is what makes batched
-//! execution embarrassingly parallel *and* bit-reproducible.
+//! input facts (inserted into the pooled session before evaluation),
+//! conditioning evidence, backend choice, and Monte-Carlo configuration —
+//! requests in one batch are fully independent, which is what makes
+//! batched execution embarrassingly parallel *and* bit-reproducible.
+//!
+//! A request may ask **several queries at once** (the `"queries"` wire
+//! member / [`Request::query`]); the executor answers all of them in one
+//! backend pass over the session, so a K-statistics dashboard request
+//! costs one chase instead of K. The answer is a [`Reply`]: one
+//! [`Response`] per query in query order, plus conditioning diagnostics
+//! (evidence mass, effective sample size) when the request was
+//! conditioned.
 //!
 //! ```
 //! use gdatalog_serve::{Request, json::Json};
 //!
-//! let req = Request::marginal("Alarm(h0)").evidence("City(h0, 0.3).").seed(7);
+//! let req = Request::marginal("Alarm(h0)").input("City(h0, 0.3).").seed(7);
 //! let parsed = Request::from_json(&Json::parse(
-//!     r#"{"kind": "marginal", "fact": "Alarm(h0)", "evidence": "City(h0, 0.3).", "seed": 7}"#,
+//!     r#"{"kind": "marginal", "fact": "Alarm(h0)", "input": "City(h0, 0.3).", "seed": 7}"#,
 //! ).unwrap()).unwrap();
 //! assert_eq!(req, parsed);
+//!
+//! // Multi-query: one pass, three answers, order preserved.
+//! let multi = Request::from_json(&Json::parse(
+//!     r#"{"queries": [
+//!         {"kind": "marginal", "fact": "Alarm(h0)"},
+//!         {"kind": "expectation", "rel": "Alarm"},
+//!         {"kind": "quantile", "rel": "Reading", "col": 1, "q": 0.5}
+//!     ], "input": "City(h0, 0.3)."}"#,
+//! ).unwrap()).unwrap();
+//! assert_eq!(multi.queries.len(), 3);
 //! ```
 
+use gdatalog_core::EvidenceSummary;
 use gdatalog_data::{Catalog, Fact};
 use gdatalog_pdb::{AggFun, ColumnHistogram, Moments};
 
@@ -40,7 +59,7 @@ pub enum BackendSpec {
     Mc,
 }
 
-/// The query a request asks, with textual relation/fact references.
+/// One query of a request, with textual relation/fact references.
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueryKind {
     /// `P(fact ∈ D)` for one fact, e.g. `"Alarm(h0)"`.
@@ -82,16 +101,39 @@ pub enum QueryKind {
         /// Number of equal-width bins.
         bins: usize,
     },
+    /// Weighted `q`-quantile of the values at a numeric column.
+    Quantile {
+        /// Relation name.
+        rel: String,
+        /// Column index.
+        col: usize,
+        /// The quantile, in `[0, 1]`.
+        q: f64,
+    },
+    /// Tail probability `P(some fact has column value ≥ threshold)`.
+    Tail {
+        /// Relation name.
+        rel: String,
+        /// Column index.
+        col: usize,
+        /// Inclusive threshold.
+        threshold: f64,
+    },
 }
 
-/// One independent query request.
+/// One independent request: one or more queries answered in a **single**
+/// backend pass over one session state.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
-    /// What to compute.
-    pub query: QueryKind,
+    /// The queries to answer, in answer order. Every query of one request
+    /// shares the request's input facts, evidence, backend, and seed —
+    /// and one evaluation pass.
+    pub queries: Vec<QueryKind>,
     /// Ground facts (program syntax) inserted into the session before
-    /// evaluation — the request's **input** facts.
-    pub evidence: Option<String>,
+    /// evaluation — the request's **input** facts. (Renamed from
+    /// `evidence`, which wrongly suggested conditioning; the JSON parser
+    /// still accepts the old `"evidence"` key as an alias.)
+    pub input: Option<String>,
     /// Observation statements to **condition** on (`@observe` syntax with
     /// the prefix optional): hard ground facts (`"Alarm(h0)."`) and soft
     /// likelihood statements (`"Normal<M, 1.0> == 2.5 :- Mu(M)."`). The
@@ -110,9 +152,14 @@ pub struct Request {
 
 impl Request {
     fn new(query: QueryKind) -> Request {
+        Request::multi(vec![query])
+    }
+
+    /// A request asking several queries at once (one backend pass).
+    pub fn multi(queries: Vec<QueryKind>) -> Request {
         Request {
-            query,
-            evidence: None,
+            queries,
+            input: None,
             given: None,
             backend: BackendSpec::Auto,
             runs: None,
@@ -158,10 +205,42 @@ impl Request {
         })
     }
 
-    /// Sets the request's input facts.
-    pub fn evidence(mut self, facts: impl Into<String>) -> Request {
-        self.evidence = Some(facts.into());
+    /// A quantile request over `rel`'s column `col`.
+    pub fn quantile(rel: impl Into<String>, col: usize, q: f64) -> Request {
+        Request::new(QueryKind::Quantile {
+            rel: rel.into(),
+            col,
+            q,
+        })
+    }
+
+    /// A tail-probability request over `rel`'s column `col`.
+    pub fn tail(rel: impl Into<String>, col: usize, threshold: f64) -> Request {
+        Request::new(QueryKind::Tail {
+            rel: rel.into(),
+            col,
+            threshold,
+        })
+    }
+
+    /// Appends another query to the request — all queries of one request
+    /// are answered by a single backend pass, in append order.
+    pub fn query(mut self, query: QueryKind) -> Request {
+        self.queries.push(query);
         self
+    }
+
+    /// Sets the request's input facts.
+    pub fn input(mut self, facts: impl Into<String>) -> Request {
+        self.input = Some(facts.into());
+        self
+    }
+
+    /// Back-compat alias for [`Request::input`] (the member used to be
+    /// called `evidence`, which wrongly suggested conditioning — use
+    /// [`Request::given`] for that).
+    pub fn evidence(self, facts: impl Into<String>) -> Request {
+        self.input(facts)
     }
 
     /// Conditions the request on observation statements (the wire
@@ -196,18 +275,15 @@ impl Request {
         self
     }
 
-    /// Parses one request object of the batch wire format.
+    /// Parses one request object of the batch wire format: either the
+    /// single-query form (`"kind"` and its fields at top level) or the
+    /// multi-query form (a `"queries"` array of such objects, sharing the
+    /// top-level configuration members).
     ///
     /// # Errors
-    /// [`ServeError::BadRequest`] on unknown kinds or missing fields.
+    /// [`ServeError::BadRequest`] on unknown kinds, missing fields, or a
+    /// request mixing both forms.
     pub fn from_json(v: &Json) -> Result<Request, ServeError> {
-        let bad = |msg: &str| ServeError::BadRequest(msg.to_string());
-        let str_field = |key: &str| -> Result<String, ServeError> {
-            v.get(key)
-                .and_then(Json::as_str)
-                .map(str::to_string)
-                .ok_or_else(|| ServeError::BadRequest(format!("request needs a string `{key}`")))
-        };
         // Optional members: absent is fine, present-but-invalid (wrong
         // type, negative, fractional, or beyond the exact-f64 range) is
         // an error — never a silent fallback to a default.
@@ -242,52 +318,32 @@ impl Request {
                 }),
             }
         };
-        let kind = str_field("kind")?;
-        let query = match kind.as_str() {
-            "marginal" => QueryKind::Marginal {
-                fact: str_field("fact")?,
-            },
-            "marginals" => QueryKind::Marginals {
-                rel: str_field("rel")?,
-            },
-            "probability" => QueryKind::Probability {
-                facts: str_field("facts")?,
-            },
-            "expectation" => QueryKind::Expectation {
-                rel: str_field("rel")?,
-                agg: match opt_str("agg")?.as_deref().unwrap_or("count") {
-                    "count" => AggFun::Count,
-                    "sum" => AggFun::Sum,
-                    "avg" => AggFun::Avg,
-                    "min" => AggFun::Min,
-                    "max" => AggFun::Max,
-                    other => {
-                        return Err(ServeError::BadRequest(format!(
-                            "unknown aggregate `{other}`"
-                        )))
-                    }
-                },
-                col: opt_usize("col")?,
-            },
-            "histogram" => QueryKind::Histogram {
-                rel: str_field("rel")?,
-                col: opt_usize("col")?.ok_or_else(|| bad("histogram needs an integer `col`"))?,
-                lo: v
-                    .get("lo")
-                    .and_then(Json::as_f64)
-                    .ok_or_else(|| bad("histogram needs a numeric `lo`"))?,
-                hi: v
-                    .get("hi")
-                    .and_then(Json::as_f64)
-                    .ok_or_else(|| bad("histogram needs a numeric `hi`"))?,
-                bins: opt_usize("bins")?.unwrap_or(20),
-            },
-            other => {
-                return Err(ServeError::BadRequest(format!(
-                    "unknown request kind `{other}` (expected marginal | marginals | \
-                     probability | expectation | histogram)"
-                )))
+        let queries = match v.get("queries") {
+            Some(arr) => {
+                if v.get("kind").is_some() {
+                    return Err(ServeError::BadRequest(
+                        "a request carries either a top-level `kind` (single query) \
+                         or a `queries` array, not both"
+                            .to_string(),
+                    ));
+                }
+                let items = arr.as_array().ok_or_else(|| {
+                    ServeError::BadRequest(format!(
+                        "`queries` must be an array, got {}",
+                        arr.render()
+                    ))
+                })?;
+                if items.is_empty() {
+                    return Err(ServeError::BadRequest(
+                        "`queries` must not be empty".to_string(),
+                    ));
+                }
+                items
+                    .iter()
+                    .map(query_from_json)
+                    .collect::<Result<Vec<_>, _>>()?
             }
+            None => vec![query_from_json(v)?],
         };
         let backend = match opt_str("backend")?.as_deref().unwrap_or("auto") {
             "auto" => BackendSpec::Auto,
@@ -300,9 +356,22 @@ impl Request {
                 )))
             }
         };
+        // `input` is the member's name; `evidence` stays accepted as a
+        // back-compat alias (it never meant conditioning — that's
+        // `given`). Both at once would be ambiguous.
+        let input = match (opt_str("input")?, opt_str("evidence")?) {
+            (Some(_), Some(_)) => {
+                return Err(ServeError::BadRequest(
+                    "`input` and its legacy alias `evidence` are the same member; \
+                     send only one"
+                        .to_string(),
+                ))
+            }
+            (input, legacy) => input.or(legacy),
+        };
         Ok(Request {
-            query,
-            evidence: opt_str("evidence")?,
+            queries,
+            input,
             given: opt_str("given")?,
             backend,
             runs: opt_usize("runs")?,
@@ -312,7 +381,97 @@ impl Request {
     }
 }
 
-/// One answered request.
+/// Parses one query object (the `"kind"` + kind-specific fields shape
+/// used both at request top level and inside a `"queries"` array).
+///
+/// # Errors
+/// [`ServeError::BadRequest`] on unknown kinds or missing fields.
+pub fn query_from_json(v: &Json) -> Result<QueryKind, ServeError> {
+    let bad = |msg: &str| ServeError::BadRequest(msg.to_string());
+    let str_field = |key: &str| -> Result<String, ServeError> {
+        v.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ServeError::BadRequest(format!("request needs a string `{key}`")))
+    };
+    let opt_str = |key: &str| -> Result<Option<String>, ServeError> {
+        match v.get(key) {
+            None => Ok(None),
+            Some(s) => s.as_str().map(|s| Some(s.to_string())).ok_or_else(|| {
+                ServeError::BadRequest(format!("`{key}` must be a string, got {}", s.render()))
+            }),
+        }
+    };
+    let opt_usize = |key: &str| -> Result<Option<usize>, ServeError> {
+        match v.get(key) {
+            None => Ok(None),
+            Some(n) => n.as_usize().map(Some).ok_or_else(|| {
+                ServeError::BadRequest(format!(
+                    "`{key}` must be a non-negative whole number, got {}",
+                    n.render()
+                ))
+            }),
+        }
+    };
+    let num_field = |key: &str, what: &str| -> Result<f64, ServeError> {
+        v.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| ServeError::BadRequest(format!("{what} needs a numeric `{key}`")))
+    };
+    let kind = str_field("kind")?;
+    Ok(match kind.as_str() {
+        "marginal" => QueryKind::Marginal {
+            fact: str_field("fact")?,
+        },
+        "marginals" => QueryKind::Marginals {
+            rel: str_field("rel")?,
+        },
+        "probability" => QueryKind::Probability {
+            facts: str_field("facts")?,
+        },
+        "expectation" => QueryKind::Expectation {
+            rel: str_field("rel")?,
+            agg: match opt_str("agg")?.as_deref().unwrap_or("count") {
+                "count" => AggFun::Count,
+                "sum" => AggFun::Sum,
+                "avg" => AggFun::Avg,
+                "min" => AggFun::Min,
+                "max" => AggFun::Max,
+                other => {
+                    return Err(ServeError::BadRequest(format!(
+                        "unknown aggregate `{other}`"
+                    )))
+                }
+            },
+            col: opt_usize("col")?,
+        },
+        "histogram" => QueryKind::Histogram {
+            rel: str_field("rel")?,
+            col: opt_usize("col")?.ok_or_else(|| bad("histogram needs an integer `col`"))?,
+            lo: num_field("lo", "histogram")?,
+            hi: num_field("hi", "histogram")?,
+            bins: opt_usize("bins")?.unwrap_or(20),
+        },
+        "quantile" => QueryKind::Quantile {
+            rel: str_field("rel")?,
+            col: opt_usize("col")?.ok_or_else(|| bad("quantile needs an integer `col`"))?,
+            q: num_field("q", "quantile")?,
+        },
+        "tail" => QueryKind::Tail {
+            rel: str_field("rel")?,
+            col: opt_usize("col")?.ok_or_else(|| bad("tail needs an integer `col`"))?,
+            threshold: num_field("threshold", "tail")?,
+        },
+        other => {
+            return Err(ServeError::BadRequest(format!(
+                "unknown request kind `{other}` (expected marginal | marginals | \
+                 probability | expectation | histogram | quantile | tail)"
+            )))
+        }
+    })
+}
+
+/// The answer to one query of a request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// A marginal probability.
@@ -325,6 +484,10 @@ pub enum Response {
     Histogram(ColumnHistogram),
     /// All fact marginals of a relation, facts rendered in program syntax.
     Marginals(Vec<(String, f64)>),
+    /// A weighted quantile (`None` when no value mass was observed).
+    Quantile(Option<f64>),
+    /// A tail probability.
+    Tail(f64),
 }
 
 impl Response {
@@ -378,7 +541,87 @@ impl Response {
                     ),
                 ),
             ]),
+            Response::Quantile(None) => Json::Obj(vec![
+                ("kind".into(), Json::Str("quantile".into())),
+                ("empty".into(), Json::Bool(true)),
+            ]),
+            Response::Quantile(Some(value)) => Json::Obj(vec![
+                ("kind".into(), Json::Str("quantile".into())),
+                ("value".into(), Json::Num(*value)),
+            ]),
+            Response::Tail(p) => Json::Obj(vec![
+                ("kind".into(), Json::Str("tail".into())),
+                ("p".into(), Json::Num(*p)),
+            ]),
         }
+    }
+}
+
+/// The full answer to one [`Request`]: one [`Response`] per query in
+/// query order, plus the pass's conditioning diagnostics when the
+/// request was conditioned (`given` / program `@observe` clauses).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reply {
+    /// One response per query, in query order.
+    pub responses: Vec<Response>,
+    /// The evidence summary of the (single, shared) conditioned pass:
+    /// observed mass and effective sample size. `None` for
+    /// unconditioned requests.
+    pub evidence: Option<EvidenceSummary>,
+}
+
+impl Reply {
+    /// The sole response of a single-query request.
+    ///
+    /// # Panics
+    /// Panics unless the reply answers exactly one query.
+    pub fn single(&self) -> &Response {
+        assert_eq!(
+            self.responses.len(),
+            1,
+            "Reply::single on a {}-query reply",
+            self.responses.len()
+        );
+        &self.responses[0]
+    }
+
+    /// Renders the reply as JSON. Replies answering exactly **one**
+    /// query keep the flat pre-multi-query shape (`{"kind": …, …}`) —
+    /// regardless of whether the request used the top-level or the
+    /// `"queries": [...]` form — gaining an `"evidence"` member when
+    /// conditioned; replies answering several render as
+    /// `{"kind": "multi", "answers": […], "evidence"?: …}`. Clients
+    /// parse unambiguously by branching on `kind == "multi"` (no flat
+    /// answer shape uses that tag).
+    pub fn to_json(&self) -> Json {
+        let evidence = self.evidence.as_ref().map(|ev| {
+            Json::Obj(vec![
+                ("mass".into(), Json::Num(ev.mass)),
+                ("ess".into(), Json::Num(ev.ess)),
+                ("worlds".into(), Json::Num(ev.worlds as f64)),
+            ])
+        });
+        if self.responses.len() == 1 {
+            let mut obj = match self.responses[0].to_json() {
+                Json::Obj(members) => members,
+                other => vec![("answer".into(), other)],
+            };
+            if let Some(ev) = evidence {
+                obj.push(("evidence".into(), ev));
+            }
+            return Json::Obj(obj);
+        }
+        let mut obj = vec![
+            ("kind".into(), Json::Str("multi".into())),
+            (
+                "answers".into(),
+                Json::Arr(self.responses.iter().map(Response::to_json).collect()),
+            ),
+        ];
+        if let Some(ev) = evidence {
+            obj.push(("evidence".into(), ev));
+        }
+        Json::Obj(obj)
     }
 }
 
@@ -406,7 +649,9 @@ mod tests {
             {"kind": "marginals", "rel": "A", "backend": "exact-parallel"},
             {"kind": "probability", "facts": "A(x). A(y).", "backend": "mc", "runs": 100},
             {"kind": "expectation", "rel": "A", "agg": "sum", "col": 1},
-            {"kind": "histogram", "rel": "A", "col": 0, "lo": 0, "hi": 1, "bins": 4}
+            {"kind": "histogram", "rel": "A", "col": 0, "lo": 0, "hi": 1, "bins": 4},
+            {"kind": "quantile", "rel": "A", "col": 0, "q": 0.5},
+            {"kind": "tail", "rel": "A", "col": 0, "threshold": 2.5}
         ]"#;
         let parsed: Vec<Request> = Json::parse(reqs)
             .unwrap()
@@ -415,17 +660,74 @@ mod tests {
             .iter()
             .map(|v| Request::from_json(v).unwrap())
             .collect();
-        assert_eq!(parsed.len(), 5);
+        assert_eq!(parsed.len(), 7);
         assert_eq!(parsed[1].backend, BackendSpec::ExactParallel);
         assert_eq!(parsed[2].runs, Some(100));
         assert!(matches!(
-            &parsed[3].query,
+            &parsed[3].queries[0],
             QueryKind::Expectation {
                 agg: AggFun::Sum,
                 col: Some(1),
                 ..
             }
         ));
+        assert!(matches!(
+            &parsed[5].queries[0],
+            QueryKind::Quantile { q, .. } if (*q - 0.5).abs() < 1e-12
+        ));
+        assert!(matches!(
+            &parsed[6].queries[0],
+            QueryKind::Tail { threshold, .. } if (*threshold - 2.5).abs() < 1e-12
+        ));
+    }
+
+    #[test]
+    fn parses_multi_query_requests() {
+        let v = Json::parse(
+            r#"{"queries": [
+                {"kind": "marginal", "fact": "A(x)"},
+                {"kind": "expectation", "rel": "A"},
+                {"kind": "tail", "rel": "A", "col": 0, "threshold": 1}
+            ], "input": "B(x).", "seed": 9}"#,
+        )
+        .unwrap();
+        let req = Request::from_json(&v).unwrap();
+        assert_eq!(req.queries.len(), 3);
+        assert_eq!(req.input.as_deref(), Some("B(x)."));
+        assert_eq!(req.seed, Some(9));
+        // Mixing the single- and multi-query forms is ambiguous.
+        let both = Json::parse(
+            r#"{"kind": "marginal", "fact": "A(x)",
+                "queries": [{"kind": "marginals", "rel": "A"}]}"#,
+        )
+        .unwrap();
+        assert!(Request::from_json(&both).is_err());
+        // An empty queries array asks nothing — reject it.
+        let empty = Json::parse(r#"{"queries": []}"#).unwrap();
+        assert!(Request::from_json(&empty).is_err());
+    }
+
+    #[test]
+    fn evidence_is_a_back_compat_alias_for_input() {
+        let legacy =
+            Json::parse(r#"{"kind": "marginal", "fact": "A(x)", "evidence": "B(x)."}"#).unwrap();
+        let renamed =
+            Json::parse(r#"{"kind": "marginal", "fact": "A(x)", "input": "B(x)."}"#).unwrap();
+        assert_eq!(
+            Request::from_json(&legacy).unwrap(),
+            Request::from_json(&renamed).unwrap()
+        );
+        // Both at once is ambiguous — error, not silent preference.
+        let both = Json::parse(
+            r#"{"kind": "marginal", "fact": "A(x)", "input": "B(x).", "evidence": "C(x)."}"#,
+        )
+        .unwrap();
+        assert!(Request::from_json(&both).is_err());
+        // The Rust builder alias matches the rename too.
+        assert_eq!(
+            Request::marginal("A(x)").evidence("B(x)."),
+            Request::marginal("A(x)").input("B(x).")
+        );
     }
 
     #[test]
@@ -447,8 +749,12 @@ mod tests {
             r#"{"kind": "marginal", "fact": "A(x)", "max_depth": -1}"#,
             r#"{"kind": "histogram", "rel": "A", "col": 0, "lo": 0, "hi": 1, "bins": 2.5}"#,
             r#"{"kind": "marginal", "fact": "A(x)", "evidence": 5}"#,
+            r#"{"kind": "marginal", "fact": "A(x)", "input": 5}"#,
             r#"{"kind": "marginal", "fact": "A(x)", "backend": 5}"#,
             r#"{"kind": "expectation", "rel": "A", "agg": 3}"#,
+            r#"{"kind": "quantile", "rel": "A", "col": 0}"#,
+            r#"{"kind": "tail", "rel": "A", "col": 0}"#,
+            r#"{"queries": 5}"#,
         ] {
             let v = Json::parse(bad).unwrap();
             assert!(Request::from_json(&v).is_err(), "{bad} should be rejected");
@@ -466,6 +772,48 @@ mod tests {
         assert_eq!(
             e.to_json().render(),
             r#"{"kind": "expectation", "empty": true}"#
+        );
+        let q = Response::Quantile(Some(1.5));
+        assert_eq!(
+            q.to_json().render(),
+            r#"{"kind": "quantile", "value": 1.5}"#
+        );
+        let t = Response::Tail(0.1);
+        assert_eq!(t.to_json().render(), r#"{"kind": "tail", "p": 0.1}"#);
+    }
+
+    #[test]
+    fn replies_render_flat_single_and_tagged_multi() {
+        // Single-query replies keep the old flat shape.
+        let single = Reply {
+            responses: vec![Response::Marginal(0.25)],
+            evidence: None,
+        };
+        assert_eq!(
+            single.to_json().render(),
+            r#"{"kind": "marginal", "p": 0.25}"#
+        );
+        // Conditioned single-query replies gain the diagnostics member.
+        let conditioned = Reply {
+            responses: vec![Response::Marginal(1.0)],
+            evidence: Some(EvidenceSummary {
+                mass: 0.06,
+                ess: 3.0,
+                worlds: 3,
+            }),
+        };
+        assert_eq!(
+            conditioned.to_json().render(),
+            r#"{"kind": "marginal", "p": 1, "evidence": {"mass": 0.06, "ess": 3, "worlds": 3}}"#
+        );
+        // Multi-query replies are tagged and ordered.
+        let multi = Reply {
+            responses: vec![Response::Marginal(0.25), Response::Tail(0.5)],
+            evidence: None,
+        };
+        assert_eq!(
+            multi.to_json().render(),
+            r#"{"kind": "multi", "answers": [{"kind": "marginal", "p": 0.25}, {"kind": "tail", "p": 0.5}]}"#
         );
     }
 }

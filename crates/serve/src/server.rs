@@ -14,34 +14,185 @@
 
 use std::sync::Arc;
 
-use gdatalog_core::{EngineError, Session};
-use gdatalog_lang::{parse_facts, SemanticsMode};
+use gdatalog_core::{Answer, EngineError, QueryIr, QuerySet, Session};
+use gdatalog_lang::{parse_facts, CompiledProgram, SemanticsMode};
 use gdatalog_pdb::{Event, Query};
 
 use crate::cache::PreparedModel;
 use crate::pool::SessionPool;
-use crate::request::{fact_text, BackendSpec, QueryKind, Request, Response};
+use crate::request::{fact_text, BackendSpec, QueryKind, Reply, Request, Response};
 use crate::ServeError;
 
-/// Evaluates one request on a (clean) session. The session's extensional
-/// database is extended with the request's evidence for the duration of
-/// the call; the caller is responsible for [`Session::reset`] afterwards
-/// (the pool and executor do this automatically).
+/// Resolves one wire query against the program catalog into the core
+/// query IR — name resolution and spec validation happen here, once,
+/// before any backend work.
 ///
 /// # Errors
-/// [`ServeError::BadRequest`] for unresolvable names/malformed specs,
-/// engine errors from evaluation.
-pub fn execute_on(session: &mut Session, request: &Request) -> Result<Response, ServeError> {
-    if let Some(evidence) = &request.evidence {
-        session.insert_facts_text(evidence)?;
-    }
-    let program = session.program();
+/// [`ServeError::BadRequest`] for unresolvable names or malformed specs.
+fn compile_query(kind: &QueryKind, program: &CompiledProgram) -> Result<QueryIr, ServeError> {
     let resolve = |name: &str| {
         program
             .catalog
             .require(name)
             .map_err(|e| ServeError::BadRequest(format!("{e}")))
     };
+    // Resolves the relation and checks the column in one step, so the
+    // quantile/tail/histogram arms resolve each name exactly once.
+    let resolve_col = |name: &str, col: usize| -> Result<gdatalog_data::RelId, ServeError> {
+        let rel = resolve(name)?;
+        let arity = program.catalog.decl(rel).arity();
+        if col >= arity {
+            return Err(ServeError::BadRequest(format!(
+                "column {col} out of range (arity {arity})"
+            )));
+        }
+        Ok(rel)
+    };
+    match kind {
+        QueryKind::Marginal { fact } => {
+            let parsed = parse_facts(&ensure_dot(fact), &program.catalog)?;
+            let mut facts = parsed.facts();
+            let (Some(fact), None) = (facts.next(), facts.next()) else {
+                return Err(ServeError::BadRequest(format!(
+                    "marginal expects exactly one fact, got `{fact}`"
+                )));
+            };
+            Ok(QueryIr::Marginal { fact })
+        }
+        QueryKind::Marginals { rel } => Ok(QueryIr::Marginals { rel: resolve(rel)? }),
+        QueryKind::Probability { facts } => {
+            let parsed = parse_facts(&ensure_dot(facts), &program.catalog)?;
+            let mut event: Option<Event> = None;
+            for fact in parsed.facts() {
+                let clause = Event::contains_fact(&fact);
+                event = Some(match event {
+                    None => clause,
+                    Some(e) => e.and(clause),
+                });
+            }
+            let Some(event) = event else {
+                return Err(ServeError::BadRequest(
+                    "probability needs at least one fact".to_string(),
+                ));
+            };
+            Ok(QueryIr::Probability { event })
+        }
+        QueryKind::Expectation { rel, agg, col } => {
+            let rel = resolve(rel)?;
+            let arity = program.catalog.decl(rel).arity();
+            let query = Query::Rel(rel);
+            let query = match col {
+                Some(c) if *c < arity => query.project(vec![*c]),
+                Some(c) => {
+                    return Err(ServeError::BadRequest(format!(
+                        "column {c} out of range (arity {arity})"
+                    )))
+                }
+                None => query,
+            };
+            Ok(QueryIr::Expectation { query, agg: *agg })
+        }
+        QueryKind::Histogram {
+            rel,
+            col,
+            lo,
+            hi,
+            bins,
+        } => {
+            let rel = resolve_col(rel, *col)?;
+            // Finiteness required: JSON can smuggle ±∞ in via `1e999`, and
+            // an infinite range breaks the bin-width arithmetic. NaN fails
+            // `is_finite` too.
+            if !lo.is_finite() || !hi.is_finite() || lo >= hi || *bins == 0 {
+                return Err(ServeError::BadRequest(format!(
+                    "invalid histogram spec: need finite lo < hi and bins > 0 \
+                     (got lo {lo}, hi {hi}, bins {bins})"
+                )));
+            }
+            Ok(QueryIr::Histogram {
+                rel,
+                col: *col,
+                lo: *lo,
+                hi: *hi,
+                bins: *bins,
+            })
+        }
+        QueryKind::Quantile { rel, col, q } => {
+            let rel = resolve_col(rel, *col)?;
+            if !(0.0..=1.0).contains(q) {
+                return Err(ServeError::BadRequest(format!(
+                    "invalid quantile spec: need q in [0, 1], got {q}"
+                )));
+            }
+            Ok(QueryIr::Quantile {
+                rel,
+                col: *col,
+                q: *q,
+            })
+        }
+        QueryKind::Tail {
+            rel,
+            col,
+            threshold,
+        } => {
+            let rel = resolve_col(rel, *col)?;
+            if threshold.is_nan() {
+                return Err(ServeError::BadRequest(
+                    "invalid tail spec: threshold must not be NaN".to_string(),
+                ));
+            }
+            Ok(QueryIr::Tail {
+                rel,
+                col: *col,
+                threshold: *threshold,
+            })
+        }
+    }
+}
+
+/// Renders one typed core answer back into its wire response.
+fn render_answer(answer: Answer, program: &CompiledProgram) -> Response {
+    match answer {
+        Answer::Marginal(p) => Response::Marginal(p),
+        Answer::Probability(p) => Response::Probability(p),
+        Answer::Expectation(m) => Response::Expectation(m),
+        Answer::Histogram(h) => Response::Histogram(h),
+        Answer::Marginals(rows) => Response::Marginals(
+            rows.into_iter()
+                .map(|(fact, p)| (fact_text(&fact, &program.catalog), p))
+                .collect(),
+        ),
+        Answer::Quantile(v) => Response::Quantile(v),
+        Answer::Tail(p) => Response::Tail(p),
+    }
+}
+
+/// Evaluates one request on a (clean) session: the session's extensional
+/// database is extended with the request's input facts, **all** of the
+/// request's queries are compiled against the catalog, and a single
+/// backend pass answers every one of them (the multiplexed
+/// `Evaluation::answer` path — a K-query request costs one
+/// chase/enumeration/Monte-Carlo pass, not K). The caller is responsible
+/// for [`Session::reset`] afterwards (the pool and executor do this
+/// automatically).
+///
+/// # Errors
+/// [`ServeError::BadRequest`] for unresolvable names/malformed specs or
+/// an empty query list, engine errors from evaluation.
+pub fn execute_on(session: &mut Session, request: &Request) -> Result<Reply, ServeError> {
+    if let Some(input) = &request.input {
+        session.insert_facts_text(input)?;
+    }
+    let program = session.program();
+    if request.queries.is_empty() {
+        return Err(ServeError::BadRequest(
+            "request asks no queries".to_string(),
+        ));
+    }
+    let mut queries = QuerySet::new();
+    for kind in &request.queries {
+        queries.push(compile_query(kind, program)?);
+    }
     // Backend selection mirrors the CLI: an explicit choice wins, auto
     // picks Monte-Carlo exactly when the program samples a continuous
     // distribution.
@@ -69,86 +220,19 @@ pub fn execute_on(session: &mut Session, request: &Request) -> Result<Response, 
             _ => eval,
         }
     };
-    match &request.query {
-        QueryKind::Marginal { fact } => {
-            let parsed = parse_facts(&ensure_dot(fact), &program.catalog)?;
-            let mut facts = parsed.facts();
-            let (Some(fact), None) = (facts.next(), facts.next()) else {
-                return Err(ServeError::BadRequest(format!(
-                    "marginal expects exactly one fact, got `{fact}`"
-                )));
-            };
-            Ok(Response::Marginal(eval.marginal(&fact)?))
-        }
-        QueryKind::Marginals { rel } => {
-            let rel = resolve(rel)?;
-            let rows = eval
-                .marginals(rel)?
-                .into_iter()
-                .map(|(fact, p)| (fact_text(&fact, &program.catalog), p))
-                .collect();
-            Ok(Response::Marginals(rows))
-        }
-        QueryKind::Probability { facts } => {
-            let parsed = parse_facts(&ensure_dot(facts), &program.catalog)?;
-            let mut event: Option<Event> = None;
-            for fact in parsed.facts() {
-                let clause = Event::contains_fact(&fact);
-                event = Some(match event {
-                    None => clause,
-                    Some(e) => e.and(clause),
-                });
-            }
-            let Some(event) = event else {
-                return Err(ServeError::BadRequest(
-                    "probability needs at least one fact".to_string(),
-                ));
-            };
-            Ok(Response::Probability(eval.probability(&event)?))
-        }
-        QueryKind::Expectation { rel, agg, col } => {
-            let rel = resolve(rel)?;
-            let arity = program.catalog.decl(rel).arity();
-            let query = Query::Rel(rel);
-            let query = match col {
-                Some(c) if *c < arity => query.project(vec![*c]),
-                Some(c) => {
-                    return Err(ServeError::BadRequest(format!(
-                        "column {c} out of range (arity {arity})"
-                    )))
-                }
-                None => query,
-            };
-            Ok(Response::Expectation(eval.expectation(&query, *agg)?))
-        }
-        QueryKind::Histogram {
-            rel,
-            col,
-            lo,
-            hi,
-            bins,
-        } => {
-            let rel = resolve(rel)?;
-            let arity = program.catalog.decl(rel).arity();
-            if *col >= arity {
-                return Err(ServeError::BadRequest(format!(
-                    "column {col} out of range (arity {arity})"
-                )));
-            }
-            // Finiteness required: JSON can smuggle ±∞ in via `1e999`, and
-            // an infinite range breaks the bin-width arithmetic. NaN fails
-            // `is_finite` too.
-            if !lo.is_finite() || !hi.is_finite() || lo >= hi || *bins == 0 {
-                return Err(ServeError::BadRequest(format!(
-                    "invalid histogram spec: need finite lo < hi and bins > 0 \
-                     (got lo {lo}, hi {hi}, bins {bins})"
-                )));
-            }
-            Ok(Response::Histogram(
-                eval.histogram(rel, *col, *lo, *hi, *bins)?,
-            ))
-        }
-    }
+    let answers = eval.answer(&queries)?;
+    // Conditioning diagnostics ride along instead of being discarded: the
+    // pass's evidence mass and effective sample size, computed once for
+    // the whole query set.
+    let evidence = answers.conditioned().then(|| answers.evidence());
+    let responses = answers
+        .into_iter()
+        .map(|answer| render_answer(answer, program))
+        .collect();
+    Ok(Reply {
+        responses,
+        evidence,
+    })
 }
 
 fn ensure_dot(text: &str) -> String {
@@ -188,7 +272,7 @@ impl BatchExecutor {
         &self,
         pool: &SessionPool,
         requests: &[Request],
-    ) -> Vec<Result<Response, ServeError>> {
+    ) -> Vec<Result<Reply, ServeError>> {
         let threads = self.threads.min(requests.len().max(1));
         if threads <= 1 {
             let mut session = pool.checkout();
@@ -204,7 +288,7 @@ impl BatchExecutor {
         // Contiguous chunks joined in order: answers land in request
         // order and are independent of worker timing.
         let n = requests.len();
-        let chunks: Vec<Vec<Result<Response, ServeError>>> = std::thread::scope(|scope| {
+        let chunks: Vec<Vec<Result<Reply, ServeError>>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|worker| {
                     let lo = worker * n / threads;
@@ -259,7 +343,7 @@ impl Default for BatchExecutor {
 ///     .collect();
 /// let answers = server.batch(&requests);
 /// for answer in answers {
-///     assert_eq!(answer.unwrap(), Response::Marginal(0.25));
+///     assert_eq!(answer.unwrap().single(), &Response::Marginal(0.25));
 /// }
 /// ```
 pub struct Server {
@@ -306,14 +390,14 @@ impl Server {
     ///
     /// # Errors
     /// Bad request specs or evaluation errors.
-    pub fn execute(&self, request: &Request) -> Result<Response, ServeError> {
+    pub fn execute(&self, request: &Request) -> Result<Reply, ServeError> {
         let mut session = self.pool.checkout();
         execute_on(&mut session, request)
     }
 
     /// Answers a batch of independent requests, in request order —
     /// bit-identical to answering each alone, for any worker count.
-    pub fn batch(&self, requests: &[Request]) -> Vec<Result<Response, ServeError>> {
+    pub fn batch(&self, requests: &[Request]) -> Vec<Result<Reply, ServeError>> {
         self.executor.execute(&self.pool, requests)
     }
 }
@@ -343,7 +427,7 @@ mod tests {
             })
             .collect();
         for (i, answer) in server.batch(&requests).into_iter().enumerate() {
-            let Response::Marginal(p) = answer.unwrap() else {
+            let Response::Marginal(p) = answer.unwrap().single().clone() else {
                 panic!("marginal response expected");
             };
             assert!((p - rates[i]).abs() < 1e-12, "slot {i}");
@@ -354,16 +438,14 @@ mod tests {
     #[test]
     fn evidence_does_not_leak_between_requests() {
         let server = Server::from_source(SRC, SemanticsMode::Grohe).unwrap();
-        let with = Request::marginals("Alarm")
-            .evidence("City(a, 1.0).")
-            .exact();
+        let with = Request::marginals("Alarm").input("City(a, 1.0).").exact();
         let without = Request::marginals("Alarm").exact();
         let answers = server.batch(&[with, without]);
-        let Response::Marginals(first) = answers[0].as_ref().unwrap() else {
+        let Response::Marginals(first) = answers[0].as_ref().unwrap().single() else {
             panic!()
         };
         assert_eq!(first.len(), 1);
-        let Response::Marginals(second) = answers[1].as_ref().unwrap() else {
+        let Response::Marginals(second) = answers[1].as_ref().unwrap().single() else {
             panic!()
         };
         assert!(second.is_empty(), "no residual evidence from request 0");
@@ -396,22 +478,44 @@ mod tests {
                 .evidence(evidence)
                 .exact(),
             Request::marginals("Alarm").evidence(evidence).exact(),
+            Request::quantile("Earthquake", 1, 0.75)
+                .evidence(evidence)
+                .exact(),
+            Request::tail("Earthquake", 1, 1.0)
+                .evidence(evidence)
+                .exact(),
         ]);
-        assert_eq!(answers[0].as_ref().unwrap(), &Response::Marginal(0.5));
-        assert_eq!(answers[1].as_ref().unwrap(), &Response::Probability(0.25));
-        let Response::Expectation(Some(m)) = answers[2].as_ref().unwrap() else {
+        assert_eq!(
+            answers[0].as_ref().unwrap().single(),
+            &Response::Marginal(0.5)
+        );
+        assert_eq!(
+            answers[1].as_ref().unwrap().single(),
+            &Response::Probability(0.25)
+        );
+        let Response::Expectation(Some(m)) = answers[2].as_ref().unwrap().single() else {
             panic!()
         };
         assert!((m.mean - 1.0).abs() < 1e-12);
-        let Response::Histogram(h) = answers[3].as_ref().unwrap() else {
+        let Response::Histogram(h) = answers[3].as_ref().unwrap().single() else {
             panic!()
         };
         assert!((h.bins[1] - 1.0).abs() < 1e-12, "E[#quake=1] = 1");
-        let Response::Marginals(rows) = answers[4].as_ref().unwrap() else {
+        let Response::Marginals(rows) = answers[4].as_ref().unwrap().single() else {
             panic!()
         };
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].0, "Alarm(a)");
+        let Response::Quantile(Some(v)) = answers[5].as_ref().unwrap().single() else {
+            panic!()
+        };
+        // Indicator values 0 and 1 carry weight 1.0 each; the 0.75
+        // quantile (target 1.5 of 2.0) lands on 1.
+        assert!((v - 1.0).abs() < 1e-12);
+        let Response::Tail(p) = answers[6].as_ref().unwrap().single() else {
+            panic!()
+        };
+        assert!((p - 0.75).abs() < 1e-12, "P(some quake indicator >= 1)");
     }
 
     #[test]
@@ -429,8 +533,20 @@ mod tests {
             .given("Alarm(a).")
             .exact();
         let answers = server.batch(&[prior.clone(), posterior.clone()]);
-        assert_eq!(answers[0].as_ref().unwrap(), &Response::Marginal(0.3));
-        assert_eq!(answers[1].as_ref().unwrap(), &Response::Marginal(1.0));
+        assert_eq!(
+            answers[0].as_ref().unwrap().single(),
+            &Response::Marginal(0.3)
+        );
+        assert_eq!(
+            answers[1].as_ref().unwrap().single(),
+            &Response::Marginal(1.0)
+        );
+        // The conditioned reply surfaces the pass's evidence diagnostics
+        // (mass = P(Alarm(a)) = 0.3) instead of discarding them.
+        assert!(answers[0].as_ref().unwrap().evidence.is_none());
+        let ev = answers[1].as_ref().unwrap().evidence.expect("diagnostics");
+        assert!((ev.mass - 0.3).abs() < 1e-12);
+        assert!(ev.ess >= 1.0);
         // Batched conditional answers are identical to the single-request
         // path (the acceptance criterion for serving-layer conditioning).
         let single = server.execute(&posterior).unwrap();
@@ -456,7 +572,7 @@ mod tests {
         let b = server4.batch(&requests);
         for (i, (x, y)) in a.iter().zip(&b).enumerate() {
             let (Response::Marginal(p), Response::Marginal(q)) =
-                (x.as_ref().unwrap(), y.as_ref().unwrap())
+                (x.as_ref().unwrap().single(), y.as_ref().unwrap().single())
             else {
                 panic!()
             };
@@ -486,7 +602,7 @@ mod tests {
         let b = server4.batch(&requests);
         for (x, y) in a.iter().zip(&b) {
             let (Response::Marginal(p), Response::Marginal(q)) =
-                (x.as_ref().unwrap(), y.as_ref().unwrap())
+                (x.as_ref().unwrap().single(), y.as_ref().unwrap().single())
             else {
                 panic!()
             };

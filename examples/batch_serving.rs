@@ -46,10 +46,43 @@ fn main() {
             .mc(20_000)
             .seed(7),
     );
+    // A dashboard-style request: five statistics about one input, answered
+    // by a single evaluation pass (the `Evaluation::answer` fast path).
+    requests.push(
+        Request::marginal("Alarm(a)")
+            .query(QueryKind::Marginals {
+                rel: "Alarm".into(),
+            })
+            .query(QueryKind::Expectation {
+                rel: "Alarm".into(),
+                agg: AggFun::Count,
+                col: None,
+            })
+            .query(QueryKind::Quantile {
+                rel: "Earthquake".into(),
+                col: 1,
+                q: 0.9,
+            })
+            .query(QueryKind::Tail {
+                rel: "Earthquake".into(),
+                col: 1,
+                threshold: 1.0,
+            })
+            .input("City(a, 0.5). City(b, 0.5).")
+            .exact(),
+    );
+    // A conditioned request: the reply carries the evidence diagnostics
+    // (observed mass, effective sample size) alongside the posterior.
+    requests.push(
+        Request::marginal("Earthquake(a, 1)")
+            .input("City(a, 0.5).")
+            .given("Alarm(a).")
+            .exact(),
+    );
 
     for (i, answer) in server.batch(&requests).into_iter().enumerate() {
         match answer {
-            Ok(response) => println!("[{i}] {}", response.to_json().render()),
+            Ok(reply) => println!("[{i}] {}", reply.to_json().render()),
             Err(e) => println!("[{i}] error: {e}"),
         }
     }

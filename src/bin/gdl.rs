@@ -5,9 +5,10 @@
 //! gdl exact  <file.gdl> [--barany] [--depth N] [--input facts.gdl] [--format json]
 //! gdl sample <file.gdl> [--barany] [--runs N] [--seed S] [--steps N]
 //!                       [--threads N] [--input facts.gdl] [--format json]
-//! gdl query  <file.gdl> <marginal|expectation|histogram> <Relation>
+//! gdl query  <file.gdl> <marginal|expectation|histogram|quantile|tail> <Relation>
 //!                       [--agg count|sum|avg|min|max] [--col K]
-//!                       [--lo X --hi Y --bins N] [--given "observations"]
+//!                       [--lo X --hi Y --bins N] [--q Q] [--threshold T]
+//!                       [--and "<kind>:<Rel>[:...]"]... [--given "observations"]
 //!                       [--exact | --mc] [--runs N] [--seed S] [--steps N]
 //!                       [--threads N] [--input facts.gdl] [--format json]
 //! gdl batch  <requests.json> [--threads N] [--format json]
@@ -18,6 +19,13 @@
 //! is compiled once, `--input` facts extend the session's extensional
 //! database, and the builder picks exact enumeration or streaming
 //! Monte-Carlo automatically (`--exact` / `--mc` force a backend).
+//!
+//! `query` answers one query per `--and` flag **plus** the positional
+//! one, all folded from a **single** evaluation pass (chase once, answer
+//! many) — the CLI face of `Evaluation::answer`. Specs are
+//! colon-separated: `marginal:Rel`, `expectation:Rel[:agg[:col]]`,
+//! `histogram:Rel:col:lo:hi:bins`, `quantile:Rel:col:q`,
+//! `tail:Rel:col:threshold`.
 //!
 //! `query --given "<observations>"` **conditions** the query: the argument
 //! takes `@observe` statements with the prefix optional — hard ground
@@ -93,6 +101,11 @@ struct Args {
     lo: Option<f64>,
     hi: Option<f64>,
     bins: usize,
+    q: Option<f64>,
+    threshold: Option<f64>,
+    /// Additional queries (`--and <spec>`, repeatable) answered in the
+    /// same backend pass as the positional query.
+    and: Vec<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -121,6 +134,9 @@ fn parse_args() -> Result<Args, String> {
         lo: None,
         hi: None,
         bins: 20,
+        q: None,
+        threshold: None,
+        and: Vec::new(),
     };
     if args.command == "query" {
         args.query_kind = Some(argv.next().ok_or("query needs a kind")?);
@@ -169,6 +185,9 @@ fn parse_args() -> Result<Args, String> {
             "--lo" => args.lo = Some(num("--lo", take("--lo"))?),
             "--hi" => args.hi = Some(num("--hi", take("--hi"))?),
             "--bins" => args.bins = take("--bins")?.parse().map_err(|e| format!("{e}"))?,
+            "--q" => args.q = Some(num("--q", take("--q"))?),
+            "--threshold" => args.threshold = Some(num("--threshold", take("--threshold"))?),
+            "--and" => args.and.push(take("--and")?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -232,8 +251,22 @@ fn run_batch(args: &Args) -> Result<(), String> {
     // these flags here and then ignoring them would silently change what
     // the user asked for.
     const NOT_FOR_BATCH: &[&str] = &[
-        "--runs", "--seed", "--steps", "--depth", "--input", "--given", "--exact", "--mc", "--agg",
-        "--col", "--lo", "--hi", "--bins",
+        "--runs",
+        "--seed",
+        "--steps",
+        "--depth",
+        "--input",
+        "--given",
+        "--exact",
+        "--mc",
+        "--agg",
+        "--col",
+        "--lo",
+        "--hi",
+        "--bins",
+        "--q",
+        "--threshold",
+        "--and",
     ];
     if let Some(flag) = args
         .seen_flags
@@ -507,7 +540,9 @@ fn run() -> Result<(), String> {
     }
 }
 
-fn run_query(args: &Args, session: &Session, out: &mut impl std::io::Write) -> Result<(), String> {
+/// Builds the primary query of `gdl query <kind> <Relation>` from the
+/// positionals and their flags.
+fn primary_query(args: &Args, session: &Session) -> Result<QueryIr, String> {
     let program = session.program();
     let rel_name = args.query_rel.as_deref().expect("parsed");
     let rel = program
@@ -515,31 +550,20 @@ fn run_query(args: &Args, session: &Session, out: &mut impl std::io::Write) -> R
         .require(rel_name)
         .map_err(|e| format!("{e}"))?;
     let arity = program.catalog.decl(rel).arity();
-    let eval = configure(session, args);
-    match args.query_kind.as_deref().expect("parsed") {
-        "marginal" => {
-            let marginals = eval.marginals(rel).map_err(|e| e.to_string())?;
-            match args.format {
-                Format::Text => {
-                    for (fact, p) in &marginals {
-                        let _ = writeln!(out, "{p:.6}  {}", fact_text(fact, &program.catalog));
-                    }
-                }
-                Format::Json => {
-                    let rows: Vec<String> = marginals
-                        .iter()
-                        .map(|(fact, p)| {
-                            format!(
-                                "{{\"fact\": \"{}\", \"p\": {p}}}",
-                                json_escape(&fact_text(fact, &program.catalog))
-                            )
-                        })
-                        .collect();
-                    let _ = writeln!(out, "{{\"marginals\": [{}]}}", rows.join(", "));
-                }
-            }
-            Ok(())
+    let default_last_col = |col: Option<usize>| -> Result<usize, String> {
+        let col = col.unwrap_or(arity.saturating_sub(1));
+        if col >= arity {
+            return Err(format!(
+                "--col {col} out of range for {rel_name} (arity {arity})"
+            ));
         }
+        Ok(col)
+    };
+    match args.query_kind.as_deref().expect("parsed") {
+        // The CLI's `marginal` has always meant all-fact marginals of a
+        // relation; `marginals` (the wire-format name, and the label the
+        // JSON output carries) is accepted as an alias.
+        "marginal" | "marginals" => Ok(QueryIr::Marginals { rel }),
         "expectation" => {
             let query = Query::Rel(rel);
             let query = match args.col {
@@ -552,35 +576,13 @@ fn run_query(args: &Args, session: &Session, out: &mut impl std::io::Write) -> R
                 }
                 None => query,
             };
-            let m = eval
-                .expectation(&query, args.agg)
-                .map_err(|e| e.to_string())?
-                .ok_or("no world mass observed")?;
-            match args.format {
-                Format::Text => {
-                    let _ = writeln!(
-                        out,
-                        "mean {:.6}  variance {:.6}  mass {:.6}",
-                        m.mean, m.variance, m.mass
-                    );
-                }
-                Format::Json => {
-                    let _ = writeln!(
-                        out,
-                        "{{\"mean\": {}, \"variance\": {}, \"mass\": {}}}",
-                        m.mean, m.variance, m.mass
-                    );
-                }
-            }
-            Ok(())
+            Ok(QueryIr::Expectation {
+                query,
+                agg: args.agg,
+            })
         }
         "histogram" => {
-            let col = args.col.unwrap_or(arity.saturating_sub(1));
-            if col >= arity {
-                return Err(format!(
-                    "--col {col} out of range for {rel_name} (arity {arity})"
-                ));
-            }
+            let col = default_last_col(args.col)?;
             let (lo, hi) = match (args.lo, args.hi) {
                 (Some(lo), Some(hi)) => (lo, hi),
                 _ => return Err("histogram needs --lo and --hi".to_string()),
@@ -592,48 +594,301 @@ fn run_query(args: &Args, session: &Session, out: &mut impl std::io::Write) -> R
                     args.bins
                 ));
             }
-            let hist = eval
-                .histogram(rel, col, lo, hi, args.bins)
-                .map_err(|e| e.to_string())?;
-            match args.format {
-                Format::Text => {
-                    for (i, count) in hist.bins.iter().enumerate() {
-                        let _ = writeln!(out, "{:>12.4}  {count:.6}", hist.bin_center(i));
-                    }
-                    let _ = writeln!(
-                        out,
-                        "# underflow {:.6}, overflow {:.6}, mass {:.6}",
-                        hist.underflow, hist.overflow, hist.mass
-                    );
-                }
-                Format::Json => {
-                    let bins: Vec<String> = hist
-                        .bins
+            Ok(QueryIr::Histogram {
+                rel,
+                col,
+                lo,
+                hi,
+                bins: args.bins,
+            })
+        }
+        "quantile" => {
+            let col = default_last_col(args.col)?;
+            let q = args.q.ok_or("quantile needs --q (in [0, 1])")?;
+            if !(0.0..=1.0).contains(&q) {
+                return Err(format!("--q must be in [0, 1], got {q}"));
+            }
+            Ok(QueryIr::Quantile { rel, col, q })
+        }
+        "tail" => {
+            let col = default_last_col(args.col)?;
+            let threshold = args.threshold.ok_or("tail needs --threshold")?;
+            if threshold.is_nan() {
+                return Err("--threshold must not be NaN".to_string());
+            }
+            Ok(QueryIr::Tail {
+                rel,
+                col,
+                threshold,
+            })
+        }
+        other => Err(format!(
+            "unknown query kind `{other}` (expected marginal | expectation | histogram | \
+             quantile | tail)"
+        )),
+    }
+}
+
+/// Parses one `--and` spec into a query. The mini-grammar is
+/// colon-separated: `marginal:Rel`, `expectation:Rel[:agg[:col]]`,
+/// `histogram:Rel:col:lo:hi:bins`, `quantile:Rel:col:q`,
+/// `tail:Rel:col:threshold`.
+fn parse_and_spec(spec: &str, session: &Session) -> Result<QueryIr, String> {
+    let program = session.program();
+    let parts: Vec<&str> = spec.split(':').collect();
+    let bad = |msg: &str| format!("--and `{spec}`: {msg}");
+    let resolve = |name: &str| {
+        program
+            .catalog
+            .require(name)
+            .map_err(|e| bad(&format!("{e}")))
+    };
+    let check_col = |rel: RelId, col: usize| -> Result<usize, String> {
+        let arity = program.catalog.decl(rel).arity();
+        if col >= arity {
+            return Err(bad(&format!("column {col} out of range (arity {arity})")));
+        }
+        Ok(col)
+    };
+    let num = |what: &str, v: &str| -> Result<f64, String> {
+        v.parse().map_err(|e| bad(&format!("{what}: {e}")))
+    };
+    let int = |what: &str, v: &str| -> Result<usize, String> {
+        v.parse().map_err(|e| bad(&format!("{what}: {e}")))
+    };
+    match parts.as_slice() {
+        ["marginal" | "marginals", rel] => Ok(QueryIr::Marginals { rel: resolve(rel)? }),
+        ["expectation", rel] => Ok(QueryIr::Expectation {
+            query: Query::Rel(resolve(rel)?),
+            agg: AggFun::Count,
+        }),
+        ["expectation", rel, agg] | ["expectation", rel, agg, _] => {
+            let rel = resolve(rel)?;
+            let agg = match *agg {
+                "count" => AggFun::Count,
+                "sum" => AggFun::Sum,
+                "avg" => AggFun::Avg,
+                "min" => AggFun::Min,
+                "max" => AggFun::Max,
+                other => return Err(bad(&format!("unknown aggregate `{other}`"))),
+            };
+            let query = Query::Rel(rel);
+            let query = match parts.get(3) {
+                Some(col) => query.project(vec![check_col(rel, int("col", col)?)?]),
+                None => query,
+            };
+            Ok(QueryIr::Expectation { query, agg })
+        }
+        ["histogram", rel, col, lo, hi, bins] => {
+            let rel = resolve(rel)?;
+            let (lo, hi) = (num("lo", lo)?, num("hi", hi)?);
+            let bins = int("bins", bins)?;
+            if !lo.is_finite() || !hi.is_finite() || lo >= hi || bins == 0 {
+                return Err(bad("need finite lo < hi and bins > 0"));
+            }
+            Ok(QueryIr::Histogram {
+                rel,
+                col: check_col(rel, int("col", col)?)?,
+                lo,
+                hi,
+                bins,
+            })
+        }
+        ["quantile", rel, col, q] => {
+            let rel = resolve(rel)?;
+            let q = num("q", q)?;
+            if !(0.0..=1.0).contains(&q) {
+                return Err(bad(&format!("q must be in [0, 1], got {q}")));
+            }
+            Ok(QueryIr::Quantile {
+                rel,
+                col: check_col(rel, int("col", col)?)?,
+                q,
+            })
+        }
+        ["tail", rel, col, threshold] => {
+            let rel = resolve(rel)?;
+            let threshold = num("threshold", threshold)?;
+            if threshold.is_nan() {
+                return Err(bad("threshold must not be NaN"));
+            }
+            Ok(QueryIr::Tail {
+                rel,
+                col: check_col(rel, int("col", col)?)?,
+                threshold,
+            })
+        }
+        _ => Err(bad(
+            "expected marginal:Rel | expectation:Rel[:agg[:col]] | \
+             histogram:Rel:col:lo:hi:bins | quantile:Rel:col:q | tail:Rel:col:threshold",
+        )),
+    }
+}
+
+/// Renders one answer as the flat JSON object `gdl query` emits (shared
+/// shapes with the serving layer's wire format where they overlap).
+fn answer_json(answer: &Answer, catalog: &Catalog) -> Json {
+    match answer {
+        Answer::Marginal(p) => Json::Obj(vec![("p".into(), Json::Num(*p))]),
+        Answer::Probability(p) => Json::Obj(vec![("p".into(), Json::Num(*p))]),
+        Answer::Marginals(rows) => Json::Obj(vec![(
+            "marginals".into(),
+            Json::Arr(
+                rows.iter()
+                    .map(|(fact, p)| {
+                        Json::Obj(vec![
+                            ("fact".into(), Json::Str(fact_text(fact, catalog))),
+                            ("p".into(), Json::Num(*p)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )]),
+        Answer::Expectation(None) => Json::Obj(vec![("empty".into(), Json::Bool(true))]),
+        Answer::Expectation(Some(m)) => Json::Obj(vec![
+            ("mean".into(), Json::Num(m.mean)),
+            ("variance".into(), Json::Num(m.variance)),
+            ("mass".into(), Json::Num(m.mass)),
+        ]),
+        Answer::Histogram(hist) => Json::Obj(vec![
+            ("lo".into(), Json::Num(hist.lo)),
+            ("hi".into(), Json::Num(hist.hi)),
+            ("underflow".into(), Json::Num(hist.underflow)),
+            ("overflow".into(), Json::Num(hist.overflow)),
+            ("mass".into(), Json::Num(hist.mass)),
+            (
+                "bins".into(),
+                Json::Arr(
+                    hist.bins
                         .iter()
                         .enumerate()
                         .map(|(i, c)| {
-                            format!("{{\"center\": {}, \"count\": {c}}}", hist.bin_center(i))
+                            Json::Obj(vec![
+                                ("center".into(), Json::Num(hist.bin_center(i))),
+                                ("count".into(), Json::Num(*c)),
+                            ])
                         })
-                        .collect();
-                    let _ = writeln!(
-                        out,
-                        "{{\"lo\": {}, \"hi\": {}, \"underflow\": {}, \"overflow\": {}, \
-                         \"mass\": {}, \"bins\": [{}]}}",
-                        hist.lo,
-                        hist.hi,
-                        hist.underflow,
-                        hist.overflow,
-                        hist.mass,
-                        bins.join(", ")
-                    );
-                }
-            }
-            Ok(())
-        }
-        other => Err(format!(
-            "unknown query kind `{other}` (expected marginal | expectation | histogram)"
-        )),
+                        .collect(),
+                ),
+            ),
+        ]),
+        Answer::Quantile(None) => Json::Obj(vec![("empty".into(), Json::Bool(true))]),
+        Answer::Quantile(Some(v)) => Json::Obj(vec![("value".into(), Json::Num(*v))]),
+        Answer::Tail(p) => Json::Obj(vec![("p".into(), Json::Num(*p))]),
     }
+}
+
+/// Renders one answer as the text lines `gdl query` prints. Total: an
+/// empty expectation/quantile prints an explicit `empty` line (matching
+/// the `{"empty": true}` JSON shape) instead of erroring mid-stream and
+/// discarding the remaining answers of a multi-query invocation.
+fn write_answer_text(out: &mut impl std::io::Write, answer: &Answer, catalog: &Catalog) {
+    match answer {
+        Answer::Marginal(p) | Answer::Probability(p) | Answer::Tail(p) => {
+            let _ = writeln!(out, "{p:.6}");
+        }
+        Answer::Marginals(rows) => {
+            for (fact, p) in rows {
+                let _ = writeln!(out, "{p:.6}  {}", fact_text(fact, catalog));
+            }
+        }
+        Answer::Expectation(None) => {
+            let _ = writeln!(out, "empty (no world mass observed)");
+        }
+        Answer::Expectation(Some(m)) => {
+            let _ = writeln!(
+                out,
+                "mean {:.6}  variance {:.6}  mass {:.6}",
+                m.mean, m.variance, m.mass
+            );
+        }
+        Answer::Histogram(hist) => {
+            for (i, count) in hist.bins.iter().enumerate() {
+                let _ = writeln!(out, "{:>12.4}  {count:.6}", hist.bin_center(i));
+            }
+            let _ = writeln!(
+                out,
+                "# underflow {:.6}, overflow {:.6}, mass {:.6}",
+                hist.underflow, hist.overflow, hist.mass
+            );
+        }
+        Answer::Quantile(None) => {
+            let _ = writeln!(out, "empty (no value mass observed)");
+        }
+        Answer::Quantile(Some(v)) => {
+            let _ = writeln!(out, "{v:.6}");
+        }
+    }
+}
+
+/// Runs `gdl query`: the positional query plus every `--and` query,
+/// answered together in **one** backend pass over the session.
+fn run_query(args: &Args, session: &Session, out: &mut impl std::io::Write) -> Result<(), String> {
+    let program = session.program();
+    let mut queries = QuerySet::new();
+    queries.push(primary_query(args, session)?);
+    for spec in &args.and {
+        queries.push(parse_and_spec(spec, session)?);
+    }
+    let eval = configure(session, args);
+    let answers = eval.answer(&queries).map_err(|e| e.to_string())?;
+    let evidence = answers.conditioned().then(|| answers.evidence());
+    match args.format {
+        Format::Text => {
+            let multi = answers.len() > 1;
+            for (i, (query, answer)) in queries.queries().iter().zip(answers.iter()).enumerate() {
+                if multi {
+                    let _ = writeln!(out, "[{i}] {}", query.kind());
+                }
+                write_answer_text(out, answer, &program.catalog);
+            }
+            if let Some(ev) = evidence {
+                let _ = writeln!(
+                    out,
+                    "# evidence mass {:.6}, ess {:.1}, worlds {}",
+                    ev.mass, ev.ess, ev.worlds
+                );
+            }
+        }
+        Format::Json => {
+            let evidence_json = evidence.map(|ev| {
+                Json::Obj(vec![
+                    ("mass".into(), Json::Num(ev.mass)),
+                    ("ess".into(), Json::Num(ev.ess)),
+                    ("worlds".into(), Json::Num(ev.worlds as f64)),
+                ])
+            });
+            let doc = if answers.len() == 1 {
+                let Json::Obj(mut members) = answer_json(&answers[0], &program.catalog) else {
+                    unreachable!("answers render as objects")
+                };
+                if let Some(ev) = evidence_json {
+                    members.push(("evidence".into(), ev));
+                }
+                Json::Obj(members)
+            } else {
+                let rendered: Vec<Json> = queries
+                    .queries()
+                    .iter()
+                    .zip(answers.iter())
+                    .map(|(query, answer)| {
+                        let Json::Obj(mut members) = answer_json(answer, &program.catalog) else {
+                            unreachable!("answers render as objects")
+                        };
+                        members.insert(0, ("kind".into(), Json::Str(query.kind().into())));
+                        Json::Obj(members)
+                    })
+                    .collect();
+                let mut members = vec![("answers".into(), Json::Arr(rendered))];
+                if let Some(ev) = evidence_json {
+                    members.push(("evidence".into(), ev));
+                }
+                Json::Obj(members)
+            };
+            let _ = writeln!(out, "{}", doc.render());
+        }
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -643,8 +898,10 @@ fn main() -> ExitCode {
             eprintln!("gdl: {e}");
             eprintln!(
                 "usage: gdl <check|exact|sample|query|batch|tree> <file.gdl> [args]\n\
-                 \x20 query: gdl query <file.gdl> <marginal|expectation|histogram> <Relation>\n\
-                 \x20        [--agg count|sum|avg|min|max] [--col K] [--lo X --hi Y --bins N]\n\
+                 \x20 query: gdl query <file.gdl> <marginal|expectation|histogram|quantile|tail>\n\
+                 \x20        <Relation> [--agg count|sum|avg|min|max] [--col K]\n\
+                 \x20        [--lo X --hi Y --bins N] [--q Q] [--threshold T]\n\
+                 \x20        [--and \"expectation:Rel:count\"] (repeatable; one pass, many answers)\n\
                  \x20        [--given \"Alarm(h1). Normal<M, 1.0> == 2.5 :- Mu(M).\"]\n\
                  \x20 batch: gdl batch <requests.json> [--threads N] [--format json]\n\
                  \x20 flags: [--barany] [--runs N] [--seed S] [--steps N] [--depth N]\n\

@@ -73,9 +73,10 @@ pub use gdatalog_stats as stats;
 /// The most commonly used items, for `use gdatalog::prelude::*`.
 pub mod prelude {
     pub use gdatalog_core::{
-        Backend, ChasePolicy, ChaseVariant, Engine, EngineError, EvalJob, EvalOptions, Evaluation,
-        EvidenceSummary, ExactConfig, ExactParallelBackend, ExactSequentialBackend, McBackend,
-        McConfig, PolicyKind, PreparedProgram, Session,
+        Answer, Answers, Backend, ChasePolicy, ChaseVariant, Engine, EngineError, EvalJob,
+        EvalOptions, Evaluation, EvidenceSummary, ExactConfig, ExactParallelBackend,
+        ExactSequentialBackend, McBackend, McConfig, PolicyKind, PreparedProgram, QueryIr,
+        QuerySet, Session,
     };
     pub use gdatalog_data::{tuple, Catalog, ColType, Fact, Instance, RelId, Tuple, Value};
     pub use gdatalog_dist::{ParamDist, Registry};
@@ -85,8 +86,8 @@ pub mod prelude {
         PossibleWorlds, Query, WeightStats, WorldSink,
     };
     pub use gdatalog_serve::{
-        BatchExecutor, PreparedModel, ProgramCache, Request, Response, ServeError, Server,
-        SessionPool,
+        BatchExecutor, PreparedModel, ProgramCache, QueryKind, Reply, Request, Response,
+        ServeError, Server, SessionPool,
     };
 }
 

@@ -184,7 +184,7 @@ fn conditional_batch_through_serve_equals_single_session_path() {
         .given("Alarm().")
         .marginal(&Fact::new(quake, tuple![1i64]))
         .unwrap();
-    let Response::Marginal(p) = batched[0].as_ref().unwrap() else {
+    let Response::Marginal(p) = batched[0].as_ref().unwrap().single() else {
         panic!("marginal expected");
     };
     assert_eq!(p.to_bits(), expect.to_bits());

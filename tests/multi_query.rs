@@ -1,0 +1,519 @@
+//! Acceptance tests for ISSUE 5 (first-class Query IR): a `QuerySet` of K
+//! queries performs **exactly one** backend pass (counted by a wrapping
+//! test backend), and its bundled answers are **bit-identical** to the K
+//! individual terminal calls — for exact-sequential, exact-parallel, and
+//! seeded Monte-Carlo at several worker counts, with and without
+//! `given(...)` conditioning — plus the ZeroEvidence and validation
+//! edges.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use gdatalog::prelude::*;
+
+const MODEL: &str = "rel City(symbol, real) input.
+    Earthquake(C, Flip<R>) :- City(C, R).
+    Trig(C, Flip<0.6>) :- Earthquake(C, 1).
+    Alarm(C) :- Trig(C, 1).";
+
+const FACTS: &str = "City(gotham, 0.3). City(metropolis, 0.6).";
+
+/// Counts how many times the wrapped backend is driven — the world-stream
+/// probe behind the single-pass acceptance criterion.
+struct CountingBackend<B> {
+    inner: B,
+    passes: AtomicUsize,
+}
+
+impl<B> CountingBackend<B> {
+    fn new(inner: B) -> CountingBackend<B> {
+        CountingBackend {
+            inner,
+            passes: AtomicUsize::new(0),
+        }
+    }
+
+    fn passes(&self) -> usize {
+        self.passes.load(Ordering::SeqCst)
+    }
+}
+
+impl<B: Backend> Backend for CountingBackend<B> {
+    fn name(&self) -> &'static str {
+        "counting"
+    }
+
+    fn run(
+        &self,
+        job: &EvalJob<'_>,
+        sink: &mut dyn gdatalog::pdb::WorldSink,
+    ) -> Result<(), EngineError> {
+        self.passes.fetch_add(1, Ordering::SeqCst);
+        self.inner.run(job, sink)
+    }
+}
+
+fn session() -> Session {
+    let mut session = Session::from_source(MODEL, SemanticsMode::Grohe).unwrap();
+    session.insert_facts_text(FACTS).unwrap();
+    session
+}
+
+/// The K = 7 mixed queries every test below asks — one of each kind.
+fn queries(session: &Session) -> QuerySet {
+    let catalog = &session.program().catalog;
+    let alarm = catalog.require("Alarm").unwrap();
+    let quake = catalog.require("Earthquake").unwrap();
+    let gotham = Fact::new(alarm, tuple!["gotham"]);
+    let metropolis = Fact::new(alarm, tuple!["metropolis"]);
+    let both = Event::contains_fact(&gotham).and(Event::contains_fact(&metropolis));
+    QuerySet::new()
+        .marginal(&gotham)
+        .marginals(alarm)
+        .probability(&both)
+        .expectation(&Query::Rel(alarm), AggFun::Count)
+        .histogram(quake, 1, 0.0, 2.0, 2)
+        .quantile(quake, 1, 0.75)
+        .tail(quake, 1, 1.0)
+}
+
+/// Asserts the bundled answers equal the individual terminal results of
+/// `make_eval()` **bit for bit** (each terminal call re-runs its own
+/// full pass; `answers` came from one).
+fn assert_bit_identical<'a>(
+    session: &'a Session,
+    answers: &Answers,
+    make_eval: impl Fn() -> Evaluation<'a>,
+) {
+    let catalog = &session.program().catalog;
+    let alarm = catalog.require("Alarm").unwrap();
+    let quake = catalog.require("Earthquake").unwrap();
+    let gotham = Fact::new(alarm, tuple!["gotham"]);
+    let metropolis = Fact::new(alarm, tuple!["metropolis"]);
+    let both = Event::contains_fact(&gotham).and(Event::contains_fact(&metropolis));
+    assert_eq!(answers.len(), 7);
+
+    let Answer::Marginal(p) = &answers[0] else {
+        panic!("marginal expected")
+    };
+    let expect = make_eval().marginal(&gotham).unwrap();
+    assert_eq!(p.to_bits(), expect.to_bits(), "marginal");
+
+    let Answer::Marginals(rows) = &answers[1] else {
+        panic!("marginals expected")
+    };
+    let expect = make_eval().marginals(alarm).unwrap();
+    assert_eq!(rows.len(), expect.len(), "marginals row count");
+    for ((fact, p), (expect_fact, expect_p)) in rows.iter().zip(&expect) {
+        assert_eq!(fact, expect_fact);
+        assert_eq!(p.to_bits(), expect_p.to_bits(), "marginals");
+    }
+
+    let Answer::Probability(p) = &answers[2] else {
+        panic!("probability expected")
+    };
+    let expect = make_eval().probability(&both).unwrap();
+    assert_eq!(p.to_bits(), expect.to_bits(), "probability");
+
+    let Answer::Expectation(m) = &answers[3] else {
+        panic!("expectation expected")
+    };
+    let expect = make_eval()
+        .expectation(&Query::Rel(alarm), AggFun::Count)
+        .unwrap();
+    match (m, expect) {
+        (Some(m), Some(e)) => {
+            assert_eq!(m.mean.to_bits(), e.mean.to_bits(), "mean");
+            assert_eq!(m.variance.to_bits(), e.variance.to_bits(), "variance");
+            assert_eq!(m.mass.to_bits(), e.mass.to_bits(), "mass");
+        }
+        (None, None) => {}
+        (got, want) => panic!("expectation mismatch: {got:?} vs {want:?}"),
+    }
+
+    let Answer::Histogram(h) = &answers[4] else {
+        panic!("histogram expected")
+    };
+    let expect = make_eval().histogram(quake, 1, 0.0, 2.0, 2).unwrap();
+    assert_eq!(h.bins.len(), expect.bins.len());
+    for (a, b) in h.bins.iter().zip(&expect.bins) {
+        assert_eq!(a.to_bits(), b.to_bits(), "histogram bin");
+    }
+    assert_eq!(h.underflow.to_bits(), expect.underflow.to_bits());
+    assert_eq!(h.overflow.to_bits(), expect.overflow.to_bits());
+    assert_eq!(h.nan.to_bits(), expect.nan.to_bits());
+    assert_eq!(h.mass.to_bits(), expect.mass.to_bits());
+
+    let Answer::Quantile(v) = &answers[5] else {
+        panic!("quantile expected")
+    };
+    let expect = make_eval().quantile(quake, 1, 0.75).unwrap();
+    match (v, expect) {
+        (Some(v), Some(e)) => assert_eq!(v.to_bits(), e.to_bits(), "quantile"),
+        (None, None) => {}
+        (got, want) => panic!("quantile mismatch: {got:?} vs {want:?}"),
+    }
+
+    let Answer::Tail(p) = &answers[6] else {
+        panic!("tail expected")
+    };
+    let expect = make_eval().tail_probability(quake, 1, 1.0).unwrap();
+    assert_eq!(p.to_bits(), expect.to_bits(), "tail");
+
+    // The shared evidence summary matches the evidence() terminal too.
+    let expect = make_eval().evidence().unwrap();
+    let ev = answers.evidence();
+    assert_eq!(ev.mass.to_bits(), expect.mass.to_bits(), "evidence mass");
+    assert_eq!(ev.ess.to_bits(), expect.ess.to_bits(), "evidence ess");
+    assert_eq!(ev.worlds, expect.worlds, "evidence worlds");
+}
+
+#[test]
+fn a_query_set_of_k_queries_runs_exactly_one_backend_pass() {
+    let session = session();
+    let queries = queries(&session);
+    assert_eq!(queries.len(), 7);
+
+    let exact = CountingBackend::new(ExactSequentialBackend);
+    let answers = session.eval().answer_with(&exact, &queries).unwrap();
+    assert_eq!(exact.passes(), 1, "7 queries, 1 exact pass");
+    assert_eq!(answers.len(), 7);
+
+    let par = CountingBackend::new(ExactParallelBackend);
+    session.eval().answer_with(&par, &queries).unwrap();
+    assert_eq!(par.passes(), 1, "7 queries, 1 exact-parallel pass");
+
+    let mc = CountingBackend::new(McBackend);
+    session
+        .eval()
+        .sample(500)
+        .seed(3)
+        .answer_with(&mc, &queries)
+        .unwrap();
+    assert_eq!(mc.passes(), 1, "7 queries, 1 Monte-Carlo pass");
+
+    // Conditioned: still one pass — normalization is shared, not re-run.
+    let conditioned = CountingBackend::new(ExactSequentialBackend);
+    session
+        .eval()
+        .given("Alarm(gotham).")
+        .answer_with(&conditioned, &queries)
+        .unwrap();
+    assert_eq!(conditioned.passes(), 1, "conditioning shares the pass");
+
+    // The K individual terminals, by contrast, pay K passes.
+    let terminals = CountingBackend::new(ExactSequentialBackend);
+    let alarm = session.program().catalog.require("Alarm").unwrap();
+    for _ in 0..3 {
+        session
+            .eval()
+            .answer_with(&terminals, &QuerySet::new().marginals(alarm))
+            .unwrap();
+    }
+    assert_eq!(terminals.passes(), 3, "one pass per single-query call");
+}
+
+#[test]
+fn answers_are_bit_identical_to_terminals_exact_sequential() {
+    let session = session();
+    let answers = session.eval().exact().answer(&queries(&session)).unwrap();
+    assert_bit_identical(&session, &answers, || session.eval().exact());
+}
+
+#[test]
+fn answers_are_bit_identical_to_terminals_exact_parallel() {
+    let session = session();
+    let answers = session
+        .eval()
+        .exact_parallel()
+        .answer(&queries(&session))
+        .unwrap();
+    assert_bit_identical(&session, &answers, || session.eval().exact_parallel());
+}
+
+#[test]
+fn answers_are_bit_identical_to_terminals_seeded_mc_any_worker_count() {
+    let session = session();
+    for threads in [1usize, 2, 4] {
+        let answers = session
+            .eval()
+            .sample(5_000)
+            .seed(11)
+            .threads(threads)
+            .answer(&queries(&session))
+            .unwrap();
+        assert_bit_identical(&session, &answers, || {
+            session.eval().sample(5_000).seed(11).threads(threads)
+        });
+    }
+}
+
+#[test]
+fn conditioned_answers_are_bit_identical_and_share_one_normalizer() {
+    let session = session();
+    let given = "Alarm(gotham).";
+    // Exact.
+    let answers = session
+        .eval()
+        .exact()
+        .given(given)
+        .answer(&queries(&session))
+        .unwrap();
+    assert!(answers.conditioned());
+    assert_bit_identical(&session, &answers, || session.eval().exact().given(given));
+    // Posterior sanity: conditioning on the alarm forces the quake.
+    let quake = session.program().catalog.require("Earthquake").unwrap();
+    let posterior = session
+        .eval()
+        .exact()
+        .given(given)
+        .marginal(&Fact::new(quake, tuple!["gotham", 1i64]))
+        .unwrap();
+    assert!((posterior - 1.0).abs() < 1e-12);
+
+    // Likelihood-weighted Monte-Carlo, several worker counts.
+    for threads in [1usize, 4] {
+        let answers = session
+            .eval()
+            .sample(5_000)
+            .seed(29)
+            .threads(threads)
+            .given(given)
+            .answer(&queries(&session))
+            .unwrap();
+        assert!(answers.conditioned());
+        assert!(answers.evidence().mass > 0.0);
+        assert!(answers.evidence().ess >= 1.0);
+        assert_bit_identical(&session, &answers, || {
+            session
+                .eval()
+                .sample(5_000)
+                .seed(29)
+                .threads(threads)
+                .given(given)
+        });
+    }
+}
+
+#[test]
+fn zero_evidence_rejects_the_whole_bundle() {
+    let session = session();
+    // Alarm(nowhere) is underivable: conditioning on it leaves no mass.
+    let err = session
+        .eval()
+        .exact()
+        .given("Alarm(nowhere).")
+        .answer(&queries(&session))
+        .unwrap_err();
+    assert!(matches!(err, EngineError::ZeroEvidence));
+    let err = session
+        .eval()
+        .sample(200)
+        .seed(1)
+        .given("Alarm(nowhere).")
+        .answer(&queries(&session))
+        .unwrap_err();
+    assert!(matches!(err, EngineError::ZeroEvidence));
+}
+
+#[test]
+fn empty_query_set_reports_diagnostics_only() {
+    let session = session();
+    let answers = session.eval().exact().answer(&QuerySet::new()).unwrap();
+    assert!(answers.is_empty());
+    assert!(!answers.conditioned());
+    assert!((answers.evidence().mass - 1.0).abs() < 1e-12, "full mass");
+    let expect = session.eval().exact().evidence().unwrap();
+    assert_eq!(answers.evidence().worlds, expect.worlds);
+}
+
+#[test]
+fn invalid_queries_error_before_any_backend_work() {
+    let session = session();
+    let quake = session.program().catalog.require("Earthquake").unwrap();
+    let bad_sets = [
+        QuerySet::new().histogram(quake, 9, 0.0, 1.0, 4), // col out of range
+        QuerySet::new().histogram(quake, 1, 1.0, 0.0, 4), // lo >= hi
+        QuerySet::new().histogram(quake, 1, 0.0, 1.0, 0), // no bins
+        QuerySet::new().histogram(quake, 1, f64::NEG_INFINITY, 1.0, 4),
+        QuerySet::new().quantile(quake, 1, 1.5), // q out of range
+        QuerySet::new().quantile(quake, 9, 0.5),
+        QuerySet::new().tail(quake, 1, f64::NAN),
+        QuerySet::new().marginals(RelId(999)), // unknown relation id
+    ];
+    let probe = CountingBackend::new(ExactSequentialBackend);
+    for set in &bad_sets {
+        let err = session.eval().answer_with(&probe, set).unwrap_err();
+        assert!(matches!(err, EngineError::InvalidRequest(_)), "{set:?}");
+    }
+    assert_eq!(probe.passes(), 0, "validation precedes evaluation");
+}
+
+#[test]
+fn tail_counts_infinite_values_and_quantile_agrees() {
+    // ColPred::Range is half-open, so [threshold, ∞) alone would miss a
+    // column value of exactly +inf; tail_event disjoins an explicit +inf
+    // clause so the two statistics agree on the same data.
+    use gdatalog::engine::tail_event;
+    use gdatalog::pdb::{EventProbabilitySink, QuantileSink, WorldSink};
+    let rel = RelId(0);
+    let mut world = Instance::new();
+    world.insert(rel, tuple![f64::INFINITY]);
+    let mut tail = EventProbabilitySink::new(tail_event(rel, 0, 100.0));
+    let mut top = QuantileSink::new(rel, 0, 1.0);
+    tail.observe(world.clone(), 1.0);
+    top.observe(world, 1.0);
+    assert_eq!(tail.finish(), 1.0, "+inf >= 100 must count");
+    assert_eq!(top.finish(), Some(f64::INFINITY), "quantile sees it too");
+    // threshold = +inf: only +inf itself reaches it.
+    let mut only_inf = EventProbabilitySink::new(tail_event(rel, 0, f64::INFINITY));
+    let mut finite = Instance::new();
+    finite.insert(rel, tuple![1e300]);
+    only_inf.observe(finite, 1.0);
+    assert_eq!(only_inf.finish(), 0.0, "finite values stay below +inf");
+}
+
+#[test]
+fn expectation_query_trees_are_validated_not_panicked() {
+    // An out-of-arity projection/selection/aggregate column inside the
+    // relational-algebra tree must be InvalidRequest at validation time,
+    // not an index panic in the middle of the backend pass.
+    let session = session();
+    let quake = session.program().catalog.require("Earthquake").unwrap();
+    let bad_trees = [
+        Query::Rel(quake).project(vec![9]),
+        Query::Rel(quake).select(vec![(9, gdatalog::pdb::ColPred::Any)]),
+        Query::Rel(quake).join(Query::Rel(quake), vec![(0, 9)]),
+        Query::Rel(quake).aggregate(vec![9], AggFun::Count, 0),
+        Query::Rel(quake).aggregate(vec![], AggFun::Sum, 9),
+    ];
+    for tree in bad_trees {
+        let err = session
+            .eval()
+            .exact()
+            .expectation(&tree, AggFun::Count)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidRequest(_)), "{tree:?}");
+    }
+    // Count ignores its aggregated column, so an out-of-range `col`
+    // there is legal — exactly as the evaluator treats it.
+    let ok = Query::Rel(quake).aggregate(vec![0], AggFun::Count, 9);
+    assert!(session
+        .eval()
+        .exact()
+        .expectation(&ok, AggFun::Count)
+        .is_ok());
+}
+
+#[test]
+fn quantile_and_tail_answer_continuous_programs() {
+    // Heights model (Example 3.5 flavor): a Normal(170, 100) column.
+    let session = Session::from_source(
+        "rel Person(symbol) input.
+         Height(P, Normal<170.0, 100.0>) :- Person(P).",
+        SemanticsMode::Grohe,
+    )
+    .unwrap();
+    let mut session = session;
+    session.insert_facts_text("Person(ada).").unwrap();
+    let height = session.program().catalog.require("Height").unwrap();
+    let queries = QuerySet::new()
+        .quantile(height, 1, 0.5)
+        .quantile(height, 1, 0.975)
+        .tail(height, 1, 170.0);
+    let answers = session
+        .eval()
+        .sample(20_000)
+        .seed(5)
+        .answer(&queries)
+        .unwrap();
+    let Answer::Quantile(Some(median)) = answers[0] else {
+        panic!("median expected")
+    };
+    assert!((median - 170.0).abs() < 0.5, "median {median}");
+    let Answer::Quantile(Some(p975)) = answers[1] else {
+        panic!("quantile expected")
+    };
+    assert!((p975 - (170.0 + 1.96 * 10.0)).abs() < 1.0, "p97.5 {p975}");
+    let Answer::Tail(tail) = answers[2] else {
+        panic!("tail expected")
+    };
+    assert!((tail - 0.5).abs() < 0.02, "P(height >= mean) ≈ 1/2, {tail}");
+}
+
+#[test]
+fn serve_multi_query_request_equals_single_query_requests_bitwise() {
+    let server = Server::from_source(MODEL, SemanticsMode::Grohe).unwrap();
+    let kinds = [
+        QueryKind::Marginal {
+            fact: "Alarm(gotham)".into(),
+        },
+        QueryKind::Marginals {
+            rel: "Alarm".into(),
+        },
+        QueryKind::Expectation {
+            rel: "Alarm".into(),
+            agg: AggFun::Count,
+            col: None,
+        },
+        QueryKind::Histogram {
+            rel: "Earthquake".into(),
+            col: 1,
+            lo: 0.0,
+            hi: 2.0,
+            bins: 2,
+        },
+        QueryKind::Quantile {
+            rel: "Earthquake".into(),
+            col: 1,
+            q: 0.75,
+        },
+        QueryKind::Tail {
+            rel: "Earthquake".into(),
+            col: 1,
+            threshold: 1.0,
+        },
+    ];
+    for mc in [false, true] {
+        let configure = |req: Request| {
+            let req = req.input(FACTS);
+            if mc {
+                req.mc(3_000).seed(17)
+            } else {
+                req.exact()
+            }
+        };
+        let multi = configure(Request::multi(kinds.to_vec()));
+        let reply = server.execute(&multi).unwrap();
+        assert_eq!(reply.responses.len(), kinds.len());
+        assert!(reply.evidence.is_none(), "unconditioned: no diagnostics");
+        for (kind, response) in kinds.iter().zip(&reply.responses) {
+            let single = configure(Request::multi(vec![kind.clone()]));
+            let expect = server.execute(&single).unwrap();
+            assert_eq!(response, expect.single(), "kind {kind:?} (mc {mc})");
+        }
+    }
+}
+
+#[test]
+fn serve_conditioned_reply_carries_evidence_diagnostics() {
+    let server = Server::from_source(MODEL, SemanticsMode::Grohe).unwrap();
+    let request = Request::marginal("Earthquake(gotham, 1)")
+        .query(QueryKind::Marginals {
+            rel: "Alarm".into(),
+        })
+        .input(FACTS)
+        .given("Alarm(gotham).")
+        .exact();
+    let reply = server.execute(&request).unwrap();
+    assert_eq!(reply.responses.len(), 2);
+    assert_eq!(reply.responses[0], Response::Marginal(1.0));
+    let ev = reply
+        .evidence
+        .expect("conditioned reply carries diagnostics");
+    // P(Alarm(gotham)) = 0.3 · 0.6.
+    assert!((ev.mass - 0.18).abs() < 1e-12);
+    assert!(ev.ess >= 1.0);
+    // And the JSON rendering carries them too.
+    let rendered = reply.to_json().render();
+    assert!(rendered.contains("\"evidence\""), "{rendered}");
+}

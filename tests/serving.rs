@@ -41,11 +41,11 @@ fn batch_of_one_is_bit_identical_exact() {
     let reference = direct_marginal("City(gotham, 0.3).", "Alarm(gotham)", None);
     // Once through batch(), once through the single-request entry point.
     let batched = server.batch(std::slice::from_ref(&request));
-    let Response::Marginal(p) = batched[0].as_ref().unwrap() else {
+    let Response::Marginal(p) = batched[0].as_ref().unwrap().single() else {
         panic!("marginal response expected");
     };
     assert_eq!(p.to_bits(), reference.to_bits(), "batch-of-one, exact");
-    let Response::Marginal(p) = server.execute(&request).unwrap() else {
+    let Response::Marginal(p) = server.execute(&request).unwrap().single().clone() else {
         panic!("marginal response expected");
     };
     assert_eq!(p.to_bits(), reference.to_bits(), "single execute, exact");
@@ -61,7 +61,7 @@ fn batch_of_one_is_bit_identical_seeded_mc() {
             .seed(seed);
         let reference = direct_marginal("City(gotham, 0.3).", "Alarm(gotham)", Some((3_000, seed)));
         let batched = server.batch(std::slice::from_ref(&request));
-        let Response::Marginal(p) = batched[0].as_ref().unwrap() else {
+        let Response::Marginal(p) = batched[0].as_ref().unwrap().single() else {
             panic!("marginal response expected");
         };
         assert_eq!(p.to_bits(), reference.to_bits(), "seed {seed}");
@@ -81,7 +81,7 @@ fn batch_is_bit_identical_to_sequential_singles_any_worker_count() {
             }
         })
         .collect();
-    let reference: Vec<Response> = {
+    let reference: Vec<Reply> = {
         let server = Server::from_source(MODEL, SemanticsMode::Grohe).unwrap();
         requests
             .iter()
