@@ -521,6 +521,7 @@ fn e8() {
             max_depth: 8,
             support_tol: 1e-6,
             min_path_prob: 1e-6,
+            ..ExactConfig::default()
         },
     )
     .expect("discrete");
@@ -1152,6 +1153,185 @@ fn bench_pr5() {
     println!("\n  wrote BENCH_PR5.json");
 }
 
+/// The PR7 suite behind `BENCH_PR7.json`: the HTTP serving subsystem.
+/// Two measurements, bit-identity asserted **before** any timing:
+///
+/// 1. **Batch scheduling** — a 64-request corpus with deliberately
+///    skewed per-request cost (Monte-Carlo run counts varying 4x) is
+///    answered at 1 and 4 workers. Work stealing must never lose to a
+///    single worker (0.9x floor, asserted everywhere); on a machine
+///    with ≥ 4 cores it must win ≥ 2.5x (the ISSUE 7 acceptance gate —
+///    meaningless on fewer cores, so gated on `available_parallelism`,
+///    with the core count recorded in the JSON).
+/// 2. **The wire** — an in-process `HttpServer` takes a closed-loop
+///    loadgen burst; every reply must be 2xx, and req/s + exact
+///    p50/p99 land in the JSON next to the server's own bucketed view.
+fn bench_pr7() {
+    use gdatalog_bench::serving_library_program;
+    use gdatalog_net::{self as net, HttpServer, LoadgenConfig, NetConfig};
+    use gdatalog_serve::{ProgramCache, Reply, Request, Server};
+
+    header(
+        "BENCH7",
+        "HTTP serving subsystem (written to BENCH_PR7.json)",
+    );
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let model_src = serving_library_program(16);
+    const BATCH: usize = 64;
+
+    // Skewed corpus: run counts vary 4x so contiguous-chunk scheduling
+    // would tail on whichever chunk drew the heavy requests.
+    let requests: Vec<Request> = (0..BATCH)
+        .map(|i| {
+            let d = i % 16;
+            Request::marginal(format!("Out{d}(c{i})"))
+                .input(format!("In{d}(c{i}, 0.{}).", 1 + i % 8))
+                .mc(500 + 500 * (i % 4))
+                .seed(i as u64)
+        })
+        .collect();
+
+    let cache = ProgramCache::new();
+    let model = cache
+        .get_or_compile(&model_src, SemanticsMode::Grohe)
+        .expect("compiles");
+    let server1 = Server::new(Arc::clone(&model));
+    let server4 = Server::new(Arc::clone(&model)).threads(4);
+
+    // Bit-identity before timing: the work-stealing batch at 4 workers
+    // must equal the 1-worker batch must equal one-at-a-time execution.
+    let unwrap = |answers: Vec<Result<Reply, gdatalog_serve::ServeError>>| {
+        answers
+            .into_iter()
+            .map(|a| a.expect("request succeeds"))
+            .collect::<Vec<Reply>>()
+    };
+    let singles = unwrap(
+        requests
+            .iter()
+            .map(|r| server1.execute(r))
+            .collect::<Vec<_>>(),
+    );
+    let seq = unwrap(server1.batch(&requests));
+    let par = unwrap(server4.batch(&requests));
+    for i in 0..BATCH {
+        assert_eq!(singles[i], seq[i], "1-worker batch differs at {i}");
+        assert_eq!(singles[i], par[i], "4-worker batch differs at {i}");
+    }
+    println!("  bit-identity: singles == batch(1) == batch(4)  ✓ (seeded MC, skewed costs)");
+
+    let t1_ns = median_ns(5, || {
+        std::hint::black_box(server1.batch(&requests));
+    });
+    let t4_ns = median_ns(5, || {
+        std::hint::black_box(server4.batch(&requests));
+    });
+    let rate = |ns: f64| BATCH as f64 / (ns / 1e9);
+    let ratio = t1_ns / t4_ns; // >1 means 4 workers are faster
+    println!("  {:<44} {:>14.0} req/s", "batch, 1 worker", rate(t1_ns));
+    println!(
+        "  {:<44} {:>14.0} req/s   ({ratio:.2}x, {cores} core(s))",
+        "batch, 4 workers",
+        rate(t4_ns)
+    );
+    assert!(
+        ratio >= 0.9,
+        "acceptance: 4 workers must never regress below 0.9x of 1 worker \
+         (got {ratio:.3}x)"
+    );
+    if cores >= 4 {
+        assert!(
+            ratio >= 2.5,
+            "acceptance: ≥2.5x batch throughput at 4 workers on a {cores}-core \
+             machine (got {ratio:.2}x)"
+        );
+    } else {
+        println!(
+            "  (2.5x multi-core gate skipped: {cores} core(s) available; \
+             the 0.9x no-regression floor was enforced)"
+        );
+    }
+
+    // The wire: an in-process server takes a closed-loop burst.
+    let http_workers = cores.clamp(1, 4);
+    let server = HttpServer::start_cached(
+        Arc::new(ProgramCache::new()),
+        &model_src,
+        SemanticsMode::Grohe,
+        "127.0.0.1:0",
+        NetConfig {
+            workers: http_workers,
+            ..NetConfig::default()
+        },
+    )
+    .expect("server starts");
+    let bodies: Vec<String> = (0..16)
+        .map(|i| {
+            let d = i % 16;
+            format!(
+                "{{\"kind\":\"marginal\",\"fact\":\"Out{d}(w{i})\",\
+                 \"input\":\"In{d}(w{i}, 0.4).\",\"backend\":\"exact\"}}"
+            )
+        })
+        .collect();
+    let report = net::run_loadgen(
+        &bodies,
+        &LoadgenConfig {
+            addr: server.addr().to_string(),
+            connections: http_workers,
+            duration: std::time::Duration::from_millis(1_500),
+            ..LoadgenConfig::default()
+        },
+    );
+    assert!(report.sent > 0, "loadgen drove traffic: {report:?}");
+    assert_eq!(report.io_errors, 0, "no transport failures: {report:?}");
+    assert_eq!(
+        report.non_2xx, 0,
+        "every reply of the burst must be 2xx: {report:?}"
+    );
+    let metrics = server.metrics();
+    assert_eq!(metrics.requests, report.ok_2xx);
+    server.shutdown();
+    server.join();
+    println!(
+        "  {:<44} {:>14.0} req/s   (p50 {} µs, p99 {} µs, {} conn(s))",
+        "HTTP serve + loadgen, all 2xx",
+        report.req_per_sec,
+        report.p50_us,
+        report.p99_us,
+        http_workers
+    );
+
+    let json = format!(
+        "{{\n  \"pr\": 7,\n  \"cores\": {cores},\n  \"batch_requests\": {BATCH},\n  \
+         \"benches\": [\n    \
+         {{\"bench\": \"net/batch_1worker\", \"median_ns\": {t1_ns:.0}, \
+         \"req_per_s\": {:.0}}},\n    \
+         {{\"bench\": \"net/batch_4workers\", \"median_ns\": {t4_ns:.0}, \
+         \"req_per_s\": {:.0}}},\n    \
+         {{\"bench\": \"net/http_loadgen\", \"req_per_s\": {:.0}, \
+         \"p50_us\": {}, \"p99_us\": {}, \"connections\": {http_workers}, \
+         \"sent\": {}, \"ok_2xx\": {}, \"non_2xx\": {}, \"io_errors\": {}}}\n  ],\n  \
+         \"speedups\": {{\n    \"batch_4workers vs batch_1worker\": {ratio:.2}\n  }},\n  \
+         \"multi_core_gate\": {{\"required_ratio\": 2.5, \"enforced\": {}, \
+         \"floor_ratio\": 0.9}},\n  \
+         \"bit_identical_to_sequential\": true\n}}\n",
+        rate(t1_ns),
+        rate(t4_ns),
+        report.req_per_sec,
+        report.p50_us,
+        report.p99_us,
+        report.sent,
+        report.ok_2xx,
+        report.non_2xx,
+        report.io_errors,
+        cores >= 4,
+    );
+    std::fs::write("BENCH_PR7.json", json).expect("write BENCH_PR7.json");
+    println!("\n  wrote BENCH_PR7.json");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let run_all = args.is_empty();
@@ -1170,6 +1350,7 @@ fn main() {
         ("bench2", bench_pr2),
         ("bench3", bench_pr3),
         ("bench5", bench_pr5),
+        ("bench7", bench_pr7),
     ];
     let mut ran = 0;
     for (id, f) in &experiments {
@@ -1179,7 +1360,9 @@ fn main() {
         }
     }
     if ran == 0 {
-        eprintln!("unknown experiment id; available: e1..e8, bench");
+        eprintln!(
+            "unknown experiment id; available: e1..e8, bench, bench2, bench3, bench5, bench7"
+        );
         std::process::exit(2);
     }
     println!("\nAll requested experiments completed.");

@@ -76,6 +76,12 @@ pub struct EvalOptions {
     /// Whether to keep auxiliary experiment relations in the observed
     /// worlds instead of projecting to the output schema (Remark 4.9).
     pub keep_aux: bool,
+    /// Cooperative per-request deadline. Backends check it between
+    /// bounded units of work — enumeration nodes for the exact backends,
+    /// whole runs for Monte-Carlo — and abort with
+    /// [`EngineError::DeadlineExceeded`] once it has passed. `None`
+    /// (the default) never cancels.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for EvalOptions {
@@ -90,6 +96,7 @@ impl Default for EvalOptions {
             variant: ChaseVariant::Sequential(PolicyKind::Canonical),
             policy: PolicyKind::Canonical,
             keep_aux: false,
+            deadline: None,
         }
     }
 }
@@ -101,6 +108,7 @@ impl EvalOptions {
             max_depth: self.max_depth,
             support_tol: self.support_tol,
             min_path_prob: self.min_path_prob,
+            deadline: self.deadline,
         }
     }
 
@@ -113,6 +121,7 @@ impl EvalOptions {
             variant: self.variant,
             threads: self.threads,
             keep_aux: self.keep_aux,
+            deadline: self.deadline,
         }
     }
 }

@@ -40,6 +40,11 @@ pub enum EngineError {
     /// every Monte-Carlo run) was rejected by the evidence, so the
     /// conditional distribution is undefined.
     ZeroEvidence,
+    /// A cooperative deadline elapsed before evaluation finished. The
+    /// chase loops check the deadline between enumeration nodes and
+    /// between Monte-Carlo runs, so cancellation lands within one bounded
+    /// unit of work of the deadline.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for EngineError {
@@ -59,6 +64,11 @@ impl fmt::Display for EngineError {
                 "conditioning rejected all probability mass (the evidence has \
                  probability ≈ 0 under this program — for Monte-Carlo, consider \
                  more runs or soft observations)"
+            ),
+            EngineError::DeadlineExceeded => write!(
+                f,
+                "evaluation deadline exceeded (the request was cancelled \
+                 cooperatively before the chase finished)"
             ),
         }
     }

@@ -32,6 +32,9 @@ pub struct ExactConfig {
     /// Paths whose probability falls below this threshold are pruned into
     /// the non-termination deficit (0 disables pruning).
     pub min_path_prob: f64,
+    /// Cooperative cancellation: checked between enumeration nodes, so a
+    /// serving layer can bound request latency. `None` never cancels.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for ExactConfig {
@@ -40,7 +43,19 @@ impl Default for ExactConfig {
             max_depth: 10_000,
             support_tol: 1e-9,
             min_path_prob: 0.0,
+            deadline: None,
         }
+    }
+}
+
+/// Returns [`EngineError::DeadlineExceeded`] once `deadline` has passed.
+/// The chase loops call this between bounded units of work (enumeration
+/// nodes, Monte-Carlo runs), which keeps cancellation cooperative — no
+/// state is left half-mutated — while bounding the overage to one unit.
+pub(crate) fn check_deadline(deadline: Option<std::time::Instant>) -> Result<(), EngineError> {
+    match deadline {
+        Some(d) if std::time::Instant::now() >= d => Err(EngineError::DeadlineExceeded),
+        _ => Ok(()),
     }
 }
 
@@ -139,6 +154,7 @@ pub fn enumerate_sequential_prepared(
     // once; each node builds its index fresh (branches share no instance).
     let mut stack: Vec<(Instance, f64, usize)> = vec![(input.clone(), 1.0, 0)];
     while let Some((instance, p, depth)) = stack.pop() {
+        check_deadline(config.deadline)?;
         if p == 0.0 {
             continue;
         }
@@ -203,6 +219,7 @@ pub fn enumerate_parallel_prepared(
     let mut worlds = PossibleWorlds::new();
     let mut stack: Vec<(Instance, f64, usize)> = vec![(input.clone(), 1.0, 0)];
     while let Some((instance, p, depth)) = stack.pop() {
+        check_deadline(config.deadline)?;
         if p == 0.0 {
             continue;
         }
@@ -456,6 +473,35 @@ mod tests {
         let worlds = enumerate_sequential(&prog, &prog.initial_instance, &mut policy, cfg).unwrap();
         assert!(worlds.deficit().nontermination > 0.0);
         assert!(worlds.mass_is_consistent(1e-6));
+    }
+
+    /// An already-elapsed deadline cancels enumeration cooperatively.
+    #[test]
+    fn elapsed_deadline_cancels_enumeration() {
+        let prog = compile("R(Flip<0.5>) :- true.", SemanticsMode::Grohe);
+        let cfg = ExactConfig {
+            deadline: Some(std::time::Instant::now()),
+            ..ExactConfig::default()
+        };
+        let mut policy = ChasePolicy::new(PolicyKind::Canonical, &[]);
+        let err =
+            enumerate_sequential(&prog, &prog.initial_instance, &mut policy, cfg).unwrap_err();
+        assert!(matches!(err, EngineError::DeadlineExceeded));
+        let err = enumerate_parallel(&prog, &prog.initial_instance, cfg).unwrap_err();
+        assert!(matches!(err, EngineError::DeadlineExceeded));
+    }
+
+    /// A generous deadline does not perturb results.
+    #[test]
+    fn future_deadline_is_inert() {
+        let prog = compile("R(Flip<0.5>) :- true.", SemanticsMode::Grohe);
+        let cfg = ExactConfig {
+            deadline: Some(std::time::Instant::now() + std::time::Duration::from_secs(3600)),
+            ..ExactConfig::default()
+        };
+        let mut policy = ChasePolicy::new(PolicyKind::Canonical, &[]);
+        let worlds = enumerate_sequential(&prog, &prog.initial_instance, &mut policy, cfg).unwrap();
+        assert_eq!(worlds.len(), 2);
     }
 
     /// Continuous programs are rejected with a helpful error.

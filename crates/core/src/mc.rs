@@ -47,6 +47,9 @@ pub struct McConfig {
     pub threads: usize,
     /// Whether to keep auxiliary relations in the sampled instances.
     pub keep_aux: bool,
+    /// Cooperative cancellation: checked before each run starts, so a
+    /// serving layer can bound request latency. `None` never cancels.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for McConfig {
@@ -58,6 +61,7 @@ impl Default for McConfig {
             variant: ChaseVariant::Sequential(PolicyKind::Canonical),
             threads: 1,
             keep_aux: false,
+            deadline: None,
         }
     }
 }
@@ -80,6 +84,9 @@ pub(crate) fn single_run(
     existential: &[usize],
     run_ix: usize,
 ) -> Result<Option<Instance>, EngineError> {
+    // Cooperative cancellation between runs: each run is bounded by
+    // `max_steps`, so the overage past the deadline is at most one run.
+    crate::exact::check_deadline(config.deadline)?;
     let seed = derive_seed(config.seed, run_ix as u64);
     let mut rng = StdRng::seed_from_u64(seed);
     let run = match config.variant {
@@ -305,6 +312,26 @@ mod tests {
         let pdb = sample_pdb(&prog, &prog.initial_instance, &cfg).unwrap();
         assert_eq!(pdb.errors(), 50, "a.s. non-terminating program");
         assert_eq!(pdb.mass(), 0.0);
+    }
+
+    #[test]
+    fn elapsed_deadline_cancels_sampling() {
+        let prog = compile("R(Flip<0.5>) :- true.");
+        let cfg = McConfig {
+            runs: 1_000,
+            deadline: Some(std::time::Instant::now()),
+            ..McConfig::default()
+        };
+        let err = sample_pdb(&prog, &prog.initial_instance, &cfg).unwrap_err();
+        assert!(matches!(err, EngineError::DeadlineExceeded));
+        // Multi-threaded sampling cancels too.
+        let err = sample_pdb(
+            &prog,
+            &prog.initial_instance,
+            &McConfig { threads: 4, ..cfg },
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::DeadlineExceeded));
     }
 
     #[test]

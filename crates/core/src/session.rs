@@ -543,6 +543,25 @@ impl<'a> Evaluation<'a> {
         self
     }
 
+    /// Sets a cooperative per-request deadline: the chase loops check it
+    /// between bounded units of work (enumeration nodes, Monte-Carlo runs)
+    /// and abort with [`EngineError::DeadlineExceeded`](crate::EngineError)
+    /// once it has passed. Serving layers use this to bound tail latency.
+    ///
+    /// ```
+    /// use gdatalog_core::{EngineError, Session};
+    /// use gdatalog_lang::SemanticsMode;
+    /// use std::time::Instant;
+    ///
+    /// let s = Session::from_source("R(Flip<0.5>) :- true.", SemanticsMode::Grohe).unwrap();
+    /// let err = s.eval().deadline(Instant::now()).worlds().unwrap_err();
+    /// assert!(matches!(err, EngineError::DeadlineExceeded));
+    /// ```
+    pub fn deadline(mut self, deadline: std::time::Instant) -> Evaluation<'a> {
+        self.options.deadline = Some(deadline);
+        self
+    }
+
     /// Replaces the whole options record (bulk configuration).
     pub fn options(mut self, options: EvalOptions) -> Evaluation<'a> {
         self.options = options;

@@ -1,0 +1,377 @@
+//! Minimal HTTP/1.1 framing over a [`TcpStream`] — just enough protocol
+//! for the serving endpoints, with no external dependencies.
+//!
+//! Both sides of the wire live here: [`Conn::read_request`] /
+//! [`Conn::write_response`] serve the listener, while
+//! [`Conn::write_request`] / [`Conn::read_response`] drive the load
+//! generator's client connections. Framing is strict `Content-Length`
+//! (no chunked bodies): every serving payload is one JSON document whose
+//! size is known before a single byte of it is written.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Hard cap on the request/status line plus headers, independent of the
+/// configurable body cap: a peer that never sends `\r\n\r\n` must not be
+/// able to grow the connection buffer without bound.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// The method token (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target, e.g. `/v1/batch`.
+    pub path: String,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: String,
+    /// Whether the client asked to keep the connection open (HTTP/1.1
+    /// defaults to yes unless `Connection: close`).
+    pub keep_alive: bool,
+}
+
+/// One parsed HTTP response (the client side of the wire).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// The status code from the status line.
+    pub status: u16,
+    /// The response body.
+    pub body: String,
+}
+
+/// Why reading a message off the wire failed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection cleanly **between** messages — the
+    /// normal end of a keep-alive conversation, not a fault.
+    Closed,
+    /// A socket error, including read/write timeouts.
+    Io(io::Error),
+    /// The declared `Content-Length` exceeds the configured cap. The
+    /// connection must be closed after responding: the oversized body
+    /// was refused *before* being read, so it is still on the wire.
+    TooLarge {
+        /// The body length the peer declared.
+        declared: usize,
+        /// The configured cap it exceeded.
+        limit: usize,
+    },
+    /// The bytes were not a well-formed HTTP/1.1 message.
+    Malformed(String),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Closed => write!(f, "peer closed the connection"),
+            HttpError::Io(e) => write!(f, "socket error: {e}"),
+            HttpError::TooLarge { declared, limit } => {
+                write!(
+                    f,
+                    "declared body of {declared} bytes exceeds the {limit}-byte cap"
+                )
+            }
+            HttpError::Malformed(msg) => write!(f, "malformed HTTP message: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// A buffered HTTP/1.1 connection, usable in either role.
+pub struct Conn {
+    stream: TcpStream,
+    /// Bytes received but not yet consumed — a pipelining peer may have
+    /// sent the next message right behind the current one.
+    buf: Vec<u8>,
+}
+
+impl Conn {
+    /// Wraps an accepted or connected stream.
+    pub fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    /// The underlying stream, e.g. to set socket timeouts.
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Reads more bytes into the buffer; 0 means EOF.
+    fn fill(&mut self) -> Result<usize, HttpError> {
+        let mut chunk = [0u8; 4096];
+        let n = self.stream.read(&mut chunk).map_err(HttpError::Io)?;
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(n)
+    }
+
+    /// Buffers until the end-of-headers marker; returns its offset.
+    fn read_head(&mut self) -> Result<usize, HttpError> {
+        loop {
+            if let Some(pos) = find(&self.buf, b"\r\n\r\n") {
+                return Ok(pos);
+            }
+            if self.buf.len() > MAX_HEAD_BYTES {
+                return Err(HttpError::Malformed(format!(
+                    "header section exceeds {MAX_HEAD_BYTES} bytes"
+                )));
+            }
+            if self.fill()? == 0 {
+                return if self.buf.is_empty() {
+                    Err(HttpError::Closed)
+                } else {
+                    Err(HttpError::Malformed(
+                        "connection closed mid-message".to_string(),
+                    ))
+                };
+            }
+        }
+    }
+
+    /// Buffers `len` body bytes past `body_start`, consumes the whole
+    /// message and returns the body.
+    fn read_body(&mut self, body_start: usize, len: usize) -> Result<String, HttpError> {
+        while self.buf.len() < body_start + len {
+            if self.fill()? == 0 {
+                return Err(HttpError::Malformed(
+                    "connection closed mid-body".to_string(),
+                ));
+            }
+        }
+        let body = String::from_utf8_lossy(&self.buf[body_start..body_start + len]).into_owned();
+        self.buf.drain(..body_start + len);
+        Ok(body)
+    }
+
+    /// Reads one request, refusing declared bodies above `max_body`
+    /// **before** reading a byte of them.
+    ///
+    /// # Errors
+    /// [`HttpError::Closed`] on a clean close between requests, otherwise
+    /// socket/framing/size errors.
+    pub fn read_request(&mut self, max_body: usize) -> Result<HttpRequest, HttpError> {
+        let head_end = self.read_head()?;
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).into_owned();
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or("");
+        let mut parts = request_line.split(' ');
+        let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next())
+        {
+            (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => {
+                (m.to_string(), p.to_string(), v)
+            }
+            _ => {
+                return Err(HttpError::Malformed(format!(
+                    "bad request line: {request_line:?}"
+                )))
+            }
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed(format!(
+                "unsupported protocol version: {version:?}"
+            )));
+        }
+        let mut content_length = 0usize;
+        let mut keep_alive = true;
+        for line in lines {
+            let Some((name, value)) = line.split_once(':') else {
+                continue;
+            };
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .parse()
+                    .map_err(|_| HttpError::Malformed(format!("bad Content-Length: {value:?}")))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                keep_alive = !value.eq_ignore_ascii_case("close");
+            }
+        }
+        if content_length > max_body {
+            return Err(HttpError::TooLarge {
+                declared: content_length,
+                limit: max_body,
+            });
+        }
+        let body = self.read_body(head_end + 4, content_length)?;
+        Ok(HttpRequest {
+            method,
+            path,
+            body,
+            keep_alive,
+        })
+    }
+
+    /// Reads one response (client side).
+    ///
+    /// # Errors
+    /// Socket or framing errors.
+    pub fn read_response(&mut self) -> Result<HttpResponse, HttpError> {
+        let head_end = self.read_head()?;
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).into_owned();
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or("");
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| HttpError::Malformed(format!("bad status line: {status_line:?}")))?;
+        let mut content_length = 0usize;
+        for line in lines {
+            let Some((name, value)) = line.split_once(':') else {
+                continue;
+            };
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    HttpError::Malformed(format!("bad Content-Length: {:?}", value.trim()))
+                })?;
+            }
+        }
+        let body = self.read_body(head_end + 4, content_length)?;
+        Ok(HttpResponse { status, body })
+    }
+
+    /// Writes one JSON response as a single buffer.
+    ///
+    /// # Errors
+    /// Socket errors (including write timeouts).
+    pub fn write_response(&mut self, status: u16, body: &str, keep_alive: bool) -> io::Result<()> {
+        let msg = format!(
+            "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: {}\r\n\r\n{body}",
+            reason(status),
+            body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        self.stream.write_all(msg.as_bytes())
+    }
+
+    /// Writes one JSON request as a single buffer (client side).
+    ///
+    /// # Errors
+    /// Socket errors (including write timeouts).
+    pub fn write_request(&mut self, method: &str, path: &str, body: &str) -> io::Result<()> {
+        let msg = format!(
+            "{method} {path} HTTP/1.1\r\nHost: gdl\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+            body.len(),
+        );
+        self.stream.write_all(msg.as_bytes())
+    }
+}
+
+/// The reason phrase for every status code this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Status",
+    }
+}
+
+/// First occurrence of `needle` in `haystack`.
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    if haystack.len() < needle.len() {
+        return None;
+    }
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// A connected loopback pair: (client, server).
+    fn pair() -> (Conn, Conn) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (accepted, _) = listener.accept().unwrap();
+        (Conn::new(client), Conn::new(accepted))
+    }
+
+    #[test]
+    fn request_and_response_round_trip() {
+        let (mut client, mut server) = pair();
+        client
+            .write_request("POST", "/v1/query", r#"{"kind":"marginal"}"#)
+            .unwrap();
+        let req = server.read_request(1 << 20).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/query");
+        assert_eq!(req.body, r#"{"kind":"marginal"}"#);
+        assert!(req.keep_alive);
+
+        server.write_response(200, r#"{"p":0.5}"#, true).unwrap();
+        let resp = client.read_response().unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, r#"{"p":0.5}"#);
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_order() {
+        let (mut client, mut server) = pair();
+        client.write_request("POST", "/v1/query", "first").unwrap();
+        client.write_request("POST", "/v1/query", "second").unwrap();
+        assert_eq!(server.read_request(1 << 20).unwrap().body, "first");
+        assert_eq!(server.read_request(1 << 20).unwrap().body, "second");
+    }
+
+    #[test]
+    fn oversized_declared_body_is_refused_before_reading_it() {
+        let (mut client, mut server) = pair();
+        // Declare a huge body but never send it: the refusal must come
+        // from the Content-Length header alone.
+        use std::io::Write;
+        client
+            .stream
+            .write_all(b"POST /v1/batch HTTP/1.1\r\nContent-Length: 999999\r\n\r\n")
+            .unwrap();
+        match server.read_request(1024) {
+            Err(HttpError::TooLarge { declared, limit }) => {
+                assert_eq!(declared, 999_999);
+                assert_eq!(limit, 1024);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_is_malformed_and_clean_close_is_closed() {
+        let (mut client, mut server) = pair();
+        use std::io::Write;
+        client.stream.write_all(b"not http at all\r\n\r\n").unwrap();
+        assert!(matches!(
+            server.read_request(1024),
+            Err(HttpError::Malformed(_))
+        ));
+
+        let (client, mut server) = pair();
+        drop(client);
+        assert!(matches!(server.read_request(1024), Err(HttpError::Closed)));
+    }
+
+    #[test]
+    fn connection_close_header_clears_keep_alive() {
+        let (mut client, mut server) = pair();
+        use std::io::Write;
+        client
+            .stream
+            .write_all(b"GET /v1/stats HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let req = server.read_request(1024).unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(!req.keep_alive);
+        assert!(req.body.is_empty());
+    }
+}

@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+
+//! # gdatalog-net
+//!
+//! The network front end over [`gdatalog_serve`]: a long-lived,
+//! dependency-free HTTP/1.1 server for the batch wire format, plus the
+//! load generator that measures it.
+//!
+//! The serving layer already gives a process everything but a socket —
+//! a [`gdatalog_serve::ProgramCache`] so each program compiles once, a
+//! sharded [`gdatalog_serve::SessionPool`] of warm sessions, a
+//! work-stealing batch executor whose answers are bit-identical to
+//! sequential evaluation, and a [`gdatalog_serve::MetricsRecorder`].
+//! This crate puts that behind `std::net`:
+//!
+//! * [`HttpServer`] — thread-per-core workers over one shared listener;
+//!   each worker keeps per-shard session affinity, so the model a
+//!   connection warms stays hot for that worker's next request.
+//!   Admission control (`503`), cooperative per-request deadlines
+//!   (`504`), body caps (`413`) and socket timeouts make overload shed
+//!   load instead of queueing it. `POST /v1/query`, `POST /v1/batch`,
+//!   `GET /v1/stats`, `POST /v1/shutdown`.
+//! * [`http`] — minimal HTTP/1.1 framing (strict `Content-Length`, no
+//!   chunked bodies) used by both the server and the client side.
+//! * [`loadgen`] — an open-loop load generator: N keep-alive
+//!   connections cycling a request corpus, reporting req/s and exact
+//!   p50/p99 latency.
+//!
+//! Everything is hand-rolled over `std::net` — the workspace policy is
+//! zero external runtime dependencies, and HTTP/1.1 with
+//! `Content-Length` framing is small enough to own.
+//!
+//! ```
+//! use gdatalog_net::{HttpServer, NetConfig};
+//! use gdatalog_lang::SemanticsMode;
+//! use std::net::TcpStream;
+//!
+//! let server = HttpServer::start_source(
+//!     "R(Flip<0.5>) :- true.",
+//!     SemanticsMode::Grohe,
+//!     "127.0.0.1:0",            // ephemeral port
+//!     NetConfig { workers: 1, ..NetConfig::default() },
+//! )
+//! .unwrap();
+//!
+//! let mut conn = gdatalog_net::http::Conn::new(TcpStream::connect(server.addr()).unwrap());
+//! conn.write_request("POST", "/v1/query", r#"{"kind":"marginal","fact":"R(1)"}"#).unwrap();
+//! let resp = conn.read_response().unwrap();
+//! assert_eq!(resp.status, 200);
+//! let reply = gdatalog_serve::json::Json::parse(&resp.body).unwrap();
+//! assert_eq!(reply.get("p").and_then(|p| p.as_f64()), Some(0.5));
+//!
+//! server.shutdown();
+//! server.join();
+//! ```
+
+pub mod http;
+pub mod loadgen;
+pub mod server;
+
+pub use http::{Conn, HttpError, HttpRequest, HttpResponse};
+pub use loadgen::{bodies_from_json, run as run_loadgen, LoadgenConfig, LoadgenReport};
+pub use server::{HttpServer, NetConfig, NetError};

@@ -112,14 +112,24 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
-/// A concurrent memo table `content hash → Arc<PreparedModel>`.
+/// Number of independently locked cache shards, selected by fingerprint
+/// bits. A power of two so shard selection is a mask; sized comfortably
+/// above realistic worker counts so two workers serving *different*
+/// programs virtually never contend on a lock.
+pub const CACHE_SHARDS: usize = 16;
+
+/// A concurrent memo table `content hash → Arc<PreparedModel>`, sharded
+/// by content hash.
 ///
-/// Lookups hold the lock only for the probe; compilation happens outside
-/// it, and when two threads race to compile the same program the first
-/// insert wins — both callers get the same `Arc`, preserving the
-/// plans-are-pointer-identical invariant.
+/// Lookups hold only their shard's lock, and only for the probe;
+/// compilation happens outside it, and when two threads race to compile
+/// the same program the first insert wins — both callers get the same
+/// `Arc`, preserving the plans-are-pointer-identical invariant. Distinct
+/// programs land on distinct shards (with probability
+/// `1 − 1/CACHE_SHARDS`), so a multi-tenant serving loop does not
+/// serialize its cache probes on one mutex.
 pub struct ProgramCache {
-    entries: Mutex<HashMap<u64, Arc<PreparedModel>>>,
+    shards: Vec<Mutex<HashMap<u64, Arc<PreparedModel>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -128,10 +138,17 @@ impl ProgramCache {
     /// An empty cache.
     pub fn new() -> ProgramCache {
         ProgramCache {
-            entries: Mutex::new(HashMap::new()),
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
+    }
+
+    /// The shard holding fingerprint `key`.
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, Arc<PreparedModel>>> {
+        &self.shards[(key as usize) & (CACHE_SHARDS - 1)]
     }
 
     /// The cached model for `(src, mode)`, compiling on first sight.
@@ -145,7 +162,7 @@ impl ProgramCache {
         mode: SemanticsMode,
     ) -> Result<Arc<PreparedModel>, EngineError> {
         let key = source_fingerprint(src, mode);
-        if let Some(hit) = self.entries.lock().expect("cache poisoned").get(&key) {
+        if let Some(hit) = self.shard(key).lock().expect("cache poisoned").get(&key) {
             // A hit must match the real key, not just its hash: on a
             // fingerprint collision the probe falls through and compiles.
             if hit.source == src && hit.mode == mode {
@@ -154,7 +171,7 @@ impl ProgramCache {
             }
         }
         let fresh = Arc::new(PreparedModel::compile(src, mode)?);
-        let mut entries = self.entries.lock().expect("cache poisoned");
+        let mut entries = self.shard(key).lock().expect("cache poisoned");
         match entries.get(&key) {
             // A racing caller inserted the same program while we
             // compiled: keep pointer identity by serving their entry, and
@@ -184,13 +201,16 @@ impl ProgramCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.entries.lock().expect("cache poisoned").len(),
+            entries: self.len(),
         }
     }
 
     /// Number of resident entries.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("cache poisoned").len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache poisoned").len())
+            .sum()
     }
 
     /// Whether the cache is empty.
@@ -201,7 +221,9 @@ impl ProgramCache {
     /// Drops every entry (sessions already spawned keep their shared
     /// program alive through their own `Arc`s).
     pub fn clear(&self) {
-        self.entries.lock().expect("cache poisoned").clear();
+        for shard in &self.shards {
+            shard.lock().expect("cache poisoned").clear();
+        }
     }
 }
 

@@ -20,10 +20,12 @@
 //!   resets each request's fact delta on return, so the per-request cost
 //!   is evidence insertion plus evaluation, nothing else.
 //! * [`BatchExecutor`] / [`Server`] — schedules a batch of independent
-//!   [`Request`]s across pooled sessions in contiguous chunks (the same
-//!   deterministic discipline as the Monte-Carlo backend's run chunking)
-//!   and joins answers in request order. Batch answers are bit-identical
-//!   to evaluating each request alone, for any worker count.
+//!   [`Request`]s across pooled sessions by **work stealing** (workers
+//!   claim one request at a time off a shared cursor) and scatters
+//!   answers back into request-order slots. Batch answers are
+//!   bit-identical to evaluating each request alone, for any worker
+//!   count. Per-request timings and rejection counters are captured by a
+//!   [`MetricsRecorder`] and snapshotted as [`Metrics`].
 //!
 //! A request may bundle **several queries** (`Request::query` /
 //! the `"queries"` wire member): the executor compiles them into one
@@ -69,12 +71,14 @@ use gdatalog_lang::LangError;
 
 pub mod cache;
 pub mod json;
+pub mod metrics;
 pub mod pool;
 pub mod request;
 pub mod server;
 
-pub use cache::{CacheStats, PreparedModel, ProgramCache};
-pub use pool::{PooledSession, SessionPool, DEFAULT_MAX_IDLE};
+pub use cache::{CacheStats, PreparedModel, ProgramCache, CACHE_SHARDS};
+pub use metrics::{Metrics, MetricsRecorder};
+pub use pool::{PoolStats, PooledSession, SessionPool, DEFAULT_MAX_IDLE, POOL_SHARDS};
 pub use request::{fact_text, query_from_json, BackendSpec, QueryKind, Reply, Request, Response};
 pub use server::{execute_on, BatchExecutor, Server};
 

@@ -1,0 +1,244 @@
+//! Serving observability: lock-free counters and a per-request latency
+//! histogram, snapshotted as [`Metrics`].
+//!
+//! Every counter is a relaxed atomic — recording sits on the request fast
+//! path of the batch executor and the HTTP front end, so a snapshot is
+//! allowed to be *approximately* consistent (it may straddle an in-flight
+//! request) but recording must never contend. Latencies go into
+//! power-of-two microsecond buckets; percentile reads report the upper
+//! bound of the bucket holding the target rank, i.e. p50/p99 are
+//! conservative to within a factor of two — the right fidelity for a
+//! saturation dashboard, at the cost of one `fetch_add` per request.
+//!
+//! ```
+//! use gdatalog_serve::MetricsRecorder;
+//! use std::time::Duration;
+//!
+//! let recorder = MetricsRecorder::new();
+//! recorder.record_request(Duration::from_micros(120), true);
+//! recorder.record_request(Duration::from_micros(90), true);
+//! recorder.record_request(Duration::from_micros(3_000), false);
+//! let m = recorder.snapshot();
+//! assert_eq!(m.requests, 3);
+//! assert_eq!(m.errors, 1);
+//! assert!(m.p50_us >= 90 && m.p50_us <= 256);
+//! assert!(m.p99_us >= 3_000);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets: bucket `i` covers
+/// `[2^i, 2^(i+1))` microseconds, so the top bucket absorbs anything from
+/// ~17 minutes up.
+const BUCKETS: usize = 30;
+
+/// Lock-free serving counters, shared by reference between the batch
+/// executor, the HTTP front end, and the stats endpoint.
+#[derive(Debug)]
+pub struct MetricsRecorder {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    latency: [AtomicU64; BUCKETS],
+    latency_sum_us: AtomicU64,
+    deadline_rejections: AtomicU64,
+    admission_rejections: AtomicU64,
+}
+
+/// One point-in-time reading of a [`MetricsRecorder`] (plus, at the
+/// serving surface, the cache/pool counters it is reported next to).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Metrics {
+    /// Requests whose evaluation finished (successfully or not).
+    pub requests: u64,
+    /// Requests that finished with an error (bad request, engine error,
+    /// deadline).
+    pub errors: u64,
+    /// Requests aborted by a cooperative evaluation deadline (a subset of
+    /// `errors`).
+    pub deadline_rejections: u64,
+    /// Requests refused up front by admission control (never evaluated;
+    /// *not* counted in `requests`).
+    pub admission_rejections: u64,
+    /// Mean request latency in microseconds (0 when no requests yet).
+    pub mean_us: u64,
+    /// Median request latency, rounded up to its bucket boundary.
+    pub p50_us: u64,
+    /// 99th-percentile request latency, rounded up to its bucket boundary.
+    pub p99_us: u64,
+}
+
+impl MetricsRecorder {
+    /// A recorder with every counter at zero.
+    pub fn new() -> MetricsRecorder {
+        MetricsRecorder {
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latency: [const { AtomicU64::new(0) }; BUCKETS],
+            latency_sum_us: AtomicU64::new(0),
+            deadline_rejections: AtomicU64::new(0),
+            admission_rejections: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one finished request: its wall-clock latency and whether it
+    /// succeeded.
+    pub fn record_request(&self, elapsed: Duration, ok: bool) {
+        let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+        self.latency[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request aborted by its evaluation deadline (callers also
+    /// [`record_request`](Self::record_request) it with `ok = false`).
+    pub fn record_deadline_rejection(&self) {
+        self.deadline_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request refused by admission control before evaluation.
+    pub fn record_admission_rejection(&self) {
+        self.admission_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time snapshot of every counter.
+    pub fn snapshot(&self) -> Metrics {
+        let requests = self.requests.load(Ordering::Relaxed);
+        let buckets: Vec<u64> = self
+            .latency
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        // The histogram total is the rank base: it can trail `requests` by
+        // in-flight recordings, which keeps percentiles self-consistent.
+        let total: u64 = buckets.iter().sum();
+        Metrics {
+            requests,
+            errors: self.errors.load(Ordering::Relaxed),
+            deadline_rejections: self.deadline_rejections.load(Ordering::Relaxed),
+            admission_rejections: self.admission_rejections.load(Ordering::Relaxed),
+            mean_us: self
+                .latency_sum_us
+                .load(Ordering::Relaxed)
+                .checked_div(total)
+                .unwrap_or(0),
+            p50_us: percentile(&buckets, total, 0.50),
+            p99_us: percentile(&buckets, total, 0.99),
+        }
+    }
+}
+
+impl Default for MetricsRecorder {
+    fn default() -> Self {
+        MetricsRecorder::new()
+    }
+}
+
+/// The bucket index of a latency: `floor(log2(us))`, clamped to the table.
+fn bucket_of(us: u64) -> usize {
+    let log2 = 63 - us.max(1).leading_zeros() as usize;
+    log2.min(BUCKETS - 1)
+}
+
+/// The upper bound of the bucket containing rank `ceil(q · total)`.
+fn percentile(buckets: &[u64], total: u64, q: f64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let target = ((q * total as f64).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for (i, count) in buckets.iter().enumerate() {
+        seen += count;
+        if seen >= target {
+            return 1u64 << (i + 1).min(63);
+        }
+    }
+    1u64 << BUCKETS.min(63)
+}
+
+impl Metrics {
+    /// Renders the snapshot as a JSON object (the body core of
+    /// `GET /v1/stats`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"requests\":{},\"errors\":{},\"deadline_rejections\":{},\
+             \"admission_rejections\":{},\"latency_us\":{{\"mean\":{},\
+             \"p50\":{},\"p99\":{}}}}}",
+            self.requests,
+            self.errors,
+            self.deadline_rejections,
+            self.admission_rejections,
+            self.mean_us,
+            self.p50_us,
+            self.p99_us,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_recorder_snapshots_zeros() {
+        let m = MetricsRecorder::new().snapshot();
+        assert_eq!(m.requests, 0);
+        assert_eq!(m.p50_us, 0);
+        assert_eq!(m.p99_us, 0);
+        assert_eq!(m.mean_us, 0);
+    }
+
+    #[test]
+    fn percentiles_bracket_the_distribution() {
+        let r = MetricsRecorder::new();
+        // 99 fast requests and one slow outlier.
+        for _ in 0..99 {
+            r.record_request(Duration::from_micros(100), true);
+        }
+        r.record_request(Duration::from_millis(50), true);
+        let m = r.snapshot();
+        assert_eq!(m.requests, 100);
+        // p50 lands in the [64, 128) bucket → reported as 128.
+        assert_eq!(m.p50_us, 128);
+        // p99 is still in the fast bucket (rank 99 of 100) …
+        assert_eq!(m.p99_us, 128);
+        // … and the mean is pulled up by the outlier.
+        assert!(m.mean_us > 500);
+    }
+
+    #[test]
+    fn rejection_counters_are_independent() {
+        let r = MetricsRecorder::new();
+        r.record_admission_rejection();
+        r.record_deadline_rejection();
+        r.record_request(Duration::from_micros(10), false);
+        let m = r.snapshot();
+        assert_eq!(m.admission_rejections, 1);
+        assert_eq!(m.deadline_rejections, 1);
+        assert_eq!(m.requests, 1, "admission rejections never evaluated");
+        assert_eq!(m.errors, 1);
+    }
+
+    #[test]
+    fn bucket_of_is_monotone_and_clamped() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(1023), 9);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn json_snapshot_is_well_formed() {
+        let r = MetricsRecorder::new();
+        r.record_request(Duration::from_micros(5), true);
+        let json = r.snapshot().to_json();
+        let parsed = crate::json::Json::parse(&json).unwrap();
+        assert_eq!(parsed.get("requests").and_then(|v| v.as_u64()), Some(1));
+        assert!(parsed.get("latency_us").is_some());
+    }
+}

@@ -1,5 +1,6 @@
 //! The session pool: warm [`Session`]s checked out per request and reset
-//! on return.
+//! on return, **sharded** so concurrent workers do not serialize on one
+//! lock.
 //!
 //! A session over a cached model is cheap to create (the compiled program
 //! and chase plans are shared), but not free: the extensional database is
@@ -9,6 +10,15 @@
 //! one when all are busy), and dropping the [`PooledSession`] guard
 //! [`reset`](Session::reset)s the per-request fact delta and returns the
 //! session to the idle list — the next checkout starts from a clean base.
+//!
+//! The idle list is split into [`POOL_SHARDS`] independently locked
+//! shards. A worker passes its index to
+//! [`checkout_for`](SessionPool::checkout_for): checkouts and returns with
+//! the same hint touch the same shard, so under steady load each worker
+//! keeps reusing *its own* warm session (cache-friendly affinity) and two
+//! workers never contend on a lock. A worker whose home shard is empty
+//! steals from the others before creating a fresh session, so the pool
+//! never over-allocates just because traffic is skewed.
 //!
 //! ```
 //! use gdatalog_serve::{PreparedModel, SessionPool};
@@ -43,16 +53,52 @@ use crate::cache::PreparedModel;
 /// footprint.
 pub const DEFAULT_MAX_IDLE: usize = 64;
 
+/// Number of independently locked idle-list shards. A power of two so the
+/// worker-index mapping is a mask; 8 comfortably exceeds the core counts
+/// this engine is deployed on while keeping an empty pool's footprint
+/// trivial.
+pub const POOL_SHARDS: usize = 8;
+
+/// One idle-list shard: its own lock, its own slice of the idle cap. The
+/// retain-or-drop decision on return happens **under this lock** — there
+/// is no separate "check then push" window in which concurrent returns
+/// could both observe spare capacity and overfill the pool.
+struct Shard {
+    idle: Mutex<Vec<Session>>,
+    cap: usize,
+}
+
+/// Pool observability counters (a point-in-time snapshot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Total checkouts served (warm or fresh).
+    pub checkouts: u64,
+    /// Sessions ever created (peak-concurrency watermark).
+    pub created: usize,
+    /// Sessions dropped on return because every shard was at capacity.
+    pub dropped: u64,
+    /// Idle sessions currently parked across all shards.
+    pub idle: usize,
+    /// The configured idle cap.
+    pub max_idle: usize,
+}
+
 /// A pool of warm sessions over one prepared model.
 ///
-/// The idle list is **capped**: a burst of concurrent checkouts may create
-/// many sessions, but on return only up to [`max_idle`](SessionPool::max_idle)
-/// are retained — surplus sessions are dropped, so the pool shrinks back
-/// to its cap instead of pinning the burst's peak memory forever.
+/// The idle capacity is **capped**: a burst of concurrent checkouts may
+/// create many sessions, but on return only up to
+/// [`max_idle`](SessionPool::max_idle) are retained — surplus sessions are
+/// dropped, so the pool shrinks back to its cap instead of pinning the
+/// burst's peak memory forever. The cap is partitioned across the shards
+/// and each shard enforces its slice atomically under its own lock, so the
+/// total number of idle sessions never exceeds `max_idle`, even
+/// momentarily, under any interleaving of concurrent returns.
 pub struct SessionPool {
     model: Arc<PreparedModel>,
-    idle: Mutex<Vec<Session>>,
+    shards: Vec<Shard>,
     created: AtomicUsize,
+    checkouts: AtomicUsize,
+    dropped: AtomicUsize,
     max_idle: usize,
 }
 
@@ -66,10 +112,21 @@ impl SessionPool {
     /// An empty pool retaining at most `max_idle` warm sessions (0 means
     /// never retain — every checkout creates a fresh session).
     pub fn with_max_idle(model: Arc<PreparedModel>, max_idle: usize) -> SessionPool {
+        // Partition the cap across shards; the first `max_idle % SHARDS`
+        // shards take the remainder, so the per-shard caps sum to exactly
+        // `max_idle`.
+        let shards = (0..POOL_SHARDS)
+            .map(|i| Shard {
+                idle: Mutex::new(Vec::new()),
+                cap: max_idle / POOL_SHARDS + usize::from(i < max_idle % POOL_SHARDS),
+            })
+            .collect();
         SessionPool {
             model,
-            idle: Mutex::new(Vec::new()),
+            shards,
             created: AtomicUsize::new(0),
+            checkouts: AtomicUsize::new(0),
+            dropped: AtomicUsize::new(0),
             max_idle,
         }
     }
@@ -87,21 +144,47 @@ impl SessionPool {
     /// Checks out a warm session, creating one when none is idle. The
     /// returned guard derefs to [`Session`]; dropping it resets the
     /// session's fact delta and returns it to the pool.
+    ///
+    /// Workers in a serving loop should prefer
+    /// [`checkout_for`](SessionPool::checkout_for) with their worker index
+    /// — this entry point is the affinity-free equivalent.
     pub fn checkout(&self) -> PooledSession<'_> {
-        let session = self.idle.lock().expect("pool poisoned").pop();
-        let session = session.unwrap_or_else(|| {
-            self.created.fetch_add(1, Ordering::Relaxed);
-            self.model.session()
-        });
+        self.checkout_for(0)
+    }
+
+    /// Checks out a warm session with **shard affinity**: `worker` maps to
+    /// a home shard probed first on checkout and offered first on return,
+    /// so a stable worker keeps getting the session it just warmed. When
+    /// the home shard is empty the checkout steals from the other shards
+    /// before creating a fresh session.
+    pub fn checkout_for(&self, worker: usize) -> PooledSession<'_> {
+        self.checkouts.fetch_add(1, Ordering::Relaxed);
+        let home = worker % POOL_SHARDS;
+        for probe in 0..POOL_SHARDS {
+            let ix = (home + probe) % POOL_SHARDS;
+            let popped = self.shards[ix].idle.lock().expect("pool poisoned").pop();
+            if let Some(session) = popped {
+                return PooledSession {
+                    pool: self,
+                    session: Some(session),
+                    home,
+                };
+            }
+        }
+        self.created.fetch_add(1, Ordering::Relaxed);
         PooledSession {
             pool: self,
-            session: Some(session),
+            session: Some(self.model.session()),
+            home,
         }
     }
 
     /// Number of idle sessions currently parked in the pool.
     pub fn idle(&self) -> usize {
-        self.idle.lock().expect("pool poisoned").len()
+        self.shards
+            .iter()
+            .map(|s| s.idle.lock().expect("pool poisoned").len())
+            .sum()
     }
 
     /// Total sessions ever created by this pool (peak concurrency
@@ -110,15 +193,35 @@ impl SessionPool {
         self.created.load(Ordering::Relaxed)
     }
 
-    fn give_back(&self, mut session: Session) {
-        session.reset();
-        let mut idle = self.idle.lock().expect("pool poisoned");
-        // Enforce the idle cap on return: dropping the surplus session here
-        // (rather than refusing checkouts) keeps bursts fully served while
-        // guaranteeing the pool shrinks back afterwards.
-        if idle.len() < self.max_idle {
-            idle.push(session);
+    /// Observability counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            checkouts: self.checkouts.load(Ordering::Relaxed) as u64,
+            created: self.created(),
+            dropped: self.dropped.load(Ordering::Relaxed) as u64,
+            idle: self.idle(),
+            max_idle: self.max_idle,
         }
+    }
+
+    fn give_back(&self, mut session: Session, home: usize) {
+        session.reset();
+        // Offer the session to the home shard first (affinity), then to
+        // any shard with spare capacity. Each shard's retain-or-drop
+        // decision is taken while holding that shard's lock, so the
+        // per-shard cap — and therefore the global `max_idle` — cannot be
+        // exceeded by racing returns.
+        for probe in 0..POOL_SHARDS {
+            let shard = &self.shards[(home + probe) % POOL_SHARDS];
+            let mut idle = shard.idle.lock().expect("pool poisoned");
+            if idle.len() < shard.cap {
+                idle.push(session);
+                return;
+            }
+        }
+        // Every shard at capacity: drop the surplus session so the pool
+        // shrinks back to its cap after a burst.
+        self.dropped.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -127,6 +230,7 @@ impl SessionPool {
 pub struct PooledSession<'p> {
     pool: &'p SessionPool,
     session: Option<Session>,
+    home: usize,
 }
 
 impl PooledSession<'_> {
@@ -153,7 +257,7 @@ impl DerefMut for PooledSession<'_> {
 impl Drop for PooledSession<'_> {
     fn drop(&mut self) {
         if let Some(session) = self.session.take() {
-            self.pool.give_back(session);
+            self.pool.give_back(session, self.home);
         }
     }
 }
@@ -163,15 +267,18 @@ mod tests {
     use super::*;
     use gdatalog_lang::SemanticsMode;
 
-    fn pool() -> SessionPool {
-        let model = Arc::new(
+    fn model() -> Arc<PreparedModel> {
+        Arc::new(
             PreparedModel::compile(
                 "rel City(symbol) input. Quake(C, Flip<0.4>) :- City(C).",
                 SemanticsMode::Grohe,
             )
             .unwrap(),
-        );
-        SessionPool::new(model)
+        )
+    }
+
+    fn pool() -> SessionPool {
+        SessionPool::new(model())
     }
 
     #[test]
@@ -204,20 +311,14 @@ mod tests {
 
     #[test]
     fn bursty_checkout_shrinks_back_to_max_idle() {
-        let model = Arc::new(
-            PreparedModel::compile(
-                "rel City(symbol) input. Quake(C, Flip<0.4>) :- City(C).",
-                SemanticsMode::Grohe,
-            )
-            .unwrap(),
-        );
-        let pool = SessionPool::with_max_idle(model, 2);
+        let pool = SessionPool::with_max_idle(model(), 2);
         // A burst of 5 concurrent checkouts creates 5 sessions …
         let burst: Vec<_> = (0..5).map(|_| pool.checkout()).collect();
         assert_eq!(pool.created(), 5);
         drop(burst);
         // … but only max_idle survive the return.
         assert_eq!(pool.idle(), 2, "surplus sessions dropped on return");
+        assert_eq!(pool.stats().dropped, 3);
         // Subsequent traffic reuses the retained sessions.
         drop(pool.checkout());
         assert_eq!(pool.created(), 5, "no new session needed");
@@ -226,14 +327,12 @@ mod tests {
 
     #[test]
     fn zero_max_idle_disables_retention() {
-        let model = Arc::new(
-            PreparedModel::compile("R(Flip<0.5>) :- true.", SemanticsMode::Grohe).unwrap(),
-        );
-        let pool = SessionPool::with_max_idle(model, 0);
+        let pool = SessionPool::with_max_idle(model(), 0);
         drop(pool.checkout());
         assert_eq!(pool.idle(), 0);
         drop(pool.checkout());
         assert_eq!(pool.created(), 2, "every checkout is fresh");
+        assert_eq!(pool.stats().dropped, 2);
     }
 
     #[test]
@@ -246,5 +345,44 @@ mod tests {
         ));
         assert!(Arc::ptr_eq(s.engine().prepared(), pool.model().plans()));
         assert_eq!(pool.idle(), 0, "detached sessions do not come back");
+    }
+
+    #[test]
+    fn worker_affinity_reuses_the_same_shard() {
+        let pool = pool();
+        // Worker 3 warms a session, returns it, and checks out again: it
+        // gets a warm session back without creating a second one.
+        drop(pool.checkout_for(3));
+        drop(pool.checkout_for(3));
+        assert_eq!(pool.created(), 1);
+        // A different worker steals the idle session rather than creating.
+        drop(pool.checkout_for(5));
+        assert_eq!(pool.created(), 1, "steal instead of create");
+    }
+
+    /// The satellite-1 regression: hammer returns from many threads
+    /// against a tiny cap and assert the idle total **never** exceeds
+    /// `max_idle`. Before the shard-atomic drop decision, concurrent
+    /// returns could both pass the capacity check and overfill the pool.
+    #[test]
+    fn concurrent_returns_never_exceed_max_idle() {
+        let pool = Arc::new(SessionPool::with_max_idle(model(), 3));
+        std::thread::scope(|scope| {
+            for worker in 0..8 {
+                let pool = Arc::clone(&pool);
+                scope.spawn(move || {
+                    for round in 0..50 {
+                        let guards: Vec<_> = (0..4)
+                            .map(|i| pool.checkout_for(worker + i + round))
+                            .collect();
+                        drop(guards);
+                        let idle = pool.idle();
+                        assert!(idle <= 3, "idle {idle} exceeds max_idle under load");
+                    }
+                });
+            }
+        });
+        assert!(pool.idle() <= 3);
+        assert!(pool.stats().dropped > 0, "the cap was actually exercised");
     }
 }

@@ -148,6 +148,10 @@ pub struct Request {
     pub seed: Option<u64>,
     /// Chase depth/step budget.
     pub max_depth: Option<usize>,
+    /// Cooperative evaluation deadline, set by the serving layer (not part
+    /// of the wire format): the chase aborts with
+    /// `EngineError::DeadlineExceeded` once it has passed.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Request {
@@ -165,6 +169,7 @@ impl Request {
             runs: None,
             seed: None,
             max_depth: None,
+            deadline: None,
         }
     }
 
@@ -275,6 +280,13 @@ impl Request {
         self
     }
 
+    /// Sets a cooperative evaluation deadline (serving-layer concern; not
+    /// part of the wire format).
+    pub fn deadline(mut self, deadline: std::time::Instant) -> Request {
+        self.deadline = Some(deadline);
+        self
+    }
+
     /// Parses one request object of the batch wire format: either the
     /// single-query form (`"kind"` and its fields at top level) or the
     /// multi-query form (a `"queries"` array of such objects, sharing the
@@ -377,6 +389,9 @@ impl Request {
             runs: opt_usize("runs")?,
             seed: opt_u64("seed")?,
             max_depth: opt_usize("max_depth")?,
+            // Deadlines are a serving-layer policy (set from the server's
+            // configuration), not a wire member a client can extend.
+            deadline: None,
         })
     }
 }

@@ -1,24 +1,38 @@
 //! Batched query execution: schedule independent requests across pooled
-//! sessions with deterministic chunked parallelism.
+//! sessions with deterministic **work-stealing** parallelism.
 //!
-//! [`BatchExecutor`] is the scheduling core: it splits a batch into
-//! contiguous per-worker chunks (the same discipline as the Monte-Carlo
-//! backend's run chunking), gives each worker its own pooled session, and
-//! joins the answers back **in request order**. Because every request is
-//! evaluated independently — its own evidence, its own seed, thread-count
-//! 1 inside the evaluation — the batch answers are bit-identical to
-//! evaluating each request alone, regardless of worker count.
+//! [`BatchExecutor`] is the scheduling core: workers claim requests one at
+//! a time off a shared atomic cursor, each holding one pooled session
+//! (checked out with shard affinity, reset between requests), and every
+//! answer is scattered back into its **request-index slot** — so answers
+//! land in request order no matter which worker computed them or when.
+//! Because every request is evaluated independently — its own evidence,
+//! its own seed, thread-count 1 inside the evaluation — the batch answers
+//! are bit-identical to evaluating each request alone, regardless of
+//! worker count.
+//!
+//! Work stealing replaced the earlier contiguous-chunk schedule: with
+//! chunks, one slow request at the head of a chunk idled that worker's
+//! whole remainder while other workers finished, and on skewed batches
+//! the makespan was the slowest *chunk*, not the slowest *request*.
+//! Claiming one request at a time keeps every worker busy until the
+//! global queue drains; determinism is unaffected because ordering is
+//! restored by slot index, not by completion order.
 //!
 //! [`Server`] ties the pieces together for one program: a
-//! [`SessionPool`] over a cached [`PreparedModel`] plus an executor.
+//! [`SessionPool`] over a cached [`PreparedModel`] plus an executor and a
+//! [`MetricsRecorder`] capturing per-request timings.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use gdatalog_core::{Answer, EngineError, QueryIr, QuerySet, Session};
 use gdatalog_lang::{parse_facts, CompiledProgram, SemanticsMode};
 use gdatalog_pdb::{Event, Query};
 
 use crate::cache::PreparedModel;
+use crate::metrics::{Metrics, MetricsRecorder};
 use crate::pool::SessionPool;
 use crate::request::{fact_text, BackendSpec, QueryKind, Reply, Request, Response};
 use crate::ServeError;
@@ -211,6 +225,9 @@ pub fn execute_on(session: &mut Session, request: &Request) -> Result<Reply, Ser
     if let Some(given) = &request.given {
         eval = eval.given(given.clone());
     }
+    if let Some(deadline) = request.deadline {
+        eval = eval.deadline(deadline);
+    }
     eval = if mc {
         eval.sample(request.runs.unwrap_or(10_000))
     } else {
@@ -244,11 +261,31 @@ fn ensure_dot(text: &str) -> String {
     }
 }
 
-/// Deterministic chunked scheduling of independent requests over a
+/// Deterministic work-stealing scheduling of independent requests over a
 /// [`SessionPool`].
 #[derive(Debug, Clone, Copy)]
 pub struct BatchExecutor {
     threads: usize,
+}
+
+/// Executes one request on a pooled-and-reset session, recording its
+/// wall-clock latency (and a deadline rejection, when that is how it
+/// ended) into `recorder`.
+fn execute_recorded(
+    session: &mut Session,
+    request: &Request,
+    recorder: Option<&MetricsRecorder>,
+) -> Result<Reply, ServeError> {
+    let started = Instant::now();
+    let out = execute_on(session, request);
+    session.reset();
+    if let Some(recorder) = recorder {
+        recorder.record_request(started.elapsed(), out.is_ok());
+        if matches!(out, Err(ServeError::Engine(EngineError::DeadlineExceeded))) {
+            recorder.record_deadline_rejection();
+        }
+    }
+    out
 }
 
 impl BatchExecutor {
@@ -273,37 +310,47 @@ impl BatchExecutor {
         pool: &SessionPool,
         requests: &[Request],
     ) -> Vec<Result<Reply, ServeError>> {
-        let threads = self.threads.min(requests.len().max(1));
+        self.execute_metered(pool, requests, None)
+    }
+
+    /// [`execute`](Self::execute), recording per-request timings into a
+    /// [`MetricsRecorder`].
+    pub fn execute_metered(
+        &self,
+        pool: &SessionPool,
+        requests: &[Request],
+        recorder: Option<&MetricsRecorder>,
+    ) -> Vec<Result<Reply, ServeError>> {
+        let n = requests.len();
+        let threads = self.threads.min(n.max(1));
         if threads <= 1 {
-            let mut session = pool.checkout();
+            let mut session = pool.checkout_for(0);
             return requests
                 .iter()
-                .map(|request| {
-                    let out = execute_on(&mut session, request);
-                    session.reset();
-                    out
-                })
+                .map(|request| execute_recorded(&mut session, request, recorder))
                 .collect();
         }
-        // Contiguous chunks joined in order: answers land in request
-        // order and are independent of worker timing.
-        let n = requests.len();
-        let chunks: Vec<Vec<Result<Reply, ServeError>>> = std::thread::scope(|scope| {
+        // Work stealing over a shared cursor: each worker claims one
+        // request at a time and tags its answer with the request index, so
+        // no worker idles while requests remain and the scatter below
+        // restores request order exactly.
+        let next = AtomicUsize::new(0);
+        type Tagged = (usize, Result<Reply, ServeError>);
+        let per_worker: Vec<Vec<Tagged>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|worker| {
-                    let lo = worker * n / threads;
-                    let hi = (worker + 1) * n / threads;
-                    let slice = &requests[lo..hi];
+                    let next = &next;
                     scope.spawn(move || {
-                        let mut session = pool.checkout();
-                        slice
-                            .iter()
-                            .map(|request| {
-                                let out = execute_on(&mut session, request);
-                                session.reset();
-                                out
-                            })
-                            .collect()
+                        let mut session = pool.checkout_for(worker);
+                        let mut local: Vec<Tagged> = Vec::new();
+                        loop {
+                            let ix = next.fetch_add(1, Ordering::Relaxed);
+                            if ix >= n {
+                                return local;
+                            }
+                            let out = execute_recorded(&mut session, &requests[ix], recorder);
+                            local.push((ix, out));
+                        }
                     })
                 })
                 .collect();
@@ -312,7 +359,17 @@ impl BatchExecutor {
                 .map(|h| h.join().expect("batch worker panicked"))
                 .collect()
         });
-        chunks.into_iter().flatten().collect()
+        // Scatter into request-order slots. Every index in [0, n) was
+        // claimed by exactly one worker, so every slot fills.
+        let mut slots: Vec<Option<Result<Reply, ServeError>>> = (0..n).map(|_| None).collect();
+        for (ix, out) in per_worker.into_iter().flatten() {
+            debug_assert!(slots[ix].is_none(), "request {ix} claimed twice");
+            slots[ix] = Some(out);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every request claimed exactly once"))
+            .collect()
     }
 }
 
@@ -349,6 +406,7 @@ impl Default for BatchExecutor {
 pub struct Server {
     pool: SessionPool,
     executor: BatchExecutor,
+    metrics: Arc<MetricsRecorder>,
 }
 
 impl Server {
@@ -357,6 +415,7 @@ impl Server {
         Server {
             pool: SessionPool::new(model),
             executor: BatchExecutor::default(),
+            metrics: Arc::new(MetricsRecorder::new()),
         }
     }
 
@@ -386,19 +445,43 @@ impl Server {
         &self.pool
     }
 
+    /// The server's metrics recorder (shared so an HTTP front end can
+    /// report the same counters at its stats endpoint).
+    pub fn metrics_recorder(&self) -> &Arc<MetricsRecorder> {
+        &self.metrics
+    }
+
+    /// A point-in-time metrics snapshot (per-request timings, error and
+    /// rejection counters).
+    pub fn metrics(&self) -> Metrics {
+        self.metrics.snapshot()
+    }
+
     /// Answers one request (equivalent to a batch of one).
     ///
     /// # Errors
     /// Bad request specs or evaluation errors.
     pub fn execute(&self, request: &Request) -> Result<Reply, ServeError> {
-        let mut session = self.pool.checkout();
-        execute_on(&mut session, request)
+        self.execute_for(0, request)
+    }
+
+    /// [`execute`](Self::execute) with **worker affinity**: the session is
+    /// checked out from (and returned to) the pool shard of `worker`, so a
+    /// long-lived serving worker keeps reusing the session it warmed
+    /// instead of contending with its peers on one shard.
+    ///
+    /// # Errors
+    /// Bad request specs or evaluation errors.
+    pub fn execute_for(&self, worker: usize, request: &Request) -> Result<Reply, ServeError> {
+        let mut session = self.pool.checkout_for(worker);
+        execute_recorded(&mut session, request, Some(&self.metrics))
     }
 
     /// Answers a batch of independent requests, in request order —
     /// bit-identical to answering each alone, for any worker count.
     pub fn batch(&self, requests: &[Request]) -> Vec<Result<Reply, ServeError>> {
-        self.executor.execute(&self.pool, requests)
+        self.executor
+            .execute_metered(&self.pool, requests, Some(&self.metrics))
     }
 }
 
@@ -582,6 +665,96 @@ mod tests {
             let single = server1.execute(&requests[i]).unwrap();
             assert_eq!(&single, x.as_ref().unwrap());
         }
+    }
+
+    /// Satellite 3: work stealing preserves request-order answers and
+    /// bit-identity at 1/2/4/8 workers, for exact and Monte-Carlo
+    /// backends alike, on a batch with deliberately skewed per-request
+    /// cost (so stealing actually reorders completion).
+    #[test]
+    fn work_stealing_is_bit_identical_at_1_2_4_8_workers() {
+        let requests: Vec<Request> = (0..24)
+            .map(|i| {
+                // Vary the evidence size so request costs are skewed.
+                let cities: String = (0..=(i % 5))
+                    .map(|j| format!("City(c{i}_{j}, 0.{}).", (i % 9) + 1))
+                    .collect();
+                let r = Request::marginals("Alarm").input(cities);
+                if i % 2 == 0 {
+                    r.exact()
+                } else {
+                    r.mc(500).seed(i as u64)
+                }
+            })
+            .collect();
+        let reference: Vec<Result<Reply, ServeError>> = {
+            let server = Server::from_source(SRC, SemanticsMode::Grohe).unwrap();
+            requests.iter().map(|r| server.execute(r)).collect()
+        };
+        for workers in [1usize, 2, 4, 8] {
+            let server = Server::from_source(SRC, SemanticsMode::Grohe)
+                .unwrap()
+                .threads(workers);
+            let batch = server.batch(&requests);
+            for (i, (got, want)) in batch.iter().zip(&reference).enumerate() {
+                assert_eq!(
+                    got.as_ref().unwrap(),
+                    want.as_ref().unwrap(),
+                    "slot {i} diverges at {workers} workers"
+                );
+            }
+        }
+    }
+
+    /// An expired deadline surfaces as `EngineError::DeadlineExceeded`
+    /// and is counted by the server's metrics.
+    #[test]
+    fn expired_deadline_rejects_request_and_is_counted() {
+        let server = Server::from_source(SRC, SemanticsMode::Grohe).unwrap();
+        let request = Request::marginal("Alarm(a)")
+            .input("City(a, 0.3).")
+            .exact()
+            .deadline(std::time::Instant::now());
+        let err = server.execute(&request).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Engine(EngineError::DeadlineExceeded)
+        ));
+        let m = server.metrics();
+        assert_eq!(m.deadline_rejections, 1);
+        assert_eq!(m.errors, 1);
+        // A generous deadline changes nothing.
+        let ok = server
+            .execute(
+                &Request::marginal("Alarm(a)")
+                    .input("City(a, 0.3).")
+                    .exact()
+                    .deadline(Instant::now() + std::time::Duration::from_secs(3600)),
+            )
+            .unwrap();
+        assert_eq!(ok.single(), &Response::Marginal(0.3));
+        assert_eq!(server.metrics().requests, 2);
+    }
+
+    /// The batch path records one timing per request.
+    #[test]
+    fn batch_records_per_request_metrics() {
+        let server = Server::from_source(SRC, SemanticsMode::Grohe)
+            .unwrap()
+            .threads(4);
+        let requests: Vec<Request> = (0..10)
+            .map(|i| {
+                Request::marginal(format!("Alarm(c{i})"))
+                    .input(format!("City(c{i}, 0.2)."))
+                    .exact()
+            })
+            .collect();
+        let answers = server.batch(&requests);
+        assert!(answers.iter().all(|a| a.is_ok()));
+        let m = server.metrics();
+        assert_eq!(m.requests, 10);
+        assert_eq!(m.errors, 0);
+        assert!(m.p99_us > 0);
     }
 
     #[test]

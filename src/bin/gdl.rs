@@ -12,6 +12,10 @@
 //!                       [--exact | --mc] [--runs N] [--seed S] [--steps N]
 //!                       [--threads N] [--input facts.gdl] [--format json]
 //! gdl batch  <requests.json> [--threads N] [--format json]
+//! gdl serve  <file.gdl> [--barany] [--addr HOST:PORT] [--workers N]
+//!                       [--max-inflight N] [--deadline-ms MS] [--max-body-bytes N]
+//! gdl loadgen <requests.json> [--addr HOST:PORT] [--connections N]
+//!                       [--duration-ms MS] [--rate R] [--out report.json]
 //! gdl tree   <file.gdl> [--depth N]      chase tree in Graphviz DOT
 //! ```
 //!
@@ -50,11 +54,19 @@
 //!   ]
 //! }
 //! ```
+//!
+//! `serve` keeps the same model resident behind an HTTP/1.1 front end
+//! (`gdatalog::net`): `POST /v1/query` and `POST /v1/batch` speak the
+//! batch wire format, `GET /v1/stats` reports metrics, and
+//! `POST /v1/shutdown` drains the server. `loadgen` drives a running
+//! server with the requests of a corpus document and reports req/s and
+//! exact p50/p99 latency.
 
 use std::io::Write as _;
 use std::process::ExitCode;
 
 use gdatalog::engine::{build_chase_tree, ChasePolicy, Evaluation};
+use gdatalog::net::{self, HttpServer, LoadgenConfig, NetConfig};
 use gdatalog::prelude::*;
 // The wire-syntax renderers are shared with the serving layer so
 // `gdl query` and `gdl batch` output cannot diverge.
@@ -106,6 +118,25 @@ struct Args {
     /// Additional queries (`--and <spec>`, repeatable) answered in the
     /// same backend pass as the positional query.
     and: Vec<String>,
+    /// `serve`/`loadgen`: address to bind / target.
+    addr: String,
+    /// `serve`: worker threads (`None` = one per core).
+    workers: Option<usize>,
+    /// `serve`: admission cap (`None` = the net-layer default).
+    max_inflight: Option<usize>,
+    /// `serve`: body cap in bytes (`None` = the net-layer default).
+    max_body_bytes: Option<usize>,
+    /// `serve`: per-request evaluation budget in milliseconds.
+    deadline_ms: Option<u64>,
+    /// `loadgen`: concurrent keep-alive connections.
+    connections: usize,
+    /// `loadgen`: run length in milliseconds.
+    duration_ms: u64,
+    /// `loadgen`: open-loop target rate (requests/second, all
+    /// connections together); `None` = closed-loop.
+    rate: Option<f64>,
+    /// `loadgen`: also write the JSON report to this path.
+    out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -137,6 +168,15 @@ fn parse_args() -> Result<Args, String> {
         q: None,
         threshold: None,
         and: Vec::new(),
+        addr: "127.0.0.1:7171".to_string(),
+        workers: None,
+        max_inflight: None,
+        max_body_bytes: None,
+        deadline_ms: None,
+        connections: 4,
+        duration_ms: 3_000,
+        rate: None,
+        out: None,
     };
     if args.command == "query" {
         args.query_kind = Some(argv.next().ok_or("query needs a kind")?);
@@ -158,6 +198,13 @@ fn parse_args() -> Result<Args, String> {
             "--depth" => args.depth = take("--depth")?.parse().map_err(|e| format!("{e}"))?,
             "--threads" => {
                 args.threads = take("--threads")?.parse().map_err(|e| format!("{e}"))?;
+                if args.threads == 0 {
+                    return Err(
+                        "--threads 0 would mean no workers; pass at least 1 (or omit \
+                         the flag for the default)"
+                            .to_string(),
+                    );
+                }
                 args.threads_set = true;
             }
             "--input" => args.input = Some(take("--input")?),
@@ -188,6 +235,52 @@ fn parse_args() -> Result<Args, String> {
             "--q" => args.q = Some(num("--q", take("--q"))?),
             "--threshold" => args.threshold = Some(num("--threshold", take("--threshold"))?),
             "--and" => args.and.push(take("--and")?),
+            "--addr" => args.addr = take("--addr")?,
+            "--workers" => {
+                let workers: usize = take("--workers")?.parse().map_err(|e| format!("{e}"))?;
+                if workers == 0 {
+                    return Err(
+                        "--workers 0 would mean no serving threads; pass at least 1 \
+                         (or omit the flag for one per core)"
+                            .to_string(),
+                    );
+                }
+                args.workers = Some(workers);
+            }
+            "--max-inflight" => {
+                args.max_inflight = Some(
+                    take("--max-inflight")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
+            "--max-body-bytes" => {
+                args.max_body_bytes = Some(
+                    take("--max-body-bytes")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
+            "--deadline-ms" => {
+                args.deadline_ms = Some(take("--deadline-ms")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--connections" => {
+                args.connections = take("--connections")?.parse().map_err(|e| format!("{e}"))?;
+                if args.connections == 0 {
+                    return Err("--connections must be at least 1".to_string());
+                }
+            }
+            "--duration-ms" => {
+                args.duration_ms = take("--duration-ms")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--rate" => {
+                let rate: f64 = take("--rate")?.parse().map_err(|e| format!("{e}"))?;
+                if !rate.is_finite() || rate <= 0.0 {
+                    return Err(format!("--rate must be a positive number, got {rate}"));
+                }
+                args.rate = Some(rate);
+            }
+            "--out" => args.out = Some(take("--out")?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -343,6 +436,13 @@ fn run_batch(args: &Args) -> Result<(), String> {
             })?,
         }
     };
+    if threads == 0 {
+        return Err(
+            "the document's `threads` member is 0, which would mean no workers; \
+             use 1 or more (or drop the member for sequential execution)"
+                .to_string(),
+        );
+    }
     let server = Server::from_source(&src, mode)
         .map_err(|e| e.to_string())?
         .threads(threads);
@@ -381,10 +481,75 @@ fn run_batch(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs `gdl serve <model.gdl>`: compile once, then serve it over HTTP
+/// until a client posts `/v1/shutdown`.
+fn run_serve(args: &Args) -> Result<(), String> {
+    let src = std::fs::read_to_string(&args.file)
+        .map_err(|e| format!("cannot read {}: {e}", args.file))?;
+    let mut config = NetConfig::default();
+    if let Some(workers) = args.workers {
+        config.workers = workers;
+    }
+    if let Some(max_inflight) = args.max_inflight {
+        config.max_inflight = max_inflight;
+    }
+    if let Some(max_body_bytes) = args.max_body_bytes {
+        config.max_body_bytes = max_body_bytes;
+    }
+    config.deadline = args.deadline_ms.map(std::time::Duration::from_millis);
+    let server =
+        HttpServer::start_source(&src, args.mode, &args.addr, config).map_err(|e| e.to_string())?;
+    eprintln!(
+        "gdl serve: listening on http://{} ({} worker(s)); POST /v1/shutdown to stop",
+        server.addr(),
+        server.workers()
+    );
+    server.join();
+    eprintln!("gdl serve: drained, bye");
+    Ok(())
+}
+
+/// Runs `gdl loadgen <requests.json>` against a live server and prints
+/// (and optionally writes) the JSON report.
+fn run_loadgen(args: &Args) -> Result<(), String> {
+    let doc = std::fs::read_to_string(&args.file)
+        .map_err(|e| format!("cannot read {}: {e}", args.file))?;
+    let bodies = net::bodies_from_json(&doc).map_err(|e| e.to_string())?;
+    let report = net::run_loadgen(
+        &bodies,
+        &LoadgenConfig {
+            addr: args.addr.clone(),
+            connections: args.connections,
+            duration: std::time::Duration::from_millis(args.duration_ms),
+            rate: args.rate,
+            ..LoadgenConfig::default()
+        },
+    );
+    let rendered = report.to_json();
+    println!("{rendered}");
+    if let Some(path) = &args.out {
+        std::fs::write(path, format!("{rendered}\n"))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if report.sent == report.io_errors {
+        return Err(format!(
+            "no request survived the socket — is a server listening on {}?",
+            args.addr
+        ));
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args()?;
     if args.command == "batch" {
         return run_batch(&args);
+    }
+    if args.command == "serve" {
+        return run_serve(&args);
+    }
+    if args.command == "loadgen" {
+        return run_loadgen(&args);
     }
     let session = make_session(&args)?;
     let program = session.program();
@@ -535,7 +700,8 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         other => Err(format!(
-            "unknown command `{other}` (expected check | exact | sample | query | batch | tree)"
+            "unknown command `{other}` (expected check | exact | sample | query | batch | \
+             serve | loadgen | tree)"
         )),
     }
 }
@@ -904,6 +1070,10 @@ fn main() -> ExitCode {
                  \x20        [--and \"expectation:Rel:count\"] (repeatable; one pass, many answers)\n\
                  \x20        [--given \"Alarm(h1). Normal<M, 1.0> == 2.5 :- Mu(M).\"]\n\
                  \x20 batch: gdl batch <requests.json> [--threads N] [--format json]\n\
+                 \x20 serve: gdl serve <file.gdl> [--addr HOST:PORT] [--workers N]\n\
+                 \x20        [--max-inflight N] [--deadline-ms MS] [--max-body-bytes N]\n\
+                 \x20 loadgen: gdl loadgen <requests.json> [--addr HOST:PORT]\n\
+                 \x20        [--connections N] [--duration-ms MS] [--rate R] [--out report.json]\n\
                  \x20 flags: [--barany] [--runs N] [--seed S] [--steps N] [--depth N]\n\
                  \x20        [--threads N] [--input facts.gdl] [--format json] [--exact|--mc]"
             );

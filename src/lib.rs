@@ -23,6 +23,7 @@
 //! | [`pdb`] | possible worlds, empirical PDBs, events, queries, streaming sinks |
 //! | [`engine`] | the probabilistic chase: sessions, backends, exact/MC |
 //! | [`serve`] | program cache, session pool, batched query execution |
+//! | [`net`] | HTTP/1.1 front end, admission control, load generator |
 //! | [`stats`] | KS/χ² testing substrate used to verify the semantics |
 //!
 //! ## Quickstart
@@ -66,6 +67,7 @@ pub use gdatalog_data as data;
 pub use gdatalog_datalog as datalog;
 pub use gdatalog_dist as dist;
 pub use gdatalog_lang as lang;
+pub use gdatalog_net as net;
 pub use gdatalog_pdb as pdb;
 pub use gdatalog_serve as serve;
 pub use gdatalog_stats as stats;

@@ -117,6 +117,7 @@ fn exact_config_knobs_flow_through_builder() {
         max_depth: 6,
         support_tol: 1e-4,
         min_path_prob: 1e-6,
+        ..ExactConfig::default()
     };
     let reference = reference_exact(&engine, PolicyKind::Canonical, config);
     let new = engine
