@@ -1332,6 +1332,179 @@ fn bench_pr7() {
     println!("\n  wrote BENCH_PR7.json");
 }
 
+/// The PR8 suite behind `BENCH_PR8.json`: posterior inference under
+/// sharp evidence. One conditioned model — a rare cause behind a noisy
+/// detector — is answered three ways:
+///
+/// 1. **Fixed-budget likelihood weighting** (`sample(N)`): hard
+///    evidence kills ~94% of prior runs, so the achieved ESS is a small
+///    fraction of the budget.
+/// 2. **ESS-adaptive sampling** (`sample_until`): states the quality
+///    target directly; the driver grows runs in doubling batches until
+///    the achieved ESS reaches it.
+/// 3. **Metropolis-Hastings** (`mh(kept)`): every kept state carries
+///    equal weight, so the nominal ESS equals the kept-state count.
+///
+/// Correctness against exact enumeration is asserted **before** any
+/// timing (generous z-tolerance — this is a smoke gate, not the
+/// statistical harness; `tests/inference_backends.rs` is the tight
+/// one), and the adaptive run must actually reach its target.
+fn bench_pr8() {
+    use gdatalog_core::{EssTarget, Session};
+
+    header(
+        "BENCH8",
+        "posterior inference backends (written to BENCH_PR8.json)",
+    );
+
+    // P(Quake) = 0.02; the detector fires at 0.7 given a quake and
+    // 0.05 otherwise. Posterior P(Quake | Alarm) = 14/63 ≈ 0.2222,
+    // evidence mass P(Alarm) = 0.063.
+    let session = Session::from_source(
+        "Quake(Flip<0.02>) :- true.
+         Trig(Flip<0.7>) :- Quake(1).
+         Trig(Flip<0.05>) :- Quake(0).
+         Alarm() :- Trig(1).",
+        SemanticsMode::Grohe,
+    )
+    .expect("model compiles");
+    let quake = session.program().catalog.require("Quake").expect("Quake");
+    let fact = Fact::new(quake, Tuple::from(vec![Value::int(1)]));
+    let queries = gdatalog_core::QuerySet::new().marginal(&fact);
+    const GIVEN: &str = "Alarm().";
+    const LW_RUNS: usize = 40_000;
+    const ESS_TARGET: f64 = 2_000.0;
+    const MH_KEPT: usize = 20_000;
+
+    let exact = session
+        .eval()
+        .exact()
+        .given(GIVEN)
+        .marginal(&fact)
+        .expect("exact posterior");
+
+    let check = |label: &str, p: f64, n_eff: f64| {
+        let se = (exact * (1.0 - exact) / n_eff.max(1.0)).sqrt();
+        let tol = 6.0 * se + 1e-3;
+        assert!(
+            (p - exact).abs() <= tol,
+            "{label}: estimate {p} vs exact {exact} exceeds {tol}"
+        );
+    };
+
+    // Correctness + achieved statistics first (timing never gates it).
+    let lw = session
+        .eval()
+        .sample(LW_RUNS)
+        .seed(0x8EED)
+        .given(GIVEN)
+        .answer(&queries)
+        .expect("lw answers");
+    let lw_p = lw.get(0).expect("answer").as_probability().expect("p");
+    let lw_ev = lw.evidence();
+    check("lw_fixed", lw_p, lw_ev.ess);
+
+    let adaptive = session
+        .eval()
+        .sample_until(EssTarget::new(ESS_TARGET).max_runs(1 << 18))
+        .seed(0x8EED)
+        .given(GIVEN)
+        .answer(&queries)
+        .expect("adaptive answers");
+    let ad_p = adaptive
+        .get(0)
+        .expect("answer")
+        .as_probability()
+        .expect("p");
+    let ad_ev = adaptive.evidence();
+    assert!(
+        ad_ev.ess >= ESS_TARGET,
+        "acceptance: adaptive run reaches its ESS target \
+         (achieved {:.1} < {ESS_TARGET})",
+        ad_ev.ess
+    );
+    check("ess_adaptive", ad_p, ad_ev.ess);
+
+    let mh = session
+        .eval()
+        .mh(MH_KEPT)
+        .burn_in(1_000)
+        .seed(0xC0DE)
+        .given(GIVEN)
+        .answer(&queries)
+        .expect("mh answers");
+    let mh_p = mh.get(0).expect("answer").as_probability().expect("p");
+    let mh_ev = mh.evidence();
+    let mh_accept = mh_ev.accept_rate.expect("mh reports acceptance");
+    // Chain autocorrelation discount, matching the statistical harness.
+    check("mh", mh_p, MH_KEPT as f64 / 20.0);
+
+    let lw_ns = median_ns(5, || {
+        std::hint::black_box(
+            session
+                .eval()
+                .sample(LW_RUNS)
+                .seed(0x8EED)
+                .given(GIVEN)
+                .answer(&queries)
+                .expect("ok"),
+        );
+    });
+    let ad_ns = median_ns(5, || {
+        std::hint::black_box(
+            session
+                .eval()
+                .sample_until(EssTarget::new(ESS_TARGET).max_runs(1 << 18))
+                .seed(0x8EED)
+                .given(GIVEN)
+                .answer(&queries)
+                .expect("ok"),
+        );
+    });
+    let mh_ns = median_ns(5, || {
+        std::hint::black_box(
+            session
+                .eval()
+                .mh(MH_KEPT)
+                .burn_in(1_000)
+                .seed(0xC0DE)
+                .given(GIVEN)
+                .answer(&queries)
+                .expect("ok"),
+        );
+    });
+
+    println!("  exact posterior P(Quake | Alarm) = {exact:.6}");
+    println!(
+        "  {:<26} {:>12.0} ns   ess {:>8.1} / {:>6} runs   p = {:.4}",
+        "lw_fixed(40k)", lw_ns, lw_ev.ess, lw_ev.runs, lw_p
+    );
+    println!(
+        "  {:<26} {:>12.0} ns   ess {:>8.1} / {:>6} runs   p = {:.4}",
+        "ess_adaptive(target 2k)", ad_ns, ad_ev.ess, ad_ev.runs, ad_p
+    );
+    println!(
+        "  {:<26} {:>12.0} ns   ess {:>8.1} / {:>6} kept   p = {:.4}   accept {:.3}",
+        "mh(20k kept)", mh_ns, mh_ev.ess, mh_ev.runs, mh_p, mh_accept
+    );
+
+    let json = format!(
+        "{{\n  \"pr\": 8,\n  \"exact_posterior\": {exact:.12},\n  \"benches\": [\n    \
+         {{\"bench\": \"inference/lw_fixed\", \"median_ns\": {lw_ns:.0}, \
+         \"runs\": {}, \"ess\": {:.1}, \"estimate\": {lw_p:.6}}},\n    \
+         {{\"bench\": \"inference/ess_adaptive\", \"median_ns\": {ad_ns:.0}, \
+         \"runs\": {}, \"ess\": {:.1}, \"ess_target\": {ESS_TARGET}, \
+         \"estimate\": {ad_p:.6}}},\n    \
+         {{\"bench\": \"inference/mh\", \"median_ns\": {mh_ns:.0}, \
+         \"kept\": {}, \"accept_rate\": {mh_accept:.4}, \
+         \"estimate\": {mh_p:.6}}}\n  ],\n  \
+         \"all_backends_within_tolerance_of_exact\": true\n}}\n",
+        lw_ev.runs, lw_ev.ess, ad_ev.runs, ad_ev.ess, mh_ev.runs,
+    );
+    std::fs::write("BENCH_PR8.json", json).expect("write BENCH_PR8.json");
+    println!("\n  wrote BENCH_PR8.json");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let run_all = args.is_empty();
@@ -1351,6 +1524,7 @@ fn main() {
         ("bench3", bench_pr3),
         ("bench5", bench_pr5),
         ("bench7", bench_pr7),
+        ("bench8", bench_pr8),
     ];
     let mut ran = 0;
     for (id, f) in &experiments {
@@ -1361,7 +1535,7 @@ fn main() {
     }
     if ran == 0 {
         eprintln!(
-            "unknown experiment id; available: e1..e8, bench, bench2, bench3, bench5, bench7"
+            "unknown experiment id; available: e1..e8, bench, bench2, bench3, bench5, bench7, bench8"
         );
         std::process::exit(2);
     }

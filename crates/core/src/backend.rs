@@ -82,6 +82,12 @@ pub struct EvalOptions {
     /// [`EngineError::DeadlineExceeded`] once it has passed. `None`
     /// (the default) never cancels.
     pub deadline: Option<std::time::Instant>,
+    /// Markov-chain iterations discarded before the first kept sample
+    /// (only read by [`crate::MhBackend`]).
+    pub burn_in: usize,
+    /// Markov-chain iterations between kept samples (1 = keep every
+    /// post-burn-in state; only read by [`crate::MhBackend`]).
+    pub thin: usize,
 }
 
 impl Default for EvalOptions {
@@ -97,6 +103,8 @@ impl Default for EvalOptions {
             policy: PolicyKind::Canonical,
             keep_aux: false,
             deadline: None,
+            burn_in: 500,
+            thin: 1,
         }
     }
 }
@@ -155,7 +163,7 @@ pub struct EvalJob<'a> {
 }
 
 /// The job's plans: shared when the caller holds them, else freshly built.
-enum Plans<'a> {
+pub(crate) enum Plans<'a> {
     Shared(&'a PreparedProgram),
     Owned(Box<PreparedProgram>),
 }
@@ -171,7 +179,7 @@ impl std::ops::Deref for Plans<'_> {
 }
 
 impl<'a> EvalJob<'a> {
-    fn plans(&self) -> Plans<'a> {
+    pub(crate) fn plans(&self) -> Plans<'a> {
         match self.prepared {
             Some(p) => Plans::Shared(p),
             None => Plans::Owned(Box::new(PreparedProgram::new(self.program))),
@@ -210,10 +218,12 @@ fn existential_rule_ids(program: &CompiledProgram) -> Vec<usize> {
 
 /// Feeds an enumerated world table into a sink, applying the output-schema
 /// projection unless `keep_aux`. Under conditioning (`observes` nonempty)
-/// every world's probability is multiplied by its evidence weight
-/// (indicator × likelihood), zero-weight worlds are filtered out, and
-/// deficit mass is dropped — the stream carries the **unnormalized**
-/// conditional, which the evaluation terminals renormalize.
+/// every world is emitted in **log space** ([`WorldSink::observe_log`])
+/// with weight `ln p + log-likelihood` — finite even where the linear
+/// product `p · L` underflows `f64` — zero-weight worlds are filtered out,
+/// and deficit mass is dropped (the conditional is taken given
+/// termination); the stream carries the **unnormalized** conditional,
+/// which the evaluation terminals renormalize.
 fn feed_table(
     program: &CompiledProgram,
     table: PossibleWorlds,
@@ -223,20 +233,28 @@ fn feed_table(
 ) -> Result<(), EngineError> {
     let deficit = table.deficit();
     for (world, p) in table.into_worlds() {
-        let p = if observes.is_empty() {
-            p
-        } else {
-            p * observe::weight(observes, &world)?
-        };
         if p == 0.0 {
             continue;
         }
-        let world = if keep_aux {
-            world
+        if observes.is_empty() {
+            let world = if keep_aux {
+                world
+            } else {
+                program.project_output(&world)
+            };
+            sink.observe(world, p);
         } else {
-            program.project_output(&world)
-        };
-        sink.observe(world, p);
+            let lp = p.ln() + observe::log_weight(observes, &world)?;
+            if lp == f64::NEG_INFINITY {
+                continue;
+            }
+            let world = if keep_aux {
+                world
+            } else {
+                program.project_output(&world)
+            };
+            sink.observe_log(world, lp);
+        }
     }
     if observes.is_empty() {
         sink.observe_deficit(DeficitKind::Nontermination, deficit.nontermination);
@@ -298,13 +316,15 @@ impl Backend for ExactParallelBackend {
 /// totals estimate the SPDB mass `α` of Def. 2.7.
 ///
 /// Under conditioning (`job.observes` nonempty) this is
-/// **likelihood-weighted** (importance) sampling: run `i`'s weight becomes
-/// `wᵢ = exp(log-likelihood of the evidence in world i) / runs`, runs
-/// failing a hard observation (and budget-exhausted runs) are dropped, and
-/// the evaluation terminals self-normalize by `Σwᵢ` — the classical
-/// self-normalized importance-sampling estimator of the posterior. The
-/// per-run weight is a deterministic function of the run's world, so every
-/// determinism guarantee below carries over unchanged.
+/// **likelihood-weighted** (importance) sampling in log space: run `i` is
+/// emitted via [`WorldSink::observe_log`] with log-weight
+/// `log L(world i) − ln runs`, runs failing a hard observation (and
+/// budget-exhausted runs) are dropped, and the evaluation terminals
+/// self-normalize — the classical self-normalized importance-sampling
+/// estimator of the posterior, finite even when every likelihood
+/// underflows linear `f64` (log-likelihood ≲ −745). The per-run weight is
+/// a deterministic function of the run's world, so every determinism
+/// guarantee below carries over unchanged.
 ///
 /// With `threads > 1` and a sink that supports
 /// [`fork`](gdatalog_pdb::WorldSink::fork), the run range is split into
@@ -315,125 +335,154 @@ impl Backend for ExactParallelBackend {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct McBackend;
 
+/// One Monte-Carlo run's observation: a world with a linear or log-space
+/// stream weight, unconditional deficit mass, or nothing (dropped run).
+/// Deterministic per run index.
+enum McObs {
+    Linear(Instance, f64),
+    Log(Instance, f64),
+    Deficit(f64),
+    Dropped,
+}
+
+/// Streams the Monte-Carlo runs of `range` into `sink`, with the same
+/// deterministic chunked parallelism as [`McBackend::run`].
+///
+/// `raw` selects the emission convention:
+/// - `false` (the [`McBackend`] contract): each run carries its `1/runs`
+///   share — linear weight `1/runs` unconditioned, log-weight
+///   `log L − ln runs` conditioned, deficits `1/runs`.
+/// - `true` (the adaptive-driver contract): **per-run** weights with no
+///   `1/runs` normalization — log-weight `0` unconditioned / `log L`
+///   conditioned, deficits `1` — so a caller can grow the run count in
+///   batches against one persistent sink and divide by the final total
+///   itself.
+pub(crate) fn mc_stream(
+    job: &EvalJob<'_>,
+    sink: &mut dyn WorldSink,
+    range: std::ops::Range<usize>,
+    raw: bool,
+) -> Result<(), EngineError> {
+    let (program, input) = (job.program, job.input);
+    let runs = range.len();
+    if runs == 0 {
+        return Ok(());
+    }
+    let weight = if raw { 1.0 } else { 1.0 / runs as f64 };
+    let log_shift = if raw { 0.0 } else { (runs as f64).ln() };
+    let observes = job.observes;
+    let existential = existential_rule_ids(program);
+    let prepared = job.plans();
+    let config = job.options.mc_config();
+    let threads = job.options.threads.max(1).min(runs);
+
+    let observe_run = |run_ix: usize| -> Result<McObs, EngineError> {
+        match single_run(program, &prepared, input, &config, &existential, run_ix)? {
+            Some(world) => {
+                if observes.is_empty() {
+                    if raw {
+                        Ok(McObs::Log(world, 0.0))
+                    } else {
+                        Ok(McObs::Linear(world, weight))
+                    }
+                } else {
+                    let lw = observe::log_weight(observes, &world)?;
+                    if lw == f64::NEG_INFINITY {
+                        Ok(McObs::Dropped)
+                    } else {
+                        Ok(McObs::Log(world, lw - log_shift))
+                    }
+                }
+            }
+            None if observes.is_empty() => Ok(McObs::Deficit(weight)),
+            // Conditioning is taken given termination: budget-exhausted
+            // runs are dropped like hard-rejected ones.
+            None => Ok(McObs::Dropped),
+        }
+    };
+
+    let emit = |sink: &mut dyn WorldSink, obs: McObs| match obs {
+        McObs::Linear(world, w) => sink.observe(world, w),
+        McObs::Log(world, lw) => sink.observe_log(world, lw),
+        McObs::Deficit(w) => sink.observe_deficit(DeficitKind::Nontermination, w),
+        McObs::Dropped => {}
+    };
+
+    let sequential = |sink: &mut dyn WorldSink| -> Result<(), EngineError> {
+        for run_ix in range.clone() {
+            let obs = observe_run(run_ix)?;
+            emit(sink, obs);
+        }
+        Ok(())
+    };
+
+    if threads <= 1 || sink.fork().is_none() {
+        return sequential(sink);
+    }
+
+    // Contiguous chunks, folded worker-locally into forked sinks and
+    // joined back in chunk order: deterministic regardless of timing.
+    // Every worker runs its whole chunk (stopping only at its *own*
+    // first error), so the set of per-chunk outcomes — and therefore
+    // the smallest-index error chosen below — does not depend on
+    // thread scheduling.
+    type ChunkResult = Result<Box<dyn WorldSink>, (usize, EngineError)>;
+    let chunks: Vec<ChunkResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|worker| {
+                let lo = range.start + worker * runs / threads;
+                let hi = range.start + (worker + 1) * runs / threads;
+                let mut local = sink.fork().expect("fork checked above");
+                let observe_run = &observe_run;
+                let emit = &emit;
+                scope.spawn(move || -> ChunkResult {
+                    for run_ix in lo..hi {
+                        match observe_run(run_ix) {
+                            Ok(obs) => emit(&mut *local, obs),
+                            Err(e) => return Err((run_ix, e)),
+                        }
+                    }
+                    Ok(local)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    // Report the smallest-index failure (deterministic: each chunk's
+    // first error is fixed by the per-run seeds); otherwise join the
+    // chunks in run order.
+    let mut first_error: Option<(usize, EngineError)> = None;
+    let mut done = Vec::with_capacity(chunks.len());
+    for chunk in chunks {
+        match chunk {
+            Ok(local) => done.push(local),
+            Err((ix, e)) => {
+                if first_error.as_ref().is_none_or(|(best, _)| ix < *best) {
+                    first_error = Some((ix, e));
+                }
+            }
+        }
+    }
+    if let Some((_, e)) = first_error {
+        return Err(e);
+    }
+    for local in done {
+        sink.join(local);
+    }
+    Ok(())
+}
+
 impl Backend for McBackend {
     fn name(&self) -> &'static str {
         "monte-carlo"
     }
 
     fn run(&self, job: &EvalJob<'_>, sink: &mut dyn WorldSink) -> Result<(), EngineError> {
-        let (program, input) = (job.program, job.input);
-        let runs = job.options.runs;
-        if runs == 0 {
-            return Ok(());
-        }
-        let weight = 1.0 / runs as f64;
-        let observes = job.observes;
-        let existential = existential_rule_ids(program);
-        let prepared = job.plans();
-        let config = job.options.mc_config();
-        let threads = job.options.threads.max(1).min(runs);
-
-        // One run's observation: the sampled world with its (possibly
-        // likelihood-weighted) stream weight, or a deficit under the
-        // unconditional semantics. Deterministic per run index.
-        enum Obs {
-            World(Instance, f64),
-            Deficit,
-            Dropped,
-        }
-        let observe_run = |run_ix: usize| -> Result<Obs, EngineError> {
-            match single_run(program, &prepared, input, &config, &existential, run_ix)? {
-                Some(world) => {
-                    let w = if observes.is_empty() {
-                        weight
-                    } else {
-                        weight * observe::weight(observes, &world)?
-                    };
-                    if w == 0.0 {
-                        Ok(Obs::Dropped)
-                    } else {
-                        Ok(Obs::World(world, w))
-                    }
-                }
-                None if observes.is_empty() => Ok(Obs::Deficit),
-                // Conditioning is taken given termination: budget-exhausted
-                // runs are dropped like hard-rejected ones.
-                None => Ok(Obs::Dropped),
-            }
-        };
-
-        let sequential = |sink: &mut dyn WorldSink| -> Result<(), EngineError> {
-            for run_ix in 0..runs {
-                match observe_run(run_ix)? {
-                    Obs::World(world, w) => sink.observe(world, w),
-                    Obs::Deficit => sink.observe_deficit(DeficitKind::Nontermination, weight),
-                    Obs::Dropped => {}
-                }
-            }
-            Ok(())
-        };
-
-        if threads <= 1 || sink.fork().is_none() {
-            return sequential(sink);
-        }
-
-        // Contiguous chunks, folded worker-locally into forked sinks and
-        // joined back in chunk order: deterministic regardless of timing.
-        // Every worker runs its whole chunk (stopping only at its *own*
-        // first error), so the set of per-chunk outcomes — and therefore
-        // the smallest-index error chosen below — does not depend on
-        // thread scheduling.
-        type ChunkResult = Result<Box<dyn WorldSink>, (usize, EngineError)>;
-        let chunks: Vec<ChunkResult> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|worker| {
-                    let lo = worker * runs / threads;
-                    let hi = (worker + 1) * runs / threads;
-                    let mut local = sink.fork().expect("fork checked above");
-                    let observe_run = &observe_run;
-                    scope.spawn(move || -> ChunkResult {
-                        for run_ix in lo..hi {
-                            match observe_run(run_ix) {
-                                Ok(Obs::World(world, w)) => local.observe(world, w),
-                                Ok(Obs::Deficit) => {
-                                    local.observe_deficit(DeficitKind::Nontermination, weight);
-                                }
-                                Ok(Obs::Dropped) => {}
-                                Err(e) => return Err((run_ix, e)),
-                            }
-                        }
-                        Ok(local)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        });
-
-        // Report the smallest-index failure (deterministic: each chunk's
-        // first error is fixed by the per-run seeds); otherwise join the
-        // chunks in run order.
-        let mut first_error: Option<(usize, EngineError)> = None;
-        let mut done = Vec::with_capacity(chunks.len());
-        for chunk in chunks {
-            match chunk {
-                Ok(local) => done.push(local),
-                Err((ix, e)) => {
-                    if first_error.as_ref().is_none_or(|(best, _)| ix < *best) {
-                        first_error = Some((ix, e));
-                    }
-                }
-            }
-        }
-        if let Some((_, e)) = first_error {
-            return Err(e);
-        }
-        for local in done {
-            sink.join(local);
-        }
-        Ok(())
+        mc_stream(job, sink, 0..job.options.runs, false)
     }
 }
 

@@ -25,6 +25,9 @@
 //!   export (Figure 1 of the paper);
 //! * [`mc`] — Monte-Carlo path sampling of the Markov process, single- or
 //!   multi-threaded, producing [`gdatalog_pdb::EmpiricalPdb`] estimates;
+//! * [`mcmc`] — single-site Metropolis-Hastings over chase traces
+//!   ([`MhBackend`]), posterior sampling that stays effective where
+//!   likelihood weighting's effective sample size collapses;
 //! * [`observe`] — evidence weighting for conditioning (`@observe` /
 //!   [`Evaluation::given`](session::Evaluation::given)): per-world
 //!   log-likelihoods that turn exact enumeration into filtered
@@ -45,6 +48,7 @@ pub mod exact;
 pub mod fingerprint;
 pub mod kernel;
 pub mod mc;
+pub mod mcmc;
 pub mod observe;
 pub mod parallel;
 pub mod policy;
@@ -66,10 +70,11 @@ pub use exact::{
 pub use fingerprint::source_fingerprint;
 pub use kernel::{ParallelKernel, SequentialKernel, StepKernel};
 pub use mc::{sample_pdb, ChaseVariant, McConfig};
+pub use mcmc::MhBackend;
 pub use observe::{log_weight, weight as observation_weight};
 pub use policy::{ChasePolicy, PolicyKind};
 pub use queryset::{tail_event, Answer, Answers, QueryIr, QuerySet};
 pub use saturate::run_saturating;
 pub use sequential::{run_sequential, ChaseRun, RunOutcome, TraceStep};
-pub use session::{Evaluation, EvidenceSummary, Session};
+pub use session::{EssTarget, Evaluation, EvidenceSummary, Session};
 pub use tree::{build_chase_tree, ChaseNode, ChaseTree};

@@ -141,11 +141,13 @@ pub fn log_weight(observes: &[CompiledObserve], world: &Instance) -> Result<f64,
 /// The multiplicative weight of `world`: `exp` of [`log_weight`] (0 for a
 /// failed hard observation).
 ///
-/// Weights live in linear space because the sink stream is single-pass
-/// (no global max for a log-sum-exp): evidence whose log-likelihood is
-/// below ≈ −745 for every world underflows to 0 and surfaces as
-/// `ZeroEvidence` downstream — a documented limitation (docs/API.md,
-/// "Conditioning"); re-center far-tail soft observations to avoid it.
+/// This linear-space convenience **underflows to 0** once the
+/// log-likelihood drops below ≈ −745. The engine's backends therefore
+/// weigh worlds with [`log_weight`] directly, emitted via
+/// `WorldSink::observe_log` into a streaming log-sum-exp accumulator
+/// (`gdatalog_pdb::NormalizingSink::log_space`), so posteriors stay
+/// correct in the underflow regime; use this function only where a plain
+/// linear weight is known to be representable.
 ///
 /// # Errors
 /// Same as [`log_weight`].

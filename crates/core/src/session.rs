@@ -45,6 +45,7 @@ use crate::backend::{
 };
 use crate::engine::{Engine, EngineError};
 use crate::mc::ChaseVariant;
+use crate::mcmc::MhBackend;
 use crate::policy::{ChasePolicy, PolicyKind};
 use crate::queryset::{Answer, Answers, QuerySet};
 use crate::sequential::{run_sequential, ChaseRun};
@@ -246,14 +247,70 @@ impl Session {
 pub struct EvidenceSummary {
     /// Total observed weight: `P(evidence ∧ termination)` on exact
     /// backends, the self-normalizing constant `1/N·ΣLᵢ` on
-    /// likelihood-weighted Monte-Carlo streams.
+    /// likelihood-weighted Monte-Carlo streams. Underflows to 0 once
+    /// `log_mass` drops below ≈ −745; the posterior statistics remain
+    /// correct regardless (they are computed in log space).
     pub mass: f64,
+    /// `ln mass`, computed without leaving log space — finite (and
+    /// informative) even where `mass` underflows linear `f64`. `-inf`
+    /// only when no weighted world was observed at all.
+    pub log_mass: f64,
     /// Effective sample size `(Σw)²/Σw²`: equals the surviving world/run
     /// count when all weights agree, collapses toward 1 when few runs
-    /// dominate the posterior.
+    /// dominate the posterior. The [`Evaluation::sample_until`] driver
+    /// grows the run count until this reaches its target.
     pub ess: f64,
     /// Number of (nonzero-weight) world observations.
     pub worlds: usize,
+    /// Number of backend draws consumed: the Monte-Carlo run count
+    /// (including dropped and over-budget runs), the kept-sample count on
+    /// the MH backend, and the enumerated world count on exact backends.
+    pub runs: usize,
+    /// Metropolis-Hastings proposal acceptance rate in `[0, 1]` —
+    /// `Some` only on [`MhBackend`] passes.
+    pub accept_rate: Option<f64>,
+}
+
+/// The stopping rule of [`Evaluation::sample_until`]: grow the
+/// likelihood-weighted run count in deterministic batches until the
+/// effective sample size reaches `target` (or the `max_runs`/deadline cap
+/// hits). Batches double from `initial_batch`, and every run's seed
+/// derives from its global run index, so the sampled stream is a prefix
+/// of the fixed-run stream with the same seed — the adaptive answer is
+/// reproducible and grows monotonically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EssTarget {
+    /// Stop once the achieved effective sample size reaches this.
+    pub target: f64,
+    /// Hard cap on the total run count (the target may not be reachable —
+    /// sharp evidence can pin ESS near 1 regardless of effort).
+    pub max_runs: usize,
+    /// Size of the first batch; subsequent batches double.
+    pub initial_batch: usize,
+}
+
+impl EssTarget {
+    /// A target with the default caps: at most `1 << 20` runs, first
+    /// batch 512.
+    pub fn new(target: f64) -> EssTarget {
+        EssTarget {
+            target,
+            max_runs: 1 << 20,
+            initial_batch: 512,
+        }
+    }
+
+    /// Replaces the run cap (chainable).
+    pub fn max_runs(mut self, cap: usize) -> EssTarget {
+        self.max_runs = cap;
+        self
+    }
+
+    /// Replaces the first-batch size (chainable).
+    pub fn initial_batch(mut self, runs: usize) -> EssTarget {
+        self.initial_batch = runs;
+        self
+    }
 }
 
 /// Which evaluation strategy the builder selected.
@@ -268,6 +325,8 @@ enum BackendChoice {
     ExactParallel,
     /// Monte-Carlo path sampling.
     Mc,
+    /// Single-site Metropolis-Hastings over chase traces.
+    Mh,
 }
 
 /// A configured evaluation request: chain setters, then call a typed
@@ -290,6 +349,10 @@ pub struct Evaluation<'a> {
     /// Per-request evidence text (compiled lazily at the terminal, on top
     /// of the program's own `@observe` clauses).
     given: Vec<String>,
+    /// When set, statistic terminals grow the Monte-Carlo run count in
+    /// batches until the effective sample size reaches the target (see
+    /// [`Evaluation::sample_until`]).
+    ess_target: Option<EssTarget>,
 }
 
 impl<'a> Evaluation<'a> {
@@ -301,6 +364,7 @@ impl<'a> Evaluation<'a> {
             choice: BackendChoice::Auto,
             prepared: None,
             given: Vec::new(),
+            ess_target: None,
         }
     }
 
@@ -359,6 +423,82 @@ impl<'a> Evaluation<'a> {
     pub fn sample(mut self, runs: usize) -> Evaluation<'a> {
         self.choice = BackendChoice::Mc;
         self.options.runs = runs;
+        self
+    }
+
+    /// **Adaptive** Monte-Carlo: grows the run count in deterministic
+    /// doubling batches until the effective sample size of the (possibly
+    /// likelihood-weighted) stream reaches `target`, or its run cap or a
+    /// configured [`deadline`](Evaluation::deadline) hits. The achieved
+    /// ESS and consumed run count are reported in the
+    /// [`EvidenceSummary`]. Honored by [`answer`](Evaluation::answer) and
+    /// every statistic terminal; `worlds()`, `pdb()`, and the raw
+    /// `collect_*` escape hatches use the fixed run count.
+    ///
+    /// ```
+    /// use gdatalog_core::{EssTarget, Session};
+    /// use gdatalog_lang::SemanticsMode;
+    ///
+    /// let s = Session::from_source(
+    ///     "R(Flip<0.5>) :- true. S(Flip<0.8>) :- R(1).",
+    ///     SemanticsMode::Grohe,
+    /// ).unwrap();
+    /// let answers = s.eval()
+    ///     .sample_until(EssTarget::new(200.0))
+    ///     .seed(9)
+    ///     .given("S(1).")
+    ///     .answer(&gdatalog_core::QuerySet::new())
+    ///     .unwrap();
+    /// let ev = answers.evidence();
+    /// assert!(ev.ess >= 200.0);
+    /// assert!(ev.runs >= ev.ess as usize);
+    /// ```
+    pub fn sample_until(mut self, target: EssTarget) -> Evaluation<'a> {
+        self.choice = BackendChoice::Mc;
+        self.ess_target = Some(target);
+        self
+    }
+
+    /// Forces the single-site **Metropolis-Hastings** backend with
+    /// `samples` kept states (see [`MhBackend`]):
+    /// posterior inference that stays effective where likelihood
+    /// weighting collapses (sharp or many-observation evidence). Burn-in
+    /// and thinning default to [`EvalOptions`] values; override with
+    /// [`burn_in`](Evaluation::burn_in) / [`thin`](Evaluation::thin).
+    /// The MH stream does **not** estimate the evidence mass — the
+    /// reported `mass` is 1.
+    ///
+    /// ```
+    /// use gdatalog_core::Session;
+    /// use gdatalog_data::{tuple, Fact};
+    /// use gdatalog_lang::SemanticsMode;
+    ///
+    /// let s = Session::from_source(
+    ///     "R(Flip<0.5>) :- true. S(Flip<0.8>) :- R(1).",
+    ///     SemanticsMode::Grohe,
+    /// ).unwrap();
+    /// let r = s.program().catalog.require("R").unwrap();
+    /// let p = s.eval().mh(4000).seed(3).given("S(1).")
+    ///     .marginal(&Fact::new(r, tuple![1i64])).unwrap();
+    /// assert!((p - 1.0).abs() < 1e-12, "only R(1) worlds derive S(1)");
+    /// ```
+    pub fn mh(mut self, samples: usize) -> Evaluation<'a> {
+        self.choice = BackendChoice::Mh;
+        self.options.runs = samples;
+        self
+    }
+
+    /// Sets the number of Markov-chain iterations discarded before the
+    /// first kept sample (MH backend only).
+    pub fn burn_in(mut self, steps: usize) -> Evaluation<'a> {
+        self.options.burn_in = steps;
+        self
+    }
+
+    /// Sets the thinning interval: keep every `every`-th post-burn-in
+    /// state (MH backend only; 1 keeps every state).
+    pub fn thin(mut self, every: usize) -> Evaluation<'a> {
+        self.options.thin = every;
         self
     }
 
@@ -590,6 +730,7 @@ impl<'a> Evaluation<'a> {
             }
             BackendChoice::ExactParallel => Box::new(ExactParallelBackend),
             BackendChoice::Mc => Box::new(McBackend),
+            BackendChoice::Mh => Box::new(MhBackend::default()),
         }
     }
 
@@ -637,17 +778,21 @@ impl<'a> Evaluation<'a> {
             .run(&self.job_with(&observes), sink)
     }
 
-    /// Runs under a [`NormalizingSink`], returning the inner sink and the
-    /// observed weight statistics — the conditioned-terminal work-horse.
+    /// Runs under a **log-space** [`NormalizingSink`], returning the inner
+    /// sink and the observed weight statistics — the conditioned-terminal
+    /// work-horse. Conditioned backends emit log-weights
+    /// ([`WorldSink::observe_log`]), so the accumulated statistics stay
+    /// finite even when every weight underflows linear `f64`; divide the
+    /// inner statistic by [`WeightStats::normalizer`] (same scale).
     fn run_normalized<S: WorldSink + 'static>(
         &self,
         choice: BackendChoice,
         sink: S,
     ) -> Result<(S, WeightStats), EngineError> {
-        let mut wrapper = NormalizingSink::new(sink);
+        let mut wrapper = NormalizingSink::log_space(sink);
         self.run_with(choice, &mut wrapper)?;
         let (inner, stats) = wrapper.finish();
-        if stats.total <= 0.0 {
+        if stats.normalizer() <= 0.0 {
             return Err(EngineError::ZeroEvidence);
         }
         Ok((inner, stats))
@@ -768,26 +913,128 @@ impl<'a> Evaluation<'a> {
     ) -> Result<Answers, EngineError> {
         queries.validate(self.program)?;
         let conditioned = self.is_conditioned()?;
-        let mut wrapper = NormalizingSink::new(MultiplexSink::new(queries.sinks()));
+        if backend.is_none() {
+            if let Some(target) = self.ess_target {
+                return self.answer_adaptive(queries, conditioned, target);
+            }
+        }
+        // Conditioned backends emit log-space weights (finite where the
+        // linear likelihood product underflows), so the shared normalizer
+        // runs in log mode; unconditioned streams keep the historical
+        // linear accumulation bit-identically.
+        let mux = MultiplexSink::new(queries.sinks());
+        let mut wrapper = if conditioned {
+            NormalizingSink::log_space(mux)
+        } else {
+            NormalizingSink::new(mux)
+        };
+        let choice = self.resolved_choice();
+        let mut accept_rate = None;
         match backend {
-            None => self.run_with(self.resolved_choice(), &mut wrapper)?,
+            None if choice == BackendChoice::Mh => {
+                // Constructed locally (not via `backend_for`) so the
+                // acceptance counters can be read back after the pass.
+                let mh = MhBackend::default();
+                let observes = self.observes()?;
+                mh.run(&self.job_with(&observes), &mut wrapper)?;
+                accept_rate = mh.acceptance_rate();
+            }
+            None => self.run_with(choice, &mut wrapper)?,
             Some(backend) => {
                 let observes = self.observes()?;
                 backend.run(&self.job_with(&observes), &mut wrapper)?;
             }
         }
         let (mux, stats) = wrapper.finish();
-        if conditioned && stats.total <= 0.0 {
+        if conditioned && stats.normalizer() <= 0.0 {
             return Err(EngineError::ZeroEvidence);
         }
-        let norm = if conditioned { Some(stats.total) } else { None };
+        // The inner sinks hold weights at the normalizer's scale, so the
+        // same-scale `normalizer()` (not the absolute `total()`) is the
+        // correct divisor.
+        let norm = conditioned.then(|| stats.normalizer());
         let answers = queries.finish(mux.into_sinks(), norm);
+        let runs = match (backend, choice) {
+            (None, BackendChoice::Mc | BackendChoice::Mh) => self.options.runs,
+            _ => stats.worlds,
+        };
         Ok(Answers::new(
             answers,
             EvidenceSummary {
-                mass: stats.total,
+                mass: stats.total(),
+                log_mass: stats.log_total(),
                 ess: stats.ess(),
                 worlds: stats.worlds,
+                runs,
+                accept_rate,
+            },
+            conditioned,
+        ))
+    }
+
+    /// The ESS-targeted driver behind [`Evaluation::sample_until`]: feeds
+    /// doubling batches of **raw** per-run Monte-Carlo observations (no
+    /// `1/runs` share) into one persistent log-space normalizer, polling
+    /// the achieved effective sample size between batches. Every run's
+    /// seed derives from its global run index, so the adaptive stream is
+    /// a prefix of the fixed-run stream under the same seed — results are
+    /// reproducible and independent of the batch schedule.
+    fn answer_adaptive(
+        &self,
+        queries: &QuerySet,
+        conditioned: bool,
+        target: EssTarget,
+    ) -> Result<Answers, EngineError> {
+        let observes = self.observes()?;
+        let job = self.job_with(&observes);
+        let mut wrapper = NormalizingSink::log_space(MultiplexSink::new(queries.sinks()));
+        let max_runs = target.max_runs.max(1);
+        let mut batch = target.initial_batch.max(1);
+        let mut done = 0usize;
+        while done < max_runs {
+            let end = done.saturating_add(batch).min(max_runs);
+            match crate::backend::mc_stream(&job, &mut wrapper, done..end, true) {
+                Ok(()) => {}
+                // A deadline mid-batch is terminal: keep what the stream
+                // folded if anything was observed — the posterior is
+                // self-normalized, so a partial batch is still a valid
+                // (shorter) importance sample. The unrun tail of the
+                // interrupted batch is counted as attempted, biasing only
+                // the evidence estimate, by at most one batch.
+                Err(EngineError::DeadlineExceeded) if wrapper.stats().worlds > 0 => {
+                    done = end;
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+            done = end;
+            if wrapper.stats().ess() >= target.target {
+                break;
+            }
+            batch = batch.saturating_mul(2);
+        }
+        let (mux, stats) = wrapper.finish();
+        if conditioned && stats.normalizer() <= 0.0 {
+            return Err(EngineError::ZeroEvidence);
+        }
+        // Raw emission carries no 1/N share, so the run count is part of
+        // the normalizer: conditioned streams self-normalize (the count
+        // cancels), unconditioned ones divide by it explicitly.
+        let norm = if conditioned {
+            stats.normalizer()
+        } else {
+            done as f64
+        };
+        let answers = queries.finish(mux.into_sinks(), Some(norm));
+        Ok(Answers::new(
+            answers,
+            EvidenceSummary {
+                mass: stats.total() / done as f64,
+                log_mass: stats.log_total() - (done as f64).ln(),
+                ess: stats.ess(),
+                worlds: stats.worlds,
+                runs: done,
+                accept_rate: None,
             },
             conditioned,
         ))
@@ -839,9 +1086,11 @@ impl<'a> Evaluation<'a> {
             return Ok(sink.finish());
         }
         let (sink, stats) = self.run_normalized(choice, WorldTableSink::new())?;
+        // The table's weights share the normalizer's log-space offset, so
+        // the same-scale `normalizer()` renormalizes them exactly.
         let mut posterior = PossibleWorlds::new();
         for (world, p) in sink.finish().into_worlds() {
-            posterior.add(world, p / stats.total);
+            posterior.add(world, p / stats.normalizer());
         }
         Ok(posterior)
     }
@@ -1245,9 +1494,10 @@ impl<'a> Evaluation<'a> {
     pub fn transform(&self, input: &PossibleWorlds) -> Result<PossibleWorlds, EngineError> {
         let choice = match self.choice {
             BackendChoice::Auto => BackendChoice::ExactSequential,
-            BackendChoice::Mc => {
+            BackendChoice::Mc | BackendChoice::Mh => {
                 return Err(EngineError::InvalidRequest(
-                    "transform() mixes exact world tables; do not combine it with .sample()"
+                    "transform() mixes exact world tables; do not combine it with \
+                     .sample()/.sample_until()/.mh()"
                         .to_string(),
                 ))
             }
@@ -1269,6 +1519,7 @@ impl<'a> Evaluation<'a> {
                 choice,
                 prepared: self.prepared.clone(),
                 given: Vec::new(),
+                ess_target: None,
             };
             parts.push((p, part.worlds()?));
         }

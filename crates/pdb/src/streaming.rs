@@ -83,8 +83,42 @@ pub trait WorldSink: Send {
         self.observe(world.clone(), weight);
     }
 
+    /// Folds one world carrying a **log-space** weight. Conditioned
+    /// backends emit log-weights (prior log-probability plus per-world
+    /// log-likelihood), which stay finite where the linear product
+    /// underflows (log-likelihood ≲ −745). The default exponentiates and
+    /// forwards to [`WorldSink::observe`] — correct for any sink, lossy
+    /// only in the underflow regime; wrap the sink in
+    /// [`NormalizingSink::log_space`] to fold such streams exactly.
+    fn observe_log(&mut self, world: Instance, log_weight: f64) {
+        self.observe(world, log_weight.exp());
+    }
+
+    /// By-reference variant of [`WorldSink::observe_log`].
+    fn observe_log_ref(&mut self, world: &Instance, log_weight: f64) {
+        self.observe_ref(world, log_weight.exp());
+    }
+
     /// Folds weighted deficit mass (non-termination or truncation).
     fn observe_deficit(&mut self, kind: DeficitKind, weight: f64);
+
+    /// Multiplies every weight folded so far by `factor ∈ (0, 1]`.
+    ///
+    /// This is the streaming log-sum-exp contract: a log-space
+    /// [`NormalizingSink`] feeds its inner sink weights relative to the
+    /// running maximum log-weight, and rescales the inner accumulation
+    /// whenever a new maximum arrives. Every statistic in this module is
+    /// linear in its weights (or weight-scale invariant), so rescaling
+    /// commutes with folding.
+    ///
+    /// # Panics
+    /// The default panics: a sink that does not implement `rescale` cannot
+    /// sit under a log-space normalizer. Sinks driven directly by a
+    /// backend (no normalizer) never receive this call.
+    fn rescale(&mut self, factor: f64) {
+        let _ = factor;
+        unimplemented!("this sink cannot consume log-space weight streams (no rescale support)");
+    }
 
     /// Creates an empty sink of the same type for a parallel worker, or
     /// `None` if this sink only supports sequential folding (the default).
@@ -132,56 +166,169 @@ macro_rules! forkable {
 // Self-normalization (conditioning support).
 // ---------------------------------------------------------------------------
 
-/// Weight bookkeeping of a (possibly conditioned) observation stream: the
-/// total observed world weight, the sum of squared weights, and the world
-/// count — everything needed to self-normalize a statistic and to report
-/// the classical effective sample size `(Σw)² / Σw²` of importance
-/// sampling.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+/// Weight bookkeeping of a (possibly conditioned) observation stream,
+/// held in **shifted** form: the stream's weights are accumulated as
+/// `exp(log wᵢ − scale)` against a log-space offset `scale`, so the sums
+/// stay representable even when every individual weight underflows the
+/// linear `f64` range (log-weight ≲ −745). Linear streams use `scale = 0`,
+/// in which case the fields are plain weight sums bit-for-bit.
+///
+/// Everything needed to self-normalize a statistic is derivable: the
+/// evidence mass ([`WeightStats::total`] / [`WeightStats::log_total`]),
+/// the normalizing constant of the *inner* sink's scale
+/// ([`WeightStats::normalizer`]), and the classical effective sample size
+/// `(Σw)² / Σw²` of importance sampling ([`WeightStats::ess`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WeightStats {
-    /// Sum of observed world weights (the evidence mass: `P(evidence)` on
-    /// exact streams, the self-normalizing constant `1/N·ΣLᵢ` on
-    /// likelihood-weighted Monte-Carlo streams).
-    pub total: f64,
-    /// Sum of squared weights.
-    pub sq_total: f64,
-    /// Number of (nonzero-weight) world observations.
+    /// Log-space offset of the accumulated sums: `0` on linear streams,
+    /// the running maximum observed log-weight on log-space streams
+    /// (`-inf` while the log-space stream is empty).
+    scale: f64,
+    /// `Σ exp(log wᵢ − scale)` — the plain weight sum on linear streams.
+    sum: f64,
+    /// `Σ exp(2·(log wᵢ − scale))` — the squared-weight sum on linear
+    /// streams.
+    sq_sum: f64,
+    /// Number of world observations.
     pub worlds: usize,
 }
 
-impl WeightStats {
-    /// Effective sample size `(Σw)² / Σw²` — equals the world count when
-    /// all weights are equal (unconditioned Monte-Carlo) and collapses
-    /// toward 1 when a few runs dominate the posterior.
-    pub fn ess(&self) -> f64 {
-        if self.sq_total > 0.0 {
-            self.total * self.total / self.sq_total
-        } else {
-            0.0
+impl Default for WeightStats {
+    fn default() -> WeightStats {
+        WeightStats {
+            scale: 0.0,
+            sum: 0.0,
+            sq_sum: 0.0,
+            worlds: 0,
         }
     }
 }
 
-/// Wraps an inner sink, forwarding every observation unchanged while
-/// accumulating [`WeightStats`] — the self-normalization device for
-/// conditioned evaluation: backends emit **unnormalized** posterior
-/// weights (prior × likelihood), the wrapper records their total, and the
-/// caller divides the inner statistic by [`WeightStats::total`].
+impl WeightStats {
+    /// Empty statistics for a log-space stream (offset starts at `-inf`
+    /// and tracks the running maximum log-weight).
+    pub fn log_space() -> WeightStats {
+        WeightStats {
+            scale: f64::NEG_INFINITY,
+            ..WeightStats::default()
+        }
+    }
+
+    /// Total observed world weight `Σ wᵢ` in linear space (the evidence
+    /// mass: `P(evidence)` on exact streams, the self-normalizing constant
+    /// `1/N·ΣLᵢ` on likelihood-weighted Monte-Carlo streams). On linear
+    /// streams this is exact; on log-space streams it is `exp(log_total)`
+    /// and may underflow to `0.0` — that is precisely the regime
+    /// [`WeightStats::log_total`] exists for.
+    pub fn total(&self) -> f64 {
+        if self.scale == 0.0 {
+            // Avoid `exp(0) * sum` so linear accumulation stays
+            // bit-identical to the historical plain sum.
+            self.sum
+        } else if self.sum > 0.0 {
+            self.scale.exp() * self.sum
+        } else {
+            0.0
+        }
+    }
+
+    /// `ln Σ wᵢ`, computed without leaving log space: finite whenever any
+    /// observed weight was nonzero, `-inf` otherwise.
+    pub fn log_total(&self) -> f64 {
+        if self.sum > 0.0 {
+            self.scale + self.sum.ln()
+        } else {
+            f64::NEG_INFINITY
+        }
+    }
+
+    /// Sum of squared weights `Σ wᵢ²` in linear space (subject to the same
+    /// underflow caveat as [`WeightStats::total`]).
+    pub fn sq_total(&self) -> f64 {
+        if self.scale == 0.0 {
+            self.sq_sum
+        } else if self.sq_sum > 0.0 {
+            (2.0 * self.scale).exp() * self.sq_sum
+        } else {
+            0.0
+        }
+    }
+
+    /// The normalizing constant **in the inner sink's scale**: a
+    /// [`NormalizingSink`] forwards weight `exp(log wᵢ − scale)` for each
+    /// observation, so dividing the inner statistic by `normalizer()`
+    /// self-normalizes it regardless of the offset. On linear streams this
+    /// equals [`WeightStats::total`] exactly.
+    pub fn normalizer(&self) -> f64 {
+        self.sum
+    }
+
+    /// Effective sample size `(Σw)² / Σw²` — equals the world count when
+    /// all weights are equal (unconditioned Monte-Carlo) and collapses
+    /// toward 1 when a few runs dominate the posterior. Invariant under
+    /// the log-space offset (it cancels in the ratio).
+    pub fn ess(&self) -> f64 {
+        if self.sq_sum > 0.0 {
+            self.sum * self.sum / self.sq_sum
+        } else {
+            0.0
+        }
+    }
+
+    /// Folds one linear weight (must only be used while `scale == 0`).
+    fn add_linear(&mut self, weight: f64) {
+        self.sum += weight;
+        self.sq_sum += weight * weight;
+        self.worlds += 1;
+    }
+}
+
+/// Wraps an inner sink, forwarding every observation while accumulating
+/// [`WeightStats`] — the self-normalization device for conditioned
+/// evaluation: backends emit **unnormalized** posterior weights (prior ×
+/// likelihood), the wrapper records their total, and the caller divides
+/// the inner statistic by [`WeightStats::normalizer`].
 ///
-/// Forks iff the inner sink forks, preserving the backends' deterministic
-/// chunked parallelism.
+/// Two modes:
+/// - [`NormalizingSink::new`] — **linear**: weights pass through
+///   unchanged; accumulation is bit-identical to summing them directly.
+/// - [`NormalizingSink::log_space`] — **log-space streaming
+///   log-sum-exp**: observations arrive via [`WorldSink::observe_log`]
+///   carrying log-weights; the wrapper keeps a running maximum `m` and
+///   feeds the inner sink `exp(log w − m)`, calling
+///   [`WorldSink::rescale`] on it whenever a new maximum arrives. All
+///   inner statistics end up at the common offset `m`, so normalizing by
+///   [`WeightStats::normalizer`] yields correct posteriors even when
+///   every individual weight underflows linear `f64` (log-likelihood
+///   ≲ −745).
+///
+/// Forks iff the inner sink forks (to a fresh wrapper of the same mode),
+/// preserving the backends' deterministic chunked parallelism; join
+/// reconciles the two sides' offsets deterministically before merging.
 #[derive(Debug)]
 pub struct NormalizingSink<S> {
     inner: S,
     stats: WeightStats,
+    log_mode: bool,
 }
 
 impl<S: WorldSink + 'static> NormalizingSink<S> {
-    /// Wraps `inner`.
+    /// Wraps `inner` in linear mode.
     pub fn new(inner: S) -> NormalizingSink<S> {
         NormalizingSink {
             inner,
             stats: WeightStats::default(),
+            log_mode: false,
+        }
+    }
+
+    /// Wraps `inner` in log-space mode. The inner sink must support
+    /// [`WorldSink::rescale`] (every statistic sink in this module does).
+    pub fn log_space(inner: S) -> NormalizingSink<S> {
+        NormalizingSink {
+            inner,
+            stats: WeightStats::log_space(),
+            log_mode: true,
         }
     }
 
@@ -189,30 +336,105 @@ impl<S: WorldSink + 'static> NormalizingSink<S> {
     pub fn finish(self) -> (S, WeightStats) {
         (self.inner, self.stats)
     }
+
+    /// The weight statistics accumulated so far (the adaptive-run driver
+    /// polls this between batches without consuming the sink).
+    pub fn stats(&self) -> &WeightStats {
+        &self.stats
+    }
+
+    /// Shared log-space fold: returns the weight (in the post-update
+    /// offset's scale) to forward to the inner sink, after rescaling the
+    /// inner accumulation if the running maximum moved.
+    fn fold_log(&mut self, log_weight: f64) -> f64 {
+        self.stats.worlds += 1;
+        if log_weight == f64::NEG_INFINITY {
+            // Zero-weight world: counts as observed, contributes nothing.
+            // (Subtracting the -inf offset below would produce NaN.)
+            return 0.0;
+        }
+        if log_weight > self.stats.scale {
+            // New running maximum: shift the accumulated sums (and the
+            // inner sink) down to the new offset. `factor` is 0 when the
+            // stream was empty (scale still -inf) — harmless, the sums
+            // are 0 and the inner sink holds no weight yet.
+            let factor = (self.stats.scale - log_weight).exp();
+            self.stats.sum = self.stats.sum * factor + 1.0;
+            self.stats.sq_sum = self.stats.sq_sum * factor * factor + 1.0;
+            // Only shift the inner sink once it holds weighted worlds: at
+            // scale -inf it holds none, and rescaling by exp(-inf) = 0
+            // would wrongly zero any *linear* deficit mass already
+            // forwarded (raw adaptive streams carry deficits at weight 1).
+            if self.stats.scale.is_finite() {
+                self.inner.rescale(factor);
+            }
+            self.stats.scale = log_weight;
+            1.0
+        } else {
+            let w = (log_weight - self.stats.scale).exp();
+            self.stats.sum += w;
+            self.stats.sq_sum += w * w;
+            w
+        }
+    }
 }
 
 impl<S: WorldSink + 'static> WorldSink for NormalizingSink<S> {
     fn observe(&mut self, world: Instance, weight: f64) {
-        self.stats.total += weight;
-        self.stats.sq_total += weight * weight;
-        self.stats.worlds += 1;
+        if self.log_mode {
+            self.observe_log(world, weight.ln());
+            return;
+        }
+        self.stats.add_linear(weight);
         self.inner.observe(world, weight);
     }
 
     fn observe_ref(&mut self, world: &Instance, weight: f64) {
-        self.stats.total += weight;
-        self.stats.sq_total += weight * weight;
-        self.stats.worlds += 1;
+        if self.log_mode {
+            self.observe_log_ref(world, weight.ln());
+            return;
+        }
+        self.stats.add_linear(weight);
         self.inner.observe_ref(world, weight);
     }
 
+    fn observe_log(&mut self, world: Instance, log_weight: f64) {
+        if !self.log_mode {
+            self.observe(world, log_weight.exp());
+            return;
+        }
+        let w = self.fold_log(log_weight);
+        self.inner.observe(world, w);
+    }
+
+    fn observe_log_ref(&mut self, world: &Instance, log_weight: f64) {
+        if !self.log_mode {
+            self.observe_ref(world, log_weight.exp());
+            return;
+        }
+        let w = self.fold_log(log_weight);
+        self.inner.observe_ref(world, w);
+    }
+
     fn observe_deficit(&mut self, kind: DeficitKind, weight: f64) {
+        // Deficit mass is not part of the normalized world-weight stream
+        // (conditioned backends drop deficits before the sink); forward it
+        // linearly. In log mode a later offset shift rescales it along
+        // with everything else — acceptable, since only unconditioned
+        // streams carry deficits and those use linear weights (offset 0).
         self.inner.observe_deficit(kind, weight);
+    }
+
+    fn rescale(&mut self, factor: f64) {
+        self.stats.sum *= factor;
+        self.stats.sq_sum *= factor * factor;
+        self.inner.rescale(factor);
     }
 
     fn fork(&self) -> Option<Box<dyn WorldSink>> {
         // The inner fork is an empty sink of the same concrete type (the
-        // `forkable!` contract), so the wrapper forks to a fresh wrapper.
+        // `forkable!` contract), so the wrapper forks to a fresh wrapper
+        // of the same mode.
         let forked = self.inner.fork()?;
         let inner = forked
             .into_any()
@@ -220,17 +442,41 @@ impl<S: WorldSink + 'static> WorldSink for NormalizingSink<S> {
             .expect("fork returns the sink's own type");
         Some(Box::new(NormalizingSink {
             inner: *inner,
-            stats: WeightStats::default(),
+            stats: if self.log_mode {
+                WeightStats::log_space()
+            } else {
+                WeightStats::default()
+            },
+            log_mode: self.log_mode,
         }))
     }
 
     fn join(&mut self, forked: Box<dyn WorldSink>) {
-        let other = forked
+        let mut other = forked
             .into_any()
             .downcast::<NormalizingSink<S>>()
             .expect("join requires a sink forked from self");
-        self.stats.total += other.stats.total;
-        self.stats.sq_total += other.stats.sq_total;
+        // Reconcile the two sides' offsets: rescale the lower-offset side
+        // up to the larger offset before summing. Linear mode has both
+        // offsets at 0, so this path degenerates to plain addition.
+        let target = self.stats.scale.max(other.stats.scale);
+        // A side whose offset is still -inf observed no worlds: its inner
+        // sums are zero and any deficit mass it holds is linear — adopt
+        // the target offset without rescaling it.
+        if target > self.stats.scale && self.stats.scale.is_finite() {
+            let factor = (self.stats.scale - target).exp();
+            self.stats.sum *= factor;
+            self.stats.sq_sum *= factor * factor;
+            self.inner.rescale(factor);
+        } else if target > other.stats.scale && other.stats.scale.is_finite() {
+            let factor = (other.stats.scale - target).exp();
+            other.stats.sum *= factor;
+            other.stats.sq_sum *= factor * factor;
+            other.inner.rescale(factor);
+        }
+        self.stats.scale = target;
+        self.stats.sum += other.stats.sum;
+        self.stats.sq_sum += other.stats.sq_sum;
         self.stats.worlds += other.stats.worlds;
         self.inner.join(Box::new(other.inner));
     }
@@ -295,6 +541,12 @@ impl WorldSink for MultiplexSink {
     fn observe_deficit(&mut self, kind: DeficitKind, weight: f64) {
         for sink in &mut self.sinks {
             sink.observe_deficit(kind, weight);
+        }
+    }
+
+    fn rescale(&mut self, factor: f64) {
+        for sink in &mut self.sinks {
+            sink.rescale(factor);
         }
     }
 
@@ -375,6 +627,10 @@ impl WorldSink for WorldTableSink {
         }
     }
 
+    fn rescale(&mut self, factor: f64) {
+        self.worlds.scale(factor);
+    }
+
     forkable!();
 }
 
@@ -420,6 +676,10 @@ impl WorldSink for EmpiricalSink {
 
     fn observe_deficit(&mut self, _kind: DeficitKind, _weight: f64) {
         self.pdb.push_error();
+    }
+
+    fn rescale(&mut self, _factor: f64) {
+        // Unweighted collector: every observation is one retained sample.
     }
 
     forkable!();
@@ -473,6 +733,10 @@ impl WorldSink for MarginalSink {
 
     fn observe_deficit(&mut self, _kind: DeficitKind, _weight: f64) {}
 
+    fn rescale(&mut self, factor: f64) {
+        self.mass *= factor;
+    }
+
     forkable!();
 }
 
@@ -520,6 +784,10 @@ impl WorldSink for EventProbabilitySink {
     }
 
     fn observe_deficit(&mut self, _kind: DeficitKind, _weight: f64) {}
+
+    fn rescale(&mut self, factor: f64) {
+        self.mass *= factor;
+    }
 
     forkable!();
 }
@@ -624,6 +892,12 @@ impl WorldSink for MomentsSink {
     }
 
     fn observe_deficit(&mut self, _kind: DeficitKind, _weight: f64) {}
+
+    fn rescale(&mut self, factor: f64) {
+        self.weight *= factor;
+        self.weighted_sum *= factor;
+        self.weighted_sq_sum *= factor;
+    }
 
     forkable!();
 }
@@ -779,6 +1053,16 @@ impl WorldSink for HistogramSink {
 
     fn observe_deficit(&mut self, _kind: DeficitKind, _weight: f64) {}
 
+    fn rescale(&mut self, factor: f64) {
+        for bin in &mut self.hist.bins {
+            *bin *= factor;
+        }
+        self.hist.underflow *= factor;
+        self.hist.overflow *= factor;
+        self.hist.nan *= factor;
+        self.hist.mass *= factor;
+    }
+
     forkable!();
 }
 
@@ -895,6 +1179,12 @@ impl WorldSink for QuantileSink {
 
     fn observe_deficit(&mut self, _kind: DeficitKind, _weight: f64) {}
 
+    fn rescale(&mut self, factor: f64) {
+        for weight in self.acc.values_mut() {
+            *weight *= factor;
+        }
+    }
+
     forkable!();
 }
 
@@ -952,6 +1242,12 @@ impl WorldSink for RelationMarginalsSink {
     }
 
     fn observe_deficit(&mut self, _kind: DeficitKind, _weight: f64) {}
+
+    fn rescale(&mut self, factor: f64) {
+        for p in self.acc.values_mut() {
+            *p *= factor;
+        }
+    }
 
     forkable!();
 }
@@ -1108,12 +1404,15 @@ mod tests {
         sink.observe(Instance::new(), 0.2);
         sink.observe_deficit(DeficitKind::Nontermination, 0.2);
         let (inner, stats) = sink.finish();
-        assert!((stats.total - 0.8).abs() < 1e-12, "deficits excluded");
+        assert!((stats.total() - 0.8).abs() < 1e-12, "deficits excluded");
         assert_eq!(stats.worlds, 2);
         // Self-normalized conditional marginal.
-        assert!((inner.finish() / stats.total - 0.75).abs() < 1e-12);
+        assert!((inner.finish() / stats.normalizer() - 0.75).abs() < 1e-12);
         // ESS: (0.8)^2 / (0.36 + 0.04) = 1.6.
         assert!((stats.ess() - 1.6).abs() < 1e-12);
+        // Linear mode: normalizer == total exactly, log_total consistent.
+        assert_eq!(stats.normalizer().to_bits(), stats.total().to_bits());
+        assert!((stats.log_total() - 0.8f64.ln()).abs() < 1e-12);
     }
 
     #[test]
@@ -1129,9 +1428,152 @@ mod tests {
         main.join(w1);
         main.join(w2);
         let (inner, stats) = main.finish();
-        assert!((stats.total - 1.0).abs() < 1e-12);
+        assert!((stats.total() - 1.0).abs() < 1e-12);
         assert_eq!(stats.worlds, 3);
         assert!((inner.finish() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_space_matches_linear_on_representable_weights() {
+        // Where linear arithmetic works, log-space must agree (up to the
+        // offset, which normalizer() absorbs).
+        let fact = Fact::new(r(0), tuple![1i64]);
+        let mut linear = NormalizingSink::new(MarginalSink::new(fact.clone()));
+        let mut log = NormalizingSink::log_space(MarginalSink::new(fact.clone()));
+        let mut with = Instance::new();
+        with.insert(r(0), tuple![1i64]);
+        for (world, w) in [(with.clone(), 0.6), (Instance::new(), 0.2), (with, 0.1)] {
+            linear.observe_ref(&world, w);
+            log.observe_log(world, w.ln());
+        }
+        let (lin_inner, lin_stats) = linear.finish();
+        let (log_inner, log_stats) = log.finish();
+        assert!((lin_stats.total() - log_stats.total()).abs() < 1e-12);
+        assert!((lin_stats.log_total() - log_stats.log_total()).abs() < 1e-12);
+        assert!((lin_stats.ess() - log_stats.ess()).abs() < 1e-12);
+        assert_eq!(lin_stats.worlds, log_stats.worlds);
+        let lin_post = lin_inner.finish() / lin_stats.normalizer();
+        let log_post = log_inner.finish() / log_stats.normalizer();
+        assert!((lin_post - log_post).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_space_survives_linear_underflow() {
+        // Log-weights around -2000: every linear weight is exactly 0.0,
+        // yet the normalized posterior and the ESS stay well-defined.
+        let fact = Fact::new(r(0), tuple![1i64]);
+        let mut sink = NormalizingSink::log_space(MarginalSink::new(fact));
+        let mut with = Instance::new();
+        with.insert(r(0), tuple![1i64]);
+        assert_eq!((-2000.0f64).exp(), 0.0, "the linear path underflows");
+        sink.observe_log(with.clone(), -2000.0);
+        sink.observe_log(Instance::new(), -2000.0 + (1.0f64 / 3.0).ln());
+        let (inner, stats) = sink.finish();
+        assert_eq!(stats.worlds, 2);
+        // log Σw = -2000 + ln(4/3).
+        assert!((stats.log_total() - (-2000.0 + (4.0f64 / 3.0).ln())).abs() < 1e-9);
+        assert_eq!(stats.total(), 0.0, "linear mass 0-safe, not NaN");
+        // Posterior P(fact) = 1 / (4/3) = 0.75.
+        assert!((inner.finish() / stats.normalizer() - 0.75).abs() < 1e-12);
+        // ESS = (1 + 1/3)^2 / (1 + 1/9) = 1.6.
+        assert!((stats.ess() - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_space_zero_weight_worlds_count_but_contribute_nothing() {
+        let fact = Fact::new(r(0), tuple![1i64]);
+        let mut sink = NormalizingSink::log_space(MarginalSink::new(fact));
+        sink.observe_log(Instance::new(), f64::NEG_INFINITY);
+        let mut with = Instance::new();
+        with.insert(r(0), tuple![1i64]);
+        sink.observe_log(with, -500.0);
+        let (inner, stats) = sink.finish();
+        assert_eq!(stats.worlds, 2);
+        assert!((stats.log_total() - (-500.0)).abs() < 1e-12);
+        assert!((inner.finish() / stats.normalizer() - 1.0).abs() < 1e-12);
+        assert!((stats.ess() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_space_forks_and_joins_reconciling_offsets() {
+        let fact = Fact::new(r(0), tuple![1i64]);
+        let mut main = NormalizingSink::log_space(MarginalSink::new(fact.clone()));
+        let mut w1 = main.fork().unwrap();
+        let mut w2 = main.fork().unwrap();
+        let w3 = main.fork().unwrap();
+        let mut with = Instance::new();
+        with.insert(r(0), tuple![1i64]);
+        // Workers at wildly different offsets; w3 stays empty.
+        w1.observe_log(with.clone(), -1000.0);
+        w2.observe_log(with.clone(), -980.0);
+        w2.observe_log(Instance::new(), -981.0);
+        main.join(w1);
+        main.join(w2);
+        main.join(w3);
+        let (inner, stats) = main.finish();
+        assert_eq!(stats.worlds, 3);
+        // Sequential reference fold.
+        let mut seq = NormalizingSink::log_space(MarginalSink::new(fact));
+        seq.observe_log(with.clone(), -1000.0);
+        seq.observe_log(with, -980.0);
+        seq.observe_log(Instance::new(), -981.0);
+        let (seq_inner, seq_stats) = seq.finish();
+        assert!((stats.log_total() - seq_stats.log_total()).abs() < 1e-9);
+        assert!((stats.ess() - seq_stats.ess()).abs() < 1e-9);
+        let joined = inner.finish() / stats.normalizer();
+        let sequential = seq_inner.finish() / seq_stats.normalizer();
+        assert!((joined - sequential).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiplex_rescale_reaches_every_inner_sink() {
+        let mut mux = MultiplexSink::new(vec![
+            Box::new(MarginalSink::new(Fact::new(r(0), tuple![1i64]))),
+            Box::new(HistogramSink::new(r(0), 0, 0.0, 10.0, 10)),
+            Box::new(QuantileSink::new(r(0), 0, 0.5)),
+            Box::new(RelationMarginalsSink::new(r(0))),
+            Box::new(WorldTableSink::new()),
+        ]);
+        let mut d = Instance::new();
+        d.insert(r(0), tuple![1i64]);
+        mux.observe(d, 1.0);
+        mux.rescale(0.5);
+        let mut sinks = mux.into_sinks().into_iter();
+        let marginal = sinks
+            .next()
+            .unwrap()
+            .into_any()
+            .downcast::<MarginalSink>()
+            .unwrap();
+        assert!((marginal.finish() - 0.5).abs() < 1e-12);
+        let hist = sinks
+            .next()
+            .unwrap()
+            .into_any()
+            .downcast::<HistogramSink>()
+            .unwrap();
+        assert!((hist.finish().total() - 0.5).abs() < 1e-12);
+        let q = sinks
+            .next()
+            .unwrap()
+            .into_any()
+            .downcast::<QuantileSink>()
+            .unwrap();
+        assert_eq!(q.finish(), Some(1.0), "quantiles are scale-invariant");
+        let rels = sinks
+            .next()
+            .unwrap()
+            .into_any()
+            .downcast::<RelationMarginalsSink>()
+            .unwrap();
+        assert!((rels.finish()[0].1 - 0.5).abs() < 1e-12);
+        let table = sinks
+            .next()
+            .unwrap()
+            .into_any()
+            .downcast::<WorldTableSink>()
+            .unwrap();
+        assert!((table.finish().mass() - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -84,6 +84,16 @@ impl PossibleWorlds {
         self.deficit
     }
 
+    /// Multiplies every world probability and the deficit by `factor` —
+    /// the change-of-scale a log-space weight stream applies when its
+    /// running maximum moves (see `NormalizingSink::log_space`).
+    pub fn scale(&mut self, factor: f64) {
+        for p in self.worlds.values_mut() {
+            *p *= factor;
+        }
+        self.deficit = self.deficit.scaled(factor);
+    }
+
     /// Total probability mass of the listed worlds (the SPDB mass `α`).
     pub fn mass(&self) -> f64 {
         self.worlds.values().sum()

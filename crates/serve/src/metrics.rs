@@ -43,6 +43,13 @@ pub struct MetricsRecorder {
     latency_sum_us: AtomicU64,
     deadline_rejections: AtomicU64,
     admission_rejections: AtomicU64,
+    // Inference-quality counters. Means are accumulated as micro-unit
+    // integer sums (value × 1e6, saturating) so recording stays a relaxed
+    // fetch_add — the same discipline as the latency histogram.
+    conditioned_passes: AtomicU64,
+    ess_micro_sum: AtomicU64,
+    mh_passes: AtomicU64,
+    accept_micro_sum: AtomicU64,
 }
 
 /// One point-in-time reading of a [`MetricsRecorder`] (plus, at the
@@ -66,6 +73,15 @@ pub struct Metrics {
     pub p50_us: u64,
     /// 99th-percentile request latency, rounded up to its bucket boundary.
     pub p99_us: u64,
+    /// Conditioned evaluation passes that reported an evidence summary.
+    pub conditioned_passes: u64,
+    /// Mean effective sample size of conditioned passes, in micro-units
+    /// (ESS × 1e6; divide by 1e6 to read). 0 when none yet.
+    pub mean_ess_micro: u64,
+    /// Conditioned passes answered by the Metropolis-Hastings backend.
+    pub mh_passes: u64,
+    /// Mean MH chain acceptance rate, in micro-units (rate × 1e6).
+    pub mean_accept_micro: u64,
 }
 
 impl MetricsRecorder {
@@ -78,6 +94,29 @@ impl MetricsRecorder {
             latency_sum_us: AtomicU64::new(0),
             deadline_rejections: AtomicU64::new(0),
             admission_rejections: AtomicU64::new(0),
+            conditioned_passes: AtomicU64::new(0),
+            ess_micro_sum: AtomicU64::new(0),
+            mh_passes: AtomicU64::new(0),
+            accept_micro_sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records the diagnostics of one conditioned evaluation pass: its
+    /// achieved effective sample size and, for MH passes, the chain
+    /// acceptance rate. Non-finite values are dropped rather than
+    /// poisoning the running means.
+    pub fn record_inference(&self, ess: f64, accept_rate: Option<f64>) {
+        if ess.is_finite() && ess >= 0.0 {
+            self.conditioned_passes.fetch_add(1, Ordering::Relaxed);
+            self.ess_micro_sum
+                .fetch_add((ess * 1e6).min(u64::MAX as f64) as u64, Ordering::Relaxed);
+        }
+        if let Some(rate) = accept_rate {
+            if rate.is_finite() && (0.0..=1.0).contains(&rate) {
+                self.mh_passes.fetch_add(1, Ordering::Relaxed);
+                self.accept_micro_sum
+                    .fetch_add((rate * 1e6) as u64, Ordering::Relaxed);
+            }
         }
     }
 
@@ -127,6 +166,18 @@ impl MetricsRecorder {
                 .unwrap_or(0),
             p50_us: percentile(&buckets, total, 0.50),
             p99_us: percentile(&buckets, total, 0.99),
+            conditioned_passes: self.conditioned_passes.load(Ordering::Relaxed),
+            mean_ess_micro: self
+                .ess_micro_sum
+                .load(Ordering::Relaxed)
+                .checked_div(self.conditioned_passes.load(Ordering::Relaxed))
+                .unwrap_or(0),
+            mh_passes: self.mh_passes.load(Ordering::Relaxed),
+            mean_accept_micro: self
+                .accept_micro_sum
+                .load(Ordering::Relaxed)
+                .checked_div(self.mh_passes.load(Ordering::Relaxed))
+                .unwrap_or(0),
         }
     }
 }
@@ -166,7 +217,9 @@ impl Metrics {
         format!(
             "{{\"requests\":{},\"errors\":{},\"deadline_rejections\":{},\
              \"admission_rejections\":{},\"latency_us\":{{\"mean\":{},\
-             \"p50\":{},\"p99\":{}}}}}",
+             \"p50\":{},\"p99\":{}}},\"inference\":{{\
+             \"conditioned_passes\":{},\"mean_ess\":{},\
+             \"mh_passes\":{},\"mean_accept_rate\":{}}}}}",
             self.requests,
             self.errors,
             self.deadline_rejections,
@@ -174,6 +227,10 @@ impl Metrics {
             self.mean_us,
             self.p50_us,
             self.p99_us,
+            self.conditioned_passes,
+            self.mean_ess_micro as f64 / 1e6,
+            self.mh_passes,
+            self.mean_accept_micro as f64 / 1e6,
         )
     }
 }
@@ -230,6 +287,29 @@ mod tests {
         assert_eq!(bucket_of(1023), 9);
         assert_eq!(bucket_of(1024), 10);
         assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn inference_counters_average_in_micro_units() {
+        let r = MetricsRecorder::new();
+        r.record_inference(100.0, None);
+        r.record_inference(300.0, Some(0.25));
+        r.record_inference(f64::NAN, Some(2.0)); // both dropped
+        let m = r.snapshot();
+        assert_eq!(m.conditioned_passes, 2);
+        assert_eq!(m.mean_ess_micro, 200_000_000);
+        assert_eq!(m.mh_passes, 1);
+        assert_eq!(m.mean_accept_micro, 250_000);
+        let parsed = crate::json::Json::parse(&m.to_json()).unwrap();
+        let inference = parsed.get("inference").unwrap();
+        assert_eq!(
+            inference.get("mean_ess").and_then(|v| v.as_f64()),
+            Some(200.0)
+        );
+        assert_eq!(
+            inference.get("mean_accept_rate").and_then(|v| v.as_f64()),
+            Some(0.25)
+        );
     }
 
     #[test]

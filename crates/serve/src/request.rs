@@ -57,6 +57,10 @@ pub enum BackendSpec {
     ExactParallel,
     /// Monte-Carlo path sampling.
     Mc,
+    /// Single-site Metropolis-Hastings over chase traces — posterior
+    /// sampling that stays effective where likelihood weighting's
+    /// effective sample size collapses under sharp evidence.
+    Mh,
 }
 
 /// One query of a request, with textual relation/fact references.
@@ -148,6 +152,18 @@ pub struct Request {
     pub seed: Option<u64>,
     /// Chase depth/step budget.
     pub max_depth: Option<usize>,
+    /// Metropolis-Hastings burn-in steps (the `mh` backend only).
+    pub burn_in: Option<usize>,
+    /// Metropolis-Hastings thinning interval (the `mh` backend only).
+    pub thin: Option<usize>,
+    /// Adaptive run control (the wire member `"infer": {"mode": "ess",
+    /// "target": …}`): grow the Monte-Carlo run count in doubling batches
+    /// until the conditioned pass's effective sample size reaches this
+    /// target. Incompatible with the exact and `mh` backends.
+    pub ess_target: Option<f64>,
+    /// Run-count cap for adaptive inference (wire member
+    /// `"infer": {…, "max_runs": …}`).
+    pub max_runs: Option<usize>,
     /// Cooperative evaluation deadline, set by the serving layer (not part
     /// of the wire format): the chase aborts with
     /// `EngineError::DeadlineExceeded` once it has passed.
@@ -169,6 +185,10 @@ impl Request {
             runs: None,
             seed: None,
             max_depth: None,
+            burn_in: None,
+            thin: None,
+            ess_target: None,
+            max_runs: None,
             deadline: None,
         }
     }
@@ -268,6 +288,39 @@ impl Request {
         self
     }
 
+    /// Forces Metropolis-Hastings sampling keeping `samples` states.
+    pub fn mh(mut self, samples: usize) -> Request {
+        self.backend = BackendSpec::Mh;
+        self.runs = Some(samples);
+        self
+    }
+
+    /// Sets the Metropolis-Hastings burn-in step count.
+    pub fn burn_in(mut self, steps: usize) -> Request {
+        self.burn_in = Some(steps);
+        self
+    }
+
+    /// Sets the Metropolis-Hastings thinning interval.
+    pub fn thin(mut self, every: usize) -> Request {
+        self.thin = Some(every);
+        self
+    }
+
+    /// Asks for ESS-adaptive Monte-Carlo inference: run count grows in
+    /// doubling batches until the conditioned pass's effective sample
+    /// size reaches `target` (the wire's `"infer"` member).
+    pub fn ess_target(mut self, target: f64) -> Request {
+        self.ess_target = Some(target);
+        self
+    }
+
+    /// Caps the run count of ESS-adaptive inference.
+    pub fn max_runs(mut self, cap: usize) -> Request {
+        self.max_runs = Some(cap);
+        self
+    }
+
     /// Sets the Monte-Carlo master seed.
     pub fn seed(mut self, seed: u64) -> Request {
         self.seed = Some(seed);
@@ -362,10 +415,45 @@ impl Request {
             "exact" => BackendSpec::Exact,
             "exact-parallel" => BackendSpec::ExactParallel,
             "mc" => BackendSpec::Mc,
+            "mh" => BackendSpec::Mh,
             other => {
                 return Err(ServeError::BadRequest(format!(
-                    "unknown backend `{other}` (expected auto | exact | exact-parallel | mc)"
+                    "unknown backend `{other}` (expected auto | exact | exact-parallel | mc | mh)"
                 )))
+            }
+        };
+        // Adaptive inference: `"infer": {"mode": "ess", "target": …,
+        // "max_runs"?: …}`. Only the `ess` mode exists today; an explicit
+        // unknown mode is an error, not a silent fixed-run fallback.
+        let (ess_target, max_runs) = match v.get("infer") {
+            None => (None, None),
+            Some(obj) => {
+                let mode = obj.get("mode").and_then(Json::as_str).ok_or_else(|| {
+                    ServeError::BadRequest("`infer` needs a string `mode`".to_string())
+                })?;
+                if mode != "ess" {
+                    return Err(ServeError::BadRequest(format!(
+                        "unknown infer mode `{mode}` (expected ess)"
+                    )));
+                }
+                let target = obj.get("target").and_then(Json::as_f64).ok_or_else(|| {
+                    ServeError::BadRequest("`infer` needs a numeric `target`".to_string())
+                })?;
+                if !target.is_finite() || target < 1.0 {
+                    return Err(ServeError::BadRequest(format!(
+                        "`infer.target` must be a finite effective sample size ≥ 1, got {target}"
+                    )));
+                }
+                let cap = match obj.get("max_runs") {
+                    None => None,
+                    Some(n) => Some(n.as_usize().ok_or_else(|| {
+                        ServeError::BadRequest(format!(
+                            "`infer.max_runs` must be a non-negative whole number, got {}",
+                            n.render()
+                        ))
+                    })?),
+                };
+                (Some(target), cap)
             }
         };
         // `input` is the member's name; `evidence` stays accepted as a
@@ -389,6 +477,10 @@ impl Request {
             runs: opt_usize("runs")?,
             seed: opt_u64("seed")?,
             max_depth: opt_usize("max_depth")?,
+            burn_in: opt_usize("burn_in")?,
+            thin: opt_usize("thin")?,
+            ess_target,
+            max_runs,
             // Deadlines are a serving-layer policy (set from the server's
             // configuration), not a wire member a client can extend.
             deadline: None,
@@ -610,11 +702,20 @@ impl Reply {
     /// answer shape uses that tag).
     pub fn to_json(&self) -> Json {
         let evidence = self.evidence.as_ref().map(|ev| {
-            Json::Obj(vec![
+            // `log_mass` is the authoritative evidence figure — `mass` is
+            // its exponential and reads 0 once the log drops below ≈ −745
+            // (kept for back-compat; see docs/API.md).
+            let mut members = vec![
                 ("mass".into(), Json::Num(ev.mass)),
+                ("log_mass".into(), Json::Num(ev.log_mass)),
                 ("ess".into(), Json::Num(ev.ess)),
                 ("worlds".into(), Json::Num(ev.worlds as f64)),
-            ])
+                ("runs".into(), Json::Num(ev.runs as f64)),
+            ];
+            if let Some(rate) = ev.accept_rate {
+                members.push(("accept_rate".into(), Json::Num(rate)));
+            }
+            Json::Obj(members)
         });
         if self.responses.len() == 1 {
             let mut obj = match self.responses[0].to_json() {
@@ -746,6 +847,52 @@ mod tests {
     }
 
     #[test]
+    fn parses_mh_and_adaptive_inference_members() {
+        let v = Json::parse(
+            r#"{"kind": "marginal", "fact": "A(x)", "backend": "mh",
+                "runs": 500, "burn_in": 100, "thin": 3}"#,
+        )
+        .unwrap();
+        let req = Request::from_json(&v).unwrap();
+        assert_eq!(req.backend, BackendSpec::Mh);
+        assert_eq!(req.runs, Some(500));
+        assert_eq!(req.burn_in, Some(100));
+        assert_eq!(req.thin, Some(3));
+        assert_eq!(req, Request::marginal("A(x)").mh(500).burn_in(100).thin(3));
+
+        let v = Json::parse(
+            r#"{"kind": "marginal", "fact": "A(x)",
+                "infer": {"mode": "ess", "target": 200, "max_runs": 100000}}"#,
+        )
+        .unwrap();
+        let req = Request::from_json(&v).unwrap();
+        assert_eq!(req.ess_target, Some(200.0));
+        assert_eq!(req.max_runs, Some(100_000));
+        assert_eq!(
+            req,
+            Request::marginal("A(x)")
+                .ess_target(200.0)
+                .max_runs(100_000)
+        );
+
+        // Malformed adaptive specs error instead of degrading to a
+        // fixed-run evaluation.
+        for bad in [
+            r#"{"kind": "marginal", "fact": "A(x)", "infer": {"target": 200}}"#,
+            r#"{"kind": "marginal", "fact": "A(x)", "infer": {"mode": "magic", "target": 200}}"#,
+            r#"{"kind": "marginal", "fact": "A(x)", "infer": {"mode": "ess"}}"#,
+            r#"{"kind": "marginal", "fact": "A(x)", "infer": {"mode": "ess", "target": 0.5}}"#,
+            r#"{"kind": "marginal", "fact": "A(x)",
+                "infer": {"mode": "ess", "target": 200, "max_runs": -1}}"#,
+            r#"{"kind": "marginal", "fact": "A(x)", "burn_in": -3}"#,
+            r#"{"kind": "marginal", "fact": "A(x)", "thin": 1.5}"#,
+        ] {
+            let v = Json::parse(bad).unwrap();
+            assert!(Request::from_json(&v).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
     fn rejects_unknown_kind_and_backend() {
         let v = Json::parse(r#"{"kind": "zorp"}"#).unwrap();
         assert!(Request::from_json(&v).is_err());
@@ -813,13 +960,32 @@ mod tests {
             responses: vec![Response::Marginal(1.0)],
             evidence: Some(EvidenceSummary {
                 mass: 0.06,
+                log_mass: -2.5,
                 ess: 3.0,
                 worlds: 3,
+                runs: 8,
+                accept_rate: None,
             }),
         };
         assert_eq!(
             conditioned.to_json().render(),
-            r#"{"kind": "marginal", "p": 1, "evidence": {"mass": 0.06, "ess": 3, "worlds": 3}}"#
+            r#"{"kind": "marginal", "p": 1, "evidence": {"mass": 0.06, "log_mass": -2.5, "ess": 3, "worlds": 3, "runs": 8}}"#
+        );
+        // An MH pass also reports its chain acceptance rate.
+        let mh = Reply {
+            responses: vec![Response::Marginal(1.0)],
+            evidence: Some(EvidenceSummary {
+                mass: 1.0,
+                log_mass: 0.0,
+                ess: 100.0,
+                worlds: 100,
+                runs: 100,
+                accept_rate: Some(0.5),
+            }),
+        };
+        assert_eq!(
+            mh.to_json().render(),
+            r#"{"kind": "marginal", "p": 1, "evidence": {"mass": 1, "log_mass": 0, "ess": 100, "worlds": 100, "runs": 100, "accept_rate": 0.5}}"#
         );
         // Multi-query replies are tagged and ordered.
         let multi = Reply {

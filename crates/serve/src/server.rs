@@ -209,12 +209,21 @@ pub fn execute_on(session: &mut Session, request: &Request) -> Result<Reply, Ser
     }
     // Backend selection mirrors the CLI: an explicit choice wins, auto
     // picks Monte-Carlo exactly when the program samples a continuous
-    // distribution.
+    // distribution. An `infer` member (ESS-adaptive run control) rides on
+    // the Monte-Carlo path only — pairing it with an exact or MH backend
+    // is a contradiction the client should hear about.
     let mc = match request.backend {
         BackendSpec::Mc => true,
-        BackendSpec::Exact | BackendSpec::ExactParallel => false,
+        BackendSpec::Exact | BackendSpec::ExactParallel | BackendSpec::Mh => false,
         BackendSpec::Auto => !program.all_discrete(),
     };
+    if request.ess_target.is_some() && !mc && request.backend != BackendSpec::Auto {
+        return Err(ServeError::BadRequest(format!(
+            "`infer` (ESS-adaptive run control) requires the Monte-Carlo \
+             backend, but the request asks for `{:?}`",
+            request.backend
+        )));
+    }
     let mut eval = session.eval();
     if let Some(seed) = request.seed {
         eval = eval.seed(seed);
@@ -228,7 +237,25 @@ pub fn execute_on(session: &mut Session, request: &Request) -> Result<Reply, Ser
     if let Some(deadline) = request.deadline {
         eval = eval.deadline(deadline);
     }
-    eval = if mc {
+    eval = if request.backend == BackendSpec::Mh {
+        let mut eval = eval.mh(request.runs.unwrap_or(10_000));
+        if let Some(steps) = request.burn_in {
+            eval = eval.burn_in(steps);
+        }
+        if let Some(every) = request.thin {
+            eval = eval.thin(every);
+        }
+        eval
+    } else if let Some(target) = request.ess_target {
+        let mut target = gdatalog_core::EssTarget::new(target);
+        if let Some(cap) = request.max_runs {
+            target = target.max_runs(cap);
+        }
+        if let Some(batch) = request.runs {
+            target = target.initial_batch(batch);
+        }
+        eval.sample_until(target)
+    } else if mc {
         eval.sample(request.runs.unwrap_or(10_000))
     } else {
         match request.backend {
@@ -283,6 +310,11 @@ fn execute_recorded(
         recorder.record_request(started.elapsed(), out.is_ok());
         if matches!(out, Err(ServeError::Engine(EngineError::DeadlineExceeded))) {
             recorder.record_deadline_rejection();
+        }
+        if let Ok(reply) = &out {
+            if let Some(ev) = &reply.evidence {
+                recorder.record_inference(ev.ess, ev.accept_rate);
+            }
         }
     }
     out

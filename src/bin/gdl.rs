@@ -9,7 +9,8 @@
 //!                       [--agg count|sum|avg|min|max] [--col K]
 //!                       [--lo X --hi Y --bins N] [--q Q] [--threshold T]
 //!                       [--and "<kind>:<Rel>[:...]"]... [--given "observations"]
-//!                       [--exact | --mc] [--runs N] [--seed S] [--steps N]
+//!                       [--exact | --mc | --mh] [--runs N] [--seed S] [--steps N]
+//!                       [--ess-target E [--max-runs N]] [--burn-in N] [--thin N]
 //!                       [--threads N] [--input facts.gdl] [--format json]
 //! gdl batch  <requests.json> [--threads N] [--format json]
 //! gdl serve  <file.gdl> [--barany] [--addr HOST:PORT] [--workers N]
@@ -84,6 +85,7 @@ enum ForceBackend {
     Auto,
     Exact,
     Mc,
+    Mh,
 }
 
 struct Args {
@@ -118,6 +120,15 @@ struct Args {
     /// Additional queries (`--and <spec>`, repeatable) answered in the
     /// same backend pass as the positional query.
     and: Vec<String>,
+    /// `query --ess-target`: grow the Monte-Carlo run count until the
+    /// conditioned pass reaches this effective sample size.
+    ess_target: Option<f64>,
+    /// `query --max-runs`: run-count cap for `--ess-target`.
+    max_runs: Option<usize>,
+    /// `query --burn-in`: MH burn-in steps (with `--mh`).
+    burn_in: Option<usize>,
+    /// `query --thin`: MH thinning interval (with `--mh`).
+    thin: Option<usize>,
     /// `serve`/`loadgen`: address to bind / target.
     addr: String,
     /// `serve`: worker threads (`None` = one per core).
@@ -168,6 +179,10 @@ fn parse_args() -> Result<Args, String> {
         q: None,
         threshold: None,
         and: Vec::new(),
+        ess_target: None,
+        max_runs: None,
+        burn_in: None,
+        thin: None,
         addr: "127.0.0.1:7171".to_string(),
         workers: None,
         max_inflight: None,
@@ -218,6 +233,15 @@ fn parse_args() -> Result<Args, String> {
             }
             "--exact" => args.force = ForceBackend::Exact,
             "--mc" => args.force = ForceBackend::Mc,
+            "--mh" => args.force = ForceBackend::Mh,
+            "--ess-target" => args.ess_target = Some(num("--ess-target", take("--ess-target"))?),
+            "--max-runs" => {
+                args.max_runs = Some(take("--max-runs")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--burn-in" => {
+                args.burn_in = Some(take("--burn-in")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--thin" => args.thin = Some(take("--thin")?.parse().map_err(|e| format!("{e}"))?),
             "--agg" => {
                 args.agg = match take("--agg")?.as_str() {
                     "count" => AggFun::Count,
@@ -312,11 +336,13 @@ fn make_session(args: &Args) -> Result<Session, String> {
 
 /// Configures an evaluation from the CLI flags: the backend is resolved
 /// first (auto picks Monte-Carlo for continuous programs), then the budget
-/// flag that matches it applies — `--steps` for Monte-Carlo, `--depth` for
-/// exact enumeration.
-fn configure<'a>(session: &'a Session, args: &Args) -> Evaluation<'a> {
-    let mc = match args.force {
-        ForceBackend::Mc => true,
+/// flag that matches it applies — `--steps` for sampling backends,
+/// `--depth` for exact enumeration. `--ess-target` switches the
+/// Monte-Carlo path to adaptive run control; `--mh` selects the
+/// Metropolis-Hastings chain (with `--burn-in` / `--thin`).
+fn configure<'a>(session: &'a Session, args: &Args) -> Result<Evaluation<'a>, String> {
+    let sampling = match args.force {
+        ForceBackend::Mc | ForceBackend::Mh => true,
         ForceBackend::Exact => false,
         ForceBackend::Auto => !session.program().all_discrete(),
     };
@@ -324,17 +350,52 @@ fn configure<'a>(session: &'a Session, args: &Args) -> Evaluation<'a> {
         .eval()
         .seed(args.seed)
         .threads(args.threads)
-        .max_depth(if mc { args.steps } else { args.depth });
+        .max_depth(if sampling { args.steps } else { args.depth });
     if let Some(given) = &args.given {
         eval = eval.given(given.clone());
     }
-    if mc {
+    if args.force == ForceBackend::Mh {
+        if args.ess_target.is_some() {
+            return Err(
+                "--ess-target applies to the Monte-Carlo backend; it cannot be \
+                 combined with --mh (the MH stream is already normalized)"
+                    .to_string(),
+            );
+        }
+        let mut eval = eval.mh(args.runs);
+        if let Some(steps) = args.burn_in {
+            eval = eval.burn_in(steps);
+        }
+        if let Some(every) = args.thin {
+            eval = eval.thin(every);
+        }
+        return Ok(eval);
+    }
+    if args.burn_in.is_some() || args.thin.is_some() {
+        return Err("--burn-in/--thin configure the MH chain; pass --mh".to_string());
+    }
+    if let Some(target) = args.ess_target {
+        if args.force == ForceBackend::Exact {
+            return Err("--ess-target applies to Monte-Carlo sampling, not --exact".to_string());
+        }
+        let mut target = EssTarget::new(target);
+        if let Some(cap) = args.max_runs {
+            target = target.max_runs(cap);
+        }
+        return Ok(eval.sample_until(target));
+    }
+    if let Some(cap) = args.max_runs {
+        return Err(format!(
+            "--max-runs {cap} caps --ess-target's adaptive run growth; pass --ess-target"
+        ));
+    }
+    Ok(if sampling {
         eval.sample(args.runs)
     } else if args.force == ForceBackend::Exact {
         eval.exact()
     } else {
         eval
-    }
+    })
 }
 
 /// Runs `gdl batch <requests.json>`: compile once, pool sessions, answer
@@ -352,6 +413,11 @@ fn run_batch(args: &Args) -> Result<(), String> {
         "--given",
         "--exact",
         "--mc",
+        "--mh",
+        "--ess-target",
+        "--max-runs",
+        "--burn-in",
+        "--thin",
         "--agg",
         "--col",
         "--lo",
@@ -996,7 +1062,7 @@ fn run_query(args: &Args, session: &Session, out: &mut impl std::io::Write) -> R
     for spec in &args.and {
         queries.push(parse_and_spec(spec, session)?);
     }
-    let eval = configure(session, args);
+    let eval = configure(session, args)?;
     let answers = eval.answer(&queries).map_err(|e| e.to_string())?;
     let evidence = answers.conditioned().then(|| answers.evidence());
     match args.format {
@@ -1009,20 +1075,31 @@ fn run_query(args: &Args, session: &Session, out: &mut impl std::io::Write) -> R
                 write_answer_text(out, answer, &program.catalog);
             }
             if let Some(ev) = evidence {
+                // log-mass is the authoritative figure: the linear mass
+                // reads 0.000000 once the log drops below ≈ −745.
                 let _ = writeln!(
                     out,
-                    "# evidence mass {:.6}, ess {:.1}, worlds {}",
-                    ev.mass, ev.ess, ev.worlds
+                    "# evidence mass {:.6} (log {:.4}), ess {:.1}, worlds {}, runs {}",
+                    ev.mass, ev.log_mass, ev.ess, ev.worlds, ev.runs
                 );
+                if let Some(rate) = ev.accept_rate {
+                    let _ = writeln!(out, "# mh acceptance rate {rate:.3}");
+                }
             }
         }
         Format::Json => {
             let evidence_json = evidence.map(|ev| {
-                Json::Obj(vec![
+                let mut members = vec![
                     ("mass".into(), Json::Num(ev.mass)),
+                    ("log_mass".into(), Json::Num(ev.log_mass)),
                     ("ess".into(), Json::Num(ev.ess)),
                     ("worlds".into(), Json::Num(ev.worlds as f64)),
-                ])
+                    ("runs".into(), Json::Num(ev.runs as f64)),
+                ];
+                if let Some(rate) = ev.accept_rate {
+                    members.push(("accept_rate".into(), Json::Num(rate)));
+                }
+                Json::Obj(members)
             });
             let doc = if answers.len() == 1 {
                 let Json::Obj(mut members) = answer_json(&answers[0], &program.catalog) else {
@@ -1069,13 +1146,14 @@ fn main() -> ExitCode {
                  \x20        [--lo X --hi Y --bins N] [--q Q] [--threshold T]\n\
                  \x20        [--and \"expectation:Rel:count\"] (repeatable; one pass, many answers)\n\
                  \x20        [--given \"Alarm(h1). Normal<M, 1.0> == 2.5 :- Mu(M).\"]\n\
+                 \x20        [--ess-target E [--max-runs N]] [--mh [--burn-in N] [--thin N]]\n\
                  \x20 batch: gdl batch <requests.json> [--threads N] [--format json]\n\
                  \x20 serve: gdl serve <file.gdl> [--addr HOST:PORT] [--workers N]\n\
                  \x20        [--max-inflight N] [--deadline-ms MS] [--max-body-bytes N]\n\
                  \x20 loadgen: gdl loadgen <requests.json> [--addr HOST:PORT]\n\
                  \x20        [--connections N] [--duration-ms MS] [--rate R] [--out report.json]\n\
                  \x20 flags: [--barany] [--runs N] [--seed S] [--steps N] [--depth N]\n\
-                 \x20        [--threads N] [--input facts.gdl] [--format json] [--exact|--mc]"
+                 \x20        [--threads N] [--input facts.gdl] [--format json] [--exact|--mc|--mh]"
             );
             ExitCode::from(2)
         }

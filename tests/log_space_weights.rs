@@ -1,0 +1,280 @@
+//! The underflow regime (PR 8): conditioning whose total log-likelihood
+//! sits far below ln(f64::MIN_POSITIVE) ≈ −745 must still produce correct
+//! posteriors. Linear-space weighting — the pre-log-space pipeline —
+//! demonstrably collapses here (`exp` of every world's log-weight is 0.0,
+//! so all posterior mass vanishes); the streaming log-sum-exp pipeline
+//! keeps the arithmetic in log space end-to-end and is exercised against
+//! an analytically solvable program with ~400 soft Normal observations.
+//!
+//! Alongside the regression sits a property suite for the accumulator
+//! itself: `NormalizingSink::log_space` / `WeightStats` must be
+//! permutation-invariant, translation-invariant (shifting every
+//! log-weight by `c` shifts the log-total by exactly `c` and preserves
+//! the ESS), and must keep the effective sample size inside `[1, n]`.
+
+use gdatalog::pdb::{NormalizingSink, WeightStats, WorldSink, WorldTableSink};
+use gdatalog::prelude::*;
+use proptest::prelude::*;
+
+/// Soft Normal observations stacked on the same latent choice.
+const OBS_COUNT: usize = 400;
+
+/// The latent values are deliberately close so the posterior is
+/// non-degenerate even with 400 observations: the per-observation
+/// log-density gap is ~0.003, summing to a total log-odds of ~1.2.
+const MU_LO: f64 = 0.0;
+const MU_HI: f64 = 0.001;
+const OBS_VALUE: f64 = 3.0;
+
+fn underflow_session() -> Session {
+    let src = r#"
+        rel T(int) input.
+        Mu(Categorical<0.0, 1.0, 0.001, 1.0>) :- true.
+    "#;
+    let mut session = Session::from_source(src, SemanticsMode::Grohe).unwrap();
+    let facts: String = (0..OBS_COUNT).map(|i| format!("T({i}). ")).collect();
+    session.insert_facts_text(&facts).unwrap();
+    session
+}
+
+/// One soft statement, matched once per `T` row: 400 Normal likelihood
+/// factors on whichever `Mu` the world chose.
+const GIVEN: &str = "Normal<M, 1.0> == 3.0 :- Mu(M), T(I).";
+
+fn ln_phi(x: f64) -> f64 {
+    -0.5 * x * x - 0.5 * (2.0 * std::f64::consts::PI).ln()
+}
+
+/// Summed log-likelihood of the world that chose `mu`.
+fn log_like(mu: f64) -> f64 {
+    OBS_COUNT as f64 * ln_phi(OBS_VALUE - mu)
+}
+
+/// Analytic posterior `P(Mu = MU_HI | observations)` (equal priors).
+fn analytic_posterior_hi() -> f64 {
+    1.0 / (1.0 + (log_like(MU_LO) - log_like(MU_HI)).exp())
+}
+
+/// Analytic log evidence `ln(½·e^{ll_lo} + ½·e^{ll_hi})`.
+fn analytic_log_evidence() -> f64 {
+    let (lo, hi) = (log_like(MU_LO), log_like(MU_HI));
+    let m = lo.max(hi);
+    0.5f64.ln() + m + ((lo - m).exp() + (hi - m).exp()).ln()
+}
+
+#[test]
+fn linear_weighting_demonstrably_underflows_to_zero() {
+    let session = underflow_session();
+    let program = session.program();
+    let observes = gdatalog::lang::compile_observations(program, GIVEN).unwrap();
+    // A support world, built by hand: Mu chose MU_LO, all T rows present.
+    let mu = program.catalog.require("Mu").unwrap();
+    let t = program.catalog.require("T").unwrap();
+    let mut world = Instance::new();
+    world.insert(mu, tuple![MU_LO]);
+    for i in 0..OBS_COUNT as i64 {
+        world.insert(t, tuple![i]);
+    }
+    let lw = gdatalog::engine::log_weight(&observes, &world).unwrap();
+    assert!(
+        lw.is_finite() && lw < -2_000.0,
+        "the regression program must sit deep in the underflow regime, \
+         got log-likelihood {lw}"
+    );
+    assert!(
+        (lw - log_like(MU_LO)).abs() < 1e-6,
+        "{lw} vs {}",
+        log_like(MU_LO)
+    );
+    // The old linear path: exp(−2167) is exactly 0.0 in f64, so every
+    // world's weight — and with it all posterior mass — vanishes.
+    assert_eq!(
+        gdatalog::engine::observation_weight(&observes, &world).unwrap(),
+        0.0,
+        "linear-space weighting must underflow here — that is the regime \
+         this regression guards"
+    );
+}
+
+#[test]
+fn exact_posterior_is_correct_in_the_underflow_regime() {
+    let session = underflow_session();
+    let mu = session.program().catalog.require("Mu").unwrap();
+    let fact = Fact::new(mu, tuple![MU_HI]);
+    let queries = QuerySet::new().marginal(&fact);
+    let answers = session
+        .eval()
+        .exact()
+        .given(GIVEN)
+        .answer(&queries)
+        .unwrap();
+    let p = answers.get(0).unwrap().as_probability().unwrap();
+    let expect = analytic_posterior_hi();
+    assert!(
+        (p - expect).abs() < 1e-9,
+        "exact posterior {p} vs analytic {expect}"
+    );
+    let ev = answers.evidence();
+    // The linear mass is 0 by necessity (it is exp(log_mass)); the log
+    // mass is the real answer and must match the analytic evidence.
+    assert_eq!(ev.mass, 0.0, "exp(-2167) is 0 in f64");
+    assert!(
+        (ev.log_mass - analytic_log_evidence()).abs() < 1e-6,
+        "log evidence {} vs analytic {}",
+        ev.log_mass,
+        analytic_log_evidence()
+    );
+}
+
+#[test]
+fn sampling_backends_are_correct_in_the_underflow_regime() {
+    let session = underflow_session();
+    let mu = session.program().catalog.require("Mu").unwrap();
+    let fact = Fact::new(mu, tuple![MU_HI]);
+    let expect = analytic_posterior_hi();
+    let queries = QuerySet::new().marginal(&fact);
+
+    // Likelihood weighting: the weights are e^{-2167.57} and e^{-2166.37}
+    // — only their log-space ratio survives, which is exactly what the
+    // streaming accumulator preserves.
+    let answers = session
+        .eval()
+        .sample(20_000)
+        .seed(11)
+        .given(GIVEN)
+        .answer(&queries)
+        .unwrap();
+    let lw = answers.get(0).unwrap().as_probability().unwrap();
+    let ev = answers.evidence();
+    let se = (expect * (1.0 - expect) / ev.ess.max(1.0)).sqrt();
+    assert!(
+        (lw - expect).abs() <= 5.0 * se + 1e-4,
+        "lw posterior {lw} vs analytic {expect}: |Δ| = {} exceeds 5·se = {} (ess {})",
+        (lw - expect).abs(),
+        5.0 * se,
+        ev.ess
+    );
+    assert_eq!(ev.mass, 0.0);
+    assert!(
+        ev.log_mass.is_finite() && ev.log_mass < -2_000.0,
+        "LW must report a finite log evidence deep below the underflow \
+         line, got {}",
+        ev.log_mass
+    );
+
+    // The MH chain only ever uses log-likelihood *differences*, so the
+    // underflow regime is its home turf.
+    let mh = session
+        .eval()
+        .mh(20_000)
+        .burn_in(500)
+        .seed(13)
+        .given(GIVEN)
+        .marginal(&fact)
+        .unwrap();
+    let n_eff = 20_000.0 / 20.0;
+    let se = (expect * (1.0 - expect) / n_eff).sqrt();
+    assert!(
+        (mh - expect).abs() <= 5.0 * se + 1e-4,
+        "mh posterior {mh} vs analytic {expect}: |Δ| = {} exceeds 5·se = {}",
+        (mh - expect).abs(),
+        5.0 * se
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Property suite for the streaming log-sum-exp accumulator.
+// ---------------------------------------------------------------------------
+
+/// Folds a sequence of log-weights through `NormalizingSink::log_space`
+/// and returns the resulting statistics.
+fn accumulate(log_weights: &[f64]) -> WeightStats {
+    let mut sink = NormalizingSink::log_space(WorldTableSink::new());
+    for &lw in log_weights {
+        sink.observe_log(Instance::new(), lw);
+    }
+    let (_table, stats) = sink.finish();
+    stats
+}
+
+/// Deterministic Fisher-Yates driven by splitmix64, so shuffles are
+/// reproducible from the proptest case seed.
+fn shuffled(values: &[f64], mut seed: u64) -> Vec<f64> {
+    let mut next = move || {
+        seed = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    let mut out = values.to_vec();
+    for i in (1..out.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        out.swap(i, j);
+    }
+    out
+}
+
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn log_sum_exp_is_permutation_invariant(
+        lws in proptest::collection::vec(-900.0..10.0, 1..40),
+        perm_seed in any::<u64>(),
+    ) {
+        let a = accumulate(&lws);
+        let b = accumulate(&shuffled(&lws, perm_seed));
+        prop_assert!(
+            close(a.log_total(), b.log_total(), 1e-9),
+            "log_total order-dependent: {} vs {}", a.log_total(), b.log_total()
+        );
+        prop_assert!(
+            close(a.ess(), b.ess(), 1e-6),
+            "ess order-dependent: {} vs {}", a.ess(), b.ess()
+        );
+        prop_assert_eq!(a.worlds, b.worlds);
+    }
+
+    #[test]
+    fn log_sum_exp_is_translation_invariant(
+        lws in proptest::collection::vec(-900.0..10.0, 1..40),
+        shift in -700.0..700.0,
+    ) {
+        let base = accumulate(&lws);
+        let moved = accumulate(&lws.iter().map(|lw| lw + shift).collect::<Vec<_>>());
+        // Multiplying every weight by e^shift multiplies the total by
+        // e^shift — i.e. shifts the log-total by exactly shift — and
+        // leaves the (scale-free) effective sample size alone.
+        prop_assert!(
+            close(moved.log_total(), base.log_total() + shift, 1e-9),
+            "log_total {} + shift {shift} vs {}", base.log_total(), moved.log_total()
+        );
+        prop_assert!(
+            close(base.ess(), moved.ess(), 1e-6),
+            "ess not translation-invariant: {} vs {}", base.ess(), moved.ess()
+        );
+    }
+
+    #[test]
+    fn ess_stays_within_one_and_n(
+        lws in proptest::collection::vec(-900.0..10.0, 1..40),
+    ) {
+        let stats = accumulate(&lws);
+        let n = lws.len() as f64;
+        prop_assert!(
+            stats.ess() >= 1.0 - 1e-9 && stats.ess() <= n + 1e-9,
+            "ess {} outside [1, {n}]", stats.ess()
+        );
+        // Equal weights are the ESS = n extremum.
+        let uniform = accumulate(&vec![lws[0]; lws.len()]);
+        prop_assert!(
+            close(uniform.ess(), n, 1e-9),
+            "uniform-weight ess {} should be n = {n}", uniform.ess()
+        );
+    }
+}
