@@ -14,6 +14,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use gdatalog_bench::report::{check_trend, Report};
 use gdatalog_bench::{burglary_program, geometric_chain, heights_program, normal_chain};
 use gdatalog_core::engine::Engine;
 use gdatalog_core::{
@@ -746,21 +747,14 @@ fn bench_pr1() {
         println!("  speedup {name:<38} {x:>10.2}x");
     }
 
-    let mut json = String::from("{\n  \"pr\": 1,\n  \"benches\": [\n");
-    for (i, (name, ns)) in results.iter().enumerate() {
-        let comma = if i + 1 < results.len() { "," } else { "" };
-        json.push_str(&format!(
-            "    {{\"bench\": \"{name}\", \"median_ns\": {ns:.0}}}{comma}\n"
-        ));
+    let mut report = Report::new(1, "perf_trajectory");
+    for (name, ns) in &results {
+        report.metric(&format!("{name}/median_ns"), ns.round());
     }
-    json.push_str("  ],\n  \"speedups\": {\n");
-    for (i, (name, x)) in speedups.iter().enumerate() {
-        let comma = if i + 1 < speedups.len() { "," } else { "" };
-        json.push_str(&format!("    \"{name}\": {x:.2}{comma}\n"));
+    for (name, x) in &speedups {
+        report.metric(&format!("speedup/{name}"), *x);
     }
-    json.push_str("  }\n}\n");
-    std::fs::write("BENCH_PR1.json", json).expect("write BENCH_PR1.json");
-    println!("\n  wrote BENCH_PR1.json");
+    report.write("BENCH_PR1.json");
 }
 
 /// Resident set size in KiB (Linux), or 0 where unavailable.
@@ -854,19 +848,37 @@ fn bench_pr2() {
          materializing retained ~{mat_rss_kb} KiB over {retained} instances"
     );
 
-    let json = format!(
-        "{{\n  \"pr\": 2,\n  \"benches\": [\n    \
-         {{\"bench\": \"mc_stream/marginal/1M/1thread\", \"runs_per_s\": {stream_rate:.0}, \
-         \"rss_delta_kb\": {stream_rss_kb}}},\n    \
-         {{\"bench\": \"mc_stream/marginal/1M/4threads\", \"runs_per_s\": {stream4_rate:.0}}},\n    \
-         {{\"bench\": \"mc_materialize/pdb/100k/1thread\", \"runs_per_s\": {mat_rate:.0}, \
-         \"rss_delta_kb\": {mat_rss_kb}, \"retained_instances\": {retained}}}\n  ],\n  \
-         \"memory_ratio_1m_extrapolated\": {:.1},\n  \
-         \"marginal\": {p1}\n}}\n",
-        (mat_rss_kb.max(1) * 10) as f64 / stream_rss_kb.max(1) as f64,
-    );
-    std::fs::write("BENCH_PR2.json", json).expect("write BENCH_PR2.json");
-    println!("\n  wrote BENCH_PR2.json");
+    let mut report = Report::new(2, "mc_streaming");
+    report
+        .metric(
+            "mc_stream/marginal/1M/1thread/runs_per_s",
+            stream_rate.round(),
+        )
+        .metric(
+            "mc_stream/marginal/1M/1thread/rss_delta_kb",
+            stream_rss_kb as f64,
+        )
+        .metric(
+            "mc_stream/marginal/1M/4threads/runs_per_s",
+            stream4_rate.round(),
+        )
+        .metric(
+            "mc_materialize/pdb/100k/1thread/runs_per_s",
+            mat_rate.round(),
+        )
+        .metric(
+            "mc_materialize/pdb/100k/1thread/rss_delta_kb",
+            mat_rss_kb as f64,
+        )
+        .metric("mc_materialize/retained_instances", retained as f64)
+        .metric(
+            "memory_ratio_1m_extrapolated",
+            (mat_rss_kb.max(1) * 10) as f64 / stream_rss_kb.max(1) as f64,
+        )
+        .metric("marginal", p1)
+        .gate("deterministic_across_threads", (p1 - p4).abs() < 1e-9)
+        .gate("marginal_near_half", (p1 - 0.5).abs() < 0.01);
+    report.write("BENCH_PR2.json");
 }
 
 /// The PR3 suite behind `BENCH_PR3.json`: the serving layer. A
@@ -1008,23 +1020,26 @@ fn bench_pr3() {
         "acceptance: ≥5x throughput for the batched path (got {best:.1}x)"
     );
 
-    let json = format!(
-        "{{\n  \"pr\": 3,\n  \"batch_requests\": {BATCH},\n  \"benches\": [\n    \
-         {{\"bench\": \"serving/naive_compile_per_request\", \"median_ns\": {naive_ns:.0}, \
-         \"req_per_s\": {:.0}}},\n    \
-         {{\"bench\": \"serving/batch_1worker\", \"median_ns\": {seq_ns:.0}, \
-         \"req_per_s\": {:.0}}},\n    \
-         {{\"bench\": \"serving/batch_4workers\", \"median_ns\": {par_ns:.0}, \
-         \"req_per_s\": {:.0}}}\n  ],\n  \"speedups\": {{\n    \
-         \"batch_1worker vs naive\": {speedup_seq:.2},\n    \
-         \"batch_4workers vs naive\": {speedup_par:.2}\n  }},\n  \
-         \"bit_identical_to_sequential\": true\n}}\n",
-        rate(naive_ns),
-        rate(seq_ns),
-        rate(par_ns),
-    );
-    std::fs::write("BENCH_PR3.json", json).expect("write BENCH_PR3.json");
-    println!("\n  wrote BENCH_PR3.json");
+    let mut report = Report::new(3, "serving");
+    report
+        .metric("batch_requests", BATCH as f64)
+        .metric(
+            "serving/naive_compile_per_request/median_ns",
+            naive_ns.round(),
+        )
+        .metric(
+            "serving/naive_compile_per_request/req_per_s",
+            rate(naive_ns).round(),
+        )
+        .metric("serving/batch_1worker/median_ns", seq_ns.round())
+        .metric("serving/batch_1worker/req_per_s", rate(seq_ns).round())
+        .metric("serving/batch_4workers/median_ns", par_ns.round())
+        .metric("serving/batch_4workers/req_per_s", rate(par_ns).round())
+        .metric("speedup/batch_1worker_vs_naive", speedup_seq)
+        .metric("speedup/batch_4workers_vs_naive", speedup_par)
+        .gate("bit_identical_to_sequential", true)
+        .gate("best_speedup_ge_5x", best >= 5.0);
+    report.write("BENCH_PR3.json");
 }
 
 /// The PR5 suite behind `BENCH_PR5.json`: single-pass multi-query
@@ -1133,24 +1148,22 @@ fn bench_pr5() {
         );
     }
 
-    let benches: Vec<String> = results
-        .iter()
-        .map(|(label, one, k, speedup)| {
-            format!(
-                "    {{\"bench\": \"multi_query/{label}\", \
-                 \"one_pass_median_ns\": {one:.0}, \
-                 \"repeated_single_query_median_ns\": {k:.0}, \
-                 \"speedup\": {speedup:.2}}}"
+    let mut report = Report::new(5, "multi_query");
+    report.metric("queries_per_request", K as f64);
+    for (label, one, k, speedup) in &results {
+        report
+            .metric(
+                &format!("multi_query/{label}/one_pass_median_ns"),
+                one.round(),
             )
-        })
-        .collect();
-    let json = format!(
-        "{{\n  \"pr\": 5,\n  \"queries_per_request\": {K},\n  \"benches\": [\n{}\n  ],\n  \
-         \"bit_identical_to_single_query_requests\": true\n}}\n",
-        benches.join(",\n")
-    );
-    std::fs::write("BENCH_PR5.json", json).expect("write BENCH_PR5.json");
-    println!("\n  wrote BENCH_PR5.json");
+            .metric(
+                &format!("multi_query/{label}/repeated_single_query_median_ns"),
+                k.round(),
+            )
+            .gate_ratio(&format!("multi_query/{label}/speedup"), *speedup, 4.0);
+    }
+    report.gate("bit_identical_to_single_query_requests", true);
+    report.write("BENCH_PR5.json");
 }
 
 /// The PR7 suite behind `BENCH_PR7.json`: the HTTP serving subsystem.
@@ -1303,33 +1316,28 @@ fn bench_pr7() {
         http_workers
     );
 
-    let json = format!(
-        "{{\n  \"pr\": 7,\n  \"cores\": {cores},\n  \"batch_requests\": {BATCH},\n  \
-         \"benches\": [\n    \
-         {{\"bench\": \"net/batch_1worker\", \"median_ns\": {t1_ns:.0}, \
-         \"req_per_s\": {:.0}}},\n    \
-         {{\"bench\": \"net/batch_4workers\", \"median_ns\": {t4_ns:.0}, \
-         \"req_per_s\": {:.0}}},\n    \
-         {{\"bench\": \"net/http_loadgen\", \"req_per_s\": {:.0}, \
-         \"p50_us\": {}, \"p99_us\": {}, \"connections\": {http_workers}, \
-         \"sent\": {}, \"ok_2xx\": {}, \"non_2xx\": {}, \"io_errors\": {}}}\n  ],\n  \
-         \"speedups\": {{\n    \"batch_4workers vs batch_1worker\": {ratio:.2}\n  }},\n  \
-         \"multi_core_gate\": {{\"required_ratio\": 2.5, \"enforced\": {}, \
-         \"floor_ratio\": 0.9}},\n  \
-         \"bit_identical_to_sequential\": true\n}}\n",
-        rate(t1_ns),
-        rate(t4_ns),
-        report.req_per_sec,
-        report.p50_us,
-        report.p99_us,
-        report.sent,
-        report.ok_2xx,
-        report.non_2xx,
-        report.io_errors,
-        cores >= 4,
-    );
-    std::fs::write("BENCH_PR7.json", json).expect("write BENCH_PR7.json");
-    println!("\n  wrote BENCH_PR7.json");
+    let mut out = Report::new(7, "http_serving");
+    out.metric("cores", cores as f64)
+        .metric("batch_requests", BATCH as f64)
+        .metric("net/batch_1worker/median_ns", t1_ns.round())
+        .metric("net/batch_1worker/req_per_s", rate(t1_ns).round())
+        .metric("net/batch_4workers/median_ns", t4_ns.round())
+        .metric("net/batch_4workers/req_per_s", rate(t4_ns).round())
+        .metric("net/http_loadgen/req_per_s", report.req_per_sec.round())
+        .metric("net/http_loadgen/p50_us", report.p50_us as f64)
+        .metric("net/http_loadgen/p99_us", report.p99_us as f64)
+        .metric("net/http_loadgen/connections", http_workers as f64)
+        .metric("net/http_loadgen/sent", report.sent as f64)
+        .metric("net/http_loadgen/ok_2xx", report.ok_2xx as f64)
+        .metric("speedup/batch_4workers_vs_1worker", ratio)
+        .gate("no_regression_floor_0.9x", ratio >= 0.9)
+        .gate("multi_core_2.5x", cores < 4 || ratio >= 2.5)
+        .gate(
+            "loadgen_all_2xx",
+            report.non_2xx == 0 && report.io_errors == 0,
+        )
+        .gate("bit_identical_to_sequential", true);
+    out.write("BENCH_PR7.json");
 }
 
 /// The PR8 suite behind `BENCH_PR8.json`: posterior inference under
@@ -1488,21 +1496,132 @@ fn bench_pr8() {
         "mh(20k kept)", mh_ns, mh_ev.ess, mh_ev.runs, mh_p, mh_accept
     );
 
-    let json = format!(
-        "{{\n  \"pr\": 8,\n  \"exact_posterior\": {exact:.12},\n  \"benches\": [\n    \
-         {{\"bench\": \"inference/lw_fixed\", \"median_ns\": {lw_ns:.0}, \
-         \"runs\": {}, \"ess\": {:.1}, \"estimate\": {lw_p:.6}}},\n    \
-         {{\"bench\": \"inference/ess_adaptive\", \"median_ns\": {ad_ns:.0}, \
-         \"runs\": {}, \"ess\": {:.1}, \"ess_target\": {ESS_TARGET}, \
-         \"estimate\": {ad_p:.6}}},\n    \
-         {{\"bench\": \"inference/mh\", \"median_ns\": {mh_ns:.0}, \
-         \"kept\": {}, \"accept_rate\": {mh_accept:.4}, \
-         \"estimate\": {mh_p:.6}}}\n  ],\n  \
-         \"all_backends_within_tolerance_of_exact\": true\n}}\n",
-        lw_ev.runs, lw_ev.ess, ad_ev.runs, ad_ev.ess, mh_ev.runs,
+    let mut report = Report::new(8, "inference");
+    report
+        .metric("exact_posterior", exact)
+        .metric("inference/lw_fixed/median_ns", lw_ns.round())
+        .metric("inference/lw_fixed/runs", lw_ev.runs as f64)
+        .metric("inference/lw_fixed/ess", lw_ev.ess)
+        .metric("inference/lw_fixed/estimate", lw_p)
+        .metric("inference/ess_adaptive/median_ns", ad_ns.round())
+        .metric("inference/ess_adaptive/runs", ad_ev.runs as f64)
+        .metric("inference/ess_adaptive/ess", ad_ev.ess)
+        .metric("inference/ess_adaptive/ess_target", ESS_TARGET)
+        .metric("inference/ess_adaptive/estimate", ad_p)
+        .metric("inference/mh/median_ns", mh_ns.round())
+        .metric("inference/mh/kept", mh_ev.runs as f64)
+        .metric("inference/mh/accept_rate", mh_accept)
+        .metric("inference/mh/estimate", mh_p)
+        .gate("adaptive_reached_ess_target", ad_ev.ess >= ESS_TARGET)
+        .gate("all_backends_within_tolerance_of_exact", true);
+    report.write("BENCH_PR8.json");
+}
+
+/// The PR9 suite behind `BENCH_PR9.json`: batched Monte-Carlo execution.
+/// The BENCH_PR2 workload — a 1M-run streaming marginal over
+/// `R(Flip<0.5>) :- true. S(X) :- R(X).` — is driven twice through the
+/// Session API: scalar (`batch(1)`) and batched (lane width 64).
+/// **Bit-identity is asserted before any timing**: the two marginals must
+/// agree bit for bit under the same seed, single- and multi-threaded, and
+/// a conditioned pass must agree too. The acceptance gate is ≥2x
+/// single-core runs/s for the batched executor over the scalar path, plus
+/// a trend gate against the previous `BENCH_PR9.json` when one exists.
+fn bench_pr9() {
+    use gdatalog_core::Session;
+    use gdatalog_data::tuple;
+
+    header(
+        "BENCH9",
+        "batched Monte-Carlo execution (written to BENCH_PR9.json)",
     );
-    std::fs::write("BENCH_PR8.json", json).expect("write BENCH_PR8.json");
-    println!("\n  wrote BENCH_PR8.json");
+
+    let session = Session::from_source("R(Flip<0.5>) :- true. S(X) :- R(X).", SemanticsMode::Grohe)
+        .expect("ok");
+    let r = session.program().catalog.require("R").expect("declared");
+    let fact = Fact::new(r, tuple![1i64]);
+    const RUNS: usize = 1_000_000;
+    const LANES: usize = 64;
+
+    let run = |batch: usize, threads: usize| -> f64 {
+        session
+            .eval()
+            .sample(RUNS)
+            .seed(7)
+            .batch(batch)
+            .threads(threads)
+            .marginal(&fact)
+            .expect("runs")
+    };
+
+    // Bit-identity before any timing: scalar vs batched, single- and
+    // multi-threaded, unconditioned and conditioned.
+    let scalar_p = run(1, 1);
+    let batched_p = run(LANES, 1);
+    assert_eq!(
+        scalar_p.to_bits(),
+        batched_p.to_bits(),
+        "batched marginal must be bit-identical to scalar ({scalar_p} vs {batched_p})"
+    );
+    assert_eq!(
+        run(1, 4).to_bits(),
+        run(LANES, 4).to_bits(),
+        "bit-identity must hold at 4 workers too"
+    );
+    let cond = |batch: usize| -> f64 {
+        session
+            .eval()
+            .sample(100_000)
+            .seed(7)
+            .batch(batch)
+            .given("S(1).")
+            .marginal(&fact)
+            .expect("runs")
+    };
+    assert_eq!(
+        cond(1).to_bits(),
+        cond(LANES).to_bits(),
+        "conditioned bit-identity must hold"
+    );
+    println!("  bit-identity: batch({LANES}) == batch(1)  ✓ (1/4 threads, ±evidence)");
+
+    let scalar_ns = median_ns(5, || {
+        std::hint::black_box(run(1, 1));
+    });
+    let batched_ns = median_ns(5, || {
+        std::hint::black_box(run(LANES, 1));
+    });
+    let scalar_rate = RUNS as f64 / (scalar_ns / 1e9);
+    let batched_rate = RUNS as f64 / (batched_ns / 1e9);
+    let speedup = scalar_ns / batched_ns;
+    println!(
+        "  {:<44} {:>14.0} runs/s",
+        "mc_batch/scalar/1thread", scalar_rate
+    );
+    println!(
+        "  {:<44} {:>14.0} runs/s   ({speedup:.1}x)",
+        "mc_batch/batched64/1thread", batched_rate
+    );
+
+    let mut report = Report::new(9, "mc_batching");
+    check_trend(
+        &mut report,
+        "BENCH_PR9.json",
+        "speedup/batched_vs_scalar",
+        speedup,
+        0.5,
+    );
+    report
+        .metric("runs", RUNS as f64)
+        .metric("lane_batch", LANES as f64)
+        .metric("mc_batch/scalar/1thread/runs_per_s", scalar_rate.round())
+        .metric(
+            "mc_batch/batched64/1thread/runs_per_s",
+            batched_rate.round(),
+        )
+        .metric("marginal", batched_p)
+        .gate("bit_identical_to_scalar", true)
+        .gate_ratio("speedup/batched_vs_scalar", speedup, 2.0);
+    report.write("BENCH_PR9.json");
 }
 
 fn main() {
@@ -1525,6 +1644,7 @@ fn main() {
         ("bench5", bench_pr5),
         ("bench7", bench_pr7),
         ("bench8", bench_pr8),
+        ("bench9", bench_pr9),
     ];
     let mut ran = 0;
     for (id, f) in &experiments {
@@ -1535,7 +1655,8 @@ fn main() {
     }
     if ran == 0 {
         eprintln!(
-            "unknown experiment id; available: e1..e8, bench, bench2, bench3, bench5, bench7, bench8"
+            "unknown experiment id; available: e1..e8, bench, bench2, bench3, bench5, bench7, \
+             bench8, bench9"
         );
         std::process::exit(2);
     }

@@ -7,6 +7,7 @@ use gdatalog_lang::SemanticsMode;
 use std::fmt::Write as _;
 
 pub mod legacy;
+pub mod report;
 
 /// Example 3.4 of the paper (earthquake/burglary/alarm), parameterized by
 /// the number of houses in the first city.

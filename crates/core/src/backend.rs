@@ -58,6 +58,14 @@ pub struct EvalOptions {
     /// Worker threads (1 = run on the calling thread). Used by the
     /// Monte-Carlo backend.
     pub threads: usize,
+    /// Monte-Carlo batch size: how many runs the batched executor drives
+    /// in lockstep, sharing the deterministic chase prefix and the
+    /// per-step applicability/kernel work (see `crates/core/src/mc_batch.rs`).
+    /// Results are bit-identical to the scalar path at any batch size;
+    /// `1` disables batching. The default was chosen by the
+    /// `mc_batch` criterion sweep. Deadline checks are cooperative at
+    /// batch boundaries, so one batch bounds the deadline overshoot.
+    pub batch: usize,
     /// Budget along any chase path: maximum depth for exact enumeration,
     /// maximum steps/rounds per Monte-Carlo run. Deeper paths are charged
     /// to the non-termination deficit (the paper's `err` event, §4.2).
@@ -96,6 +104,7 @@ impl Default for EvalOptions {
             runs: 10_000,
             seed: 0xC0FFEE,
             threads: 1,
+            batch: 64,
             max_depth: 10_000,
             support_tol: 1e-9,
             min_path_prob: 0.0,
@@ -109,7 +118,77 @@ impl Default for EvalOptions {
     }
 }
 
+/// A validated Monte-Carlo run budget — the one place run-count
+/// invariants live, shared by the fixed-run path
+/// ([`Evaluation::sample`](crate::Evaluation::sample) /
+/// [`EvalOptions::runs`]) and the adaptive path
+/// ([`EssTarget`](crate::EssTarget)). Construct through
+/// [`RunBudget::fixed`] / [`RunBudget::adaptive`] (or normalize an
+/// ad-hoc value with [`RunBudget::validated`]); the constructors enforce
+/// that lane batches are nonzero, the first scheduled batch is nonzero,
+/// and the run cap admits at least one whole first batch
+/// (`max_runs >= initial_batch`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunBudget {
+    /// Hard cap on the total run count.
+    pub max_runs: usize,
+    /// Runs scheduled before the first stopping-rule poll. On the fixed
+    /// path this is the whole budget; the adaptive driver doubles from
+    /// here.
+    pub initial_batch: usize,
+    /// Lane-batch size of the batched executor (see
+    /// [`EvalOptions::batch`]); the adaptive driver grows the schedule in
+    /// whole multiples of this so lane batches never straddle a poll.
+    pub batch: usize,
+}
+
+impl RunBudget {
+    /// A fixed budget: exactly `runs` runs, executed in lane batches of
+    /// `batch` — one "scheduling batch" covering the whole budget.
+    pub fn fixed(runs: usize, batch: usize) -> RunBudget {
+        RunBudget {
+            max_runs: runs,
+            initial_batch: runs,
+            batch,
+        }
+        .validated()
+    }
+
+    /// An adaptive budget: poll the stopping rule after `initial_batch`
+    /// runs, never exceed `max_runs`, drive lane batches of `batch`.
+    pub fn adaptive(max_runs: usize, initial_batch: usize, batch: usize) -> RunBudget {
+        RunBudget {
+            max_runs,
+            initial_batch,
+            batch,
+        }
+        .validated()
+    }
+
+    /// Normalizes the invariants: both batch sizes are at least 1, and
+    /// the run cap admits at least one whole first batch.
+    pub fn validated(mut self) -> RunBudget {
+        self.batch = self.batch.max(1);
+        self.initial_batch = self.initial_batch.max(1);
+        self.max_runs = self.max_runs.max(self.initial_batch);
+        self
+    }
+
+    /// Rounds a scheduled run count **up** to a whole number of lane
+    /// batches, then clamps at the run cap (the final batch may be ragged
+    /// only when the cap itself is). Saturating.
+    pub fn round_to_batches(&self, runs: usize) -> usize {
+        let whole = runs.div_ceil(self.batch).saturating_mul(self.batch);
+        whole.min(self.max_runs)
+    }
+}
+
 impl EvalOptions {
+    /// The validated run budget of the fixed-run Monte-Carlo path.
+    pub fn run_budget(&self) -> RunBudget {
+        RunBudget::fixed(self.runs, self.batch)
+    }
+
     /// The exact-enumeration slice of the options.
     pub fn exact_config(&self) -> ExactConfig {
         ExactConfig {
@@ -408,16 +487,118 @@ pub(crate) fn mc_stream(
         McObs::Dropped => {}
     };
 
-    let sequential = |sink: &mut dyn WorldSink| -> Result<(), EngineError> {
-        for run_ix in range.clone() {
-            let obs = observe_run(run_ix)?;
-            emit(sink, obs);
+    // Drives one contiguous subrange of runs into one sink, reporting a
+    // failure with the run index it occurred at. Two interchangeable
+    // strategies — per-lane results are bit-identical by construction:
+    //
+    // - scalar: one `single_run` per run index, emitted itemwise.
+    // - batched: `batch` runs execute in lockstep as lane groups sharing
+    //   the deterministic prefix and per-step chase work
+    //   (`crate::mc_batch`), then one `observe_batch` emits the whole
+    //   lane batch by reference. Deadline checks are cooperative at
+    //   batch boundaries. Conditioned log-weights are a deterministic
+    //   function of the final world, so lanes sharing one terminated
+    //   world (one `Rc`) evaluate the likelihood once.
+    let batch_size = job.options.run_budget().batch;
+    let batched = batch_size > 1 && crate::mc_batch::batched_variant(config.variant);
+
+    let drive_scalar = |sink: &mut dyn WorldSink,
+                        chunk: std::ops::Range<usize>|
+     -> Result<(), (usize, EngineError)> {
+        for run_ix in chunk {
+            match observe_run(run_ix) {
+                Ok(obs) => emit(sink, obs),
+                Err(e) => return Err((run_ix, e)),
+            }
         }
         Ok(())
     };
 
+    let drive_batched = |sink: &mut dyn WorldSink,
+                         chunk: std::ops::Range<usize>|
+     -> Result<(), (usize, EngineError)> {
+        use crate::mc_batch::LaneObs;
+        use gdatalog_pdb::BatchObs;
+        let mut lo = chunk.start;
+        while lo < chunk.end {
+            let hi = (lo + batch_size).min(chunk.end);
+            if let Err(e) = crate::exact::check_deadline(config.deadline) {
+                return Err((lo, e));
+            }
+            let lanes = crate::mc_batch::run_batch(
+                program,
+                &prepared,
+                input,
+                &config,
+                &existential,
+                lo..hi,
+            );
+            // One likelihood evaluation per distinct shared world,
+            // keyed by the world's allocation (worker-local `Rc`s).
+            let mut likelihoods: Vec<(*const Instance, f64)> = Vec::new();
+            let mut batch_obs: Vec<BatchObs<'_>> = Vec::with_capacity(lanes.len());
+            let mut failure: Option<(usize, EngineError)> = None;
+            for (off, lane) in lanes.iter().enumerate() {
+                match lane {
+                    LaneObs::World(world) => {
+                        if observes.is_empty() {
+                            if raw {
+                                batch_obs.push(BatchObs::LogWorld(world, 0.0));
+                            } else {
+                                batch_obs.push(BatchObs::World(world, weight));
+                            }
+                            continue;
+                        }
+                        let key = std::rc::Rc::as_ptr(world);
+                        let lw = match likelihoods.iter().find(|(k, _)| *k == key) {
+                            Some(&(_, lw)) => lw,
+                            None => match observe::log_weight(observes, world) {
+                                Ok(lw) => {
+                                    likelihoods.push((key, lw));
+                                    lw
+                                }
+                                Err(e) => {
+                                    failure = Some((lo + off, e));
+                                    break;
+                                }
+                            },
+                        };
+                        if lw != f64::NEG_INFINITY {
+                            batch_obs.push(BatchObs::LogWorld(world, lw - log_shift));
+                        }
+                    }
+                    LaneObs::Budget => {
+                        // Conditioning is taken given termination:
+                        // budget-exhausted runs are dropped.
+                        if observes.is_empty() {
+                            batch_obs.push(BatchObs::Deficit(DeficitKind::Nontermination, weight));
+                        }
+                    }
+                    LaneObs::Failed(err) => {
+                        failure = Some((lo + off, EngineError::Dist(err.clone())));
+                        break;
+                    }
+                }
+            }
+            sink.observe_batch(&batch_obs);
+            if let Some(e) = failure {
+                return Err(e);
+            }
+            lo = hi;
+        }
+        Ok(())
+    };
+
+    let drive = |sink: &mut dyn WorldSink, chunk: std::ops::Range<usize>| {
+        if batched {
+            drive_batched(sink, chunk)
+        } else {
+            drive_scalar(sink, chunk)
+        }
+    };
+
     if threads <= 1 || sink.fork().is_none() {
-        return sequential(sink);
+        return drive(sink, range).map_err(|(_, e)| e);
     }
 
     // Contiguous chunks, folded worker-locally into forked sinks and
@@ -433,15 +614,9 @@ pub(crate) fn mc_stream(
                 let lo = range.start + worker * runs / threads;
                 let hi = range.start + (worker + 1) * runs / threads;
                 let mut local = sink.fork().expect("fork checked above");
-                let observe_run = &observe_run;
-                let emit = &emit;
+                let drive = &drive;
                 scope.spawn(move || -> ChunkResult {
-                    for run_ix in lo..hi {
-                        match observe_run(run_ix) {
-                            Ok(obs) => emit(&mut *local, obs),
-                            Err(e) => return Err((run_ix, e)),
-                        }
-                    }
+                    drive(&mut *local, lo..hi)?;
                     Ok(local)
                 })
             })

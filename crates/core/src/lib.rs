@@ -48,6 +48,7 @@ pub mod exact;
 pub mod fingerprint;
 pub mod kernel;
 pub mod mc;
+pub(crate) mod mc_batch;
 pub mod mcmc;
 pub mod observe;
 pub mod parallel;
@@ -61,6 +62,7 @@ pub mod tree;
 pub use applicability::{applicable_pairs, AppPair, PreparedProgram};
 pub use backend::{
     Backend, EvalJob, EvalOptions, ExactParallelBackend, ExactSequentialBackend, McBackend,
+    RunBudget,
 };
 pub use engine::{Engine, EngineError};
 pub use exact::{

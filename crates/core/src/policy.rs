@@ -32,8 +32,10 @@ pub enum PolicyKind {
     DeterministicFirst,
 }
 
-/// A chase policy: selects one applicable pair per step.
-#[derive(Debug)]
+/// A chase policy: selects one applicable pair per step. `Clone`
+/// duplicates the policy state (including any PRNG state), which the
+/// batched executor uses when a lane group forks.
+#[derive(Debug, Clone)]
 pub enum ChasePolicy {
     /// See [`PolicyKind::Canonical`].
     Canonical,

@@ -42,6 +42,7 @@ use rand::SeedableRng;
 use crate::applicability::PreparedProgram;
 use crate::backend::{
     Backend, EvalJob, EvalOptions, ExactParallelBackend, ExactSequentialBackend, McBackend,
+    RunBudget,
 };
 use crate::engine::{Engine, EngineError};
 use crate::mc::ChaseVariant;
@@ -311,6 +312,13 @@ impl EssTarget {
         self.initial_batch = runs;
         self
     }
+
+    /// The validated [`RunBudget`] of this target for a given executor
+    /// lane-batch size ([`EvalOptions::batch`]) — the shared run-count
+    /// plumbing behind the adaptive driver.
+    pub fn budget(&self, batch: usize) -> RunBudget {
+        RunBudget::adaptive(self.max_runs, self.initial_batch, batch)
+    }
 }
 
 /// Which evaluation strategy the builder selected.
@@ -521,6 +529,26 @@ impl<'a> Evaluation<'a> {
     /// ```
     pub fn threads(mut self, threads: usize) -> Evaluation<'a> {
         self.options.threads = threads;
+        self
+    }
+
+    /// Sets the Monte-Carlo lane-batch size: how many runs the batched
+    /// executor drives in lockstep, sharing the deterministic chase
+    /// prefix and the per-step kernel work (see [`EvalOptions::batch`]).
+    /// Results are **bit-identical** at any batch size; `1` disables
+    /// batching. This is a throughput knob, not a semantics knob.
+    ///
+    /// ```
+    /// use gdatalog_core::Session;
+    /// use gdatalog_lang::SemanticsMode;
+    ///
+    /// let s = Session::from_source("R(Flip<0.5>) :- true.", SemanticsMode::Grohe).unwrap();
+    /// let scalar = s.eval().sample(2000).batch(1).pdb().unwrap();
+    /// let batched = s.eval().sample(2000).batch(256).pdb().unwrap();
+    /// assert_eq!(scalar.samples(), batched.samples());
+    /// ```
+    pub fn batch(mut self, batch: usize) -> Evaluation<'a> {
+        self.options.batch = batch.max(1);
         self
     }
 
@@ -988,11 +1016,15 @@ impl<'a> Evaluation<'a> {
         let observes = self.observes()?;
         let job = self.job_with(&observes);
         let mut wrapper = NormalizingSink::log_space(MultiplexSink::new(queries.sinks()));
-        let max_runs = target.max_runs.max(1);
-        let mut batch = target.initial_batch.max(1);
+        // One validated budget carries every run-count invariant; the
+        // schedule grows in whole executor lane batches so a stopping-rule
+        // poll never lands mid-batch (the cap may still cut the last one).
+        let budget = target.budget(self.options.batch);
+        let max_runs = budget.max_runs;
+        let mut batch = budget.initial_batch;
         let mut done = 0usize;
         while done < max_runs {
-            let end = done.saturating_add(batch).min(max_runs);
+            let end = budget.round_to_batches(done.saturating_add(batch));
             match crate::backend::mc_stream(&job, &mut wrapper, done..end, true) {
                 Ok(()) => {}
                 // A deadline mid-batch is terminal: keep what the stream

@@ -208,6 +208,56 @@ pub trait ParamDist: Send + Sync {
             op: "exact support enumeration",
         })
     }
+
+    /// Draws one outcome per RNG lane under a **shared** parameter vector,
+    /// appending to `out` — the batched counterpart of
+    /// [`sample`](ParamDist::sample) used by the batched Monte-Carlo
+    /// executor. Lane `i` must consume exactly the draws that
+    /// `self.sample(params, &mut rngs[i])` would, producing the identical
+    /// outcome — bit-identity with the scalar path is the contract, so
+    /// overrides may hoist parameter validation and derived constants out
+    /// of the lane loop but must keep every per-lane floating-point
+    /// expression unchanged.
+    ///
+    /// The default is the scalar loop; members with hot kernels override
+    /// it with a validate-once tight loop the compiler can vectorize.
+    ///
+    /// # Errors
+    /// [`DistError`] on inadmissible parameters; `out` then holds the
+    /// outcomes of the lanes drawn before the failure.
+    fn sample_batch(
+        &self,
+        params: &[Value],
+        rngs: &mut [rand::rngs::StdRng],
+        out: &mut Vec<Value>,
+    ) -> Result<(), DistError> {
+        out.reserve(rngs.len());
+        for rng in rngs {
+            out.push(self.sample(params, rng)?);
+        }
+        Ok(())
+    }
+
+    /// Log-density of each outcome under a **shared** parameter vector,
+    /// appending to `out` — the batched counterpart of
+    /// [`log_density`](ParamDist::log_density). Entry `i` must equal
+    /// `self.log_density(params, &outcomes[i])` bit-for-bit.
+    ///
+    /// # Errors
+    /// [`DistError`] on inadmissible parameters or mistyped outcomes;
+    /// `out` then holds the densities computed before the failure.
+    fn log_density_batch(
+        &self,
+        params: &[Value],
+        outcomes: &[Value],
+        out: &mut Vec<f64>,
+    ) -> Result<(), DistError> {
+        out.reserve(outcomes.len());
+        for outcome in outcomes {
+            out.push(self.log_density(params, outcome)?);
+        }
+        Ok(())
+    }
 }
 
 /// A concrete distribution family Ψ: named members, looked up by the

@@ -37,7 +37,7 @@ pub use events::{ColPred, CountOp, Event, FactSet};
 pub use expectation::{expected_relation_size, fact_marginals, moments_of, query_moments, Moments};
 pub use query::{eval_query, eval_query_worlds, AggFun, Query};
 pub use streaming::{
-    scalar_aggregate, ColumnHistogram, DeficitKind, EmpiricalSink, EventProbabilitySink,
+    scalar_aggregate, BatchObs, ColumnHistogram, DeficitKind, EmpiricalSink, EventProbabilitySink,
     HistogramSink, MarginalSink, MomentsSink, MultiplexSink, NormalizingSink, QuantileSink,
     RelationMarginalsSink, WeightStats, WorldSink, WorldTableSink,
 };

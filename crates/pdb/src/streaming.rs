@@ -60,6 +60,23 @@ pub enum DeficitKind {
     Truncation,
 }
 
+/// One observation of a lane batch, borrowed from the emitting backend —
+/// the unit of [`WorldSink::observe_batch`]. Worlds are borrowed because
+/// a batched Monte-Carlo executor may share one terminated instance
+/// across the lanes of a group; weights are linear or log-space exactly
+/// as in the corresponding itemwise `observe_*` method.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchObs<'a> {
+    /// A terminated world with a linear weight
+    /// ([`WorldSink::observe_ref`]).
+    World(&'a Instance, f64),
+    /// A terminated world with a log-space weight
+    /// ([`WorldSink::observe_log_ref`]).
+    LogWorld(&'a Instance, f64),
+    /// Deficit mass ([`WorldSink::observe_deficit`]).
+    Deficit(DeficitKind, f64),
+}
+
 /// A consumer of weighted possible-world observations.
 ///
 /// Implementations fold each observation into their statistic immediately;
@@ -94,9 +111,30 @@ pub trait WorldSink: Send {
         self.observe(world, log_weight.exp());
     }
 
-    /// By-reference variant of [`WorldSink::observe_log`].
+    /// By-reference variant of [`WorldSink::observe_log`]. The default
+    /// clones and forwards to [`WorldSink::observe_log`], so a sink that
+    /// overrides only the owned log method still sees log-space weights
+    /// when observations arrive by reference (the batched Monte-Carlo
+    /// path delivers conditioned worlds this way); statistic sinks
+    /// override it to skip the clone.
     fn observe_log_ref(&mut self, world: &Instance, log_weight: f64) {
-        self.observe_ref(world, log_weight.exp());
+        self.observe_log(world.clone(), log_weight);
+    }
+
+    /// Folds one lane batch of observations in order. The default is the
+    /// itemwise loop — behaviorally identical to calling the matching
+    /// `observe_*` method per entry, which every override must preserve
+    /// bit-for-bit (the batched Monte-Carlo path relies on it). Hot
+    /// statistic sinks override this so an N-lane batch costs one virtual
+    /// dispatch and a monomorphic fold loop instead of N dispatches.
+    fn observe_batch(&mut self, batch: &[BatchObs<'_>]) {
+        for obs in batch {
+            match *obs {
+                BatchObs::World(world, weight) => self.observe_ref(world, weight),
+                BatchObs::LogWorld(world, lw) => self.observe_log_ref(world, lw),
+                BatchObs::Deficit(kind, weight) => self.observe_deficit(kind, weight),
+            }
+        }
     }
 
     /// Folds weighted deficit mass (non-termination or truncation).
@@ -538,6 +576,20 @@ impl WorldSink for MultiplexSink {
         }
     }
 
+    fn observe_log_ref(&mut self, world: &Instance, log_weight: f64) {
+        for sink in &mut self.sinks {
+            sink.observe_log_ref(world, log_weight);
+        }
+    }
+
+    fn observe_batch(&mut self, batch: &[BatchObs<'_>]) {
+        // Whole-batch fan-out: each inner sink folds the batch with its
+        // own (possibly monomorphic) batch loop.
+        for sink in &mut self.sinks {
+            sink.observe_batch(batch);
+        }
+    }
+
     fn observe_deficit(&mut self, kind: DeficitKind, weight: f64) {
         for sink in &mut self.sinks {
             sink.observe_deficit(kind, weight);
@@ -731,6 +783,25 @@ impl WorldSink for MarginalSink {
         }
     }
 
+    fn observe_log_ref(&mut self, world: &Instance, log_weight: f64) {
+        self.observe_ref(world, log_weight.exp());
+    }
+
+    fn observe_batch(&mut self, batch: &[BatchObs<'_>]) {
+        // Monomorphic batch fold: one probe per lane, no per-world
+        // dispatch, no allocation.
+        for obs in batch {
+            let (world, weight) = match *obs {
+                BatchObs::World(world, weight) => (world, weight),
+                BatchObs::LogWorld(world, lw) => (world, lw.exp()),
+                BatchObs::Deficit(..) => continue,
+            };
+            if world.contains(self.fact.rel, &self.fact.tuple) {
+                self.mass += weight;
+            }
+        }
+    }
+
     fn observe_deficit(&mut self, _kind: DeficitKind, _weight: f64) {}
 
     fn rescale(&mut self, factor: f64) {
@@ -780,6 +851,23 @@ impl WorldSink for EventProbabilitySink {
     fn observe_ref(&mut self, world: &Instance, weight: f64) {
         if self.event.eval(world) {
             self.mass += weight;
+        }
+    }
+
+    fn observe_log_ref(&mut self, world: &Instance, log_weight: f64) {
+        self.observe_ref(world, log_weight.exp());
+    }
+
+    fn observe_batch(&mut self, batch: &[BatchObs<'_>]) {
+        for obs in batch {
+            let (world, weight) = match *obs {
+                BatchObs::World(world, weight) => (world, weight),
+                BatchObs::LogWorld(world, lw) => (world, lw.exp()),
+                BatchObs::Deficit(..) => continue,
+            };
+            if self.event.eval(world) {
+                self.mass += weight;
+            }
         }
     }
 
@@ -878,17 +966,51 @@ pub fn scalar_aggregate(answers: &std::collections::BTreeSet<Tuple>, agg: AggFun
     })
 }
 
+impl MomentsSink {
+    /// The per-world scalar: aggregate of the query's answers, or the
+    /// empty default. Bare relation scans aggregate directly over the
+    /// instance's stored `BTreeSet` — the same tuples in the same sorted
+    /// fold order as `eval_query`'s clone, so the result is bit-identical
+    /// while the Monte-Carlo hot path allocates nothing per world.
+    fn world_scalar(&self, world: &Instance) -> f64 {
+        let x = match &self.query {
+            Query::Rel(rel) => scalar_aggregate(world.relation(*rel), self.agg),
+            q => scalar_aggregate(&eval_query(q, world), self.agg),
+        };
+        x.unwrap_or(self.empty_default)
+    }
+
+    fn fold(&mut self, x: f64, weight: f64) {
+        self.weight += weight;
+        self.weighted_sum += x * weight;
+        self.weighted_sq_sum += x * x * weight;
+    }
+}
+
 impl WorldSink for MomentsSink {
     fn observe(&mut self, world: Instance, weight: f64) {
         self.observe_ref(&world, weight);
     }
 
     fn observe_ref(&mut self, world: &Instance, weight: f64) {
-        let answers = eval_query(&self.query, world);
-        let x = scalar_aggregate(&answers, self.agg).unwrap_or(self.empty_default);
-        self.weight += weight;
-        self.weighted_sum += x * weight;
-        self.weighted_sq_sum += x * x * weight;
+        let x = self.world_scalar(world);
+        self.fold(x, weight);
+    }
+
+    fn observe_log_ref(&mut self, world: &Instance, log_weight: f64) {
+        self.observe_ref(world, log_weight.exp());
+    }
+
+    fn observe_batch(&mut self, batch: &[BatchObs<'_>]) {
+        for obs in batch {
+            let (world, weight) = match *obs {
+                BatchObs::World(world, weight) => (world, weight),
+                BatchObs::LogWorld(world, lw) => (world, lw.exp()),
+                BatchObs::Deficit(..) => continue,
+            };
+            let x = self.world_scalar(world);
+            self.fold(x, weight);
+        }
     }
 
     fn observe_deficit(&mut self, _kind: DeficitKind, _weight: f64) {}
@@ -1051,6 +1173,21 @@ impl WorldSink for HistogramSink {
         }
     }
 
+    fn observe_log_ref(&mut self, world: &Instance, log_weight: f64) {
+        self.observe_ref(world, log_weight.exp());
+    }
+
+    fn observe_batch(&mut self, batch: &[BatchObs<'_>]) {
+        for obs in batch {
+            let (world, weight) = match *obs {
+                BatchObs::World(world, weight) => (world, weight),
+                BatchObs::LogWorld(world, lw) => (world, lw.exp()),
+                BatchObs::Deficit(..) => continue,
+            };
+            self.observe_ref(world, weight);
+        }
+    }
+
     fn observe_deficit(&mut self, _kind: DeficitKind, _weight: f64) {}
 
     fn rescale(&mut self, factor: f64) {
@@ -1177,6 +1314,10 @@ impl WorldSink for QuantileSink {
         }
     }
 
+    fn observe_log_ref(&mut self, world: &Instance, log_weight: f64) {
+        self.observe_ref(world, log_weight.exp());
+    }
+
     fn observe_deficit(&mut self, _kind: DeficitKind, _weight: f64) {}
 
     fn rescale(&mut self, factor: f64) {
@@ -1239,6 +1380,10 @@ impl WorldSink for RelationMarginalsSink {
         for t in world.relation(self.rel) {
             *self.acc.entry(t.clone()).or_insert(0.0) += weight;
         }
+    }
+
+    fn observe_log_ref(&mut self, world: &Instance, log_weight: f64) {
+        self.observe_ref(world, log_weight.exp());
     }
 
     fn observe_deficit(&mut self, _kind: DeficitKind, _weight: f64) {}

@@ -11,7 +11,7 @@
 //!                       [--and "<kind>:<Rel>[:...]"]... [--given "observations"]
 //!                       [--exact | --mc | --mh] [--runs N] [--seed S] [--steps N]
 //!                       [--ess-target E [--max-runs N]] [--burn-in N] [--thin N]
-//!                       [--threads N] [--input facts.gdl] [--format json]
+//!                       [--threads N] [--batch N] [--input facts.gdl] [--format json]
 //! gdl batch  <requests.json> [--threads N] [--format json]
 //! gdl serve  <file.gdl> [--barany] [--addr HOST:PORT] [--workers N]
 //!                       [--max-inflight N] [--deadline-ms MS] [--max-body-bytes N]
@@ -125,6 +125,9 @@ struct Args {
     ess_target: Option<f64>,
     /// `query --max-runs`: run-count cap for `--ess-target`.
     max_runs: Option<usize>,
+    /// `--batch`: Monte-Carlo lane-batch size (bit-identical at any
+    /// value; `1` disables the batched executor).
+    batch: Option<usize>,
     /// `query --burn-in`: MH burn-in steps (with `--mh`).
     burn_in: Option<usize>,
     /// `query --thin`: MH thinning interval (with `--mh`).
@@ -181,6 +184,7 @@ fn parse_args() -> Result<Args, String> {
         and: Vec::new(),
         ess_target: None,
         max_runs: None,
+        batch: None,
         burn_in: None,
         thin: None,
         addr: "127.0.0.1:7171".to_string(),
@@ -237,6 +241,17 @@ fn parse_args() -> Result<Args, String> {
             "--ess-target" => args.ess_target = Some(num("--ess-target", take("--ess-target"))?),
             "--max-runs" => {
                 args.max_runs = Some(take("--max-runs")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--batch" => {
+                let batch: usize = take("--batch")?.parse().map_err(|e| format!("{e}"))?;
+                if batch == 0 {
+                    return Err(
+                        "--batch 0 would schedule empty lane batches; pass at least 1 \
+                         (1 disables batching)"
+                            .to_string(),
+                    );
+                }
+                args.batch = Some(batch);
             }
             "--burn-in" => {
                 args.burn_in = Some(take("--burn-in")?.parse().map_err(|e| format!("{e}"))?)
@@ -351,6 +366,9 @@ fn configure<'a>(session: &'a Session, args: &Args) -> Result<Evaluation<'a>, St
         .seed(args.seed)
         .threads(args.threads)
         .max_depth(if sampling { args.steps } else { args.depth });
+    if let Some(batch) = args.batch {
+        eval = eval.batch(batch);
+    }
     if let Some(given) = &args.given {
         eval = eval.given(given.clone());
     }
@@ -416,6 +434,7 @@ fn run_batch(args: &Args) -> Result<(), String> {
         "--mh",
         "--ess-target",
         "--max-runs",
+        "--batch",
         "--burn-in",
         "--thin",
         "--agg",
@@ -700,14 +719,16 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "sample" => {
-            let pdb = session
+            let mut eval = session
                 .eval()
                 .sample(args.runs)
                 .seed(args.seed)
                 .threads(args.threads.max(1))
-                .max_depth(args.steps)
-                .pdb()
-                .map_err(|e| e.to_string())?;
+                .max_depth(args.steps);
+            if let Some(batch) = args.batch {
+                eval = eval.batch(batch);
+            }
+            let pdb = eval.pdb().map_err(|e| e.to_string())?;
             let dist = pdb.to_distribution();
             let mut rows: Vec<(f64, String)> = dist
                 .iter()
@@ -1153,7 +1174,8 @@ fn main() -> ExitCode {
                  \x20 loadgen: gdl loadgen <requests.json> [--addr HOST:PORT]\n\
                  \x20        [--connections N] [--duration-ms MS] [--rate R] [--out report.json]\n\
                  \x20 flags: [--barany] [--runs N] [--seed S] [--steps N] [--depth N]\n\
-                 \x20        [--threads N] [--input facts.gdl] [--format json] [--exact|--mc|--mh]"
+                 \x20        [--threads N] [--batch N] [--input facts.gdl] [--format json]\n\
+                 \x20        [--exact|--mc|--mh]"
             );
             ExitCode::from(2)
         }

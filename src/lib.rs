@@ -78,7 +78,7 @@ pub mod prelude {
         Answer, Answers, Backend, ChasePolicy, ChaseVariant, Engine, EngineError, EssTarget,
         EvalJob, EvalOptions, Evaluation, EvidenceSummary, ExactConfig, ExactParallelBackend,
         ExactSequentialBackend, McBackend, McConfig, MhBackend, PolicyKind, PreparedProgram,
-        QueryIr, QuerySet, Session,
+        QueryIr, QuerySet, RunBudget, Session,
     };
     pub use gdatalog_data::{tuple, Catalog, ColType, Fact, Instance, RelId, Tuple, Value};
     pub use gdatalog_dist::{ParamDist, Registry};
