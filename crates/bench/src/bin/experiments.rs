@@ -1624,6 +1624,244 @@ fn bench_pr9() {
     report.write("BENCH_PR9.json");
 }
 
+/// bench10 — the learning subsystem (PR 10, `crates/learn`): gates the
+/// acceptance property — fit → sample → refit recovers the parameters of
+/// every closed-form family within ≈6 asymptotic standard errors, and the
+/// latent EM path lands on the exact-enumeration MLE — then times
+/// closed-form fitting throughput and the EM iteration rate, writing
+/// `BENCH_PR10.json`.
+fn bench_pr10() {
+    use gdatalog_learn::{fit_program, FitOptions};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::fmt::Write as _;
+
+    header(
+        "bench10",
+        "learning: fit → sample → refit recovery and throughput",
+    );
+
+    let registry = Registry::standard();
+    let dataset = |family: &str, params: &[Value], rel: &str, n: usize, seed: u64| -> String {
+        let d = registry.get(family).expect("standard family");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut text = String::new();
+        for k in 0..n {
+            let v = d.sample(params, &mut rng).expect("admissible parameters");
+            let _ = writeln!(text, "% run {k}\n{rel}({v}).");
+        }
+        text
+    };
+    let refit = |src: &str, data: &str| -> Vec<f64> {
+        fit_program(src, data, &FitOptions::default())
+            .expect("fit succeeds")
+            .report
+            .estimates
+            .iter()
+            .map(|e| e.value.as_f64().expect("numeric estimate"))
+            .collect()
+    };
+
+    // Gates come before any timing. Each closed-form family round-trips at
+    // n = 4000 draws with a fixed seed; tolerances mirror the integration
+    // suite (≈6 asymptotic standard errors, order-statistic slack for
+    // Uniform, normalized masses for Categorical).
+    const N: usize = 4000;
+    let nf = N as f64;
+    let se = |p: f64| 6.0 * (p * (1.0 - p) / nf).sqrt();
+    #[allow(clippy::type_complexity)]
+    let families: Vec<(&str, &str, Vec<Value>, &str, Vec<f64>, Vec<f64>, bool)> = vec![
+        (
+            "normal",
+            "Normal",
+            vec![Value::real(2.5), Value::real(4.0)],
+            "rel Obs(real). Obs(Normal<?mu, ?s2>) :- true.",
+            vec![2.5, 4.0],
+            vec![6.0 * (4.0f64 / nf).sqrt(), 6.0 * 4.0 * (2.0 / nf).sqrt()],
+            false,
+        ),
+        (
+            "lognormal",
+            "LogNormal",
+            vec![Value::real(0.4), Value::real(0.25)],
+            "rel Obs(real). Obs(LogNormal<?, ?>) :- true.",
+            vec![0.4, 0.25],
+            vec![6.0 * (0.25f64 / nf).sqrt(), 6.0 * 0.25 * (2.0 / nf).sqrt()],
+            false,
+        ),
+        (
+            "exponential",
+            "Exponential",
+            vec![Value::real(1.7)],
+            "rel Obs(real). Obs(Exponential<?>) :- true.",
+            vec![1.7],
+            vec![6.0 * 1.7 / nf.sqrt()],
+            false,
+        ),
+        (
+            "uniform",
+            "Uniform",
+            vec![Value::real(-1.0), Value::real(3.0)],
+            "rel Obs(real). Obs(Uniform<?, ?>) :- true.",
+            vec![-1.0, 3.0],
+            vec![12.0 * 4.0 / nf; 2],
+            false,
+        ),
+        (
+            "poisson",
+            "Poisson",
+            vec![Value::real(3.2)],
+            "rel Obs(int). Obs(Poisson<?>) :- true.",
+            vec![3.2],
+            vec![6.0 * (3.2f64 / nf).sqrt()],
+            false,
+        ),
+        (
+            "geometric",
+            "Geometric",
+            vec![Value::real(0.35)],
+            "rel Obs(int). Obs(Geometric<?>) :- true.",
+            vec![0.35],
+            vec![6.0 * 0.35 * (0.65f64 / nf).sqrt()],
+            false,
+        ),
+        (
+            "flip",
+            "Flip",
+            vec![Value::real(0.3)],
+            "rel Coin(int). Coin(Flip<?p>) :- true.",
+            vec![0.3],
+            vec![se(0.3)],
+            false,
+        ),
+        (
+            "binomial",
+            "Binomial",
+            vec![Value::int(10), Value::real(0.45)],
+            "rel Obs(int). Obs(Binomial<10, ?p>) :- true.",
+            vec![0.45],
+            vec![6.0 * (0.45f64 * 0.55 / (10.0 * nf)).sqrt()],
+            false,
+        ),
+        (
+            "categorical",
+            "Categorical",
+            vec![
+                Value::sym("a"),
+                Value::real(0.5),
+                Value::sym("b"),
+                Value::real(0.3),
+                Value::sym("c"),
+                Value::real(0.2),
+            ],
+            "rel Obs(symbol). Obs(Categorical<a, ?, b, ?, c, ?>) :- true.",
+            vec![0.5, 0.3, 0.2],
+            vec![se(0.5), se(0.3), se(0.2)],
+            true,
+        ),
+    ];
+
+    let mut recovered: Vec<(&str, f64)> = Vec::new();
+    for (gate, family, params, src, truth, tol, normalize) in &families {
+        let rel = if *gate == "flip" { "Coin" } else { "Obs" };
+        let data = dataset(family, params, rel, N, 10);
+        let mut est = refit(src, &data);
+        if *normalize {
+            let mass: f64 = est.iter().sum();
+            for e in &mut est {
+                *e /= mass;
+            }
+        }
+        let worst = est
+            .iter()
+            .zip(truth.iter().zip(tol))
+            .map(|(e, (t, tl))| (e - t).abs() / tl)
+            .fold(0.0f64, f64::max);
+        assert!(
+            worst <= 1.0,
+            "recovery/{gate}: estimate outside tolerance (err/tol = {worst:.2})"
+        );
+        println!("  recovery/{gate:<12} max |est−truth|/tol = {worst:.2}  ✓");
+        recovered.push((gate, worst));
+    }
+
+    // The latent EM path must land on the exact-enumeration MLE of the
+    // two-hop chain: with 7 of 10 blocks observing S(1), invert the
+    // forward map P(S=1) = 0.2 + 0.7·p.
+    let chain = "rel S(int).\nR(Flip<?p>) :- true.\nS(Flip<0.9>) :- R(1).\nS(Flip<0.2>) :- R(0).";
+    let mut em_data = String::new();
+    for (i, s) in [1, 1, 1, 0, 1, 1, 0, 1, 1, 0].iter().enumerate() {
+        let _ = writeln!(em_data, "% run {i}\nS({s}).");
+    }
+    let p_mle = (0.7 - 0.2) / 0.7;
+    let em_opts = FitOptions {
+        em_iters: 500,
+        tol: 1e-10,
+        ..FitOptions::default()
+    };
+    let em_fit = fit_program(chain, &em_data, &em_opts).expect("EM fit succeeds");
+    let p_hat = em_fit.report.estimates[0].value.as_f64().expect("real p");
+    assert!(
+        (p_hat - p_mle).abs() < 1e-3,
+        "EM p-hat {p_hat} vs exact MLE {p_mle}"
+    );
+    assert!(em_fit.report.em && em_fit.report.converged, "EM converges");
+    println!("  em/latent_chain  p-hat = {p_hat:.6} vs exact MLE {p_mle:.6}  ✓");
+
+    // Timing, now that the gates hold: end-to-end closed-form fit
+    // throughput (dataset parse + tuple matching + weighted MLE) on a
+    // 20k-fact Normal dataset, and the EM iteration rate on the chain.
+    const FIT_FACTS: usize = 20_000;
+    let big = dataset(
+        "Normal",
+        &[Value::real(2.5), Value::real(4.0)],
+        "Obs",
+        FIT_FACTS,
+        11,
+    );
+    let normal_src = "rel Obs(real). Obs(Normal<?mu, ?s2>) :- true.";
+    let fit_ns = median_ns(5, || {
+        std::hint::black_box(fit_program(normal_src, &big, &FitOptions::default()).expect("fit"));
+    });
+    let facts_per_s = FIT_FACTS as f64 / (fit_ns / 1e9);
+
+    let em_iters = em_fit.report.iterations as f64;
+    let em_ns = median_ns(5, || {
+        std::hint::black_box(fit_program(chain, &em_data, &em_opts).expect("EM fit"));
+    });
+    let em_iters_per_s = em_iters / (em_ns / 1e9);
+
+    println!(
+        "  {:<44} {:>14.0} facts/s",
+        "fit/closed_form/normal_20k", facts_per_s
+    );
+    println!(
+        "  {:<44} {:>14.0} iters/s",
+        "fit/em/latent_chain", em_iters_per_s
+    );
+
+    let mut report = Report::new(10, "learning");
+    check_trend(
+        &mut report,
+        "BENCH_PR10.json",
+        "fit/closed_form/facts_per_s",
+        facts_per_s,
+        0.5,
+    );
+    report
+        .metric("recovery/families", families.len() as f64)
+        .metric("recovery/n_draws", N as f64)
+        .metric("fit/closed_form/facts_per_s", facts_per_s.round())
+        .metric("fit/em/iterations_per_s", em_iters_per_s.round())
+        .metric("fit/em/p_hat", p_hat)
+        .gate("em_matches_exact_mle", (p_hat - p_mle).abs() < 1e-3)
+        .gate("em_converged", em_fit.report.converged);
+    for (gate, worst) in &recovered {
+        report.gate(&format!("recovery/{gate}"), *worst <= 1.0);
+    }
+    report.write("BENCH_PR10.json");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let run_all = args.is_empty();
@@ -1645,6 +1883,7 @@ fn main() {
         ("bench7", bench_pr7),
         ("bench8", bench_pr8),
         ("bench9", bench_pr9),
+        ("bench10", bench_pr10),
     ];
     let mut ran = 0;
     for (id, f) in &experiments {
@@ -1656,7 +1895,7 @@ fn main() {
     if ran == 0 {
         eprintln!(
             "unknown experiment id; available: e1..e8, bench, bench2, bench3, bench5, bench7, \
-             bench8, bench9"
+             bench8, bench9, bench10"
         );
         std::process::exit(2);
     }

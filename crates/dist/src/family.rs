@@ -1028,6 +1028,10 @@ impl ParamDist for Beta {
         let ln_beta = ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b);
         Ok((a - 1.0) * x.ln() + (b - 1.0) * (1.0 - x).ln() - ln_beta)
     }
+    fn cdf(&self, params: &[Value], x: f64) -> Result<f64, DistError> {
+        let (a, b) = self.ab(params)?;
+        Ok(crate::special::regularized_beta(a, b, x))
+    }
 }
 
 /// `LogNormal⟨μ, σ²⟩` — `exp` of a `Normal⟨μ, σ²⟩` draw (variance of the

@@ -1,0 +1,932 @@
+//! Weighted parameter estimation for the standard family.
+//!
+//! The estimators consume `(value, weight)` observations — EM
+//! responsibilities when driven by the learning subsystem, all-ones for
+//! plain maximum likelihood — through the [`WeightedStats`] /
+//! [`CatCounts`] sufficient-statistic accumulators, and produce a full
+//! parameter vector per family:
+//!
+//! * closed-form weighted MLE: `Flip`/`Bernoulli`, `Poisson`,
+//!   `Geometric`, `Exponential`, `Normal`, `LogNormal`, `Laplace`,
+//!   `Categorical`;
+//! * support bounds: `Uniform` (half-open, so the observed maximum keeps
+//!   finite density), `UniformInt`;
+//! * moment matching with a Newton refinement on the shape (digamma /
+//!   trigamma): `Gamma`, `Beta`, and the method-of-moments `Binomial`.
+//!
+//! Each estimator accepts a `fixed` mask pinning parameter slots that are
+//! **not** free (`Normal<0.0, ?>` estimates the variance around the given
+//! mean), and [`goodness_of_fit`] scores the result in `[0, 1]` —
+//! `1 − D` for the weighted Kolmogorov–Smirnov statistic on continuous
+//! families, `1 − TV` (total variation) on discrete ones.
+
+use std::collections::BTreeMap;
+
+use gdatalog_data::Value;
+
+use crate::special::{digamma, trigamma};
+use crate::{DistError, ParamDist};
+
+/// Variance floor for location-scale estimates: degenerate (constant)
+/// data would otherwise produce a zero scale the family validators
+/// reject, and EM iterations may pass through near-degenerate states.
+const SCALE_FLOOR: f64 = 1e-12;
+
+/// Errors of the estimation layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitError {
+    /// The family has no estimator (or the requested fixed/free pattern
+    /// is not estimable).
+    Unsupported {
+        /// Family name.
+        dist: String,
+        /// What is missing.
+        msg: String,
+    },
+    /// No observation carried positive weight.
+    NoData {
+        /// Family name.
+        dist: String,
+    },
+    /// An observation lies outside the family's support or domain.
+    BadObservation {
+        /// Family name.
+        dist: String,
+        /// The offending value.
+        value: Value,
+        /// Why it is inadmissible.
+        msg: String,
+    },
+    /// The data admits no valid parameter (e.g. all-zero `Exponential`
+    /// observations).
+    Degenerate {
+        /// Family name.
+        dist: String,
+        /// What degenerated.
+        msg: String,
+    },
+    /// An underlying density/CDF evaluation failed.
+    Dist(DistError),
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::Unsupported { dist, msg } => {
+                write!(f, "cannot fit `{dist}`: {msg}")
+            }
+            FitError::NoData { dist } => {
+                write!(
+                    f,
+                    "cannot fit `{dist}`: no observations with positive weight"
+                )
+            }
+            FitError::BadObservation { dist, value, msg } => {
+                write!(f, "cannot fit `{dist}`: observation {value} {msg}")
+            }
+            FitError::Degenerate { dist, msg } => {
+                write!(f, "cannot fit `{dist}`: {msg}")
+            }
+            FitError::Dist(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+impl From<DistError> for FitError {
+    fn from(e: DistError) -> FitError {
+        FitError::Dist(e)
+    }
+}
+
+/// Weighted sufficient statistics of a numeric sample: total weight, the
+/// first two weighted moments, log-moments (for `LogNormal`/`Gamma`),
+/// `ln(1−x)` moments (for `Beta`), range, and the retained `(x, w)` pairs
+/// that order statistics (weighted median, KS distance) need.
+#[derive(Debug, Clone, Default)]
+pub struct WeightedStats {
+    /// Number of accumulated observations (regardless of weight).
+    pub count: usize,
+    /// Σ w.
+    pub w: f64,
+    /// Σ w·x.
+    pub wx: f64,
+    /// Σ w·x².
+    pub wx2: f64,
+    /// Σ w·ln x (NaN when some x ≤ 0).
+    pub wlog: f64,
+    /// Σ w·(ln x)² (NaN when some x ≤ 0).
+    pub wlog2: f64,
+    /// Σ w·ln(1−x) (NaN when some x ≥ 1).
+    pub wlog1m: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Whether every observation was an integer [`Value`].
+    pub all_int: bool,
+    samples: Vec<(f64, f64)>,
+}
+
+impl WeightedStats {
+    /// An empty accumulator.
+    pub fn new() -> WeightedStats {
+        WeightedStats {
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            all_int: true,
+            ..WeightedStats::default()
+        }
+    }
+
+    /// Folds one weighted observation. Non-positive weights are ignored.
+    pub fn push(&mut self, x: f64, w: f64, is_int: bool) {
+        if w <= 0.0 || w.is_nan() {
+            return;
+        }
+        self.count += 1;
+        self.w += w;
+        self.wx += w * x;
+        self.wx2 += w * x * x;
+        self.wlog += w * x.ln();
+        self.wlog2 += w * x.ln() * x.ln();
+        self.wlog1m += w * (1.0 - x).ln();
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        self.all_int &= is_int;
+        self.samples.push((x, w));
+    }
+
+    /// Weighted mean `Σwx / Σw`.
+    pub fn mean(&self) -> f64 {
+        self.wx / self.w
+    }
+
+    /// Weighted (biased, MLE) variance `Σw(x−m)²/Σw` around `m`.
+    pub fn var_around(&self, m: f64) -> f64 {
+        (self.wx2 / self.w - 2.0 * m * self.mean() + m * m).max(0.0)
+    }
+
+    /// Weighted mean of `ln x`.
+    pub fn log_mean(&self) -> f64 {
+        self.wlog / self.w
+    }
+
+    /// Weighted variance of `ln x` around `m`.
+    pub fn log_var_around(&self, m: f64) -> f64 {
+        (self.wlog2 / self.w - 2.0 * m * self.log_mean() + m * m).max(0.0)
+    }
+
+    /// The (lower) weighted median: the smallest x with cumulative weight
+    /// ≥ half the total.
+    pub fn weighted_median(&self) -> f64 {
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let half = self.w / 2.0;
+        let mut acc = 0.0;
+        for (x, w) in &sorted {
+            acc += w;
+            if acc >= half {
+                return *x;
+            }
+        }
+        self.max
+    }
+
+    /// Weighted mean absolute deviation around `m` (the Laplace scale MLE).
+    pub fn mean_abs_dev(&self, m: f64) -> f64 {
+        self.samples
+            .iter()
+            .map(|(x, w)| w * (x - m).abs())
+            .sum::<f64>()
+            / self.w
+    }
+}
+
+/// Weighted category counts for `Categorical`: total weight per distinct
+/// outcome, keyed by the outcome's canonical text (so the integer `1` and
+/// the real `1.0` — which render identically — coincide, matching the
+/// facts-text round trip).
+#[derive(Debug, Clone, Default)]
+pub struct CatCounts {
+    /// Σ w per rendered outcome.
+    pub by_key: BTreeMap<String, f64>,
+    /// Σ w.
+    pub total: f64,
+}
+
+impl CatCounts {
+    /// Folds one weighted outcome. Non-positive weights are ignored.
+    pub fn push(&mut self, v: &Value, w: f64) {
+        if w <= 0.0 || w.is_nan() {
+            return;
+        }
+        *self.by_key.entry(v.to_string()).or_insert(0.0) += w;
+        self.total += w;
+    }
+}
+
+/// Fits the free parameters of `d` to weighted observations.
+///
+/// `fixed` has one slot per parameter: `Some(v)` pins the slot to the
+/// constant `v` (it is echoed into the result), `None` marks a free slot
+/// to estimate. The returned vector is the **full** parameter tuple, valid
+/// for [`ParamDist::sample`] / [`ParamDist::log_density`].
+///
+/// # Errors
+/// [`FitError::Unsupported`] for families without an estimator or
+/// fixed/free patterns that are not estimable; [`FitError::NoData`] /
+/// [`FitError::BadObservation`] / [`FitError::Degenerate`] on inadmissible
+/// data.
+pub fn fit_params(
+    d: &dyn ParamDist,
+    obs: &[(Value, f64)],
+    fixed: &[Option<Value>],
+) -> Result<Vec<Value>, FitError> {
+    let name = d.name().to_string();
+    // All slots pinned: nothing to estimate, echo the constants.
+    if fixed.iter().all(Option::is_some) {
+        return Ok(fixed.iter().map(|v| v.clone().expect("all some")).collect());
+    }
+    match d.name() {
+        "Flip" | "Bernoulli" => {
+            let s = numeric_stats(&name, obs, |x, _| {
+                (x == 0.0 || x == 1.0).then_some(()).ok_or("must be 0 or 1")
+            })?;
+            Ok(vec![Value::real(s.mean())])
+        }
+        "Poisson" => {
+            let s = numeric_stats(&name, obs, |x, is_int| {
+                (is_int && x >= 0.0)
+                    .then_some(())
+                    .ok_or("must be a non-negative integer")
+            })?;
+            // λ > 0 is required by the family; all-zero data pins the MLE
+            // to the boundary, so floor it.
+            Ok(vec![Value::real(s.mean().max(SCALE_FLOOR))])
+        }
+        "Geometric" => {
+            let s = numeric_stats(&name, obs, |x, is_int| {
+                (is_int && x >= 0.0)
+                    .then_some(())
+                    .ok_or("must be a non-negative integer")
+            })?;
+            // k counts failures before the first success: E[k] = (1−p)/p,
+            // so p̂ = 1 / (1 + mean).
+            Ok(vec![Value::real(1.0 / (1.0 + s.mean()))])
+        }
+        "Exponential" => {
+            let s = numeric_stats(&name, obs, |x, _| {
+                (x >= 0.0).then_some(()).ok_or("must be non-negative")
+            })?;
+            if s.mean() <= 0.0 || s.mean().is_nan() {
+                return Err(FitError::Degenerate {
+                    dist: name,
+                    msg: "all observations are zero; the rate MLE diverges".into(),
+                });
+            }
+            Ok(vec![Value::real(1.0 / s.mean())])
+        }
+        "Normal" => {
+            let s = numeric_stats(&name, obs, |_, _| Ok(()))?;
+            let mu = match &fixed[0] {
+                Some(v) => fixed_f64(&name, v)?,
+                None => s.mean(),
+            };
+            let var = match &fixed[1] {
+                Some(v) => fixed_f64(&name, v)?,
+                None => s.var_around(mu).max(SCALE_FLOOR),
+            };
+            Ok(vec![Value::real(mu), Value::real(var)])
+        }
+        "LogNormal" => {
+            let s = numeric_stats(&name, obs, |x, _| {
+                (x > 0.0).then_some(()).ok_or("must be positive")
+            })?;
+            let mu = match &fixed[0] {
+                Some(v) => fixed_f64(&name, v)?,
+                None => s.log_mean(),
+            };
+            let var = match &fixed[1] {
+                Some(v) => fixed_f64(&name, v)?,
+                None => s.log_var_around(mu).max(SCALE_FLOOR),
+            };
+            Ok(vec![Value::real(mu), Value::real(var)])
+        }
+        "Laplace" => {
+            let s = numeric_stats(&name, obs, |_, _| Ok(()))?;
+            let mu = match &fixed[0] {
+                Some(v) => fixed_f64(&name, v)?,
+                None => s.weighted_median(),
+            };
+            let b = match &fixed[1] {
+                Some(v) => fixed_f64(&name, v)?,
+                None => s.mean_abs_dev(mu).max(SCALE_FLOOR),
+            };
+            Ok(vec![Value::real(mu), Value::real(b)])
+        }
+        "Uniform" => {
+            let s = numeric_stats(&name, obs, |_, _| Ok(()))?;
+            let a = match &fixed[0] {
+                Some(v) => fixed_f64(&name, v)?,
+                None => s.min,
+            };
+            // The support is the half-open [a, b): widen past the maximum
+            // so the largest observation keeps finite density.
+            let b = match &fixed[1] {
+                Some(v) => fixed_f64(&name, v)?,
+                None => next_up(s.max.max(a)),
+            };
+            if a.partial_cmp(&b) != Some(std::cmp::Ordering::Less) {
+                return Err(FitError::Degenerate {
+                    dist: name,
+                    msg: format!("estimated interval [{a}, {b}) is empty"),
+                });
+            }
+            Ok(vec![Value::real(a), Value::real(b)])
+        }
+        "UniformInt" => {
+            let s = numeric_stats(&name, obs, |_, is_int| {
+                is_int.then_some(()).ok_or("must be an integer")
+            })?;
+            let lo = match &fixed[0] {
+                Some(v) => fixed_i64(&name, v)?,
+                None => s.min as i64,
+            };
+            let hi = match &fixed[1] {
+                Some(v) => fixed_i64(&name, v)?,
+                None => s.max as i64,
+            };
+            if lo > hi {
+                return Err(FitError::Degenerate {
+                    dist: name,
+                    msg: format!("estimated range [{lo}, {hi}] is empty"),
+                });
+            }
+            Ok(vec![Value::int(lo), Value::int(hi)])
+        }
+        "Binomial" => {
+            let s = numeric_stats(&name, obs, |x, is_int| {
+                (is_int && x >= 0.0)
+                    .then_some(())
+                    .ok_or("must be a non-negative integer")
+            })?;
+            let m = s.mean();
+            let n = match (&fixed[0], &fixed[1]) {
+                (Some(v), _) => fixed_i64(&name, v)?,
+                (None, p_fixed) => {
+                    // Method of moments: Var = np(1−p) = m(1−p), so
+                    // p ≈ 1 − Var/m and n ≈ m/p; with p pinned, n = m/p
+                    // directly. Always at least the largest observation.
+                    let p_hint = match p_fixed {
+                        Some(v) => fixed_f64(&name, v)?,
+                        None => {
+                            let var = s.var_around(m);
+                            if m > 0.0 {
+                                (1.0 - var / m).clamp(0.05, 1.0)
+                            } else {
+                                1.0
+                            }
+                        }
+                    };
+                    let guess = if p_hint > 0.0 {
+                        (m / p_hint).round() as i64
+                    } else {
+                        0
+                    };
+                    guess.max(s.max as i64).max(1)
+                }
+            };
+            if (s.max as i64) > n {
+                return Err(FitError::BadObservation {
+                    dist: name,
+                    value: Value::int(s.max as i64),
+                    msg: format!("exceeds the fixed trial count {n}"),
+                });
+            }
+            let p = match &fixed[1] {
+                Some(v) => fixed_f64(&name, v)?,
+                None => (m / n as f64).clamp(0.0, 1.0),
+            };
+            Ok(vec![Value::int(n), Value::real(p)])
+        }
+        "Gamma" => {
+            let s = numeric_stats(&name, obs, |x, _| {
+                (x > 0.0).then_some(()).ok_or("must be positive")
+            })?;
+            let m = s.mean();
+            let (k, theta) = match (&fixed[0], &fixed[1]) {
+                (Some(kv), None) => {
+                    let k = fixed_f64(&name, kv)?;
+                    (k, m / k)
+                }
+                (None, Some(tv)) => {
+                    // Solve ψ(k) = E[ln x] − ln θ by Newton.
+                    let theta = fixed_f64(&name, tv)?;
+                    let c = s.log_mean() - theta.ln();
+                    let mut k = (m / theta).max(1e-3);
+                    for _ in 0..64 {
+                        let step = (digamma(k) - c) / trigamma(k);
+                        k = (k - step).max(k / 10.0).max(1e-8);
+                        if step.abs() < 1e-12 * k.max(1.0) {
+                            break;
+                        }
+                    }
+                    (k, theta)
+                }
+                (None, None) => {
+                    // s = ln(mean) − mean(ln x) ≥ 0 (Jensen); the classic
+                    // closed-form start, then Newton on
+                    // f(k) = ln k − ψ(k) − s.
+                    let sgap = (m.ln() - s.log_mean()).max(1e-12);
+                    let mut k =
+                        (3.0 - sgap + ((sgap - 3.0).powi(2) + 24.0 * sgap).sqrt()) / (12.0 * sgap);
+                    for _ in 0..64 {
+                        let f = k.ln() - digamma(k) - sgap;
+                        let fp = 1.0 / k - trigamma(k);
+                        let step = f / fp;
+                        k = (k - step).max(k / 10.0).max(1e-8);
+                        if step.abs() < 1e-12 * k.max(1.0) {
+                            break;
+                        }
+                    }
+                    (k, m / k)
+                }
+                (Some(_), Some(_)) => unreachable!("all-fixed handled above"),
+            };
+            if !(k > 0.0 && theta > 0.0) {
+                return Err(FitError::Degenerate {
+                    dist: name,
+                    msg: format!("estimated shape {k} / scale {theta} not positive"),
+                });
+            }
+            Ok(vec![Value::real(k), Value::real(theta)])
+        }
+        "Beta" => {
+            let s = numeric_stats(&name, obs, |x, _| {
+                (0.0 < x && x < 1.0)
+                    .then_some(())
+                    .ok_or("must lie strictly in (0, 1)")
+            })?;
+            let m = s.mean();
+            let var = s.var_around(m).max(SCALE_FLOOR);
+            // Moment-matching start: α+β = m(1−m)/Var − 1.
+            let t = (m * (1.0 - m) / var - 1.0).max(1e-3);
+            let mut a = (m * t).max(1e-3);
+            let mut b = ((1.0 - m) * t).max(1e-3);
+            if let Some(v) = &fixed[0] {
+                a = fixed_f64(&name, v)?;
+            }
+            if let Some(v) = &fixed[1] {
+                b = fixed_f64(&name, v)?;
+            }
+            let lx = s.wlog / s.w;
+            let l1x = s.wlog1m / s.w;
+            // Newton refinement of the MLE score equations
+            // ψ(α) − ψ(α+β) = E[ln x], ψ(β) − ψ(α+β) = E[ln(1−x)],
+            // restricted to the free coordinates.
+            for _ in 0..64 {
+                let psi_ab = digamma(a + b);
+                let tri_ab = trigamma(a + b);
+                let g1 = digamma(a) - psi_ab - lx;
+                let g2 = digamma(b) - psi_ab - l1x;
+                let (da, db) = match (&fixed[0], &fixed[1]) {
+                    (None, None) => {
+                        // Solve the 2×2 system [h11 h12; h12 h22]·d = g.
+                        let h11 = trigamma(a) - tri_ab;
+                        let h22 = trigamma(b) - tri_ab;
+                        let h12 = -tri_ab;
+                        let det = h11 * h22 - h12 * h12;
+                        if det.abs() < 1e-300 {
+                            break;
+                        }
+                        ((g1 * h22 - g2 * h12) / det, (g2 * h11 - g1 * h12) / det)
+                    }
+                    (None, Some(_)) => ((g1) / (trigamma(a) - tri_ab), 0.0),
+                    (Some(_), None) => (0.0, (g2) / (trigamma(b) - tri_ab)),
+                    (Some(_), Some(_)) => unreachable!("all-fixed handled above"),
+                };
+                a = (a - da).max(a / 10.0).max(1e-8);
+                b = (b - db).max(b / 10.0).max(1e-8);
+                if da.abs() < 1e-10 * a.max(1.0) && db.abs() < 1e-10 * b.max(1.0) {
+                    break;
+                }
+            }
+            Ok(vec![Value::real(a), Value::real(b)])
+        }
+        "Categorical" => {
+            // Parameters are ⟨v₁, w₁, …, vₖ, wₖ⟩ pairs: every value slot
+            // must be pinned (the support is part of the model); every
+            // weight slot must be free. The estimates are the relative
+            // weight masses, which the family normalizes.
+            if !fixed.len().is_multiple_of(2) || fixed.is_empty() {
+                return Err(FitError::Unsupported {
+                    dist: name,
+                    msg: "Categorical takes value/weight pairs".into(),
+                });
+            }
+            let mut values = Vec::new();
+            for i in (0..fixed.len()).step_by(2) {
+                match (&fixed[i], &fixed[i + 1]) {
+                    (Some(v), None) => values.push(v.clone()),
+                    (None, _) => {
+                        return Err(FitError::Unsupported {
+                            dist: name,
+                            msg: "category values must be constants; only the \
+                                  weights can be free (e.g. `Categorical<a, ?, b, ?>`)"
+                                .into(),
+                        })
+                    }
+                    (Some(_), Some(_)) => {
+                        return Err(FitError::Unsupported {
+                            dist: name,
+                            msg: "mixing fixed and free weights is not estimable; \
+                                  leave every weight free"
+                                .into(),
+                        })
+                    }
+                }
+            }
+            let mut counts = CatCounts::default();
+            for (v, w) in obs {
+                counts.push(v, *w);
+            }
+            if counts.total <= 0.0 {
+                return Err(FitError::NoData { dist: name });
+            }
+            for key in counts.by_key.keys() {
+                if !values.iter().any(|v| v.to_string() == *key) {
+                    return Err(FitError::BadObservation {
+                        dist: name,
+                        value: Value::sym(key),
+                        msg: "is not among the declared category values".into(),
+                    });
+                }
+            }
+            let mut out = Vec::with_capacity(fixed.len());
+            for v in &values {
+                let mass = counts.by_key.get(&v.to_string()).copied().unwrap_or(0.0);
+                out.push(v.clone());
+                out.push(Value::real(mass / counts.total));
+            }
+            Ok(out)
+        }
+        other => Err(FitError::Unsupported {
+            dist: other.to_string(),
+            msg: "no estimator is registered for this family".into(),
+        }),
+    }
+}
+
+/// Σ w·log f(x | params): the weighted log-likelihood of the observations
+/// under the fitted parameters.
+///
+/// # Errors
+/// Underlying density errors.
+pub fn weighted_log_likelihood(
+    d: &dyn ParamDist,
+    params: &[Value],
+    obs: &[(Value, f64)],
+) -> Result<f64, FitError> {
+    let mut acc = 0.0;
+    for (v, w) in obs {
+        if *w > 0.0 {
+            acc += w * d.log_density(params, v)?;
+        }
+    }
+    Ok(acc)
+}
+
+/// A goodness-of-fit score in `[0, 1]` (higher is better): `1 − D` for
+/// the weighted Kolmogorov–Smirnov distance between the empirical CDF and
+/// the fitted CDF on continuous families, `1 − TV` (total variation
+/// between empirical and fitted pmf) on discrete ones.
+///
+/// # Errors
+/// [`FitError::NoData`] without positively-weighted observations;
+/// underlying CDF/enumeration errors.
+pub fn goodness_of_fit(
+    d: &dyn ParamDist,
+    params: &[Value],
+    obs: &[(Value, f64)],
+) -> Result<f64, FitError> {
+    let total: f64 = obs.iter().map(|(_, w)| w.max(0.0)).sum();
+    if total <= 0.0 || total.is_nan() {
+        return Err(FitError::NoData {
+            dist: d.name().to_string(),
+        });
+    }
+    if d.is_discrete() {
+        let mut emp: BTreeMap<String, f64> = BTreeMap::new();
+        for (v, w) in obs {
+            if *w > 0.0 {
+                *emp.entry(v.to_string()).or_insert(0.0) += w / total;
+            }
+        }
+        let support = d.enumerate(params, 1e-9)?;
+        let mut tv = 0.0;
+        let mut seen_mass = 0.0;
+        for (v, p) in &support.outcomes {
+            let e = emp.remove(&v.to_string()).unwrap_or(0.0);
+            tv += (e - p).abs();
+            seen_mass += p;
+        }
+        // Empirical mass on outcomes outside the tabulated support, plus
+        // fitted tail mass lost to truncation.
+        tv += emp.values().sum::<f64>() + (1.0 - seen_mass).max(0.0);
+        Ok((1.0 - 0.5 * tv).clamp(0.0, 1.0))
+    } else {
+        let mut pts: Vec<(f64, f64)> = obs
+            .iter()
+            .filter(|(_, w)| *w > 0.0)
+            .map(|(v, w)| {
+                v.as_f64()
+                    .map(|x| (x, *w))
+                    .ok_or_else(|| FitError::BadObservation {
+                        dist: d.name().to_string(),
+                        value: v.clone(),
+                        msg: "is not numeric".into(),
+                    })
+            })
+            .collect::<Result<_, _>>()?;
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut ks = 0.0f64;
+        let mut cum = 0.0;
+        for (x, w) in &pts {
+            let f = d.cdf(params, *x)?;
+            // Both sides of the empirical step at x.
+            ks = ks.max((cum / total - f).abs());
+            cum += w;
+            ks = ks.max((cum / total - f).abs());
+        }
+        Ok((1.0 - ks).clamp(0.0, 1.0))
+    }
+}
+
+/// The next representable `f64` above `x` (manual `nextafter`).
+fn next_up(x: f64) -> f64 {
+    if x.is_nan() || x == f64::INFINITY {
+        return x;
+    }
+    if x == 0.0 {
+        return f64::from_bits(1);
+    }
+    let bits = x.to_bits();
+    if x > 0.0 {
+        f64::from_bits(bits + 1)
+    } else {
+        f64::from_bits(bits - 1)
+    }
+}
+
+/// Accumulates numeric observations, checking each against the family's
+/// domain predicate (which returns a static description on violation).
+fn numeric_stats(
+    dist: &str,
+    obs: &[(Value, f64)],
+    check: impl Fn(f64, bool) -> Result<(), &'static str>,
+) -> Result<WeightedStats, FitError> {
+    let mut s = WeightedStats::new();
+    for (v, w) in obs {
+        if *w <= 0.0 || w.is_nan() {
+            continue;
+        }
+        let x = v.as_f64().ok_or_else(|| FitError::BadObservation {
+            dist: dist.to_string(),
+            value: v.clone(),
+            msg: "is not numeric".into(),
+        })?;
+        let is_int = v.as_i64().is_some();
+        check(x, is_int).map_err(|msg| FitError::BadObservation {
+            dist: dist.to_string(),
+            value: v.clone(),
+            msg: msg.to_string(),
+        })?;
+        s.push(x, *w, is_int);
+    }
+    if s.count == 0 {
+        return Err(FitError::NoData {
+            dist: dist.to_string(),
+        });
+    }
+    Ok(s)
+}
+
+fn fixed_f64(dist: &str, v: &Value) -> Result<f64, FitError> {
+    v.as_f64().ok_or_else(|| FitError::BadObservation {
+        dist: dist.to_string(),
+        value: v.clone(),
+        msg: "pins a numeric parameter but is not numeric".into(),
+    })
+}
+
+fn fixed_i64(dist: &str, v: &Value) -> Result<i64, FitError> {
+    v.as_i64().ok_or_else(|| FitError::BadObservation {
+        dist: dist.to_string(),
+        value: v.clone(),
+        msg: "pins an integer parameter but is not an integer".into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+    use gdatalog_data::Value;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn draws(dist: &str, params: &[Value], n: usize, seed: u64) -> Vec<(Value, f64)> {
+        let reg = Registry::standard();
+        let d = reg.get(dist).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (d.sample(params, &mut rng).unwrap(), 1.0))
+            .collect()
+    }
+
+    fn fit(dist: &str, obs: &[(Value, f64)], fixed: &[Option<Value>]) -> Vec<f64> {
+        let reg = Registry::standard();
+        let d = reg.get(dist).unwrap();
+        fit_params(d.as_ref(), obs, fixed)
+            .unwrap()
+            .iter()
+            .map(|v| v.as_f64().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn normal_mle_recovers_moments() {
+        let obs = draws("Normal", &[Value::real(3.0), Value::real(4.0)], 4000, 7);
+        let est = fit("Normal", &obs, &[None, None]);
+        assert!((est[0] - 3.0).abs() < 0.15, "mu = {}", est[0]);
+        assert!((est[1] - 4.0).abs() < 0.5, "var = {}", est[1]);
+        // Fixed mean: only the variance is estimated, around the pin.
+        let est = fit("Normal", &obs, &[Some(Value::real(0.0)), None]);
+        assert_eq!(est[0], 0.0);
+        assert!(
+            est[1] > 4.0,
+            "variance around 0 must exceed the central one"
+        );
+    }
+
+    #[test]
+    fn closed_form_families_recover() {
+        let obs = draws("Flip", &[Value::real(0.3)], 4000, 1);
+        assert!((fit("Flip", &obs, &[None])[0] - 0.3).abs() < 0.03);
+        let obs = draws("Poisson", &[Value::real(4.5)], 4000, 2);
+        assert!((fit("Poisson", &obs, &[None])[0] - 4.5).abs() < 0.15);
+        let obs = draws("Geometric", &[Value::real(0.25)], 4000, 3);
+        assert!((fit("Geometric", &obs, &[None])[0] - 0.25).abs() < 0.02);
+        let obs = draws("Exponential", &[Value::real(2.0)], 4000, 4);
+        assert!((fit("Exponential", &obs, &[None])[0] - 2.0).abs() < 0.15);
+        let obs = draws("LogNormal", &[Value::real(0.5), Value::real(0.25)], 4000, 5);
+        let est = fit("LogNormal", &obs, &[None, None]);
+        assert!((est[0] - 0.5).abs() < 0.05 && (est[1] - 0.25).abs() < 0.05);
+        let obs = draws("Laplace", &[Value::real(-1.0), Value::real(2.0)], 4000, 6);
+        let est = fit("Laplace", &obs, &[None, None]);
+        assert!((est[0] + 1.0).abs() < 0.2 && (est[1] - 2.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn support_families_bracket_the_data() {
+        let obs = draws("Uniform", &[Value::real(2.0), Value::real(5.0)], 2000, 8);
+        let est = fit("Uniform", &obs, &[None, None]);
+        assert!(est[0] >= 2.0 && est[0] < 2.05, "a = {}", est[0]);
+        assert!(est[1] <= 5.0 && est[1] > 4.95, "b = {}", est[1]);
+        // Every observation (including the max) has finite density.
+        let reg = Registry::standard();
+        let d = reg.get("Uniform").unwrap();
+        let params = [Value::real(est[0]), Value::real(est[1])];
+        for (v, _) in &obs {
+            assert!(d.log_density(&params, v).unwrap().is_finite());
+        }
+        let obs = draws("UniformInt", &[Value::int(-2), Value::int(7)], 2000, 9);
+        let est = fit("UniformInt", &obs, &[None, None]);
+        assert_eq!(est, vec![-2.0, 7.0]);
+    }
+
+    #[test]
+    fn newton_families_recover() {
+        let obs = draws("Gamma", &[Value::real(3.0), Value::real(2.0)], 6000, 10);
+        let est = fit("Gamma", &obs, &[None, None]);
+        assert!((est[0] - 3.0).abs() < 0.3, "shape = {}", est[0]);
+        assert!((est[1] - 2.0).abs() < 0.3, "scale = {}", est[1]);
+        // Fixed scale → 1-d Newton on the shape.
+        let est = fit("Gamma", &obs, &[None, Some(Value::real(2.0))]);
+        assert!((est[0] - 3.0).abs() < 0.2, "shape = {}", est[0]);
+        let obs = draws("Beta", &[Value::real(2.0), Value::real(5.0)], 6000, 11);
+        let est = fit("Beta", &obs, &[None, None]);
+        assert!((est[0] - 2.0).abs() < 0.3, "alpha = {}", est[0]);
+        assert!((est[1] - 5.0).abs() < 0.7, "beta = {}", est[1]);
+        let obs = draws("Binomial", &[Value::int(12), Value::real(0.3)], 6000, 12);
+        let est = fit("Binomial", &obs, &[Some(Value::int(12)), None]);
+        assert!((est[1] - 0.3).abs() < 0.02, "p = {}", est[1]);
+        let est = fit("Binomial", &obs, &[None, None]);
+        assert!((est[0] - 12.0).abs() <= 3.0, "n = {}", est[0]);
+        assert!(
+            (est[0] * est[1] - 3.6).abs() < 0.2,
+            "np = {}",
+            est[0] * est[1]
+        );
+    }
+
+    #[test]
+    fn categorical_frequencies() {
+        let params = [
+            Value::sym("a"),
+            Value::real(0.6),
+            Value::sym("b"),
+            Value::real(0.3),
+            Value::sym("c"),
+            Value::real(0.1),
+        ];
+        let obs = draws("Categorical", &params, 5000, 13);
+        let reg = Registry::standard();
+        let d = reg.get("Categorical").unwrap();
+        let fixed = vec![
+            Some(Value::sym("a")),
+            None,
+            Some(Value::sym("b")),
+            None,
+            Some(Value::sym("c")),
+            None,
+        ];
+        let est = fit_params(d.as_ref(), &obs, &fixed).unwrap();
+        assert_eq!(est[0], Value::sym("a"));
+        assert!((est[1].as_f64().unwrap() - 0.6).abs() < 0.03);
+        assert!((est[3].as_f64().unwrap() - 0.3).abs() < 0.03);
+        assert!((est[5].as_f64().unwrap() - 0.1).abs() < 0.03);
+        // Value slots must be pinned.
+        assert!(matches!(
+            fit_params(d.as_ref(), &obs, &[None, None]),
+            Err(FitError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn weights_matter() {
+        // Two points with asymmetric weight: the Flip MLE is the weighted
+        // mean, not the count mean.
+        let obs = vec![(Value::int(1), 3.0), (Value::int(0), 1.0)];
+        assert!((fit("Flip", &obs, &[None])[0] - 0.75).abs() < 1e-12);
+        // Zero and negative weights are ignored.
+        let obs = vec![
+            (Value::int(1), 1.0),
+            (Value::int(0), 0.0),
+            (Value::int(0), -2.0),
+        ];
+        assert!((fit("Flip", &obs, &[None])[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gof_separates_good_from_bad_fits() {
+        let reg = Registry::standard();
+        let d = reg.get("Normal").unwrap();
+        let obs = draws("Normal", &[Value::real(0.0), Value::real(1.0)], 2000, 14);
+        let good =
+            goodness_of_fit(d.as_ref(), &[Value::real(0.0), Value::real(1.0)], &obs).unwrap();
+        let bad = goodness_of_fit(d.as_ref(), &[Value::real(3.0), Value::real(0.1)], &obs).unwrap();
+        assert!(good > 0.95, "good = {good}");
+        assert!(bad < 0.2, "bad = {bad}");
+        // Discrete path: total-variation score.
+        let d = reg.get("Poisson").unwrap();
+        let obs = draws("Poisson", &[Value::real(3.0)], 2000, 15);
+        let good = goodness_of_fit(d.as_ref(), &[Value::real(3.0)], &obs).unwrap();
+        let bad = goodness_of_fit(d.as_ref(), &[Value::real(9.0)], &obs).unwrap();
+        assert!(good > 0.9, "good = {good}");
+        assert!(bad < 0.35, "bad = {bad}");
+    }
+
+    #[test]
+    fn error_paths_are_actionable() {
+        let reg = Registry::standard();
+        let d = reg.get("Exponential").unwrap();
+        // Negative observation.
+        let err = fit_params(d.as_ref(), &[(Value::real(-1.0), 1.0)], &[None]).unwrap_err();
+        assert!(err.to_string().contains("must be non-negative"), "{err}");
+        // No data.
+        let err = fit_params(d.as_ref(), &[], &[None]).unwrap_err();
+        assert!(matches!(err, FitError::NoData { .. }));
+        // All-zero exponential data.
+        let err = fit_params(d.as_ref(), &[(Value::real(0.0), 1.0)], &[None]).unwrap_err();
+        assert!(matches!(err, FitError::Degenerate { .. }));
+        // Non-integer Poisson observation.
+        let d = reg.get("Poisson").unwrap();
+        let err = fit_params(d.as_ref(), &[(Value::real(1.5), 1.0)], &[None]).unwrap_err();
+        assert!(err.to_string().contains("non-negative integer"), "{err}");
+    }
+
+    #[test]
+    fn log_likelihood_is_maximized_near_the_mle() {
+        let reg = Registry::standard();
+        let d = reg.get("Normal").unwrap();
+        let obs = draws("Normal", &[Value::real(1.0), Value::real(2.0)], 1000, 16);
+        let est = fit_params(d.as_ref(), &obs, &[None, None]).unwrap();
+        let at_mle = weighted_log_likelihood(d.as_ref(), &est, &obs).unwrap();
+        let off = weighted_log_likelihood(d.as_ref(), &[Value::real(2.0), Value::real(2.0)], &obs)
+            .unwrap();
+        assert!(at_mle > off);
+    }
+}

@@ -19,7 +19,11 @@
 //!   continuous ones the title is about (Uniform, Normal, Exponential,
 //!   Gamma, Beta, LogNormal, Laplace).
 //! * [`special`] — the special functions (`ln Γ`, erf, the standard
-//!   normal CDF) the densities are built from.
+//!   normal CDF, digamma/trigamma, the regularized incomplete beta) the
+//!   densities and estimators are built from.
+//! * [`fit`] — weighted maximum-likelihood / moment-matching parameter
+//!   estimation per family, consumed by the learning subsystem
+//!   (`gdl fit`).
 //!
 //! Parameters arrive as [`Value`]s evaluated from rule bodies at chase
 //! time, so every member validates them at the call site and reports
@@ -35,6 +39,7 @@ use gdatalog_data::{ColType, Value};
 use rand::Rng;
 
 pub mod family;
+pub mod fit;
 pub mod special;
 
 /// Errors raised by distribution members.

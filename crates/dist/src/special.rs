@@ -59,6 +59,39 @@ pub fn ln_factorial(n: u64) -> f64 {
     }
 }
 
+/// The digamma function `ψ(x) = d/dx ln Γ(x)` (recurrence into the
+/// asymptotic region, then the standard Bernoulli-number series; ~1e-12
+/// over the positive axis). Used by the Newton solver for Gamma/Beta
+/// shape estimation.
+pub fn digamma(x: f64) -> f64 {
+    let mut x = x;
+    let mut acc = 0.0;
+    // ψ(x) = ψ(x+1) − 1/x: shift into x ≥ 10 where the series converges.
+    while x < 10.0 {
+        acc -= 1.0 / x;
+        x += 1.0;
+    }
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    acc + x.ln()
+        - 0.5 * inv
+        - inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))))
+}
+
+/// The trigamma function `ψ′(x)` (same shift + asymptotic series), the
+/// derivative the Newton updates divide by.
+pub fn trigamma(x: f64) -> f64 {
+    let mut x = x;
+    let mut acc = 0.0;
+    while x < 10.0 {
+        acc += 1.0 / (x * x);
+        x += 1.0;
+    }
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    acc + inv * (1.0 + 0.5 * inv + inv2 * (1.0 / 6.0 - inv2 * (1.0 / 30.0 - inv2 / 42.0)))
+}
+
 /// The error function (Abramowitz & Stegun 7.1.26; |ε| ≤ 1.5e-7).
 pub fn erf(x: f64) -> f64 {
     let sign = if x < 0.0 { -1.0 } else { 1.0 };
@@ -79,6 +112,79 @@ pub fn std_normal_cdf(z: f64) -> f64 {
 /// PDF of the standard normal distribution.
 pub fn std_normal_pdf(z: f64) -> f64 {
     (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// `ln B(a, b) = ln Γ(a) + ln Γ(b) − ln Γ(a+b)`.
+pub fn ln_beta(a: f64, b: f64) -> f64 {
+    ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` (Lentz continued
+/// fraction with the symmetry split at `x = (a+1)/(a+b+2)`), used by the
+/// Beta CDF and the fit goodness-of-fit score.
+pub fn regularized_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    // The exponent is symmetric under (a, x) ↔ (b, 1−x), so one front
+    // factor serves both branches of the continued-fraction split.
+    let front = (a * x.ln() + b * (1.0 - x).ln() - ln_beta(a, b)).exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Lentz continued fraction for the incomplete beta (Numerical Recipes
+/// `betacf`).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < 1e-300 {
+        d = 1e-300;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=300 {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < 1e-300 {
+            d = 1e-300;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < 1e-300 {
+            c = 1e-300;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < 1e-300 {
+            d = 1e-300;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < 1e-300 {
+            c = 1e-300;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    h
 }
 
 /// Regularized lower incomplete gamma function `P(a, x)` (series /
@@ -149,6 +255,47 @@ mod tests {
         assert!((std_normal_cdf(1.959_963_985) - 0.975).abs() < 1e-6);
         assert!((std_normal_cdf(-1.959_963_985) - 0.025).abs() < 1e-6);
         assert!(std_normal_cdf(8.0) > 1.0 - 1e-14);
+    }
+
+    #[test]
+    fn digamma_and_trigamma_reference_points() {
+        // ψ(1) = −γ (Euler–Mascheroni).
+        assert!((digamma(1.0) + 0.577_215_664_901_532_9).abs() < 1e-10);
+        // ψ(x+1) = ψ(x) + 1/x.
+        for x in [0.3, 1.7, 4.2, 11.0] {
+            assert!(
+                (digamma(x + 1.0) - digamma(x) - 1.0 / x).abs() < 1e-10,
+                "x = {x}"
+            );
+        }
+        // ψ′(1) = π²/6.
+        let pi2_6 = std::f64::consts::PI.powi(2) / 6.0;
+        assert!((trigamma(1.0) - pi2_6).abs() < 1e-10);
+        // Finite-difference cross-check of ψ′ against ψ.
+        for x in [0.8, 2.5, 9.0] {
+            let h = 1e-6;
+            let fd = (digamma(x + h) - digamma(x - h)) / (2.0 * h);
+            assert!((trigamma(x) - fd).abs() < 1e-5, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn regularized_beta_reference_points() {
+        // I_x(1, 1) = x (uniform CDF).
+        for x in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert!((regularized_beta(1.0, 1.0, x) - x).abs() < 1e-12, "x = {x}");
+        }
+        // I_x(2, 1) = x² ; I_x(1, 2) = 1 − (1−x)².
+        assert!((regularized_beta(2.0, 1.0, 0.3) - 0.09).abs() < 1e-12);
+        assert!((regularized_beta(1.0, 2.0, 0.3) - 0.51).abs() < 1e-12);
+        // Symmetry: I_x(a, b) = 1 − I_{1−x}(b, a).
+        for (a, b, x) in [(2.5, 0.7, 0.2), (4.0, 9.0, 0.6), (0.5, 0.5, 0.5)] {
+            let lhs = regularized_beta(a, b, x);
+            let rhs = 1.0 - regularized_beta(b, a, 1.0 - x);
+            assert!((lhs - rhs).abs() < 1e-12, "({a}, {b}, {x})");
+        }
+        // Beta(0.5, 0.5) median is 0.5 (arcsine law).
+        assert!((regularized_beta(0.5, 0.5, 0.5) - 0.5).abs() < 1e-10);
     }
 
     #[test]

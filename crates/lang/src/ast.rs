@@ -34,6 +34,17 @@ pub enum TermAst {
         /// Source location.
         span: Span,
     },
+    /// A free-parameter hole `?` / `?name` in a distribution parameter
+    /// position — a placeholder to be estimated from data by the learning
+    /// subsystem. Programs containing holes are rejected by ordinary
+    /// evaluation; `gdl fit` substitutes estimates and emits a runnable
+    /// program.
+    Hole {
+        /// Optional hole name (`?mu` → `Some("mu")`, bare `?` → `None`).
+        name: Option<String>,
+        /// Source location.
+        span: Span,
+    },
 }
 
 impl TermAst {
@@ -46,11 +57,22 @@ impl TermAst {
     pub fn collect_vars<'a>(&'a self, out: &mut Vec<&'a str>) {
         match self {
             TermAst::Var(v) => out.push(v),
-            TermAst::Const(_) => {}
+            TermAst::Const(_) | TermAst::Hole { .. } => {}
             TermAst::Random { params, tags, .. } => {
                 for t in params.iter().chain(tags) {
                     t.collect_vars(out);
                 }
+            }
+        }
+    }
+
+    /// Whether the term is, or contains, a free-parameter hole.
+    pub fn has_hole(&self) -> bool {
+        match self {
+            TermAst::Hole { .. } => true,
+            TermAst::Var(_) | TermAst::Const(_) => false,
+            TermAst::Random { params, tags, .. } => {
+                params.iter().chain(tags).any(TermAst::has_hole)
             }
         }
     }
@@ -189,6 +211,25 @@ impl Program {
     /// Returns the first syntax error.
     pub fn parse(src: &str) -> Result<Program, crate::LangError> {
         crate::parser::parse_program(src)
+    }
+
+    /// Whether any term of the program contains a free-parameter hole
+    /// (`?` / `?name`) — such programs can be fitted but not evaluated.
+    pub fn has_holes(&self) -> bool {
+        let rule_holes = self.rules.iter().any(|r| {
+            r.head
+                .args
+                .iter()
+                .chain(r.body.iter().flat_map(|a| &a.args))
+                .any(TermAst::has_hole)
+        });
+        rule_holes
+            || self.observes.iter().any(|o| match &o.kind {
+                crate::ast::ObserveKind::Hard { .. } => false,
+                crate::ast::ObserveKind::Soft { params, value, .. } => {
+                    params.iter().any(TermAst::has_hole) || value.has_hole()
+                }
+            })
     }
 }
 

@@ -1,0 +1,254 @@
+//! Free-parameter holes: `Dist<?, ?name>` placeholders in distribution
+//! parameter positions, to be estimated from data by the learning
+//! subsystem (`gdl fit`).
+//!
+//! A program with holes validates (the fitter needs the resolved catalog
+//! and type information) but is rejected by translation — and therefore by
+//! every ordinary evaluation path — with an error naming the relation and
+//! parameter index of the first hole.
+
+use gdatalog_data::Value;
+
+use crate::ast::{ObserveKind, Program, Span, TermAst};
+use crate::LangError;
+
+/// One free parameter of a program: the location of a `?` / `?name` hole
+/// inside a distribution term of a rule head. Collected in deterministic
+/// program order (rule index, then head column, then parameter index), so
+/// the dense [`FreeParam::id`] doubles as the index into estimate vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FreeParam {
+    /// Dense index in collection order — position in estimate vectors.
+    pub id: usize,
+    /// The hole's name (`?mu` → `Some("mu")`); anonymous holes are `None`.
+    pub name: Option<String>,
+    /// Index of the owning rule in [`Program::rules`].
+    pub rule_index: usize,
+    /// Head relation name of the owning rule.
+    pub rel: String,
+    /// Head argument position of the owning distribution term.
+    pub head_col: usize,
+    /// Distribution name of the owning term.
+    pub dist: String,
+    /// Position within the distribution's parameter list (0-based).
+    pub param_index: usize,
+    /// Source location of the hole.
+    pub span: Span,
+}
+
+impl FreeParam {
+    /// The display label: the hole's name when it has one, otherwise a
+    /// positional `Rel.Dist[param_index]` path.
+    pub fn label(&self) -> String {
+        match &self.name {
+            Some(n) => n.clone(),
+            None => format!("{}.{}[{}]", self.rel, self.dist, self.param_index),
+        }
+    }
+}
+
+/// Collects every free-parameter hole of `program` in deterministic order,
+/// enforcing the placement rules: holes may appear **only** in distribution
+/// parameter positions of rule heads (not in tags, bodies, facts, direct
+/// head arguments, or observations), and a named hole may be used at most
+/// once (each hole belongs to exactly one distribution term).
+///
+/// # Errors
+/// Returns the first misplaced or duplicated hole, with its location.
+pub fn collect_free_params(program: &Program) -> Result<Vec<FreeParam>, LangError> {
+    let mut out: Vec<FreeParam> = Vec::new();
+    for (rule_index, r) in program.rules.iter().enumerate() {
+        for a in &r.body {
+            for t in &a.args {
+                if let Some(sp) = first_hole_span(t) {
+                    return Err(LangError::at(
+                        sp,
+                        format!(
+                            "free parameter `?` is not allowed in the body of a rule \
+                             (relation `{}`); holes may only appear as distribution \
+                             parameters in rule heads",
+                            a.rel
+                        ),
+                    ));
+                }
+            }
+        }
+        for (head_col, t) in r.head.args.iter().enumerate() {
+            match t {
+                TermAst::Hole { span, .. } => {
+                    return Err(LangError::at(
+                        *span,
+                        format!(
+                            "free parameter `?` cannot stand alone in column {head_col} of \
+                             `{}`; holes may only appear as distribution parameters \
+                             (e.g. `Normal<?, ?>`)",
+                            r.head.rel
+                        ),
+                    ));
+                }
+                TermAst::Random {
+                    dist, params, tags, ..
+                } => {
+                    for tag in tags {
+                        if let Some(sp) = first_hole_span(tag) {
+                            return Err(LangError::at(
+                                sp,
+                                format!(
+                                    "free parameter `?` is not allowed in the tags of \
+                                     `{dist}` (relation `{}`); tags fix the experiment \
+                                     identity and cannot be fitted",
+                                    r.head.rel
+                                ),
+                            ));
+                        }
+                    }
+                    for (param_index, p) in params.iter().enumerate() {
+                        if let TermAst::Hole { name, span } = p {
+                            if let Some(n) = name {
+                                if let Some(prev) =
+                                    out.iter().find(|fp| fp.name.as_deref() == Some(n))
+                                {
+                                    return Err(LangError::at(
+                                        *span,
+                                        format!(
+                                            "free parameter `?{n}` is used twice (first in \
+                                             `{}` parameter {} of `{}`); each hole belongs \
+                                             to exactly one distribution term",
+                                            prev.dist, prev.param_index, prev.rel
+                                        ),
+                                    ));
+                                }
+                            }
+                            out.push(FreeParam {
+                                id: out.len(),
+                                name: name.clone(),
+                                rule_index,
+                                rel: r.head.rel.clone(),
+                                head_col,
+                                dist: dist.clone(),
+                                param_index,
+                                span: *span,
+                            });
+                        }
+                    }
+                }
+                TermAst::Var(_) | TermAst::Const(_) => {}
+            }
+        }
+    }
+    for o in &program.observes {
+        if let ObserveKind::Soft { params, value, .. } = &o.kind {
+            for t in params.iter().chain(std::iter::once(value)) {
+                if let Some(sp) = first_hole_span(t) {
+                    return Err(LangError::at(
+                        sp,
+                        "free parameter `?` is not allowed in observations; holes may \
+                         only appear as distribution parameters in rule heads",
+                    ));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Substitutes constants for every hole of `program`, in the same
+/// deterministic order [`collect_free_params`] reports them — `values[i]`
+/// fills the hole with [`FreeParam::id`] `i`. The result contains no holes
+/// and is evaluable.
+///
+/// # Errors
+/// When `values.len()` differs from the program's hole count.
+pub fn substitute_free_params(program: &Program, values: &[Value]) -> Result<Program, LangError> {
+    let holes = collect_free_params(program)?;
+    if holes.len() != values.len() {
+        return Err(LangError::msg(format!(
+            "program has {} free parameter(s) but {} value(s) were supplied",
+            holes.len(),
+            values.len()
+        )));
+    }
+    let mut next = 0usize;
+    let mut out = program.clone();
+    for r in &mut out.rules {
+        for t in &mut r.head.args {
+            if let TermAst::Random { params, .. } = t {
+                for p in params.iter_mut() {
+                    if matches!(p, TermAst::Hole { .. }) {
+                        *p = TermAst::Const(values[next].clone());
+                        next += 1;
+                    }
+                }
+            }
+        }
+    }
+    debug_assert_eq!(next, values.len());
+    Ok(out)
+}
+
+fn first_hole_span(t: &TermAst) -> Option<Span> {
+    match t {
+        TermAst::Hole { span, .. } => Some(*span),
+        TermAst::Var(_) | TermAst::Const(_) => None,
+        TermAst::Random { params, tags, .. } => params.iter().chain(tags).find_map(first_hole_span),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn collects_in_program_order() {
+        let p = parse_program(
+            "H(P, Normal<?mu, ?sigma2>) :- Person(P).\n\
+             W(Exponential<?>) :- true.",
+        )
+        .unwrap();
+        let fps = collect_free_params(&p).unwrap();
+        assert_eq!(fps.len(), 3);
+        assert_eq!(fps[0].name.as_deref(), Some("mu"));
+        assert_eq!(fps[0].rel, "H");
+        assert_eq!(fps[0].head_col, 1);
+        assert_eq!(fps[0].param_index, 0);
+        assert_eq!(fps[1].label(), "sigma2");
+        assert_eq!(fps[2].name, None);
+        assert_eq!(fps[2].dist, "Exponential");
+        assert_eq!(fps[2].label(), "W.Exponential[0]");
+        assert_eq!(fps.iter().map(|f| f.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rejects_misplaced_holes() {
+        // Stand-alone head argument.
+        let p = parse_program("H(?) :- Q(X).").unwrap();
+        let err = collect_free_params(&p).unwrap_err();
+        assert!(err.message.contains("cannot stand alone"), "{err}");
+        // In a tag.
+        let p = parse_program("H(Flip<0.5 | ?>) :- true.").unwrap();
+        let err = collect_free_params(&p).unwrap_err();
+        assert!(err.message.contains("tags"), "{err}");
+        // In an observation.
+        let p = parse_program("@observe Normal<?, 1.0> == 2.5.").unwrap();
+        let err = collect_free_params(&p).unwrap_err();
+        assert!(err.message.contains("observations"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_named_holes() {
+        let p = parse_program("H(Normal<?m, 1.0>) :- true. G(Normal<?m, 1.0>) :- true.").unwrap();
+        let err = collect_free_params(&p).unwrap_err();
+        assert!(err.message.contains("used twice"), "{err}");
+    }
+
+    #[test]
+    fn substitution_round_trips() {
+        let p = parse_program("H(Normal<?mu, ?s2>) :- Obs(H).").unwrap();
+        let filled = substitute_free_params(&p, &[Value::real(1.5), Value::real(0.25)]).unwrap();
+        assert!(!filled.has_holes());
+        assert_eq!(filled.to_string(), "H(Normal<1.5, 0.25>) :- Obs(H).\n");
+        // Arity mismatch is rejected.
+        assert!(substitute_free_params(&p, &[Value::real(1.5)]).is_err());
+    }
+}

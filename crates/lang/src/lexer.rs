@@ -38,6 +38,9 @@ pub enum Tok {
     At,
     /// `==` (the likelihood operator of soft observations).
     EqEq,
+    /// `?` or `?name` — a free-parameter hole in a distribution term,
+    /// to be estimated from data by `gdl fit`.
+    Hole(Option<String>),
     /// End of input.
     Eof,
 }
@@ -250,6 +253,25 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
             toks.push(Token { tok, span: sp });
             continue;
         }
+        // Free-parameter holes: `?` or `?name` (the name must follow the
+        // `?` immediately, with no whitespace).
+        if c == '?' {
+            i += 1;
+            col += 1;
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            let name = (i > start).then(|| src[start..i].to_string());
+            col += (i - start) as u32;
+            toks.push(Token {
+                tok: Tok::Hole(name),
+                span: sp,
+            });
+            continue;
+        }
         // Identifiers.
         if c.is_ascii_alphabetic() || c == '_' {
             let start = i;
@@ -368,6 +390,28 @@ mod tests {
         assert_eq!(ts[0], Tok::At);
         assert_eq!(ts[1], Tok::LowerIdent("observe".into()));
         assert!(ts.contains(&Tok::EqEq));
+    }
+
+    #[test]
+    fn lexes_holes() {
+        assert_eq!(
+            kinds("Normal<?, ?sigma>"),
+            vec![
+                Tok::UpperIdent("Normal".into()),
+                Tok::Lt,
+                Tok::Hole(None),
+                Tok::Comma,
+                Tok::Hole(Some("sigma".into())),
+                Tok::Gt,
+                Tok::Eof
+            ]
+        );
+        // The name must be attached: `? mu` is an anonymous hole then an
+        // identifier, not a named hole.
+        assert_eq!(
+            kinds("? mu"),
+            vec![Tok::Hole(None), Tok::LowerIdent("mu".into()), Tok::Eof]
+        );
     }
 
     #[test]

@@ -25,9 +25,13 @@
 //!   experiments keyed per distribution name × parameters × tags).
 //! * [`simulate`] — the §6.2 program rewritings that let each semantics
 //!   simulate the other.
+//! * [`holes`] — free-parameter holes `Dist<?, ?name>`: placeholders in
+//!   distribution parameter positions, estimated from data by the learning
+//!   subsystem (`gdl fit`).
 
 pub mod acyclicity;
 pub mod ast;
+pub mod holes;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
@@ -39,6 +43,7 @@ pub use acyclicity::{weak_acyclicity, AcyclicityReport};
 pub use ast::{
     AtomAst, GroundFactAst, ObserveAst, ObserveKind, Program, RelDeclAst, RuleAst, Span, TermAst,
 };
+pub use holes::{collect_free_params, substitute_free_params, FreeParam};
 pub use parser::{parse_facts, parse_observations, parse_program};
 pub use simulate::{simulate_barany_in_grohe, simulate_grohe_in_barany, BSIM_PREFIX};
 pub use translate::{

@@ -12,9 +12,10 @@
 //! body      := "true" | atom ("," atom)*
 //! fact      := RelName "(" const ("," const)* ")" "."
 //! atom      := RelName "(" [term ("," term)*] ")"
-//! term      := Var | const | random
+//! term      := Var | const | random | hole
 //! random    := DistName "<" term ("," term)* ["|" term ("," term)*] ">"
 //! const     := Int | Real | String | lowerIdent | "true" | "false"
+//! hole      := "?" [name]
 //! ```
 //!
 //! Identifier conventions: variables start with an uppercase letter or `_`;
@@ -97,6 +98,10 @@ impl Parser {
     fn parse_term(&mut self) -> Result<TermAst, LangError> {
         let sp = self.span();
         match self.peek().clone() {
+            Tok::Hole(name) => {
+                self.bump();
+                Ok(TermAst::Hole { name, span: sp })
+            }
             Tok::UpperIdent(name) => {
                 // Variable, or a random term if followed by `<`.
                 if *self.peek2() == Tok::Lt {
@@ -717,6 +722,32 @@ mod tests {
         assert!(parse_program("@observe Flip<0.5>.").is_err());
         // `@` without `observe`.
         assert!(parse_program("@foo Alarm(h1).").is_err());
+    }
+
+    #[test]
+    fn parses_free_parameter_holes() {
+        let p = parse_program("H(Normal<?mu, ?>) :- true.").unwrap();
+        match &p.rules[0].head.args[0] {
+            TermAst::Random { params, .. } => {
+                assert_eq!(
+                    params[0],
+                    TermAst::Hole {
+                        name: Some("mu".into()),
+                        span: Span {
+                            line: 1,
+                            col: 10,
+                            offset: 9
+                        }
+                    }
+                );
+                assert!(matches!(params[1], TermAst::Hole { name: None, .. }));
+            }
+            other => panic!("expected random term, got {other:?}"),
+        }
+        assert!(p.has_holes());
+        assert!(!parse_program("H(Normal<0.0, 1.0>) :- true.")
+            .unwrap()
+            .has_holes());
     }
 
     #[test]

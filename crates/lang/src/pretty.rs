@@ -13,6 +13,8 @@ impl fmt::Display for TermAst {
         match self {
             TermAst::Var(v) => write!(f, "{v}"),
             TermAst::Const(c) => write!(f, "{c}"),
+            TermAst::Hole { name: Some(n), .. } => write!(f, "?{n}"),
+            TermAst::Hole { name: None, .. } => write!(f, "?"),
             TermAst::Random {
                 dist, params, tags, ..
             } => {
@@ -186,6 +188,15 @@ mod tests {
         // Spans differ between the two parses; compare the rendered text,
         // which is span-insensitive and a complete invariant of the AST.
         assert_eq!(rendered, p2.to_string(), "pretty-print must be stable");
+    }
+
+    #[test]
+    fn round_trip_holes() {
+        let src = "H(Normal<?mu, ?>) :- Obs(H).\n";
+        let p1 = parse_program(src).unwrap();
+        assert_eq!(p1.to_string(), src);
+        let p2 = parse_program(&p1.to_string()).unwrap();
+        assert_eq!(p1.to_string(), p2.to_string());
     }
 
     #[test]

@@ -306,6 +306,14 @@ fn lower_term(
             span,
             "random term in a deterministic position",
         )),
+        TermAst::Hole { name, span: hsp } => Err(LangError::at(
+            *hsp,
+            format!(
+                "free parameter `?{}` cannot be evaluated; estimate it from data \
+                 with `gdl fit` first",
+                name.as_deref().unwrap_or("")
+            ),
+        )),
     }
 }
 
@@ -445,6 +453,28 @@ pub fn translate(
     validated: &ValidatedProgram,
     mode: SemanticsMode,
 ) -> Result<CompiledProgram, LangError> {
+    // A program with free-parameter holes has no semantics to evaluate.
+    // Reject it here — before any chase machinery — with an error that
+    // names the relation and parameter position of the first hole, so
+    // `gdl query`/`gdl serve` report *what* is missing and *where*.
+    if let Some(fp) = validated.free_params.first() {
+        let more = match validated.free_params.len() {
+            1 => String::new(),
+            n => format!(" (and {} more)", n - 1),
+        };
+        return Err(LangError::at(
+            fp.span,
+            format!(
+                "program has free parameter `?{}` at parameter {} of `{}` in the \
+                 head of `{}`{more}; estimate it from data with \
+                 `gdl fit <program> <data>` before evaluating",
+                fp.name.as_deref().unwrap_or(""),
+                fp.param_index,
+                fp.dist,
+                fp.rel,
+            ),
+        ));
+    }
     let acyclicity = weak_acyclicity(validated);
     let mut catalog = validated.catalog.clone();
     let registry = validated.registry.clone();
@@ -739,6 +769,22 @@ mod tests {
     fn compile(src: &str, mode: SemanticsMode) -> CompiledProgram {
         let v = validate(parse_program(src).unwrap(), Arc::new(Registry::standard())).unwrap();
         translate(&v, mode).unwrap()
+    }
+
+    #[test]
+    fn holed_programs_rejected_with_location() {
+        let v = validate(
+            parse_program("H(Normal<?mu, ?>) :- Obs(X).").unwrap(),
+            Arc::new(Registry::standard()),
+        )
+        .unwrap();
+        let err = translate(&v, SemanticsMode::Grohe).unwrap_err();
+        assert!(err.message.contains("free parameter `?mu`"), "{err}");
+        assert!(err.message.contains("parameter 0 of `Normal`"), "{err}");
+        assert!(err.message.contains("head of `H`"), "{err}");
+        assert!(err.message.contains("and 1 more"), "{err}");
+        assert!(err.message.contains("gdl fit"), "{err}");
+        assert!(err.span.is_some());
     }
 
     #[test]

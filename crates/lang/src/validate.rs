@@ -11,6 +11,7 @@ use gdatalog_data::{Catalog, ColType, Instance, RelationKind, Tuple};
 use gdatalog_dist::Registry;
 
 use crate::ast::{AtomAst, ObserveAst, ObserveKind, Program, TermAst};
+use crate::holes::{collect_free_params, FreeParam};
 use crate::LangError;
 
 /// A validated program: the AST plus the resolved catalog (extensional and
@@ -27,6 +28,10 @@ pub struct ValidatedProgram {
     pub registry: Arc<Registry>,
     /// Ground facts from the program text, as an instance.
     pub initial_instance: Instance,
+    /// Free-parameter holes (`Dist<?, ?name>`), in deterministic program
+    /// order. Non-empty programs validate (the fitter needs the catalog)
+    /// but are rejected by translation and ordinary evaluation.
+    pub free_params: Vec<FreeParam>,
 }
 
 #[derive(Default, Clone)]
@@ -51,6 +56,11 @@ fn type_compat(flow: ColType, declared: ColType) -> bool {
 /// # Errors
 /// Returns the first violation found, with a source location when possible.
 pub fn validate(program: Program, registry: Arc<Registry>) -> Result<ValidatedProgram, LangError> {
+    // Free-parameter holes: enforce placement (distribution parameters of
+    // rule heads only) and named-hole uniqueness up front; keep the
+    // collected locations for the learning subsystem.
+    let free_params = collect_free_params(&program)?;
+
     let mut rels: HashMap<String, RelInfo> = HashMap::new();
 
     let touch = |name: &str,
@@ -244,6 +254,9 @@ pub fn validate(program: Program, registry: Arc<Registry>) -> Result<ValidatedPr
                     TermAst::Const(c) => Some(c.type_of()),
                     TermAst::Var(v) => var_ty.get(v.as_str()).copied(),
                     TermAst::Random { dist, .. } => registry.get(dist).map(|d| d.output_type()),
+                    // A stand-alone hole is rejected by the placement check
+                    // above; nothing flows from it.
+                    TermAst::Hole { .. } => None,
                 };
                 if let Some(ty) = ty {
                     let info = rels.get_mut(&head_rel).expect("touched");
@@ -315,6 +328,7 @@ pub fn validate(program: Program, registry: Arc<Registry>) -> Result<ValidatedPr
         catalog,
         registry,
         initial_instance,
+        free_params,
     })
 }
 
@@ -550,6 +564,25 @@ mod tests {
         // Unbound observation variable.
         let err = check("rel Mu(real) input. @observe Normal<M, 1.0> == X :- Mu(M).").unwrap_err();
         assert!(err.message.contains("`X`"), "{err}");
+    }
+
+    #[test]
+    fn holed_programs_validate_with_free_params() {
+        let v = check("rel Obs(real) input. H(Normal<?mu, ?s2>) :- Obs(X).").unwrap();
+        assert_eq!(v.free_params.len(), 2);
+        assert_eq!(v.free_params[0].label(), "mu");
+        // The hole contributes no type information, but the distribution's
+        // output type still flows into the head column.
+        let h = v.catalog.require("H").unwrap();
+        assert_eq!(v.catalog.decl(h).cols()[0], ColType::Real);
+        // Misplaced holes fail validation.
+        let err = check("H(?) :- Q(X).").unwrap_err();
+        assert!(err.message.contains("cannot stand alone"), "{err}");
+        // Hole-free programs report no free parameters.
+        assert!(check("R(Flip<0.5>) :- true.")
+            .unwrap()
+            .free_params
+            .is_empty());
     }
 
     #[test]

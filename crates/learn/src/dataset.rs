@@ -1,0 +1,148 @@
+//! The facts-text dataset format.
+//!
+//! A dataset is ordinary ground-fact text (`Rel(v1, v2).` lines, `%`/`//`
+//! comments), optionally split into **blocks** by comment lines of the
+//! form `% run k`. Each block is one independent draw of the program's
+//! world distribution — exactly what `gdl sample --format facts` dumps —
+//! and block boundaries matter: the fitter conditions on (and counts) each
+//! block separately. A dataset without separators is a single block.
+
+use gdatalog_data::{Catalog, Instance};
+use gdatalog_lang::parse_facts;
+
+use crate::LearnError;
+
+/// A parsed dataset: one [`Instance`] per block, plus the total fact
+/// count.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// One instance per `% run` block, in file order. Never empty.
+    pub blocks: Vec<Instance>,
+    /// Total number of facts across all blocks.
+    pub n_facts: usize,
+}
+
+impl Dataset {
+    /// Parses dataset text against a program's catalog.
+    ///
+    /// # Errors
+    /// [`LearnError::Dataset`] on parse errors, unknown relations, or
+    /// arity/type mismatches — and on datasets with no facts at all.
+    pub fn parse(text: &str, catalog: &Catalog) -> Result<Dataset, LearnError> {
+        let mut blocks = Vec::new();
+        let mut n_facts = 0;
+        for chunk in split_blocks(text) {
+            let inst =
+                parse_facts(&chunk, catalog).map_err(|e| LearnError::Dataset(e.to_string()))?;
+            n_facts += inst.len();
+            blocks.push(inst);
+        }
+        // Trailing empty blocks (e.g. a dangling `% run` header) are noise.
+        while blocks.len() > 1 && blocks.last().is_some_and(|b| b.is_empty()) {
+            blocks.pop();
+        }
+        if n_facts == 0 {
+            return Err(LearnError::Dataset(
+                "no facts found; a dataset is ground-fact text (`Rel(v1, v2).` lines), \
+                 optionally split into runs by `% run k` comment lines"
+                    .to_string(),
+            ));
+        }
+        Ok(Dataset { blocks, n_facts })
+    }
+}
+
+fn is_run_separator(line: &str) -> bool {
+    let t = line.trim_start();
+    let rest = match t.strip_prefix('%').or_else(|| t.strip_prefix("//")) {
+        Some(r) => r.trim_start(),
+        None => return false,
+    };
+    match rest.strip_prefix("run") {
+        // `% run`, `% run 7`, `% run 7 of 100` — but not `% runway`.
+        Some(tail) => tail.is_empty() || tail.starts_with(|c: char| !c.is_alphanumeric()),
+        None => false,
+    }
+}
+
+/// Splits dataset text into run blocks on `% run k` comment lines (also
+/// accepted with `//`). The separator lines themselves are dropped; text
+/// before the first separator forms a leading block only when it contains
+/// non-comment content.
+pub fn split_blocks(text: &str) -> Vec<String> {
+    let mut blocks: Vec<String> = vec![String::new()];
+    for line in text.lines() {
+        if is_run_separator(line) {
+            blocks.push(String::new());
+        } else {
+            let cur = blocks.last_mut().expect("never empty");
+            cur.push_str(line);
+            cur.push('\n');
+        }
+    }
+    // A leading chunk that is all whitespace/comments (the common case:
+    // the file starts with `% run 0`) is not a block.
+    if blocks.len() > 1 {
+        let lead = &blocks[0];
+        let empty = lead.lines().all(|l| {
+            let t = l.trim();
+            t.is_empty() || t.starts_with('%') || t.starts_with("//")
+        });
+        if empty {
+            blocks.remove(0);
+        }
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdatalog_data::{ColType, RelationKind};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.declare_named("Obs", vec![ColType::Real], RelationKind::Intensional)
+            .unwrap();
+        cat
+    }
+
+    #[test]
+    fn single_block_without_separators() {
+        let d = Dataset::parse("Obs(1.0).\nObs(2.0).\n", &catalog()).unwrap();
+        assert_eq!(d.blocks.len(), 1);
+        assert_eq!(d.n_facts, 2);
+    }
+
+    #[test]
+    fn run_separators_split_blocks() {
+        let text = "% run 0\nObs(1.0).\n% run 1\nObs(2.0).\nObs(3.0).\n";
+        let d = Dataset::parse(text, &catalog()).unwrap();
+        assert_eq!(d.blocks.len(), 2);
+        assert_eq!(d.blocks[0].len(), 1);
+        assert_eq!(d.blocks[1].len(), 2);
+        assert_eq!(d.n_facts, 3);
+    }
+
+    #[test]
+    fn comments_that_are_not_separators_stay_inline() {
+        let text =
+            "% dataset header\nObs(1.0). % trailing note\n// runway is not a run\nObs(2.0).\n";
+        let d = Dataset::parse(text, &catalog()).unwrap();
+        assert_eq!(d.blocks.len(), 1);
+        assert_eq!(d.n_facts, 2);
+    }
+
+    #[test]
+    fn empty_dataset_is_an_error() {
+        let err = Dataset::parse("% nothing here\n", &catalog()).unwrap_err();
+        assert!(matches!(err, LearnError::Dataset(_)));
+        assert!(err.to_string().contains("no facts"), "{err}");
+    }
+
+    #[test]
+    fn unknown_relation_is_actionable() {
+        let err = Dataset::parse("Nope(1.0).", &catalog()).unwrap_err();
+        assert!(err.to_string().contains("Nope"), "{err}");
+    }
+}

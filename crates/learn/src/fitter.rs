@@ -1,0 +1,669 @@
+//! The fitter: [`fit_program`] estimates every free-parameter hole of a
+//! program from a facts-text dataset.
+//!
+//! Each holed distribution term defines a **group**: the set of holes of
+//! one `Dist<...>` term in one rule head. Groups whose head relation
+//! appears in the dataset are fitted in **closed form** — the dataset
+//! tuples matching the rule head are the distribution's own draws, so the
+//! weighted MLE of `gdatalog_dist::fit` applies directly. Groups whose
+//! head relation never appears are **latent**: their draws are
+//! marginalized out in the data, so the fitter runs weighted EM — the
+//! E-step conditions the ordinary evaluation machinery on each dataset
+//! block ([`gdatalog_core::Evaluation::given`]) and folds the
+//! posterior-weighted values of the latent column out of the world stream;
+//! the M-step re-estimates by the same weighted MLE.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use gdatalog_core::Session;
+use gdatalog_data::{canonical_text, Instance, RelId, RelationKind, Value};
+use gdatalog_dist::fit::{fit_params, goodness_of_fit, weighted_log_likelihood};
+use gdatalog_dist::{ParamDist, Registry};
+use gdatalog_lang::{
+    parse_program, substitute_free_params, validate, Program, SemanticsMode, TermAst,
+};
+use gdatalog_pdb::{DeficitKind, NormalizingSink, WorldSink};
+
+use crate::dataset::Dataset;
+use crate::report::{FitReport, ParamEstimate};
+use crate::LearnError;
+
+/// Knobs of [`fit_program`].
+#[derive(Debug, Clone)]
+pub struct FitOptions {
+    /// Semantics the E-step evaluates under.
+    pub mode: SemanticsMode,
+    /// Maximum EM iterations (ignored when every group is observed).
+    pub em_iters: usize,
+    /// Relative log-likelihood convergence tolerance:
+    /// `|Δℓ| < tol · (1 + |ℓ|)` stops the EM loop.
+    pub tol: f64,
+    /// Base RNG seed of the Monte-Carlo E-step. Each block derives its own
+    /// stream from this seed, and the streams are **reused across
+    /// iterations** (common random numbers), so the likelihood trajectory
+    /// is comparable between iterations.
+    pub seed: u64,
+    /// Monte-Carlo runs per block per E-step iteration (only used when the
+    /// program is not fully discrete).
+    pub runs: usize,
+    /// Chase depth cap of the E-step, when set.
+    pub max_depth: Option<usize>,
+}
+
+impl Default for FitOptions {
+    fn default() -> FitOptions {
+        FitOptions {
+            mode: SemanticsMode::Grohe,
+            em_iters: 50,
+            tol: 1e-6,
+            seed: 0,
+            runs: 4000,
+            max_depth: None,
+        }
+    }
+}
+
+/// The outcome of [`fit_program`]: the filled AST, its pretty-printed
+/// source, and the [`FitReport`].
+#[derive(Debug, Clone)]
+pub struct Fitted {
+    /// The fitted program (every hole substituted by its estimate).
+    pub program: Program,
+    /// Pretty-printed source of the fitted program.
+    pub source: String,
+    /// Estimates, trajectory, and diagnostics.
+    pub report: FitReport,
+}
+
+/// One holed distribution term: the unit of estimation.
+struct Group {
+    /// Head relation name (for messages).
+    rel: String,
+    /// Head relation id in the program catalog.
+    rel_id: RelId,
+    /// Head argument position of the distribution term.
+    head_col: usize,
+    /// The distribution family.
+    dist: Arc<dyn ParamDist>,
+    /// Full parameter mask: `Some(c)` for constant parameters, `None` for
+    /// holes (the slots to estimate).
+    fixed: Vec<Option<Value>>,
+    /// [`gdatalog_lang::FreeParam::id`] per hole, in parameter order.
+    hole_ids: Vec<usize>,
+    /// Parameter index per hole, parallel to `hole_ids`.
+    hole_param_idx: Vec<usize>,
+    /// Constant head columns the dataset tuples must match (other than
+    /// `head_col`).
+    const_cols: Vec<(usize, Value)>,
+    /// Whether the head relation appears in the dataset.
+    observed: bool,
+}
+
+/// Fits every free-parameter hole of `src` against the dataset `data`
+/// (facts text, optionally split into `% run k` blocks — see
+/// [`crate::dataset`]).
+///
+/// # Errors
+/// [`LearnError::Program`] when the program fails to parse/validate, has
+/// no holes, or its holes are not estimable as placed;
+/// [`LearnError::Dataset`] on dataset problems; [`LearnError::Fit`] when
+/// estimation itself fails (degenerate data, zero-probability evidence, a
+/// latent relation that is never derived).
+pub fn fit_program(src: &str, data: &str, opts: &FitOptions) -> Result<Fitted, LearnError> {
+    let ast = parse_program(src)?;
+    let vp = validate(ast.clone(), Arc::new(Registry::standard()))?;
+    if vp.free_params.is_empty() {
+        return Err(LearnError::Program(
+            "program has no free parameters; mark the parameters to estimate with `?` holes \
+             (e.g. `Normal<?mu, ?sigma2>`)"
+                .to_string(),
+        ));
+    }
+    let dataset = Dataset::parse(data, &vp.catalog)?;
+    let groups = build_groups(&vp, &dataset)?;
+
+    let n_holes = vp.free_params.len();
+    let mut values: Vec<Option<Value>> = vec![None; n_holes];
+    let mut n_obs: Vec<f64> = vec![0.0; n_holes];
+    let mut gof: Vec<Option<f64>> = vec![None; n_holes];
+
+    // Closed-form pass: every observed group is fitted once, up front, and
+    // held fixed for the (optional) EM phase. Its log-likelihood is a
+    // constant offset of the trajectory.
+    let mut observed_ll = 0.0;
+    for g in groups.iter().filter(|g| g.observed) {
+        let obs = direct_observations(g, &dataset);
+        if obs.is_empty() {
+            return Err(LearnError::Fit(format!(
+                "no dataset tuples of `{}` match the holed rule's constant head columns",
+                g.rel
+            )));
+        }
+        let params = fit_params(g.dist.as_ref(), &obs, &g.fixed)
+            .map_err(|e| LearnError::Fit(e.to_string()))?;
+        observed_ll += weighted_log_likelihood(g.dist.as_ref(), &params, &obs)
+            .map_err(|e| LearnError::Fit(e.to_string()))?;
+        let score = goodness_of_fit(g.dist.as_ref(), &params, &obs).ok();
+        let total_w: f64 = obs.iter().map(|(_, w)| w).sum();
+        for (&id, &pi) in g.hole_ids.iter().zip(&g.hole_param_idx) {
+            values[id] = Some(params[pi].clone());
+            n_obs[id] = total_w;
+            gof[id] = score;
+        }
+    }
+
+    let any_latent = groups.iter().any(|g| !g.observed);
+    let mut trajectory = Vec::new();
+    let mut iterations = 1;
+    let mut converged = true;
+
+    if any_latent {
+        // Latent holes start from neutral per-family defaults.
+        for g in groups.iter().filter(|g| !g.observed) {
+            for (&id, &pi) in g.hole_ids.iter().zip(&g.hole_param_idx) {
+                values[id] = Some(initial_value(g.dist.name(), pi));
+            }
+        }
+        let em = EmState {
+            ast: &ast,
+            registry: Arc::clone(&vp.registry),
+            dataset: &dataset,
+            opts,
+        };
+        let latent: Vec<&Group> = groups.iter().filter(|g| !g.observed).collect();
+        let mut prev_ll = f64::NAN;
+        for iter in 0..opts.em_iters.max(1) {
+            iterations = iter + 1;
+            let (pooled, log_evidence) = em.e_step(&latent, &values)?;
+            let ll = log_evidence + observed_ll;
+            trajectory.push(ll);
+            for (g, obs) in latent.iter().zip(&pooled) {
+                if obs.is_empty() {
+                    return Err(LearnError::Fit(format!(
+                        "latent relation `{}` was never derived during the E-step; \
+                         its rule cannot be reached from the dataset's facts",
+                        g.rel
+                    )));
+                }
+                let params = fit_params(g.dist.as_ref(), obs, &g.fixed)
+                    .map_err(|e| LearnError::Fit(e.to_string()))?;
+                let score = goodness_of_fit(g.dist.as_ref(), &params, obs).ok();
+                let total_w: f64 = obs.iter().map(|(_, w)| w).sum();
+                for (&id, &pi) in g.hole_ids.iter().zip(&g.hole_param_idx) {
+                    values[id] = Some(params[pi].clone());
+                    n_obs[id] = total_w;
+                    gof[id] = score;
+                }
+            }
+            if prev_ll.is_finite() && (ll - prev_ll).abs() < opts.tol * (1.0 + ll.abs()) {
+                converged = true;
+                break;
+            }
+            converged = false;
+            prev_ll = ll;
+        }
+    } else {
+        trajectory.push(observed_ll);
+    }
+
+    let values: Vec<Value> = values
+        .into_iter()
+        .map(|v| v.expect("every hole belongs to a group"))
+        .collect();
+    let fitted_ast = substitute_free_params(&ast, &values)?;
+    let source = fitted_ast.to_string();
+
+    let estimates = vp
+        .free_params
+        .iter()
+        .map(|fp| ParamEstimate {
+            label: fp.label(),
+            rel: fp.rel.clone(),
+            dist: fp.dist.clone(),
+            param_index: fp.param_index,
+            value: values[fp.id].clone(),
+            n_obs: n_obs[fp.id],
+            latent: groups
+                .iter()
+                .find(|g| g.hole_ids.contains(&fp.id))
+                .is_some_and(|g| !g.observed),
+            goodness_of_fit: gof[fp.id],
+        })
+        .collect();
+
+    let report = FitReport {
+        estimates,
+        log_likelihood: trajectory,
+        iterations,
+        converged,
+        em: any_latent,
+        n_blocks: dataset.blocks.len(),
+        n_facts: dataset.n_facts,
+        fitted_source: source.clone(),
+    };
+    Ok(Fitted {
+        program: fitted_ast,
+        source,
+        report,
+    })
+}
+
+/// Resolves each holed distribution term into a [`Group`], enforcing
+/// estimability: the head relation must be defined by a single rule, and
+/// every non-hole parameter of the term must be a constant.
+fn build_groups(
+    vp: &gdatalog_lang::ValidatedProgram,
+    dataset: &Dataset,
+) -> Result<Vec<Group>, LearnError> {
+    let mut groups: Vec<Group> = Vec::new();
+    for fp in &vp.free_params {
+        if groups
+            .iter()
+            .any(|g| g.rel == fp.rel && g.head_col == fp.head_col)
+        {
+            continue; // Sibling hole of an existing group.
+        }
+        let rule = &vp.program.rules[fp.rule_index];
+        let defining = vp
+            .program
+            .rules
+            .iter()
+            .filter(|r| r.head.rel == fp.rel)
+            .count();
+        if defining > 1 {
+            return Err(LearnError::Program(format!(
+                "relation `{}` is defined by {defining} rules; a holed distribution can only \
+                 be fitted when its relation is defined by that single rule",
+                fp.rel
+            )));
+        }
+        let TermAst::Random { dist, params, .. } = &rule.head.args[fp.head_col] else {
+            unreachable!("free params only occur inside Random head terms");
+        };
+        let d = vp.registry.get(dist).ok_or_else(|| {
+            LearnError::Program(format!("unknown distribution `{dist}` in `{}`", fp.rel))
+        })?;
+        let mut fixed = Vec::with_capacity(params.len());
+        let mut hole_ids = Vec::new();
+        let mut hole_param_idx = Vec::new();
+        for (pi, p) in params.iter().enumerate() {
+            match p {
+                TermAst::Const(c) => fixed.push(Some(c.clone())),
+                TermAst::Hole { .. } => {
+                    fixed.push(None);
+                    let sibling = vp
+                        .free_params
+                        .iter()
+                        .find(|o| {
+                            o.rule_index == fp.rule_index
+                                && o.head_col == fp.head_col
+                                && o.param_index == pi
+                        })
+                        .expect("hole collected by validate");
+                    hole_ids.push(sibling.id);
+                    hole_param_idx.push(pi);
+                }
+                TermAst::Var(v) => {
+                    return Err(LearnError::Program(format!(
+                        "parameter {pi} of `{dist}` in `{}` is the variable `{v}`; fitting \
+                         requires every non-hole parameter of a holed term to be a constant",
+                        fp.rel
+                    )));
+                }
+                TermAst::Random { dist: inner, .. } => {
+                    return Err(LearnError::Program(format!(
+                        "parameter {pi} of `{dist}` in `{}` is a nested `{inner}` term; fitting \
+                         requires every non-hole parameter of a holed term to be a constant",
+                        fp.rel
+                    )));
+                }
+            }
+        }
+        let const_cols = rule
+            .head
+            .args
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != fp.head_col)
+            .filter_map(|(i, t)| match t {
+                TermAst::Const(c) => Some((i, c.clone())),
+                _ => None,
+            })
+            .collect();
+        let rel_id = vp
+            .catalog
+            .require(&fp.rel)
+            .map_err(|e| LearnError::Program(e.to_string()))?;
+        let observed = dataset
+            .blocks
+            .iter()
+            .any(|b| !b.relation(rel_id).is_empty());
+        groups.push(Group {
+            rel: fp.rel.clone(),
+            rel_id,
+            head_col: fp.head_col,
+            dist: Arc::clone(d),
+            fixed,
+            hole_ids,
+            hole_param_idx,
+            const_cols,
+            observed,
+        });
+    }
+    Ok(groups)
+}
+
+/// Extracts the observation column of an observed group from every dataset
+/// block: tuples of the head relation whose constant head columns match,
+/// each with unit weight.
+fn direct_observations(g: &Group, dataset: &Dataset) -> Vec<(Value, f64)> {
+    let mut obs = Vec::new();
+    for block in &dataset.blocks {
+        for t in block.relation(g.rel_id) {
+            let vals = t.values();
+            if g.const_cols.iter().all(|(i, c)| &vals[*i] == c) {
+                obs.push((vals[g.head_col].clone(), 1.0));
+            }
+        }
+    }
+    obs
+}
+
+/// Per-family neutral starting point for a latent hole.
+fn initial_value(dist: &str, param_index: usize) -> Value {
+    match dist {
+        "Flip" | "Bernoulli" | "Geometric" => Value::real(0.5),
+        "Poisson" | "Exponential" => Value::real(1.0),
+        "Normal" | "LogNormal" | "Laplace" => Value::real(if param_index == 0 { 0.0 } else { 1.0 }),
+        "Uniform" => Value::real(if param_index == 0 { 0.0 } else { 1.0 }),
+        "UniformInt" => Value::int(if param_index == 0 { 0 } else { 1 }),
+        "Gamma" | "Beta" => Value::real(1.0),
+        "Binomial" => {
+            if param_index == 0 {
+                Value::int(1)
+            } else {
+                Value::real(0.5)
+            }
+        }
+        // Categorical weight slots (and anything unrecognized): flat.
+        _ => Value::real(1.0),
+    }
+}
+
+/// The EM E-step driver: everything constant across iterations.
+struct EmState<'a> {
+    ast: &'a Program,
+    registry: Arc<Registry>,
+    dataset: &'a Dataset,
+    opts: &'a FitOptions,
+}
+
+/// Per-latent-group pooled weighted observations, in group order.
+type GroupObs = Vec<Vec<(Value, f64)>>;
+
+/// One latent group's extraction spec: (relation, head column, constant
+/// columns the tuple must match).
+type LatentCol = (RelId, usize, Vec<(usize, Value)>);
+
+impl EmState<'_> {
+    /// One E-step over every dataset block under the current parameter
+    /// vector: returns per-group posterior-weighted observations (pooled
+    /// across blocks, each block normalized to unit posterior mass) and
+    /// the total log-evidence `Σ_blocks log P(block | θ)`.
+    fn e_step(
+        &self,
+        latent: &[&Group],
+        values: &[Option<Value>],
+    ) -> Result<(GroupObs, f64), LearnError> {
+        let filled: Vec<Value> = values
+            .iter()
+            .map(|v| v.clone().expect("all holes initialized before the E-step"))
+            .collect();
+        let filled = substitute_free_params(self.ast, &filled)?;
+        let mut session = Session::from_ast(filled, self.opts.mode, Arc::clone(&self.registry))
+            .map_err(|e| LearnError::Fit(e.to_string()))?;
+        let all_discrete = session.program().all_discrete();
+        let catalog = session.program().catalog.clone();
+
+        let mut pooled: Vec<Vec<(Value, f64)>> = vec![Vec::new(); latent.len()];
+        let mut log_evidence = 0.0;
+        for (bi, block) in self.dataset.blocks.iter().enumerate() {
+            // Extensional facts are inputs; everything else is evidence the
+            // posterior conditions on.
+            let mut inputs = Instance::new();
+            let mut evidence = Instance::new();
+            for fact in block.facts() {
+                if catalog.decl(fact.rel).kind() == RelationKind::Extensional {
+                    inputs.insert_fact(fact);
+                } else {
+                    evidence.insert_fact(fact);
+                }
+            }
+            session.reset();
+            session.insert_facts(&inputs);
+
+            let mut eval = session
+                .eval()
+                .seed(block_seed(self.opts.seed, bi))
+                .threads(1);
+            if let Some(d) = self.opts.max_depth {
+                eval = eval.max_depth(d);
+            }
+            eval = if all_discrete {
+                eval.exact()
+            } else {
+                eval.sample(self.opts.runs)
+            };
+            if !evidence.is_empty() {
+                eval = eval.given(canonical_text(&evidence, &catalog));
+            }
+
+            let sink = LatentObsSink::new(latent);
+            let mut wrapper = NormalizingSink::log_space(sink);
+            eval.collect_into(&mut wrapper)
+                .map_err(|e| LearnError::Fit(format!("E-step on block {bi}: {e}")))?;
+            let (sink, stats) = wrapper.finish();
+            let z = stats.normalizer();
+            if z <= 0.0 || z.is_nan() || stats.worlds == 0 {
+                return Err(LearnError::Fit(format!(
+                    "block {bi}: the evidence has zero probability under the current \
+                     parameters; the dataset may not be reachable from this program \
+                     (or the Monte-Carlo E-step needs more runs / a different seed)"
+                )));
+            }
+            log_evidence += stats.log_total();
+            for (out, group_obs) in pooled.iter_mut().zip(sink.obs) {
+                out.extend(group_obs.into_iter().map(|(v, w)| (v, w / z)));
+            }
+        }
+        Ok((pooled, log_evidence))
+    }
+}
+
+/// Stable per-block RNG stream, shared across EM iterations (common
+/// random numbers).
+fn block_seed(base: u64, block: usize) -> u64 {
+    base ^ (block as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// A [`WorldSink`] that extracts the latent observation columns from each
+/// (posterior-weighted) world.
+struct LatentObsSink {
+    cols: Vec<LatentCol>,
+    obs: GroupObs,
+}
+
+impl LatentObsSink {
+    fn new(latent: &[&Group]) -> LatentObsSink {
+        LatentObsSink {
+            cols: latent
+                .iter()
+                .map(|g| (g.rel_id, g.head_col, g.const_cols.clone()))
+                .collect(),
+            obs: vec![Vec::new(); latent.len()],
+        }
+    }
+}
+
+impl WorldSink for LatentObsSink {
+    fn observe(&mut self, world: Instance, weight: f64) {
+        self.observe_ref(&world, weight);
+    }
+
+    fn observe_ref(&mut self, world: &Instance, weight: f64) {
+        if weight <= 0.0 {
+            return;
+        }
+        for ((rel, col, consts), out) in self.cols.iter().zip(self.obs.iter_mut()) {
+            for t in world.relation(*rel) {
+                let vals = t.values();
+                if consts.iter().all(|(i, c)| &vals[*i] == c) {
+                    out.push((vals[*col].clone(), weight));
+                }
+            }
+        }
+    }
+
+    fn observe_deficit(&mut self, _kind: DeficitKind, _weight: f64) {}
+
+    fn rescale(&mut self, factor: f64) {
+        for group in &mut self.obs {
+            for (_, w) in group.iter_mut() {
+                *w *= factor;
+            }
+        }
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fit(src: &str, data: &str) -> Fitted {
+        fit_program(src, data, &FitOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn observed_normal_is_closed_form() {
+        let f = fit(
+            "rel Obs(real). Obs(Normal<?mu, ?s2>) :- true.",
+            "Obs(1.0).\n% run 1\nObs(3.0).\n",
+        );
+        assert!(!f.report.em);
+        assert_eq!(f.report.iterations, 1);
+        assert_eq!(f.report.n_blocks, 2);
+        let mu = f.report.estimates[0].value.as_f64().unwrap();
+        let s2 = f.report.estimates[1].value.as_f64().unwrap();
+        assert!((mu - 2.0).abs() < 1e-12, "{mu}");
+        assert!((s2 - 1.0).abs() < 1e-12, "{s2}");
+        assert!(f.source.contains("Normal<2.0, 1.0>"), "{}", f.source);
+        assert!(!f.program.has_holes());
+    }
+
+    #[test]
+    fn fixed_parameters_are_honored() {
+        let f = fit(
+            "rel Obs(real). Obs(Normal<?mu, 4.0>) :- true.",
+            "Obs(1.0). Obs(3.0). Obs(5.0).",
+        );
+        assert_eq!(f.report.estimates.len(), 1);
+        let mu = f.report.estimates[0].value.as_f64().unwrap();
+        assert!((mu - 3.0).abs() < 1e-12, "{mu}");
+        assert!(f.source.contains("Normal<3.0, 4.0>"), "{}", f.source);
+    }
+
+    #[test]
+    fn observed_flip_counts_frequencies() {
+        let f = fit(
+            "rel Coin(int). Coin(Flip<?p>) :- true.",
+            "% run 0\nCoin(1).\n% run 1\nCoin(0).\n% run 2\nCoin(1).\n% run 3\nCoin(1).\n",
+        );
+        let p = f.report.estimates[0].value.as_f64().unwrap();
+        assert!((p - 0.75).abs() < 1e-12, "{p}");
+        assert!(f.report.estimates[0].goodness_of_fit.unwrap() > 0.99);
+    }
+
+    #[test]
+    fn latent_discrete_chain_runs_em() {
+        // R is latent (never in the data); S = noisy copy of R. With
+        // symmetric 0.2 noise and S true 8/10 times, the MLE of p pushes
+        // above 0.5.
+        let src = "rel S(int).\n\
+                   R(Flip<?p>) :- true.\n\
+                   S(Flip<0.8>) :- R(1).\n\
+                   S(Flip<0.2>) :- R(0).";
+        let mut data = String::new();
+        for (i, s) in [1, 1, 1, 1, 0, 1, 1, 1, 0, 1].iter().enumerate() {
+            data.push_str(&format!("% run {i}\nS({s}).\n"));
+        }
+        let opts = FitOptions {
+            em_iters: 300,
+            ..FitOptions::default()
+        };
+        let f = fit_program(src, &data, &opts).unwrap();
+        assert!(f.report.em);
+        assert!(f.report.converged, "{:?}", f.report.log_likelihood);
+        let p = f.report.estimates[0].value.as_f64().unwrap();
+        assert!(p > 0.6 && p < 1.0, "p = {p}");
+        assert!(f.report.estimates[0].latent);
+        // EM must not decrease the log-likelihood (exact E-step: discrete).
+        let ll = &f.report.log_likelihood;
+        for w in ll.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "{ll:?}");
+        }
+    }
+
+    #[test]
+    fn errors_are_actionable() {
+        let no_holes =
+            fit_program("R(Flip<0.5>) :- true.", "R(1).", &FitOptions::default()).unwrap_err();
+        assert!(
+            no_holes.to_string().contains("no free parameters"),
+            "{no_holes}"
+        );
+
+        let two_rules = fit_program(
+            "R(Flip<?p>) :- true. R(Flip<0.5>) :- true.",
+            "R(1).",
+            &FitOptions::default(),
+        )
+        .unwrap_err();
+        assert!(two_rules.to_string().contains("2 rules"), "{two_rules}");
+
+        let var_param = fit_program(
+            "rel In(real) input. R(Normal<X, ?s2>) :- In(X).",
+            "In(1.0). R(2.0).",
+            &FitOptions::default(),
+        )
+        .unwrap_err();
+        assert!(var_param.to_string().contains("constant"), "{var_param}");
+
+        let unreachable_latent = fit_program(
+            "rel S(int). R(Flip<?p>) :- Never(1). S(Flip<0.5>) :- true. Never(0) :- S(9).",
+            "S(1).",
+            &FitOptions::default(),
+        )
+        .unwrap_err();
+        assert!(
+            unreachable_latent.to_string().contains("never derived"),
+            "{unreachable_latent}"
+        );
+    }
+
+    #[test]
+    fn var_columns_pool_across_bindings() {
+        let src = "rel Person(symbol) input.\n\
+                   rel H(symbol, real).\n\
+                   H(P, Normal<?mu, ?s2>) :- Person(P).";
+        let data = "Person(a). Person(b).\nH(a, 10.0). H(b, 14.0).";
+        let f = fit(src, data);
+        let mu = f.report.estimates[0].value.as_f64().unwrap();
+        assert!((mu - 12.0).abs() < 1e-12, "{mu}");
+        assert_eq!(f.report.estimates[0].n_obs, 2.0);
+    }
+}

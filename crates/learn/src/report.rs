@@ -1,0 +1,211 @@
+//! The [`FitReport`]: what `gdl fit` learned and how well, with a
+//! hand-rolled JSON rendering (same dependency-free style as the bench
+//! reports and the serving wire format).
+
+use gdatalog_data::Value;
+
+/// One fitted free parameter.
+#[derive(Debug, Clone)]
+pub struct ParamEstimate {
+    /// The hole's label: its `?name` when named, else `Rel.Dist[i]`.
+    pub label: String,
+    /// Head relation of the owning rule.
+    pub rel: String,
+    /// Distribution family of the owning term.
+    pub dist: String,
+    /// Position in the distribution's parameter list.
+    pub param_index: usize,
+    /// The estimate.
+    pub value: Value,
+    /// Number of (weighted) observations behind the estimate. For latent
+    /// parameters this is the expected count under the final posterior.
+    pub n_obs: f64,
+    /// Whether the parameter was fitted latently (EM) rather than from
+    /// directly observed tuples.
+    pub latent: bool,
+    /// Per-family goodness-of-fit score in `[0, 1]` (`1 − KS` distance for
+    /// continuous families, `1 − total variation` for discrete ones),
+    /// against the (posterior-weighted, for latent parameters) empirical
+    /// distribution. `None` when the family cannot score itself.
+    pub goodness_of_fit: Option<f64>,
+}
+
+/// The full outcome of a fit: estimates, trajectory, counts.
+#[derive(Debug, Clone)]
+pub struct FitReport {
+    /// One entry per free parameter, in program (hole id) order.
+    pub estimates: Vec<ParamEstimate>,
+    /// Log-likelihood trajectory, one entry per iteration (closed-form
+    /// fits have exactly one). For EM fits each entry is the sum of the
+    /// per-block log-evidences plus the directly-observed log-likelihood.
+    pub log_likelihood: Vec<f64>,
+    /// Iterations performed (1 for pure closed-form fits).
+    pub iterations: usize,
+    /// Whether the trajectory met the convergence tolerance (always true
+    /// for closed-form fits).
+    pub converged: bool,
+    /// Whether any parameter required the latent EM path.
+    pub em: bool,
+    /// Dataset blocks (independent runs) consumed.
+    pub n_blocks: usize,
+    /// Total dataset facts consumed.
+    pub n_facts: usize,
+    /// The fitted program text (holes substituted, pretty-printed).
+    pub fitted_source: String,
+}
+
+impl FitReport {
+    /// The final log-likelihood (the last trajectory entry).
+    pub fn final_log_likelihood(&self) -> f64 {
+        self.log_likelihood
+            .last()
+            .copied()
+            .unwrap_or(f64::NEG_INFINITY)
+    }
+
+    /// Renders the report as a JSON document:
+    ///
+    /// ```json
+    /// {
+    ///   "n_blocks": 2, "n_facts": 40, "iterations": 1,
+    ///   "converged": true, "em": false,
+    ///   "log_likelihood": [-57.2],
+    ///   "estimates": [
+    ///     {"param": "mu", "rel": "Obs", "dist": "Normal", "index": 0,
+    ///      "value": 1.93, "n_obs": 40, "latent": false,
+    ///      "goodness_of_fit": 0.94}
+    ///   ],
+    ///   "fitted": "Obs(Normal<1.93, 0.25>) :- true.\n"
+    /// }
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        push_kv(&mut s, "n_blocks", &self.n_blocks.to_string());
+        push_kv(&mut s, "n_facts", &self.n_facts.to_string());
+        push_kv(&mut s, "iterations", &self.iterations.to_string());
+        push_kv(
+            &mut s,
+            "converged",
+            if self.converged { "true" } else { "false" },
+        );
+        push_kv(&mut s, "em", if self.em { "true" } else { "false" });
+        let traj: Vec<String> = self.log_likelihood.iter().map(|x| num(*x)).collect();
+        push_kv(&mut s, "log_likelihood", &format!("[{}]", traj.join(", ")));
+        let ests: Vec<String> = self
+            .estimates
+            .iter()
+            .map(|e| {
+                let mut o = String::from("{");
+                push_kv(&mut o, "param", &quote(&e.label));
+                push_kv(&mut o, "rel", &quote(&e.rel));
+                push_kv(&mut o, "dist", &quote(&e.dist));
+                push_kv(&mut o, "index", &e.param_index.to_string());
+                push_kv(&mut o, "value", &value_json(&e.value));
+                push_kv(&mut o, "n_obs", &num(e.n_obs));
+                push_kv(&mut o, "latent", if e.latent { "true" } else { "false" });
+                match e.goodness_of_fit {
+                    Some(g) => push_kv(&mut o, "goodness_of_fit", &num(g)),
+                    None => push_kv(&mut o, "goodness_of_fit", "null"),
+                }
+                o.push('}');
+                o
+            })
+            .collect();
+        push_kv(&mut s, "estimates", &format!("[{}]", ests.join(", ")));
+        push_kv(&mut s, "fitted", &quote(&self.fitted_source));
+        s.push('}');
+        s
+    }
+}
+
+fn push_kv(out: &mut String, key: &str, rendered: &str) {
+    if !out.ends_with('{') {
+        out.push_str(", ");
+    }
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\": ");
+    out.push_str(rendered);
+}
+
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else if x.is_nan() {
+        "null".to_string()
+    } else if x > 0.0 {
+        "1e999".to_string()
+    } else {
+        "-1e999".to_string()
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Numeric values render as JSON numbers; symbols/strings/bools as their
+/// natural JSON counterparts.
+fn value_json(v: &Value) -> String {
+    match v {
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Real(r) => num(r.get()),
+        Value::Sym(_) | Value::Str(_) => quote(&v.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_json() {
+        let r = FitReport {
+            estimates: vec![ParamEstimate {
+                label: "mu".into(),
+                rel: "Obs".into(),
+                dist: "Normal".into(),
+                param_index: 0,
+                value: Value::real(1.5),
+                n_obs: 40.0,
+                latent: false,
+                goodness_of_fit: Some(0.93),
+            }],
+            log_likelihood: vec![-57.25],
+            iterations: 1,
+            converged: true,
+            em: false,
+            n_blocks: 2,
+            n_facts: 40,
+            fitted_source: "Obs(Normal<1.5, 1.0>) :- true.\n".into(),
+        };
+        let json = r.to_json();
+        assert!(json.contains("\"param\": \"mu\""), "{json}");
+        assert!(json.contains("\"value\": 1.5"), "{json}");
+        assert!(json.contains("\"log_likelihood\": [-57.25]"), "{json}");
+        assert!(json.contains("\\n"), "newlines must be escaped: {json}");
+        assert_eq!(r.final_log_likelihood(), -57.25);
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(value_json(&Value::sym("up")), "\"up\"");
+        assert_eq!(value_json(&Value::int(3)), "3");
+    }
+}

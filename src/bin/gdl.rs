@@ -4,7 +4,11 @@
 //! gdl check  <file.gdl>                  parse + validate + analyze + show Ĝ
 //! gdl exact  <file.gdl> [--barany] [--depth N] [--input facts.gdl] [--format json]
 //! gdl sample <file.gdl> [--barany] [--runs N] [--seed S] [--steps N]
-//!                       [--threads N] [--input facts.gdl] [--format json]
+//!                       [--threads N] [--input facts.gdl] [--format json|facts]
+//!                       [--out data.gdl]
+//! gdl fit    <file.gdl> <data.gdl> [--barany] [--em-iters N] [--tol X]
+//!                       [--runs N] [--seed S] [--steps N] [--out fitted.gdl]
+//!                       [--format json]
 //! gdl query  <file.gdl> <marginal|expectation|histogram|quantile|tail> <Relation>
 //!                       [--agg count|sum|avg|min|max] [--col K]
 //!                       [--lo X --hi Y --bins N] [--q Q] [--threshold T]
@@ -56,6 +60,17 @@
 //! }
 //! ```
 //!
+//! `sample --format facts` dumps the sampled worlds as ground-fact text,
+//! one `% run k` block per run — exactly the dataset format `gdl fit`
+//! ingests, so a model can be round-tripped: sample a dataset from known
+//! parameters, punch `?` holes into the program, and refit.
+//!
+//! `fit` estimates every free-parameter hole (`Normal<?mu, ?s2>`) of a
+//! program from such a dataset: holes of relations present in the data are
+//! fitted in closed form (weighted MLE per family), holes of latent
+//! relations by EM over the conditioned evaluation machinery
+//! (`gdatalog::learn`).
+//!
 //! `serve` keeps the same model resident behind an HTTP/1.1 front end
 //! (`gdatalog::net`): `POST /v1/query` and `POST /v1/batch` speak the
 //! batch wire format, `GET /v1/stats` reports metrics, and
@@ -78,6 +93,9 @@ use gdatalog::serve::json::{escape as json_escape, Json};
 enum Format {
     Text,
     Json,
+    /// `sample` only: ground-fact text in `% run k` blocks — the dataset
+    /// format `gdl fit` ingests.
+    Facts,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -94,6 +112,12 @@ struct Args {
     /// `query` positionals: kind and relation name.
     query_kind: Option<String>,
     query_rel: Option<String>,
+    /// `fit` positional: the dataset file.
+    data: Option<String>,
+    /// `fit --em-iters`: EM iteration cap for latent holes.
+    em_iters: usize,
+    /// `fit --tol`: relative log-likelihood convergence tolerance.
+    tol: f64,
     mode: SemanticsMode,
     runs: usize,
     seed: u64,
@@ -162,6 +186,9 @@ fn parse_args() -> Result<Args, String> {
         file,
         query_kind: None,
         query_rel: None,
+        data: None,
+        em_iters: 50,
+        tol: 1e-6,
         mode: SemanticsMode::Grohe,
         runs: 10_000,
         seed: 0,
@@ -201,6 +228,9 @@ fn parse_args() -> Result<Args, String> {
         args.query_kind = Some(argv.next().ok_or("query needs a kind")?);
         args.query_rel = Some(argv.next().ok_or("query needs a relation")?);
     }
+    if args.command == "fit" {
+        args.data = Some(argv.next().ok_or("fit needs a dataset file")?);
+    }
     while let Some(flag) = argv.next() {
         args.seen_flags.push(flag.clone());
         let mut take = |what: &str| -> Result<String, String> {
@@ -232,6 +262,7 @@ fn parse_args() -> Result<Args, String> {
                 args.format = match take("--format")?.as_str() {
                     "json" => Format::Json,
                     "text" => Format::Text,
+                    "facts" => Format::Facts,
                     other => return Err(format!("unknown format `{other}`")),
                 }
             }
@@ -257,6 +288,19 @@ fn parse_args() -> Result<Args, String> {
                 args.burn_in = Some(take("--burn-in")?.parse().map_err(|e| format!("{e}"))?)
             }
             "--thin" => args.thin = Some(take("--thin")?.parse().map_err(|e| format!("{e}"))?),
+            "--em-iters" => {
+                args.em_iters = take("--em-iters")?.parse().map_err(|e| format!("{e}"))?;
+                if args.em_iters == 0 {
+                    return Err("--em-iters must be at least 1".to_string());
+                }
+            }
+            "--tol" => {
+                let tol = num("--tol", take("--tol"))?;
+                if !tol.is_finite() || tol <= 0.0 {
+                    return Err(format!("--tol must be a positive number, got {tol}"));
+                }
+                args.tol = tol;
+            }
             "--agg" => {
                 args.agg = match take("--agg")?.as_str() {
                     "count" => AggFun::Count,
@@ -543,6 +587,7 @@ fn run_batch(args: &Args) -> Result<(), String> {
         })
         .collect();
     match args.format {
+        Format::Facts => unreachable!("rejected before dispatch"),
         Format::Json => {
             let _ = writeln!(
                 out,
@@ -625,8 +670,134 @@ fn run_loadgen(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs `gdl fit <model.gdl> <data.gdl>`: estimate every `?` hole of the
+/// program from the dataset and print (or write) the fitted program plus
+/// its [`gdatalog::learn::FitReport`].
+fn run_fit(args: &Args) -> Result<(), String> {
+    // Evaluation-shape flags that have no meaning during fitting are
+    // rejected, not silently dropped.
+    const NOT_FOR_FIT: &[&str] = &[
+        "--given",
+        "--input",
+        "--exact",
+        "--mc",
+        "--mh",
+        "--ess-target",
+        "--max-runs",
+        "--batch",
+        "--burn-in",
+        "--thin",
+        "--depth",
+        "--threads",
+    ];
+    if let Some(flag) = args
+        .seen_flags
+        .iter()
+        .find(|f| NOT_FOR_FIT.contains(&f.as_str()))
+    {
+        return Err(format!(
+            "{flag} does not apply to `fit`; the E-step is configured by \
+             --runs/--seed/--steps and the EM loop by --em-iters/--tol"
+        ));
+    }
+    let src = std::fs::read_to_string(&args.file)
+        .map_err(|e| format!("cannot read {}: {e}", args.file))?;
+    let data_path = args.data.as_deref().expect("parsed");
+    let data =
+        std::fs::read_to_string(data_path).map_err(|e| format!("cannot read {data_path}: {e}"))?;
+    let opts = gdatalog::learn::FitOptions {
+        mode: args.mode,
+        em_iters: args.em_iters,
+        tol: args.tol,
+        seed: args.seed,
+        runs: args.runs,
+        max_depth: Some(args.steps),
+    };
+    let fitted = gdatalog::learn::fit_program(&src, &data, &opts).map_err(|e| e.to_string())?;
+    let report = &fitted.report;
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    match args.format {
+        Format::Json => {
+            let _ = writeln!(out, "{}", report.to_json());
+        }
+        Format::Facts => unreachable!("rejected before dispatch"),
+        Format::Text => {
+            for e in &report.estimates {
+                let gof = match e.goodness_of_fit {
+                    Some(g) => format!("{g:.3}"),
+                    None => "-".to_string(),
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<24} = {:<12} ({} of {}, n_obs {:.1}, gof {gof}{})",
+                    e.label,
+                    e.value.to_string(),
+                    e.dist,
+                    e.rel,
+                    e.n_obs,
+                    if e.latent { ", latent" } else { "" },
+                );
+            }
+            let _ = writeln!(
+                out,
+                "# {} block(s), {} fact(s); log-likelihood {:.4}; {} iteration(s), {}{}",
+                report.n_blocks,
+                report.n_facts,
+                report.final_log_likelihood(),
+                report.iterations,
+                if report.em { "EM" } else { "closed form" },
+                if report.converged {
+                    ", converged"
+                } else {
+                    ", NOT converged"
+                },
+            );
+            if args.out.is_none() {
+                let _ = writeln!(out, "\nfitted program:");
+                for line in fitted.source.lines() {
+                    let _ = writeln!(out, "  {line}");
+                }
+            }
+        }
+    }
+    if let Some(path) = &args.out {
+        std::fs::write(path, &fitted.source).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("gdl fit: wrote fitted program to {path}");
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args()?;
+    // `fit`-only flags elsewhere, and formats/outputs a command does not
+    // produce, are errors, not silent drops (the `batch` rule).
+    if args.command != "fit" {
+        if let Some(flag) = args
+            .seen_flags
+            .iter()
+            .find(|f| matches!(f.as_str(), "--em-iters" | "--tol"))
+        {
+            return Err(format!(
+                "{flag} configures parameter estimation; it only applies to `fit`"
+            ));
+        }
+    }
+    if args.format == Format::Facts && !matches!(args.command.as_str(), "sample") {
+        return Err(format!(
+            "--format facts dumps sampled worlds as dataset text; it only applies to \
+             `sample` (got `{}`)",
+            args.command
+        ));
+    }
+    if args.out.is_some() && !matches!(args.command.as_str(), "loadgen" | "sample" | "fit") {
+        return Err(format!(
+            "--out does not apply to `{}`; it writes `sample` dumps, `fit` results, \
+             and `loadgen` reports",
+            args.command
+        ));
+    }
     if args.command == "batch" {
         return run_batch(&args);
     }
@@ -635,6 +806,9 @@ fn run() -> Result<(), String> {
     }
     if args.command == "loadgen" {
         return run_loadgen(&args);
+    }
+    if args.command == "fit" {
+        return run_fit(&args);
     }
     let session = make_session(&args)?;
     let program = session.program();
@@ -685,6 +859,7 @@ fn run() -> Result<(), String> {
             }
             let worlds = eval.worlds().map_err(|e| e.to_string())?;
             match args.format {
+                Format::Facts => unreachable!("rejected before dispatch"),
                 Format::Text => {
                     for (text, p) in worlds.table(&program.catalog) {
                         let _ = writeln!(out, "{p:.6}  {text}");
@@ -729,6 +904,28 @@ fn run() -> Result<(), String> {
                 eval = eval.batch(batch);
             }
             let pdb = eval.pdb().map_err(|e| e.to_string())?;
+            if args.format == Format::Facts {
+                // The dataset dump `gdl fit` ingests: one `% run k` block
+                // of canonical ground-fact text per sampled world.
+                let mut dump = String::new();
+                for (k, world) in pdb.samples().iter().enumerate() {
+                    dump.push_str(&format!("% run {k}\n"));
+                    dump.push_str(&gdatalog::data::canonical_text(world, &program.catalog));
+                }
+                match &args.out {
+                    Some(path) => std::fs::write(path, &dump)
+                        .map_err(|e| format!("cannot write {path}: {e}"))?,
+                    None => {
+                        let _ = write!(out, "{dump}");
+                    }
+                }
+                return Ok(());
+            }
+            if args.out.is_some() {
+                return Err(
+                    "--out on `sample` writes the facts dump; pass --format facts".to_string(),
+                );
+            }
             let dist = pdb.to_distribution();
             let mut rows: Vec<(f64, String)> = dist
                 .iter()
@@ -736,6 +933,7 @@ fn run() -> Result<(), String> {
                 .collect();
             rows.sort_by(|a, b| b.0.total_cmp(&a.0));
             match args.format {
+                Format::Facts => unreachable!("handled above"),
                 Format::Text => {
                     for (p, text) in rows.iter().take(20) {
                         let _ = writeln!(out, "{p:.6}  {text}");
@@ -787,8 +985,8 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         other => Err(format!(
-            "unknown command `{other}` (expected check | exact | sample | query | batch | \
-             serve | loadgen | tree)"
+            "unknown command `{other}` (expected check | exact | sample | query | fit | \
+             batch | serve | loadgen | tree)"
         )),
     }
 }
@@ -1087,6 +1285,7 @@ fn run_query(args: &Args, session: &Session, out: &mut impl std::io::Write) -> R
     let answers = eval.answer(&queries).map_err(|e| e.to_string())?;
     let evidence = answers.conditioned().then(|| answers.evidence());
     match args.format {
+        Format::Facts => unreachable!("rejected before dispatch"),
         Format::Text => {
             let multi = answers.len() > 1;
             for (i, (query, answer)) in queries.queries().iter().zip(answers.iter()).enumerate() {
@@ -1161,7 +1360,10 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("gdl: {e}");
             eprintln!(
-                "usage: gdl <check|exact|sample|query|batch|tree> <file.gdl> [args]\n\
+                "usage: gdl <check|exact|sample|query|fit|batch|tree> <file.gdl> [args]\n\
+                 \x20 fit:   gdl fit <file.gdl> <data.gdl> [--em-iters N] [--tol X] [--runs N]\n\
+                 \x20        [--seed S] [--out fitted.gdl] [--format json]\n\
+                 \x20        (dataset = `gdl sample <file.gdl> --format facts [--out data.gdl]`)\n\
                  \x20 query: gdl query <file.gdl> <marginal|expectation|histogram|quantile|tail>\n\
                  \x20        <Relation> [--agg count|sum|avg|min|max] [--col K]\n\
                  \x20        [--lo X --hi Y --bins N] [--q Q] [--threshold T]\n\

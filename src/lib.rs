@@ -22,6 +22,7 @@
 //! | [`lang`] | parser, validation, weak acyclicity, Datalog∃ translation |
 //! | [`pdb`] | possible worlds, empirical PDBs, events, queries, streaming sinks |
 //! | [`engine`] | the probabilistic chase: sessions, backends, exact/MC |
+//! | [`learn`] | parameter fitting: closed-form MLE and weighted EM (`gdl fit`) |
 //! | [`serve`] | program cache, session pool, batched query execution |
 //! | [`net`] | HTTP/1.1 front end, admission control, load generator |
 //! | [`stats`] | KS/χ² testing substrate used to verify the semantics |
@@ -67,6 +68,7 @@ pub use gdatalog_data as data;
 pub use gdatalog_datalog as datalog;
 pub use gdatalog_dist as dist;
 pub use gdatalog_lang as lang;
+pub use gdatalog_learn as learn;
 pub use gdatalog_net as net;
 pub use gdatalog_pdb as pdb;
 pub use gdatalog_serve as serve;
@@ -83,6 +85,7 @@ pub mod prelude {
     pub use gdatalog_data::{tuple, Catalog, ColType, Fact, Instance, RelId, Tuple, Value};
     pub use gdatalog_dist::{ParamDist, Registry};
     pub use gdatalog_lang::{Program, SemanticsMode};
+    pub use gdatalog_learn::{fit_program, FitOptions, FitReport, Fitted, LearnError};
     pub use gdatalog_pdb::{
         AggFun, ColPred, ColumnHistogram, EmpiricalPdb, Event, FactSet, Moments, NormalizingSink,
         PossibleWorlds, Query, WeightStats, WorldSink,
